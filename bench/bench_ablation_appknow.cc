@@ -1,0 +1,76 @@
+// Ablation: application-specific specialization of the protocol library
+// (the paper's second motivation, Section 1.1, and its Section 5 "canned
+// options" proposal).
+//
+// Because the protocol lives in a user-linkable library, an application can
+// tune it without kernel changes. This bench exercises three such knobs:
+//   * eliding the data checksum on a reliable link (AN1),
+//   * enlarging the receive window for bulk transfer,
+//   * write coalescing vs per-write segments for small writes.
+// Each row compares the stock library against the specialized one, on the
+// same workload -- something the monolithic organizations cannot offer
+// per-application.
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+double tput(LinkType link, const proto::TcpConfig& cfg, std::size_t write) {
+  Testbed bed(OrgType::kUserLevel, link, 1);
+  bed.app_a().set_tcp_config(cfg);
+  bed.app_b().set_tcp_config(cfg);
+  BulkTransfer bulk(bed, 512 * 1024, write);
+  auto r = bulk.run();
+  return r.ok ? r.throughput_mbps() : -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Ablation: application-specific library specialization (user-level "
+      "org)");
+
+  const proto::TcpConfig stock;
+
+  proto::TcpConfig no_cksum = stock;
+  no_cksum.checksum_enabled = false;
+
+  proto::TcpConfig big_win = stock;
+  big_win.recv_buf = 60 * 1024;
+  big_win.send_buf = 128 * 1024;
+
+  proto::TcpConfig coalesce = stock;
+  coalesce.segment_per_write = false;
+
+  std::printf("%-52s %10s %10s\n", "configuration", "measured", "baseline");
+  std::printf("%-52s %7.2f Mb/s %7.2f Mb/s\n",
+              "AN1 bulk 4 KB writes: checksum elided on reliable link",
+              tput(LinkType::kAn1, no_cksum, 4096),
+              tput(LinkType::kAn1, stock, 4096));
+  std::printf("%-52s %7.2f Mb/s %7.2f Mb/s\n",
+              "AN1 bulk 4 KB writes: enlarged windows",
+              tput(LinkType::kAn1, big_win, 4096),
+              tput(LinkType::kAn1, stock, 4096));
+  std::printf("%-52s %7.2f Mb/s %7.2f Mb/s\n",
+              "AN1 bulk 512 B writes: coalescing writes into MSS segments",
+              tput(LinkType::kAn1, coalesce, 512),
+              tput(LinkType::kAn1, stock, 512));
+  std::printf("%-52s %7.2f Mb/s %7.2f Mb/s\n",
+              "Ethernet bulk 512 B writes: coalescing writes",
+              tput(LinkType::kEthernet, coalesce, 512),
+              tput(LinkType::kEthernet, stock, 512));
+
+  std::printf(
+      "\nReading: each specialization is a per-application link-time choice"
+      "\n-- no kernel or server rebuild. The paper: 'further performance"
+      "\nadvantages may be gained by exploiting application-specific"
+      "\nknowledge to fine tune a particular instance of a protocol.'\n");
+  return 0;
+}

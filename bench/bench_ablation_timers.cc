@@ -1,0 +1,84 @@
+// Ablation: hierarchical timing wheels vs a binary-heap timer, wall-clock
+// (google-benchmark).
+//
+// The paper (Section 2.1, citing Varghese & Lauck): "practically every
+// message arrival and departure involves timer operations. Once again, fast
+// implementations of timer events are well known, e.g., using hierarchical
+// timing wheels." TCP's pattern is schedule-then-cancel: almost every timer
+// is cancelled (by the ACK) before it fires; the wheel makes both O(1).
+#include <benchmark/benchmark.h>
+
+#include "sim/rng.h"
+#include "timer/wheel.h"
+
+using namespace ulnet;
+
+namespace {
+
+// The TCP pattern: N connections have a standing retransmit timer; each
+// "segment" cancels and re-schedules one.
+template <typename Service>
+void reschedule_pattern(benchmark::State& state, Service& svc) {
+  const int conns = static_cast<int>(state.range(0));
+  sim::Rng rng(1);
+  std::vector<timer::TimerId> ids(static_cast<std::size_t>(conns));
+  for (auto& id : ids) {
+    id = svc.schedule(500 * sim::kMs + rng.range(0, 100) * sim::kMs, [] {});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto& slot = ids[i++ % ids.size()];
+    svc.cancel(slot);
+    slot = svc.schedule(500 * sim::kMs + rng.range(0, 100) * sim::kMs, [] {});
+  }
+}
+
+void BM_WheelReschedule(benchmark::State& state) {
+  timer::TimingWheel wheel(10 * sim::kMs);
+  reschedule_pattern(state, wheel);
+}
+BENCHMARK(BM_WheelReschedule)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HeapReschedule(benchmark::State& state) {
+  timer::HeapTimer heap;
+  reschedule_pattern(state, heap);
+}
+BENCHMARK(BM_HeapReschedule)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Advancing time with a large standing population (expiry processing).
+void BM_WheelAdvance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(2);
+  timer::TimingWheel wheel(10 * sim::kMs);
+  sim::Time now = 0;
+  for (int i = 0; i < n; ++i) {
+    wheel.schedule(rng.range(1, 5000) * sim::kMs, [] {});
+  }
+  for (auto _ : state) {
+    now += 10 * sim::kMs;
+    wheel.advance_to(now);
+    // Keep the population steady.
+    wheel.schedule(rng.range(1, 5000) * sim::kMs, [] {});
+  }
+}
+BENCHMARK(BM_WheelAdvance)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_HeapAdvance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(2);
+  timer::HeapTimer heap;
+  sim::Time now = 0;
+  for (int i = 0; i < n; ++i) {
+    heap.schedule(rng.range(1, 5000) * sim::kMs, [] {});
+  }
+  for (auto _ : state) {
+    now += 10 * sim::kMs;
+    heap.advance_to(now);
+    heap.schedule(rng.range(1, 5000) * sim::kMs, [] {});
+  }
+}
+BENCHMARK(BM_HeapAdvance)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Ablation: copy-avoiding buffer organization (paper Section 4).
+//
+// "We achieve better performance than Ultrix with 512-byte user packets
+// because our implementation uses a buffer organization that eliminates
+// byte copying. Ultrix uses an identical mechanism, but it is invoked only
+// when the user packet size is 1024 bytes or larger."
+//
+// This bench sweeps the monolithic stack's remap threshold (the size at
+// or above which a page donation replaces the byte copy) and shows the
+// user-level library's always-zero-copy shared rings alongside.
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+double ik_tput(LinkType link, std::size_t write, std::size_t threshold) {
+  sim::CostModel cm;
+  cm.remap_threshold = threshold;
+  Testbed bed(OrgType::kInKernel, link, 1, cm);
+  BulkTransfer bulk(bed, 512 * 1024, write);
+  auto r = bulk.run();
+  return r.ok ? r.throughput_mbps() : -1;
+}
+
+double ul_tput(LinkType link, std::size_t write) {
+  Testbed bed(OrgType::kUserLevel, link, 1);
+  BulkTransfer bulk(bed, 512 * 1024, write);
+  auto r = bulk.run();
+  return r.ok ? r.throughput_mbps() : -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Ablation: copy-avoidance threshold (in-kernel stack) vs zero-copy "
+      "shared rings (user-level), AN1");
+  std::printf("%-44s %10s %10s\n", "configuration", "512 B", "4096 B");
+  const std::size_t kNever = static_cast<std::size_t>(-1);
+  struct Case {
+    const char* label;
+    std::size_t threshold;
+  } cases[] = {
+      {"in-kernel, always copy (no remap)", kNever},
+      {"in-kernel, remap >= 1024 (Ultrix 4.2A)", 1024},
+      {"in-kernel, remap >= 512", 512},
+  };
+  for (const Case& c : cases) {
+    std::printf("%-44s %10.2f %10.2f\n", c.label,
+                ik_tput(LinkType::kAn1, 512, c.threshold),
+                ik_tput(LinkType::kAn1, 4096, c.threshold));
+  }
+  std::printf("%-44s %10.2f %10.2f\n",
+              "user-level library (zero-copy shared rings)",
+              ul_tput(LinkType::kAn1, 512), ul_tput(LinkType::kAn1, 4096));
+  std::printf(
+      "\nReading: below the threshold every byte is copied across the"
+      "\nuser/kernel boundary; lowering the threshold (or eliminating the"
+      "\ncopy entirely, as the shared rings do) recovers small-packet"
+      "\nthroughput -- the effect behind the paper's AN1 512-byte column.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 1 -- "Alternative Organizations of Protocols" -- quantified.
+//
+// The figure is a taxonomy: in-kernel monolithic, single trusted server,
+// dedicated servers per protocol/device (the "rare case"), and the paper's
+// user-level library. This bench turns the taxonomy into numbers: for an
+// identical workload it reports the *mechanism counts* on the data path
+// (traps, IPC messages, context switches, cross-space copies, signals) and
+// the performance each structure achieves -- making the structural argument
+// of the paper measurable.
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+struct OrgResult {
+  double mbps = 0;
+  double rtt_us = 0;
+  sim::Metrics per_op;  // mechanism deltas for the bulk run
+  std::uint64_t packets = 0;
+};
+
+OrgResult measure(OrgType org) {
+  OrgResult res;
+  {
+    Testbed bed(org, LinkType::kEthernet, 1);
+    auto before = bed.world().metrics();
+    BulkTransfer bulk(bed, 512 * 1024, 4096);
+    auto r = bulk.run();
+    res.mbps = r.ok ? r.throughput_mbps() : -1;
+    res.per_op = bed.world().metrics().delta_since(before);
+    res.packets = res.per_op.packets_rx;
+  }
+  {
+    Testbed bed(org, LinkType::kEthernet, 2);
+    PingPong pp(bed, 512, 30);
+    res.rtt_us = pp.run_mean_rtt_us();
+  }
+  return res;
+}
+
+double per_pkt(std::uint64_t count, std::uint64_t pkts) {
+  return pkts == 0 ? 0 : static_cast<double>(count) / static_cast<double>(pkts);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Figure 1 quantified: mechanisms per packet and resulting performance "
+      "(512 KB bulk / 512 B ping-pong, Ethernet)");
+
+  const OrgType orgs[] = {OrgType::kInKernel, OrgType::kSingleServer,
+                          OrgType::kDedicated, OrgType::kUserLevel};
+
+  std::printf("%-30s %9s %9s %9s %9s %9s %9s %11s %11s\n", "Organization",
+              "traps/p", "fast/p", "ipc/p", "ctxsw/p", "copies/p", "sigs/p",
+              "bulk Mb/s", "RTT us");
+  for (OrgType org : orgs) {
+    const OrgResult r = measure(org);
+    std::printf("%-30s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %11.2f %11.0f\n",
+                to_string(org), per_pkt(r.per_op.traps, r.packets),
+                per_pkt(r.per_op.specialized_traps, r.packets),
+                per_pkt(r.per_op.ipc_messages, r.packets),
+                per_pkt(r.per_op.context_switches, r.packets),
+                per_pkt(r.per_op.copies + r.per_op.page_remaps, r.packets),
+                per_pkt(r.per_op.semaphore_signals, r.packets), r.mbps,
+                r.rtt_us);
+  }
+
+  std::printf(
+      "\nReading: the single-server and dedicated-server organizations pay"
+      "\nIPC + context switches per packet on the critical path; the"
+      "\ndedicated-server 'rare case' pays the most and performs worst,"
+      "\nwhich is exactly why the paper rejects it. The user-level library"
+      "\nreplaces generic traps and copies with one specialized trap per"
+      "\nsend and batched signals per receive, approaching in-kernel"
+      "\nperformance without kernel residence.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 1 -- "Impact of Our Mechanisms on Throughput".
+//
+// The paper's micro-benchmark: two applications exchange data over the
+// 10 Mb/s Ethernet *without any higher-level protocol*, exercising every
+// mechanism of the user-level design -- shared ring, send capability +
+// template check, specialized trap, software demultiplexing, batched
+// library/kernel signalling -- and compares against the maximum achievable
+// by the raw hardware with a standalone program (link saturation including
+// frame format and inter-packet gaps).
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "bench/bench_util.h"
+#include "core/user_level.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+struct RawResult {
+  double mbps = 0;
+  std::uint64_t received = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t signals = 0;
+  std::uint64_t suppressed = 0;
+};
+
+RawResult raw_exchange(std::size_t payload, int frames) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/3);
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  auto& world = bed.world();
+
+  const net::MacAddr mac_a = bed.host_a().interfaces()[0].nic->mac();
+  const net::MacAddr mac_b = bed.host_b().interfaces()[0].nic->mac();
+
+  RawResult res;
+  sim::Time first = 0, last = 0;
+  std::uint64_t rx_bytes = 0;
+
+  // Receiver side: count arriving raw payloads.
+  b->run_app([&](sim::TaskCtx& ctx) {
+    b->open_raw(ctx, 0, net::kEtherTypeRaw, mac_a,
+                [&](sim::TaskCtx&, buf::Bytes data) {
+                  if (res.received == 0) first = world.now();
+                  res.received++;
+                  rx_bytes += data.size();
+                  last = world.now();
+                },
+                [](core::RawChannel) {});
+  });
+
+  // Sender: one frame per task, paced at the wire's back-to-back rate (the
+  // standalone saturation program does exactly this); the receiver keeps
+  // up through the shared ring with batched notifications.
+  const sim::Time pace = bed.link().spec().occupancy_ns(
+      net::EthHeader::kSize + payload);
+  auto sent = std::make_shared<int>(0);
+  auto chan = std::make_shared<core::RawChannel>();
+  std::function<void(sim::TaskCtx&)> pump =
+      [&, sent, chan, payload, frames, pace](sim::TaskCtx& ctx) {
+        if (*sent >= frames) return;
+        (*sent)++;
+        chan->send(ctx, buf::Bytes(payload, 0x42));
+        world.loop().schedule_in(pace, [&, chan] {
+          a->run_app(pump);
+        });
+      };
+  a->run_app([&, chan](sim::TaskCtx& ctx) {
+    a->open_raw(ctx, 0, net::kEtherTypeRaw, mac_b,
+                [](sim::TaskCtx&, buf::Bytes) {},
+                [&, chan](core::RawChannel rc) {
+                  *chan = rc;
+                  a->run_app(pump);
+                });
+  });
+
+  world.run_until(120 * sim::kSec);
+
+  if (last > first && res.received > 1) {
+    res.mbps = static_cast<double>(rx_bytes) * 8.0 /
+               sim::to_sec(last - first) / 1e6;
+  }
+  auto& netio_b = bed.user_org_b()->netio(0);
+  res.drops = netio_b.counters().ring_drops;
+  res.signals = bed.world().metrics().semaphore_signals;
+  res.suppressed = netio_b.counters().signals_suppressed;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Table 1: impact of the user-level mechanisms on raw Ethernet "
+      "throughput");
+
+  const net::LinkSpec eth = net::LinkSpec::ethernet10();
+  std::printf("%-12s %-22s %-26s %-10s\n", "payload", "standalone (link sat)",
+              "with our mechanisms", "fraction");
+  // The paper's micro-benchmark used maximum-sized Ethernet packets; the
+  // 1024-byte row shows the approach to saturation.
+  for (std::size_t payload : {1024u, 1500u}) {
+    const double sat = eth.payload_saturation_bps(payload) / 1e6;
+    const RawResult r = raw_exchange(payload, 3000);
+    std::printf("%6zu B     %8.2f Mb/s          %8.2f Mb/s              %5.1f%%"
+                "   (ring drops: %llu)\n",
+                payload, sat, r.mbps, 100.0 * r.mbps / sat,
+                static_cast<unsigned long long>(r.drops));
+  }
+
+  const RawResult r = raw_exchange(1500, 3000);
+  std::printf(
+      "\nMechanisms exercised per packet: specialized trap, capability +"
+      "\ntemplate check, software demux, shared-ring hand-off, batched"
+      "\nsignalling (signals suppressed by batching: %llu of %llu"
+      " deliveries).\n",
+      static_cast<unsigned long long>(r.suppressed),
+      static_cast<unsigned long long>(r.received));
+  std::printf(
+      "Paper: the mechanisms introduce 'only very modest overhead' vs the"
+      "\nstandalone link saturation bound.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared table-printing helpers for the benchmark binaries. Each bench
+// regenerates one exhibit of the paper (same rows, same units) from the
+// simulation, and prints the paper's published value next to the measured
+// one so the comparison is auditable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ulnet::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%-34s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%-34s", "---------------------------------");
+  }
+  std::printf("\n");
+}
+
+// "measured (paper: X)" cell.
+inline std::string cell(double measured, double paper, const char* unit,
+                        int precision = 1) {
+  char tmp[96];
+  std::snprintf(tmp, sizeof tmp, "%.*f %s (paper %.*f)", precision, measured,
+                unit, precision, paper);
+  return tmp;
+}
+
+inline std::string cellf(const char* fmt, double v) {
+  char tmp[64];
+  std::snprintf(tmp, sizeof tmp, fmt, v);
+  return tmp;
+}
+
+}  // namespace ulnet::bench

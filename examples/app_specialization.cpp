@@ -1,0 +1,94 @@
+// Application-specific protocol specialization -- the paper's second
+// motivation and its Section 5 future-work proposal ("a set of canned
+// options that determine certain characteristics of a protocol").
+//
+// Because the protocol is a user-linkable library, each application picks
+// its own variant at link time. This example runs the same two workloads
+// with a stock library and with per-application specializations:
+//   * a bulk-transfer app on the reliable AN1 elides the TCP checksum and
+//     enlarges its windows,
+//   * an RPC app turns off delayed ACKs to shave its reply latency.
+// The monolithic organizations cannot do this per application -- one kernel
+// configuration serves everyone.
+//
+// Build & run:  ./build/examples/app_specialization
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+namespace {
+
+double bulk_mbps(const proto::TcpConfig& cfg) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1);
+  bed.app_a().set_tcp_config(cfg);
+  bed.app_b().set_tcp_config(cfg);
+  BulkTransfer bulk(bed, 1024 * 1024, 4096);
+  auto r = bulk.run();
+  return r.ok ? r.throughput_mbps() : -1;
+}
+
+double rpc_rtt_us(const proto::TcpConfig& cfg) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1);
+  bed.app_a().set_tcp_config(cfg);
+  bed.app_b().set_tcp_config(cfg);
+  PingPong rpc(bed, 64, 50);
+  return rpc.run_mean_rtt_us();
+}
+
+}  // namespace
+
+int main() {
+  const proto::TcpConfig stock;
+
+  // Bulk app: the AN1 delivers frames reliably and the peer is trusted, so
+  // the Internet checksum is redundant work; bigger windows keep the fast
+  // pipe full.
+  proto::TcpConfig bulk_variant = stock;
+  bulk_variant.checksum_enabled = false;
+  bulk_variant.recv_buf = 60 * 1024;
+  bulk_variant.send_buf = 128 * 1024;
+
+  // RPC app: small fixed-size messages on a trusted link -- elide the
+  // checksum. (A tempting second knob, disabling delayed ACKs, is shown
+  // below as a counterexample.)
+  proto::TcpConfig rpc_variant = stock;
+  rpc_variant.checksum_enabled = false;
+
+  proto::TcpConfig eager_ack = stock;
+  eager_ack.delayed_ack = false;
+
+  std::printf("Per-application protocol variants (user-level library, AN1)\n\n");
+
+  const double b0 = bulk_mbps(stock);
+  const double b1 = bulk_mbps(bulk_variant);
+  std::printf("bulk app   : stock %6.2f Mb/s  ->  specialized %6.2f Mb/s "
+              "(+%.0f%%)\n",
+              b0, b1, 100.0 * (b1 - b0) / b0);
+
+  const double r0 = rpc_rtt_us(stock);
+  const double r1 = rpc_rtt_us(rpc_variant);
+  std::printf("rpc app    : stock %6.0f us    ->  no-checksum %6.0f us  "
+              "(%+.0f%%)\n",
+              r0, r1, 100.0 * (r1 - r0) / r0);
+
+  // The counterexample: eagerly ACKing every segment *hurts* here, because
+  // each extra pure ACK wakes the peer's library thread. Specialization
+  // needs measurement, not folklore -- which is precisely why putting the
+  // protocol where the application can experiment with it matters.
+  const double r2 = rpc_rtt_us(eager_ack);
+  std::printf("rpc app    : stock %6.0f us    ->  eager ACKs  %6.0f us  "
+              "(%+.0f%%, a counterproductive variant)\n",
+              r0, r2, 100.0 * (r2 - r0) / r0);
+
+  std::printf(
+      "\nBoth variants ran concurrently-compatible wire protocols: the"
+      "\nspecialized TCP still interoperates (checksum elision is a"
+      "\nreceive-side verification choice; ACK policy is sender-local)."
+      "\nThe paper: 'a specialized variant of a standard protocol is used"
+      "\nrather than the standard protocol itself.'\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Bulk transfer: the throughput-intensive application from the paper's
+// motivation ("systems that need to support both throughput-intensive and
+// latency-critical applications").
+//
+// Streams 2 MB over the 100 Mb/s AN1 under each protocol organization and
+// reports steady-state throughput plus the mechanism counts that explain
+// the differences.
+//
+// Build & run:  ./build/examples/bulk_transfer
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+int main() {
+  std::printf("2 MB bulk transfer over DEC SRC AN1, 4 KB writes\n\n");
+  std::printf("%-30s %10s %12s %10s %10s\n", "organization", "Mb/s",
+              "IPC msgs", "copies", "signals");
+
+  for (OrgType org : {OrgType::kInKernel, OrgType::kSingleServer,
+                      OrgType::kUserLevel}) {
+    Testbed bed(org, LinkType::kAn1);
+    auto before = bed.world().metrics();
+    BulkTransfer bulk(bed, 2 * 1024 * 1024, 4096, 5001,
+                      /*verify_data=*/true);
+    auto r = bulk.run();
+    auto d = bed.world().metrics().delta_since(before);
+    if (!r.ok) {
+      std::printf("%-30s  FAILED: %s\n", to_string(org), r.error.c_str());
+      continue;
+    }
+    std::printf("%-30s %10.2f %12llu %10llu %10llu   %s\n", to_string(org),
+                r.throughput_mbps(),
+                static_cast<unsigned long long>(d.ipc_messages),
+                static_cast<unsigned long long>(d.copies + d.page_remaps),
+                static_cast<unsigned long long>(d.semaphore_signals),
+                r.data_valid ? "(data verified)" : "(DATA CORRUPT!)");
+  }
+
+  std::printf(
+      "\nThe user-level library reaches in-kernel-class throughput with no"
+      "\nper-packet IPC and no cross-space data copies: packets move through"
+      "\nthe pinned shared rings, transmissions enter the kernel through the"
+      "\nspecialized trap, and receptions are batched behind one semaphore"
+      "\nsignal. The single-server organization pays Mach IPC per push.\n");
+  return 0;
+}

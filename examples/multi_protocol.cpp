@@ -1,0 +1,140 @@
+// Multiple protocols co-existing on one system -- the paper's first
+// motivation: "the co-existence of multiple protocols that provide
+// materially differing services".
+//
+// Two hosts, one Ethernet, and three transports sharing the wire at once:
+//   * TCP   -- reliable byte stream (a 256 KB verified bulk transfer),
+//   * UDP   -- unreliable datagrams (a 50-message exchange),
+//   * ICMP  -- the network's own echo service (10 pings).
+// Everything demultiplexes off the same link and the TCP stream stays
+// byte-perfect despite the competing traffic.
+//
+// This example uses the lower-level organization API directly (rather than
+// the uniform NetSystem facade) to reach the UDP and ICMP modules.
+//
+// Build & run:  ./build/examples/multi_protocol
+#include <algorithm>
+#include <cstdio>
+
+#include "baseline/inkernel.h"
+#include "os/world.h"
+#include "proto/stack.h"
+
+using namespace ulnet;
+
+namespace {
+std::uint8_t pat(std::size_t i) { return static_cast<std::uint8_t>(i * 31); }
+}  // namespace
+
+int main() {
+  os::World world;
+  os::Host& ha = world.add_host("alpha");
+  os::Host& hb = world.add_host("beta");
+  net::Link& wire = world.add_ethernet();
+  const auto ip_a = net::Ipv4Addr::parse("10.0.0.1");
+  const auto ip_b = net::Ipv4Addr::parse("10.0.0.2");
+  world.attach_lance(ha, wire, ip_a);
+  world.attach_lance(hb, wire, ip_b);
+
+  baseline::InKernelOrg org_a(world, ha);
+  baseline::InKernelOrg org_b(world, hb);
+
+  // ---- Protocol 1: TCP byte stream through the socket API ---------------
+  api::NetSystem& app_a = org_a.add_app("bulk-client");
+  api::NetSystem& app_b = org_b.add_app("bulk-server");
+  constexpr std::size_t kBulk = 256 * 1024;
+  std::size_t tcp_received = 0;
+  bool tcp_valid = true;
+  auto srv_sock = std::make_shared<api::SocketId>(api::kInvalidSocket);
+
+  app_b.run_app([&](sim::TaskCtx&) {
+    app_b.listen(5001, [&](api::SocketId id) {
+      *srv_sock = id;
+      api::SocketEvents evs;
+      evs.on_readable = [&](std::size_t) {
+        auto d = app_b.recv(*srv_sock, kBulk);
+        for (std::size_t i = 0; i < d.size(); ++i) {
+          if (d[i] != pat(tcp_received + i)) tcp_valid = false;
+        }
+        tcp_received += d.size();
+      };
+      evs.on_eof = [&] { app_b.close(*srv_sock); };
+      return evs;
+    });
+  });
+  auto cli_sock = std::make_shared<api::SocketId>(api::kInvalidSocket);
+  auto sent = std::make_shared<std::size_t>(0);
+  world.loop().schedule_in(30 * sim::kMs, [&, cli_sock, sent] {
+    app_a.run_app([&, cli_sock, sent](sim::TaskCtx&) {
+      api::SocketEvents evs;
+      auto pump = [&, cli_sock, sent] {
+        while (*sent < kBulk) {
+          buf::Bytes chunk(std::min<std::size_t>(4096, kBulk - *sent));
+          for (std::size_t i = 0; i < chunk.size(); ++i) {
+            chunk[i] = pat(*sent + i);
+          }
+          const std::size_t took = app_a.send(*cli_sock, chunk);
+          *sent += took;
+          if (took < chunk.size()) return;
+        }
+        app_a.close(*cli_sock);
+      };
+      evs.on_established = [&app_a, pump] {
+        app_a.run_app([pump](sim::TaskCtx&) { pump(); });
+      };
+      evs.on_writable = [&app_a, pump] {
+        app_a.run_app([pump](sim::TaskCtx&) { pump(); });
+      };
+      app_a.connect(ip_b, 5001, std::move(evs),
+                    [cli_sock](api::SocketId id) { *cli_sock = id; });
+    });
+  });
+
+  // ---- Protocol 2: UDP datagrams through the kernel stacks --------------
+  int udp_delivered = 0;
+  org_b.stack().udp().bind(9000, [&](net::Ipv4Addr, std::uint16_t,
+                                     buf::Bytes d) {
+    udp_delivered++;
+    (void)d;
+  });
+  for (int i = 0; i < 50; ++i) {
+    world.loop().schedule_in((100 + i * 37) * sim::kMs, [&, i] {
+      ha.run_in(sim::kKernelSpace, [&, i](sim::TaskCtx&) {
+        org_a.stack().udp().send(9001, ip_b, 9000,
+                                 buf::Bytes(200 + i, 0x77));
+      });
+    });
+  }
+
+  // ---- Protocol 3: ICMP echo probes --------------------------------------
+  int pongs = 0;
+  sim::Time rtt_sum = 0;
+  for (int i = 0; i < 10; ++i) {
+    world.loop().schedule_in((200 + i * 151) * sim::kMs, [&, i] {
+      ha.run_in(sim::kKernelSpace, [&, i](sim::TaskCtx&) {
+        org_a.stack().icmp().ping(
+            ip_b, static_cast<std::uint16_t>(i), 56,
+            [&](net::Ipv4Addr, std::uint16_t, sim::Time rtt, std::size_t) {
+              pongs++;
+              rtt_sum += rtt;
+            });
+      });
+    });
+  }
+
+  world.run_until(60 * sim::kSec);
+
+  std::printf("TCP : %zu / %zu bytes, %s\n", tcp_received, kBulk,
+              tcp_valid ? "byte-perfect" : "CORRUPT");
+  std::printf("UDP : %d / 50 datagrams delivered\n", udp_delivered);
+  std::printf("ICMP: %d / 10 echoes answered, mean RTT %.2f ms\n", pongs,
+              pongs ? sim::to_ms(rtt_sum / pongs) : 0.0);
+  std::printf(
+      "\nThree services with materially different semantics shared one wire"
+      "\nand one stack; input demultiplexing routed every packet to the"
+      "\nright protocol module.\n");
+  return (tcp_received == kBulk && tcp_valid && udp_delivered == 50 &&
+          pongs == 10)
+             ? 0
+             : 1;
+}

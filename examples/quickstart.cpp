@@ -1,0 +1,90 @@
+// Quickstart: two simulated workstations on an Ethernet, the user-level
+// protocol organization installed, one TCP connection, one message each way.
+//
+// Everything the paper describes happens under the hood of these few calls:
+// the app's listen/connect go through the trusted registry server, which
+// runs the three-way handshake and sets up the shared-memory channel, the
+// send capability and the demultiplexing binding; the data below then flows
+// purely between the protocol library (in each app's address space) and the
+// kernel's network I/O module.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "api/testbed.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+int main() {
+  // Two hosts, one 10 Mb/s Ethernet, user-level protocol organization.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  NetSystem& alice = bed.app_a();
+  NetSystem& bob = bed.app_b();
+
+  // --- Bob: listen and echo a greeting back -------------------------------
+  bob.run_app([&](sim::TaskCtx&) {
+    bob.listen(7, [&bob](SocketId id) {
+      SocketEvents evs;
+      evs.on_readable = [&bob, id](std::size_t) {
+        auto data = bob.recv(id, std::numeric_limits<std::size_t>::max());
+        std::printf("[bob]   got %zu bytes: \"%.*s\"\n", data.size(),
+                    static_cast<int>(data.size()),
+                    reinterpret_cast<const char*>(data.data()));
+        const std::string reply = "hello from the other address space";
+        bob.send(id, buf::ByteView(
+                         reinterpret_cast<const std::uint8_t*>(reply.data()),
+                         reply.size()));
+      };
+      evs.on_eof = [&bob, id] { bob.close(id); };
+      return evs;
+    });
+  });
+
+  // --- Alice: connect, send, read the reply, close ------------------------
+  auto sock = std::make_shared<SocketId>(kInvalidSocket);
+  bed.world().loop().schedule_in(50 * sim::kMs, [&, sock] {
+    alice.run_app([&, sock](sim::TaskCtx&) {
+      SocketEvents evs;
+      evs.on_established = [&, sock] {
+        std::printf("[alice] connected in %.2f ms (registry handshake + "
+                    "channel setup + state transfer)\n",
+                    sim::to_ms(bed.world().now()) - 50.0);
+        const std::string msg = "hello user-level TCP";
+        alice.send(*sock,
+                   buf::ByteView(
+                       reinterpret_cast<const std::uint8_t*>(msg.data()),
+                       msg.size()));
+      };
+      evs.on_readable = [&, sock](std::size_t) {
+        auto data = alice.recv(*sock, std::numeric_limits<std::size_t>::max());
+        std::printf("[alice] got %zu bytes: \"%.*s\"\n", data.size(),
+                    static_cast<int>(data.size()),
+                    reinterpret_cast<const char*>(data.data()));
+        alice.close(*sock);
+      };
+      evs.on_closed = [&](const std::string& reason) {
+        std::printf("[alice] connection closed%s%s\n",
+                    reason.empty() ? "" : ": ", reason.c_str());
+      };
+      alice.connect(bed.ip_b(), 7, std::move(evs),
+                    [sock](SocketId id) { *sock = id; });
+    });
+  });
+
+  bed.world().run_until(30 * sim::kSec);
+
+  const auto& m = bed.world().metrics();
+  std::printf(
+      "\nmechanisms used: %llu specialized traps, %llu template checks, "
+      "%llu software demux runs,\n%llu semaphore signals, %llu IPC messages "
+      "(setup only), 0 data copies across spaces.\n",
+      static_cast<unsigned long long>(m.specialized_traps),
+      static_cast<unsigned long long>(m.template_checks),
+      static_cast<unsigned long long>(m.demux_software_runs),
+      static_cast<unsigned long long>(m.semaphore_signals),
+      static_cast<unsigned long long>(m.ipc_messages));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Request/response: the latency-critical application class from the paper's
+// motivation -- "the need for an efficient transport for distributed
+// systems was a factor in the development of request/response protocols".
+//
+// Runs an RPC-shaped workload (small request, small reply, strictly
+// sequential) over each organization and prints the latency distribution,
+// showing where domain crossings hurt most.
+//
+// Build & run:  ./build/examples/request_response
+#include <cstdio>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+
+using namespace ulnet;
+using namespace ulnet::api;
+
+int main() {
+  std::printf("RPC workload: 128-byte request, 128-byte reply, "
+              "100 sequential calls, Ethernet\n\n");
+  std::printf("%-30s %10s %10s %10s %10s\n", "organization", "mean us",
+              "median us", "p99 us", "min us");
+
+  for (OrgType org : {OrgType::kInKernel, OrgType::kUserLevel,
+                      OrgType::kSingleServer, OrgType::kDedicated}) {
+    Testbed bed(org, LinkType::kEthernet);
+    PingPong rpc(bed, 128, 100);
+    const double mean = rpc.run_mean_rtt_us();
+    if (mean < 0) {
+      std::printf("%-30s  FAILED\n", to_string(org));
+      continue;
+    }
+    const auto& s = rpc.stats();
+    std::printf("%-30s %10.0f %10.0f %10.0f %10.0f\n", to_string(org), mean,
+                s.median(), s.percentile(99), s.min());
+  }
+
+  std::printf(
+      "\nEvery address-space crossing on the request path shows up directly"
+      "\nin RPC latency: the dedicated-server organization (two servers on"
+      "\nthe path) is the paper's 'rare case' worst case; the user-level"
+      "\nlibrary sits within ~1 ms of the in-kernel stack because its data"
+      "\npath crosses into the kernel exactly once, through the specialized"
+      "\nentry point.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// NetSystem: the uniform application-side socket interface.
+//
+// Benchmarks and examples are written once against this interface; each
+// protocol organization (in-kernel, single-server, dedicated-server,
+// user-level library) provides an implementation whose *mechanisms* differ
+// -- traps vs IPC vs shared memory, where protocol code runs, how the app
+// is notified -- while the application code and the TCP object code stay
+// identical. That is precisely the comparison the paper makes.
+//
+// Threading model: all NetSystem calls must be made from a task running in
+// the owning application's address space (event callbacks are always
+// delivered there; initial work is injected with run_app()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "buf/bytes.h"
+#include "net/addr.h"
+#include "proto/tcp.h"
+#include "sim/cpu.h"
+
+namespace ulnet::api {
+
+using SocketId = std::uint64_t;
+inline constexpr SocketId kInvalidSocket = 0;
+
+// Per-socket event callbacks, invoked in the application's address space.
+struct SocketEvents {
+  std::function<void()> on_established;
+  // In-order data available (amount readable at notification time).
+  std::function<void(std::size_t available)> on_readable;
+  // Send-buffer space has been freed.
+  std::function<void()> on_writable;
+  // Peer closed its direction (EOF after buffered data is read).
+  std::function<void()> on_eof;
+  // Connection fully terminated; reason empty for orderly close.
+  std::function<void(const std::string& reason)> on_closed;
+};
+
+class NetSystem {
+ public:
+  virtual ~NetSystem() = default;
+
+  // Passive open. `acceptor` is called once per accepted connection and
+  // returns the event callbacks for that socket.
+  virtual bool listen(std::uint16_t port,
+                      std::function<SocketEvents(SocketId)> acceptor) = 0;
+
+  // Active open. `done` receives the socket id once the connection is
+  // established, or kInvalidSocket on failure (reason via evs.on_closed).
+  virtual void connect(net::Ipv4Addr dst, std::uint16_t port,
+                       SocketEvents evs,
+                       std::function<void(SocketId)> done) = 0;
+
+  // Queue data; returns bytes accepted (bounded by send-buffer space).
+  virtual std::size_t send(SocketId s, buf::ByteView data) = 0;
+  // Read up to `max` bytes of in-order data.
+  virtual buf::Bytes recv(SocketId s, std::size_t max) = 0;
+  [[nodiscard]] virtual std::size_t send_space(SocketId s) = 0;
+  [[nodiscard]] virtual std::size_t bytes_available(SocketId s) = 0;
+
+  virtual void close(SocketId s) = 0;
+  // Reclaim a socket's resources once on_closed has fired.
+  virtual void release(SocketId s) = 0;
+
+  // Inject application code as a task in this app's address space.
+  virtual void run_app(std::function<void(sim::TaskCtx&)> fn) = 0;
+  [[nodiscard]] virtual sim::SpaceId app_space() const = 0;
+  [[nodiscard]] virtual const std::string& app_name() const = 0;
+
+  // TCP parameters applied to subsequently created connections. In the
+  // user-level organization this is the paper's application-specific
+  // specialization hook; the monolithic organizations accept it too so the
+  // benches stay symmetric.
+  void set_tcp_config(const proto::TcpConfig& cfg) { tcp_config_ = cfg; }
+  [[nodiscard]] const proto::TcpConfig& tcp_config() const {
+    return tcp_config_;
+  }
+
+ protected:
+  proto::TcpConfig tcp_config_;
+};
+
+}  // namespace ulnet::api

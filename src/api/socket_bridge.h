@@ -1,0 +1,150 @@
+// SocketBridge: shared plumbing between a TcpModule and a NetSystem
+// implementation. Keeps the socket table (SocketId <-> TcpConnection),
+// dispatches TCP upcalls to per-socket SocketEvents, and coalesces
+// notifications. How a notification actually reaches the application --
+// inline procedure call (user-level library), kernel wakeup + context
+// switch (in-kernel), or an IPC message (server organizations) -- is
+// supplied by the organization as the `notify` functor.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "api/net_system.h"
+#include "proto/tcp.h"
+
+namespace ulnet::api {
+
+class SocketBridge : public proto::TcpObserver {
+ public:
+  // Schedule `fn` to run in the application's context.
+  using Notify = std::function<void(std::function<void()>)>;
+
+  explicit SocketBridge(Notify notify) : notify_(std::move(notify)) {}
+
+  struct Entry {
+    proto::TcpConnection* conn = nullptr;
+    SocketEvents events;
+    bool readable_pending = false;
+    bool writable_pending = false;
+    bool closed = false;
+  };
+
+  SocketId attach(proto::TcpConnection* conn, SocketEvents evs) {
+    const SocketId id = next_id_++;
+    auto& e = table_[id];
+    e.conn = conn;
+    e.events = std::move(evs);
+    by_conn_[conn] = id;
+    conn->set_observer(this);
+    return id;
+  }
+
+  void set_acceptor(std::uint16_t port,
+                    std::function<SocketEvents(SocketId)> acceptor) {
+    acceptors_[port] = std::move(acceptor);
+  }
+  void remove_acceptor(std::uint16_t port) { acceptors_.erase(port); }
+
+  Entry* find(SocketId id) {
+    auto it = table_.find(id);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] SocketId id_of(proto::TcpConnection* conn) const {
+    auto it = by_conn_.find(conn);
+    return it == by_conn_.end() ? kInvalidSocket : it->second;
+  }
+
+  // Remove the socket-table entry (the TcpConnection is released by the
+  // organization).
+  void detach(SocketId id) {
+    auto it = table_.find(id);
+    if (it == table_.end()) return;
+    by_conn_.erase(it->second.conn);
+    table_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  // ---- TcpObserver ----
+  void on_established(proto::TcpConnection& c) override {
+    if (Entry* e = entry_of(c); e != nullptr && e->events.on_established) {
+      notify_(e->events.on_established);
+    }
+  }
+
+  void on_accept(proto::TcpConnection& c) override {
+    // A listener's child completed its handshake: mint a socket for it.
+    auto it = acceptors_.find(c.local_port());
+    if (it == acceptors_.end()) {
+      c.abort();
+      return;
+    }
+    const SocketId id = next_id_++;
+    auto& e = table_[id];
+    e.conn = &c;
+    by_conn_[&c] = id;
+    e.events = it->second(id);
+    c.set_observer(this);
+  }
+
+  void on_data_ready(proto::TcpConnection& c) override {
+    Entry* e = entry_of(c);
+    if (e == nullptr || e->readable_pending || !e->events.on_readable) return;
+    e->readable_pending = true;
+    proto::TcpConnection* conn = &c;
+    notify_([this, conn] {
+      if (SocketId id = id_of(conn); id != kInvalidSocket) {
+        Entry* entry = find(id);
+        entry->readable_pending = false;
+        entry->events.on_readable(conn->bytes_available());
+      }
+    });
+  }
+
+  void on_send_space(proto::TcpConnection& c) override {
+    Entry* e = entry_of(c);
+    if (e == nullptr || e->writable_pending || !e->events.on_writable) return;
+    e->writable_pending = true;
+    proto::TcpConnection* conn = &c;
+    notify_([this, conn] {
+      if (SocketId id = id_of(conn); id != kInvalidSocket) {
+        Entry* entry = find(id);
+        entry->writable_pending = false;
+        entry->events.on_writable();
+      }
+    });
+  }
+
+  void on_peer_fin(proto::TcpConnection& c) override {
+    if (Entry* e = entry_of(c); e != nullptr && e->events.on_eof) {
+      notify_(e->events.on_eof);
+    }
+  }
+
+  void on_closed(proto::TcpConnection& c, const std::string& reason) override {
+    Entry* e = entry_of(c);
+    if (e == nullptr || e->closed) return;
+    e->closed = true;
+    if (e->events.on_closed) {
+      notify_([cb = e->events.on_closed, reason] { cb(reason); });
+    }
+  }
+
+ private:
+  Entry* entry_of(proto::TcpConnection& c) {
+    auto it = by_conn_.find(&c);
+    return it == by_conn_.end() ? nullptr : &table_[it->second];
+  }
+
+  Notify notify_;
+  std::unordered_map<SocketId, Entry> table_;
+  std::unordered_map<proto::TcpConnection*, SocketId> by_conn_;
+  std::unordered_map<std::uint16_t, std::function<SocketEvents(SocketId)>>
+      acceptors_;
+  SocketId next_id_ = 1;
+};
+
+}  // namespace ulnet::api

@@ -1,0 +1,103 @@
+#include "api/testbed.h"
+
+namespace ulnet::api {
+
+const char* to_string(OrgType t) {
+  switch (t) {
+    case OrgType::kInKernel: return "Ultrix (in-kernel)";
+    case OrgType::kSingleServer: return "Mach 3.0/UX (single server)";
+    case OrgType::kDedicated: return "Dedicated servers";
+    case OrgType::kUserLevel: return "User-level library";
+  }
+  return "?";
+}
+
+const char* to_string(LinkType t) {
+  switch (t) {
+    case LinkType::kEthernet: return "Ethernet";
+    case LinkType::kAn1: return "DEC SRC AN1";
+  }
+  return "?";
+}
+
+Testbed::Testbed(OrgType org, LinkType link, std::uint64_t seed,
+                 const sim::CostModel& cost)
+    : org_(org), link_type_(link) {
+  world_ = std::make_unique<os::World>(seed, cost);
+  host_a_ = &world_->add_host("hostA");
+  host_b_ = &world_->add_host("hostB");
+
+  if (link == LinkType::kEthernet) {
+    link_ = &world_->add_ethernet();
+    ip_a_ = net::Ipv4Addr::parse("10.0.0.1");
+    ip_b_ = net::Ipv4Addr::parse("10.0.0.2");
+    world_->attach_lance(*host_a_, *link_, ip_a_);
+    world_->attach_lance(*host_b_, *link_, ip_b_);
+  } else {
+    link_ = &world_->add_an1();
+    ip_a_ = net::Ipv4Addr::parse("10.1.0.1");
+    ip_b_ = net::Ipv4Addr::parse("10.1.0.2");
+    world_->attach_an1(*host_a_, *link_, ip_a_);
+    world_->attach_an1(*host_b_, *link_, ip_b_);
+  }
+
+  switch (org) {
+    case OrgType::kInKernel:
+      ik_a_ = std::make_unique<baseline::InKernelOrg>(*world_, *host_a_);
+      ik_b_ = std::make_unique<baseline::InKernelOrg>(*world_, *host_b_);
+      app_a_ = &ik_a_->add_app("appA");
+      app_b_ = &ik_b_->add_app("appB");
+      break;
+    case OrgType::kSingleServer:
+    case OrgType::kDedicated: {
+      baseline::SingleServerOrg::Config cfg;
+      cfg.dedicated_device_server = (org == OrgType::kDedicated);
+      ss_a_ = std::make_unique<baseline::SingleServerOrg>(*world_, *host_a_,
+                                                          cfg);
+      ss_b_ = std::make_unique<baseline::SingleServerOrg>(*world_, *host_b_,
+                                                          cfg);
+      app_a_ = &ss_a_->add_app("appA");
+      app_b_ = &ss_b_->add_app("appB");
+      break;
+    }
+    case OrgType::kUserLevel:
+      ul_a_ = std::make_unique<core::UserLevelOrg>(*world_, *host_a_);
+      ul_b_ = std::make_unique<core::UserLevelOrg>(*world_, *host_b_);
+      app_a_ = &ul_a_->add_app("appA");
+      app_b_ = &ul_b_->add_app("appB");
+      break;
+  }
+}
+
+core::UserLevelApp* Testbed::user_app_a() {
+  return org_ == OrgType::kUserLevel
+             ? static_cast<core::UserLevelApp*>(app_a_)
+             : nullptr;
+}
+core::UserLevelApp* Testbed::user_app_b() {
+  return org_ == OrgType::kUserLevel
+             ? static_cast<core::UserLevelApp*>(app_b_)
+             : nullptr;
+}
+
+NetSystem& Testbed::add_app_a(const std::string& name) {
+  switch (org_) {
+    case OrgType::kInKernel: return ik_a_->add_app(name);
+    case OrgType::kSingleServer:
+    case OrgType::kDedicated: return ss_a_->add_app(name);
+    case OrgType::kUserLevel: return ul_a_->add_app(name);
+  }
+  throw std::logic_error("bad org");
+}
+
+NetSystem& Testbed::add_app_b(const std::string& name) {
+  switch (org_) {
+    case OrgType::kInKernel: return ik_b_->add_app(name);
+    case OrgType::kSingleServer:
+    case OrgType::kDedicated: return ss_b_->add_app(name);
+    case OrgType::kUserLevel: return ul_b_->add_app(name);
+  }
+  throw std::logic_error("bad org");
+}
+
+}  // namespace ulnet::api

@@ -1,0 +1,73 @@
+// Testbed: the paper's experimental setup in a box -- two workstations on a
+// shared link (10 Mb/s Ethernet or 100 Mb/s AN1), one protocol organization
+// installed on both, one application on each host.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/net_system.h"
+#include "baseline/inkernel.h"
+#include "baseline/single_server.h"
+#include "core/user_level.h"
+#include "os/world.h"
+
+namespace ulnet::api {
+
+enum class OrgType {
+  kInKernel,      // Ultrix 4.2A
+  kSingleServer,  // Mach 3.0 + UX, mapped device
+  kDedicated,     // dedicated protocol + device servers (Fig. 1 rare case)
+  kUserLevel,     // the paper's user-level library organization
+};
+
+enum class LinkType { kEthernet, kAn1 };
+
+[[nodiscard]] const char* to_string(OrgType t);
+[[nodiscard]] const char* to_string(LinkType t);
+
+class Testbed {
+ public:
+  Testbed(OrgType org, LinkType link, std::uint64_t seed = 1,
+          const sim::CostModel& cost = sim::CostModel{});
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  os::World& world() { return *world_; }
+  os::Host& host_a() { return *host_a_; }
+  os::Host& host_b() { return *host_b_; }
+  net::Link& link() { return *link_; }
+  NetSystem& app_a() { return *app_a_; }
+  NetSystem& app_b() { return *app_b_; }
+  [[nodiscard]] net::Ipv4Addr ip_a() const { return ip_a_; }
+  [[nodiscard]] net::Ipv4Addr ip_b() const { return ip_b_; }
+  [[nodiscard]] OrgType org() const { return org_; }
+  [[nodiscard]] LinkType link_type() const { return link_type_; }
+
+  // Organization-specific access (nullptr when the org does not match).
+  core::UserLevelOrg* user_org_a() { return ul_a_.get(); }
+  core::UserLevelOrg* user_org_b() { return ul_b_.get(); }
+  core::UserLevelApp* user_app_a();
+  core::UserLevelApp* user_app_b();
+
+  // Add a second application on a host (multi-app scenarios).
+  NetSystem& add_app_a(const std::string& name);
+  NetSystem& add_app_b(const std::string& name);
+
+ private:
+  OrgType org_;
+  LinkType link_type_;
+  std::unique_ptr<os::World> world_;
+  os::Host* host_a_ = nullptr;
+  os::Host* host_b_ = nullptr;
+  net::Link* link_ = nullptr;
+  net::Ipv4Addr ip_a_, ip_b_;
+
+  std::unique_ptr<baseline::InKernelOrg> ik_a_, ik_b_;
+  std::unique_ptr<baseline::SingleServerOrg> ss_a_, ss_b_;
+  std::unique_ptr<core::UserLevelOrg> ul_a_, ul_b_;
+  NetSystem* app_a_ = nullptr;
+  NetSystem* app_b_ = nullptr;
+};
+
+}  // namespace ulnet::api

@@ -1,0 +1,287 @@
+#include "api/workloads.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ulnet::api {
+
+buf::Bytes payload_bytes(std::size_t offset, std::size_t n) {
+  buf::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = payload_byte(offset + i);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BulkTransfer
+// ---------------------------------------------------------------------------
+
+BulkTransfer::BulkTransfer(Testbed& bed, std::size_t total_bytes,
+                           std::size_t write_size, std::uint16_t port,
+                           bool verify_data, std::size_t warmup_bytes)
+    : bed_(bed),
+      total_(total_bytes),
+      write_size_(write_size),
+      port_(port),
+      verify_(verify_data),
+      warmup_(total_bytes > 2 * warmup_bytes ? warmup_bytes : 0) {}
+
+void BulkTransfer::start() {
+  NetSystem& server = bed_.app_b();
+  NetSystem& client = bed_.app_a();
+  auto& loop = bed_.world().loop();
+
+  server.run_app([this, &server](sim::TaskCtx&) {
+    server.listen(port_, [this, &server](SocketId id) {
+      server_sock_ = id;
+      SocketEvents evs;
+      evs.on_readable = [this, &server](std::size_t) {
+        auto data = server.recv(server_sock_,
+                                std::numeric_limits<std::size_t>::max());
+        if (data.empty()) return;
+        const sim::Time now = bed_.world().now();
+        if (result_.first_byte == 0 &&
+            result_.bytes_received + data.size() > warmup_) {
+          result_.first_byte = now;  // steady-state window starts here
+        }
+        if (verify_) {
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            if (data[i] != payload_byte(verified_at_ + i)) {
+              result_.data_valid = false;
+              break;
+            }
+          }
+        }
+        verified_at_ += data.size();
+        result_.bytes_received += data.size();
+        if (result_.first_byte != 0) {
+          result_.measured_bytes = result_.bytes_received - warmup_;
+          result_.last_byte = now;
+        }
+      };
+      evs.on_eof = [this, &server] { server.close(server_sock_); };
+      evs.on_closed = [this](const std::string&) {
+        if (result_.bytes_received >= total_) result_.ok = true;
+        finished_ = true;
+      };
+      return evs;
+    });
+  });
+
+  // Give the listener time to register (the registry/server paths involve
+  // IPC) before the active open.
+  loop.schedule_in(50 * sim::kMs, [this, &client] {
+    client.run_app([this, &client](sim::TaskCtx&) {
+      SocketEvents evs;
+      evs.on_established = [this, &client] {
+        client.run_app([this](sim::TaskCtx& ctx) { client_pump(ctx); });
+      };
+      evs.on_writable = [this, &client] {
+        client.run_app([this](sim::TaskCtx& ctx) { client_pump(ctx); });
+      };
+      evs.on_closed = [this](const std::string& reason) {
+        if (!reason.empty()) {
+          result_.error = reason;
+          finished_ = true;
+        }
+      };
+      client.connect(bed_.ip_b(), port_, std::move(evs),
+                     [this](SocketId id) { client_sock_ = id; });
+    });
+  });
+}
+
+void BulkTransfer::client_pump(sim::TaskCtx&) {
+  // One write per task: blocking-write semantics, as the era's measurement
+  // programs had. Whether writes coalesce into MSS segments then *emerges*
+  // from the relative speeds of the application, the stack, and the wire.
+  NetSystem& client = bed_.app_a();
+  if (sent_ < total_) {
+    const std::size_t n = std::min(write_size_, total_ - sent_);
+    const std::size_t took =
+        client.send(client_sock_, payload_bytes(sent_, n));
+    sent_ += took;
+    if (took < n) return;  // buffer full: resume on on_writable
+    client.run_app([this](sim::TaskCtx& ctx) { client_pump(ctx); });
+    return;
+  }
+  if (!close_issued_) {
+    close_issued_ = true;
+    client.close(client_sock_);
+  }
+}
+
+BulkTransfer::Result BulkTransfer::run(sim::Time deadline) {
+  start();
+  auto& world = bed_.world();
+  while (!finished_ && world.now() < deadline) {
+    world.run_for(sim::kSec);
+  }
+  if (!finished_) result_.error = "deadline exceeded";
+  return result_;
+}
+
+// ---------------------------------------------------------------------------
+// PingPong
+// ---------------------------------------------------------------------------
+
+PingPong::PingPong(Testbed& bed, std::size_t size, int rounds,
+                   std::uint16_t port)
+    : bed_(bed), size_(size), rounds_(rounds), port_(port) {}
+
+void PingPong::start() {
+  NetSystem& server = bed_.app_b();
+  NetSystem& client = bed_.app_a();
+  auto& loop = bed_.world().loop();
+
+  server.run_app([this, &server](sim::TaskCtx&) {
+    server.listen(port_, [this, &server](SocketId id) {
+      server_sock_ = id;
+      SocketEvents evs;
+      evs.on_readable = [this, &server](std::size_t) {
+        auto data = server.recv(server_sock_,
+                                std::numeric_limits<std::size_t>::max());
+        server_rcvd_ += data.size();
+        server_to_send_ += data.size();  // echo the same amount back
+        server.run_app([this](sim::TaskCtx& ctx) { server_pump_send(ctx); });
+      };
+      evs.on_writable = [this, &server] {
+        server.run_app([this](sim::TaskCtx& ctx) { server_pump_send(ctx); });
+      };
+      evs.on_eof = [this, &server] { server.close(server_sock_); };
+      return evs;
+    });
+  });
+
+  loop.schedule_in(50 * sim::kMs, [this, &client] {
+    client.run_app([this, &client](sim::TaskCtx&) {
+      SocketEvents evs;
+      evs.on_established = [this, &client] {
+        client.run_app([this](sim::TaskCtx& ctx) { begin_round(ctx); });
+      };
+      evs.on_writable = [this, &client] {
+        client.run_app([this](sim::TaskCtx& ctx) { client_pump_send(ctx); });
+      };
+      evs.on_readable = [this, &client](std::size_t) {
+        auto data = client.recv(client_sock_,
+                                std::numeric_limits<std::size_t>::max());
+        client_rcvd_ += data.size();
+        if (client_rcvd_ >= size_) {
+          rtts_us_.add(sim::to_us(bed_.world().now() - round_start_));
+          done_rounds_++;
+          client_rcvd_ = 0;
+          if (done_rounds_ >= rounds_) {
+            finished_ = true;
+            client.run_app([this, &client](sim::TaskCtx&) {
+              client.close(client_sock_);
+            });
+          } else {
+            client.run_app([this](sim::TaskCtx& ctx) { begin_round(ctx); });
+          }
+        }
+      };
+      client.connect(bed_.ip_b(), port_, std::move(evs),
+                     [this](SocketId id) { client_sock_ = id; });
+    });
+  });
+}
+
+void PingPong::begin_round(sim::TaskCtx& ctx) {
+  round_start_ = bed_.world().now();
+  client_sent_ = 0;
+  client_pump_send(ctx);
+}
+
+void PingPong::client_pump_send(sim::TaskCtx&) {
+  NetSystem& client = bed_.app_a();
+  while (client_sent_ < size_) {
+    const std::size_t n = size_ - client_sent_;
+    const std::size_t took =
+        client.send(client_sock_, payload_bytes(client_sent_, n));
+    client_sent_ += took;
+    if (took < n) return;
+  }
+}
+
+void PingPong::server_pump_send(sim::TaskCtx&) {
+  NetSystem& server = bed_.app_b();
+  while (server_sent_ < server_to_send_) {
+    const std::size_t n = server_to_send_ - server_sent_;
+    const std::size_t took =
+        server.send(server_sock_, payload_bytes(server_sent_, n));
+    server_sent_ += took;
+    if (took < n) return;
+  }
+}
+
+double PingPong::run_mean_rtt_us(sim::Time deadline) {
+  start();
+  auto& world = bed_.world();
+  while (!finished_ && world.now() < deadline) {
+    world.run_for(sim::kSec);
+  }
+  return rtts_us_.empty() ? -1.0 : rtts_us_.mean();
+}
+
+// ---------------------------------------------------------------------------
+// SetupProbe
+// ---------------------------------------------------------------------------
+
+SetupProbe::SetupProbe(Testbed& bed, int rounds, std::uint16_t port)
+    : bed_(bed), rounds_(rounds), port_(port) {}
+
+void SetupProbe::start() {
+  NetSystem& server = bed_.app_b();
+  NetSystem& client = bed_.app_a();
+  auto& loop = bed_.world().loop();
+
+  server.run_app([this, &server](sim::TaskCtx&) {
+    server.listen(port_, [this, &server](SocketId id) {
+      SocketEvents evs;
+      evs.on_eof = [this, &server, id] { server.close(id); };
+      evs.on_closed = [&server, id](const std::string&) {
+        server.run_app(
+            [&server, id](sim::TaskCtx&) { server.release(id); });
+      };
+      return evs;
+    });
+  });
+
+  loop.schedule_in(50 * sim::kMs, [this, &client] {
+    client.run_app([this](sim::TaskCtx& ctx) { next_round(ctx); });
+  });
+}
+
+void SetupProbe::next_round(sim::TaskCtx&) {
+  NetSystem& client = bed_.app_a();
+  round_start_ = bed_.world().now();
+  auto sock = std::make_shared<SocketId>(kInvalidSocket);
+  SocketEvents evs;
+  evs.on_established = [this, &client, sock] {
+    setup_us_.add(sim::to_us(bed_.world().now() - round_start_));
+    done_rounds_++;
+    client.run_app([&client, sock](sim::TaskCtx&) { client.close(*sock); });
+  };
+  evs.on_closed = [this, &client, sock](const std::string& reason) {
+    client.run_app([this, &client, sock, reason](sim::TaskCtx& ctx) {
+      client.release(*sock);
+      if (!reason.empty() || done_rounds_ >= rounds_) {
+        finished_ = true;
+      } else {
+        next_round(ctx);
+      }
+    });
+  };
+  client.connect(bed_.ip_b(), port_, std::move(evs),
+                 [sock](SocketId id) { *sock = id; });
+}
+
+double SetupProbe::run_mean_setup_us(sim::Time deadline) {
+  start();
+  auto& world = bed_.world();
+  while (!finished_ && world.now() < deadline) {
+    world.run_for(sim::kSec);
+  }
+  return setup_us_.empty() ? -1.0 : setup_us_.mean();
+}
+
+}  // namespace ulnet::api

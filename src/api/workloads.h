@@ -1,0 +1,144 @@
+// Application workloads, written once against NetSystem and reused by the
+// integration tests, the benchmark harness and the examples. These are the
+// measurement programs of the paper's Section 4:
+//   * BulkTransfer  -- one-way stream, the Table 1/2 throughput metric,
+//   * PingPong      -- request/response of equal sizes, Table 3 latency,
+//   * SetupProbe    -- repeated connect/teardown, Table 4 setup cost.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/net_system.h"
+#include "api/testbed.h"
+#include "sim/stats.h"
+
+namespace ulnet::api {
+
+inline std::uint8_t payload_byte(std::size_t i) {
+  return static_cast<std::uint8_t>((i * 13 + 7) % 256);
+}
+buf::Bytes payload_bytes(std::size_t offset, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// BulkTransfer: client streams `total_bytes` in `write_size` user packets
+// to a sink server, then closes. Throughput is measured at the receiver
+// over the data phase (first byte to last byte), connection setup excluded.
+// ---------------------------------------------------------------------------
+class BulkTransfer {
+ public:
+  struct Result {
+    bool ok = false;
+    bool data_valid = true;
+    std::size_t bytes_received = 0;
+    std::size_t measured_bytes = 0;  // bytes past the warmup window
+    sim::Time first_byte = 0;        // first measured (post-warmup) byte
+    sim::Time last_byte = 0;
+    std::string error;
+
+    // Steady-state throughput over the post-warmup portion of the stream
+    // (slow start and the initial delayed-ACK stall excluded, as in the
+    // paper's long-running measurements).
+    [[nodiscard]] double throughput_mbps() const {
+      if (last_byte <= first_byte || measured_bytes == 0) return 0;
+      return static_cast<double>(measured_bytes) * 8.0 /
+             sim::to_sec(last_byte - first_byte) / 1e6;
+    }
+  };
+
+  BulkTransfer(Testbed& bed, std::size_t total_bytes, std::size_t write_size,
+               std::uint16_t port = 5001, bool verify_data = false,
+               std::size_t warmup_bytes = 64 * 1024);
+
+  // Install the server and kick off the client. Run the world afterwards.
+  void start();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const Result& result() const { return result_; }
+
+  // Convenience: start, run until completion (with a generous deadline),
+  // return the result.
+  Result run(sim::Time deadline = 600 * sim::kSec);
+
+ private:
+  void client_pump(sim::TaskCtx&);
+
+  Testbed& bed_;
+  std::size_t total_;
+  std::size_t write_size_;
+  std::uint16_t port_;
+  bool verify_;
+  std::size_t warmup_;
+  SocketId client_sock_ = kInvalidSocket;
+  SocketId server_sock_ = kInvalidSocket;
+  std::size_t sent_ = 0;
+  std::size_t verified_at_ = 0;
+  bool close_issued_ = false;
+  bool finished_ = false;
+  Result result_;
+};
+
+// ---------------------------------------------------------------------------
+// PingPong: client sends `size` bytes; server echoes the same amount; one
+// round trip = client-send to client-complete-receive. Repeats `rounds`
+// times on one connection; per-round RTTs land in stats().
+// ---------------------------------------------------------------------------
+class PingPong {
+ public:
+  PingPong(Testbed& bed, std::size_t size, int rounds,
+           std::uint16_t port = 5002);
+
+  void start();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const sim::Stats& stats() const { return rtts_us_; }
+
+  // Start, run, return mean RTT in microseconds.
+  double run_mean_rtt_us(sim::Time deadline = 600 * sim::kSec);
+
+ private:
+  void begin_round(sim::TaskCtx&);
+  void client_pump_send(sim::TaskCtx&);
+  void server_pump_send(sim::TaskCtx&);
+
+  Testbed& bed_;
+  std::size_t size_;
+  int rounds_;
+  std::uint16_t port_;
+  SocketId client_sock_ = kInvalidSocket;
+  SocketId server_sock_ = kInvalidSocket;
+  int done_rounds_ = 0;
+  sim::Time round_start_ = 0;
+  std::size_t client_sent_ = 0, client_rcvd_ = 0;
+  std::size_t server_rcvd_ = 0, server_sent_ = 0, server_to_send_ = 0;
+  bool finished_ = false;
+  sim::Stats rtts_us_;
+};
+
+// ---------------------------------------------------------------------------
+// SetupProbe: measures connection-establishment time (active open issued ->
+// on_established at the client), with a listener already waiting, exactly
+// as the paper assumes. Connections are closed and released between rounds.
+// ---------------------------------------------------------------------------
+class SetupProbe {
+ public:
+  SetupProbe(Testbed& bed, int rounds, std::uint16_t port = 5003);
+
+  void start();
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const sim::Stats& stats() const { return setup_us_; }
+
+  double run_mean_setup_us(sim::Time deadline = 600 * sim::kSec);
+
+ private:
+  void next_round(sim::TaskCtx&);
+
+  Testbed& bed_;
+  int rounds_;
+  std::uint16_t port_;
+  int done_rounds_ = 0;
+  sim::Time round_start_ = 0;
+  bool finished_ = false;
+  sim::Stats setup_us_;
+};
+
+}  // namespace ulnet::api

@@ -1,0 +1,140 @@
+#include "baseline/inkernel.h"
+
+namespace ulnet::baseline {
+
+InKernelOrg::InKernelOrg(os::World& world, os::Host& host)
+    : world_(world),
+      host_(host),
+      env_(host, world.rng(), sim::kKernelSpace) {
+  env_.set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
+                           buf::Bytes payload, const proto::TxFlow*) {
+    // Kernel output path: frame and hand to the driver within the current
+    // task (syscall or ISR context). Ultrix uses only BQI 0 on AN1.
+    hw::Nic* nic = env_.nic(ifc);
+    net::Frame f = core::frame_for(*nic, dst, et, payload,
+                                   hw::An1Nic::kKernelBqi);
+    nic->transmit(host_.cpu().current(), std::move(f));
+  });
+  stack_ = std::make_unique<proto::NetworkStack>(env_);
+  wire_receive_paths();
+}
+
+void InKernelOrg::wire_receive_paths() {
+  for (std::size_t i = 0; i < host_.interfaces().size(); ++i) {
+    hw::Nic* nic = host_.interfaces()[i].nic;
+    const int ifc = static_cast<int>(i);
+    const bool an1 = core::is_an1(*nic);
+    nic->set_rx_handler([this, ifc, an1](sim::TaskCtx&, const net::Frame& f,
+                                         std::uint16_t) {
+      // ISR context: strip the link header and run the protocol input path
+      // to completion in the kernel (Ultrix splnet processing).
+      if (an1) {
+        auto h = net::An1Header::parse(f.bytes);
+        if (!h) return;
+        stack_->link_input(ifc, h->ethertype,
+                           buf::ByteView(f.bytes.data() + net::An1Header::kSize,
+                                         f.bytes.size() - net::An1Header::kSize));
+      } else {
+        auto h = net::EthHeader::parse(f.bytes);
+        if (!h) return;
+        stack_->link_input(ifc, h->ethertype,
+                           buf::ByteView(f.bytes.data() + net::EthHeader::kSize,
+                                         f.bytes.size() - net::EthHeader::kSize));
+      }
+    });
+  }
+}
+
+api::NetSystem& InKernelOrg::add_app(const std::string& name) {
+  apps_.push_back(std::make_unique<InKernelApp>(*this, name));
+  return *apps_.back();
+}
+
+// ---------------------------------------------------------------------------
+// InKernelApp
+// ---------------------------------------------------------------------------
+
+InKernelApp::InKernelApp(InKernelOrg& org, const std::string& name)
+    : org_(org),
+      name_(name),
+      space_(org.host_.new_space(name)),
+      bridge_([this](std::function<void()> fn) {
+        // Kernel-side upcall -> wake the blocked application thread.
+        cpu().charge(cpu().cost().kernel_wakeup);
+        cpu().submit(space_, sim::Prio::kNormal,
+                     [fn = std::move(fn)](sim::TaskCtx&) { fn(); });
+      }) {}
+
+bool InKernelApp::listen(
+    std::uint16_t port,
+    std::function<api::SocketEvents(api::SocketId)> acceptor) {
+  kernel().trap(cpu().current());
+  cpu().charge(cpu().cost().kernel_setup_endpoint);
+  bridge_.set_acceptor(port, std::move(acceptor));
+  return org_.stack_->tcp().listen(port, &bridge_, tcp_config_);
+}
+
+void InKernelApp::connect(net::Ipv4Addr dst, std::uint16_t port,
+                          api::SocketEvents evs,
+                          std::function<void(api::SocketId)> done) {
+  kernel().trap(cpu().current());
+  cpu().charge(cpu().cost().kernel_setup_endpoint);
+  proto::TcpConnection* conn =
+      org_.stack_->tcp().connect(dst, port, &bridge_, tcp_config_);
+  if (conn == nullptr) {
+    if (evs.on_closed) evs.on_closed("no route to host");
+    done(api::kInvalidSocket);
+    return;
+  }
+  const api::SocketId id = bridge_.attach(conn, std::move(evs));
+  done(id);
+}
+
+std::size_t InKernelApp::send(api::SocketId s, buf::ByteView data) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr || e->closed) return 0;
+  kernel().trap(cpu().current());
+  const std::size_t n = std::min(data.size(), e->conn->send_space());
+  if (n > 0) kernel().copy_bytes(cpu().current(), n);  // copyin
+  return e->conn->send(data.subspan(0, n));
+}
+
+buf::Bytes InKernelApp::recv(api::SocketId s, std::size_t max) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return {};
+  kernel().trap(cpu().current());
+  buf::Bytes out = e->conn->read(max);
+  if (!out.empty()) kernel().copy_bytes(cpu().current(), out.size());
+  return out;
+}
+
+std::size_t InKernelApp::send_space(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  return e == nullptr ? 0 : e->conn->send_space();
+}
+
+std::size_t InKernelApp::bytes_available(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  return e == nullptr ? 0 : e->conn->bytes_available();
+}
+
+void InKernelApp::close(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return;
+  kernel().trap(cpu().current());
+  e->conn->close();
+}
+
+void InKernelApp::release(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return;
+  proto::TcpConnection* conn = e->conn;
+  bridge_.detach(s);
+  org_.stack_->tcp().release(conn);
+}
+
+void InKernelApp::run_app(std::function<void(sim::TaskCtx&)> fn) {
+  cpu().submit(space_, sim::Prio::kNormal, std::move(fn));
+}
+
+}  // namespace ulnet::baseline

@@ -1,0 +1,81 @@
+// Monolithic in-kernel protocol organization (the Ultrix 4.2A baseline).
+//
+// The whole stack lives in the kernel:
+//  * applications enter it with a generic trap per socket call,
+//  * user data crosses the user/kernel boundary with a copy (or a page
+//    remap at/above the copy-avoidance threshold),
+//  * input packets are processed to completion inside the device ISR and
+//    the blocked application is woken through the scheduler,
+//  * the AN1 driver uses only BQI 0 (protected kernel buffers), exactly as
+//    the paper's unmodified Ultrix driver did.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/net_system.h"
+#include "api/socket_bridge.h"
+#include "core/exec_env.h"
+#include "os/world.h"
+#include "proto/stack.h"
+
+namespace ulnet::baseline {
+
+class InKernelApp;
+
+// Per-host instance: one kernel-resident stack shared by all apps.
+class InKernelOrg {
+ public:
+  InKernelOrg(os::World& world, os::Host& host);
+  InKernelOrg(const InKernelOrg&) = delete;
+  InKernelOrg& operator=(const InKernelOrg&) = delete;
+
+  // Create an application (its own address space) using this kernel stack.
+  api::NetSystem& add_app(const std::string& name);
+
+  proto::NetworkStack& stack() { return *stack_; }
+  os::Host& host() { return host_; }
+
+ private:
+  friend class InKernelApp;
+
+  void wire_receive_paths();
+
+  os::World& world_;
+  os::Host& host_;
+  core::HostStackEnv env_;
+  std::unique_ptr<proto::NetworkStack> stack_;
+  std::vector<std::unique_ptr<InKernelApp>> apps_;
+};
+
+class InKernelApp : public api::NetSystem {
+ public:
+  InKernelApp(InKernelOrg& org, const std::string& name);
+
+  bool listen(std::uint16_t port,
+              std::function<api::SocketEvents(api::SocketId)> acceptor)
+      override;
+  void connect(net::Ipv4Addr dst, std::uint16_t port, api::SocketEvents evs,
+               std::function<void(api::SocketId)> done) override;
+  std::size_t send(api::SocketId s, buf::ByteView data) override;
+  buf::Bytes recv(api::SocketId s, std::size_t max) override;
+  std::size_t send_space(api::SocketId s) override;
+  std::size_t bytes_available(api::SocketId s) override;
+  void close(api::SocketId s) override;
+  void release(api::SocketId s) override;
+  void run_app(std::function<void(sim::TaskCtx&)> fn) override;
+  [[nodiscard]] sim::SpaceId app_space() const override { return space_; }
+  [[nodiscard]] const std::string& app_name() const override { return name_; }
+
+ private:
+  os::Kernel& kernel() { return org_.host_.kernel(); }
+  sim::Cpu& cpu() { return org_.host_.cpu(); }
+
+  InKernelOrg& org_;
+  std::string name_;
+  sim::SpaceId space_;
+  api::SocketBridge bridge_;
+};
+
+}  // namespace ulnet::baseline

@@ -1,0 +1,442 @@
+#include "baseline/single_server.h"
+
+#include <algorithm>
+
+namespace ulnet::baseline {
+
+SingleServerOrg::SingleServerOrg(os::World& world, os::Host& host, Config cfg)
+    : world_(world),
+      host_(host),
+      cfg_(cfg),
+      server_space_(host.new_space("ux-server")),
+      env_(host, world.rng(), server_space_) {
+  if (cfg_.dedicated_device_server) {
+    device_space_ = host.new_space("netdev-server");
+  }
+
+  env_.set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
+                           buf::Bytes payload, const proto::TxFlow*) {
+    hw::Nic* nic = env_.nic(ifc);
+    net::Frame f = core::frame_for(*nic, dst, et, payload,
+                                   hw::An1Nic::kKernelBqi);
+    if (cfg_.dedicated_device_server) {
+      // Dedicated device server: one more IPC + domain crossing per packet.
+      host_.kernel().ipc_send(
+          host_.cpu().current(), device_space_, f.size(),
+          [this, nic, fr = std::move(f)](sim::TaskCtx& ctx) mutable {
+            nic->transmit(ctx, std::move(fr));
+          });
+      return;
+    }
+    switch (cfg_.device_access) {
+      case DeviceAccess::kMapped:
+        // The server programs the NIC from its own space.
+        nic->transmit(host_.cpu().current(), std::move(f));
+        break;
+      case DeviceAccess::kMessage: {
+        // In-kernel driver behind a message interface: a full IPC carries
+        // the packet into the kernel (the slowest UX variant, paper [10]).
+        host_.kernel().ipc_send(
+            host_.cpu().current(), sim::kKernelSpace, f.size(),
+            [nic, fr = std::move(f)](sim::TaskCtx& kctx) mutable {
+              nic->transmit(kctx, std::move(fr));
+            });
+        break;
+      }
+      case DeviceAccess::kSharedMem: {
+        // Shared-memory hand-off to the in-kernel driver [19]: no data
+        // copy, but a trap + kernel task to kick the driver.
+        auto& cpu = host_.cpu();
+        host_.kernel().trap(cpu.current());
+        cpu.charge(cpu.cost().semaphore_signal);
+        host_.loop().schedule_at(
+            cpu.current().now(), [this, nic, fr = std::move(f)]() mutable {
+              host_.cpu().submit(
+                  sim::kKernelSpace, sim::Prio::kNormal,
+                  [nic, fr = std::move(fr)](sim::TaskCtx& kctx) mutable {
+                    nic->transmit(kctx, std::move(fr));
+                  });
+            });
+        break;
+      }
+    }
+  });
+  stack_ = std::make_unique<proto::NetworkStack>(env_);
+  wire_receive_paths();
+}
+
+void SingleServerOrg::wire_receive_paths() {
+  for (std::size_t i = 0; i < host_.interfaces().size(); ++i) {
+    hw::Nic* nic = host_.interfaces()[i].nic;
+    const int ifc = static_cast<int>(i);
+    const bool an1 = core::is_an1(*nic);
+    nic->set_rx_handler([this, ifc, an1](sim::TaskCtx& ctx,
+                                         const net::Frame& f, std::uint16_t) {
+      if (!cfg_.dedicated_device_server) {
+        if (cfg_.device_access == DeviceAccess::kMessage) {
+          // In-kernel driver with a message interface: the packet crosses
+          // to the server inside an IPC message (copied).
+          host_.kernel().ipc_send(ctx, server_space_, f.size(),
+                                  [this, ifc, f, an1](sim::TaskCtx&) {
+                                    deliver_frame(ifc, f, an1);
+                                  });
+          return;
+        }
+        // Mapped / shared-memory variants: the ISR wakes the protocol
+        // server; input processing continues in the server's space.
+        host_.cpu().charge(host_.cpu().cost().kernel_wakeup);
+        if (cfg_.device_access == DeviceAccess::kSharedMem) {
+          host_.cpu().charge(host_.cpu().cost().semaphore_signal);
+        }
+        host_.cpu().submit(server_space_, sim::Prio::kNormal,
+                           [this, ifc, f, an1](sim::TaskCtx&) {
+                             deliver_frame(ifc, f, an1);
+                           });
+      } else {
+        // ISR wakes the device server, which forwards the packet to the
+        // protocol server by IPC.
+        host_.cpu().charge(host_.cpu().cost().kernel_wakeup);
+        host_.cpu().submit(
+            device_space_, sim::Prio::kNormal,
+            [this, ifc, f, an1](sim::TaskCtx& dctx) {
+              host_.kernel().ipc_send(dctx, server_space_, f.size(),
+                                      [this, ifc, f, an1](sim::TaskCtx&) {
+                                        deliver_frame(ifc, f, an1);
+                                      });
+            });
+      }
+      (void)ctx;
+    });
+  }
+}
+
+void SingleServerOrg::deliver_frame(int ifc, const net::Frame& f, bool an1) {
+  if (an1) {
+    auto h = net::An1Header::parse(f.bytes);
+    if (!h) return;
+    stack_->link_input(ifc, h->ethertype,
+                       buf::ByteView(f.bytes.data() + net::An1Header::kSize,
+                                     f.bytes.size() - net::An1Header::kSize));
+  } else {
+    auto h = net::EthHeader::parse(f.bytes);
+    if (!h) return;
+    stack_->link_input(ifc, h->ethertype,
+                       buf::ByteView(f.bytes.data() + net::EthHeader::kSize,
+                                     f.bytes.size() - net::EthHeader::kSize));
+  }
+}
+
+api::NetSystem& SingleServerOrg::add_app(const std::string& name) {
+  apps_.push_back(std::make_unique<SingleServerApp>(*this, name));
+  return *apps_.back();
+}
+
+SingleServerOrg::ServerSocket* SingleServerOrg::by_conn(
+    proto::TcpConnection* c) {
+  auto it = sockets_.find(c);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+SingleServerOrg::ServerSocket* SingleServerOrg::by_app_id(
+    SingleServerApp* app, api::SocketId id) {
+  for (auto& [conn, s] : sockets_) {
+    if (s.app == app && s.app_id == id) return &s;
+  }
+  return nullptr;
+}
+
+void SingleServerOrg::ipc_to_app(SingleServerApp* app, std::size_t bytes,
+                                 std::function<void()> fn) {
+  host_.kernel().ipc_send(host_.cpu().current(), app->space_, bytes,
+                          [fn = std::move(fn)](sim::TaskCtx&) { fn(); });
+}
+
+// ---- server-side operations ----
+
+void SingleServerOrg::srv_connect(SingleServerApp* app, api::SocketId id,
+                                  net::Ipv4Addr dst, std::uint16_t port,
+                                  const proto::TcpConfig& cfg) {
+  host_.cpu().charge(host_.cpu().cost().ux_server_op);
+  proto::TcpConnection* conn = stack_->tcp().connect(dst, port, this, cfg);
+  if (conn == nullptr) {
+    ipc_to_app(app, 0, [app, id] {
+      if (auto* st = app->stub(id); st != nullptr && st->events.on_closed) {
+        st->closed = true;
+        st->events.on_closed("no route to host");
+      }
+    });
+    return;
+  }
+  auto& s = sockets_[conn];
+  s.conn = conn;
+  s.app = app;
+  s.app_id = id;
+}
+
+void SingleServerOrg::srv_listen(SingleServerApp* app, std::uint16_t port,
+                                 const proto::TcpConfig& cfg) {
+  listeners_[port] = app;
+  stack_->tcp().listen(port, this, cfg);
+}
+
+void SingleServerOrg::srv_send(SingleServerApp* app, api::SocketId id,
+                               std::size_t len) {
+  (void)len;
+  ServerSocket* s = by_app_id(app, id);
+  if (s == nullptr) return;
+  pump(*s);
+}
+
+void SingleServerOrg::pump(ServerSocket& s) {
+  host_.cpu().charge(host_.cpu().cost().ux_server_op);
+  // Feed staged user writes into the TCP send buffer, preserving write
+  // boundaries; return credit for what was accepted.
+  std::size_t credited = 0;
+  while (!s.staging.empty()) {
+    const std::size_t space = s.conn->send_space();
+    if (space == 0) break;
+    const std::size_t n = std::min(space, s.staging.size());
+    buf::Bytes chunk(s.staging.begin(),
+                     s.staging.begin() + static_cast<long>(n));
+    const std::size_t took = s.conn->send(chunk);
+    s.staging.erase(s.staging.begin(),
+                    s.staging.begin() + static_cast<long>(took));
+    credited += took;
+    if (took < n) break;
+  }
+  if (s.close_pending && s.staging.empty()) {
+    s.close_pending = false;
+    s.conn->close();
+  }
+  if (credited > 0) {
+    SingleServerApp* app = s.app;
+    const api::SocketId id = s.app_id;
+    ipc_to_app(app, 0, [app, id, credited] {
+      if (auto* st = app->stub(id); st != nullptr) {
+        st->send_credit += credited;
+        if (st->events.on_writable) st->events.on_writable();
+      }
+    });
+  }
+}
+
+void SingleServerOrg::srv_close(api::SocketId id, SingleServerApp* app) {
+  ServerSocket* s = by_app_id(app, id);
+  if (s == nullptr) return;
+  if (s->staging.empty()) {
+    s->conn->close();
+  } else {
+    // Graceful close: the FIN must follow the staged data.
+    s->close_pending = true;
+  }
+}
+
+void SingleServerOrg::srv_release(api::SocketId id, SingleServerApp* app) {
+  if (ServerSocket* s = by_app_id(app, id); s != nullptr) {
+    proto::TcpConnection* conn = s->conn;
+    sockets_.erase(conn);
+    stack_->tcp().release(conn);
+  }
+}
+
+// ---- TcpObserver (server space) ----
+
+void SingleServerOrg::on_established(proto::TcpConnection& c) {
+  ServerSocket* s = by_conn(&c);
+  if (s == nullptr || s->established_sent) return;
+  host_.cpu().charge(host_.cpu().cost().ux_server_op);
+  s->established_sent = true;
+  SingleServerApp* app = s->app;
+  const api::SocketId id = s->app_id;
+  ipc_to_app(app, 0, [app, id] {
+    if (auto* st = app->stub(id); st != nullptr && st->events.on_established) {
+      st->events.on_established();
+    }
+  });
+}
+
+void SingleServerOrg::on_accept(proto::TcpConnection& c) {
+  auto lit = listeners_.find(c.local_port());
+  if (lit == listeners_.end()) {
+    c.abort();
+    return;
+  }
+  SingleServerApp* app = lit->second;
+  host_.cpu().charge(host_.cpu().cost().ux_server_op);
+  // Mint the application-side id now (a simulation bookkeeping shortcut;
+  // the costs of telling the app are paid by the IPC below).
+  const api::SocketId id = app->next_id_++;
+  auto& s = sockets_[&c];
+  s.conn = &c;
+  s.app = app;
+  s.app_id = id;
+  pending_accept_ports_[id] = c.local_port();
+  ipc_to_app(app, 0, [app, id] { app->finish_accept(id); });
+}
+
+std::uint16_t SingleServerOrg::take_pending_accept_port(api::SocketId id) {
+  auto it = pending_accept_ports_.find(id);
+  if (it == pending_accept_ports_.end()) return 0;
+  const std::uint16_t port = it->second;
+  pending_accept_ports_.erase(it);
+  return port;
+}
+
+void SingleServerOrg::on_data_ready(proto::TcpConnection& c) {
+  ServerSocket* s = by_conn(&c);
+  if (s == nullptr) return;
+  host_.cpu().charge(host_.cpu().cost().ux_server_op);
+  // Drain the TCP buffer and push the data to the application in one IPC.
+  buf::Bytes data = c.read(std::numeric_limits<std::size_t>::max());
+  if (data.empty()) return;
+  SingleServerApp* app = s->app;
+  const api::SocketId id = s->app_id;
+  ipc_to_app(app, data.size(), [app, id, data = std::move(data)] {
+    if (auto* st = app->stub(id); st != nullptr) {
+      st->recv_queue.insert(st->recv_queue.end(), data.begin(), data.end());
+      if (st->events.on_readable) st->events.on_readable(st->recv_queue.size());
+    }
+  });
+}
+
+void SingleServerOrg::on_send_space(proto::TcpConnection& c) {
+  if (ServerSocket* s = by_conn(&c); s != nullptr) pump(*s);
+}
+
+void SingleServerOrg::on_peer_fin(proto::TcpConnection& c) {
+  ServerSocket* s = by_conn(&c);
+  if (s == nullptr) return;
+  SingleServerApp* app = s->app;
+  const api::SocketId id = s->app_id;
+  ipc_to_app(app, 0, [app, id] {
+    if (auto* st = app->stub(id); st != nullptr && st->events.on_eof) {
+      st->events.on_eof();
+    }
+  });
+}
+
+void SingleServerOrg::on_closed(proto::TcpConnection& c,
+                                const std::string& reason) {
+  ServerSocket* s = by_conn(&c);
+  if (s == nullptr) return;
+  SingleServerApp* app = s->app;
+  const api::SocketId id = s->app_id;
+  ipc_to_app(app, 0, [app, id, reason] {
+    if (auto* st = app->stub(id); st != nullptr && !st->closed) {
+      st->closed = true;
+      if (st->events.on_closed) st->events.on_closed(reason);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// SingleServerApp
+// ---------------------------------------------------------------------------
+
+SingleServerApp::SingleServerApp(SingleServerOrg& org, const std::string& name)
+    : org_(org), name_(name), space_(org.host().new_space(name)) {}
+
+api::SocketId SingleServerApp::new_stub(api::SocketEvents evs) {
+  const api::SocketId id = next_id_++;
+  auto& st = stubs_[id];
+  st.events = std::move(evs);
+  st.send_credit = proto::TcpConfig{}.send_buf;
+  return id;
+}
+
+void SingleServerApp::finish_accept(api::SocketId id) {
+  const std::uint16_t port = org_.take_pending_accept_port(id);
+  auto it = acceptors_.find(port);
+  api::SocketEvents evs;
+  if (it != acceptors_.end()) evs = it->second(id);
+  auto& st = stubs_[id];
+  st.events = std::move(evs);
+  st.send_credit = proto::TcpConfig{}.send_buf;
+  if (next_id_ <= id) next_id_ = id + 1;
+  if (st.events.on_established) st.events.on_established();
+}
+
+bool SingleServerApp::listen(
+    std::uint16_t port,
+    std::function<api::SocketEvents(api::SocketId)> acceptor) {
+  acceptors_[port] = std::move(acceptor);
+  org_.host().kernel().ipc_send(
+      org_.host().cpu().current(), org_.server_space(), 32,
+      [this, port, cfg = tcp_config_](sim::TaskCtx&) {
+        org_.srv_listen(this, port, cfg);
+      });
+  return true;
+}
+
+void SingleServerApp::connect(net::Ipv4Addr dst, std::uint16_t port,
+                              api::SocketEvents evs,
+                              std::function<void(api::SocketId)> done) {
+  const api::SocketId id = new_stub(std::move(evs));
+  org_.host().kernel().ipc_send(
+      org_.host().cpu().current(), org_.server_space(), 32,
+      [this, id, dst, port, cfg = tcp_config_](sim::TaskCtx&) {
+        org_.srv_connect(this, id, dst, port, cfg);
+      });
+  done(id);
+}
+
+std::size_t SingleServerApp::send(api::SocketId s, buf::ByteView data) {
+  Stub* st = stub(s);
+  if (st == nullptr || st->closed) return 0;
+  const std::size_t n = std::min(data.size(), st->send_credit);
+  if (n == 0) return 0;
+  st->send_credit -= n;
+  buf::Bytes copy(data.begin(), data.begin() + static_cast<long>(n));
+  org_.host().kernel().ipc_send(
+      org_.host().cpu().current(), org_.server_space(), n,
+      [this, s, copy = std::move(copy)](sim::TaskCtx&) {
+        if (SingleServerOrg::ServerSocket* sock = org_.by_app_id(this, s);
+            sock != nullptr) {
+          sock->staging.insert(sock->staging.end(), copy.begin(), copy.end());
+          org_.pump(*sock);
+        }
+      });
+  return n;
+}
+
+buf::Bytes SingleServerApp::recv(api::SocketId s, std::size_t max) {
+  Stub* st = stub(s);
+  if (st == nullptr) return {};
+  // Data already lives in the application's address space (pushed by the
+  // server); this is a local library operation.
+  const std::size_t n = std::min(max, st->recv_queue.size());
+  buf::Bytes out(st->recv_queue.begin(),
+                 st->recv_queue.begin() + static_cast<long>(n));
+  st->recv_queue.erase(st->recv_queue.begin(),
+                       st->recv_queue.begin() + static_cast<long>(n));
+  return out;
+}
+
+std::size_t SingleServerApp::send_space(api::SocketId s) {
+  Stub* st = stub(s);
+  return st == nullptr ? 0 : st->send_credit;
+}
+
+std::size_t SingleServerApp::bytes_available(api::SocketId s) {
+  Stub* st = stub(s);
+  return st == nullptr ? 0 : st->recv_queue.size();
+}
+
+void SingleServerApp::close(api::SocketId s) {
+  org_.host().kernel().ipc_send(
+      org_.host().cpu().current(), org_.server_space(), 16,
+      [this, s](sim::TaskCtx&) { org_.srv_close(s, this); });
+}
+
+void SingleServerApp::release(api::SocketId s) {
+  stubs_.erase(s);
+  org_.host().kernel().ipc_send(
+      org_.host().cpu().current(), org_.server_space(), 16,
+      [this, s](sim::TaskCtx&) { org_.srv_release(s, this); });
+}
+
+void SingleServerApp::run_app(std::function<void(sim::TaskCtx&)> fn) {
+  org_.host().cpu().submit(space_, sim::Prio::kNormal, std::move(fn));
+}
+
+}  // namespace ulnet::baseline

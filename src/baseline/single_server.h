@@ -1,0 +1,169 @@
+// Single-server protocol organization (the Mach 3.0 + UX baseline), and --
+// with `dedicated_device_server` -- the dedicated-servers "rare case" of the
+// paper's Figure 1.
+//
+// The whole stack runs in one trusted user-level server:
+//  * every application socket call is a Mach IPC to the server (message
+//    copy + two context switches per round trip),
+//  * received data is pushed back to the application in IPC messages,
+//  * in the mapped-device variant the server drives the NIC directly from
+//    its own space (the faster of the UX configurations, per the paper);
+//    in the dedicated-server variant every packet additionally crosses into
+//    a separate network-device server, adding one more IPC + domain
+//    crossing in each direction -- the structural reason that organization
+//    "could incur excessive domain-switching overheads".
+//
+// Application-side flow control uses a credit scheme that models sosend()
+// blocking: the app stub holds send credit, returned by the server as data
+// drains into the TCP send buffer.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/net_system.h"
+#include "core/exec_env.h"
+#include "os/world.h"
+#include "proto/stack.h"
+
+namespace ulnet::baseline {
+
+class SingleServerApp;
+
+class SingleServerOrg : public proto::TcpObserver {
+ public:
+  // How the server reaches the network device (the paper's Section 1.2
+  // lists exactly these three variants of the Mach/UX organization).
+  enum class DeviceAccess {
+    kMapped,     // devices mapped into the server: direct access (fastest)
+    kMessage,    // in-kernel driver, message-based interface (per-packet IPC)
+    kSharedMem,  // in-kernel driver, data via shared memory + signal [19]
+  };
+
+  struct Config {
+    bool dedicated_device_server;
+    DeviceAccess device_access;
+    // Explicit constructor: NSDMIs cannot feed a same-class default
+    // argument (GCC #88165).
+    Config()
+        : dedicated_device_server(false),
+          device_access(DeviceAccess::kMapped) {}
+  };
+
+  SingleServerOrg(os::World& world, os::Host& host, Config cfg = Config());
+  SingleServerOrg(const SingleServerOrg&) = delete;
+  SingleServerOrg& operator=(const SingleServerOrg&) = delete;
+
+  api::NetSystem& add_app(const std::string& name);
+
+  proto::NetworkStack& stack() { return *stack_; }
+  os::Host& host() { return host_; }
+  [[nodiscard]] sim::SpaceId server_space() const { return server_space_; }
+
+ private:
+  friend class SingleServerApp;
+
+  struct ServerSocket {
+    proto::TcpConnection* conn = nullptr;
+    SingleServerApp* app = nullptr;
+    api::SocketId app_id = api::kInvalidSocket;
+    std::deque<std::uint8_t> staging;  // app data waiting for TCP buffer
+    bool established_sent = false;
+    bool close_pending = false;  // app closed; FIN goes out once staging drains
+  };
+
+  void wire_receive_paths();
+  void deliver_frame(int ifc, const net::Frame& f, bool an1);
+
+  // Server-side socket operations (run in server space).
+  void srv_connect(SingleServerApp* app, api::SocketId id, net::Ipv4Addr dst,
+                   std::uint16_t port, const proto::TcpConfig& cfg);
+  void srv_listen(SingleServerApp* app, std::uint16_t port,
+                  const proto::TcpConfig& cfg);
+  void srv_send(SingleServerApp* app, api::SocketId id, std::size_t len);
+  void srv_close(api::SocketId id, SingleServerApp* app);
+  void srv_release(api::SocketId id, SingleServerApp* app);
+  void pump(ServerSocket& s);
+
+  // Send an IPC message from the current server task to the app.
+  void ipc_to_app(SingleServerApp* app, std::size_t bytes,
+                  std::function<void()> fn);
+
+  ServerSocket* by_conn(proto::TcpConnection* c);
+  ServerSocket* by_app_id(SingleServerApp* app, api::SocketId id);
+  std::uint16_t take_pending_accept_port(api::SocketId id);
+
+  // ---- TcpObserver (runs in server space) ----
+  void on_established(proto::TcpConnection& c) override;
+  void on_accept(proto::TcpConnection& c) override;
+  void on_data_ready(proto::TcpConnection& c) override;
+  void on_send_space(proto::TcpConnection& c) override;
+  void on_peer_fin(proto::TcpConnection& c) override;
+  void on_closed(proto::TcpConnection& c, const std::string& reason) override;
+
+  os::World& world_;
+  os::Host& host_;
+  Config cfg_;
+  sim::SpaceId server_space_;
+  sim::SpaceId device_space_ = -1;  // dedicated variant only
+  core::HostStackEnv env_;
+  std::unique_ptr<proto::NetworkStack> stack_;
+  std::unordered_map<proto::TcpConnection*, ServerSocket> sockets_;
+  std::unordered_map<std::uint16_t, SingleServerApp*> listeners_;
+  std::unordered_map<api::SocketId, std::uint16_t> pending_accept_ports_;
+  std::vector<std::unique_ptr<SingleServerApp>> apps_;
+};
+
+class SingleServerApp : public api::NetSystem {
+ public:
+  SingleServerApp(SingleServerOrg& org, const std::string& name);
+
+  bool listen(std::uint16_t port,
+              std::function<api::SocketEvents(api::SocketId)> acceptor)
+      override;
+  void connect(net::Ipv4Addr dst, std::uint16_t port, api::SocketEvents evs,
+               std::function<void(api::SocketId)> done) override;
+  std::size_t send(api::SocketId s, buf::ByteView data) override;
+  buf::Bytes recv(api::SocketId s, std::size_t max) override;
+  std::size_t send_space(api::SocketId s) override;
+  std::size_t bytes_available(api::SocketId s) override;
+  void close(api::SocketId s) override;
+  void release(api::SocketId s) override;
+  void run_app(std::function<void(sim::TaskCtx&)> fn) override;
+  [[nodiscard]] sim::SpaceId app_space() const override { return space_; }
+  [[nodiscard]] const std::string& app_name() const override { return name_; }
+
+ private:
+  friend class SingleServerOrg;
+
+  struct Stub {
+    api::SocketEvents events;
+    std::deque<std::uint8_t> recv_queue;
+    std::size_t send_credit = 0;
+    bool eof_pending = false;
+    bool closed = false;
+  };
+
+  Stub* stub(api::SocketId id) {
+    auto it = stubs_.find(id);
+    return it == stubs_.end() ? nullptr : &it->second;
+  }
+  api::SocketId new_stub(api::SocketEvents evs);
+  // Complete a server-initiated accept: build the stub via the registered
+  // acceptor and deliver on_established.
+  void finish_accept(api::SocketId id);
+
+  SingleServerOrg& org_;
+  std::string name_;
+  sim::SpaceId space_;
+  std::unordered_map<api::SocketId, Stub> stubs_;
+  std::unordered_map<std::uint16_t, std::function<api::SocketEvents(api::SocketId)>>
+      acceptors_;
+  api::SocketId next_id_ = 1;
+};
+
+}  // namespace ulnet::baseline

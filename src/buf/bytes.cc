@@ -1,0 +1,19 @@
+#include "buf/bytes.h"
+
+#include <cstdio>
+
+namespace ulnet::buf {
+
+std::string hex_dump(ByteView b) {
+  std::string out;
+  out.reserve(b.size() * 3 + b.size() / 16 + 1);
+  char tmp[4];
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    std::snprintf(tmp, sizeof tmp, "%02x", b[i]);
+    out += tmp;
+    out += ((i + 1) % 16 == 0) ? '\n' : ' ';
+  }
+  return out;
+}
+
+}  // namespace ulnet::buf

@@ -1,0 +1,84 @@
+// Byte-buffer utilities: network-order (big-endian) readers and writers over
+// contiguous storage. All wire formats in ulnet are serialized through these
+// helpers, so header layouts are real byte layouts that the packet-filter
+// VMs can inspect at fixed offsets, exactly as BSD's filters did.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ulnet::buf {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+inline void check_bounds(std::size_t off, std::size_t need, std::size_t size,
+                         const char* what) {
+  if (off + need > size) {
+    throw std::out_of_range(std::string(what) + ": offset " +
+                            std::to_string(off) + "+" + std::to_string(need) +
+                            " > size " + std::to_string(size));
+  }
+}
+
+[[nodiscard]] inline std::uint8_t rd8(ByteView b, std::size_t off) {
+  check_bounds(off, 1, b.size(), "rd8");
+  return b[off];
+}
+
+[[nodiscard]] inline std::uint16_t rd16(ByteView b, std::size_t off) {
+  check_bounds(off, 2, b.size(), "rd16");
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+[[nodiscard]] inline std::uint32_t rd32(ByteView b, std::size_t off) {
+  check_bounds(off, 4, b.size(), "rd32");
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+inline void wr8(Bytes& b, std::size_t off, std::uint8_t v) {
+  check_bounds(off, 1, b.size(), "wr8");
+  b[off] = v;
+}
+
+inline void wr16(Bytes& b, std::size_t off, std::uint16_t v) {
+  check_bounds(off, 2, b.size(), "wr16");
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+inline void wr32(Bytes& b, std::size_t off, std::uint32_t v) {
+  check_bounds(off, 4, b.size(), "wr32");
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+// Append helpers for serializers that build headers front to back.
+inline void put8(Bytes& b, std::uint8_t v) { b.push_back(v); }
+inline void put16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+inline void put32(Bytes& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+inline void put_bytes(Bytes& b, ByteView src) {
+  b.insert(b.end(), src.begin(), src.end());
+}
+
+// Hex dump for diagnostics ("0a 1b ..." with 16 bytes per line).
+[[nodiscard]] std::string hex_dump(ByteView b);
+
+}  // namespace ulnet::buf

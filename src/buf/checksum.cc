@@ -1,0 +1,44 @@
+#include "buf/checksum.h"
+
+namespace ulnet::buf {
+
+void ChecksumAccumulator::add(ByteView data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Complete the pending high byte with this range's first byte.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add16(std::uint16_t v) {
+  // add16 assumes 16-bit alignment in the virtual concatenation.
+  sum_ += v;
+}
+
+std::uint16_t ChecksumAccumulator::fold() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(ByteView data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.fold();
+}
+
+bool checksum_ok(ByteView data) {
+  // Including the transmitted checksum, the folded sum is 0.
+  return internet_checksum(data) == 0;
+}
+
+}  // namespace ulnet::buf

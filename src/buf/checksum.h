@@ -1,0 +1,35 @@
+// RFC 1071 Internet checksum: 16-bit one's-complement sum of 16-bit words.
+// Used by the IP header, and by TCP/UDP over a pseudo-header. The same
+// function the paper's stack runs; its per-byte cost is charged from the
+// CostModel, while this computes the actual value so corruption tests can
+// observe real checksum failures.
+#pragma once
+
+#include <cstdint>
+
+#include "buf/bytes.h"
+
+namespace ulnet::buf {
+
+// Running one's-complement accumulator; fold() produces the 16-bit sum.
+class ChecksumAccumulator {
+ public:
+  // Add a byte range. `odd_offset` handling: ranges are treated as
+  // concatenated, so a range with odd length shifts subsequent ranges --
+  // callers must add ranges in wire order.
+  void add(ByteView data);
+  void add16(std::uint16_t v);
+  [[nodiscard]] std::uint16_t fold() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd byte is pending from a prior range
+};
+
+// One-shot checksum of a contiguous range (header checksums).
+[[nodiscard]] std::uint16_t internet_checksum(ByteView data);
+
+// Verify: the sum over data *including* its checksum field must fold to 0.
+[[nodiscard]] bool checksum_ok(ByteView data);
+
+}  // namespace ulnet::buf

@@ -1,0 +1,29 @@
+#include "core/exec_env.h"
+
+namespace ulnet::core {
+
+bool is_an1(const hw::Nic& nic) {
+  return dynamic_cast<const hw::An1Nic*>(&nic) != nullptr;
+}
+
+net::Frame frame_for(const hw::Nic& nic, net::MacAddr dst,
+                     std::uint16_t ethertype, buf::ByteView payload,
+                     std::uint16_t bqi, std::uint16_t bqi_advert) {
+  net::Frame f;
+  if (is_an1(nic)) {
+    net::An1Header h;
+    h.dst = dst;
+    h.src = nic.mac();
+    h.bqi = bqi;
+    h.bqi_advert = bqi_advert;
+    h.ethertype = ethertype;
+    h.serialize(f.bytes);
+  } else {
+    net::EthHeader h{dst, nic.mac(), ethertype};
+    h.serialize(f.bytes);
+  }
+  buf::put_bytes(f.bytes, payload);
+  return f;
+}
+
+}  // namespace ulnet::core

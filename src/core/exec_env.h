@@ -1,0 +1,109 @@
+// HostStackEnv: a StackEnv bound to a simulated Host.
+//
+// Each protocol organization instantiates one of these per protocol-stack
+// instance and customizes two things:
+//   * `exec_space` -- the address space protocol code executes in (kernel
+//     for Ultrix, the UX server's space for Mach/UX, the application's own
+//     space for the user-level library), which drives context-switch and
+//     queueing behaviour on the host CPU, and
+//   * `transmit_fn` -- how a framed payload reaches the wire (direct driver
+//     call, mapped device, per-packet IPC, or the network I/O module's
+//     checked channel).
+//
+// Timers fire as normal-priority CPU tasks in `exec_space`, so timer-driven
+// protocol work (retransmissions, delayed ACKs) contends for the CPU exactly
+// like the rest of the stack.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "os/host.h"
+#include "proto/env.h"
+#include "timer/wheel.h"
+
+namespace ulnet::core {
+
+class HostStackEnv : public proto::StackEnv {
+ public:
+  using TransmitFn =
+      std::function<void(int ifc, net::MacAddr dst, std::uint16_t ethertype,
+                         buf::Bytes payload, const proto::TxFlow* flow)>;
+
+  HostStackEnv(os::Host& host, sim::Rng& rng, sim::SpaceId exec_space)
+      : host_(host),
+        rng_(rng),
+        exec_space_(exec_space),
+        wheel_(10 * sim::kMs),
+        driver_(host.loop(), wheel_) {}
+
+  void set_transmit(TransmitFn fn) { transmit_fn_ = std::move(fn); }
+  os::Host& host() { return host_; }
+  [[nodiscard]] sim::SpaceId exec_space() const { return exec_space_; }
+
+  // ---- StackEnv ----
+  [[nodiscard]] sim::Time now() const override { return host_.loop().now(); }
+  void charge(sim::Time ns) override { host_.cpu().charge(ns); }
+  [[nodiscard]] const sim::CostModel& cost() const override {
+    return host_.cpu().cost();
+  }
+  std::uint32_t random32() override { return rng_.next_u32(); }
+
+  timer::TimerId schedule(sim::Time delay,
+                          std::function<void()> cb) override {
+    host_.cpu().metrics().timer_ops++;
+    return driver_.schedule(delay, [this, cb = std::move(cb)] {
+      host_.cpu().submit(exec_space_, sim::Prio::kNormal,
+                         [cb](sim::TaskCtx&) { cb(); });
+    });
+  }
+  void cancel_timer(timer::TimerId id) override {
+    host_.cpu().metrics().timer_ops++;
+    driver_.cancel(id);
+  }
+
+  [[nodiscard]] int interface_count() const override {
+    return static_cast<int>(host_.interfaces().size());
+  }
+  [[nodiscard]] net::MacAddr ifc_mac(int ifc) const override {
+    return nic(ifc)->mac();
+  }
+  [[nodiscard]] net::Ipv4Addr ifc_ip(int ifc) const override {
+    return host_.interfaces()[static_cast<std::size_t>(ifc)].ip;
+  }
+  [[nodiscard]] int ifc_prefix_len(int ifc) const override {
+    return host_.interfaces()[static_cast<std::size_t>(ifc)].prefix_len;
+  }
+  [[nodiscard]] std::size_t ifc_mtu(int ifc) const override {
+    return nic(ifc)->driver_mtu();
+  }
+
+  void transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
+                buf::Bytes payload, const proto::TxFlow* flow) override {
+    if (transmit_fn_) transmit_fn_(ifc, dst, ethertype, std::move(payload), flow);
+  }
+
+  [[nodiscard]] hw::Nic* nic(int ifc) const {
+    return host_.interfaces()[static_cast<std::size_t>(ifc)].nic;
+  }
+
+ private:
+  os::Host& host_;
+  sim::Rng& rng_;
+  sim::SpaceId exec_space_;
+  timer::TimingWheel wheel_;
+  timer::TimerWheelDriver driver_;
+  TransmitFn transmit_fn_;
+};
+
+// Frame a link payload for the given interface type. For AN1, `bqi` selects
+// the destination ring (0 = kernel) and `bqi_advert` optionally advertises a
+// return-path index (connection setup only).
+net::Frame frame_for(const hw::Nic& nic, net::MacAddr dst,
+                     std::uint16_t ethertype, buf::ByteView payload,
+                     std::uint16_t bqi = 0, std::uint16_t bqi_advert = 0);
+
+// True if the NIC is an AN1 interface (BQI-capable).
+bool is_an1(const hw::Nic& nic);
+
+}  // namespace ulnet::core

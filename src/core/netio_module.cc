@@ -1,0 +1,382 @@
+#include "core/netio_module.h"
+
+#include <algorithm>
+
+#include "core/exec_env.h"
+
+namespace ulnet::core {
+
+namespace {
+// Flow of an *outgoing* IP payload (no link header): source fields are
+// local, destination fields remote.
+std::optional<filter::FlowKey> outgoing_flow(buf::ByteView ip_payload) {
+  if (ip_payload.size() < 24) return std::nullopt;
+  filter::FlowKey k;
+  k.ethertype = net::kEtherTypeIp;
+  k.ip_proto = ip_payload[9];
+  k.local_ip = buf::rd32(ip_payload, 12);   // IP source = our address
+  k.remote_ip = buf::rd32(ip_payload, 16);  // IP destination = peer
+  k.local_port = buf::rd16(ip_payload, 20);
+  k.remote_port = buf::rd16(ip_payload, 22);
+  return k;
+}
+}  // namespace
+
+NetIoModule::NetIoModule(os::Host& host, hw::Nic& nic, int ifc_index)
+    : host_(host), nic_(nic), ifc_(ifc_index), an1_(is_an1(nic)) {
+  nic_.set_rx_handler([this](sim::TaskCtx& ctx, const net::Frame& f,
+                             std::uint16_t bqi) { rx(ctx, f, bqi); });
+}
+
+std::size_t NetIoModule::link_header_size() const {
+  return an1_ ? net::An1Header::kSize : net::EthHeader::kSize;
+}
+
+std::uint16_t NetIoModule::prealloc_rx_bqi(int capacity) {
+  if (!an1_) return 0;
+  auto& an1nic = static_cast<hw::An1Nic&>(nic_);
+  const std::uint16_t bqi = an1nic.alloc_bqi(capacity);
+  an1nic.post_buffers(bqi, capacity);
+  return bqi;
+}
+
+ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
+                                      const ChannelSetup& setup) {
+  const ChannelId id = next_id_++;
+  Channel& ch = channels_[id];
+  ch.id = id;
+  ch.app_space = setup.app_space;
+  ch.flow = setup.flow;
+  ch.peer_mac = setup.peer_mac;
+  ch.raw = setup.raw;
+  ch.raw_ethertype = setup.raw_ethertype;
+  ch.ring_capacity = setup.ring_capacity;
+
+  os::Kernel& k = host_.kernel();
+  // Pinned packet-buffer region, mapped into the application.
+  ch.region = k.region_create(static_cast<std::size_t>(setup.ring_capacity) *
+                              2048);
+  k.region_map(ch.region, setup.app_space);
+  // Send capability.
+  ch.cap = k.port_allocate(sim::kKernelSpace);
+  k.port_insert_send_right(ch.cap, setup.app_space);
+  // Notification semaphore, woken in the application's space.
+  ch.sem = std::make_unique<os::Semaphore>(host_.cpu(), setup.app_space);
+
+  if (an1_) {
+    if (setup.preallocated_bqi != 0) {
+      ch.rx_bqi = setup.preallocated_bqi;
+    } else {
+      ch.rx_bqi = prealloc_rx_bqi(setup.ring_capacity);
+    }
+    if (ch.rx_bqi != 0) by_bqi_[ch.rx_bqi] = id;
+  } else if (!setup.raw) {
+    // Software demux programs (one per binding; the synthesized one is the
+    // production path, the VMs exist for the ablation).
+    const std::size_t lh = net::EthHeader::kSize;
+    ch.synth = std::make_unique<filter::SynthesizedMatcher>(setup.flow, lh);
+    ch.bpf = std::make_unique<filter::BpfVm>(
+        filter::build_bpf_flow_filter(setup.flow, lh, lh - 2));
+    ch.cspf = std::make_unique<filter::CspfVm>(
+        filter::build_cspf_flow_filter(setup.flow, lh, lh - 2));
+  }
+  (void)ctx;
+  return id;
+}
+
+void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  Channel& ch = it->second;
+  os::Kernel& k = host_.kernel();
+  k.region_unmap(ch.region, ch.app_space);
+  k.region_destroy(ch.region);
+  k.port_destroy(ch.cap);
+  if (an1_ && ch.rx_bqi != 0) {
+    static_cast<hw::An1Nic&>(nic_).free_bqi(ch.rx_bqi);
+    by_bqi_.erase(ch.rx_bqi);
+  }
+  channels_.erase(it);
+  (void)ctx;
+}
+
+void NetIoModule::set_tx_bqi(ChannelId id, std::uint16_t bqi) {
+  if (Channel* ch = find(id)) ch->tx_bqi = bqi;
+}
+
+bool NetIoModule::retarget_channel(sim::TaskCtx& ctx, ChannelId id,
+                                   sim::SpaceId new_space) {
+  Channel* ch = find(id);
+  if (ch == nullptr) return false;
+  os::Kernel& k = host_.kernel();
+  k.region_unmap(ch->region, ch->app_space);
+  k.region_map(ch->region, new_space);
+  k.port_remove_send_right(ch->cap, ch->app_space);
+  k.port_insert_send_right(ch->cap, new_space);
+  ch->app_space = new_space;
+  ch->sem = std::make_unique<os::Semaphore>(host_.cpu(), new_space);
+  ch->notify_pending = false;
+  (void)ctx;
+  return true;
+}
+
+NetIoModule::Channel* NetIoModule::find(ChannelId id) {
+  auto it = channels_.find(id);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+const NetIoModule::Channel* NetIoModule::find(ChannelId id) const {
+  auto it = channels_.find(id);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+os::PortId NetIoModule::channel_cap(ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch == nullptr ? os::kInvalidPort : ch->cap;
+}
+os::RegionId NetIoModule::channel_region(ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch == nullptr ? os::kInvalidRegion : ch->region;
+}
+std::uint16_t NetIoModule::channel_rx_bqi(ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch == nullptr ? 0 : ch->rx_bqi;
+}
+net::MacAddr NetIoModule::channel_peer_mac(ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch == nullptr ? net::MacAddr{} : ch->peer_mac;
+}
+
+// ---------------------------------------------------------------------------
+// Transmit path
+// ---------------------------------------------------------------------------
+
+bool NetIoModule::template_matches(const Channel& ch, std::uint16_t ethertype,
+                                   buf::ByteView payload) const {
+  if (ch.raw) return ethertype == ch.raw_ethertype;
+  if (ethertype != ch.flow.ethertype) return false;
+  auto flow = outgoing_flow(payload);
+  if (!flow) return false;
+  return flow->ip_proto == ch.flow.ip_proto &&
+         flow->local_ip == ch.flow.local_ip &&
+         (ch.flow.local_port == 0 ||
+          flow->local_port == ch.flow.local_port) &&
+         (ch.flow.remote_ip == 0 || flow->remote_ip == ch.flow.remote_ip) &&
+         (ch.flow.remote_port == 0 ||
+          flow->remote_port == ch.flow.remote_port);
+}
+
+bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
+                               os::PortId cap, sim::SpaceId caller_space,
+                               std::uint16_t ethertype, buf::Bytes payload,
+                               net::MacAddr dst_override) {
+  os::Kernel& k = host_.kernel();
+  // Specialized kernel entry point (much cheaper than a generic trap).
+  k.fast_trap(ctx);
+
+  Channel* ch = find(id);
+  sim::Metrics& m = host_.cpu().metrics();
+  m.template_checks++;
+  ctx.charge(host_.cpu().cost().template_match);
+  if (ch == nullptr || cap != ch->cap ||
+      !k.port_has_send_right(cap, caller_space) ||
+      caller_space != ch->app_space ||
+      !template_matches(*ch, ethertype, payload)) {
+    m.template_rejects++;
+    counters_.send_rejects++;
+    return false;
+  }
+
+  net::MacAddr dst = ch->peer_mac;
+  const bool has_override = dst_override != net::MacAddr{};
+  if (has_override) {
+    if (!ch->raw && ch->flow.remote_ip != 0) {
+      // Fully bound channel: the destination is part of the template.
+      m.template_rejects++;
+      counters_.send_rejects++;
+      return false;
+    }
+    dst = dst_override;
+  }
+  counters_.sends++;
+  net::Frame f = frame_for(nic_, dst, ethertype, payload, ch->tx_bqi);
+  nic_.transmit(ctx, std::move(f));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void NetIoModule::rx(sim::TaskCtx& ctx, const net::Frame& f,
+                     std::uint16_t bqi) {
+  const std::size_t lh = link_header_size();
+  if (f.bytes.size() < lh) return;
+  std::uint16_t ethertype = 0;
+  std::uint16_t advert = 0;
+  if (an1_) {
+    auto h = net::An1Header::parse(f.bytes);
+    if (!h) return;
+    ethertype = h->ethertype;
+    advert = h->bqi_advert;
+  } else {
+    auto h = net::EthHeader::parse(f.bytes);
+    if (!h) return;
+    ethertype = h->ethertype;
+  }
+  buf::Bytes payload(f.bytes.begin() + static_cast<long>(lh), f.bytes.end());
+
+  if (an1_) {
+    // Hardware demultiplexing already happened in the controller (the BQI
+    // selected the ring); its device-management cost was charged by the
+    // NIC model.
+    if (bqi != hw::An1Nic::kKernelBqi) {
+      if (auto it = by_bqi_.find(bqi); it != by_bqi_.end()) {
+        deliver(ctx, channels_[it->second], ethertype, std::move(payload));
+        return;
+      }
+    }
+    deliver_default(ctx, ethertype, std::move(payload), advert);
+    return;
+  }
+
+  // Ethernet: software demultiplexing in the kernel.
+  Channel* ch = classify_software(ctx, f);
+  if (ch != nullptr) {
+    deliver(ctx, *ch, ethertype, std::move(payload));
+  } else {
+    deliver_default(ctx, ethertype, std::move(payload), advert);
+  }
+}
+
+NetIoModule::Channel* NetIoModule::classify_software(sim::TaskCtx& ctx,
+                                                     const net::Frame& f) {
+  sim::Metrics& m = host_.cpu().metrics();
+  const auto& cost = host_.cpu().cost();
+  m.demux_software_runs++;
+
+  switch (demux_mode_) {
+    case DemuxMode::kSynthesized: {
+      // The production path: synthesized matcher plus binding-table lookup,
+      // costed as one fixed demux operation (Table 5's software line).
+      ctx.charge(cost.demux_software);
+      for (auto& [id, ch] : channels_) {
+        if (ch.raw) {
+          auto h = net::EthHeader::parse(f.bytes);
+          if (h && h->ethertype == ch.raw_ethertype) return &ch;
+          continue;
+        }
+        if (ch.synth && ch.synth->run(f.bytes).accept) return &ch;
+      }
+      return nullptr;
+    }
+    case DemuxMode::kBpf:
+    case DemuxMode::kCspf: {
+      // Interpreted filters: pay per executed VM instruction, per binding
+      // tried, as the original Packet Filter did.
+      for (auto& [id, ch] : channels_) {
+        if (ch.raw) {
+          auto h = net::EthHeader::parse(f.bytes);
+          if (h && h->ethertype == ch.raw_ethertype) return &ch;
+          continue;
+        }
+        filter::RunResult r;
+        sim::Time per_insn = 0;
+        if (demux_mode_ == DemuxMode::kBpf && ch.bpf) {
+          r = ch.bpf->run(f.bytes);
+          per_insn = cost.filter_bpf_per_insn;
+        } else if (ch.cspf) {
+          r = ch.cspf->run(f.bytes);
+          per_insn = cost.filter_interp_per_insn;
+        }
+        ctx.charge(r.instructions * per_insn);
+        if (r.accept) return &ch;
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
+                          std::uint16_t ethertype, buf::Bytes payload) {
+  if (static_cast<int>(ch.ring.size()) >= ch.ring_capacity) {
+    counters_.ring_drops++;
+    host_.cpu().metrics().demux_drops++;
+    return;
+  }
+  // The packet lands in the pinned shared region: no copy toward the
+  // application, only the ring bookkeeping and (maybe) a signal.
+  ch.ring.push_back(RxPacket{ethertype, std::move(payload)});
+  counters_.delivered++;
+  if (!ch.notify_pending || !batched_signals_) {
+    ch.notify_pending = true;
+    ch.sem->signal(ctx);
+  } else {
+    counters_.signals_suppressed++;  // batched under an outstanding signal
+  }
+}
+
+void NetIoModule::deliver_default(sim::TaskCtx& ctx, std::uint16_t ethertype,
+                                  buf::Bytes payload,
+                                  std::uint16_t bqi_advert) {
+  if (!default_handler_) {
+    counters_.unclaimed_drops++;
+    return;
+  }
+  counters_.default_deliveries++;
+  // The registry server does not use shared-memory channels; packets reach
+  // it through standard Mach IPC (paper Section 4, setup-cost item 1).
+  host_.kernel().ipc_send(
+      ctx, default_space_, payload.size(),
+      [this, ethertype, p = std::move(payload), bqi_advert](
+          sim::TaskCtx& rctx) mutable {
+        default_handler_(rctx, ethertype, std::move(p), bqi_advert);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Library-side ring operations
+// ---------------------------------------------------------------------------
+
+bool NetIoModule::redeliver(sim::TaskCtx& ctx, ChannelId id,
+                            std::uint16_t ethertype, buf::Bytes payload) {
+  Channel* ch = find(id);
+  if (ch == nullptr) return false;
+  deliver(ctx, *ch, ethertype, std::move(payload));
+  return true;
+}
+
+std::optional<NetIoModule::RxPacket> NetIoModule::channel_pop(ChannelId id) {
+  Channel* ch = find(id);
+  if (ch == nullptr || ch->ring.empty()) return std::nullopt;
+  RxPacket p = std::move(ch->ring.front());
+  ch->ring.pop_front();
+  return p;
+}
+
+bool NetIoModule::channel_rearm(ChannelId id) {
+  Channel* ch = find(id);
+  if (ch == nullptr) return false;
+  ch->notify_pending = false;
+  if (!ch->ring.empty()) {
+    ch->notify_pending = true;  // keep ownership; caller drains again
+    return true;
+  }
+  return false;
+}
+
+void NetIoModule::channel_wait(ChannelId id, os::Semaphore::WaitFn fn) {
+  Channel* ch = find(id);
+  if (ch == nullptr) return;
+  ch->sem->wait(std::move(fn));
+}
+
+void NetIoModule::channel_post_buffers(ChannelId id, int n) {
+  Channel* ch = find(id);
+  if (ch == nullptr) return;
+  if (an1_ && ch->rx_bqi != 0) {
+    static_cast<hw::An1Nic&>(nic_).post_buffers(ch->rx_bqi, n);
+  }
+}
+
+}  // namespace ulnet::core

@@ -1,0 +1,199 @@
+// The network I/O module (paper Section 3.3): kernel-resident code
+// co-located with the device driver that gives user-level protocol
+// libraries efficient *and protected* access to the network.
+//
+// Per-connection "channels" are created by the registry server. A channel
+// bundles:
+//   * a pinned shared-memory region (packets move between the library and
+//     the driver with no copy),
+//   * a send capability (a Mach port): transmissions must present it, and
+//     the module matches a header *template* against every outgoing packet
+//     so a library can neither impersonate another endpoint nor spray the
+//     network with forged headers,
+//   * an input demultiplexing binding: a synthesized matcher (default), or
+//     an interpreted CSPF / BPF program (for the Table 5 ablation) on
+//     Ethernet; the hardware BQI ring on AN1,
+//   * a lightweight semaphore, signalled with batching: a signal is only
+//     raised if the library has consumed the previous notification.
+//
+// Raw channels (ethertype-only) support the Table 1 micro-benchmark of the
+// mechanisms themselves, with no transport protocol on top.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/filter.h"
+#include "hw/nic.h"
+#include "os/host.h"
+#include "os/semaphore.h"
+
+namespace ulnet::core {
+
+using ChannelId = std::uint32_t;
+inline constexpr ChannelId kInvalidChannel = 0;
+
+class NetIoModule {
+ public:
+  enum class DemuxMode { kSynthesized, kBpf, kCspf };
+
+  NetIoModule(os::Host& host, hw::Nic& nic, int ifc_index);
+  NetIoModule(const NetIoModule&) = delete;
+  NetIoModule& operator=(const NetIoModule&) = delete;
+
+  // ------------------------------------------------------------------
+  // Privileged interface (registry server / kernel only)
+  // ------------------------------------------------------------------
+  struct ChannelSetup {
+    sim::SpaceId app_space = -1;
+    filter::FlowKey flow;     // inbound demux key (remote fields wildcard ok)
+    net::MacAddr peer_mac;    // fixed link-level destination
+    int ring_capacity = 192;  // > max window / min segment, with slack
+    bool raw = false;         // ethertype-only channel (Table 1)
+    std::uint16_t raw_ethertype = 0;
+    // AN1: ring pre-allocated (and advertised to the peer) during the
+    // handshake; 0 = allocate at channel creation.
+    std::uint16_t preallocated_bqi = 0;
+  };
+
+  // AN1 only: allocate and fill a receive ring before the channel exists,
+  // so its index can be advertised in the handshake's link headers.
+  std::uint16_t prealloc_rx_bqi(int capacity);
+
+  // Creates shared region + capability + demux binding (+ BQI ring on AN1).
+  // Runs in a privileged task; the caller charges the setup costs.
+  ChannelId create_channel(sim::TaskCtx& ctx, const ChannelSetup& setup);
+  void destroy_channel(sim::TaskCtx& ctx, ChannelId id);
+  // Outgoing BQI the peer advertised for this flow (AN1 data path).
+  void set_tx_bqi(ChannelId id, std::uint16_t bqi);
+  // Re-target an existing channel at a different application space
+  // (connection hand-off between applications, the paper's inetd pattern).
+  bool retarget_channel(sim::TaskCtx& ctx, ChannelId id,
+                        sim::SpaceId new_space);
+
+  void set_demux_mode(DemuxMode m) { demux_mode_ = m; }
+  // Ablation: signal the semaphore on every packet instead of batching
+  // under an outstanding notification (paper Section 3.3).
+  void set_batched_signals(bool on) { batched_signals_ = on; }
+
+  // Fallback for packets no channel claims: delivered to the registry
+  // server by IPC (it runs the handshake flows and generates RSTs).
+  using DefaultHandler =
+      std::function<void(sim::TaskCtx&, std::uint16_t ethertype,
+                         buf::Bytes payload, std::uint16_t bqi_advert)>;
+  void set_default_handler(sim::SpaceId space, DefaultHandler h) {
+    default_space_ = space;
+    default_handler_ = std::move(h);
+  }
+
+  // ------------------------------------------------------------------
+  // Library interface (called from application tasks)
+  // ------------------------------------------------------------------
+  struct RxPacket {
+    std::uint16_t ethertype = 0;
+    buf::Bytes payload;  // link header stripped
+  };
+
+  // Transmit through a channel. Enters the kernel via the specialized trap,
+  // validates the capability for the caller's space, matches the header
+  // template, then drives the NIC. Returns false (and counts a reject) on
+  // any violation.
+  // `dst_override` selects the link destination for channels whose
+  // template leaves the remote side wild (connectionless protocols); it is
+  // refused on fully-bound channels.
+  bool channel_send(sim::TaskCtx& ctx, ChannelId id, os::PortId cap,
+                    sim::SpaceId caller_space, std::uint16_t ethertype,
+                    buf::Bytes payload,
+                    net::MacAddr dst_override = net::MacAddr{});
+
+  // Drain one packet from the channel's shared ring (no copy, no trap).
+  std::optional<RxPacket> channel_pop(ChannelId id);
+  // Rearm notification after a drain; returns true if more packets slipped
+  // in (caller should drain again instead of sleeping).
+  bool channel_rearm(ChannelId id);
+  // Block the library's per-connection thread on the channel semaphore.
+  void channel_wait(ChannelId id, os::Semaphore::WaitFn fn);
+  // Return receive buffers (AN1: refills the hardware ring).
+  void channel_post_buffers(ChannelId id, int n);
+
+  // Late re-delivery: push a packet that was (mis)routed to the default
+  // path into a channel's ring (used by the registry for segments that
+  // raced a hand-off's binding installation).
+  bool redeliver(sim::TaskCtx& ctx, ChannelId id, std::uint16_t ethertype,
+                 buf::Bytes payload);
+
+  // Channel metadata.
+  [[nodiscard]] os::PortId channel_cap(ChannelId id) const;
+  [[nodiscard]] os::RegionId channel_region(ChannelId id) const;
+  [[nodiscard]] std::uint16_t channel_rx_bqi(ChannelId id) const;
+  [[nodiscard]] net::MacAddr channel_peer_mac(ChannelId id) const;
+
+  struct Counters {
+    std::uint64_t delivered = 0;
+    std::uint64_t ring_drops = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t send_rejects = 0;
+    std::uint64_t signals_suppressed = 0;  // batching wins
+    std::uint64_t default_deliveries = 0;
+    std::uint64_t unclaimed_drops = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  [[nodiscard]] hw::Nic& nic() { return nic_; }
+  [[nodiscard]] bool an1() const { return an1_; }
+  [[nodiscard]] int ifc_index() const { return ifc_; }
+
+ private:
+  struct Channel {
+    ChannelId id = kInvalidChannel;
+    sim::SpaceId app_space = -1;
+    os::PortId cap = os::kInvalidPort;
+    os::RegionId region = os::kInvalidRegion;
+    filter::FlowKey flow;
+    net::MacAddr peer_mac;
+    bool raw = false;
+    std::uint16_t raw_ethertype = 0;
+    std::uint16_t rx_bqi = 0;  // AN1 ring index (0 on Ethernet)
+    std::uint16_t tx_bqi = 0;  // peer's advertised ring
+    int ring_capacity = 64;
+    std::deque<RxPacket> ring;
+    std::unique_ptr<os::Semaphore> sem;
+    bool notify_pending = false;
+    // Demux programs for the ablation modes.
+    std::unique_ptr<filter::SynthesizedMatcher> synth;
+    std::unique_ptr<filter::BpfVm> bpf;
+    std::unique_ptr<filter::CspfVm> cspf;
+  };
+
+  void rx(sim::TaskCtx& ctx, const net::Frame& f, std::uint16_t bqi);
+  Channel* classify_software(sim::TaskCtx& ctx, const net::Frame& f);
+  void deliver(sim::TaskCtx& ctx, Channel& ch, std::uint16_t ethertype,
+               buf::Bytes payload);
+  void deliver_default(sim::TaskCtx& ctx, std::uint16_t ethertype,
+                       buf::Bytes payload, std::uint16_t bqi_advert);
+  Channel* find(ChannelId id);
+  [[nodiscard]] const Channel* find(ChannelId id) const;
+  [[nodiscard]] bool template_matches(const Channel& ch,
+                                      std::uint16_t ethertype,
+                                      buf::ByteView payload) const;
+  [[nodiscard]] std::size_t link_header_size() const;
+
+  os::Host& host_;
+  hw::Nic& nic_;
+  int ifc_;
+  bool an1_;
+  DemuxMode demux_mode_ = DemuxMode::kSynthesized;
+  bool batched_signals_ = true;
+  std::unordered_map<ChannelId, Channel> channels_;
+  std::unordered_map<std::uint16_t, ChannelId> by_bqi_;
+  sim::SpaceId default_space_ = -1;
+  DefaultHandler default_handler_;
+  Counters counters_;
+  ChannelId next_id_ = 1;
+};
+
+}  // namespace ulnet::core

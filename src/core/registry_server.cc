@@ -1,0 +1,423 @@
+#include "core/registry_server.h"
+
+#include <cassert>
+
+namespace ulnet::core {
+
+RegistryServer::RegistryServer(os::World& world, os::Host& host,
+                               std::vector<NetIoModule*> netios)
+    : world_(world),
+      host_(host),
+      space_(host.new_space("tcp-registry")),
+      env_(host, world.rng(), space_),
+      netios_(std::move(netios)) {
+  // The registry's stack reaches the device through the standard (slow)
+  // Mach path, not through a shared-memory channel: fine for handshakes,
+  // never on the data path.
+  env_.set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
+                           buf::Bytes payload, const proto::TxFlow* flow) {
+    auto& cpu = host_.cpu();
+    cpu.charge(cpu.cost().registry_device_access);
+    hw::Nic* nic = env_.nic(ifc);
+    std::uint16_t advert = 0;
+    if (flow != nullptr && is_an1(*nic)) {
+      // Advertise our receive ring in the link header's spare field so the
+      // peer can address our channel directly after setup (Section 3.4).
+      const auto key = flow_key(flow->local_ip.value, flow->local_port,
+                                flow->remote_ip.value, flow->remote_port);
+      auto it = my_advert_.find(key);
+      if (it == my_advert_.end()) {
+        NetIoModule* mod = nullptr;
+        for (NetIoModule* m : netios_) {
+          if (&m->nic() == nic) mod = m;
+        }
+        if (mod != nullptr) {
+          const std::uint16_t bqi = mod->prealloc_rx_bqi(ring_capacity_);
+          it = my_advert_.emplace(key, bqi).first;
+        }
+      }
+      if (it != my_advert_.end()) advert = it->second;
+    }
+    // Handshake traffic always travels via BQI 0 (protected kernel
+    // buffers); only post-handoff data uses the exchanged rings.
+    net::Frame f = frame_for(*nic, dst, et, payload, hw::An1Nic::kKernelBqi,
+                             advert);
+    host_.loop().schedule_at(
+        cpu.current().now(), [nic, fr = std::move(f), &cpu]() mutable {
+          cpu.submit(sim::kKernelSpace, sim::Prio::kNormal,
+                     [nic, fr = std::move(fr)](sim::TaskCtx& kctx) mutable {
+                       nic->transmit(kctx, std::move(fr));
+                     });
+        });
+  });
+  stack_ = std::make_unique<proto::NetworkStack>(env_);
+  for (NetIoModule* m : netios_) {
+    m->set_default_handler(
+        space_, [this, m](sim::TaskCtx& ctx, std::uint16_t et,
+                          buf::Bytes payload, std::uint16_t advert) {
+          default_rx(ctx, m, et, std::move(payload), advert);
+        });
+  }
+}
+
+void RegistryServer::default_rx(sim::TaskCtx& ctx, NetIoModule* netio,
+                                std::uint16_t ethertype, buf::Bytes payload,
+                                std::uint16_t bqi_advert) {
+  // Parse the TCP 4-tuple straight out of the IP payload (fixed 20-byte
+  // header in this stack).
+  std::uint64_t key = 0;
+  bool have_key = false;
+  if (ethertype == net::kEtherTypeIp && payload.size() >= 24 &&
+      payload[9] == proto::kProtoTcp) {
+    const std::uint32_t rip = buf::rd32(payload, 12);  // sender
+    const std::uint32_t lip = buf::rd32(payload, 16);  // us
+    const std::uint16_t rport = buf::rd16(payload, 20);
+    const std::uint16_t lport = buf::rd16(payload, 22);
+    key = flow_key(lip, lport, rip, rport);
+    have_key = true;
+    if (bqi_advert != 0) {
+      // Record the BQI the peer advertised for this flow (keyed
+      // symmetrically, so it resolves at channel-setup time).
+      peer_advert_[key] = bqi_advert;
+    }
+  }
+  // A segment for an already-handed-off connection raced the binding
+  // switch: push it into the channel instead of RSTing it.
+  if (have_key) {
+    if (auto it = handed_off_.find(key); it != handed_off_.end()) {
+      it->second.netio->redeliver(ctx, it->second.channel, ethertype,
+                                  std::move(payload));
+      return;
+    }
+  }
+  stack_->link_input(netio->ifc_index(), ethertype, payload);
+}
+
+NetIoModule* RegistryServer::netio_for(net::Ipv4Addr remote) {
+  const int ifc = stack_->ip().route(remote);
+  if (ifc < 0) return nullptr;
+  hw::Nic* nic = env_.nic(ifc);
+  for (NetIoModule* m : netios_) {
+    if (&m->nic() == nic) return m;
+  }
+  return nullptr;
+}
+
+std::uint16_t RegistryServer::alloc_port() {
+  for (int guard = 0; guard < 65536; ++guard) {
+    const std::uint16_t p = next_port_++;
+    if (next_port_ < 30000) next_port_ = 30000;
+    if (!ports_in_use_.contains(p) && !quarantined_ports_.contains(p) &&
+        !listeners_.contains(p)) {
+      return p;
+    }
+  }
+  return 0;
+}
+
+void RegistryServer::quarantine_port(std::uint16_t port) {
+  quarantined_ports_.insert(port);
+  const sim::Time msl = proto::TcpConfig{}.msl;
+  env_.schedule(2 * msl, [this, port] {
+    quarantined_ports_.erase(port);
+    ports_in_use_.erase(port);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Client RPCs
+// ---------------------------------------------------------------------------
+
+void RegistryServer::connect_request(sim::TaskCtx& ctx,
+                                     RegistryClient* client,
+                                     std::uint64_t request_id,
+                                     net::Ipv4Addr dst, std::uint16_t dport,
+                                     proto::TcpConfig cfg) {
+  const sim::Time sent_at = ctx.now();
+  host_.kernel().ipc_send(
+      ctx, space_, 64,
+      [this, client, request_id, dst, dport, cfg,
+       sent_at](sim::TaskCtx& rctx) {
+        handle_connect(rctx, client, request_id, dst, dport, cfg, sent_at);
+      });
+}
+
+void RegistryServer::handle_connect(sim::TaskCtx& ctx, RegistryClient* client,
+                                    std::uint64_t request_id,
+                                    net::Ipv4Addr dst, std::uint16_t dport,
+                                    proto::TcpConfig cfg,
+                                    sim::Time request_sent) {
+  SetupTiming timing;
+  timing.request_sent = request_sent;
+  timing.request_received = ctx.now();
+
+  // Outbound processing that cannot overlap with transmission: connection
+  // identifiers, PCB setup, start-of-setup bookkeeping (Table 4, item 2).
+  ctx.charge(host_.cpu().cost().registry_outbound_setup);
+
+  const std::uint16_t sport = alloc_port();
+  if (sport == 0) {
+    client->connect_failed(request_id, "no ports available");
+    return;
+  }
+  ports_in_use_.insert(sport);
+  timing.outbound_done = ctx.now();
+
+  proto::TcpConnection* conn =
+      stack_->tcp().connect(dst, dport, this, cfg, sport);
+  if (conn == nullptr) {
+    ports_in_use_.erase(sport);
+    host_.kernel().ipc_send(ctx, client->client_space(), 32,
+                            [client, request_id](sim::TaskCtx&) {
+                              client->connect_failed(request_id,
+                                                     "no route to host");
+                            });
+    return;
+  }
+  PendingConn p;
+  p.client = client;
+  p.request_id = request_id;
+  p.active = true;
+  p.timing = timing;
+  pending_[conn] = std::move(p);
+}
+
+void RegistryServer::listen_request(sim::TaskCtx& ctx, RegistryClient* client,
+                                    std::uint16_t port,
+                                    proto::TcpConfig cfg) {
+  host_.kernel().ipc_send(
+      ctx, space_, 32, [this, client, port, cfg](sim::TaskCtx& rctx) {
+        rctx.charge(host_.cpu().cost().registry_alloc_endpoint);
+        listeners_[port] = ListenEntry{client, cfg};
+        ports_in_use_.insert(port);
+        stack_->tcp().listen(port, this, cfg);
+      });
+}
+
+void RegistryServer::protocol_channel_request(
+    sim::TaskCtx& ctx, RegistryClient* client, NetIoModule* netio,
+    std::uint8_t ip_proto, std::function<void(ChannelId, os::PortId)> done) {
+  host_.kernel().ipc_send(
+      ctx, space_, 48,
+      [this, client, netio, ip_proto,
+       done = std::move(done)](sim::TaskCtx& rctx) {
+        rctx.charge(host_.cpu().cost().registry_channel_setup);
+        NetIoModule::ChannelSetup setup;
+        setup.app_space = client->client_space();
+        setup.flow.ethertype = net::kEtherTypeIp;
+        setup.flow.ip_proto = ip_proto;
+        const int ifc = netio->ifc_index();
+        setup.flow.local_ip = env_.ifc_ip(ifc).value;
+        // local_port/remote fields stay 0: wildcard binding.
+        const ChannelId id = netio->create_channel(rctx, setup);
+        const os::PortId cap = netio->channel_cap(id);
+        host_.kernel().ipc_send(rctx, client->client_space(), 32,
+                                [done, id, cap](sim::TaskCtx&) {
+                                  done(id, cap);
+                                });
+      });
+}
+
+void RegistryServer::raw_request(sim::TaskCtx& ctx, RegistryClient* client,
+                                 NetIoModule* netio, std::uint16_t ethertype,
+                                 net::MacAddr peer_mac,
+                                 std::function<void(ChannelId, os::PortId)>
+                                     done) {
+  host_.kernel().ipc_send(
+      ctx, space_, 48,
+      [this, client, netio, ethertype, peer_mac,
+       done = std::move(done)](sim::TaskCtx& rctx) {
+        rctx.charge(host_.cpu().cost().registry_channel_setup);
+        NetIoModule::ChannelSetup setup;
+        setup.app_space = client->client_space();
+        setup.raw = true;
+        setup.raw_ethertype = ethertype;
+        setup.peer_mac = peer_mac;
+        const ChannelId id = netio->create_channel(rctx, setup);
+        const os::PortId cap = netio->channel_cap(id);
+        host_.kernel().ipc_send(rctx, client->client_space(), 32,
+                                [done, id, cap](sim::TaskCtx&) {
+                                  done(id, cap);
+                                });
+      });
+}
+
+void RegistryServer::release_channel(sim::TaskCtx& ctx, NetIoModule* netio,
+                                     ChannelId id, std::uint16_t local_port) {
+  host_.kernel().ipc_send(ctx, space_, 32,
+                          [this, netio, id, local_port](sim::TaskCtx& rctx) {
+                            std::erase_if(handed_off_, [id](const auto& kv) {
+                              return kv.second.channel == id;
+                            });
+                            netio->destroy_channel(rctx, id);
+                            quarantine_port(local_port);
+                          });
+}
+
+void RegistryServer::inherit_connection(sim::TaskCtx& ctx,
+                                        proto::TcpHandoffState state,
+                                        NetIoModule* netio, ChannelId id) {
+  host_.kernel().ipc_send(
+      ctx, space_, state.wire_size(),
+      [this, state, netio, id](sim::TaskCtx& rctx) {
+        // The registry re-adopts the orphaned connection, resets the peer
+        // through its own stack and quarantines the port.
+        std::erase_if(handed_off_, [id](const auto& kv) {
+          return kv.second.channel == id;
+        });
+        netio->destroy_channel(rctx, id);
+        proto::TcpConnection* conn =
+            stack_->tcp().import_connection(state, this);
+        if (conn != nullptr) {
+          conn->abort();  // RST to the remote peer
+          stack_->tcp().release(conn);
+        }
+        quarantine_port(state.local_port);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Handshake completion -> channel setup -> hand-off
+// ---------------------------------------------------------------------------
+
+void RegistryServer::on_established(proto::TcpConnection& c) {
+  auto it = pending_.find(&c);
+  if (it == pending_.end()) return;
+  PendingConn p = std::move(it->second);
+  pending_.erase(it);
+  p.timing.handshake_done = env_.now();
+  // We are inside this connection's own input upcall; finishing the setup
+  // releases the connection, so run it as a follow-up task in the
+  // registry's space.
+  proto::TcpConnection* conn = &c;
+  host_.cpu().submit(space_, sim::Prio::kNormal,
+                     [this, conn, p = std::move(p)](sim::TaskCtx& ctx) mutable {
+                       finish_setup(ctx, conn, std::move(p));
+                     });
+}
+
+void RegistryServer::on_accept(proto::TcpConnection& c) {
+  auto lit = listeners_.find(c.local_port());
+  if (lit == listeners_.end()) {
+    c.abort();
+    return;
+  }
+  PendingConn p;
+  p.client = lit->second.client;
+  p.active = false;
+  p.listen_port = c.local_port();
+  p.timing.request_sent = env_.now();
+  p.timing.request_received = env_.now();
+  p.timing.outbound_done = env_.now();
+  p.timing.handshake_done = env_.now();
+  proto::TcpConnection* conn = &c;
+  host_.cpu().submit(space_, sim::Prio::kNormal,
+                     [this, conn, p = std::move(p)](sim::TaskCtx& ctx) mutable {
+                       finish_setup(ctx, conn, std::move(p));
+                     });
+}
+
+void RegistryServer::finish_setup(sim::TaskCtx& ctx,
+                                  proto::TcpConnection* conn,
+                                  PendingConn pending) {
+  auto& cpu = host_.cpu();
+  const auto& cost = cpu.cost();
+
+  NetIoModule* netio = netio_for(conn->remote_ip());
+  if (netio == nullptr ||
+      (conn->state() != proto::TcpState::kEstablished &&
+       conn->state() != proto::TcpState::kCloseWait)) {
+    // Unroutable, or the connection died (e.g. RST) before the hand-off.
+    if (pending.active) {
+      RegistryClient* client = pending.client;
+      const std::uint64_t rid = pending.request_id;
+      host_.kernel().ipc_send(ctx, client->client_space(), 32,
+                              [client, rid](sim::TaskCtx&) {
+                                client->connect_failed(
+                                    rid, "connection setup failed");
+                              });
+    }
+    conn->abort();
+    stack_->tcp().release(conn);
+    return;
+  }
+
+  // --- Channel setup (Table 4, item 3) ---
+  ctx.charge(cost.registry_channel_setup);
+  const auto key = flow_key(conn->local_ip().value, conn->local_port(),
+                            conn->remote_ip().value, conn->remote_port());
+  NetIoModule::ChannelSetup setup;
+  setup.ring_capacity = ring_capacity_;
+  setup.app_space = pending.client->client_space();
+  setup.flow.ethertype = net::kEtherTypeIp;
+  setup.flow.ip_proto = proto::kProtoTcp;
+  setup.flow.local_ip = conn->local_ip().value;
+  setup.flow.remote_ip = conn->remote_ip().value;
+  setup.flow.local_port = conn->local_port();
+  setup.flow.remote_port = conn->remote_port();
+  auto mac = stack_->arp().lookup(conn->remote_ip());
+  setup.peer_mac = mac.value_or(net::MacAddr{});
+  if (netio->an1()) {
+    ctx.charge(cost.registry_bqi_setup);
+    if (auto ait = my_advert_.find(key); ait != my_advert_.end()) {
+      setup.preallocated_bqi = ait->second;
+    }
+  }
+  const ChannelId chan = netio->create_channel(ctx, setup);
+  if (auto pit = peer_advert_.find(key); pit != peer_advert_.end()) {
+    netio->set_tx_bqi(chan, pit->second);
+  }
+  my_advert_.erase(key);
+  peer_advert_.erase(key);
+  pending.timing.channel_done = ctx.now();
+
+  // --- State transfer into the library (Table 4, item 5) ---
+  HandoffInfo info;
+  info.state = conn->export_state();
+  info.netio = netio;
+  info.channel = chan;
+  info.cap = netio->channel_cap(chan);
+  info.peer_mac = setup.peer_mac;
+  info.request_id = pending.active ? pending.request_id : 0;
+  info.listen_port = pending.listen_port;
+  stack_->tcp().release(conn);  // detach without touching the wire
+  handed_off_[key] = HandedOff{netio, chan};
+
+  ctx.charge(cost.registry_state_transfer);
+  RegistryClient* client = pending.client;
+  SetupTiming timing = pending.timing;
+  host_.kernel().ipc_send(
+      ctx, client->client_space(), info.state.wire_size(),
+      [this, client, info = std::move(info), timing](sim::TaskCtx& actx) mutable {
+        SetupTiming t = timing;
+        t.handoff_done = actx.now();
+        last_setup_ = t;
+        setups_completed_++;
+        client->handoff(std::move(info));
+      });
+}
+
+void RegistryServer::on_closed(proto::TcpConnection& c,
+                               const std::string& reason) {
+  auto it = pending_.find(&c);
+  if (it == pending_.end()) return;
+  PendingConn p = std::move(it->second);
+  pending_.erase(it);
+  ports_in_use_.erase(c.local_port());
+  RegistryClient* client = p.client;
+  const std::uint64_t rid = p.request_id;
+  proto::TcpConnection* conn = &c;
+  // We are inside this connection's own upcall: notify the client and
+  // release the PCB from a follow-up registry task.
+  host_.cpu().submit(
+      space_, sim::Prio::kNormal,
+      [this, conn, client, rid, reason](sim::TaskCtx& ctx) {
+        host_.kernel().ipc_send(ctx, client->client_space(), 32,
+                                [client, rid, reason](sim::TaskCtx&) {
+                                  client->connect_failed(rid, reason);
+                                });
+        stack_->tcp().release(conn);
+      });
+}
+
+}  // namespace ulnet::core

@@ -1,0 +1,186 @@
+// The registry server (paper Section 3.4): a trusted, privileged process --
+// one per protocol -- that owns the connection name space and performs every
+// operation too sensitive for untrusted libraries:
+//
+//   * allocates and quarantines TCP ports (names must be unique per host and
+//     respect the post-close delay),
+//   * executes the three-way handshake through its *own* instance of the
+//     protocol stack, reaching the device through standard Mach IPC (the
+//     expensive path -- which is fine, it is off the data path),
+//   * exchanges BQIs with the remote peer through the AN1 link header's
+//     spare field during the handshake,
+//   * creates the per-connection channel in the network I/O module (shared
+//     region, send capability, header template, demux binding),
+//   * transfers the established TCP state into the application's library,
+//   * inherits connections when an application dies, issuing the RST and
+//     holding the 2*MSL quiet period before the port can be reused.
+//
+// After the hand-off the registry is completely out of the data path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/exec_env.h"
+#include "core/netio_module.h"
+#include "os/world.h"
+#include "proto/stack.h"
+
+namespace ulnet::core {
+
+// Everything the library needs to adopt a connection.
+struct HandoffInfo {
+  proto::TcpHandoffState state;
+  NetIoModule* netio = nullptr;
+  ChannelId channel = kInvalidChannel;
+  os::PortId cap = os::kInvalidPort;
+  net::MacAddr peer_mac;
+  std::uint64_t request_id = 0;  // echo of the connect request; 0 = accepted
+  std::uint16_t listen_port = 0;  // for accepted connections
+};
+
+// Implemented by the user-level application/library side.
+class RegistryClient {
+ public:
+  virtual ~RegistryClient() = default;
+  [[nodiscard]] virtual sim::SpaceId client_space() const = 0;
+  // Invoked in the client's space once the registry finished a setup.
+  virtual void handoff(HandoffInfo info) = 0;
+  virtual void connect_failed(std::uint64_t request_id,
+                              const std::string& reason) = 0;
+};
+
+class RegistryServer : public proto::TcpObserver {
+ public:
+  // Timing of the phases of the most recent completed connection setup
+  // (the Table 4 breakdown).
+  struct SetupTiming {
+    sim::Time request_sent = 0;     // app issued the request
+    sim::Time request_received = 0; // registry picked it up
+    sim::Time outbound_done = 0;    // local outbound processing complete
+    sim::Time handshake_done = 0;   // three-way handshake completed
+    sim::Time channel_done = 0;     // user channel to the device ready
+    sim::Time handoff_done = 0;     // state transferred into the library
+  };
+
+  RegistryServer(os::World& world, os::Host& host,
+                 std::vector<NetIoModule*> netios);
+  RegistryServer(const RegistryServer&) = delete;
+  RegistryServer& operator=(const RegistryServer&) = delete;
+
+  [[nodiscard]] sim::SpaceId space() const { return space_; }
+  proto::NetworkStack& stack() { return *stack_; }
+
+  // ---- Client RPCs (call from a task in the client's space; the IPC to
+  // the registry is performed inside) ----
+  void connect_request(sim::TaskCtx& ctx, RegistryClient* client,
+                       std::uint64_t request_id, net::Ipv4Addr dst,
+                       std::uint16_t dport, proto::TcpConfig cfg);
+  void listen_request(sim::TaskCtx& ctx, RegistryClient* client,
+                      std::uint16_t port, proto::TcpConfig cfg);
+  // Wildcard channel for a connectionless protocol library (e.g. RRP):
+  // bound to (our IP, ip_proto), remote side and ports wild. The paper's
+  // Section 5 notes connectionless protocols are the harder case for this
+  // architecture; the registry still mediates creation and the template
+  // still pins the source fields.
+  void protocol_channel_request(sim::TaskCtx& ctx, RegistryClient* client,
+                                NetIoModule* netio, std::uint8_t ip_proto,
+                                std::function<void(ChannelId, os::PortId)>
+                                    done);
+
+  // Raw (ethertype-bound) channel for protocol-free exchanges (Table 1).
+  void raw_request(sim::TaskCtx& ctx, RegistryClient* client,
+                   NetIoModule* netio, std::uint16_t ethertype,
+                   net::MacAddr peer_mac,
+                   std::function<void(ChannelId, os::PortId)> done);
+
+  // Orderly teardown: the library is done with a channel.
+  void release_channel(sim::TaskCtx& ctx, NetIoModule* netio, ChannelId id,
+                       std::uint16_t local_port);
+  // Abnormal termination: the registry inherits the connection, resets the
+  // peer and quarantines the port for 2*MSL.
+  void inherit_connection(sim::TaskCtx& ctx, proto::TcpHandoffState state,
+                          NetIoModule* netio, ChannelId id);
+
+  // Ring slots per channel for subsequently created channels (ablation
+  // knob; default matches the window/segment worst case with slack).
+  void set_channel_ring_capacity(int slots) { ring_capacity_ = slots; }
+
+  [[nodiscard]] const SetupTiming& last_setup() const { return last_setup_; }
+  [[nodiscard]] bool port_quarantined(std::uint16_t port) const {
+    return quarantined_ports_.contains(port);
+  }
+  [[nodiscard]] std::uint64_t setups_completed() const {
+    return setups_completed_;
+  }
+
+ private:
+  struct PendingConn {
+    RegistryClient* client = nullptr;
+    std::uint64_t request_id = 0;
+    bool active = false;  // active open (vs accepted)
+    std::uint16_t listen_port = 0;
+    SetupTiming timing;
+  };
+  struct ListenEntry {
+    RegistryClient* client = nullptr;
+    proto::TcpConfig cfg;
+  };
+
+  void handle_connect(sim::TaskCtx& ctx, RegistryClient* client,
+                      std::uint64_t request_id, net::Ipv4Addr dst,
+                      std::uint16_t dport, proto::TcpConfig cfg,
+                      sim::Time request_sent);
+  void finish_setup(sim::TaskCtx& ctx, proto::TcpConnection* conn,
+                    PendingConn pending);
+  void default_rx(sim::TaskCtx& ctx, NetIoModule* netio,
+                  std::uint16_t ethertype, buf::Bytes payload,
+                  std::uint16_t bqi_advert);
+  NetIoModule* netio_for(net::Ipv4Addr remote);
+  std::uint16_t alloc_port();
+  void quarantine_port(std::uint16_t port);
+
+  // Key for BQI-advert bookkeeping: the 4-tuple as *we* see it.
+  static std::uint64_t flow_key(std::uint32_t lip, std::uint16_t lport,
+                                std::uint32_t rip, std::uint16_t rport) {
+    return (static_cast<std::uint64_t>(lip ^ rip) << 32) ^
+           (static_cast<std::uint64_t>(lport) << 16) ^ rport;
+  }
+
+  // ---- TcpObserver (handshake connections living in the registry) ----
+  void on_established(proto::TcpConnection& c) override;
+  void on_accept(proto::TcpConnection& c) override;
+  void on_closed(proto::TcpConnection& c, const std::string& reason) override;
+
+  os::World& world_;
+  os::Host& host_;
+  sim::SpaceId space_;
+  core::HostStackEnv env_;
+  std::vector<NetIoModule*> netios_;
+  std::unique_ptr<proto::NetworkStack> stack_;
+
+  std::unordered_map<proto::TcpConnection*, PendingConn> pending_;
+  std::unordered_map<std::uint16_t, ListenEntry> listeners_;
+  // AN1 BQI exchange state.
+  std::unordered_map<std::uint64_t, std::uint16_t> my_advert_;    // flow -> our rx bqi
+  std::unordered_map<std::uint64_t, std::uint16_t> peer_advert_;  // flow -> peer's bqi
+  // Channels already handed off: stragglers that raced the binding switch
+  // are re-delivered into the channel instead of answered with RST.
+  struct HandedOff {
+    NetIoModule* netio = nullptr;
+    ChannelId channel = kInvalidChannel;
+  };
+  std::unordered_map<std::uint64_t, HandedOff> handed_off_;
+  std::unordered_set<std::uint16_t> ports_in_use_;
+  std::unordered_set<std::uint16_t> quarantined_ports_;
+  std::uint16_t next_port_ = 30000;
+  SetupTiming last_setup_;
+  int ring_capacity_ = 192;
+  std::uint64_t setups_completed_ = 0;
+};
+
+}  // namespace ulnet::core

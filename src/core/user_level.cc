@@ -1,0 +1,369 @@
+#include "core/user_level.h"
+
+#include <algorithm>
+
+namespace ulnet::core {
+
+// ---------------------------------------------------------------------------
+// UserLevelOrg
+// ---------------------------------------------------------------------------
+
+UserLevelOrg::UserLevelOrg(os::World& world, os::Host& host)
+    : world_(world), host_(host) {
+  std::vector<NetIoModule*> raw;
+  for (std::size_t i = 0; i < host.interfaces().size(); ++i) {
+    netios_.push_back(std::make_unique<NetIoModule>(
+        host, *host.interfaces()[i].nic, static_cast<int>(i)));
+    raw.push_back(netios_.back().get());
+  }
+  registry_ = std::make_unique<RegistryServer>(world, host, raw);
+}
+
+api::NetSystem& UserLevelOrg::add_app(const std::string& name) {
+  return add_app_impl(name);
+}
+
+UserLevelApp& UserLevelOrg::add_app_impl(const std::string& name) {
+  apps_.push_back(std::make_unique<UserLevelApp>(*this, name));
+  return *apps_.back();
+}
+
+// ---------------------------------------------------------------------------
+// UserLevelApp / ProtocolLibrary
+// ---------------------------------------------------------------------------
+
+UserLevelApp::UserLevelApp(UserLevelOrg& org, const std::string& name)
+    : org_(org),
+      name_(name),
+      space_(org.host().new_space(name)),
+      // Upcalls already execute in the application's space: notifications
+      // are plain procedure calls.
+      bridge_([](std::function<void()> fn) { fn(); }) {
+  env_ = std::make_unique<HostStackEnv>(org.host(), org.world().rng(), space_);
+  env_->set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
+                            buf::Bytes payload, const proto::TxFlow* flow) {
+    lib_transmit(ifc, dst, et, std::move(payload), flow);
+  });
+  stack_ = std::make_unique<proto::NetworkStack>(*env_);
+}
+
+void UserLevelApp::lib_transmit(int, net::MacAddr dst,
+                                std::uint16_t ethertype, buf::Bytes payload,
+                                const proto::TxFlow* flow) {
+  // The library reaches the wire only through its channels.
+  if (flow == nullptr) {
+    lib_unroutable_++;
+    return;
+  }
+  // Connectionless protocols ride the per-protocol wildcard channel, with
+  // the destination supplied per send (the template's remote is wild).
+  if (flow->ip_proto == proto::kProtoRrp &&
+      rrp_channel_ != kInvalidChannel) {
+    ChannelRec& rec = channels_[rrp_channel_];
+    rec.netio->channel_send(org_.host().cpu().current(), rec.id, rec.cap,
+                            space_, ethertype, std::move(payload), dst);
+    return;
+  }
+  auto it = chan_by_flow_.find(flow_key(*flow));
+  if (it == chan_by_flow_.end()) {
+    lib_unroutable_++;
+    return;
+  }
+  ChannelRec& rec = channels_[it->second];
+  rec.netio->channel_send(org_.host().cpu().current(), rec.id, rec.cap,
+                          space_, ethertype, std::move(payload));
+}
+
+void UserLevelApp::start_drain(ChannelId id) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  ChannelRec& rec = it->second;
+  rec.netio->channel_wait(
+      rec.id, [this, id](sim::TaskCtx& ctx) { drain(ctx, id); });
+}
+
+void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) return;  // channel died while we slept
+  ChannelRec& rec = it->second;
+  rec.draining = true;
+  int drained = 0;
+  for (;;) {
+    auto pkt = rec.netio->channel_pop(rec.id);
+    if (!pkt) {
+      if (rec.netio->channel_rearm(rec.id)) continue;  // late arrivals
+      break;
+    }
+    drained++;
+    packets_drained_++;
+    ctx.charge(org_.host().cpu().cost().lib_rx_per_packet);
+    if (auto rit = raw_rx_.find(id); rit != raw_rx_.end()) {
+      rit->second(ctx, std::move(pkt->payload));
+    } else {
+      stack_->link_input(rec.netio->ifc_index(), pkt->ethertype,
+                         pkt->payload);
+    }
+    // The channel may have been destroyed by protocol processing
+    // (e.g. an RST that closed the connection and released the socket).
+    it = channels_.find(id);
+    if (it == channels_.end()) return;
+  }
+  if (drained > 0) rec.netio->channel_post_buffers(rec.id, drained);
+  start_drain(id);
+}
+
+UserLevelApp::ChannelRec* UserLevelApp::rec_of_conn(
+    proto::TcpConnection* conn) {
+  for (auto& [id, rec] : channels_) {
+    if (rec.conn == conn) return &rec;
+  }
+  return nullptr;
+}
+
+// ---- Registry interaction ----
+
+bool UserLevelApp::listen(
+    std::uint16_t port,
+    std::function<api::SocketEvents(api::SocketId)> acceptor) {
+  acceptors_[port] = std::move(acceptor);
+  org_.registry().listen_request(org_.host().cpu().current(), this, port,
+                                 tcp_config_);
+  return true;
+}
+
+void UserLevelApp::connect(net::Ipv4Addr dst, std::uint16_t port,
+                           api::SocketEvents evs,
+                           std::function<void(api::SocketId)> done) {
+  const std::uint64_t rid = next_request_++;
+  pending_connects_[rid] = PendingConnect{std::move(evs), std::move(done)};
+  org_.registry().connect_request(org_.host().cpu().current(), this, rid,
+                                  dst, port, tcp_config_);
+}
+
+void UserLevelApp::handoff(HandoffInfo info) {
+  if (info.request_id != 0) {
+    auto it = pending_connects_.find(info.request_id);
+    if (it == pending_connects_.end()) return;
+    PendingConnect pc = std::move(it->second);
+    pending_connects_.erase(it);
+    adopt(info, std::move(pc.events), std::move(pc.done));
+  } else {
+    // Accepted connection: consult the acceptor for this listen port.
+    auto ait = acceptors_.find(info.listen_port);
+    if (ait == acceptors_.end()) return;
+    auto acceptor = ait->second;
+    adopt(info, api::SocketEvents{},
+          [this, acceptor](api::SocketId id) {
+            if (auto* e = bridge_.find(id)) e->events = acceptor(id);
+          });
+  }
+}
+
+void UserLevelApp::adopt(HandoffInfo& info, api::SocketEvents evs,
+                         std::function<void(api::SocketId)> done) {
+  // Seed the library's ARP cache from the handoff: the registry resolved
+  // the peer during the handshake; the library never ARPs on its own.
+  stack_->arp().add_entry(info.state.remote_ip, info.peer_mac);
+
+  proto::TcpConnection* conn =
+      stack_->tcp().import_connection(info.state, &bridge_);
+  if (conn == nullptr) return;
+
+  ChannelRec rec;
+  rec.netio = info.netio;
+  rec.id = info.channel;
+  rec.cap = info.cap;
+  rec.conn = conn;
+  channels_[info.channel] = rec;
+  chan_by_flow_[flow_key(conn->tx_flow())] = info.channel;
+
+  const api::SocketId id = bridge_.attach(conn, std::move(evs));
+  start_drain(info.channel);
+
+  if (done) done(id);
+  if (auto* e = bridge_.find(id); e != nullptr) {
+    if (e->events.on_established) e->events.on_established();
+    // The peer's FIN may already have been consumed by the registry during
+    // the hand-off window.
+    if (conn->state() == proto::TcpState::kCloseWait && e->events.on_eof) {
+      e->events.on_eof();
+    }
+  }
+}
+
+void UserLevelApp::connect_failed(std::uint64_t request_id,
+                                  const std::string& reason) {
+  auto it = pending_connects_.find(request_id);
+  if (it == pending_connects_.end()) return;
+  PendingConnect pc = std::move(it->second);
+  pending_connects_.erase(it);
+  if (pc.events.on_closed) pc.events.on_closed(reason);
+  if (pc.done) pc.done(api::kInvalidSocket);
+}
+
+// ---- Data path (pure library calls: no traps, no copies) ----
+
+std::size_t UserLevelApp::send(api::SocketId s, buf::ByteView data) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr || e->closed) return 0;
+  // The application composes its data directly in the shared buffer
+  // region: no user/kernel copy on this path.
+  return e->conn->send(data);
+}
+
+buf::Bytes UserLevelApp::recv(api::SocketId s, std::size_t max) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return {};
+  return e->conn->read(max);
+}
+
+std::size_t UserLevelApp::send_space(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  return e == nullptr ? 0 : e->conn->send_space();
+}
+
+std::size_t UserLevelApp::bytes_available(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  return e == nullptr ? 0 : e->conn->bytes_available();
+}
+
+void UserLevelApp::close(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  if (e != nullptr) e->conn->close();
+}
+
+void UserLevelApp::release(api::SocketId s) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return;
+  proto::TcpConnection* conn = e->conn;
+  ChannelRec* rec = rec_of_conn(conn);
+  if (rec != nullptr) {
+    const std::uint16_t lport = conn->local_port();
+    org_.registry().release_channel(org_.host().cpu().current(), rec->netio,
+                                    rec->id, lport);
+    chan_by_flow_.erase(flow_key(conn->tx_flow()));
+    channels_.erase(rec->id);
+  }
+  bridge_.detach(s);
+  stack_->tcp().release(conn);
+}
+
+void UserLevelApp::run_app(std::function<void(sim::TaskCtx&)> fn) {
+  org_.host().cpu().submit(space_, sim::Prio::kNormal, std::move(fn));
+}
+
+// ---- Extensions ----
+
+bool RawChannel::send(sim::TaskCtx& ctx, buf::Bytes payload) {
+  return netio->channel_send(ctx, id, cap, app->app_space(), ethertype,
+                             std::move(payload));
+}
+
+void UserLevelApp::open_raw(
+    sim::TaskCtx& ctx, int ifc, std::uint16_t ethertype, net::MacAddr peer,
+    std::function<void(sim::TaskCtx&, buf::Bytes)> on_rx,
+    std::function<void(RawChannel)> on_open) {
+  NetIoModule* netio = &org_.netio(ifc);
+  org_.registry().raw_request(
+      ctx, this, netio, ethertype, peer,
+      [this, netio, ethertype, on_rx = std::move(on_rx),
+       on_open = std::move(on_open)](ChannelId id, os::PortId cap) {
+        ChannelRec rec;
+        rec.netio = netio;
+        rec.id = id;
+        rec.cap = cap;
+        channels_[id] = rec;
+        raw_rx_[id] = on_rx;
+        start_drain(id);
+        RawChannel rc;
+        rc.app = this;
+        rc.netio = netio;
+        rc.id = id;
+        rc.cap = cap;
+        rc.ethertype = ethertype;
+        on_open(rc);
+      });
+}
+
+api::SocketId UserLevelApp::pass_connection(api::SocketId s,
+                                            UserLevelApp& target,
+                                            api::SocketEvents evs) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return api::kInvalidSocket;
+  proto::TcpConnection* conn = e->conn;
+  ChannelRec* rec = rec_of_conn(conn);
+  if (rec == nullptr) return api::kInvalidSocket;
+
+  // Export everything, retarget the channel at the new space (region
+  // remap + capability move -- pure kernel bookkeeping, no registry), and
+  // rebuild the connection inside the target's library.
+  proto::TcpHandoffState st = conn->export_state();
+  const auto mac = stack_->arp().lookup(conn->remote_ip());
+  NetIoModule* netio = rec->netio;
+  const ChannelId chan = rec->id;
+  const os::PortId cap = rec->cap;
+
+  netio->retarget_channel(org_.host().cpu().current(), chan,
+                          target.app_space());
+  chan_by_flow_.erase(flow_key(conn->tx_flow()));
+  channels_.erase(chan);
+  bridge_.detach(s);
+  stack_->tcp().release(conn);
+
+  proto::TcpConnection* nconn =
+      target.stack_->tcp().import_connection(st, &target.bridge_);
+  if (nconn == nullptr) return api::kInvalidSocket;
+  if (mac) target.stack_->arp().add_entry(st.remote_ip, *mac);
+  ChannelRec nrec;
+  nrec.netio = netio;
+  nrec.id = chan;
+  nrec.cap = cap;
+  nrec.conn = nconn;
+  target.channels_[chan] = nrec;
+  target.chan_by_flow_[flow_key(nconn->tx_flow())] = chan;
+  const api::SocketId nid = target.bridge_.attach(nconn, std::move(evs));
+  target.start_drain(chan);
+  return nid;
+}
+
+void UserLevelApp::seed_arp(net::Ipv4Addr ip, net::MacAddr mac) {
+  stack_->arp().add_entry(ip, mac);
+}
+
+void UserLevelApp::enable_rrp(sim::TaskCtx& ctx, int ifc,
+                              std::function<void()> ready) {
+  NetIoModule* netio = &org_.netio(ifc);
+  org_.registry().protocol_channel_request(
+      ctx, this, netio, proto::kProtoRrp,
+      [this, netio, ready = std::move(ready)](ChannelId id, os::PortId cap) {
+        ChannelRec rec;
+        rec.netio = netio;
+        rec.id = id;
+        rec.cap = cap;
+        channels_[id] = rec;
+        rrp_channel_ = id;
+        start_drain(id);
+        if (ready) ready();
+      });
+}
+
+void UserLevelApp::simulate_crash(sim::TaskCtx& ctx) {
+  // The kernel reclaims the address space; the registry inherits every
+  // connection, resets the peers, and quarantines the ports.
+  std::vector<ChannelId> ids;
+  for (auto& [id, rec] : channels_) ids.push_back(id);
+  for (ChannelId id : ids) {
+    ChannelRec& rec = channels_[id];
+    if (rec.conn == nullptr) continue;
+    proto::TcpHandoffState st = rec.conn->export_state();
+    org_.registry().inherit_connection(ctx, std::move(st), rec.netio, rec.id);
+    const api::SocketId sid = bridge_.id_of(rec.conn);
+    if (sid != api::kInvalidSocket) bridge_.detach(sid);
+    chan_by_flow_.erase(flow_key(rec.conn->tx_flow()));
+    stack_->tcp().release(rec.conn);
+    channels_.erase(id);
+  }
+  pending_connects_.clear();
+}
+
+}  // namespace ulnet::core

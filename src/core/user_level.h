@@ -1,0 +1,181 @@
+// The user-level library organization -- the paper's proposed structure.
+//
+// Per host: one network I/O module per NIC (kernel) and one registry server
+// (privileged process). Per application: a ProtocolLibrary -- a complete
+// TCP/IP/ARP stack linked into the application and executing in its address
+// space. Setup goes through the registry; the common-case send/receive path
+// touches only the library and the network I/O module:
+//
+//   send:    procedure call into the library -> TCP/IP in the app's space
+//            -> specialized trap -> capability + template check -> driver
+//   receive: ISR -> demux (software filter or hardware BQI) -> shared ring
+//            -> batched semaphore signal -> library thread -> TCP in the
+//            app's space -> data already in user memory (no copy)
+//
+// The registry server is on neither path.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/net_system.h"
+#include "api/socket_bridge.h"
+#include "core/exec_env.h"
+#include "core/netio_module.h"
+#include "core/registry_server.h"
+#include "os/world.h"
+#include "proto/stack.h"
+
+namespace ulnet::core {
+
+class UserLevelApp;
+
+class UserLevelOrg {
+ public:
+  UserLevelOrg(os::World& world, os::Host& host);
+  UserLevelOrg(const UserLevelOrg&) = delete;
+  UserLevelOrg& operator=(const UserLevelOrg&) = delete;
+
+  api::NetSystem& add_app(const std::string& name);
+  UserLevelApp& add_app_impl(const std::string& name);
+
+  RegistryServer& registry() { return *registry_; }
+  NetIoModule& netio(int ifc) { return *netios_[static_cast<std::size_t>(ifc)]; }
+  [[nodiscard]] std::size_t netio_count() const { return netios_.size(); }
+  os::Host& host() { return host_; }
+  os::World& world() { return world_; }
+
+ private:
+  os::World& world_;
+  os::Host& host_;
+  std::vector<std::unique_ptr<NetIoModule>> netios_;
+  std::unique_ptr<RegistryServer> registry_;
+  std::vector<std::unique_ptr<UserLevelApp>> apps_;
+};
+
+// A raw (ethertype-bound) channel handle for the Table 1 micro-benchmark:
+// the full mechanism suite -- shared ring, capability, template check,
+// batched signalling -- with no transport protocol on top.
+struct RawChannel {
+  UserLevelApp* app = nullptr;
+  NetIoModule* netio = nullptr;
+  ChannelId id = kInvalidChannel;
+  os::PortId cap = os::kInvalidPort;
+  std::uint16_t ethertype = 0;
+
+  // Send a raw payload (must be called from an app task).
+  bool send(sim::TaskCtx& ctx, buf::Bytes payload);
+};
+
+class UserLevelApp : public api::NetSystem, public RegistryClient {
+ public:
+  UserLevelApp(UserLevelOrg& org, const std::string& name);
+
+  // ---- NetSystem ----
+  bool listen(std::uint16_t port,
+              std::function<api::SocketEvents(api::SocketId)> acceptor)
+      override;
+  void connect(net::Ipv4Addr dst, std::uint16_t port, api::SocketEvents evs,
+               std::function<void(api::SocketId)> done) override;
+  std::size_t send(api::SocketId s, buf::ByteView data) override;
+  buf::Bytes recv(api::SocketId s, std::size_t max) override;
+  std::size_t send_space(api::SocketId s) override;
+  std::size_t bytes_available(api::SocketId s) override;
+  void close(api::SocketId s) override;
+  void release(api::SocketId s) override;
+  void run_app(std::function<void(sim::TaskCtx&)> fn) override;
+  [[nodiscard]] sim::SpaceId app_space() const override { return space_; }
+  [[nodiscard]] const std::string& app_name() const override { return name_; }
+
+  // ---- RegistryClient ----
+  [[nodiscard]] sim::SpaceId client_space() const override { return space_; }
+  void handoff(HandoffInfo info) override;
+  void connect_failed(std::uint64_t request_id,
+                      const std::string& reason) override;
+
+  // ---- Extensions beyond the basic socket API ----
+  // Raw channel (Table 1). `on_rx` runs in this app's space per packet;
+  // `on_open` delivers the ready handle (setup goes through the registry).
+  void open_raw(sim::TaskCtx& ctx, int ifc, std::uint16_t ethertype,
+                net::MacAddr peer_mac,
+                std::function<void(sim::TaskCtx&, buf::Bytes)> on_rx,
+                std::function<void(RawChannel)> on_open);
+
+  // Hand a connected socket to another application without involving the
+  // registry on the transfer (paper Section 3.2's inetd pattern; the Mach
+  // port abstraction makes this possible). The socket ceases to exist here
+  // and re-appears in `target` with the supplied events.
+  api::SocketId pass_connection(api::SocketId s, UserLevelApp& target,
+                                api::SocketEvents evs);
+
+  // Attach the library's RRP (request/response) protocol to the wire via a
+  // connectionless wildcard channel (paper Section 5's harder case). After
+  // the callback fires, library_stack().rrp() can serve and issue
+  // transactions. Peer link addresses must be seeded (seed_arp): with no
+  // connection setup phase there is no registry resolution to piggyback on.
+  void enable_rrp(sim::TaskCtx& ctx, int ifc, std::function<void()> ready);
+  void seed_arp(net::Ipv4Addr ip, net::MacAddr mac);
+
+  // Simulate abnormal termination: every connection is inherited by the
+  // registry, which resets the peers and quarantines the ports.
+  void simulate_crash(sim::TaskCtx& ctx);
+
+  proto::NetworkStack& library_stack() { return *stack_; }
+  [[nodiscard]] std::uint64_t packets_drained() const {
+    return packets_drained_;
+  }
+
+ private:
+  struct ChannelRec {
+    NetIoModule* netio = nullptr;
+    ChannelId id = kInvalidChannel;
+    os::PortId cap = os::kInvalidPort;
+    proto::TcpConnection* conn = nullptr;
+    bool draining = false;
+  };
+  struct PendingConnect {
+    api::SocketEvents events;
+    std::function<void(api::SocketId)> done;
+  };
+
+  static std::uint64_t flow_key(const proto::TxFlow& f) {
+    return (static_cast<std::uint64_t>(f.local_ip.value ^ f.remote_ip.value)
+            << 32) ^
+           (static_cast<std::uint64_t>(f.local_port) << 16) ^ f.remote_port;
+  }
+
+  void lib_transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
+                    buf::Bytes payload, const proto::TxFlow* flow);
+  void start_drain(ChannelId id);
+  void drain(sim::TaskCtx& ctx, ChannelId id);
+  ChannelRec* rec_of_conn(proto::TcpConnection* conn);
+  void adopt(HandoffInfo& info, api::SocketEvents evs,
+             std::function<void(api::SocketId)> done);
+
+  UserLevelOrg& org_;
+  std::string name_;
+  sim::SpaceId space_;
+  std::unique_ptr<HostStackEnv> env_;
+  std::unique_ptr<proto::NetworkStack> stack_;
+  api::SocketBridge bridge_;
+  std::unordered_map<std::uint64_t, ChannelId> chan_by_flow_;
+  std::unordered_map<ChannelId, ChannelRec> channels_;
+  std::unordered_map<std::uint64_t, PendingConnect> pending_connects_;
+  std::unordered_map<std::uint16_t, std::function<api::SocketEvents(api::SocketId)>>
+      acceptors_;
+  std::unordered_map<ChannelId,
+                     std::function<void(sim::TaskCtx&, buf::Bytes)>>
+      raw_rx_;
+  ChannelId rrp_channel_ = kInvalidChannel;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t packets_drained_ = 0;
+  std::uint64_t lib_unroutable_ = 0;
+
+  friend struct RawChannel;
+  friend class UserLevelOrg;
+};
+
+}  // namespace ulnet::core

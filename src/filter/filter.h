@@ -1,0 +1,154 @@
+// Input-packet demultiplexing engines (paper Section 2.2, Table 5).
+//
+// Three ways to decide which endpoint an incoming packet belongs to:
+//
+//  1. CspfVm   -- the original Packet Filter's stack-based language:
+//                 "filter programs composed of stack operations and
+//                 operators are interpreted by a kernel-resident program at
+//                 packet reception time". Flexible, memory-intensive, slow.
+//  2. BpfVm    -- the Berkeley Packet Filter's register machine, the
+//                 "recognizes these issues and provides higher performance
+//                 suited for modern RISC processors" redesign.
+//  3. Synthesized -- the paper's own approach: demux logic compiled/
+//                 synthesized into the kernel when a binding is installed;
+//                 "the demultiplexing logic requires only a few
+//                 instructions". Modelled as a direct header matcher.
+//
+// All three operate on the same wire bytes. Programs return accept/reject;
+// every engine reports how many "instructions" it executed so callers can
+// charge interpretation costs from the CostModel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "buf/bytes.h"
+
+namespace ulnet::filter {
+
+struct RunResult {
+  bool accept = false;
+  int instructions = 0;  // executed VM steps (for cost accounting)
+};
+
+// ---------------------------------------------------------------------------
+// CSPF-style stack machine
+// ---------------------------------------------------------------------------
+
+enum class CspfOp : std::uint8_t {
+  kPushLit,   // push immediate
+  kPushWord,  // push 16-bit big-endian word at packet offset `arg`
+  kEq,        // pop b, pop a, push a == b
+  kNe,
+  kLt,   // a < b
+  kGt,   // a > b
+  kAnd,  // bitwise
+  kOr,
+  kRet,  // accept iff top-of-stack non-zero
+};
+
+struct CspfInsn {
+  CspfOp op;
+  std::uint32_t arg = 0;
+};
+
+class CspfVm {
+ public:
+  explicit CspfVm(std::vector<CspfInsn> program)
+      : program_(std::move(program)) {}
+
+  // Run over the packet. Out-of-range loads push 0 (reject-friendly), as in
+  // the original filter. Malformed programs (stack underflow) reject.
+  [[nodiscard]] RunResult run(buf::ByteView packet) const;
+
+  [[nodiscard]] std::size_t size() const { return program_.size(); }
+
+ private:
+  std::vector<CspfInsn> program_;
+};
+
+// ---------------------------------------------------------------------------
+// BPF-style register machine
+// ---------------------------------------------------------------------------
+
+enum class BpfOp : std::uint8_t {
+  kLdAbsH,   // A = u16[arg]
+  kLdAbsB,   // A = u8[arg]
+  kLdAbsW,   // A = u32[arg]
+  kJeq,      // pc += (A == arg) ? jt : jf
+  kJgt,      // pc += (A > arg) ? jt : jf
+  kAndImm,   // A &= arg
+  kRetA,     // accept iff A != 0
+  kRetImm,   // accept iff arg != 0
+};
+
+struct BpfInsn {
+  BpfOp op;
+  std::uint32_t arg = 0;
+  std::uint8_t jt = 0;
+  std::uint8_t jf = 0;
+};
+
+class BpfVm {
+ public:
+  explicit BpfVm(std::vector<BpfInsn> program) : program_(std::move(program)) {}
+
+  [[nodiscard]] RunResult run(buf::ByteView packet) const;
+  [[nodiscard]] std::size_t size() const { return program_.size(); }
+
+ private:
+  std::vector<BpfInsn> program_;
+};
+
+// ---------------------------------------------------------------------------
+// Synthesized matcher: the 5-tuple compare the kernel would compile in.
+// ---------------------------------------------------------------------------
+
+struct FlowKey {
+  std::uint16_t ethertype = 0;  // at link-header offset
+  std::uint8_t ip_proto = 0;
+  std::uint32_t local_ip = 0;   // our address (packet's IP dst)
+  std::uint32_t remote_ip = 0;  // 0 = wildcard (listening endpoints)
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;  // 0 = wildcard
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+class SynthesizedMatcher {
+ public:
+  // `link_header` is the number of link-level bytes preceding the IP header.
+  SynthesizedMatcher(FlowKey key, std::size_t link_header)
+      : key_(key), link_header_(link_header) {}
+
+  [[nodiscard]] RunResult run(buf::ByteView packet) const;
+  [[nodiscard]] const FlowKey& key() const { return key_; }
+
+ private:
+  FlowKey key_;
+  std::size_t link_header_;
+};
+
+// ---------------------------------------------------------------------------
+// Program builders for the common case: demultiplex a TCP or UDP flow
+// arriving over a link header of `link_header` bytes, with ethertype at
+// `ethertype_offset`.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<CspfInsn> build_cspf_flow_filter(
+    const FlowKey& key, std::size_t link_header,
+    std::size_t ethertype_offset);
+
+[[nodiscard]] std::vector<BpfInsn> build_bpf_flow_filter(
+    const FlowKey& key, std::size_t link_header,
+    std::size_t ethertype_offset);
+
+// Extract the flow key of an incoming packet (for hashed demux tables).
+// Returns nullopt if the packet is not IP/TCP/UDP or too short.
+[[nodiscard]] std::optional<FlowKey> extract_flow(buf::ByteView packet,
+                                                  std::size_t link_header,
+                                                  std::size_t ethertype_offset);
+
+}  // namespace ulnet::filter

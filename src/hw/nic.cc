@@ -1,0 +1,141 @@
+#include "hw/nic.h"
+
+#include <cassert>
+
+namespace ulnet::hw {
+
+void Nic::frame_arrived(const net::Frame& f) {
+  cpu_.metrics().interrupts++;
+  cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
+              [this, f](sim::TaskCtx& ctx) { rx_isr(ctx, f); });
+}
+
+// ---------------------------------------------------------------------------
+// Lance
+// ---------------------------------------------------------------------------
+
+void LanceNic::transmit(sim::TaskCtx& ctx, net::Frame f) {
+  const auto& cost = cpu_.cost();
+  // The host copies the frame into the on-board staging buffers with
+  // programmed I/O, then the controller serializes it onto the wire.
+  ctx.charge(cost.driver_fixed);
+  ctx.charge(static_cast<sim::Time>(f.size()) * cost.pio_per_byte);
+  tx_frames_++;
+  cpu_.metrics().packets_tx++;
+  // The frame reaches the wire at the point the CPU has accounted for it,
+  // not at the end of the enclosing task: a multi-segment send loop
+  // overlaps its per-segment processing with transmission.
+  cpu_.loop().schedule_at(ctx.now(), [this, fr = std::move(f)]() mutable {
+    link_.transmit(this, std::move(fr));
+  });
+}
+
+void LanceNic::rx_isr(sim::TaskCtx& ctx, const net::Frame& f) {
+  const auto& cost = cpu_.cost();
+  ctx.charge(cost.interrupt_entry);
+  ctx.charge(cost.driver_fixed);
+  // PIO copy of the whole packet, headers included, out of the controller's
+  // on-board packet buffers into host memory.
+  ctx.charge(static_cast<sim::Time>(f.size()) * cost.pio_per_byte);
+  rx_frames_++;
+  cpu_.metrics().packets_rx++;
+  dispatch_rx(ctx, f, 0);
+}
+
+// ---------------------------------------------------------------------------
+// AN1
+// ---------------------------------------------------------------------------
+
+An1Nic::An1Nic(sim::Cpu& cpu, net::Link& link, net::MacAddr mac,
+               std::string name)
+    : Nic(cpu, link, mac, std::move(name)) {
+  // BQI 0 always refers to protected kernel buffers and never runs dry in
+  // the model (the kernel replenishes its own pool from the ISR).
+  rings_[kKernelBqi].in_use = true;
+  rings_[kKernelBqi].capacity = 1 << 20;
+  rings_[kKernelBqi].posted = 1 << 20;
+}
+
+void An1Nic::transmit(sim::TaskCtx& ctx, net::Frame f) {
+  const auto& cost = cpu_.cost();
+  // Descriptor writes only; the controller DMAs from host memory itself.
+  ctx.charge(cost.driver_fixed);
+  ctx.charge(cost.dma_setup);
+  tx_frames_++;
+  cpu_.metrics().packets_tx++;
+  cpu_.loop().schedule_at(ctx.now(), [this, fr = std::move(f)]() mutable {
+    link_.transmit(this, std::move(fr));
+  });
+}
+
+std::uint16_t An1Nic::alloc_bqi(int capacity) {
+  assert(capacity > 0);
+  for (int i = 1; i < kMaxBqis; ++i) {
+    if (!rings_[static_cast<std::size_t>(i)].in_use) {
+      auto& r = rings_[static_cast<std::size_t>(i)];
+      r.in_use = true;
+      r.capacity = capacity;
+      r.posted = 0;
+      return static_cast<std::uint16_t>(i);
+    }
+  }
+  return 0;
+}
+
+void An1Nic::free_bqi(std::uint16_t bqi) {
+  if (bqi == kKernelBqi || bqi >= kMaxBqis) return;
+  rings_[bqi] = Ring{};
+}
+
+void An1Nic::post_buffers(std::uint16_t bqi, int n) {
+  if (!bqi_valid(bqi)) return;
+  auto& r = rings_[bqi];
+  r.posted = std::min(r.capacity, r.posted + n);
+}
+
+int An1Nic::posted_buffers(std::uint16_t bqi) const {
+  if (bqi >= kMaxBqis || !rings_[bqi].in_use) return 0;
+  return rings_[bqi].posted;
+}
+
+bool An1Nic::bqi_valid(std::uint16_t bqi) const {
+  return bqi < kMaxBqis && rings_[bqi].in_use;
+}
+
+void An1Nic::rx_isr(sim::TaskCtx& ctx, const net::Frame& f) {
+  const auto& cost = cpu_.cost();
+  ctx.charge(cost.interrupt_entry);
+
+  const auto hdr = net::An1Header::parse(f.bytes);
+  if (!hdr) {
+    rx_dropped_++;
+    return;
+  }
+  // Hardware demultiplex: the controller indexed the BQI table before
+  // raising the interrupt; what the host pays is the device-management
+  // code inherent to the BQI machinery (Table 5's 50 us line).
+  std::uint16_t bqi = hdr->bqi;
+  if (!bqi_valid(bqi)) {
+    // Unknown index: the controller falls back to the kernel's ring.
+    bqi = kKernelBqi;
+  }
+  auto& ring = rings_[bqi];
+  if (ring.posted == 0) {
+    // Receive ring empty: the controller has nowhere to DMA. Dropped on
+    // the floor; reliable transports recover via retransmission.
+    ring_drops_++;
+    rx_dropped_++;
+    cpu_.metrics().demux_drops++;
+    return;
+  }
+  ring.posted--;
+  if (bqi == kKernelBqi) ring.posted++;  // kernel pool self-replenishes
+
+  ctx.charge(cost.demux_hardware_mgmt);
+  cpu_.metrics().demux_hardware_runs++;
+  rx_frames_++;
+  cpu_.metrics().packets_rx++;
+  dispatch_rx(ctx, f, bqi);
+}
+
+}  // namespace ulnet::hw

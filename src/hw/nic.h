@@ -1,0 +1,137 @@
+// Host-network interface models.
+//
+// A Nic sits between a Link (pure wire timing) and the host's Cpu (cost
+// accounting). Receiving a frame raises an interrupt task in kernel space;
+// the Nic subclass charges its hardware-specific costs (programmed-I/O
+// copy for Lance, DMA + BQI table lookup for AN1) and then hands the frame
+// to the kernel's registered receive handler *within the same CPU task*, so
+// the whole input path is one contiguous accounting span, as in a real ISR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/link.h"
+#include "sim/cpu.h"
+
+namespace ulnet::hw {
+
+class Nic : public net::LinkEndpoint {
+ public:
+  // Invoked in kernel space at interrupt priority once the device-specific
+  // receive costs have been charged. For the AN1 this also conveys the BQI
+  // the hardware demultiplexed on.
+  using RxHandler =
+      std::function<void(sim::TaskCtx&, const net::Frame&, std::uint16_t bqi)>;
+
+  Nic(sim::Cpu& cpu, net::Link& link, net::MacAddr mac, std::string name)
+      : cpu_(cpu), link_(link), mac_(mac), name_(std::move(name)) {
+    link_.attach(this);
+  }
+  ~Nic() override = default;
+
+  void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
+
+  // Transmit from a kernel driver context: charges device costs to `ctx`
+  // and defers the wire transmission to the task's completion.
+  virtual void transmit(sim::TaskCtx& ctx, net::Frame f) = 0;
+
+  // --- LinkEndpoint ---
+  void frame_arrived(const net::Frame& f) override;
+  [[nodiscard]] net::MacAddr mac() const override { return mac_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] net::Link& link() { return link_; }
+  [[nodiscard]] const net::LinkSpec& link_spec() const { return link_.spec(); }
+  [[nodiscard]] sim::Cpu& cpu() { return cpu_; }
+
+  [[nodiscard]] std::uint64_t tx_frames() const { return tx_frames_; }
+  [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+  [[nodiscard]] std::uint64_t rx_dropped() const { return rx_dropped_; }
+
+  // Link-payload MTU as seen by the protocol stack above the driver.
+  [[nodiscard]] virtual std::size_t driver_mtu() const = 0;
+
+ protected:
+  // Device-specific receive processing, running inside the ISR task.
+  virtual void rx_isr(sim::TaskCtx& ctx, const net::Frame& f) = 0;
+
+  void dispatch_rx(sim::TaskCtx& ctx, const net::Frame& f,
+                   std::uint16_t bqi) {
+    if (rx_handler_) rx_handler_(ctx, f, bqi);
+  }
+
+  sim::Cpu& cpu_;
+  net::Link& link_;
+  net::MacAddr mac_;
+  std::string name_;
+  RxHandler rx_handler_;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t rx_dropped_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// DEC PMADD-AA "Lance" Ethernet interface: no DMA; every byte crosses the
+// TURBOchannel under programmed I/O, charged to the host CPU on both paths.
+// ---------------------------------------------------------------------------
+class LanceNic final : public Nic {
+ public:
+  using Nic::Nic;
+
+  void transmit(sim::TaskCtx& ctx, net::Frame f) override;
+  [[nodiscard]] std::size_t driver_mtu() const override {
+    return link_.spec().mtu_payload;
+  }
+
+ protected:
+  void rx_isr(sim::TaskCtx& ctx, const net::Frame& f) override;
+};
+
+// ---------------------------------------------------------------------------
+// DEC SRC AN1 interface: DMA plus the buffer-queue-index (BQI) table. The
+// table maps a BQI carried in the link header to a ring of posted host
+// buffers; the controller DMAs the frame into the next buffer of that ring.
+// BQI 0 is the default and refers to protected kernel memory.
+// ---------------------------------------------------------------------------
+class An1Nic final : public Nic {
+ public:
+  static constexpr std::uint16_t kKernelBqi = 0;
+  static constexpr int kMaxBqis = 256;
+
+  An1Nic(sim::Cpu& cpu, net::Link& link, net::MacAddr mac, std::string name);
+
+  void transmit(sim::TaskCtx& ctx, net::Frame f) override;
+
+  // The paper's AN1 driver encapsulated into Ethernet-format datagrams and
+  // "restricts network transmissions to 1500-byte packets".
+  [[nodiscard]] std::size_t driver_mtu() const override { return 1500; }
+
+  // --- BQI table management (privileged; driven by the network I/O
+  // module or the registry server) ---
+  // Allocates a fresh BQI whose ring can hold `capacity` buffers.
+  // Returns 0 on table exhaustion (0 is never a valid user BQI).
+  std::uint16_t alloc_bqi(int capacity);
+  void free_bqi(std::uint16_t bqi);
+  // Post `n` empty receive buffers to a ring (library returning buffers).
+  void post_buffers(std::uint16_t bqi, int n);
+  [[nodiscard]] int posted_buffers(std::uint16_t bqi) const;
+  [[nodiscard]] bool bqi_valid(std::uint16_t bqi) const;
+
+  [[nodiscard]] std::uint64_t ring_drops() const { return ring_drops_; }
+
+ protected:
+  void rx_isr(sim::TaskCtx& ctx, const net::Frame& f) override;
+
+ private:
+  struct Ring {
+    bool in_use = false;
+    int capacity = 0;
+    int posted = 0;
+  };
+  std::array<Ring, kMaxBqis> rings_{};
+  std::uint64_t ring_drops_ = 0;
+};
+
+}  // namespace ulnet::hw

@@ -1,0 +1,48 @@
+#include "net/addr.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ulnet::net {
+
+std::string MacAddr::to_string() const {
+  char tmp[18];
+  std::snprintf(tmp, sizeof tmp, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return tmp;
+}
+
+MacAddr MacAddr::from_index(std::uint16_t host, std::uint8_t ifc) {
+  // 0x02 = locally administered, unicast.
+  return MacAddr{{0x02, 0x00, 0x5e, static_cast<std::uint8_t>(host >> 8),
+                  static_cast<std::uint8_t>(host & 0xff), ifc}};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char tmp[16];
+  std::snprintf(tmp, sizeof tmp, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return tmp;
+}
+
+Ipv4Addr Ipv4Addr::parse(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) !=
+          4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("bad IPv4 address: " + dotted);
+  }
+  return from_octets(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c),
+                     static_cast<std::uint8_t>(d));
+}
+
+bool same_subnet(Ipv4Addr a, Ipv4Addr b, int prefix_len) {
+  if (prefix_len <= 0) return true;
+  if (prefix_len >= 32) return a == b;
+  const std::uint32_t mask = ~0u << (32 - prefix_len);
+  return (a.value & mask) == (b.value & mask);
+}
+
+}  // namespace ulnet::net

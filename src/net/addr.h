@@ -1,0 +1,72 @@
+// Link-level (MAC) and network-level (IPv4) addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "buf/bytes.h"
+
+namespace ulnet::net {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  auto operator<=>(const MacAddr&) const = default;
+
+  [[nodiscard]] bool is_broadcast() const {
+    for (auto o : octets) {
+      if (o != 0xff) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  static MacAddr broadcast() {
+    return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+  // Locally-administered address derived from a small host/interface index.
+  static MacAddr from_index(std::uint16_t host, std::uint8_t ifc);
+};
+
+struct Ipv4Addr {
+  std::uint32_t value = 0;  // host byte order
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_zero() const { return value == 0; }
+
+  static Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                              std::uint8_t d) {
+    return Ipv4Addr{(static_cast<std::uint32_t>(a) << 24) |
+                    (static_cast<std::uint32_t>(b) << 16) |
+                    (static_cast<std::uint32_t>(c) << 8) | d};
+  }
+  // Parse dotted quad; throws std::invalid_argument on malformed input.
+  static Ipv4Addr parse(const std::string& dotted);
+};
+
+// Returns true if a and b share the given prefix length.
+[[nodiscard]] bool same_subnet(Ipv4Addr a, Ipv4Addr b, int prefix_len);
+
+}  // namespace ulnet::net
+
+template <>
+struct std::hash<ulnet::net::Ipv4Addr> {
+  std::size_t operator()(const ulnet::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<ulnet::net::MacAddr> {
+  std::size_t operator()(const ulnet::net::MacAddr& m) const noexcept {
+    std::uint64_t v = 0;
+    for (auto o : m.octets) v = (v << 8) | o;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

@@ -1,0 +1,39 @@
+#include "net/frame.h"
+
+namespace ulnet::net {
+
+void EthHeader::serialize(buf::Bytes& out) const {
+  buf::put_bytes(out, buf::ByteView(dst.octets.data(), dst.octets.size()));
+  buf::put_bytes(out, buf::ByteView(src.octets.data(), src.octets.size()));
+  buf::put16(out, ethertype);
+}
+
+std::optional<EthHeader> EthHeader::parse(buf::ByteView b) {
+  if (b.size() < kSize) return std::nullopt;
+  EthHeader h;
+  for (int i = 0; i < 6; ++i) h.dst.octets[i] = b[i];
+  for (int i = 0; i < 6; ++i) h.src.octets[i] = b[6 + i];
+  h.ethertype = buf::rd16(b, 12);
+  return h;
+}
+
+void An1Header::serialize(buf::Bytes& out) const {
+  buf::put_bytes(out, buf::ByteView(dst.octets.data(), dst.octets.size()));
+  buf::put_bytes(out, buf::ByteView(src.octets.data(), src.octets.size()));
+  buf::put16(out, bqi);
+  buf::put16(out, bqi_advert);
+  buf::put16(out, ethertype);
+}
+
+std::optional<An1Header> An1Header::parse(buf::ByteView b) {
+  if (b.size() < kSize) return std::nullopt;
+  An1Header h;
+  for (int i = 0; i < 6; ++i) h.dst.octets[i] = b[i];
+  for (int i = 0; i < 6; ++i) h.src.octets[i] = b[6 + i];
+  h.bqi = buf::rd16(b, kBqiOffset);
+  h.bqi_advert = buf::rd16(b, kAdvertOffset);
+  h.ethertype = buf::rd16(b, 16);
+  return h;
+}
+
+}  // namespace ulnet::net

@@ -1,0 +1,74 @@
+// Link-level frame formats.
+//
+// Ethernet: the classic 14-byte DIX header (dst, src, ethertype).
+//
+// AN1: the DEC SRC Autonet link header. We model it as a 16-byte header:
+// dst MAC, src MAC, a 16-bit *buffer queue index* (BQI), and a 16-bit
+// ethertype. The BQI is the paper's central hardware hook: an index into a
+// table on the receiving controller that selects the host buffer ring into
+// which the packet is DMA'd. BQI 0 is reserved for protected kernel buffers.
+// (The real AN1 carried the BQI in an "unused field" of its header; the
+// exact layout is immaterial to the mechanism.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "buf/bytes.h"
+#include "net/addr.h"
+
+namespace ulnet::net {
+
+// EtherTypes used across the stack (also valid inside AN1 encapsulation).
+inline constexpr std::uint16_t kEtherTypeIp = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+// Private ethertype for the raw-exchange micro-benchmark of Table 1.
+inline constexpr std::uint16_t kEtherTypeRaw = 0x88b5;
+
+// A fully serialized link-level frame plus the receive-path metadata a
+// controller would see.
+struct Frame {
+  buf::Bytes bytes;
+
+  [[nodiscard]] std::size_t size() const { return bytes.size(); }
+};
+
+// ---------------------------------------------------------------------------
+// Ethernet
+// ---------------------------------------------------------------------------
+
+struct EthHeader {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = 0;
+
+  static constexpr std::size_t kSize = 14;
+
+  void serialize(buf::Bytes& out) const;
+  // Parse from the front of `b`; nullopt if too short.
+  static std::optional<EthHeader> parse(buf::ByteView b);
+};
+
+// ---------------------------------------------------------------------------
+// AN1
+// ---------------------------------------------------------------------------
+
+struct An1Header {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t bqi = 0;  // receive buffer queue index at the destination
+  // The "unused field" of the real AN1 header (paper Section 3.4): during
+  // connection setup each side advertises the BQI the peer should put in
+  // subsequent packets. 0 = no advertisement.
+  std::uint16_t bqi_advert = 0;
+  std::uint16_t ethertype = 0;
+
+  static constexpr std::size_t kSize = 18;
+  static constexpr std::size_t kBqiOffset = 12;
+  static constexpr std::size_t kAdvertOffset = 14;
+
+  void serialize(buf::Bytes& out) const;
+  static std::optional<An1Header> parse(buf::ByteView b);
+};
+
+}  // namespace ulnet::net

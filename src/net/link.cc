@@ -1,0 +1,120 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace ulnet::net {
+
+sim::Time LinkSpec::serialization_ns(std::size_t frame_len) const {
+  const std::size_t padded = std::max(frame_len + fcs_bytes, min_frame);
+  const std::size_t wire_bytes = preamble_bytes + padded;
+  const double ns =
+      static_cast<double>(wire_bytes) * 8.0 / bits_per_sec * 1e9;
+  return static_cast<sim::Time>(ns);
+}
+
+sim::Time LinkSpec::occupancy_ns(std::size_t frame_len) const {
+  const double gap_ns =
+      static_cast<double>(ipg_bytes) * 8.0 / bits_per_sec * 1e9;
+  return serialization_ns(frame_len) + static_cast<sim::Time>(gap_ns);
+}
+
+double LinkSpec::payload_saturation_bps(std::size_t payload) const {
+  const std::size_t frame_len =
+      std::min(payload, mtu_payload) + header_bytes;
+  const sim::Time per_frame = occupancy_ns(frame_len);
+  const double payload_bits =
+      static_cast<double>(std::min(payload, mtu_payload)) * 8.0;
+  return payload_bits / (static_cast<double>(per_frame) / 1e9);
+}
+
+LinkSpec LinkSpec::ethernet10() {
+  LinkSpec s;
+  s.name = "ethernet-10";
+  s.bits_per_sec = 10e6;
+  s.preamble_bytes = 8;
+  s.ipg_bytes = 12;
+  s.fcs_bytes = 4;
+  s.min_frame = 64;  // including header and FCS
+  s.header_bytes = EthHeader::kSize;
+  s.mtu_payload = 1500;
+  s.propagation = 5 * sim::kUs;
+  return s;
+}
+
+LinkSpec LinkSpec::an1() {
+  LinkSpec s;
+  s.name = "an1-100";
+  s.bits_per_sec = 100e6;
+  s.preamble_bytes = 4;
+  s.ipg_bytes = 4;
+  s.fcs_bytes = 4;
+  s.min_frame = 32;
+  s.header_bytes = An1Header::kSize;
+  // The AN1 hardware supports packets up to 64 KB; the paper's driver
+  // restricted itself to Ethernet-format 1500-byte datagrams (that limit
+  // lives in the driver, not here).
+  s.mtu_payload = 65535;
+  s.propagation = 2 * sim::kUs;
+  return s;
+}
+
+void Link::transmit(const LinkEndpoint* from, Frame f) {
+  if (tap) tap(f);
+  const sim::Time now = loop_.now();
+  const sim::Time start = std::max(now, channel_free_at_);
+  const sim::Time ser = spec_.serialization_ns(f.size());
+  const sim::Time end = start + ser;
+  channel_free_at_ = start + spec_.occupancy_ns(f.size());
+  busy_ns_ += ser;
+  frames_sent_++;
+  bytes_sent_ += f.size();
+
+  if (faults_.loss_p > 0 && rng_.chance(faults_.loss_p)) {
+    frames_dropped_++;
+    return;
+  }
+
+  Frame delivered = std::move(f);
+  if (faults_.corrupt_p > 0 && rng_.chance(faults_.corrupt_p) &&
+      delivered.bytes.size() > spec_.header_bytes) {
+    // Flip one bit beyond the link header so the frame still demuxes and the
+    // corruption must be caught by an IP/TCP/UDP checksum.
+    const std::size_t off =
+        spec_.header_bytes +
+        rng_.below(delivered.bytes.size() - spec_.header_bytes);
+    delivered.bytes[off] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+  }
+
+  const bool duplicate = faults_.dup_p > 0 && rng_.chance(faults_.dup_p);
+  sim::Time arrive = end + spec_.propagation;
+  if (faults_.jitter_max > 0) {
+    arrive += rng_.range(0, faults_.jitter_max);
+  }
+
+  loop_.schedule_at(arrive,
+                    [this, delivered, from] { deliver(delivered, from); });
+  if (duplicate) {
+    loop_.schedule_at(arrive + spec_.occupancy_ns(delivered.size()),
+                      [this, delivered, from] { deliver(delivered, from); });
+  }
+}
+
+MacAddr Link::frame_dst(const Frame& f) const {
+  MacAddr dst;
+  for (int i = 0; i < 6 && i < static_cast<int>(f.bytes.size()); ++i) {
+    dst.octets[static_cast<std::size_t>(i)] = f.bytes[static_cast<std::size_t>(i)];
+  }
+  return dst;
+}
+
+void Link::deliver(const Frame& f, const LinkEndpoint* from) {
+  const MacAddr dst = frame_dst(f);
+  for (LinkEndpoint* ep : endpoints_) {
+    if (ep == from) continue;
+    if (dst.is_broadcast() || ep->mac() == dst || ep->promiscuous()) {
+      ep->frame_arrived(f);
+    }
+  }
+}
+
+}  // namespace ulnet::net

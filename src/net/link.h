@@ -1,0 +1,108 @@
+// Link models.
+//
+// A Link is a broadcast medium with serialization-time accounting: one frame
+// occupies the channel for its wire time (preamble + padded frame + FCS) and
+// successive frames are separated by the inter-packet gap, which is how the
+// paper's "link saturation when the Ethernet frame format and inter-packet
+// gaps are accounted for" bound (Table 1) arises. Ethernet is a shared
+// 10 Mb/s medium; AN1 is modelled as the paper's "switchless, private
+// segment" at 100 Mb/s.
+//
+// Links also host fault injection (loss, duplication, corruption, jitter)
+// used by the TCP robustness and property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace ulnet::net {
+
+class LinkEndpoint {
+ public:
+  virtual ~LinkEndpoint() = default;
+  // Hardware-level frame arrival (before any interrupt or CPU involvement).
+  virtual void frame_arrived(const Frame& f) = 0;
+  [[nodiscard]] virtual MacAddr mac() const = 0;
+  [[nodiscard]] virtual bool promiscuous() const { return false; }
+};
+
+struct LinkSpec {
+  std::string name;
+  double bits_per_sec = 0;
+  std::size_t preamble_bytes = 0;
+  std::size_t ipg_bytes = 0;       // inter-packet gap, in byte times
+  std::size_t fcs_bytes = 0;       // trailing CRC
+  std::size_t min_frame = 0;       // pad-to size including header+FCS
+  std::size_t header_bytes = 0;    // link header size
+  std::size_t mtu_payload = 0;     // max payload after the link header
+  sim::Time propagation = 0;
+
+  // Wire time of a frame whose header+payload length is `frame_len`.
+  [[nodiscard]] sim::Time serialization_ns(std::size_t frame_len) const;
+  // Occupancy including the inter-packet gap (back-to-back spacing).
+  [[nodiscard]] sim::Time occupancy_ns(std::size_t frame_len) const;
+  // Analytic payload saturation throughput for back-to-back frames each
+  // carrying `payload` bytes, in bits/second (Table 1's "standalone" row).
+  [[nodiscard]] double payload_saturation_bps(std::size_t payload) const;
+
+  static LinkSpec ethernet10();  // 10 Mb/s DIX Ethernet
+  static LinkSpec an1();         // 100 Mb/s DEC SRC AN1 segment
+};
+
+struct FaultPlan {
+  double loss_p = 0;
+  double dup_p = 0;
+  double corrupt_p = 0;
+  sim::Time jitter_max = 0;  // uniform extra delay; can reorder frames
+};
+
+class Link {
+ public:
+  Link(sim::EventLoop& loop, sim::Rng& rng, LinkSpec spec)
+      : loop_(loop), rng_(rng), spec_(std::move(spec)) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void attach(LinkEndpoint* ep) { endpoints_.push_back(ep); }
+
+  // Observation tap: sees every frame as it is queued for transmission
+  // (before fault injection). For traces and tests; not part of the model.
+  std::function<void(const Frame&)> tap;
+
+  // Queue a frame for transmission by `from`. Delivery is scheduled after
+  // channel acquisition + serialization + propagation (+ injected jitter).
+  void transmit(const LinkEndpoint* from, Frame f);
+
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+  FaultPlan& faults() { return faults_; }
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] sim::Time busy_ns() const { return busy_ns_; }
+
+ private:
+  void deliver(const Frame& f, const LinkEndpoint* from);
+  [[nodiscard]] MacAddr frame_dst(const Frame& f) const;
+
+  sim::EventLoop& loop_;
+  sim::Rng& rng_;
+  LinkSpec spec_;
+  FaultPlan faults_;
+  std::vector<LinkEndpoint*> endpoints_;
+  sim::Time channel_free_at_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  sim::Time busy_ns_ = 0;
+};
+
+}  // namespace ulnet::net

@@ -1,0 +1,63 @@
+#include "net/pcap.h"
+
+#include <stdexcept>
+
+#include "net/frame.h"
+
+namespace ulnet::net {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::uint32_t kLinkUser0 = 147;
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  // pcap is written in host byte order together with the magic marker.
+  std::fwrite(&v, sizeof v, 1, f);
+}
+void put_u16(std::FILE* f, std::uint16_t v) { std::fwrite(&v, sizeof v, 1, f); }
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, Link& link,
+                       sim::EventLoop& loop)
+    : link_(link), loop_(loop) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("PcapWriter: cannot open " + path);
+  }
+  const bool ethernet = link.spec().header_bytes == EthHeader::kSize;
+  write_header(ethernet ? kLinkEthernet : kLinkUser0);
+  link_.tap = [this](const Frame& f) { record(f); };
+}
+
+PcapWriter::~PcapWriter() { close(); }
+
+void PcapWriter::write_header(std::uint32_t linktype) {
+  put_u32(file_, kMagic);
+  put_u16(file_, 2);   // version major
+  put_u16(file_, 4);   // version minor
+  put_u32(file_, 0);   // thiszone
+  put_u32(file_, 0);   // sigfigs
+  put_u32(file_, 65535);  // snaplen
+  put_u32(file_, linktype);
+}
+
+void PcapWriter::record(const Frame& f) {
+  if (file_ == nullptr) return;
+  const sim::Time now = loop_.now();
+  put_u32(file_, static_cast<std::uint32_t>(now / sim::kSec));
+  put_u32(file_, static_cast<std::uint32_t>((now % sim::kSec) / sim::kUs));
+  put_u32(file_, static_cast<std::uint32_t>(f.bytes.size()));
+  put_u32(file_, static_cast<std::uint32_t>(f.bytes.size()));
+  std::fwrite(f.bytes.data(), 1, f.bytes.size(), file_);
+  frames_written_++;
+}
+
+void PcapWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace ulnet::net

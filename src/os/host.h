@@ -1,0 +1,86 @@
+// A simulated workstation: one CPU, one kernel, address spaces, interfaces.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/nic.h"
+#include "hw/rtclock.h"
+#include "net/addr.h"
+#include "os/kernel.h"
+#include "sim/cpu.h"
+#include "sim/rng.h"
+
+namespace ulnet::os {
+
+class Host {
+ public:
+  struct Interface {
+    hw::Nic* nic = nullptr;
+    net::Ipv4Addr ip;
+    int prefix_len = 24;
+  };
+
+  Host(sim::EventLoop& loop, const sim::CostModel& cost, sim::Metrics& metrics,
+       std::string name)
+      : name_(std::move(name)),
+        cpu_(loop, cost, metrics, name_ + ".cpu"),
+        kernel_(cpu_, metrics),
+        clock_(loop) {
+    space_names_.push_back("kernel");  // space 0
+  }
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  sim::Cpu& cpu() { return cpu_; }
+  Kernel& kernel() { return kernel_; }
+  hw::RtClock& clock() { return clock_; }
+  sim::EventLoop& loop() { return cpu_.loop(); }
+
+  // Allocate a new user address space (a "process").
+  sim::SpaceId new_space(const std::string& space_name) {
+    space_names_.push_back(space_name);
+    return static_cast<sim::SpaceId>(space_names_.size() - 1);
+  }
+  [[nodiscard]] const std::string& space_name(sim::SpaceId s) const {
+    return space_names_.at(static_cast<std::size_t>(s));
+  }
+
+  void add_interface(Interface ifc) { interfaces_.push_back(ifc); }
+  std::vector<Interface>& interfaces() { return interfaces_; }
+
+  // Interface whose subnet contains `dst`, or nullptr.
+  Interface* interface_for(net::Ipv4Addr dst) {
+    for (auto& ifc : interfaces_) {
+      if (net::same_subnet(ifc.ip, dst, ifc.prefix_len)) return &ifc;
+    }
+    return nullptr;
+  }
+  Interface* interface_by_nic(const hw::Nic* nic) {
+    for (auto& ifc : interfaces_) {
+      if (ifc.nic == nic) return &ifc;
+    }
+    return nullptr;
+  }
+  // Primary address (first interface); zero if none.
+  [[nodiscard]] net::Ipv4Addr primary_ip() const {
+    return interfaces_.empty() ? net::Ipv4Addr{} : interfaces_.front().ip;
+  }
+
+  // Convenience: run `fn` as a normal-priority task in `space`.
+  void run_in(sim::SpaceId space, sim::Cpu::TaskFn fn) {
+    cpu_.submit(space, sim::Prio::kNormal, std::move(fn));
+  }
+
+ private:
+  std::string name_;
+  sim::Cpu cpu_;
+  Kernel kernel_;
+  hw::RtClock clock_;
+  std::vector<std::string> space_names_;
+  std::vector<Interface> interfaces_;
+};
+
+}  // namespace ulnet::os

@@ -1,0 +1,95 @@
+#include "os/kernel.h"
+
+namespace ulnet::os {
+
+PortId Kernel::port_allocate(sim::SpaceId owner) {
+  PortId id = next_port_++;
+  ports_.emplace(id, Port{owner, {owner}});
+  return id;
+}
+
+void Kernel::port_destroy(PortId port) { ports_.erase(port); }
+
+void Kernel::port_insert_send_right(PortId port, sim::SpaceId space) {
+  auto it = ports_.find(port);
+  if (it != ports_.end()) it->second.send_rights.insert(space);
+}
+
+void Kernel::port_remove_send_right(PortId port, sim::SpaceId space) {
+  auto it = ports_.find(port);
+  if (it != ports_.end()) it->second.send_rights.erase(space);
+}
+
+bool Kernel::port_has_send_right(PortId port, sim::SpaceId space) const {
+  auto it = ports_.find(port);
+  return it != ports_.end() && it->second.send_rights.contains(space);
+}
+
+RegionId Kernel::region_create(std::size_t bytes) {
+  RegionId id = next_region_++;
+  regions_.emplace(id, Region{bytes, {sim::kKernelSpace}});
+  return id;
+}
+
+void Kernel::region_map(RegionId region, sim::SpaceId space) {
+  auto it = regions_.find(region);
+  if (it != regions_.end()) it->second.mapped.insert(space);
+}
+
+void Kernel::region_unmap(RegionId region, sim::SpaceId space) {
+  auto it = regions_.find(region);
+  if (it != regions_.end()) it->second.mapped.erase(space);
+}
+
+void Kernel::region_destroy(RegionId region) { regions_.erase(region); }
+
+bool Kernel::region_mapped(RegionId region, sim::SpaceId space) const {
+  auto it = regions_.find(region);
+  return it != regions_.end() && it->second.mapped.contains(space);
+}
+
+std::size_t Kernel::region_size(RegionId region) const {
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0 : it->second.bytes;
+}
+
+void Kernel::ipc_send(sim::TaskCtx& ctx, sim::SpaceId dst_space,
+                      std::size_t bytes, sim::Cpu::TaskFn handler) {
+  const auto& cost = cpu_.cost();
+  metrics_.ipc_messages++;
+  // Send half: trap into the kernel, rights check, message copy.
+  ctx.charge(cost.trap_syscall);
+  metrics_.traps++;
+  ctx.charge(cost.mach_ipc_oneway / 2);
+  ctx.charge(static_cast<sim::Time>(bytes) * cost.mach_ipc_per_byte);
+  if (bytes > 0) {
+    metrics_.copies++;
+    metrics_.bytes_copied += bytes;
+  }
+  // Receive half runs as a task in the destination space; the context
+  // switch is charged by the CPU when the space changes. Dispatch at the
+  // sender's accrued instant so consecutive IPCs in one task pipeline.
+  cpu_.loop().schedule_at(
+      ctx.now(), [this, dst_space, h = std::move(handler)]() mutable {
+        cpu_.submit(dst_space, sim::Prio::kNormal,
+                    [this, h = std::move(h)](sim::TaskCtx& rctx) {
+                      rctx.charge(cpu_.cost().mach_ipc_oneway / 2);
+                      h(rctx);
+                    });
+      });
+}
+
+void Kernel::copy_bytes(sim::TaskCtx& ctx, std::size_t bytes,
+                        bool remap_eligible) {
+  const auto& cost = cpu_.cost();
+  if (remap_eligible && bytes >= cost.remap_threshold) {
+    ctx.charge(cost.page_remap);
+    metrics_.page_remaps++;
+  } else {
+    ctx.charge(static_cast<sim::Time>(bytes) * cost.copy_per_byte);
+    metrics_.copies++;
+    metrics_.bytes_copied += bytes;
+  }
+}
+
+}  // namespace ulnet::os

@@ -1,0 +1,104 @@
+// Mach-flavoured kernel substrate for one host.
+//
+// Provides exactly the mechanisms the paper's design leans on:
+//   * ports -- unforgeable capabilities with per-space send rights,
+//   * shared-memory regions -- pinned, mappable into chosen spaces,
+//   * message IPC with modelled cost (the single-server and registry paths),
+//   * traps (generic and the specialized network-I/O entry point).
+//
+// Data never moves through these objects -- frames travel as values in the
+// simulation -- but authorization checks are real: a space without the right
+// send right or mapping is refused, which the security tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/cpu.h"
+#include "sim/metrics.h"
+
+namespace ulnet::os {
+
+using PortId = std::uint64_t;
+using RegionId = std::uint64_t;
+inline constexpr PortId kInvalidPort = 0;
+inline constexpr RegionId kInvalidRegion = 0;
+
+class Kernel {
+ public:
+  Kernel(sim::Cpu& cpu, sim::Metrics& metrics) : cpu_(cpu), metrics_(metrics) {}
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- Traps ----------------------------------------------------------
+  // Generic syscall entry/exit cost.
+  void trap(sim::TaskCtx& ctx) {
+    ctx.charge(cpu_.cost().trap_syscall);
+    metrics_.traps++;
+  }
+  // The specialized, lightweight entry point into the network I/O module.
+  void fast_trap(sim::TaskCtx& ctx) {
+    ctx.charge(cpu_.cost().trap_specialized);
+    metrics_.specialized_traps++;
+  }
+
+  // ---- Ports (capabilities) --------------------------------------------
+  // Create a port whose receive right belongs to `owner`.
+  PortId port_allocate(sim::SpaceId owner);
+  void port_destroy(PortId port);
+  // Grant `space` a send right (only meaningful from trusted code).
+  void port_insert_send_right(PortId port, sim::SpaceId space);
+  void port_remove_send_right(PortId port, sim::SpaceId space);
+  [[nodiscard]] bool port_has_send_right(PortId port,
+                                         sim::SpaceId space) const;
+  [[nodiscard]] bool port_exists(PortId port) const {
+    return ports_.contains(port);
+  }
+
+  // ---- Shared memory ----------------------------------------------------
+  RegionId region_create(std::size_t bytes);
+  void region_map(RegionId region, sim::SpaceId space);
+  void region_unmap(RegionId region, sim::SpaceId space);
+  void region_destroy(RegionId region);
+  [[nodiscard]] bool region_mapped(RegionId region, sim::SpaceId space) const;
+  [[nodiscard]] std::size_t region_size(RegionId region) const;
+
+  // ---- IPC --------------------------------------------------------------
+  // One-way Mach message of `bytes` payload from the current task's space
+  // to `dst_space`. Charges the send half to `ctx` and dispatches `handler`
+  // as a task in the destination space (which pays the receive half and, via
+  // the CPU, the context switch).
+  void ipc_send(sim::TaskCtx& ctx, sim::SpaceId dst_space, std::size_t bytes,
+                sim::Cpu::TaskFn handler);
+
+  // ---- Data movement costs ----------------------------------------------
+  // Cross-space copy of `bytes`: charged as a copy, or as a fixed page remap
+  // when the monolithic stacks' copy-avoidance threshold applies.
+  void copy_bytes(sim::TaskCtx& ctx, std::size_t bytes,
+                  bool remap_eligible = true);
+
+  sim::Cpu& cpu() { return cpu_; }
+  sim::Metrics& metrics() { return metrics_; }
+
+ private:
+  struct Port {
+    sim::SpaceId owner;
+    std::unordered_set<sim::SpaceId> send_rights;
+  };
+  struct Region {
+    std::size_t bytes = 0;
+    std::unordered_set<sim::SpaceId> mapped;
+  };
+
+  sim::Cpu& cpu_;
+  sim::Metrics& metrics_;
+  std::unordered_map<PortId, Port> ports_;
+  std::unordered_map<RegionId, Region> regions_;
+  PortId next_port_ = 1;
+  RegionId next_region_ = 1;
+};
+
+}  // namespace ulnet::os

@@ -1,0 +1,82 @@
+// Lightweight semaphore connecting the kernel-resident network I/O module to
+// the protocol library's service thread (paper Section 3.2: "network packet
+// arrival notification is done via a lightweight semaphore that a library
+// thread is waiting on").
+//
+// Counting semantics with a single registered waiter. A signal while no
+// waiter is registered accumulates; a wait while the count is positive fires
+// immediately without a kernel sleep (the cheap path that makes notification
+// batching effective).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "sim/cpu.h"
+
+namespace ulnet::os {
+
+class Semaphore {
+ public:
+  using WaitFn = std::function<void(sim::TaskCtx&)>;
+
+  Semaphore(sim::Cpu& cpu, sim::SpaceId waiter_space)
+      : cpu_(cpu), waiter_space_(waiter_space) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // Kernel side: charge the signal cost to the running task; if a waiter is
+  // blocked, schedule its wakeup at task completion.
+  void signal(sim::TaskCtx& ctx) {
+    ctx.charge(cpu_.cost().semaphore_signal);
+    cpu_.metrics().semaphore_signals++;
+    count_++;
+    maybe_wake(ctx);
+  }
+
+  // Library side: run `fn` (in the waiter's space) once the count is
+  // positive; consumes one count. Only one waiter may be pending.
+  void wait(WaitFn fn) {
+    waiter_ = std::move(fn);
+    if (count_ > 0) {
+      // Already-signalled fast path: no kernel sleep happened, only the
+      // user-level thread dispatch is paid.
+      dispatch_waiter(/*blocked=*/false);
+    }
+  }
+
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] bool has_waiter() const { return waiter_.has_value(); }
+
+ private:
+  void maybe_wake(sim::TaskCtx& ctx) {
+    if (!waiter_ || count_ <= 0) return;
+    cpu_.loop().schedule_at(ctx.now(),
+                            [this] { dispatch_waiter(/*blocked=*/true); });
+  }
+
+  void dispatch_waiter(bool blocked) {
+    if (!waiter_ || count_ <= 0) return;  // re-check at fire time
+    count_--;
+    WaitFn fn = std::move(*waiter_);
+    waiter_.reset();
+    cpu_.submit(waiter_space_, sim::Prio::kNormal,
+                [this, fn = std::move(fn), blocked](sim::TaskCtx& tctx) {
+                  const auto& cost = cpu_.cost();
+                  if (blocked) {
+                    tctx.charge(cost.kernel_wakeup);
+                    cpu_.metrics().semaphore_wakeups++;
+                  }
+                  tctx.charge(cost.uthread_dispatch);
+                  fn(tctx);
+                });
+  }
+
+  sim::Cpu& cpu_;
+  sim::SpaceId waiter_space_;
+  int count_ = 0;
+  std::optional<WaitFn> waiter_;
+};
+
+}  // namespace ulnet::os

@@ -1,0 +1,90 @@
+// The simulated world: event loop, cost model, hosts, links, NICs.
+//
+// Owns every simulation object; benches and tests construct one World per
+// experiment, wire hosts to links, install a protocol organization, and run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/nic.h"
+#include "net/link.h"
+#include "os/host.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/metrics.h"
+#include "sim/rng.h"
+
+namespace ulnet::os {
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 1,
+                 const sim::CostModel& cost = sim::CostModel{})
+      : cost_(cost), rng_(seed) {}
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Rng& rng() { return rng_; }
+  sim::CostModel& cost() { return cost_; }
+  sim::Metrics& metrics() { return metrics_; }
+
+  Host& add_host(const std::string& name) {
+    hosts_.push_back(std::make_unique<Host>(loop_, cost_, metrics_, name));
+    return *hosts_.back();
+  }
+
+  net::Link& add_link(net::LinkSpec spec) {
+    links_.push_back(std::make_unique<net::Link>(loop_, rng_, std::move(spec)));
+    return *links_.back();
+  }
+  net::Link& add_ethernet() { return add_link(net::LinkSpec::ethernet10()); }
+  net::Link& add_an1() { return add_link(net::LinkSpec::an1()); }
+
+  hw::LanceNic& attach_lance(Host& host, net::Link& link, net::Ipv4Addr ip,
+                             int prefix_len = 24) {
+    auto mac = next_mac();
+    auto nic = std::make_unique<hw::LanceNic>(host.cpu(), link, mac,
+                                              host.name() + ".lance");
+    auto& ref = *nic;
+    nics_.push_back(std::move(nic));
+    host.add_interface(Host::Interface{&ref, ip, prefix_len});
+    return ref;
+  }
+
+  hw::An1Nic& attach_an1(Host& host, net::Link& link, net::Ipv4Addr ip,
+                         int prefix_len = 24) {
+    auto mac = next_mac();
+    auto nic = std::make_unique<hw::An1Nic>(host.cpu(), link, mac,
+                                            host.name() + ".an1");
+    auto& ref = *nic;
+    nics_.push_back(std::move(nic));
+    host.add_interface(Host::Interface{&ref, ip, prefix_len});
+    return ref;
+  }
+
+  [[nodiscard]] sim::Time now() const { return loop_.now(); }
+  std::uint64_t run() { return loop_.run(); }
+  std::uint64_t run_until(sim::Time t) { return loop_.run_until(t); }
+  std::uint64_t run_for(sim::Time d) { return loop_.run_until(now() + d); }
+
+  std::vector<std::unique_ptr<Host>>& hosts() { return hosts_; }
+
+ private:
+  net::MacAddr next_mac() {
+    return net::MacAddr::from_index(next_mac_index_++, 0);
+  }
+
+  sim::EventLoop loop_;
+  sim::CostModel cost_;
+  sim::Metrics metrics_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<hw::Nic>> nics_;
+  std::uint16_t next_mac_index_ = 1;
+};
+
+}  // namespace ulnet::os

@@ -1,0 +1,108 @@
+#include "proto/arp.h"
+
+namespace ulnet::proto {
+
+ArpModule::~ArpModule() {
+  for (auto& [ip, p] : pending_) {
+    if (p.retry_timer != timer::kInvalidTimer) {
+      env_.cancel_timer(p.retry_timer);
+    }
+  }
+}
+
+void ArpModule::add_entry(net::Ipv4Addr ip, net::MacAddr mac) {
+  cache_[ip] = CacheEntry{mac, env_.now() + cfg_.entry_ttl};
+}
+
+std::optional<net::MacAddr> ArpModule::lookup(net::Ipv4Addr ip) const {
+  auto it = cache_.find(ip);
+  if (it == cache_.end() || it->second.expires <= env_.now()) {
+    return std::nullopt;
+  }
+  return it->second.mac;
+}
+
+void ArpModule::resolve(int ifc, net::Ipv4Addr ip, ResolveCb cb) {
+  if (auto mac = lookup(ip)) {
+    cb(mac);
+    return;
+  }
+  auto [it, fresh] = pending_.try_emplace(ip);
+  it->second.ifc = ifc;
+  it->second.waiters.push_back(std::move(cb));
+  if (fresh) {
+    it->second.attempts = 1;
+    send_request(ifc, ip);
+    it->second.retry_timer =
+        env_.schedule(cfg_.request_timeout, [this, ip] { retry(ip); });
+  }
+}
+
+void ArpModule::send_request(int ifc, net::Ipv4Addr ip) {
+  ArpMessage req;
+  req.op = ArpMessage::kOpRequest;
+  req.sender_mac = env_.ifc_mac(ifc);
+  req.sender_ip = env_.ifc_ip(ifc);
+  req.target_mac = net::MacAddr{};  // unknown
+  req.target_ip = ip;
+  buf::Bytes payload;
+  req.serialize(payload);
+  requests_sent_++;
+  env_.charge(env_.cost().ip_fixed);
+  env_.transmit(ifc, net::MacAddr::broadcast(), net::kEtherTypeArp,
+                std::move(payload), nullptr);
+}
+
+void ArpModule::retry(net::Ipv4Addr ip) {
+  auto it = pending_.find(ip);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.attempts >= cfg_.max_retries) {
+    failures_++;
+    auto waiters = std::move(p.waiters);
+    pending_.erase(it);
+    for (auto& cb : waiters) cb(std::nullopt);
+    return;
+  }
+  p.attempts++;
+  send_request(p.ifc, ip);
+  p.retry_timer =
+      env_.schedule(cfg_.request_timeout, [this, ip] { retry(ip); });
+}
+
+void ArpModule::input(int ifc, buf::ByteView message) {
+  env_.charge(env_.cost().ip_fixed);
+  auto msg = ArpMessage::parse(message);
+  if (!msg) return;
+
+  // Learn the sender's mapping either way (standard ARP optimization).
+  add_entry(msg->sender_ip, msg->sender_mac);
+
+  // Release any packets waiting on this address.
+  if (auto it = pending_.find(msg->sender_ip); it != pending_.end()) {
+    if (it->second.retry_timer != timer::kInvalidTimer) {
+      env_.cancel_timer(it->second.retry_timer);
+    }
+    auto waiters = std::move(it->second.waiters);
+    pending_.erase(it);
+    for (auto& cb : waiters) cb(msg->sender_mac);
+  }
+
+  if (msg->op == ArpMessage::kOpRequest &&
+      msg->target_ip == env_.ifc_ip(ifc)) {
+    ArpMessage reply;
+    reply.op = ArpMessage::kOpReply;
+    reply.sender_mac = env_.ifc_mac(ifc);
+    reply.sender_ip = env_.ifc_ip(ifc);
+    reply.target_mac = msg->sender_mac;
+    reply.target_ip = msg->sender_ip;
+    buf::Bytes payload;
+    reply.serialize(payload);
+    replies_sent_++;
+    env_.charge(env_.cost().ip_fixed);
+    env_.transmit(ifc, msg->sender_mac, net::kEtherTypeArp,
+                  std::move(payload), nullptr);
+  }
+}
+
+}  // namespace ulnet::proto

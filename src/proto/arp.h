@@ -1,0 +1,80 @@
+// ARP: IPv4 -> link address resolution with a per-interface cache,
+// request retry, and a pending-packet queue per unresolved address.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/env.h"
+#include "proto/wire.h"
+
+namespace ulnet::proto {
+
+class ArpModule {
+ public:
+  using ResolveCb = std::function<void(std::optional<net::MacAddr>)>;
+
+  struct Config {
+    sim::Time entry_ttl;
+    sim::Time request_timeout;
+    int max_retries;
+    // Explicit default constructor rather than member initializers: the
+    // latter cannot be used in a same-class default argument (GCC #88165).
+    Config()
+        : entry_ttl(20 * 60 * sim::kSec),
+          request_timeout(1 * sim::kSec),
+          max_retries(3) {}
+  };
+
+  explicit ArpModule(StackEnv& env, Config cfg = Config()) : env_(env), cfg_(cfg) {}
+  ~ArpModule();
+  ArpModule(const ArpModule&) = delete;
+  ArpModule& operator=(const ArpModule&) = delete;
+
+  // Resolve `ip` on interface `ifc`. Calls `cb` immediately on a cache hit;
+  // otherwise broadcasts a request and queues the callback. On failure
+  // (retries exhausted) the callback receives nullopt.
+  void resolve(int ifc, net::Ipv4Addr ip, ResolveCb cb);
+
+  // Handle an incoming ARP message (link header already stripped).
+  void input(int ifc, buf::ByteView message);
+
+  // Static entries / tests.
+  void add_entry(net::Ipv4Addr ip, net::MacAddr mac);
+  [[nodiscard]] std::optional<net::MacAddr> lookup(net::Ipv4Addr ip) const;
+  void flush_cache() { cache_.clear(); }
+
+  [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
+  [[nodiscard]] std::uint64_t replies_sent() const { return replies_sent_; }
+  [[nodiscard]] std::uint64_t resolution_failures() const {
+    return failures_;
+  }
+
+ private:
+  struct CacheEntry {
+    net::MacAddr mac;
+    sim::Time expires;
+  };
+  struct Pending {
+    int ifc;
+    std::vector<ResolveCb> waiters;
+    int attempts = 0;
+    timer::TimerId retry_timer = timer::kInvalidTimer;
+  };
+
+  void send_request(int ifc, net::Ipv4Addr ip);
+  void retry(net::Ipv4Addr ip);
+
+  StackEnv& env_;
+  Config cfg_;
+  std::unordered_map<net::Ipv4Addr, CacheEntry> cache_;
+  std::unordered_map<net::Ipv4Addr, Pending> pending_;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t replies_sent_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace ulnet::proto

@@ -1,0 +1,71 @@
+// Execution environment for the protocol stack.
+//
+// The paper's central claim is that the *same* protocol code can live in the
+// kernel (Ultrix), in a trusted server (Mach/UX), or in a user-linkable
+// library -- only the surrounding mechanisms differ. This interface is that
+// seam: the TCP/IP/ARP modules are written once against StackEnv, and each
+// protocol organization provides its own implementation that decides where
+// CPU cost is charged, how timers are dispatched, and how a framed packet
+// reaches the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/addr.h"
+#include "net/frame.h"
+#include "sim/cost_model.h"
+#include "sim/time.h"
+#include "timer/wheel.h"
+
+namespace ulnet::proto {
+
+// Identifies a transport flow for organizations that maintain per-flow
+// transmission channels (the user-level library's send capabilities).
+struct TxFlow {
+  net::Ipv4Addr local_ip;
+  net::Ipv4Addr remote_ip;
+  std::uint8_t ip_proto = 0;
+  std::uint16_t local_port = 0;
+  std::uint16_t remote_port = 0;
+};
+
+class StackEnv {
+ public:
+  virtual ~StackEnv() = default;
+
+  // ---- Time and cost ----------------------------------------------------
+  [[nodiscard]] virtual sim::Time now() const = 0;
+  virtual void charge(sim::Time ns) = 0;
+  [[nodiscard]] virtual const sim::CostModel& cost() const = 0;
+  virtual std::uint32_t random32() = 0;
+
+  // ---- Timers -------------------------------------------------------------
+  // Run `cb` in this stack's execution context after `delay`. The context
+  // is organization-specific (kernel for Ultrix, server space for Mach/UX,
+  // the application's library thread for the user-level system).
+  virtual timer::TimerId schedule(sim::Time delay,
+                                  std::function<void()> cb) = 0;
+  virtual void cancel_timer(timer::TimerId id) = 0;
+
+  // ---- Interfaces -----------------------------------------------------
+  [[nodiscard]] virtual int interface_count() const = 0;
+  [[nodiscard]] virtual net::MacAddr ifc_mac(int ifc) const = 0;
+  [[nodiscard]] virtual net::Ipv4Addr ifc_ip(int ifc) const = 0;
+  [[nodiscard]] virtual int ifc_prefix_len(int ifc) const = 0;
+  // Maximum link payload the driver will carry (the AN1 driver caps this at
+  // 1500 even though the hardware could carry 64 KB).
+  [[nodiscard]] virtual std::size_t ifc_mtu(int ifc) const = 0;
+
+  // ---- Transmission -----------------------------------------------------
+  // Ship `payload` (an IP datagram or ARP message) out of interface `ifc`
+  // to link address `dst`. The organization performs link framing (Ethernet
+  // or AN1 header, including the transmit BQI for user-level AN1 channels),
+  // charges its own path costs (traps, template checks, device access), and
+  // hands the frame to the driver. `flow` is non-null for transport
+  // segments so per-flow channels can be selected; ARP and ICMP pass null.
+  virtual void transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
+                        buf::Bytes payload, const TxFlow* flow) = 0;
+};
+
+}  // namespace ulnet::proto

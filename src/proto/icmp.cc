@@ -1,0 +1,59 @@
+#include "proto/icmp.h"
+
+namespace ulnet::proto {
+
+IcmpModule::IcmpModule(StackEnv& env, IpModule& ip) : env_(env), ip_(ip) {
+  ident_ = static_cast<std::uint16_t>(env_.random32());
+  ip_.register_protocol(kProtoIcmp,
+                        [this](const Ipv4Header& h, buf::Bytes p, int ifc) {
+                          input(h, std::move(p), ifc);
+                        });
+}
+
+void IcmpModule::ping(net::Ipv4Addr dst, std::uint16_t seq,
+                      std::size_t payload_len, EchoReplyCb cb) {
+  IcmpEcho echo;
+  echo.type = IcmpEcho::kEchoRequest;
+  echo.id = ident_;
+  echo.seq = seq;
+  buf::Bytes payload(payload_len, 0xa5);
+  buf::Bytes message;
+  echo.serialize(message, payload);
+  pending_[seq] = PendingPing{env_.now(), std::move(cb)};
+  env_.charge(env_.cost().udp_fixed);  // echo path ~ datagram path cost
+  ip_.send(net::Ipv4Addr{}, dst, kProtoIcmp, std::move(message), nullptr);
+}
+
+void IcmpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
+  env_.charge(env_.cost().udp_fixed);
+  env_.charge(static_cast<sim::Time>(payload.size()) *
+              env_.cost().checksum_per_byte);
+  bool ok = false;
+  auto echo = IcmpEcho::parse(payload, &ok);
+  if (!echo) return;
+  if (!ok) {
+    bad_checksum_++;
+    return;
+  }
+  if (echo->type == IcmpEcho::kEchoRequest) {
+    IcmpEcho reply = *echo;
+    reply.type = IcmpEcho::kEchoReply;
+    buf::Bytes body(payload.begin() + IcmpEcho::kHeaderSize, payload.end());
+    buf::Bytes message;
+    reply.serialize(message, body);
+    echoes_answered_++;
+    env_.charge(env_.cost().udp_fixed);
+    ip_.send(h.dst, h.src, kProtoIcmp, std::move(message), nullptr);
+    return;
+  }
+  if (echo->type == IcmpEcho::kEchoReply && echo->id == ident_) {
+    auto it = pending_.find(echo->seq);
+    if (it == pending_.end()) return;
+    PendingPing p = std::move(it->second);
+    pending_.erase(it);
+    p.cb(h.src, echo->seq, env_.now() - p.sent_at,
+         payload.size() - IcmpEcho::kHeaderSize);
+  }
+}
+
+}  // namespace ulnet::proto

@@ -1,0 +1,46 @@
+// ICMP echo: responder plus a small ping client (used by examples/tests to
+// validate the IP substrate independently of TCP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/ip.h"
+
+namespace ulnet::proto {
+
+class IcmpModule {
+ public:
+  // (peer, seq, rtt, payload_len)
+  using EchoReplyCb =
+      std::function<void(net::Ipv4Addr, std::uint16_t, sim::Time, std::size_t)>;
+
+  IcmpModule(StackEnv& env, IpModule& ip);
+
+  // Send an echo request; `cb` fires when the matching reply arrives.
+  void ping(net::Ipv4Addr dst, std::uint16_t seq, std::size_t payload_len,
+            EchoReplyCb cb);
+
+  [[nodiscard]] std::uint64_t echoes_answered() const {
+    return echoes_answered_;
+  }
+  [[nodiscard]] std::uint64_t bad_checksum() const { return bad_checksum_; }
+
+ private:
+  void input(const Ipv4Header& h, buf::Bytes payload, int ifc);
+
+  struct PendingPing {
+    sim::Time sent_at;
+    EchoReplyCb cb;
+  };
+
+  StackEnv& env_;
+  IpModule& ip_;
+  std::uint16_t ident_;
+  std::unordered_map<std::uint16_t, PendingPing> pending_;  // by seq
+  std::uint64_t echoes_answered_ = 0;
+  std::uint64_t bad_checksum_ = 0;
+};
+
+}  // namespace ulnet::proto

@@ -1,0 +1,183 @@
+#include "proto/ip.h"
+
+#include <algorithm>
+
+namespace ulnet::proto {
+
+int IpModule::route(net::Ipv4Addr dst) const {
+  for (int i = 0; i < env_.interface_count(); ++i) {
+    if (net::same_subnet(env_.ifc_ip(i), dst, env_.ifc_prefix_len(i))) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::size_t IpModule::path_mtu(net::Ipv4Addr dst) const {
+  const int ifc = route(dst);
+  return ifc < 0 ? 0 : env_.ifc_mtu(ifc);
+}
+
+bool IpModule::local_address(net::Ipv4Addr addr) const {
+  for (int i = 0; i < env_.interface_count(); ++i) {
+    if (env_.ifc_ip(i) == addr) return true;
+  }
+  return false;
+}
+
+bool IpModule::send(net::Ipv4Addr src, net::Ipv4Addr dst, std::uint8_t proto,
+                    buf::Bytes l4_payload, const TxFlow* flow,
+                    bool dont_fragment) {
+  const int ifc = route(dst);
+  if (ifc < 0) {
+    counters_.no_route++;
+    return false;
+  }
+  if (src.is_zero()) src = env_.ifc_ip(ifc);
+
+  const std::size_t mtu = env_.ifc_mtu(ifc);
+  const std::size_t max_payload = mtu - Ipv4Header::kSize;
+  const std::uint16_t ident = next_ident_++;
+
+  if (l4_payload.size() <= max_payload) {
+    transmit_datagram(ifc, src, dst, proto, ident, l4_payload, 0, false,
+                      flow);
+    counters_.sent++;
+    return true;
+  }
+  if (dont_fragment) {
+    counters_.no_route++;  // counted as undeliverable
+    return false;
+  }
+  // Fragment: every non-final fragment carries a multiple of 8 bytes.
+  const std::size_t chunk = max_payload & ~std::size_t{7};
+  std::size_t off = 0;
+  while (off < l4_payload.size()) {
+    const std::size_t len = std::min(chunk, l4_payload.size() - off);
+    const bool more = off + len < l4_payload.size();
+    transmit_datagram(ifc, src, dst, proto, ident,
+                      buf::ByteView(l4_payload.data() + off, len), off, more,
+                      flow);
+    counters_.fragments_sent++;
+    off += len;
+  }
+  counters_.sent++;
+  return true;
+}
+
+void IpModule::transmit_datagram(int ifc, net::Ipv4Addr src,
+                                 net::Ipv4Addr dst, std::uint8_t proto,
+                                 std::uint16_t ident, buf::ByteView payload,
+                                 std::size_t frag_offset, bool more_fragments,
+                                 const TxFlow* flow) {
+  Ipv4Header h;
+  h.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize + payload.size());
+  h.ident = ident;
+  h.more_fragments = more_fragments;
+  h.frag_offset_units = static_cast<std::uint16_t>(frag_offset / 8);
+  h.ttl = cfg_.default_ttl;
+  h.proto = proto;
+  h.src = src;
+  h.dst = dst;
+
+  buf::Bytes datagram;
+  datagram.reserve(h.total_len);
+  h.serialize(datagram);
+  buf::put_bytes(datagram, payload);
+
+  env_.charge(env_.cost().ip_fixed);
+
+  // Copy flow by value into the resolution callback: the caller's TxFlow may
+  // not outlive an asynchronous ARP exchange.
+  std::optional<TxFlow> flow_copy;
+  if (flow != nullptr) flow_copy = *flow;
+
+  arp_.resolve(ifc, dst,
+               [this, ifc, flow_copy, d = std::move(datagram)](
+                   std::optional<net::MacAddr> mac) mutable {
+                 if (!mac) {
+                   counters_.arp_failures++;
+                   return;
+                 }
+                 env_.transmit(ifc, *mac, net::kEtherTypeIp, std::move(d),
+                               flow_copy ? &*flow_copy : nullptr);
+               });
+}
+
+void IpModule::input(int ifc, buf::ByteView datagram) {
+  env_.charge(env_.cost().ip_fixed);
+  bool cksum_ok = false;
+  auto h = Ipv4Header::parse(datagram, &cksum_ok);
+  if (!h) return;
+  if (!cksum_ok) {
+    counters_.bad_checksum++;
+    return;
+  }
+  if (h->total_len > datagram.size()) return;  // truncated
+  if (!local_address(h->dst)) {
+    // No gateway functions: datagrams for other hosts are dropped.
+    counters_.not_for_us++;
+    return;
+  }
+  buf::ByteView payload(datagram.data() + Ipv4Header::kSize,
+                        h->payload_len());
+  if (h->more_fragments || h->frag_offset_units != 0) {
+    handle_fragment(*h, payload, ifc);
+    return;
+  }
+  counters_.received++;
+  deliver(*h, buf::Bytes(payload.begin(), payload.end()), ifc);
+}
+
+void IpModule::deliver(const Ipv4Header& h, buf::Bytes payload, int ifc) {
+  auto it = handlers_.find(h.proto);
+  if (it == handlers_.end()) {
+    counters_.no_protocol++;
+    return;
+  }
+  it->second(h, std::move(payload), ifc);
+}
+
+void IpModule::handle_fragment(const Ipv4Header& h, buf::ByteView payload,
+                               int ifc) {
+  const ReassemblyKey key{h.src.value, h.dst.value, h.ident, h.proto};
+  auto [it, fresh] = reasm_.try_emplace(key);
+  Reassembly& r = it->second;
+  if (fresh) {
+    r.timeout = env_.schedule(cfg_.reassembly_timeout, [this, key] {
+      if (reasm_.erase(key) > 0) counters_.reassembly_timeouts++;
+    });
+  }
+  r.fragments[h.frag_offset_bytes()] =
+      buf::Bytes(payload.begin(), payload.end());
+  if (!h.more_fragments) {
+    r.total_len = h.frag_offset_bytes() + payload.size();
+  }
+  if (r.total_len == 0) return;  // last fragment not seen yet
+
+  // Check contiguity.
+  std::size_t next = 0;
+  for (const auto& [off, data] : r.fragments) {
+    if (off > next) return;  // hole
+    next = std::max(next, off + data.size());
+  }
+  if (next < r.total_len) return;
+
+  buf::Bytes whole(r.total_len, 0);
+  for (const auto& [off, data] : r.fragments) {
+    const std::size_t n = std::min(data.size(), r.total_len - off);
+    std::copy_n(data.begin(), n, whole.begin() + static_cast<long>(off));
+  }
+  Ipv4Header complete = h;
+  complete.more_fragments = false;
+  complete.frag_offset_units = 0;
+  complete.total_len =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + whole.size());
+  env_.cancel_timer(r.timeout);
+  reasm_.erase(it);
+  counters_.reassembled++;
+  counters_.received++;
+  deliver(complete, std::move(whole), ifc);
+}
+
+}  // namespace ulnet::proto

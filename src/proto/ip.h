@@ -1,0 +1,110 @@
+// IPv4: routing over directly connected interfaces, fragmentation and
+// reassembly, header validation, and upper-protocol dispatch.
+//
+// Gateway (forwarding) functions are deliberately absent, matching the
+// paper's own IP library ("our IP library does not implement the functions
+// required for handling gateway traffic").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "proto/arp.h"
+#include "proto/env.h"
+#include "proto/wire.h"
+
+namespace ulnet::proto {
+
+class IpModule {
+ public:
+  // (header, payload, arriving interface)
+  using UpperHandler =
+      std::function<void(const Ipv4Header&, buf::Bytes, int)>;
+
+  struct Config {
+    sim::Time reassembly_timeout;
+    std::uint8_t default_ttl;
+    // Explicit default constructor rather than member initializers: the
+    // latter cannot be used in a same-class default argument (GCC #88165).
+    Config() : reassembly_timeout(30 * sim::kSec), default_ttl(64) {}
+  };
+
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t reassembled = 0;
+    std::uint64_t bad_checksum = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t no_protocol = 0;
+    std::uint64_t not_for_us = 0;
+    std::uint64_t arp_failures = 0;
+    std::uint64_t reassembly_timeouts = 0;
+  };
+
+  IpModule(StackEnv& env, ArpModule& arp, Config cfg = Config())
+      : env_(env), arp_(arp), cfg_(cfg) {}
+
+  void register_protocol(std::uint8_t proto, UpperHandler handler) {
+    handlers_[proto] = std::move(handler);
+  }
+
+  // Send `l4_payload` to `dst`. `src` of 0 selects the outgoing interface's
+  // address. Fragments when the datagram exceeds the interface MTU (unless
+  // `dont_fragment`, in which case the datagram is dropped and counted).
+  // Returns false if no route exists.
+  bool send(net::Ipv4Addr src, net::Ipv4Addr dst, std::uint8_t proto,
+            buf::Bytes l4_payload, const TxFlow* flow,
+            bool dont_fragment = false);
+
+  // Incoming datagram (link header stripped) from interface `ifc`.
+  void input(int ifc, buf::ByteView datagram);
+
+  // Route lookup: interface index for `dst`, or -1.
+  [[nodiscard]] int route(net::Ipv4Addr dst) const;
+  // Path MTU (link payload budget) toward dst, or 0 if unroutable.
+  [[nodiscard]] std::size_t path_mtu(net::Ipv4Addr dst) const;
+  // True if `addr` is one of our interface addresses.
+  [[nodiscard]] bool local_address(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct ReassemblyKey {
+    std::uint32_t src, dst;
+    std::uint16_t ident;
+    std::uint8_t proto;
+    bool operator==(const ReassemblyKey&) const = default;
+  };
+  struct ReassemblyKeyHash {
+    std::size_t operator()(const ReassemblyKey& k) const {
+      std::uint64_t v = (static_cast<std::uint64_t>(k.src) << 32) ^ k.dst ^
+                        (static_cast<std::uint64_t>(k.ident) << 16) ^ k.proto;
+      return std::hash<std::uint64_t>{}(v);
+    }
+  };
+  struct Reassembly {
+    std::map<std::size_t, buf::Bytes> fragments;  // offset -> data
+    std::size_t total_len = 0;  // known once the last fragment arrives
+    timer::TimerId timeout = timer::kInvalidTimer;
+  };
+
+  void transmit_datagram(int ifc, net::Ipv4Addr src, net::Ipv4Addr dst,
+                         std::uint8_t proto, std::uint16_t ident,
+                         buf::ByteView payload, std::size_t frag_offset,
+                         bool more_fragments, const TxFlow* flow);
+  void deliver(const Ipv4Header& h, buf::Bytes payload, int ifc);
+  void handle_fragment(const Ipv4Header& h, buf::ByteView payload, int ifc);
+
+  StackEnv& env_;
+  ArpModule& arp_;
+  Config cfg_;
+  std::unordered_map<std::uint8_t, UpperHandler> handlers_;
+  std::unordered_map<ReassemblyKey, Reassembly, ReassemblyKeyHash> reasm_;
+  Counters counters_;
+  std::uint16_t next_ident_ = 1;
+};
+
+}  // namespace ulnet::proto

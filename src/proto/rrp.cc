@@ -1,0 +1,216 @@
+#include "proto/rrp.h"
+
+#include <algorithm>
+
+namespace ulnet::proto {
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+void RrpHeader::serialize(buf::Bytes& out, net::Ipv4Addr src,
+                          net::Ipv4Addr dst, buf::ByteView payload) const {
+  const std::size_t start = out.size();
+  buf::put8(out, op);
+  buf::put8(out, flags);
+  buf::put32(out, tid);
+  buf::put16(out, client_port);
+  buf::put16(out, server_port);
+  buf::put16(out, 0);  // checksum placeholder
+  buf::put_bytes(out, payload);
+
+  const auto len = static_cast<std::uint16_t>(kSize + payload.size());
+  buf::ChecksumAccumulator acc;
+  add_pseudo_header(acc, src, dst, kProtoRrp, len);
+  acc.add(buf::ByteView(out.data() + start, len));
+  buf::wr16(out, start + 10, acc.fold());
+}
+
+std::optional<RrpHeader> RrpHeader::parse(buf::ByteView message,
+                                          net::Ipv4Addr src,
+                                          net::Ipv4Addr dst,
+                                          bool* checksum_valid) {
+  if (message.size() < kSize) return std::nullopt;
+  RrpHeader h;
+  h.op = message[0];
+  h.flags = message[1];
+  h.tid = buf::rd32(message, 2);
+  h.client_port = buf::rd16(message, 6);
+  h.server_port = buf::rd16(message, 8);
+  if (checksum_valid != nullptr) {
+    buf::ChecksumAccumulator acc;
+    add_pseudo_header(acc, src, dst, kProtoRrp,
+                      static_cast<std::uint16_t>(message.size()));
+    acc.add(message);
+    *checksum_valid = acc.fold() == 0;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Module
+// ---------------------------------------------------------------------------
+
+RrpModule::RrpModule(StackEnv& env, IpModule& ip, Config cfg)
+    : env_(env), ip_(ip), cfg_(cfg) {
+  next_tid_ = env_.random32() | 1;  // never zero
+  ip_.register_protocol(kProtoRrp,
+                        [this](const Ipv4Header& h, buf::Bytes p, int ifc) {
+                          input(h, std::move(p), ifc);
+                        });
+}
+
+RrpModule::~RrpModule() {
+  for (auto& [tid, p] : pending_) {
+    if (p.timer != timer::kInvalidTimer) env_.cancel_timer(p.timer);
+  }
+  for (auto& [key, c] : response_cache_) {
+    if (c.reaper != timer::kInvalidTimer) env_.cancel_timer(c.reaper);
+  }
+}
+
+bool RrpModule::serve(std::uint16_t port, Handler handler) {
+  auto [it, fresh] = servers_.try_emplace(port, std::move(handler));
+  return fresh;
+}
+
+void RrpModule::stop_serving(std::uint16_t port) { servers_.erase(port); }
+
+void RrpModule::send_message(const RrpHeader& r, net::Ipv4Addr dst,
+                             buf::ByteView data) {
+  const int ifc = ip_.route(dst);
+  if (ifc < 0) return;
+  buf::Bytes msg;
+  msg.reserve(RrpHeader::kSize + data.size());
+  env_.charge(env_.cost().udp_fixed);  // datagram-class path cost
+  env_.charge(static_cast<sim::Time>(data.size()) *
+              env_.cost().checksum_per_byte);
+  r.serialize(msg, env_.ifc_ip(ifc), dst, data);
+  // Connectionless, so ports are wildcards in the flow; organizations with
+  // per-protocol channels key on the protocol number.
+  TxFlow flow{env_.ifc_ip(ifc), dst, kProtoRrp, 0, 0};
+  ip_.send(env_.ifc_ip(ifc), dst, kProtoRrp, std::move(msg), &flow);
+}
+
+bool RrpModule::request(net::Ipv4Addr server, std::uint16_t port,
+                        buf::Bytes data, ResponseCb cb) {
+  if (data.size() > cfg_.max_message || ip_.route(server) < 0) return false;
+
+  const std::uint32_t tid = next_tid_++;
+  if (next_tid_ == 0) next_tid_ = 1;
+  Pending p;
+  p.server = server;
+  p.server_port = port;
+  p.data = std::move(data);
+  p.cb = std::move(cb);
+  p.attempts = 1;
+  p.backoff = cfg_.retransmit_initial;
+
+  RrpHeader h;
+  h.op = RrpHeader::kOpRequest;
+  h.tid = tid;
+  h.client_port = next_client_port_++;
+  h.server_port = port;
+  counters_.requests_sent++;
+  send_message(h, server, p.data);
+  p.timer = env_.schedule(p.backoff, [this, tid] { retransmit(tid); });
+  pending_.emplace(tid, std::move(p));
+  return true;
+}
+
+void RrpModule::retransmit(std::uint32_t tid) {
+  auto it = pending_.find(tid);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.attempts > cfg_.max_retransmits) {
+    counters_.timeouts++;
+    ResponseCb cb = std::move(p.cb);
+    pending_.erase(it);
+    cb(std::nullopt);
+    return;
+  }
+  p.attempts++;
+  counters_.retransmits++;
+  RrpHeader h;
+  h.op = RrpHeader::kOpRequest;
+  h.tid = tid;
+  h.server_port = p.server_port;
+  send_message(h, p.server, p.data);
+  p.backoff = std::min(p.backoff * 2, cfg_.retransmit_max);
+  p.timer = env_.schedule(p.backoff, [this, tid] { retransmit(tid); });
+}
+
+void RrpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
+  env_.charge(env_.cost().udp_fixed);
+  env_.charge(static_cast<sim::Time>(payload.size()) *
+              env_.cost().checksum_per_byte);
+  bool ok = false;
+  auto r = RrpHeader::parse(payload, h.src, h.dst, &ok);
+  if (!r) return;
+  if (!ok) {
+    counters_.bad_checksum++;
+    return;
+  }
+  buf::ByteView data(payload.data() + RrpHeader::kSize,
+                     payload.size() - RrpHeader::kSize);
+  if (r->op == RrpHeader::kOpRequest) {
+    handle_request(h, *r, data);
+  } else if (r->op == RrpHeader::kOpResponse) {
+    handle_response(*r, data);
+  }
+}
+
+void RrpModule::handle_request(const Ipv4Header& h, const RrpHeader& r,
+                               buf::ByteView data) {
+  const ServerKey key = server_key(h.src, r.tid);
+
+  // At-most-once: a retransmitted request is answered from the cache, the
+  // handler runs exactly once per transaction.
+  if (auto cit = response_cache_.find(key); cit != response_cache_.end()) {
+    counters_.duplicate_requests++;
+    RrpHeader resp;
+    resp.op = RrpHeader::kOpResponse;
+    resp.tid = r.tid;
+    resp.client_port = r.client_port;
+    resp.server_port = r.server_port;
+    counters_.responses_sent++;
+    send_message(resp, h.src, cit->second.data);
+    return;
+  }
+
+  auto sit = servers_.find(r.server_port);
+  if (sit == servers_.end()) {
+    counters_.no_server++;
+    return;  // client will time out (VMTP-style silence for unknown ports)
+  }
+
+  counters_.handler_invocations++;
+  buf::Bytes response = sit->second(h.src, data);
+
+  CachedResponse cached;
+  cached.data = response;
+  cached.expires = env_.now() + cfg_.response_cache_ttl;
+  cached.reaper = env_.schedule(cfg_.response_cache_ttl, [this, key] {
+    response_cache_.erase(key);
+  });
+  response_cache_.emplace(key, std::move(cached));
+
+  RrpHeader resp;
+  resp.op = RrpHeader::kOpResponse;
+  resp.tid = r.tid;
+  resp.client_port = r.client_port;
+  resp.server_port = r.server_port;
+  counters_.responses_sent++;
+  send_message(resp, h.src, response);
+}
+
+void RrpModule::handle_response(const RrpHeader& r, buf::ByteView data) {
+  auto it = pending_.find(r.tid);
+  if (it == pending_.end()) return;  // late duplicate: transaction done
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  if (p.timer != timer::kInvalidTimer) env_.cancel_timer(p.timer);
+  p.cb(buf::Bytes(data.begin(), data.end()));
+}
+
+}  // namespace ulnet::proto

@@ -1,0 +1,151 @@
+// RRP: a VMTP-style request/response transport.
+//
+// The paper's first motivation is the co-existence of materially different
+// transports: "the need for an efficient transport for distributed systems
+// was a factor in the development of request/response protocols in lieu of
+// existing byte-stream protocols such as TCP. Experience with specialized
+// protocols shows that they achieve remarkably low latencies. However these
+// protocols do not always deliver the highest throughput."
+//
+// RRP is that class of protocol, in the VMTP/Birrell-Nelson tradition:
+//   * no connection setup: a transaction is one request + one response,
+//   * client-driven retransmission with exponential backoff,
+//   * at-most-once execution: the server deduplicates by transaction id and
+//     replays the cached response for retransmitted requests,
+//   * messages up to 60 KB (IP fragmentation carries what the link cannot).
+//
+// Like TCP here, RRP is organization-agnostic: it runs against StackEnv and
+// registers with the same IpModule, so it can live in a kernel, a server,
+// or a user-level library.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "proto/ip.h"
+
+namespace ulnet::proto {
+
+inline constexpr std::uint8_t kProtoRrp = 81;
+
+// Wire header (12 bytes): op(1) flags(1) tid(4) cport(2) sport(2) cksum(2),
+// checksummed with the TCP/UDP pseudo-header over header+data.
+struct RrpHeader {
+  static constexpr std::size_t kSize = 12;
+  static constexpr std::uint8_t kOpRequest = 1;
+  static constexpr std::uint8_t kOpResponse = 2;
+
+  std::uint8_t op = kOpRequest;
+  std::uint8_t flags = 0;
+  std::uint32_t tid = 0;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+
+  void serialize(buf::Bytes& out, net::Ipv4Addr src, net::Ipv4Addr dst,
+                 buf::ByteView payload) const;
+  static std::optional<RrpHeader> parse(buf::ByteView message,
+                                        net::Ipv4Addr src, net::Ipv4Addr dst,
+                                        bool* checksum_valid = nullptr);
+};
+
+class RrpModule {
+ public:
+  struct Config {
+    sim::Time retransmit_initial;
+    sim::Time retransmit_max;
+    int max_retransmits;
+    // How long a server remembers completed transactions (the at-most-once
+    // window / response cache lifetime).
+    sim::Time response_cache_ttl;
+    std::size_t max_message;
+    Config()
+        : retransmit_initial(300 * sim::kMs),
+          retransmit_max(5 * sim::kSec),
+          max_retransmits(6),
+          response_cache_ttl(30 * sim::kSec),
+          max_message(60 * 1024) {}
+  };
+
+  struct Counters {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicate_requests = 0;  // answered from the cache
+    std::uint64_t handler_invocations = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t bad_checksum = 0;
+    std::uint64_t no_server = 0;
+  };
+
+  // Server side: compute the response for a request.
+  using Handler =
+      std::function<buf::Bytes(net::Ipv4Addr client, buf::ByteView request)>;
+  // Client side: response data, or nullopt after retries are exhausted.
+  using ResponseCb = std::function<void(std::optional<buf::Bytes>)>;
+
+  RrpModule(StackEnv& env, IpModule& ip, Config cfg = Config());
+  ~RrpModule();
+  RrpModule(const RrpModule&) = delete;
+  RrpModule& operator=(const RrpModule&) = delete;
+
+  // ---- Server ----
+  bool serve(std::uint16_t port, Handler handler);
+  void stop_serving(std::uint16_t port);
+
+  // ---- Client ----
+  // Issue a transaction. Returns false (no callback) if the message is
+  // oversized or the destination is unroutable.
+  bool request(net::Ipv4Addr server, std::uint16_t port, buf::Bytes data,
+               ResponseCb cb);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t transactions_in_flight() const {
+    return pending_.size();
+  }
+
+ private:
+  struct Pending {
+    net::Ipv4Addr server;
+    std::uint16_t server_port = 0;
+    buf::Bytes data;  // kept for retransmission
+    ResponseCb cb;
+    int attempts = 0;
+    sim::Time backoff = 0;
+    timer::TimerId timer = timer::kInvalidTimer;
+  };
+  struct CachedResponse {
+    buf::Bytes data;
+    sim::Time expires = 0;
+    timer::TimerId reaper = timer::kInvalidTimer;
+  };
+  // Transactions are unique per (client ip, tid); the server key includes
+  // the client address so tids from different hosts cannot collide.
+  using ServerKey = std::uint64_t;
+  static ServerKey server_key(net::Ipv4Addr client, std::uint32_t tid) {
+    return (static_cast<std::uint64_t>(client.value) << 32) | tid;
+  }
+
+  void input(const Ipv4Header& h, buf::Bytes payload, int ifc);
+  void handle_request(const Ipv4Header& h, const RrpHeader& r,
+                      buf::ByteView data);
+  void handle_response(const RrpHeader& r, buf::ByteView data);
+  void send_message(const RrpHeader& r, net::Ipv4Addr dst,
+                    buf::ByteView data);
+  void retransmit(std::uint32_t tid);
+
+  StackEnv& env_;
+  IpModule& ip_;
+  Config cfg_;
+  std::unordered_map<std::uint16_t, Handler> servers_;
+  std::unordered_map<std::uint32_t, Pending> pending_;  // by tid (client)
+  std::unordered_map<ServerKey, CachedResponse> response_cache_;
+  Counters counters_;
+  std::uint32_t next_tid_;
+  std::uint16_t next_client_port_ = 40000;
+};
+
+}  // namespace ulnet::proto

@@ -1,0 +1,67 @@
+// NetworkStack: one complete protocol stack instance (ARP + IP + ICMP +
+// UDP + TCP) bound to a StackEnv. Every protocol organization instantiates
+// exactly this object -- in the kernel, in a server's space, or inside the
+// application's library -- which is what makes the paper's comparison
+// "apples to apples": identical protocol code, different environments.
+#pragma once
+
+#include <memory>
+
+#include "proto/arp.h"
+#include "proto/icmp.h"
+#include "proto/rrp.h"
+#include "proto/ip.h"
+#include "proto/tcp.h"
+#include "proto/udp.h"
+
+namespace ulnet::proto {
+
+class NetworkStack {
+ public:
+  explicit NetworkStack(StackEnv& env)
+      : env_(env),
+        arp_(env),
+        ip_(env, arp_),
+        icmp_(env, ip_),
+        udp_(env, ip_),
+        rrp_(env, ip_),
+        tcp_(env, ip_) {}
+  NetworkStack(const NetworkStack&) = delete;
+  NetworkStack& operator=(const NetworkStack&) = delete;
+
+  StackEnv& env() { return env_; }
+  ArpModule& arp() { return arp_; }
+  IpModule& ip() { return ip_; }
+  IcmpModule& icmp() { return icmp_; }
+  UdpModule& udp() { return udp_; }
+  RrpModule& rrp() { return rrp_; }
+  TcpModule& tcp() { return tcp_; }
+
+  // Entry point from the link layer: a received frame's payload, with the
+  // link header already stripped and its ethertype extracted by whichever
+  // demultiplexing path (software filter, hardware BQI, kernel dispatch)
+  // delivered it.
+  void link_input(int ifc, std::uint16_t ethertype, buf::ByteView payload) {
+    switch (ethertype) {
+      case net::kEtherTypeArp:
+        arp_.input(ifc, payload);
+        break;
+      case net::kEtherTypeIp:
+        ip_.input(ifc, payload);
+        break;
+      default:
+        break;  // unknown ethertype: dropped
+    }
+  }
+
+ private:
+  StackEnv& env_;
+  ArpModule arp_;
+  IpModule ip_;
+  IcmpModule icmp_;
+  UdpModule udp_;
+  RrpModule rrp_;
+  TcpModule tcp_;
+};
+
+}  // namespace ulnet::proto

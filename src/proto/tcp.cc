@@ -1,0 +1,1104 @@
+#include "proto/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ulnet::proto {
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynReceived: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+// ===========================================================================
+// TcpModule
+// ===========================================================================
+
+TcpModule::TcpModule(StackEnv& env, IpModule& ip) : env_(env), ip_(ip) {
+  ip_.register_protocol(kProtoTcp,
+                        [this](const Ipv4Header& h, buf::Bytes p, int ifc) {
+                          input(h, std::move(p), ifc);
+                        });
+}
+
+TcpModule::~TcpModule() {
+  for (auto& [key, conn] : conns_) conn->cancel_all_timers();
+}
+
+std::uint16_t TcpModule::alloc_ephemeral() {
+  for (int guard = 0; guard < 65536; ++guard) {
+    const std::uint16_t p = next_ephemeral_++;
+    if (next_ephemeral_ < 20000) next_ephemeral_ = 20000;
+    bool taken = listeners_.contains(p);
+    for (const auto& [key, conn] : conns_) {
+      taken |= (key.local_port == p);
+    }
+    if (!taken) return p;
+  }
+  return 0;
+}
+
+TcpConnection* TcpModule::connect(net::Ipv4Addr dst, std::uint16_t dport,
+                                  TcpObserver* observer, TcpConfig cfg,
+                                  std::uint16_t sport) {
+  const int ifc = ip_.route(dst);
+  if (ifc < 0) return nullptr;
+  if (sport == 0) sport = alloc_ephemeral();
+  if (sport == 0) return nullptr;
+  const net::Ipv4Addr lip = env_.ifc_ip(ifc);
+  const ConnKey key{lip.value, dst.value, sport, dport};
+  if (conns_.contains(key)) return nullptr;
+
+  auto conn = std::unique_ptr<TcpConnection>(
+      new TcpConnection(*this, cfg, lip, sport, dst, dport, observer));
+  TcpConnection* raw = conn.get();
+  conns_.emplace(key, std::move(conn));
+  counters_.conns_opened++;
+  raw->start_active_open();
+  return raw;
+}
+
+bool TcpModule::listen(std::uint16_t port, TcpObserver* acceptor,
+                       TcpConfig cfg) {
+  auto [it, fresh] = listeners_.try_emplace(port, Listener{acceptor, cfg});
+  return fresh;
+}
+
+void TcpModule::close_listener(std::uint16_t port) { listeners_.erase(port); }
+
+TcpConnection* TcpModule::find(const ConnKey& key) {
+  auto it = conns_.find(key);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void TcpModule::release(TcpConnection* conn) {
+  if (conn == nullptr) return;
+  conn->cancel_all_timers();
+  const ConnKey key{conn->local_ip().value, conn->remote_ip().value,
+                    conn->local_port(), conn->remote_port()};
+  conns_.erase(key);
+}
+
+TcpConnection* TcpModule::import_connection(const TcpHandoffState& st,
+                                            TcpObserver* observer) {
+  const ConnKey key{st.local_ip.value, st.remote_ip.value, st.local_port,
+                    st.remote_port};
+  if (conns_.contains(key)) return nullptr;
+  auto conn = std::unique_ptr<TcpConnection>(
+      new TcpConnection(*this, st.cfg, st.local_ip, st.local_port,
+                        st.remote_ip, st.remote_port, observer));
+  TcpConnection* c = conn.get();
+  c->mss_ = st.mss;
+  c->iss_ = st.iss;
+  c->irs_ = st.irs;
+  c->snd_una_ = st.snd_una;
+  c->snd_nxt_ = st.snd_nxt;
+  c->snd_max_ = st.snd_max;
+  c->snd_wnd_ = st.snd_wnd;
+  c->rcv_nxt_ = st.rcv_nxt;
+  c->rcv_adv_ = st.rcv_adv;
+  c->srtt_ = st.srtt;
+  c->rttvar_ = st.rttvar;
+  if (st.rto > 0) c->rto_ = st.rto;
+  c->cwnd_ = c->mss_;
+  c->rcv_queue_.insert(c->rcv_queue_.end(), st.rcv_pending.begin(),
+                       st.rcv_pending.end());
+  c->peer_fin_seen_ = st.peer_fin_seen;
+  c->peer_fin_seq_ = st.peer_fin_seq;
+  c->state_ = (st.state == TcpState::kCloseWait) ? TcpState::kCloseWait
+                                                 : TcpState::kEstablished;
+  conns_.emplace(key, std::move(conn));
+  return c;
+}
+
+void TcpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
+  env_.charge(env_.cost().tcp_input_fixed);
+
+  bool cksum_ok = false;
+  std::size_t hlen = 0;
+  auto t = TcpHeader::parse(payload, h.src, h.dst, &cksum_ok, &hlen);
+  if (!t) return;
+
+  const ConnKey key{h.dst.value, h.src.value, t->dport, t->sport};
+  TcpConnection* conn = find(key);
+
+  const bool verify =
+      conn == nullptr || conn->config().checksum_enabled;
+  if (verify) {
+    env_.charge(static_cast<sim::Time>(payload.size()) *
+                env_.cost().checksum_per_byte);
+    if (!cksum_ok) {
+      counters_.bad_checksum++;
+      return;
+    }
+  }
+
+  counters_.segments_received++;
+  buf::ByteView body(payload.data() + hlen, payload.size() - hlen);
+
+  if (conn != nullptr) {
+    conn->segment_arrived(*t, body);
+    return;
+  }
+
+  // No connection: a SYN may match a listener.
+  if (t->flags.syn && !t->flags.ack) {
+    auto lit = listeners_.find(t->dport);
+    if (lit != listeners_.end()) {
+      auto child = std::unique_ptr<TcpConnection>(
+          new TcpConnection(*this, lit->second.cfg, h.dst, t->dport, h.src,
+                            t->sport, lit->second.acceptor));
+      TcpConnection* raw = child.get();
+      conns_.emplace(key, std::move(child));
+      raw->start_passive_open(*t);
+      return;
+    }
+  }
+  send_rst_for(h, *t, body.size());
+}
+
+void TcpModule::send_rst_for(const Ipv4Header& h, const TcpHeader& t,
+                             std::size_t payload_len) {
+  if (t.flags.rst) return;  // never answer a reset with a reset
+  TcpHeader rst;
+  rst.sport = t.dport;
+  rst.dport = t.sport;
+  rst.flags.rst = true;
+  if (t.flags.ack) {
+    rst.seq = t.ack;
+  } else {
+    rst.flags.ack = true;
+    rst.ack = t.seq + static_cast<std::uint32_t>(payload_len) +
+              (t.flags.syn ? 1 : 0) + (t.flags.fin ? 1 : 0);
+  }
+  buf::Bytes seg;
+  env_.charge(env_.cost().tcp_output_fixed);
+  rst.serialize(seg, h.dst, h.src, {});
+  counters_.rst_sent++;
+  counters_.segments_sent++;
+  ip_.send(h.dst, h.src, kProtoTcp, std::move(seg), nullptr);
+}
+
+// ===========================================================================
+// TcpConnection
+// ===========================================================================
+
+TcpConnection::TcpConnection(TcpModule& mod, TcpConfig cfg, net::Ipv4Addr lip,
+                             std::uint16_t lport, net::Ipv4Addr rip,
+                             std::uint16_t rport, TcpObserver* obs)
+    : mod_(mod),
+      cfg_(cfg),
+      observer_(obs),
+      local_ip_(lip),
+      remote_ip_(rip),
+      local_port_(lport),
+      remote_port_(rport),
+      rto_(cfg.rto_initial) {
+  const std::size_t mtu = mod_.ip().path_mtu(remote_ip_);
+  const std::size_t overhead = Ipv4Header::kSize + TcpHeader::kMinSize;
+  mss_ = cfg_.mss;
+  if (mtu > overhead) mss_ = std::min(mss_, mtu - overhead);
+  cwnd_ = mss_;
+  ssthresh_ = cfg_.send_buf;
+}
+
+TcpConnection::~TcpConnection() = default;
+
+TcpHandoffState TcpConnection::export_state() const {
+  TcpHandoffState st;
+  st.cfg = cfg_;
+  st.local_ip = local_ip_;
+  st.remote_ip = remote_ip_;
+  st.local_port = local_port_;
+  st.remote_port = remote_port_;
+  st.mss = mss_;
+  st.iss = iss_;
+  st.irs = irs_;
+  st.snd_una = snd_una_;
+  st.snd_nxt = snd_nxt_;
+  st.snd_max = snd_max_;
+  st.snd_wnd = snd_wnd_;
+  st.rcv_nxt = rcv_nxt_;
+  st.rcv_adv = rcv_adv_;
+  st.srtt = srtt_;
+  st.rttvar = rttvar_;
+  st.rto = rto_;
+  st.state = state_;
+  st.peer_fin_seen = peer_fin_seen_;
+  st.peer_fin_seq = peer_fin_seq_;
+  st.rcv_pending.assign(rcv_queue_.begin(), rcv_queue_.end());
+  return st;
+}
+
+TxFlow TcpConnection::tx_flow() const {
+  return TxFlow{local_ip_, remote_ip_, kProtoTcp, local_port_, remote_port_};
+}
+
+void TcpConnection::start_active_open() {
+  iss_ = mod_.env().random32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_;
+  snd_max_ = iss_;
+  state_ = TcpState::kSynSent;
+  TcpFlags f;
+  f.syn = true;
+  emit_segment(snd_nxt_, {}, f, /*mss_opt=*/true);
+  snd_nxt_ = iss_ + 1;
+  rtt_timing_ = true;
+  rtt_seq_ = iss_;
+  rtt_start_ = mod_.env().now();
+  arm_rtx();
+}
+
+void TcpConnection::start_passive_open(const TcpHeader& syn) {
+  irs_ = syn.seq;
+  rcv_nxt_ = irs_ + 1;
+  snd_wnd_ = syn.wnd;
+  if (syn.mss_option) {
+    mss_ = std::min<std::size_t>(mss_, *syn.mss_option);
+  }
+  cwnd_ = mss_;
+  iss_ = mod_.env().random32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_;
+  snd_max_ = iss_;
+  state_ = TcpState::kSynReceived;
+  TcpFlags f;
+  f.syn = true;
+  f.ack = true;
+  emit_segment(snd_nxt_, {}, f, /*mss_opt=*/true);
+  snd_nxt_ = iss_ + 1;
+  arm_rtx();
+}
+
+std::uint16_t TcpConnection::advertised_window() const {
+  const std::size_t used = rcv_queue_.size() + ooo_bytes_;
+  const std::size_t space = cfg_.recv_buf > used ? cfg_.recv_buf - used : 0;
+  return static_cast<std::uint16_t>(std::min<std::size_t>(space, 65535));
+}
+
+void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
+                                 TcpFlags flags, bool mss_opt) {
+  TcpHeader t;
+  t.sport = local_port_;
+  t.dport = remote_port_;
+  t.seq = seq;
+  t.flags = flags;
+  if (flags.ack) t.ack = rcv_nxt_;
+  t.wnd = advertised_window();
+  if (mss_opt) t.mss_option = static_cast<std::uint16_t>(mss_);
+
+  auto& env = mod_.env();
+  env.charge(env.cost().tcp_output_fixed);
+  if (cfg_.checksum_enabled) {
+    env.charge(static_cast<sim::Time>(t.header_len() + payload.size()) *
+               env.cost().checksum_per_byte);
+  }
+  env.charge(env.cost().timer_op);  // "practically every departure" (2.1)
+
+  buf::Bytes seg;
+  seg.reserve(t.header_len() + payload.size());
+  t.serialize(seg, local_ip_, remote_ip_, payload);
+
+  mod_.counters().segments_sent++;
+  mod_.counters().bytes_sent += payload.size();
+  if (flags.ack) {
+    // Any ACK-bearing segment satisfies pending delayed-ACK obligations.
+    if (delack_timer_ != timer::kInvalidTimer) {
+      mod_.env().cancel_timer(delack_timer_);
+      delack_timer_ = timer::kInvalidTimer;
+    }
+    segs_since_ack_ = 0;
+    rcv_adv_ = rcv_nxt_ + t.wnd;
+  }
+
+  const TxFlow flow = tx_flow();
+  // Track the highest sequence ever sent. A resend from snd_una can extend
+  // beyond the previous snd_max (e.g. a full segment covering an earlier
+  // 1-byte window probe); failing to advance snd_max here would make the
+  // peer's next cumulative ACK look like it "acks the future" and get
+  // dropped, wedging the connection until another timeout.
+  const std::uint32_t seg_end = seq +
+                                static_cast<std::uint32_t>(payload.size()) +
+                                (flags.syn ? 1 : 0) + (flags.fin ? 1 : 0);
+  if (seq_gt(seg_end, snd_max_)) snd_max_ = seg_end;
+
+  mod_.ip().send(local_ip_, remote_ip_, kProtoTcp, std::move(seg), &flow);
+}
+
+std::size_t TcpConnection::send(buf::ByteView data) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kSynSent &&
+      state_ != TcpState::kSynReceived && state_ != TcpState::kCloseWait) {
+    return 0;
+  }
+  if (fin_pending_ || fin_sent_) return 0;  // no data after close()
+
+  auto& env = mod_.env();
+  env.charge(env.cost().socket_fixed);
+
+  const std::size_t space = send_space();
+  const std::size_t n = std::min(space, data.size());
+  if (n == 0) return 0;
+  snd_buf_.insert(snd_buf_.end(), data.begin(), data.begin() + n);
+  push_marks_.push_back(snd_buf_end_seq());
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    output(false);
+  }
+  return n;
+}
+
+std::size_t TcpConnection::send_space() const {
+  return cfg_.send_buf > snd_buf_.size() ? cfg_.send_buf - snd_buf_.size()
+                                         : 0;
+}
+
+buf::Bytes TcpConnection::read(std::size_t max) {
+  auto& env = mod_.env();
+  env.charge(env.cost().socket_fixed);
+  const std::size_t n = std::min(max, rcv_queue_.size());
+  buf::Bytes out(rcv_queue_.begin(), rcv_queue_.begin() + n);
+  rcv_queue_.erase(rcv_queue_.begin(), rcv_queue_.begin() + n);
+
+  // Window-update heuristic (silly-window avoidance on the receive side):
+  // tell the peer when the window has opened by >= 2 segments or half the
+  // buffer since the last advertisement.
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+      state_ == TcpState::kFinWait2) {
+    const std::uint32_t new_edge = rcv_nxt_ + advertised_window();
+    const std::uint32_t growth = new_edge - rcv_adv_;
+    if (growth >= 2 * mss_ || growth >= cfg_.recv_buf / 2) {
+      send_ack_now();
+    }
+  }
+  return out;
+}
+
+void TcpConnection::output(bool force_ack) {
+  bool sent = false;
+  const bool may_send_data = state_ == TcpState::kEstablished ||
+                             state_ == TcpState::kCloseWait ||
+                             state_ == TcpState::kFinWait1 ||
+                             state_ == TcpState::kClosing ||
+                             state_ == TcpState::kLastAck;
+
+  if (may_send_data) {
+    for (;;) {
+      const std::size_t off = snd_nxt_ - snd_una_;
+      const std::size_t buffered = snd_buf_.size();
+      const std::size_t avail = buffered > off ? buffered - off : 0;
+      const std::size_t wnd =
+          std::min<std::size_t>(std::max<std::size_t>(snd_wnd_, 0), cwnd_);
+      const std::size_t usable = wnd > off ? wnd - off : 0;
+      std::size_t len = std::min({avail, usable, mss_});
+
+      if (len > 0 && cfg_.segment_per_write) {
+        // Never span a user-write boundary.
+        for (std::uint32_t mark : push_marks_) {
+          if (seq_gt(mark, snd_nxt_)) {
+            len = std::min<std::size_t>(len, mark - snd_nxt_);
+            break;
+          }
+        }
+      }
+
+      if (len == 0) {
+        break;
+      }
+
+      // Nagle: hold a sub-MSS segment while earlier data is unacked,
+      // unless a FIN is about to flush the buffer anyway.
+      if (cfg_.nagle && len < mss_ && flight_size() > 0 &&
+          !(fin_pending_ && len == avail)) {
+        break;
+      }
+
+      buf::Bytes chunk(snd_buf_.begin() + static_cast<long>(off),
+                       snd_buf_.begin() + static_cast<long>(off + len));
+      TcpFlags f;
+      f.ack = true;
+      const std::uint32_t seg_end = snd_nxt_ + static_cast<std::uint32_t>(len);
+      // PSH at a write boundary or when the buffer drains.
+      f.psh = (seg_end == snd_buf_end_seq());
+      for (std::uint32_t mark : push_marks_) {
+        if (mark == seg_end) f.psh = true;
+      }
+
+      // Classify before emitting: emit_segment itself advances snd_max.
+      if (seq_lt(snd_nxt_, snd_max_)) {
+        retransmit_count_++;
+        mod_.counters().retransmits++;
+      }
+      emit_segment(snd_nxt_, chunk, f, false);
+
+      if (!rtt_timing_) {
+        rtt_timing_ = true;
+        rtt_seq_ = snd_nxt_;
+        rtt_start_ = mod_.env().now();
+      }
+      snd_nxt_ = seg_end;
+      if (rtx_timer_ == timer::kInvalidTimer) arm_rtx();
+      sent = true;
+    }
+
+    // FIN once all queued data has been sent.
+    if (fin_pending_ && !fin_sent_ && snd_nxt_ == snd_buf_end_seq()) {
+      TcpFlags f;
+      f.fin = true;
+      f.ack = true;
+      fin_seq_ = snd_nxt_;
+      emit_segment(snd_nxt_, {}, f, false);
+      snd_nxt_++;
+      fin_sent_ = true;
+      if (rtx_timer_ == timer::kInvalidTimer) arm_rtx();
+      sent = true;
+    }
+
+    // Zero-window with data pending: start probing.
+    const std::size_t pending =
+        snd_buf_.size() > (snd_nxt_ - snd_una_) ? 1 : 0;
+    if (!sent && pending > 0 && snd_wnd_ == 0 && flight_size() == 0 &&
+        persist_timer_ == timer::kInvalidTimer) {
+      arm_persist();
+    }
+  }
+
+  if (!sent && force_ack) {
+    send_ack_now();
+  }
+}
+
+void TcpConnection::send_ack_now() {
+  TcpFlags f;
+  f.ack = true;
+  mod_.counters().pure_acks_sent++;
+  emit_segment(snd_nxt_, {}, f, false);
+}
+
+void TcpConnection::send_rst() {
+  TcpFlags f;
+  f.rst = true;
+  f.ack = true;
+  mod_.counters().rst_sent++;
+  emit_segment(snd_nxt_, {}, f, false);
+}
+
+// ---------------------------------------------------------------------------
+// Input path
+// ---------------------------------------------------------------------------
+
+void TcpConnection::segment_arrived(const TcpHeader& t,
+                                    buf::ByteView payload) {
+  switch (state_) {
+    case TcpState::kClosed:
+      return;
+
+    case TcpState::kSynSent: {
+      if (t.flags.rst) {
+        if (t.flags.ack && t.ack == snd_nxt_) {
+          mod_.counters().rst_received++;
+          terminate("connection refused");
+        }
+        return;
+      }
+      if (t.flags.syn && t.flags.ack) {
+        if (t.ack != iss_ + 1) return;  // bogus
+        irs_ = t.seq;
+        rcv_nxt_ = t.seq + 1;
+        snd_una_ = t.ack;
+        snd_wnd_ = t.wnd;
+        if (t.mss_option) {
+          mss_ = std::min<std::size_t>(mss_, *t.mss_option);
+        }
+        cwnd_ = mss_;
+        cancel_rtx();
+        rtx_shift_ = 0;
+        if (rtt_timing_) {
+          rtt_sample(mod_.env().now() - rtt_start_);
+          rtt_timing_ = false;
+        }
+        established();
+        send_ack_now();
+        output(false);
+        return;
+      }
+      if (t.flags.syn) {
+        // Simultaneous open.
+        irs_ = t.seq;
+        rcv_nxt_ = t.seq + 1;
+        snd_wnd_ = t.wnd;
+        state_ = TcpState::kSynReceived;
+        TcpFlags f;
+        f.syn = true;
+        f.ack = true;
+        emit_segment(iss_, {}, f, true);
+        return;
+      }
+      return;
+    }
+
+    case TcpState::kSynReceived: {
+      if (t.flags.rst) {
+        mod_.counters().rst_received++;
+        terminate("reset during handshake");
+        return;
+      }
+      if (t.flags.syn && t.seq == irs_ && !t.flags.ack) {
+        // Duplicate SYN: retransmit the SYN|ACK.
+        TcpFlags f;
+        f.syn = true;
+        f.ack = true;
+        emit_segment(iss_, {}, f, true);
+        return;
+      }
+      if (!t.flags.ack) return;
+      // Note: a SYN|ACK here is the simultaneous-open case -- the peer's
+      // SYN|ACK acknowledges our SYN, completing both handshakes.
+      if (t.ack != iss_ + 1) {
+        send_rst();
+        return;
+      }
+      snd_una_ = t.ack;
+      snd_wnd_ = t.wnd;
+      cancel_rtx();
+      rtx_shift_ = 0;
+      established();
+      break;  // fall through to common processing for payload/FIN
+    }
+
+    default:
+      break;
+  }
+
+  // ---- Synchronized-state processing ----
+  if (state_ == TcpState::kTimeWait) {
+    if (t.flags.rst) {
+      terminate("");
+      return;
+    }
+    if (t.flags.fin || t.flags.syn || !payload.empty()) {
+      // Retransmitted FIN (or stray data): re-ACK and restart 2MSL.
+      send_ack_now();
+      if (time_wait_timer_ != timer::kInvalidTimer) {
+        mod_.env().cancel_timer(time_wait_timer_);
+      }
+      time_wait_timer_ = mod_.env().schedule(
+          2 * cfg_.msl, [this] { time_wait_timeout(); });
+    }
+    return;
+  }
+
+  // Sequence acceptability (simplified RFC 793 check).
+  const auto seg_len = static_cast<std::uint32_t>(payload.size()) +
+                       (t.flags.fin ? 1u : 0u);
+  const std::uint32_t wnd_edge = rcv_nxt_ + advertised_window();
+  if (seg_len > 0 || !payload.empty()) {
+    const std::uint32_t seg_end = t.seq + seg_len;
+    const bool overlaps =
+        seq_gt(seg_end, rcv_nxt_) && seq_lt(t.seq, wnd_edge);
+    const bool old_dup = seq_le(seg_end, rcv_nxt_);
+    if (!overlaps && !old_dup) {
+      if (!t.flags.rst) send_ack_now();
+      return;
+    }
+    if (old_dup && !t.flags.rst) {
+      // Complete duplicate: re-ACK (the peer missed our ACK), still process
+      // the ACK field below.
+      send_ack_now();
+    }
+  }
+
+  if (t.flags.rst) {
+    mod_.counters().rst_received++;
+    terminate("reset by peer");
+    return;
+  }
+  if (t.flags.syn && t.seq != irs_) {
+    send_rst();
+    terminate("SYN inside window");
+    return;
+  }
+  if (!t.flags.ack) return;
+
+  process_ack(t);
+  if (state_ == TcpState::kClosed) return;  // terminated inside
+
+  // FIN-of-ours acknowledged: advance the closing states.
+  const bool fin_acked = fin_sent_ && seq_ge(snd_una_, fin_seq_ + 1);
+  if (fin_acked) {
+    switch (state_) {
+      case TcpState::kFinWait1:
+        state_ = TcpState::kFinWait2;
+        break;
+      case TcpState::kClosing:
+        enter_time_wait();
+        break;
+      case TcpState::kLastAck:
+        terminate("");
+        return;
+      default:
+        break;
+    }
+  }
+
+  if (!payload.empty() &&
+      (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+       state_ == TcpState::kFinWait2)) {
+    process_payload(t, payload);
+  }
+
+  if (t.flags.fin) {
+    process_fin(t.seq + static_cast<std::uint32_t>(payload.size()));
+  }
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+
+  output(false);
+}
+
+void TcpConnection::process_ack(const TcpHeader& t) {
+  const std::uint32_t ack = t.ack;
+  if (seq_gt(ack, snd_max_)) {
+    send_ack_now();  // acking the future: tell the peer where we are
+    return;
+  }
+
+  if (seq_le(ack, snd_una_)) {
+    // Not advancing: maybe a duplicate ACK.
+    if (ack == snd_una_ && seq_gt(snd_max_, snd_una_) && t.wnd == snd_wnd_) {
+      dup_acks_++;
+      mod_.counters().dup_acks_in++;
+      if (dup_acks_ == 3) {
+        // Fast retransmit (Reno).
+        ssthresh_ = std::max<std::size_t>(2 * mss_, flight_size() / 2);
+        recover_ = snd_max_;
+        const std::size_t len = std::min<std::size_t>(mss_, snd_buf_.size());
+        if (len > 0) {
+          buf::Bytes chunk(snd_buf_.begin(),
+                           snd_buf_.begin() + static_cast<long>(len));
+          TcpFlags f;
+          f.ack = true;
+          emit_segment(snd_una_, chunk, f, false);
+          mod_.counters().fast_retransmits++;
+          mod_.counters().retransmits++;
+          retransmit_count_++;
+        } else if (fin_sent_ && snd_una_ == fin_seq_) {
+          TcpFlags f;
+          f.fin = true;
+          f.ack = true;
+          emit_segment(fin_seq_, {}, f, false);
+        }
+        cwnd_ = ssthresh_ + 3 * mss_;
+        in_fast_recovery_ = true;
+        rtt_timing_ = false;  // Karn
+      } else if (dup_acks_ > 3 && in_fast_recovery_) {
+        cwnd_ += mss_;
+        output(false);
+      }
+    } else {
+      snd_wnd_ = t.wnd;
+      if (snd_wnd_ > 0 && persist_timer_ != timer::kInvalidTimer) {
+        mod_.env().cancel_timer(persist_timer_);
+        persist_timer_ = timer::kInvalidTimer;
+        persist_shift_ = 0;
+        output(false);
+      }
+    }
+    return;
+  }
+
+  // The ACK advances.
+  const std::uint32_t acked = ack - snd_una_;
+  const std::size_t data_acked =
+      std::min<std::size_t>(acked, snd_buf_.size());
+  snd_buf_.erase(snd_buf_.begin(),
+                 snd_buf_.begin() + static_cast<long>(data_acked));
+  while (!push_marks_.empty() && seq_le(push_marks_.front(), ack)) {
+    push_marks_.pop_front();
+  }
+  snd_una_ = ack;
+  if (seq_lt(snd_nxt_, snd_una_)) snd_nxt_ = snd_una_;
+  rtx_shift_ = 0;
+
+  if (rtt_timing_ && seq_gt(ack, rtt_seq_)) {
+    rtt_sample(mod_.env().now() - rtt_start_);
+    rtt_timing_ = false;
+  }
+
+  if (in_fast_recovery_) {
+    if (seq_ge(ack, recover_)) {
+      cwnd_ = ssthresh_;
+      in_fast_recovery_ = false;
+      dup_acks_ = 0;
+    } else {
+      // Partial ACK (NewReno-flavoured): retransmit the next hole.
+      const std::size_t len = std::min<std::size_t>(mss_, snd_buf_.size());
+      if (len > 0) {
+        buf::Bytes chunk(snd_buf_.begin(),
+                         snd_buf_.begin() + static_cast<long>(len));
+        TcpFlags f;
+        f.ack = true;
+        emit_segment(snd_una_, chunk, f, false);
+        mod_.counters().retransmits++;
+        retransmit_count_++;
+      }
+    }
+  } else {
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += mss_;  // slow start
+    } else {
+      cwnd_ += std::max<std::size_t>(mss_ * mss_ / cwnd_, 1);  // CA
+    }
+    cwnd_ = std::min(cwnd_, cfg_.send_buf);
+  }
+
+  snd_wnd_ = t.wnd;
+  if (snd_wnd_ > 0 && persist_timer_ != timer::kInvalidTimer) {
+    mod_.env().cancel_timer(persist_timer_);
+    persist_timer_ = timer::kInvalidTimer;
+    persist_shift_ = 0;
+  }
+
+  if (snd_una_ == snd_max_) {
+    cancel_rtx();
+  } else {
+    arm_rtx();  // restart for the remaining flight
+  }
+
+  if (data_acked > 0 && observer_ != nullptr &&
+      (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait)) {
+    observer_->on_send_space(*this);
+  }
+}
+
+void TcpConnection::process_payload(const TcpHeader& t,
+                                    buf::ByteView payload) {
+  std::uint32_t seq = t.seq;
+  buf::ByteView data = payload;
+
+  // Trim anything we already have.
+  if (seq_lt(seq, rcv_nxt_)) {
+    const std::uint32_t skip = rcv_nxt_ - seq;
+    if (skip >= data.size()) {
+      send_ack_now();  // full duplicate
+      return;
+    }
+    data = data.subspan(skip);
+    seq = rcv_nxt_;
+  }
+
+  if (seq == rcv_nxt_) {
+    // In-order data is admitted against queue occupancy only: any
+    // out-of-order bytes it unblocks are already accounted for and merge
+    // into the queue without consuming new space. (Counting ooo bytes here
+    // can wedge the window permanently: the hole's retransmission would
+    // never fit.)
+    const std::size_t space = cfg_.recv_buf > rcv_queue_.size()
+                                  ? cfg_.recv_buf - rcv_queue_.size()
+                                  : 0;
+    const std::size_t take = std::min(space, data.size());
+    rcv_queue_.insert(rcv_queue_.end(), data.begin(),
+                      data.begin() + static_cast<long>(take));
+    rcv_nxt_ += static_cast<std::uint32_t>(take);
+    mod_.counters().bytes_received += take;
+
+    // Pull any out-of-order segments that are now contiguous.
+    for (auto it = ooo_.begin(); it != ooo_.end();) {
+      if (seq_gt(it->first, rcv_nxt_)) break;
+      buf::Bytes& seg = it->second;
+      const std::uint32_t seg_seq = it->first;
+      const std::uint32_t seg_end =
+          seg_seq + static_cast<std::uint32_t>(seg.size());
+      if (seq_le(seg_end, rcv_nxt_)) {
+        ooo_bytes_ -= seg.size();
+        it = ooo_.erase(it);
+        continue;
+      }
+      const std::uint32_t skip = rcv_nxt_ - seg_seq;
+      const std::size_t add = seg.size() - skip;
+      rcv_queue_.insert(rcv_queue_.end(),
+                        seg.begin() + static_cast<long>(skip), seg.end());
+      rcv_nxt_ += static_cast<std::uint32_t>(add);
+      mod_.counters().bytes_received += add;
+      ooo_bytes_ -= seg.size();
+      it = ooo_.erase(it);
+    }
+
+    if (observer_ != nullptr && take > 0) observer_->on_data_ready(*this);
+
+    // ACK policy: immediate every second segment (BSD), else delayed.
+    segs_since_ack_++;
+    if (!cfg_.delayed_ack || segs_since_ack_ >= 2 || !ooo_.empty()) {
+      send_ack_now();
+    } else if (delack_timer_ == timer::kInvalidTimer) {
+      delack_timer_ = mod_.env().schedule(cfg_.delack_delay,
+                                          [this] { delack_timeout(); });
+    }
+    return;
+  }
+
+  // Out of order: stash (bounded by buffer space) and duplicate-ACK.
+  mod_.counters().out_of_order++;
+  const std::size_t space = cfg_.recv_buf > rcv_queue_.size() + ooo_bytes_
+                                ? cfg_.recv_buf - rcv_queue_.size() - ooo_bytes_
+                                : 0;
+  if (data.size() <= space && !ooo_.contains(seq)) {
+    ooo_.emplace(seq, buf::Bytes(data.begin(), data.end()));
+    ooo_bytes_ += data.size();
+  }
+  send_ack_now();
+}
+
+void TcpConnection::process_fin(std::uint32_t fin_seq) {
+  if (seq_gt(fin_seq, rcv_nxt_)) {
+    // FIN beyond a hole: the duplicate ACK already sent covers it; the peer
+    // will retransmit.
+    return;
+  }
+  if (peer_fin_seen_) {
+    send_ack_now();
+    return;
+  }
+  // Consume the FIN.
+  rcv_nxt_ = fin_seq + 1;
+  peer_fin_seen_ = true;
+  peer_fin_seq_ = fin_seq;
+  send_ack_now();
+
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      if (fin_sent_ && seq_ge(snd_una_, fin_seq_ + 1)) {
+        enter_time_wait();
+      } else {
+        state_ = TcpState::kClosing;
+      }
+      break;
+    case TcpState::kFinWait2:
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+  // Upcall after the state transition so an observer that closes in
+  // response (a typical echo server) takes the passive-close path.
+  if (observer_ != nullptr) observer_->on_peer_fin(*this);
+}
+
+void TcpConnection::established() {
+  const bool passive = state_ == TcpState::kSynReceived;
+  state_ = TcpState::kEstablished;
+  if (passive) {
+    mod_.counters().conns_accepted++;
+    if (observer_ != nullptr) observer_->on_accept(*this);
+  }
+  if (observer_ != nullptr) observer_->on_established(*this);
+}
+
+void TcpConnection::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  cancel_rtx();
+  if (persist_timer_ != timer::kInvalidTimer) {
+    mod_.env().cancel_timer(persist_timer_);
+    persist_timer_ = timer::kInvalidTimer;
+  }
+  if (time_wait_timer_ != timer::kInvalidTimer) {
+    mod_.env().cancel_timer(time_wait_timer_);
+  }
+  time_wait_timer_ =
+      mod_.env().schedule(2 * cfg_.msl, [this] { time_wait_timeout(); });
+}
+
+void TcpConnection::time_wait_timeout() {
+  time_wait_timer_ = timer::kInvalidTimer;
+  terminate("");
+}
+
+void TcpConnection::terminate(const std::string& reason) {
+  cancel_all_timers();
+  state_ = TcpState::kClosed;
+  if (observer_ != nullptr) observer_->on_closed(*this, reason);
+}
+
+// ---------------------------------------------------------------------------
+// Application close paths
+// ---------------------------------------------------------------------------
+
+void TcpConnection::close() {
+  switch (state_) {
+    case TcpState::kSynSent:
+      terminate("");
+      break;
+    case TcpState::kSynReceived:
+    case TcpState::kEstablished:
+      fin_pending_ = true;
+      state_ = TcpState::kFinWait1;
+      output(false);
+      break;
+    case TcpState::kCloseWait:
+      fin_pending_ = true;
+      state_ = TcpState::kLastAck;
+      output(false);
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpConnection::abort() {
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kSynReceived ||
+      state_ == TcpState::kFinWait1 || state_ == TcpState::kFinWait2 ||
+      state_ == TcpState::kCloseWait || state_ == TcpState::kClosing ||
+      state_ == TcpState::kLastAck) {
+    send_rst();
+  }
+  terminate("aborted");
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void TcpConnection::arm_rtx() {
+  auto& env = mod_.env();
+  env.charge(env.cost().timer_op);
+  if (rtx_timer_ != timer::kInvalidTimer) env.cancel_timer(rtx_timer_);
+  const sim::Time delay =
+      std::min(rto_ << rtx_shift_, cfg_.rto_max);
+  rtx_timer_ = env.schedule(delay, [this] { rtx_timeout(); });
+}
+
+void TcpConnection::cancel_rtx() {
+  if (rtx_timer_ != timer::kInvalidTimer) {
+    mod_.env().cancel_timer(rtx_timer_);
+    rtx_timer_ = timer::kInvalidTimer;
+  }
+}
+
+void TcpConnection::rtx_timeout() {
+  rtx_timer_ = timer::kInvalidTimer;
+  rtx_shift_++;
+  mod_.counters().timeouts++;
+
+  if (rtx_shift_ > cfg_.max_retransmits) {
+    terminate("connection timed out");
+    return;
+  }
+
+  rtt_timing_ = false;  // Karn's algorithm: no samples from retransmissions
+
+  if (state_ == TcpState::kSynSent) {
+    TcpFlags f;
+    f.syn = true;
+    emit_segment(iss_, {}, f, true);
+    mod_.counters().retransmits++;
+    retransmit_count_++;
+    arm_rtx();
+    return;
+  }
+  if (state_ == TcpState::kSynReceived) {
+    TcpFlags f;
+    f.syn = true;
+    f.ack = true;
+    emit_segment(iss_, {}, f, true);
+    mod_.counters().retransmits++;
+    retransmit_count_++;
+    arm_rtx();
+    return;
+  }
+
+  // Collapse the congestion window and go back to snd_una.
+  ssthresh_ = std::max<std::size_t>(
+      2 * mss_, std::min<std::size_t>(snd_wnd_, cwnd_) / 2);
+  cwnd_ = mss_;
+  dup_acks_ = 0;
+  in_fast_recovery_ = false;
+  snd_nxt_ = snd_una_;
+  if (fin_sent_ && seq_le(snd_nxt_, fin_seq_)) {
+    fin_sent_ = false;  // FIN will be re-emitted after the data
+  }
+  output(false);
+  if (rtx_timer_ == timer::kInvalidTimer && seq_gt(snd_max_, snd_una_)) {
+    arm_rtx();
+  }
+}
+
+void TcpConnection::arm_persist() {
+  auto& env = mod_.env();
+  const sim::Time delay = std::clamp(rto_ << persist_shift_,
+                                     cfg_.persist_min, cfg_.persist_max);
+  persist_timer_ = env.schedule(delay, [this] { persist_timeout(); });
+}
+
+void TcpConnection::persist_timeout() {
+  persist_timer_ = timer::kInvalidTimer;
+  if (snd_wnd_ > 0) {
+    output(false);
+    return;
+  }
+  // Window probe: one byte beyond the window.
+  const std::size_t off = snd_nxt_ - snd_una_;
+  if (snd_buf_.size() > off) {
+    buf::Bytes probe{snd_buf_[off]};
+    TcpFlags f;
+    f.ack = true;
+    emit_segment(snd_nxt_, probe, f, false);
+    mod_.counters().persists++;
+    snd_nxt_ += 1;
+    if (rtx_timer_ == timer::kInvalidTimer) arm_rtx();
+  }
+  if (persist_shift_ < 16) persist_shift_++;
+  arm_persist();
+}
+
+void TcpConnection::delack_timeout() {
+  delack_timer_ = timer::kInvalidTimer;
+  if (segs_since_ack_ > 0) {
+    mod_.counters().delayed_acks++;
+    send_ack_now();
+  }
+}
+
+void TcpConnection::cancel_all_timers() {
+  auto& env = mod_.env();
+  cancel_rtx();
+  for (timer::TimerId* id :
+       {&persist_timer_, &delack_timer_, &time_wait_timer_}) {
+    if (*id != timer::kInvalidTimer) {
+      env.cancel_timer(*id);
+      *id = timer::kInvalidTimer;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RTT estimation (Jacobson/Karels)
+// ---------------------------------------------------------------------------
+
+void TcpConnection::rtt_sample(sim::Time measured) {
+  if (srtt_ == 0) {
+    srtt_ = measured;
+    rttvar_ = measured / 2;
+  } else {
+    const sim::Time err = measured - srtt_;
+    srtt_ += err / 8;
+    rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;
+  }
+  rto_ = std::clamp(srtt_ + 4 * rttvar_, cfg_.rto_min, cfg_.rto_max);
+}
+
+}  // namespace ulnet::proto

@@ -1,0 +1,378 @@
+// TCP: a complete, organization-agnostic implementation in the 4.3BSD
+// tradition -- three-way handshake with MSS negotiation, sliding-window data
+// transfer with user-write (push) boundaries, Jacobson/Karels RTT estimation
+// with Karn's algorithm, slow start + congestion avoidance + fast
+// retransmit, delayed ACKs, zero-window persist probes, orderly close
+// through FIN/TIME-WAIT, and RST handling.
+//
+// The same TcpModule object code runs inside every protocol organization;
+// only the StackEnv differs (where costs are charged, how timers dispatch,
+// how segments reach the wire) -- that is the paper's "identical protocol
+// stack" requirement for an apples-to-apples comparison.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "proto/ip.h"
+
+namespace ulnet::proto {
+
+// Sequence-space arithmetic (wraps modulo 2^32).
+inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+inline bool seq_ge(std::uint32_t a, std::uint32_t b) { return seq_le(b, a); }
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynReceived,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+[[nodiscard]] const char* to_string(TcpState s);
+
+struct TcpConfig {
+  std::size_t mss = 1460;        // clamped by path MTU and the peer's option
+  std::size_t send_buf = 64 * 1024;
+  std::size_t recv_buf = 32 * 1024;
+  bool nagle = false;            // era measurement tools pushed per write
+  bool delayed_ack = true;
+  // Preserve user-write boundaries on the wire: a segment never spans two
+  // writes. This matches the paper's measurements, where "user packet
+  // sizes beyond the link-imposed maximum will require multiple network
+  // packet transmissions" -- i.e. below the MTU, one user packet is one
+  // network packet. Disable for 4.3BSD-style write coalescing.
+  bool segment_per_write = true;
+  // Application-specific specialization hook (Section 5: "canned options"):
+  // on a link with reliable delivery the data checksum can be elided.
+  bool checksum_enabled = true;
+
+  sim::Time delack_delay = 200 * sim::kMs;  // BSD fast timer
+  sim::Time rto_initial = 1 * sim::kSec;
+  sim::Time rto_min = 500 * sim::kMs;
+  sim::Time rto_max = 64 * sim::kSec;
+  sim::Time persist_min = 500 * sim::kMs;
+  sim::Time persist_max = 60 * sim::kSec;
+  sim::Time msl = 5 * sim::kSec;  // 2*MSL TIME-WAIT hold
+  int max_retransmits = 12;
+};
+
+class TcpConnection;
+
+// Upcall interface to the socket layer / application. The paper notes that
+// "protocol control block lookups are eliminated by having separate threads
+// per connection that are upcalled"; these callbacks are that per-connection
+// upcall edge.
+class TcpObserver {
+ public:
+  virtual ~TcpObserver() = default;
+  virtual void on_established(TcpConnection&) {}
+  // New in-order data is readable.
+  virtual void on_data_ready(TcpConnection&) {}
+  // Send-buffer space became available.
+  virtual void on_send_space(TcpConnection&) {}
+  // Peer sent FIN (EOF after buffered data drains).
+  virtual void on_peer_fin(TcpConnection&) {}
+  // Connection fully terminated; the reason string is empty for an orderly
+  // close.
+  virtual void on_closed(TcpConnection&, const std::string& /*reason*/) {}
+  // Listener only: a child connection completed its handshake.
+  virtual void on_accept(TcpConnection&) {}
+};
+
+struct TcpCounters {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_acks_in = 0;
+  std::uint64_t pure_acks_sent = 0;
+  std::uint64_t delayed_acks = 0;
+  std::uint64_t bad_checksum = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t rst_sent = 0;
+  std::uint64_t rst_received = 0;
+  std::uint64_t persists = 0;
+  std::uint64_t conns_opened = 0;
+  std::uint64_t conns_accepted = 0;
+};
+
+// A snapshot of an established connection, used to hand a connection from
+// one TcpModule instance to another (the paper's registry server completes
+// the three-way handshake and then "transfers TCP state to user level").
+struct TcpHandoffState {
+  TcpConfig cfg;
+  net::Ipv4Addr local_ip, remote_ip;
+  std::uint16_t local_port = 0, remote_port = 0;
+  std::size_t mss = 536;
+  std::uint32_t iss = 0, irs = 0;
+  std::uint32_t snd_una = 0, snd_nxt = 0, snd_max = 0, snd_wnd = 0;
+  std::uint32_t rcv_nxt = 0, rcv_adv = 0;
+  sim::Time srtt = 0, rttvar = 0, rto = 0;
+  // Established, or CloseWait when the peer's FIN arrived before the
+  // hand-off completed.
+  TcpState state = TcpState::kEstablished;
+  bool peer_fin_seen = false;
+  std::uint32_t peer_fin_seq = 0;
+  buf::Bytes rcv_pending;  // received but not yet read by any application
+
+  // Approximate serialized size, for IPC cost accounting.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 128 + rcv_pending.size();
+  }
+};
+
+class TcpModule {
+ public:
+  TcpModule(StackEnv& env, IpModule& ip);
+  ~TcpModule();
+  TcpModule(const TcpModule&) = delete;
+  TcpModule& operator=(const TcpModule&) = delete;
+
+  // Active open. Returns nullptr if unroutable or the port is taken.
+  // `sport` of 0 allocates an ephemeral port.
+  TcpConnection* connect(net::Ipv4Addr dst, std::uint16_t dport,
+                         TcpObserver* observer, TcpConfig cfg = {},
+                         std::uint16_t sport = 0);
+
+  // Passive open. `acceptor` receives on_accept for each child connection.
+  bool listen(std::uint16_t port, TcpObserver* acceptor, TcpConfig cfg = {});
+  void close_listener(std::uint16_t port);
+  [[nodiscard]] bool listening(std::uint16_t port) const {
+    return listeners_.contains(port);
+  }
+
+  // Reclaim a fully closed connection's resources. Call once the socket
+  // layer is done with the object; pointers to it are invalid afterwards.
+  // Also used to detach a handed-off connection: nothing is sent on the
+  // wire and no observer fires.
+  void release(TcpConnection* conn);
+
+  // Recreate an established connection from a handoff snapshot. Returns
+  // nullptr if the 4-tuple is already present in this module.
+  TcpConnection* import_connection(const TcpHandoffState& st,
+                                   TcpObserver* observer);
+
+  std::uint16_t alloc_ephemeral();
+
+  [[nodiscard]] const TcpCounters& counters() const { return counters_; }
+  TcpCounters& counters() { return counters_; }
+  StackEnv& env() { return env_; }
+  IpModule& ip() { return ip_; }
+
+  [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  friend class TcpConnection;
+
+  struct ConnKey {
+    std::uint32_t local_ip, remote_ip;
+    std::uint16_t local_port, remote_port;
+    bool operator==(const ConnKey&) const = default;
+  };
+  struct ConnKeyHash {
+    std::size_t operator()(const ConnKey& k) const {
+      std::uint64_t v = (static_cast<std::uint64_t>(k.local_ip) << 32) ^
+                        k.remote_ip ^
+                        (static_cast<std::uint64_t>(k.local_port) << 48) ^
+                        (static_cast<std::uint64_t>(k.remote_port) << 16);
+      return std::hash<std::uint64_t>{}(v);
+    }
+  };
+  struct Listener {
+    TcpObserver* acceptor;
+    TcpConfig cfg;
+  };
+
+  void input(const Ipv4Header& h, buf::Bytes payload, int ifc);
+  void send_rst_for(const Ipv4Header& h, const TcpHeader& t,
+                    std::size_t payload_len);
+  TcpConnection* find(const ConnKey& key);
+  void rekey_or_erase(TcpConnection* conn);
+
+  StackEnv& env_;
+  IpModule& ip_;
+  std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash>
+      conns_;
+  std::unordered_map<std::uint16_t, Listener> listeners_;
+  TcpCounters counters_;
+  std::uint16_t next_ephemeral_ = 20000;
+};
+
+class TcpConnection {
+ public:
+  // ---- Application edge --------------------------------------------------
+  // Queue up to data.size() bytes; returns the number accepted (bounded by
+  // send-buffer space). Each call is one "user packet": with
+  // segment_per_write the final segment of the write carries PSH and no
+  // segment spans the boundary.
+  std::size_t send(buf::ByteView data);
+  [[nodiscard]] std::size_t send_space() const;
+
+  // Read up to `max` bytes of in-order received data.
+  buf::Bytes read(std::size_t max);
+  [[nodiscard]] std::size_t bytes_available() const {
+    return rcv_queue_.size();
+  }
+  // True once the peer's FIN has been consumed (EOF).
+  [[nodiscard]] bool eof() const {
+    return peer_fin_seen_ && rcv_queue_.empty();
+  }
+
+  void close();  // orderly: FIN after queued data
+  void abort();  // RST now
+
+  void set_observer(TcpObserver* obs) { observer_ = obs; }
+
+  // ---- Introspection -----------------------------------------------------
+  [[nodiscard]] TcpState state() const { return state_; }
+  [[nodiscard]] net::Ipv4Addr local_ip() const { return local_ip_; }
+  [[nodiscard]] net::Ipv4Addr remote_ip() const { return remote_ip_; }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  [[nodiscard]] std::uint16_t remote_port() const { return remote_port_; }
+  [[nodiscard]] std::size_t effective_mss() const { return mss_; }
+  [[nodiscard]] sim::Time srtt() const { return srtt_; }
+  [[nodiscard]] sim::Time rto() const { return rto_; }
+  [[nodiscard]] std::size_t cwnd() const { return cwnd_; }
+  [[nodiscard]] const TcpConfig& config() const { return cfg_; }
+  [[nodiscard]] TxFlow tx_flow() const;
+  [[nodiscard]] std::uint64_t retransmit_count() const {
+    return retransmit_count_;
+  }
+
+  // Snapshot an ESTABLISHED connection for hand-off to another TcpModule.
+  // The send buffer must be empty (the registry never queues user data).
+  [[nodiscard]] TcpHandoffState export_state() const;
+
+  // Public so std::unique_ptr can delete through it; construction and
+  // destruction are still driven exclusively by TcpModule.
+  ~TcpConnection();
+
+ private:
+  friend class TcpModule;
+
+  TcpConnection(TcpModule& mod, TcpConfig cfg, net::Ipv4Addr lip,
+                std::uint16_t lport, net::Ipv4Addr rip, std::uint16_t rport,
+                TcpObserver* obs);
+
+  // Module-driven entry points.
+  void start_active_open();
+  void start_passive_open(const TcpHeader& syn);  // from LISTEN
+  void segment_arrived(const TcpHeader& t, buf::ByteView payload);
+
+  // Output machinery.
+  void output(bool force_ack);
+  void emit_segment(std::uint32_t seq, buf::ByteView payload, TcpFlags flags,
+                    bool mss_opt);
+  void send_ack_now();
+  void send_rst();
+  [[nodiscard]] std::uint16_t advertised_window() const;
+
+  // Input helpers.
+  void process_ack(const TcpHeader& t);
+  void process_payload(const TcpHeader& t, buf::ByteView payload);
+  void process_fin(std::uint32_t fin_seq);
+  void established();
+  void enter_time_wait();
+  void terminate(const std::string& reason);  // -> kClosed + upcall
+
+  // Timers.
+  void arm_rtx();
+  void cancel_rtx();
+  void rtx_timeout();
+  void arm_persist();
+  void persist_timeout();
+  void delack_timeout();
+  void time_wait_timeout();
+  void cancel_all_timers();
+
+  // RTT estimation.
+  void rtt_sample(sim::Time measured);
+
+  [[nodiscard]] std::size_t flight_size() const { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] std::uint32_t snd_buf_end_seq() const {
+    return snd_una_ + static_cast<std::uint32_t>(snd_buf_.size());
+  }
+
+  TcpModule& mod_;
+  TcpConfig cfg_;
+  TcpObserver* observer_;
+  TcpState state_ = TcpState::kClosed;
+
+  net::Ipv4Addr local_ip_, remote_ip_;
+  std::uint16_t local_port_, remote_port_;
+  std::size_t mss_ = 536;
+
+  // Send state. snd_buf_ holds [snd_una_, snd_buf_end); push_marks_ are
+  // absolute sequence numbers of user-write boundaries.
+  std::uint32_t iss_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t snd_max_ = 0;   // highest sequence ever sent
+  std::uint32_t snd_wnd_ = 0;   // peer's advertised window
+  std::deque<std::uint8_t> snd_buf_;
+  std::deque<std::uint32_t> push_marks_;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  std::uint32_t fin_seq_ = 0;
+
+  // Congestion control (Reno).
+  std::size_t cwnd_ = 0;
+  std::size_t ssthresh_ = 65535;
+  int dup_acks_ = 0;
+  std::uint32_t recover_ = 0;
+
+  // Receive state.
+  std::uint32_t irs_ = 0;
+  std::uint32_t rcv_nxt_ = 0;
+  std::uint32_t rcv_adv_ = 0;  // highest window edge advertised
+  std::deque<std::uint8_t> rcv_queue_;
+  std::map<std::uint32_t, buf::Bytes> ooo_;  // out-of-order segments
+  std::size_t ooo_bytes_ = 0;
+  bool peer_fin_seen_ = false;
+  std::uint32_t peer_fin_seq_ = 0;
+  int segs_since_ack_ = 0;
+
+  // RTT / RTO (units: ns).
+  sim::Time srtt_ = 0;
+  sim::Time rttvar_ = 0;
+  sim::Time rto_;
+  bool rtt_timing_ = false;
+  std::uint32_t rtt_seq_ = 0;
+  sim::Time rtt_start_ = 0;
+
+  // Timers.
+  timer::TimerId rtx_timer_ = timer::kInvalidTimer;
+  timer::TimerId persist_timer_ = timer::kInvalidTimer;
+  timer::TimerId delack_timer_ = timer::kInvalidTimer;
+  timer::TimerId time_wait_timer_ = timer::kInvalidTimer;
+  int rtx_shift_ = 0;      // retransmit backoff exponent
+  int persist_shift_ = 0;
+
+  std::uint64_t retransmit_count_ = 0;
+  bool in_fast_recovery_ = false;
+};
+
+}  // namespace ulnet::proto

@@ -1,0 +1,72 @@
+#include "proto/udp.h"
+
+namespace ulnet::proto {
+
+UdpModule::UdpModule(StackEnv& env, IpModule& ip) : env_(env), ip_(ip) {
+  ip_.register_protocol(kProtoUdp,
+                        [this](const Ipv4Header& h, buf::Bytes p, int ifc) {
+                          input(h, std::move(p), ifc);
+                        });
+}
+
+bool UdpModule::bind(std::uint16_t port, RecvCb cb) {
+  auto [it, fresh] = ports_.try_emplace(port, std::move(cb));
+  return fresh;
+}
+
+void UdpModule::unbind(std::uint16_t port) { ports_.erase(port); }
+
+std::uint16_t UdpModule::alloc_ephemeral() {
+  for (int guard = 0; guard < 65536; ++guard) {
+    const std::uint16_t p = next_ephemeral_++;
+    if (next_ephemeral_ < 10000) next_ephemeral_ = 10000;
+    if (!ports_.contains(p)) return p;
+  }
+  return 0;
+}
+
+bool UdpModule::send(std::uint16_t sport, net::Ipv4Addr dst,
+                     std::uint16_t dport, buf::Bytes payload) {
+  const int ifc = ip_.route(dst);
+  if (ifc < 0) return false;
+  // Source address must match the route: the checksum's pseudo-header
+  // includes it.
+  const net::Ipv4Addr src = env_.ifc_ip(ifc);
+
+  UdpHeader h;
+  h.sport = sport;
+  h.dport = dport;
+
+  buf::Bytes datagram;
+  datagram.reserve(UdpHeader::kSize + payload.size());
+  env_.charge(env_.cost().udp_fixed);
+  env_.charge(static_cast<sim::Time>(payload.size()) *
+              env_.cost().checksum_per_byte);
+  h.serialize(datagram, src, dst, payload);
+  counters_.sent++;
+  return ip_.send(src, dst, kProtoUdp, std::move(datagram), nullptr);
+}
+
+void UdpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
+  env_.charge(env_.cost().udp_fixed);
+  env_.charge(static_cast<sim::Time>(payload.size()) *
+              env_.cost().checksum_per_byte);
+  bool ok = false;
+  auto udp = UdpHeader::parse(payload, h.src, h.dst, &ok);
+  if (!udp) return;
+  if (!ok) {
+    counters_.bad_checksum++;
+    return;
+  }
+  auto it = ports_.find(udp->dport);
+  if (it == ports_.end()) {
+    counters_.no_port++;
+    return;
+  }
+  counters_.delivered++;
+  buf::Bytes body(payload.begin() + UdpHeader::kSize,
+                  payload.begin() + udp->length);
+  it->second(h.src, udp->sport, std::move(body));
+}
+
+}  // namespace ulnet::proto

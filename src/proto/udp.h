@@ -1,0 +1,56 @@
+// UDP: unreliable datagrams with a bound-port table. The paper's earlier
+// related systems (Topaz, the CMU work) started from UDP precisely because
+// it is "easier to implement than a protocol like TCP"; here it also backs
+// the multi-protocol coexistence example and the fragmentation tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/ip.h"
+
+namespace ulnet::proto {
+
+class UdpModule {
+ public:
+  // (src ip, src port, payload)
+  using RecvCb =
+      std::function<void(net::Ipv4Addr, std::uint16_t, buf::Bytes)>;
+
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t no_port = 0;
+    std::uint64_t bad_checksum = 0;
+  };
+
+  UdpModule(StackEnv& env, IpModule& ip);
+
+  // Bind a receive callback to `port`. Returns false if already bound.
+  bool bind(std::uint16_t port, RecvCb cb);
+  void unbind(std::uint16_t port);
+  [[nodiscard]] bool bound(std::uint16_t port) const {
+    return ports_.contains(port);
+  }
+  // An unused port in the ephemeral range.
+  std::uint16_t alloc_ephemeral();
+
+  // Send a datagram. Datagrams larger than the path MTU are fragmented by
+  // IP. Returns false if unroutable.
+  bool send(std::uint16_t sport, net::Ipv4Addr dst, std::uint16_t dport,
+            buf::Bytes payload);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void input(const Ipv4Header& h, buf::Bytes payload, int ifc);
+
+  StackEnv& env_;
+  IpModule& ip_;
+  std::unordered_map<std::uint16_t, RecvCb> ports_;
+  Counters counters_;
+  std::uint16_t next_ephemeral_ = 10000;
+};
+
+}  // namespace ulnet::proto

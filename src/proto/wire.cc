@@ -1,0 +1,263 @@
+#include "proto/wire.h"
+
+namespace ulnet::proto {
+
+// ---------------------------------------------------------------------------
+// IPv4
+// ---------------------------------------------------------------------------
+
+void Ipv4Header::serialize(buf::Bytes& out) const {
+  const std::size_t start = out.size();
+  buf::put8(out, 0x45);  // version 4, IHL 5
+  buf::put8(out, tos);
+  buf::put16(out, total_len);
+  buf::put16(out, ident);
+  std::uint16_t ff = frag_offset_units & 0x1fff;
+  if (dont_fragment) ff |= kFlagDontFragment;
+  if (more_fragments) ff |= kFlagMoreFragments;
+  buf::put16(out, ff);
+  buf::put8(out, ttl);
+  buf::put8(out, proto);
+  buf::put16(out, 0);  // checksum placeholder
+  buf::put32(out, src.value);
+  buf::put32(out, dst.value);
+  const std::uint16_t ck = buf::internet_checksum(
+      buf::ByteView(out.data() + start, kSize));
+  buf::wr16(out, start + 10, ck);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(buf::ByteView b,
+                                            bool* checksum_valid) {
+  if (b.size() < kSize) return std::nullopt;
+  if ((b[0] >> 4) != 4 || (b[0] & 0x0f) != 5) return std::nullopt;
+  Ipv4Header h;
+  h.tos = b[1];
+  h.total_len = buf::rd16(b, 2);
+  h.ident = buf::rd16(b, 4);
+  const std::uint16_t ff = buf::rd16(b, 6);
+  h.dont_fragment = (ff & kFlagDontFragment) != 0;
+  h.more_fragments = (ff & kFlagMoreFragments) != 0;
+  h.frag_offset_units = ff & 0x1fff;
+  h.ttl = b[8];
+  h.proto = b[9];
+  h.src = net::Ipv4Addr{buf::rd32(b, 12)};
+  h.dst = net::Ipv4Addr{buf::rd32(b, 16)};
+  if (checksum_valid != nullptr) {
+    *checksum_valid = buf::checksum_ok(buf::ByteView(b.data(), kSize));
+  }
+  return h;
+}
+
+void add_pseudo_header(buf::ChecksumAccumulator& acc, net::Ipv4Addr src,
+                       net::Ipv4Addr dst, std::uint8_t proto,
+                       std::uint16_t l4_len) {
+  acc.add16(static_cast<std::uint16_t>(src.value >> 16));
+  acc.add16(static_cast<std::uint16_t>(src.value & 0xffff));
+  acc.add16(static_cast<std::uint16_t>(dst.value >> 16));
+  acc.add16(static_cast<std::uint16_t>(dst.value & 0xffff));
+  acc.add16(proto);
+  acc.add16(l4_len);
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+std::uint8_t TcpFlags::encode() const {
+  std::uint8_t v = 0;
+  if (fin) v |= 0x01;
+  if (syn) v |= 0x02;
+  if (rst) v |= 0x04;
+  if (psh) v |= 0x08;
+  if (ack) v |= 0x10;
+  if (urg) v |= 0x20;
+  return v;
+}
+
+TcpFlags TcpFlags::decode(std::uint8_t bits) {
+  TcpFlags f;
+  f.fin = bits & 0x01;
+  f.syn = bits & 0x02;
+  f.rst = bits & 0x04;
+  f.psh = bits & 0x08;
+  f.ack = bits & 0x10;
+  f.urg = bits & 0x20;
+  return f;
+}
+
+void TcpHeader::serialize(buf::Bytes& out, net::Ipv4Addr src,
+                          net::Ipv4Addr dst, buf::ByteView payload) const {
+  const std::size_t start = out.size();
+  const std::size_t hlen = header_len();
+  buf::put16(out, sport);
+  buf::put16(out, dport);
+  buf::put32(out, seq);
+  buf::put32(out, ack);
+  buf::put8(out, static_cast<std::uint8_t>((hlen / 4) << 4));
+  buf::put8(out, flags.encode());
+  buf::put16(out, wnd);
+  buf::put16(out, 0);  // checksum placeholder
+  buf::put16(out, urgent);
+  if (mss_option) {
+    buf::put8(out, 2);  // kind: MSS
+    buf::put8(out, 4);  // length
+    buf::put16(out, *mss_option);
+  }
+  buf::put_bytes(out, payload);
+
+  const auto seg_len = static_cast<std::uint16_t>(hlen + payload.size());
+  buf::ChecksumAccumulator acc;
+  add_pseudo_header(acc, src, dst, kProtoTcp, seg_len);
+  acc.add(buf::ByteView(out.data() + start, seg_len));
+  buf::wr16(out, start + 16, acc.fold());
+}
+
+std::optional<TcpHeader> TcpHeader::parse(buf::ByteView segment,
+                                          net::Ipv4Addr src,
+                                          net::Ipv4Addr dst,
+                                          bool* checksum_valid,
+                                          std::size_t* header_len_out) {
+  if (segment.size() < kMinSize) return std::nullopt;
+  TcpHeader h;
+  h.sport = buf::rd16(segment, 0);
+  h.dport = buf::rd16(segment, 2);
+  h.seq = buf::rd32(segment, 4);
+  h.ack = buf::rd32(segment, 8);
+  const std::size_t hlen = static_cast<std::size_t>(segment[12] >> 4) * 4;
+  if (hlen < kMinSize || hlen > segment.size()) return std::nullopt;
+  h.flags = TcpFlags::decode(segment[13]);
+  h.wnd = buf::rd16(segment, 14);
+  h.urgent = buf::rd16(segment, 18);
+  // Walk options for MSS.
+  std::size_t opt = kMinSize;
+  while (opt < hlen) {
+    const std::uint8_t kind = segment[opt];
+    if (kind == 0) break;     // end of options
+    if (kind == 1) {          // NOP
+      opt++;
+      continue;
+    }
+    if (opt + 1 >= hlen) break;
+    const std::uint8_t olen = segment[opt + 1];
+    if (olen < 2 || opt + olen > hlen) break;
+    if (kind == 2 && olen == 4) h.mss_option = buf::rd16(segment, opt + 2);
+    opt += olen;
+  }
+  if (header_len_out != nullptr) *header_len_out = hlen;
+  if (checksum_valid != nullptr) {
+    buf::ChecksumAccumulator acc;
+    add_pseudo_header(acc, src, dst, kProtoTcp,
+                      static_cast<std::uint16_t>(segment.size()));
+    acc.add(segment);
+    *checksum_valid = acc.fold() == 0;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+void UdpHeader::serialize(buf::Bytes& out, net::Ipv4Addr src,
+                          net::Ipv4Addr dst, buf::ByteView payload) const {
+  const std::size_t start = out.size();
+  const auto len = static_cast<std::uint16_t>(kSize + payload.size());
+  buf::put16(out, sport);
+  buf::put16(out, dport);
+  buf::put16(out, len);
+  buf::put16(out, 0);  // checksum placeholder
+  buf::put_bytes(out, payload);
+
+  buf::ChecksumAccumulator acc;
+  add_pseudo_header(acc, src, dst, kProtoUdp, len);
+  acc.add(buf::ByteView(out.data() + start, len));
+  std::uint16_t ck = acc.fold();
+  if (ck == 0) ck = 0xffff;  // RFC 768: transmitted 0 means "no checksum"
+  buf::wr16(out, start + 6, ck);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(buf::ByteView datagram,
+                                          net::Ipv4Addr src,
+                                          net::Ipv4Addr dst,
+                                          bool* checksum_valid) {
+  if (datagram.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.sport = buf::rd16(datagram, 0);
+  h.dport = buf::rd16(datagram, 2);
+  h.length = buf::rd16(datagram, 4);
+  if (h.length < kSize || h.length > datagram.size()) return std::nullopt;
+  if (checksum_valid != nullptr) {
+    if (buf::rd16(datagram, 6) == 0) {
+      *checksum_valid = true;  // checksum disabled by sender
+    } else {
+      buf::ChecksumAccumulator acc;
+      add_pseudo_header(acc, src, dst, kProtoUdp, h.length);
+      acc.add(buf::ByteView(datagram.data(), h.length));
+      *checksum_valid = acc.fold() == 0;
+    }
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// ICMP
+// ---------------------------------------------------------------------------
+
+void IcmpEcho::serialize(buf::Bytes& out, buf::ByteView payload) const {
+  const std::size_t start = out.size();
+  buf::put8(out, type);
+  buf::put8(out, 0);   // code
+  buf::put16(out, 0);  // checksum placeholder
+  buf::put16(out, id);
+  buf::put16(out, seq);
+  buf::put_bytes(out, payload);
+  const std::uint16_t ck = buf::internet_checksum(
+      buf::ByteView(out.data() + start, out.size() - start));
+  buf::wr16(out, start + 2, ck);
+}
+
+std::optional<IcmpEcho> IcmpEcho::parse(buf::ByteView message,
+                                        bool* checksum_valid) {
+  if (message.size() < kHeaderSize) return std::nullopt;
+  IcmpEcho e;
+  e.type = message[0];
+  e.id = buf::rd16(message, 4);
+  e.seq = buf::rd16(message, 6);
+  if (checksum_valid != nullptr) {
+    *checksum_valid = buf::checksum_ok(message);
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// ARP
+// ---------------------------------------------------------------------------
+
+void ArpMessage::serialize(buf::Bytes& out) const {
+  buf::put16(out, 1);       // hardware: Ethernet
+  buf::put16(out, 0x0800);  // protocol: IPv4
+  buf::put8(out, 6);        // hw addr len
+  buf::put8(out, 4);        // proto addr len
+  buf::put16(out, op);
+  buf::put_bytes(out, buf::ByteView(sender_mac.octets.data(), 6));
+  buf::put32(out, sender_ip.value);
+  buf::put_bytes(out, buf::ByteView(target_mac.octets.data(), 6));
+  buf::put32(out, target_ip.value);
+}
+
+std::optional<ArpMessage> ArpMessage::parse(buf::ByteView b) {
+  if (b.size() < kSize) return std::nullopt;
+  if (buf::rd16(b, 0) != 1 || buf::rd16(b, 2) != 0x0800 || b[4] != 6 ||
+      b[5] != 4) {
+    return std::nullopt;
+  }
+  ArpMessage m;
+  m.op = buf::rd16(b, 6);
+  for (int i = 0; i < 6; ++i) m.sender_mac.octets[i] = b[8 + i];
+  m.sender_ip = net::Ipv4Addr{buf::rd32(b, 14)};
+  for (int i = 0; i < 6; ++i) m.target_mac.octets[i] = b[18 + i];
+  m.target_ip = net::Ipv4Addr{buf::rd32(b, 24)};
+  return m;
+}
+
+}  // namespace ulnet::proto

@@ -1,0 +1,155 @@
+// Network- and transport-layer wire formats with real serialization and
+// RFC 1071 checksums. Parsers are tolerant (return nullopt / flag bad
+// checksums) because corrupted frames are a first-class simulation input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "buf/bytes.h"
+#include "buf/checksum.h"
+#include "net/addr.h"
+
+namespace ulnet::proto {
+
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+// ---------------------------------------------------------------------------
+// IPv4 (fixed 20-byte header; options unsupported, as in our 4.3BSD-era
+// common case)
+// ---------------------------------------------------------------------------
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint16_t kFlagDontFragment = 0x4000;
+  static constexpr std::uint16_t kFlagMoreFragments = 0x2000;
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_len = 0;  // header + payload
+  std::uint16_t ident = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t frag_offset_units = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t proto = 0;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+
+  // Appends the 20-byte header (with computed checksum) to `out`.
+  void serialize(buf::Bytes& out) const;
+  // Parses from the front of `b`. `checksum_valid` (optional out) reports
+  // header-checksum correctness; parse itself only needs 20 bytes.
+  static std::optional<Ipv4Header> parse(buf::ByteView b,
+                                         bool* checksum_valid = nullptr);
+
+  [[nodiscard]] std::size_t payload_len() const {
+    return total_len >= kSize ? total_len - kSize : 0;
+  }
+  [[nodiscard]] std::size_t frag_offset_bytes() const {
+    return static_cast<std::size_t>(frag_offset_units) * 8;
+  }
+};
+
+// One's-complement sum of the TCP/UDP pseudo-header.
+void add_pseudo_header(buf::ChecksumAccumulator& acc, net::Ipv4Addr src,
+                       net::Ipv4Addr dst, std::uint8_t proto,
+                       std::uint16_t l4_len);
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+  bool urg = false;
+
+  [[nodiscard]] std::uint8_t encode() const;
+  static TcpFlags decode(std::uint8_t bits);
+  bool operator==(const TcpFlags&) const = default;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t wnd = 0;
+  std::uint16_t urgent = 0;
+  // Only option we emit/understand: MSS (kind 2), on SYN segments.
+  std::optional<std::uint16_t> mss_option;
+
+  [[nodiscard]] std::size_t header_len() const {
+    return kMinSize + (mss_option ? 4 : 0);
+  }
+
+  // Appends header + payload with a valid checksum (pseudo-header included).
+  void serialize(buf::Bytes& out, net::Ipv4Addr src, net::Ipv4Addr dst,
+                 buf::ByteView payload) const;
+  // Parses a whole TCP segment (header+payload view). Returns the header;
+  // `header_len_out` tells the caller where the payload starts.
+  static std::optional<TcpHeader> parse(buf::ByteView segment,
+                                        net::Ipv4Addr src, net::Ipv4Addr dst,
+                                        bool* checksum_valid = nullptr,
+                                        std::size_t* header_len_out = nullptr);
+};
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  void serialize(buf::Bytes& out, net::Ipv4Addr src, net::Ipv4Addr dst,
+                 buf::ByteView payload) const;
+  static std::optional<UdpHeader> parse(buf::ByteView datagram,
+                                        net::Ipv4Addr src, net::Ipv4Addr dst,
+                                        bool* checksum_valid = nullptr);
+};
+
+// ---------------------------------------------------------------------------
+// ICMP (echo request/reply only)
+// ---------------------------------------------------------------------------
+struct IcmpEcho {
+  static constexpr std::uint8_t kEchoRequest = 8;
+  static constexpr std::uint8_t kEchoReply = 0;
+  static constexpr std::size_t kHeaderSize = 8;
+
+  std::uint8_t type = kEchoRequest;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+
+  void serialize(buf::Bytes& out, buf::ByteView payload) const;
+  static std::optional<IcmpEcho> parse(buf::ByteView message,
+                                       bool* checksum_valid = nullptr);
+};
+
+// ---------------------------------------------------------------------------
+// ARP (Ethernet/IPv4 only)
+// ---------------------------------------------------------------------------
+struct ArpMessage {
+  static constexpr std::size_t kSize = 28;
+  static constexpr std::uint16_t kOpRequest = 1;
+  static constexpr std::uint16_t kOpReply = 2;
+
+  std::uint16_t op = kOpRequest;
+  net::MacAddr sender_mac;
+  net::Ipv4Addr sender_ip;
+  net::MacAddr target_mac;
+  net::Ipv4Addr target_ip;
+
+  void serialize(buf::Bytes& out) const;
+  static std::optional<ArpMessage> parse(buf::ByteView b);
+};
+
+}  // namespace ulnet::proto

@@ -1,0 +1,131 @@
+// CPU cost model for the simulated DECstation 5000/200 (25 MHz MIPS R3000).
+//
+// Every constant is a simulated-CPU duration in nanoseconds. The structural
+// results of the paper (which organization wins, where crossovers fall)
+// come from *which* of these terms appear on each organization's critical
+// path; the constants only set the scale. They are calibrated so that the
+// absolute numbers land near the paper's Tables 1-5, and each is annotated
+// with its provenance.
+//
+// Benches that ablate a mechanism (batching, zero-copy, compiled demux)
+// copy a CostModel and perturb the relevant field.
+#pragma once
+
+#include "sim/time.h"
+
+namespace ulnet::sim {
+
+struct CostModel {
+  // ---- Traps and crossings -------------------------------------------
+  // Generic UNIX syscall in+out, including sanity checks ("the sanity
+  // checks involved in a trap can be simplified" -- paper Section 4).
+  Time trap_syscall = 20 * kUs;
+  // Specialized kernel entry used by the protocol library to reach the
+  // network I/O module (paper: "a kernel crossing to access the network
+  // device can be made fast because it is a specialized entry point").
+  Time trap_specialized = 6 * kUs;
+  // Address-space switch (scheduler + TLB/cache disturbance).
+  Time context_switch = 40 * kUs;
+  // One-way Mach IPC: port right checks, message copy setup, dispatch.
+  // Paper Section 4 measures app->registry->app at ~900 us round trip
+  // (two one-way messages plus two context switches).
+  Time mach_ipc_oneway = 380 * kUs;
+  // Extra per-byte cost of moving bulk data through a Mach IPC message.
+  Time mach_ipc_per_byte = 150;
+
+  // ---- Memory and copies ---------------------------------------------
+  // bcopy between user and kernel (or app and server) address spaces
+  // (~8 MB/s on a 25 MHz R3000).
+  Time copy_per_byte = 120;
+  // Internet checksum, one pass over the data.
+  Time checksum_per_byte = 90;
+  // Fixed cost of donating a page by VM remap instead of copying.
+  // Ultrix and the UX server only use this for user packets >= 1024 B
+  // (paper Section 4); the user-level library's shared rings never copy.
+  Time page_remap = 30 * kUs;
+  std::size_t remap_threshold = 1024;  // bytes; monolithic stacks only
+
+  // ---- Device access ---------------------------------------------------
+  // Lance PMADD-AA has no DMA: the host moves every byte with programmed
+  // I/O through the TURBOchannel.
+  Time pio_per_byte = 600;
+  // AN1 per-packet driver work: DMA descriptor setup plus the software
+  // Ethernet-format encapsulation the paper's AN1 driver performed.
+  Time dma_setup = 230 * kUs;
+  // Interrupt dispatch (vector + save/restore + device ack).
+  Time interrupt_entry = 20 * kUs;
+  // Common driver bookkeeping per packet (queues, mbuf trim, stats).
+  Time driver_fixed = 50 * kUs;
+
+  // ---- Demultiplexing (Table 5) ----------------------------------------
+  // Software demux of one incoming Ethernet packet: synthesized in-kernel
+  // matcher incl. hash of the binding table. Paper Table 5: 52 us.
+  Time demux_software = 52 * kUs;
+  // AN1 hardware BQI demux: the *device management* code inherent to the
+  // BQI machinery (ring bookkeeping, descriptor recycle). Paper: 50 us.
+  Time demux_hardware_mgmt = 50 * kUs;
+  // Interpreted CSPF-style packet filter, per VM instruction
+  // ("memory intensive", paper Section 2.2).
+  Time filter_interp_per_insn = 4 * kUs;
+  // BPF-style register VM, per instruction.
+  Time filter_bpf_per_insn = 800;
+  // Header-template match on transmit (a few compares; paper Section 3.4:
+  // "usually, this code segment is quite short").
+  Time template_match = 8 * kUs;
+
+  // ---- Protocol processing --------------------------------------------
+  // TCP output path fixed cost per segment (PCB access, header build,
+  // window bookkeeping) -- 4.3BSD code on a 25 MHz R3000.
+  Time tcp_output_fixed = 150 * kUs;
+  // TCP input path fixed cost per segment.
+  Time tcp_input_fixed = 130 * kUs;
+  // IP output/input fixed cost per packet.
+  Time ip_fixed = 40 * kUs;
+  // Socket-layer bookkeeping per user request (sosend/soreceive).
+  Time socket_fixed = 40 * kUs;
+  // UDP fixed cost per datagram.
+  Time udp_fixed = 90 * kUs;
+
+  // ---- Signalling and threads ------------------------------------------
+  // Kernel side of a lightweight semaphore signal.
+  Time semaphore_signal = 15 * kUs;
+  // Waking a blocked kernel thread (Ultrix wakeup/sleep path).
+  Time kernel_wakeup = 25 * kUs;
+  // User-level (C Threads) dispatch of the library's protocol thread after
+  // a semaphore notification. The paper blames its threads package for
+  // part of the 0.8 ms receive-path gap vs Ultrix.
+  Time uthread_dispatch = 550 * kUs;
+  // Timer wheel insert/cancel.
+  Time timer_op = 4 * kUs;
+  // Library-side per-packet receive work: C-Threads mutex/condition
+  // handshake and shared-buffer recycling for each packet drained from the
+  // ring (paid even when notifications batch).
+  Time lib_rx_per_packet = 120 * kUs;
+  // Per-operation overhead of the UX server's UNIX emulation machinery
+  // (socket layer, server scheduling) on top of raw Mach IPC.
+  Time ux_server_op = 800 * kUs;
+
+  // ---- Registry server / connection setup (Table 4) --------------------
+  // Allocating a connection end-point (port table, PCB init) in the
+  // registry server.
+  Time registry_alloc_endpoint = 700 * kUs;
+  // Registry's non-shared-memory path to the network device (it uses
+  // "standard Mach IPCs", paper Section 4, item 1).
+  Time registry_device_access = 1100 * kUs;
+  // Setting up user channels to the network device: shared-memory region
+  // creation + wiring, template/BQI registration (item 3: ~3.4 ms).
+  Time registry_channel_setup = 2600 * kUs;
+  // Transferring TCP state from the registry into the library (item 5).
+  Time registry_state_transfer = 1000 * kUs;
+  // Outbound connection processing that cannot overlap transmission
+  // (item 2: ~1.5 ms).
+  Time registry_outbound_setup = 1500 * kUs;
+  // Extra AN1 BQI negotiation machinery during setup (paper: AN1 setup is
+  // "slightly higher ... because the machinery involved to setup the BQI
+  // has to be exercised").
+  Time registry_bqi_setup = 200 * kUs;
+  // In-kernel (Ultrix) connect()/accept() socket+PCB work per endpoint.
+  Time kernel_setup_endpoint = 500 * kUs;
+};
+
+}  // namespace ulnet::sim

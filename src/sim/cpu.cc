@@ -1,0 +1,72 @@
+#include "sim/cpu.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ulnet::sim {
+
+void Cpu::submit(SpaceId space, Prio prio, TaskFn fn) {
+  queues_[static_cast<int>(prio)].push_back(Pending{space, std::move(fn)});
+  maybe_dispatch();
+}
+
+TaskCtx& Cpu::current() {
+  if (current_ == nullptr) {
+    throw std::logic_error("Cpu::current() outside a task on " + name_);
+  }
+  return *current_;
+}
+
+void Cpu::defer(std::function<void()> fn) {
+  if (current_ != nullptr) {
+    current_->defer(std::move(fn));
+  } else {
+    // Outside CPU accounting (unit tests): run via the loop immediately.
+    loop_.schedule_in(0, std::move(fn));
+  }
+}
+
+void Cpu::maybe_dispatch() {
+  if (busy_) return;
+  busy_ = true;
+  loop_.schedule_in(0, [this] { dispatch_next(); });
+}
+
+void Cpu::dispatch_next() {
+  Pending task;
+  if (!queues_[0].empty()) {
+    task = std::move(queues_[0].front());
+    queues_[0].pop_front();
+  } else if (!queues_[1].empty()) {
+    task = std::move(queues_[1].front());
+    queues_[1].pop_front();
+  } else {
+    busy_ = false;
+    return;
+  }
+
+  TaskCtx ctx(loop_.now(), task.space);
+  if (task.space != current_space_) {
+    ctx.charge(cost_.context_switch);
+    metrics_.context_switches++;
+    switches_++;
+    current_space_ = task.space;
+  }
+
+  current_ = &ctx;
+  task.fn(ctx);
+  current_ = nullptr;
+
+  busy_ns_ += ctx.accrued();
+  tasks_run_++;
+
+  const Time end = ctx.start_ + ctx.accrued_;
+  auto deferred = std::move(ctx.deferred_);
+  loop_.schedule_at(end, [this, d = std::move(deferred)]() mutable {
+    for (auto& fn : d) fn();
+    dispatch_next();
+  });
+}
+
+}  // namespace ulnet::sim

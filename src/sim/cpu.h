@@ -1,0 +1,116 @@
+// Simulated host CPU.
+//
+// A Cpu is a single non-preemptive server with two priority levels
+// (interrupt > normal). Work is submitted as tasks tagged with the address
+// space they execute in; dispatching a task whose space differs from the
+// previous one charges a context switch, which is how domain-crossing costs
+// emerge structurally rather than being hand-added per organization.
+//
+// A task's closure runs logically over the interval [start, start+accrued]:
+// the closure executes at `start` in event-loop order, accumulates cost via
+// TaskCtx::charge(), and any side effects that must become visible to the
+// rest of the world only when the CPU is done (packet hand-off to a NIC,
+// waking another address space) are registered with TaskCtx::defer() and run
+// at the task's end time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/metrics.h"
+
+namespace ulnet::sim {
+
+// Address-space identifier on one host. Space 0 is the kernel.
+using SpaceId = int;
+inline constexpr SpaceId kKernelSpace = 0;
+
+enum class Prio { kInterrupt = 0, kNormal = 1 };
+
+class TaskCtx {
+ public:
+  explicit TaskCtx(Time start, SpaceId space) : start_(start), space_(space) {}
+
+  // Current instant within the task: start plus cost accrued so far.
+  [[nodiscard]] Time now() const { return start_ + accrued_; }
+  [[nodiscard]] Time accrued() const { return accrued_; }
+  [[nodiscard]] SpaceId space() const { return space_; }
+
+  void charge(Time ns) { accrued_ += ns; }
+
+  // Run `fn` (outside the CPU) at this task's completion time.
+  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+
+ private:
+  friend class Cpu;
+  Time start_;
+  Time accrued_ = 0;
+  SpaceId space_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+class Cpu {
+ public:
+  using TaskFn = std::function<void(TaskCtx&)>;
+
+  Cpu(EventLoop& loop, const CostModel& cost, Metrics& metrics,
+      std::string name)
+      : loop_(loop), cost_(cost), metrics_(metrics), name_(std::move(name)) {}
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // Enqueue a task for execution in `space` at priority `prio`.
+  void submit(SpaceId space, Prio prio, TaskFn fn);
+
+  // True while a task closure is executing on this CPU.
+  [[nodiscard]] bool in_task() const { return current_ != nullptr; }
+
+  // The task currently executing. Precondition: in_task().
+  TaskCtx& current();
+
+  // Charge cost to the current task; outside any task (e.g. unit tests
+  // driving protocol code directly) this is a deliberate no-op.
+  void charge(Time ns) {
+    if (current_ != nullptr) current_->charge(ns);
+  }
+  void defer(std::function<void()> fn);
+
+  [[nodiscard]] Time busy_ns() const { return busy_ns_; }
+  [[nodiscard]] std::uint64_t tasks_run() const { return tasks_run_; }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const CostModel& cost() const { return cost_; }
+  Metrics& metrics() { return metrics_; }
+  EventLoop& loop() { return loop_; }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queues_[0].size() + queues_[1].size();
+  }
+
+ private:
+  struct Pending {
+    SpaceId space;
+    TaskFn fn;
+  };
+
+  void maybe_dispatch();
+  void dispatch_next();
+
+  EventLoop& loop_;
+  const CostModel& cost_;
+  Metrics& metrics_;
+  std::string name_;
+  std::deque<Pending> queues_[2];  // [interrupt, normal]
+  bool busy_ = false;
+  SpaceId current_space_ = kKernelSpace;
+  TaskCtx* current_ = nullptr;
+  Time busy_ns_ = 0;
+  std::uint64_t tasks_run_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace ulnet::sim

@@ -1,0 +1,49 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ulnet::sim {
+
+EventId EventLoop::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("EventLoop: scheduling into the past");
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+std::uint64_t EventLoop::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    // Move the closure out before popping so the event may reschedule.
+    Event ev{top.when, top.id, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ++n;
+    ev.fn();
+  }
+  // Simulated time passes to the deadline even if the next event lies
+  // beyond it (events remain queued for a later run).
+  if (!stopped_ && now_ < deadline && deadline != kForever) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace ulnet::sim

@@ -1,0 +1,84 @@
+// Deterministic discrete-event loop.
+//
+// Every dynamic behaviour in the simulated world (packet arrivals, CPU task
+// completions, timer expiries) is an event scheduled here. Events at equal
+// timestamps fire in scheduling order, which makes whole-world runs
+// bit-for-bit reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ulnet::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute simulated time `when` (>= now).
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  // Schedule `fn` to run `delay` nanoseconds from now.
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancel a pending event. Cancelling an already-fired or invalid id is a
+  // harmless no-op (lazy deletion).
+  void cancel(EventId id);
+
+  // Run until the queue drains or simulated time would exceed `deadline`.
+  // Returns the number of events executed.
+  std::uint64_t run_until(Time deadline);
+
+  // Run until the queue drains (the world must quiesce by itself).
+  std::uint64_t run() { return run_until(kForever); }
+
+  // Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool empty() const {
+    return queue_.size() == cancelled_.size();
+  }
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  static constexpr Time kForever = INT64_MAX / 4;
+
+ private:
+  struct Event {
+    Time when = 0;
+    EventId id = kInvalidEvent;  // doubles as the FIFO tiebreaker
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ulnet::sim

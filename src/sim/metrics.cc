@@ -1,0 +1,16 @@
+#include "sim/metrics.h"
+
+namespace ulnet::sim {
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+  os << "traps=" << m.traps << " fast_traps=" << m.specialized_traps
+     << " ctxsw=" << m.context_switches << " ipc=" << m.ipc_messages
+     << " copies=" << m.copies << " bytes_copied=" << m.bytes_copied
+     << " remaps=" << m.page_remaps << " intr=" << m.interrupts
+     << " signals=" << m.semaphore_signals
+     << " wakeups=" << m.semaphore_wakeups << " tx=" << m.packets_tx
+     << " rx=" << m.packets_rx;
+  return os;
+}
+
+}  // namespace ulnet::sim

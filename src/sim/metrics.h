@@ -1,0 +1,62 @@
+// World-wide mechanism counters.
+//
+// The Figure-1 bench and several tests reason about *structure* -- how many
+// traps, context switches, IPC messages, copies and signals each protocol
+// organization spends per operation -- rather than about time. Every
+// substrate increments these counters as it charges costs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace ulnet::sim {
+
+struct Metrics {
+  std::uint64_t traps = 0;              // generic syscalls
+  std::uint64_t specialized_traps = 0;  // fast netio entries
+  std::uint64_t context_switches = 0;
+  std::uint64_t ipc_messages = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t page_remaps = 0;
+  std::uint64_t interrupts = 0;
+  std::uint64_t semaphore_signals = 0;
+  std::uint64_t semaphore_wakeups = 0;
+  std::uint64_t packets_tx = 0;
+  std::uint64_t packets_rx = 0;
+  std::uint64_t demux_software_runs = 0;
+  std::uint64_t demux_hardware_runs = 0;
+  std::uint64_t template_checks = 0;
+  std::uint64_t template_rejects = 0;
+  std::uint64_t demux_drops = 0;
+  std::uint64_t timer_ops = 0;
+
+  void reset() { *this = Metrics{}; }
+
+  Metrics delta_since(const Metrics& base) const {
+    Metrics d;
+    d.traps = traps - base.traps;
+    d.specialized_traps = specialized_traps - base.specialized_traps;
+    d.context_switches = context_switches - base.context_switches;
+    d.ipc_messages = ipc_messages - base.ipc_messages;
+    d.copies = copies - base.copies;
+    d.bytes_copied = bytes_copied - base.bytes_copied;
+    d.page_remaps = page_remaps - base.page_remaps;
+    d.interrupts = interrupts - base.interrupts;
+    d.semaphore_signals = semaphore_signals - base.semaphore_signals;
+    d.semaphore_wakeups = semaphore_wakeups - base.semaphore_wakeups;
+    d.packets_tx = packets_tx - base.packets_tx;
+    d.packets_rx = packets_rx - base.packets_rx;
+    d.demux_software_runs = demux_software_runs - base.demux_software_runs;
+    d.demux_hardware_runs = demux_hardware_runs - base.demux_hardware_runs;
+    d.template_checks = template_checks - base.template_checks;
+    d.template_rejects = template_rejects - base.template_rejects;
+    d.demux_drops = demux_drops - base.demux_drops;
+    d.timer_ops = timer_ops - base.timer_ops;
+    return d;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m);
+
+}  // namespace ulnet::sim

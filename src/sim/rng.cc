@@ -1,0 +1,15 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace ulnet::sim {
+
+Time Rng::exponential(Time mean) {
+  // Inverse-CDF sampling; clamp u away from 0 to avoid log(0).
+  double u = uniform();
+  if (u < 1e-12) u = 1e-12;
+  double d = -static_cast<double>(mean) * std::log(u);
+  return static_cast<Time>(d);
+}
+
+}  // namespace ulnet::sim

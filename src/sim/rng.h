@@ -1,0 +1,51 @@
+// Deterministic pseudo-random source for the simulated world.
+//
+// A single Rng per world, seeded explicitly, keeps every run reproducible.
+// SplitMix64 core: tiny, fast, and of ample quality for workload generation
+// and fault injection.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ulnet::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Exponentially distributed duration with the given mean (for Poisson
+  // arrival processes in workload generators).
+  Time exponential(Time mean);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ulnet::sim

@@ -1,0 +1,51 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ulnet::sim {
+
+namespace {
+void require_nonempty(const std::vector<double>& s) {
+  if (s.empty()) throw std::logic_error("Stats: no samples");
+}
+}  // namespace
+
+double Stats::mean() const {
+  require_nonempty(samples_);
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Stats::min() const {
+  require_nonempty(samples_);
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  require_nonempty(samples_);
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::stddev() const {
+  require_nonempty(samples_);
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Stats::percentile(double p) const {
+  require_nonempty(samples_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace ulnet::sim

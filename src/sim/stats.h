@@ -1,0 +1,27 @@
+// Small sample-statistics helper used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ulnet::sim {
+
+class Stats {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  // p in [0, 100]; nearest-rank on a sorted copy.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ulnet::sim

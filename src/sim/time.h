@@ -1,0 +1,26 @@
+// Simulated time for the ulnet discrete-event world.
+//
+// All simulated durations and instants are expressed in integer nanoseconds.
+// The paper's testbed measured time with the AN1 controller's real-time
+// clock, which ticks every 40 ns; nanosecond resolution comfortably
+// subsumes that.
+#pragma once
+
+#include <cstdint>
+
+namespace ulnet::sim {
+
+// An instant or duration in simulated nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNs = 1;
+inline constexpr Time kUs = 1000 * kNs;
+inline constexpr Time kMs = 1000 * kUs;
+inline constexpr Time kSec = 1000 * kMs;
+
+// Convert a simulated duration to floating-point units for reporting.
+constexpr double to_us(Time t) { return static_cast<double>(t) / kUs; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / kMs; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / kSec; }
+
+}  // namespace ulnet::sim

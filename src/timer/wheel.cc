@@ -1,0 +1,237 @@
+#include "timer/wheel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ulnet::timer {
+
+TimingWheel::TimingWheel(sim::Time tick) : tick_(tick) {
+  assert(tick > 0);
+  levels_.resize(kLevels);
+  for (auto& level : levels_) level.resize(kSlotsPerLevel);
+}
+
+TimerId TimingWheel::schedule(sim::Time delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  const TimerId id = next_id_++;
+  // Deadlines are based on the unquantized time of the last advance_to so a
+  // timer never fires before `delay` has really elapsed.
+  Entry e{id, real_now_ + delay, std::move(cb)};
+  scheduled_++;
+  live_++;
+  insert(std::move(e));
+  return id;
+}
+
+void TimingWheel::insert(Entry e) {
+  const TimerId id = e.id;
+  // Ticks until the deadline, rounded up; a minimum of one tick keeps a
+  // newly scheduled timer out of the slot currently being fired.
+  std::uint64_t dticks = 1;
+  if (e.deadline > now_) {
+    dticks = static_cast<std::uint64_t>((e.deadline - now_ + tick_ - 1) / tick_);
+    if (dticks == 0) dticks = 1;
+  }
+  constexpr std::uint64_t kSpan1 = kSlotsPerLevel;
+  constexpr std::uint64_t kSpan2 = kSlotsPerLevel * kSpan1;
+  constexpr std::uint64_t kSpan3 = kSlotsPerLevel * kSpan2;
+  if (dticks >= kSpan3) dticks = kSpan3 - 1;
+  const std::uint64_t target = current_tick_ + dticks;
+
+  int level;
+  int slot;
+  if (dticks < kSpan1) {
+    level = 0;
+    slot = static_cast<int>(target % kSlotsPerLevel);
+  } else if (dticks < kSpan2) {
+    level = 1;
+    slot = static_cast<int>((target / kSpan1) % kSlotsPerLevel);
+  } else {
+    level = 2;
+    slot = static_cast<int>((target / kSpan2) % kSlotsPerLevel);
+  }
+  auto& list = levels_[static_cast<std::size_t>(level)]
+                      [static_cast<std::size_t>(slot)];
+  list.push_back(std::move(e));
+  index_[id] = Location{level, slot, std::prev(list.end())};
+}
+
+bool TimingWheel::cancel(TimerId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const Location& loc = it->second;
+  levels_[static_cast<std::size_t>(loc.level)]
+         [static_cast<std::size_t>(loc.slot)].erase(loc.it);
+  index_.erase(it);
+  live_--;
+  return true;
+}
+
+void TimingWheel::advance_to(sim::Time now) {
+  if (now < now_) return;
+  const auto target_tick = static_cast<std::uint64_t>(now / tick_);
+  if (live_ == 0) {
+    // Idle fast path: jump.
+    current_tick_ = target_tick;
+    now_ = static_cast<sim::Time>(current_tick_) * tick_;
+    real_now_ = std::max(now, now_);
+    return;
+  }
+  while (current_tick_ < target_tick) {
+    current_tick_++;
+    now_ = static_cast<sim::Time>(current_tick_) * tick_;
+    // Timers scheduled from callbacks fired below base their deadline on
+    // the tick being processed, not the final advance target.
+    real_now_ = now_;
+    const int idx0 = static_cast<int>(current_tick_ % kSlotsPerLevel);
+    if (idx0 == 0) {
+      const int idx1 = static_cast<int>((current_tick_ / kSlotsPerLevel) %
+                                        kSlotsPerLevel);
+      cascade(1, idx1);
+      if (idx1 == 0) {
+        cascade(2, static_cast<int>((current_tick_ /
+                                     (kSlotsPerLevel * kSlotsPerLevel)) %
+                                    kSlotsPerLevel));
+      }
+    }
+    fire_slot(levels_[0][static_cast<std::size_t>(idx0)]);
+    if (live_ == 0 && current_tick_ < target_tick) {
+      current_tick_ = target_tick;
+      now_ = static_cast<sim::Time>(current_tick_) * tick_;
+      break;
+    }
+  }
+  real_now_ = std::max(now, now_);
+}
+
+void TimingWheel::cascade(int level, int slot) {
+  auto& list = levels_[static_cast<std::size_t>(level)]
+                      [static_cast<std::size_t>(slot)];
+  Slot moved;
+  moved.swap(list);
+  for (auto& e : moved) {
+    index_.erase(e.id);
+    live_--;  // insert() below re-counts
+    cascades_++;
+    live_++;
+    insert(std::move(e));
+  }
+}
+
+void TimingWheel::fire_slot(Slot& slot) {
+  Slot due;
+  due.swap(slot);
+  for (auto& e : due) {
+    index_.erase(e.id);
+    live_--;
+    fired_++;
+    e.cb();
+  }
+}
+
+sim::Time TimingWheel::next_deadline() const {
+  sim::Time best = sim::EventLoop::kForever;
+  for (const auto& [id, loc] : index_) {
+    (void)id;
+    best = std::min(best, loc.it->deadline);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// HeapTimer
+// ---------------------------------------------------------------------------
+
+TimerId HeapTimer::schedule(sim::Time delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  const TimerId id = next_id_++;
+  heap_.push(Entry{now_ + delay, id});
+  live_cbs_.emplace(id, std::move(cb));
+  live_++;
+  return id;
+}
+
+bool HeapTimer::cancel(TimerId id) {
+  // Lazy: drop the callback; the heap entry is skipped when popped.
+  if (live_cbs_.erase(id) > 0) {
+    live_--;
+    return true;
+  }
+  return false;
+}
+
+void HeapTimer::advance_to(sim::Time now) {
+  if (now < now_) return;
+  while (!heap_.empty() && heap_.top().deadline <= now) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it = live_cbs_.find(e.id);
+    if (it == live_cbs_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    live_cbs_.erase(it);
+    live_--;
+    // Fire at the logical deadline so callbacks observe exact fire times.
+    now_ = std::max(now_, e.deadline);
+    cb();
+  }
+  now_ = now;
+}
+
+sim::Time HeapTimer::next_deadline() const {
+  // Skip lazily-cancelled heads without mutating (copy of the top region is
+  // unnecessary: cancelled entries at the exact top are rare; we scan via a
+  // copy of the heap only when the head is stale).
+  if (live_ == 0) return sim::EventLoop::kForever;
+  auto copy = heap_;
+  while (!copy.empty()) {
+    if (live_cbs_.contains(copy.top().id)) return copy.top().deadline;
+    copy.pop();
+  }
+  return sim::EventLoop::kForever;
+}
+
+// ---------------------------------------------------------------------------
+// TimerWheelDriver
+// ---------------------------------------------------------------------------
+
+TimerId TimerWheelDriver::schedule(sim::Time delay,
+                                   TimerService::Callback cb) {
+  wheel_.advance_to(loop_.now());
+  const TimerId id = wheel_.schedule(delay, std::move(cb));
+  rearm();
+  return id;
+}
+
+bool TimerWheelDriver::cancel(TimerId id) {
+  const bool removed = wheel_.cancel(id);
+  return removed;
+}
+
+void TimerWheelDriver::rearm() {
+  const sim::Time d = wheel_.next_deadline();
+  if (d == sim::EventLoop::kForever) {
+    disarm();
+    return;
+  }
+  sim::Time t = ((d + wheel_.tick() - 1) / wheel_.tick()) * wheel_.tick();
+  t = std::max(t, wheel_.now() + wheel_.tick());
+  t = std::max(t, loop_.now());
+  if (pending_event_ != sim::kInvalidEvent && armed_for_ == t) return;
+  disarm();
+  armed_for_ = t;
+  pending_event_ = loop_.schedule_at(t, [this] {
+    pending_event_ = sim::kInvalidEvent;
+    wheel_.advance_to(loop_.now());
+    rearm();
+  });
+}
+
+void TimerWheelDriver::disarm() {
+  if (pending_event_ != sim::kInvalidEvent) {
+    loop_.cancel(pending_event_);
+    pending_event_ = sim::kInvalidEvent;
+  }
+  armed_for_ = -1;
+}
+
+}  // namespace ulnet::timer

@@ -1,0 +1,148 @@
+// Hierarchical timing wheels (Varghese & Lauck, SOSP '87) -- the paper's
+// recommended timer substrate: "practically every message arrival and
+// departure involves timer operations", so schedule/cancel must be O(1).
+//
+// The wheel is pure (no event loop dependency): callers advance it with
+// advance_to(). TimerWheelDriver adapts it to the simulation's EventLoop.
+// A binary-heap implementation with identical semantics exists for
+// differential testing and for the timer ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace ulnet::timer {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+// Common interface so protocol code can run on either implementation.
+class TimerService {
+ public:
+  using Callback = std::function<void()>;
+  virtual ~TimerService() = default;
+  virtual TimerId schedule(sim::Time delay, Callback cb) = 0;
+  // Cancelling an expired/unknown id is a harmless no-op; returns whether a
+  // pending timer was actually removed.
+  virtual bool cancel(TimerId id) = 0;
+  [[nodiscard]] virtual std::size_t pending() const = 0;
+};
+
+class TimingWheel final : public TimerService {
+ public:
+  static constexpr int kLevels = 3;
+  static constexpr int kSlotsPerLevel = 256;
+
+  // `tick` is the finest granularity; level i has tick * 256^i per slot, so
+  // the default 10 ms tick covers ~7.7 days across three levels.
+  explicit TimingWheel(sim::Time tick = 10 * sim::kMs);
+
+  TimerId schedule(sim::Time delay, Callback cb) override;
+  bool cancel(TimerId id) override;
+  [[nodiscard]] std::size_t pending() const override { return live_; }
+
+  // Advance wheel time to `now`, firing every timer whose deadline has
+  // passed (in deadline order across ticks, insertion order within a tick).
+  void advance_to(sim::Time now);
+
+  [[nodiscard]] sim::Time now() const { return now_; }
+  [[nodiscard]] sim::Time tick() const { return tick_; }
+  // Earliest pending deadline, or EventLoop::kForever if none: lets a
+  // driver sleep precisely instead of ticking an idle wheel.
+  [[nodiscard]] sim::Time next_deadline() const;
+
+  // Lifetime totals, for tests and benches.
+  [[nodiscard]] std::uint64_t scheduled_total() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t fired_total() const { return fired_; }
+  [[nodiscard]] std::uint64_t cascades_total() const { return cascades_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    sim::Time deadline;
+    Callback cb;
+  };
+  using Slot = std::list<Entry>;
+  struct Location {
+    int level;
+    int slot;
+    Slot::iterator it;
+  };
+
+  void insert(Entry e);
+  void cascade(int level, int slot);
+  void fire_slot(Slot& slot);
+
+  sim::Time tick_;
+  sim::Time now_ = 0;       // tick-quantized wheel position
+  sim::Time real_now_ = 0;  // unquantized time of the last advance_to
+  std::uint64_t current_tick_ = 0;  // now_ / tick_
+  std::vector<std::vector<Slot>> levels_;
+  std::unordered_map<TimerId, Location> index_;
+  TimerId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cascades_ = 0;
+};
+
+// Reference implementation: binary heap with lazy cancellation. O(log n)
+// schedule, used to differential-test the wheel and as the ablation
+// baseline ("older systems kept sorted timer lists").
+class HeapTimer final : public TimerService {
+ public:
+  TimerId schedule(sim::Time delay, Callback cb) override;
+  bool cancel(TimerId id) override;
+  [[nodiscard]] std::size_t pending() const override { return live_; }
+
+  void advance_to(sim::Time now);
+  [[nodiscard]] sim::Time next_deadline() const;
+  [[nodiscard]] sim::Time now() const { return now_; }
+
+ private:
+  struct Entry {
+    sim::Time deadline;
+    TimerId id;
+    bool operator>(const Entry& o) const {
+      if (deadline != o.deadline) return deadline > o.deadline;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<TimerId, Callback> live_cbs_;
+  sim::Time now_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+// Drives a TimerService from the simulation's EventLoop: schedules exactly
+// one loop event at the next deadline and re-arms after firing.
+class TimerWheelDriver {
+ public:
+  TimerWheelDriver(sim::EventLoop& loop, TimingWheel& wheel)
+      : loop_(loop), wheel_(wheel) {}
+  ~TimerWheelDriver() { disarm(); }
+  TimerWheelDriver(const TimerWheelDriver&) = delete;
+  TimerWheelDriver& operator=(const TimerWheelDriver&) = delete;
+
+  TimerId schedule(sim::Time delay, TimerService::Callback cb);
+  bool cancel(TimerId id);
+
+ private:
+  void rearm();
+  void disarm();
+
+  sim::EventLoop& loop_;
+  TimingWheel& wheel_;
+  sim::EventId pending_event_ = sim::kInvalidEvent;
+  sim::Time armed_for_ = -1;
+};
+
+}  // namespace ulnet::timer

@@ -1,0 +1,135 @@
+// Test harness: NetworkStack instances wired directly to each other through
+// a configurable lossy channel, bypassing the CPU/NIC cost machinery. Used
+// by the protocol unit/property tests, which care about protocol behaviour
+// (correctness under loss, reordering, corruption), not about timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "proto/stack.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "timer/wheel.h"
+
+namespace ulnet::testing {
+
+class StackHarness : public proto::StackEnv {
+ public:
+  StackHarness(sim::EventLoop& loop, sim::Rng& rng, net::Ipv4Addr ip,
+               net::MacAddr mac, std::size_t mtu = 1500)
+      : loop_(loop),
+        rng_(rng),
+        ip_addr_(ip),
+        mac_(mac),
+        mtu_(mtu),
+        wheel_(10 * sim::kMs),
+        driver_(loop, wheel_),
+        stack_(std::make_unique<proto::NetworkStack>(*this)) {}
+
+  // (dst mac, ethertype, payload) -> the channel
+  std::function<void(net::MacAddr, std::uint16_t, buf::Bytes)> transmit_fn;
+
+  proto::NetworkStack& stack() { return *stack_; }
+  [[nodiscard]] net::MacAddr mac() const { return mac_; }
+  [[nodiscard]] net::Ipv4Addr ip_addr() const { return ip_addr_; }
+  [[nodiscard]] sim::Time charged() const { return charged_; }
+
+  // ---- StackEnv ----
+  [[nodiscard]] sim::Time now() const override { return loop_.now(); }
+  void charge(sim::Time ns) override { charged_ += ns; }
+  [[nodiscard]] const sim::CostModel& cost() const override { return cost_; }
+  std::uint32_t random32() override { return rng_.next_u32(); }
+  timer::TimerId schedule(sim::Time delay,
+                          std::function<void()> cb) override {
+    return driver_.schedule(delay, std::move(cb));
+  }
+  void cancel_timer(timer::TimerId id) override { driver_.cancel(id); }
+  [[nodiscard]] int interface_count() const override { return 1; }
+  [[nodiscard]] net::MacAddr ifc_mac(int) const override { return mac_; }
+  [[nodiscard]] net::Ipv4Addr ifc_ip(int) const override { return ip_addr_; }
+  [[nodiscard]] int ifc_prefix_len(int) const override { return 24; }
+  [[nodiscard]] std::size_t ifc_mtu(int) const override { return mtu_; }
+  void transmit(int, net::MacAddr dst, std::uint16_t ethertype,
+                buf::Bytes payload, const proto::TxFlow*) override {
+    if (transmit_fn) transmit_fn(dst, ethertype, std::move(payload));
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::Rng& rng_;
+  sim::CostModel cost_;
+  net::Ipv4Addr ip_addr_;
+  net::MacAddr mac_;
+  std::size_t mtu_;
+  timer::TimingWheel wheel_;
+  timer::TimerWheelDriver driver_;
+  std::unique_ptr<proto::NetworkStack> stack_;
+  sim::Time charged_ = 0;
+};
+
+// A channel connecting any number of harnesses, with loss/dup/corrupt/jitter
+// applied per delivery.
+class TestChannel {
+ public:
+  TestChannel(sim::EventLoop& loop, sim::Rng& rng,
+              sim::Time delay = 1 * sim::kMs)
+      : loop_(loop), rng_(rng), delay_(delay) {}
+
+  double loss_p = 0;
+  double dup_p = 0;
+  double corrupt_p = 0;
+  sim::Time jitter_max = 0;
+  // Wire tap: observes every payload entering the channel (before faults).
+  std::function<void(std::uint16_t ethertype, const buf::Bytes&)> tap;
+
+  void attach(StackHarness* h) {
+    members_.push_back(h);
+    h->transmit_fn = [this, h](net::MacAddr dst, std::uint16_t et,
+                               buf::Bytes payload) {
+      forward(h, dst, et, std::move(payload));
+    };
+  }
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void forward(StackHarness* from, net::MacAddr dst, std::uint16_t et,
+               buf::Bytes payload) {
+    forwarded_++;
+    if (tap) tap(et, payload);
+    if (loss_p > 0 && rng_.chance(loss_p)) {
+      dropped_++;
+      return;
+    }
+    buf::Bytes data = std::move(payload);
+    if (corrupt_p > 0 && rng_.chance(corrupt_p) && !data.empty()) {
+      data[rng_.below(data.size())] ^=
+          static_cast<std::uint8_t>(1u << rng_.below(8));
+    }
+    const int copies = (dup_p > 0 && rng_.chance(dup_p)) ? 2 : 1;
+    for (int i = 0; i < copies; ++i) {
+      sim::Time at = loop_.now() + delay_ * (i + 1);
+      if (jitter_max > 0) at += rng_.range(0, jitter_max);
+      loop_.schedule_at(at, [this, from, dst, et, data] {
+        for (StackHarness* m : members_) {
+          if (m == from) continue;
+          if (dst.is_broadcast() || m->mac() == dst) {
+            m->stack().link_input(0, et, data);
+          }
+        }
+      });
+    }
+  }
+
+  sim::EventLoop& loop_;
+  sim::Rng& rng_;
+  sim::Time delay_;
+  std::vector<StackHarness*> members_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ulnet::testing

@@ -1,0 +1,102 @@
+// Reusable TCP application roles for tests: a recording sink/acceptor and a
+// bulk data source. These run directly inside protocol upcalls (no CPU
+// model), which is exactly what the protocol-correctness tests want.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "proto/tcp.h"
+
+namespace ulnet::testing {
+
+// Deterministic payload: byte i of a stream.
+inline std::uint8_t pattern_byte(std::size_t i) {
+  return static_cast<std::uint8_t>((i * 7 + 3) % 256);
+}
+
+inline buf::Bytes pattern_bytes(std::size_t offset, std::size_t n) {
+  buf::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = pattern_byte(offset + i);
+  return out;
+}
+
+class RecordingObserver : public proto::TcpObserver {
+ public:
+  int established = 0;
+  int accepted = 0;
+  int closed = 0;
+  int fins = 0;
+  std::string close_reason;
+  bool saw_error_close = false;
+  buf::Bytes received;
+  proto::TcpConnection* accepted_conn = nullptr;
+  bool auto_read = true;
+  // If set, close our side once the peer's FIN arrives (echo-server style).
+  bool close_on_fin = false;
+
+  void on_established(proto::TcpConnection&) override { established++; }
+  void on_accept(proto::TcpConnection& c) override {
+    accepted++;
+    accepted_conn = &c;
+  }
+  void on_data_ready(proto::TcpConnection& c) override {
+    if (!auto_read) return;
+    auto chunk = c.read(std::numeric_limits<std::size_t>::max());
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  void on_peer_fin(proto::TcpConnection& c) override {
+    fins++;
+    if (close_on_fin) c.close();
+  }
+  void on_closed(proto::TcpConnection&, const std::string& reason) override {
+    closed++;
+    close_reason = reason;
+    if (!reason.empty()) saw_error_close = true;
+  }
+};
+
+// Writes `total` pattern bytes in `write_size` user packets, then optionally
+// closes. Re-pumps whenever the send buffer drains.
+class BulkSource : public proto::TcpObserver {
+ public:
+  BulkSource(std::size_t total, std::size_t write_size,
+             bool close_when_done = true)
+      : total_(total),
+        write_size_(write_size),
+        close_when_done_(close_when_done) {}
+
+  std::size_t sent = 0;
+  int closed = 0;
+  std::string close_reason;
+  bool done() const { return sent >= total_; }
+
+  void on_established(proto::TcpConnection& c) override { pump(c); }
+  void on_send_space(proto::TcpConnection& c) override { pump(c); }
+  void on_closed(proto::TcpConnection&, const std::string& reason) override {
+    closed++;
+    close_reason = reason;
+  }
+
+  void pump(proto::TcpConnection& c) {
+    while (sent < total_) {
+      const std::size_t n = std::min(write_size_, total_ - sent);
+      const std::size_t took = c.send(pattern_bytes(sent, n));
+      sent += took;
+      if (took < n) return;  // buffer full; resume on on_send_space
+    }
+    if (close_when_done_ && !close_issued_) {
+      close_issued_ = true;
+      c.close();
+    }
+  }
+
+ private:
+  std::size_t total_;
+  std::size_t write_size_;
+  bool close_when_done_;
+  bool close_issued_ = false;
+};
+
+}  // namespace ulnet::testing

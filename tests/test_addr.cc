@@ -1,0 +1,50 @@
+#include "net/addr.h"
+
+#include <gtest/gtest.h>
+
+namespace ulnet::net {
+namespace {
+
+TEST(MacAddr, ToString) {
+  MacAddr m{{0x02, 0x00, 0x5e, 0x00, 0x01, 0x00}};
+  EXPECT_EQ(m.to_string(), "02:00:5e:00:01:00");
+}
+
+TEST(MacAddr, Broadcast) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddr::from_index(1, 0).is_broadcast());
+}
+
+TEST(MacAddr, FromIndexUnique) {
+  EXPECT_NE(MacAddr::from_index(1, 0), MacAddr::from_index(2, 0));
+  EXPECT_NE(MacAddr::from_index(1, 0), MacAddr::from_index(1, 1));
+  EXPECT_EQ(MacAddr::from_index(7, 3), MacAddr::from_index(7, 3));
+}
+
+TEST(Ipv4Addr, ParseAndFormatRoundTrip) {
+  auto a = Ipv4Addr::parse("192.168.1.42");
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+  EXPECT_EQ(a, Ipv4Addr::from_octets(192, 168, 1, 42));
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Addr::parse("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4x"), std::invalid_argument);
+}
+
+TEST(Ipv4Addr, SameSubnet) {
+  auto a = Ipv4Addr::parse("10.0.1.5");
+  auto b = Ipv4Addr::parse("10.0.1.200");
+  auto c = Ipv4Addr::parse("10.0.2.5");
+  EXPECT_TRUE(same_subnet(a, b, 24));
+  EXPECT_FALSE(same_subnet(a, c, 24));
+  EXPECT_TRUE(same_subnet(a, c, 16));
+  EXPECT_TRUE(same_subnet(a, c, 0));
+  EXPECT_FALSE(same_subnet(a, b, 32));
+  EXPECT_TRUE(same_subnet(a, a, 32));
+}
+
+}  // namespace
+}  // namespace ulnet::net

@@ -1,0 +1,107 @@
+#include "proto/arp.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stack_harness.h"
+
+namespace ulnet::proto {
+namespace {
+
+using testing_ns = ulnet::testing::StackHarness;
+
+struct ArpFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::Rng rng{1};
+  ulnet::testing::StackHarness a{loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                                 net::MacAddr::from_index(1, 0)};
+  ulnet::testing::StackHarness b{loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                                 net::MacAddr::from_index(2, 0)};
+  ulnet::testing::TestChannel chan{loop, rng};
+
+  void SetUp() override {
+    chan.attach(&a);
+    chan.attach(&b);
+  }
+};
+
+TEST_F(ArpFixture, ResolvesPeerViaRequestReply) {
+  std::optional<net::MacAddr> got;
+  a.stack().arp().resolve(0, b.ip_addr(),
+                          [&](std::optional<net::MacAddr> m) { got = m; });
+  loop.run_until(2 * sim::kSec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, b.mac());
+  EXPECT_EQ(a.stack().arp().requests_sent(), 1u);
+  EXPECT_EQ(b.stack().arp().replies_sent(), 1u);
+}
+
+TEST_F(ArpFixture, CacheHitAvoidsSecondRequest) {
+  int called = 0;
+  a.stack().arp().resolve(0, b.ip_addr(),
+                          [&](std::optional<net::MacAddr>) { called++; });
+  loop.run_until(2 * sim::kSec);
+  a.stack().arp().resolve(0, b.ip_addr(),
+                          [&](std::optional<net::MacAddr>) { called++; });
+  EXPECT_EQ(called, 2);
+  EXPECT_EQ(a.stack().arp().requests_sent(), 1u);
+}
+
+TEST_F(ArpFixture, ReplyFillsResponderCacheToo) {
+  a.stack().arp().resolve(0, b.ip_addr(), [](auto) {});
+  loop.run_until(2 * sim::kSec);
+  // b learnt a's mapping from the request itself.
+  auto cached = b.stack().arp().lookup(a.ip_addr());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, a.mac());
+}
+
+TEST_F(ArpFixture, RetriesThenFailsForDeadAddress) {
+  std::optional<std::optional<net::MacAddr>> result;
+  a.stack().arp().resolve(
+      0, net::Ipv4Addr::parse("10.0.0.99"),
+      [&](std::optional<net::MacAddr> m) { result = m; });
+  loop.run_until(10 * sim::kSec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+  EXPECT_EQ(a.stack().arp().requests_sent(), 3u);  // max_retries
+  EXPECT_EQ(a.stack().arp().resolution_failures(), 1u);
+}
+
+TEST_F(ArpFixture, LossyChannelStillResolvesViaRetry) {
+  chan.loss_p = 0.5;
+  int resolved = 0;
+  for (int i = 0; i < 5; ++i) {
+    a.stack().arp().flush_cache();
+    a.stack().arp().resolve(0, b.ip_addr(),
+                            [&](std::optional<net::MacAddr> m) {
+                              if (m) resolved++;
+                            });
+    loop.run_until(loop.now() + 10 * sim::kSec);
+  }
+  EXPECT_GE(resolved, 3);  // retries beat 50% loss most of the time
+}
+
+TEST_F(ArpFixture, MultipleWaitersShareOneRequest) {
+  int called = 0;
+  for (int i = 0; i < 4; ++i) {
+    a.stack().arp().resolve(0, b.ip_addr(),
+                            [&](std::optional<net::MacAddr>) { called++; });
+  }
+  loop.run_until(2 * sim::kSec);
+  EXPECT_EQ(called, 4);
+  EXPECT_EQ(a.stack().arp().requests_sent(), 1u);
+}
+
+TEST_F(ArpFixture, StaticEntryUsedImmediately) {
+  a.stack().arp().add_entry(b.ip_addr(), b.mac());
+  std::optional<net::MacAddr> got;
+  a.stack().arp().resolve(0, b.ip_addr(),
+                          [&](std::optional<net::MacAddr> m) { got = m; });
+  // Synchronous: no events needed.
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, b.mac());
+  EXPECT_EQ(a.stack().arp().requests_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace ulnet::proto

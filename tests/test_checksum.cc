@@ -1,0 +1,82 @@
+#include "buf/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace ulnet::buf {
+namespace {
+
+TEST(Checksum, Rfc1071WorkedExample) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, cksum 0x220d.
+  Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, ZeroDataChecksumIsAllOnes) {
+  Bytes data(10, 0);
+  EXPECT_EQ(internet_checksum(data), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  Bytes odd{0x12, 0x34, 0x56};
+  Bytes padded{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(padded));
+}
+
+TEST(Checksum, VerifyRoundTrip) {
+  sim::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data(2 + rng.below(200), 0);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    // Zero a 16-bit checksum slot, fill it with the computed sum.
+    data[0] = data[1] = 0;
+    const std::uint16_t ck = internet_checksum(data);
+    data[0] = static_cast<std::uint8_t>(ck >> 8);
+    data[1] = static_cast<std::uint8_t>(ck & 0xff);
+    EXPECT_TRUE(checksum_ok(data));
+  }
+}
+
+TEST(Checksum, DetectsSingleBitFlips) {
+  sim::Rng rng(5);
+  Bytes data(64, 0);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  data[0] = data[1] = 0;
+  const std::uint16_t ck = internet_checksum(data);
+  data[0] = static_cast<std::uint8_t>(ck >> 8);
+  data[1] = static_cast<std::uint8_t>(ck & 0xff);
+  ASSERT_TRUE(checksum_ok(data));
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes flipped = data;
+    const std::size_t pos = rng.below(flipped.size());
+    flipped[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    EXPECT_FALSE(checksum_ok(flipped)) << "bit flip at " << pos;
+  }
+}
+
+TEST(Checksum, AccumulatorMatchesOneShotAcrossSplits) {
+  sim::Rng rng(7);
+  Bytes data(113, 0);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::uint16_t whole = internet_checksum(data);
+  for (std::size_t split = 0; split <= data.size(); split += 13) {
+    ChecksumAccumulator acc;
+    acc.add(ByteView(data.data(), split));
+    acc.add(ByteView(data.data() + split, data.size() - split));
+    EXPECT_EQ(acc.fold(), whole) << "split at " << split;
+  }
+}
+
+TEST(Checksum, Add16MatchesBytePair) {
+  ChecksumAccumulator a;
+  a.add16(0x1234);
+  a.add16(0x5678);
+  ChecksumAccumulator b;
+  Bytes data{0x12, 0x34, 0x56, 0x78};
+  b.add(data);
+  EXPECT_EQ(a.fold(), b.fold());
+}
+
+}  // namespace
+}  // namespace ulnet::buf

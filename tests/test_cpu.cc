@@ -1,0 +1,130 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+#include "sim/metrics.h"
+
+namespace ulnet::sim {
+namespace {
+
+struct CpuFixture : ::testing::Test {
+  EventLoop loop;
+  CostModel cost;
+  Metrics metrics;
+  Cpu cpu{loop, cost, metrics, "test.cpu"};
+};
+
+TEST_F(CpuFixture, TaskChargesAccrue) {
+  Time end_seen = -1;
+  cpu.submit(kKernelSpace, Prio::kNormal, [&](TaskCtx& ctx) {
+    ctx.charge(100);
+    ctx.charge(50);
+    end_seen = ctx.now();
+  });
+  loop.run();
+  EXPECT_EQ(end_seen, 150);
+  EXPECT_EQ(cpu.busy_ns(), 150);
+  EXPECT_EQ(cpu.tasks_run(), 1u);
+}
+
+TEST_F(CpuFixture, TasksSerialize) {
+  std::vector<Time> starts;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(kKernelSpace, Prio::kNormal, [&](TaskCtx& ctx) {
+      starts.push_back(ctx.now());
+      ctx.charge(1000);
+    });
+  }
+  loop.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 1000);
+  EXPECT_EQ(starts[2], 2000);
+}
+
+TEST_F(CpuFixture, ContextSwitchChargedOnSpaceChange) {
+  // First task in kernel space: the CPU starts in kernel space, no switch.
+  cpu.submit(kKernelSpace, Prio::kNormal, [](TaskCtx& ctx) { ctx.charge(10); });
+  // Then a user-space task: one switch.
+  cpu.submit(1, Prio::kNormal, [](TaskCtx& ctx) { ctx.charge(10); });
+  // Another task in the same user space: no switch.
+  cpu.submit(1, Prio::kNormal, [](TaskCtx& ctx) { ctx.charge(10); });
+  loop.run();
+  EXPECT_EQ(cpu.switches(), 1u);
+  EXPECT_EQ(metrics.context_switches, 1u);
+  EXPECT_EQ(cpu.busy_ns(), 30 + cost.context_switch);
+}
+
+TEST_F(CpuFixture, InterruptPriorityPreemptsQueueOrder) {
+  std::vector<int> order;
+  cpu.submit(1, Prio::kNormal, [&](TaskCtx& ctx) {
+    ctx.charge(1000);
+    order.push_back(1);
+  });
+  cpu.submit(2, Prio::kNormal, [&](TaskCtx& ctx) {
+    ctx.charge(1000);
+    order.push_back(2);
+  });
+  // Arrives while task 1 is executing: runs before task 2 (after task 1
+  // completes; the model is non-preemptive).
+  loop.schedule_at(500, [&] {
+    cpu.submit(kKernelSpace, Prio::kInterrupt, [&](TaskCtx& ctx) {
+      ctx.charge(10);
+      order.push_back(0);
+    });
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST_F(CpuFixture, DeferredActionsRunAtTaskEnd) {
+  Time deferred_at = -1;
+  cpu.submit(kKernelSpace, Prio::kNormal, [&](TaskCtx& ctx) {
+    ctx.charge(500);
+    ctx.defer([&] { deferred_at = loop.now(); });
+    ctx.charge(500);  // charge after defer still extends the task
+  });
+  loop.run();
+  EXPECT_EQ(deferred_at, 1000);
+}
+
+TEST_F(CpuFixture, ChargeOutsideTaskIsNoop) {
+  cpu.charge(12345);
+  loop.run();
+  EXPECT_EQ(cpu.busy_ns(), 0);
+}
+
+TEST_F(CpuFixture, CurrentThrowsOutsideTask) {
+  EXPECT_THROW(cpu.current(), std::logic_error);
+}
+
+TEST_F(CpuFixture, TaskMaySubmitFollowOnWork) {
+  std::vector<Time> t;
+  cpu.submit(kKernelSpace, Prio::kNormal, [&](TaskCtx& ctx) {
+    ctx.charge(100);
+    cpu.submit(kKernelSpace, Prio::kNormal, [&](TaskCtx& inner) {
+      t.push_back(inner.now());
+    });
+  });
+  loop.run();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], 100);  // runs only after the first task's span
+}
+
+TEST_F(CpuFixture, QueueDepthReflectsBacklog) {
+  for (int i = 0; i < 5; ++i) {
+    cpu.submit(kKernelSpace, Prio::kNormal, [](TaskCtx& ctx) {
+      ctx.charge(100);
+    });
+  }
+  EXPECT_EQ(cpu.queue_depth(), 5u);
+  loop.run();
+  EXPECT_EQ(cpu.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace ulnet::sim

@@ -1,0 +1,62 @@
+// The world is a deterministic discrete-event simulation: identical seeds
+// must give bit-identical outcomes, different seeds must actually differ.
+#include <gtest/gtest.h>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+
+namespace ulnet::api {
+namespace {
+
+struct RunSummary {
+  sim::Time finish = 0;
+  std::size_t bytes = 0;
+  std::uint64_t events = 0;
+  sim::Metrics metrics;
+  sim::Time cpu_a = 0, cpu_b = 0;
+};
+
+RunSummary run_once(std::uint64_t seed, OrgType org) {
+  Testbed bed(org, LinkType::kEthernet, seed);
+  BulkTransfer bulk(bed, 128 * 1024, 4096);
+  auto r = bulk.run();
+  RunSummary s;
+  s.finish = r.last_byte;
+  s.bytes = r.bytes_received;
+  s.events = bed.world().loop().executed();
+  s.metrics = bed.world().metrics();
+  s.cpu_a = bed.host_a().cpu().busy_ns();
+  s.cpu_b = bed.host_b().cpu().busy_ns();
+  return s;
+}
+
+TEST(Determinism, SameSeedSameWorldToTheNanosecond) {
+  for (OrgType org : {OrgType::kInKernel, OrgType::kUserLevel}) {
+    const RunSummary a = run_once(42, org);
+    const RunSummary b = run_once(42, org);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.cpu_a, b.cpu_a);
+    EXPECT_EQ(a.cpu_b, b.cpu_b);
+    EXPECT_EQ(a.metrics.packets_rx, b.metrics.packets_rx);
+    EXPECT_EQ(a.metrics.context_switches, b.metrics.context_switches);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDifferSomewhere) {
+  // Sequence numbers are seeded from the world RNG, so at minimum the ISS
+  // differs; the transfer itself still completes identically in shape.
+  const RunSummary a = run_once(1, OrgType::kInKernel);
+  const RunSummary b = run_once(2, OrgType::kInKernel);
+  EXPECT_EQ(a.bytes, b.bytes);  // both correct...
+  // ...but not the same world: at least one micro-outcome differs. ISS
+  // choice perturbs nothing else in this workload, so compare wire traces
+  // indirectly via a separate pair of worlds below.
+  Testbed t1(OrgType::kInKernel, LinkType::kEthernet, 1);
+  Testbed t2(OrgType::kInKernel, LinkType::kEthernet, 2);
+  EXPECT_NE(t1.world().rng().next_u64(), t2.world().rng().next_u64());
+}
+
+}  // namespace
+}  // namespace ulnet::api

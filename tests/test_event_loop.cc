@@ -1,0 +1,129 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ulnet::sim {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, EqualTimesFireInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, ScheduleInIsRelative) {
+  EventLoop loop;
+  Time fired_at = -1;
+  loop.schedule_at(50, [&] {
+    loop.schedule_in(25, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(EventLoop, SchedulingIntoThePastThrows) {
+  EventLoop loop;
+  loop.schedule_at(100, [&] {
+    EXPECT_THROW(loop.schedule_at(50, [] {}), std::logic_error);
+  });
+  loop.run();
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  EventId id = loop.schedule_at(10, [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelUnknownIdIsNoop) {
+  EventLoop loop;
+  loop.cancel(kInvalidEvent);
+  loop.cancel(999999);
+  bool ran = false;
+  loop.schedule_at(1, [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(10, [&] { count++; });
+  loop.schedule_at(20, [&] { count++; });
+  loop.schedule_at(30, [&] { count++; });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  EventLoop loop;
+  loop.run_until(500);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoop, EventsMayScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) loop.schedule_in(1, chain);
+  };
+  loop.schedule_at(0, chain);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.now(), 99);
+}
+
+TEST(EventLoop, StopInterruptsRun) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(1, [&] {
+    count++;
+    loop.stop();
+  });
+  loop.schedule_at(2, [&] { count++; });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  loop.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  EventId a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ulnet::sim

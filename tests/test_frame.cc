@@ -1,0 +1,55 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace ulnet::net {
+namespace {
+
+TEST(EthHeader, SerializeParseRoundTrip) {
+  EthHeader h{MacAddr::from_index(1, 0), MacAddr::from_index(2, 0),
+              kEtherTypeIp};
+  buf::Bytes out;
+  h.serialize(out);
+  ASSERT_EQ(out.size(), EthHeader::kSize);
+  auto parsed = EthHeader::parse(out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ethertype, kEtherTypeIp);
+}
+
+TEST(EthHeader, ParseRejectsShort) {
+  buf::Bytes short_buf(13, 0);
+  EXPECT_FALSE(EthHeader::parse(short_buf).has_value());
+}
+
+TEST(An1Header, SerializeParseRoundTrip) {
+  An1Header h{MacAddr::from_index(3, 1), MacAddr::from_index(4, 1), 42, 7,
+              kEtherTypeArp};
+  buf::Bytes out;
+  h.serialize(out);
+  ASSERT_EQ(out.size(), An1Header::kSize);
+  auto parsed = An1Header::parse(out);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->bqi, 42);
+  EXPECT_EQ(parsed->bqi_advert, 7);
+  EXPECT_EQ(parsed->ethertype, kEtherTypeArp);
+}
+
+TEST(An1Header, FieldsLiveAtDocumentedOffsets) {
+  An1Header h{MacAddr{}, MacAddr{}, 0x1234, 0x5678, 0};
+  buf::Bytes out;
+  h.serialize(out);
+  EXPECT_EQ(buf::rd16(out, An1Header::kBqiOffset), 0x1234);
+  EXPECT_EQ(buf::rd16(out, An1Header::kAdvertOffset), 0x5678);
+}
+
+TEST(An1Header, ParseRejectsShort) {
+  buf::Bytes short_buf(An1Header::kSize - 1, 0);
+  EXPECT_FALSE(An1Header::parse(short_buf).has_value());
+}
+
+}  // namespace
+}  // namespace ulnet::net

@@ -1,0 +1,248 @@
+#include "proto/ip.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stack_harness.h"
+
+namespace ulnet::proto {
+namespace {
+
+struct IpFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::Rng rng{3};
+  ulnet::testing::StackHarness a{loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                                 net::MacAddr::from_index(1, 0)};
+  ulnet::testing::StackHarness b{loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                                 net::MacAddr::from_index(2, 0)};
+  ulnet::testing::TestChannel chan{loop, rng};
+
+  void SetUp() override {
+    chan.attach(&a);
+    chan.attach(&b);
+  }
+
+  // Register a raw capture of protocol 200 on b.
+  std::vector<buf::Bytes> captured;
+  void capture_proto200() {
+    b.stack().ip().register_protocol(
+        200, [this](const Ipv4Header&, buf::Bytes p, int) {
+          captured.push_back(std::move(p));
+        });
+  }
+};
+
+TEST_F(IpFixture, DeliversSmallDatagram) {
+  capture_proto200();
+  buf::Bytes payload{1, 2, 3, 4};
+  EXPECT_TRUE(a.stack().ip().send(net::Ipv4Addr{}, b.ip_addr(), 200, payload,
+                                  nullptr));
+  loop.run_until(sim::kSec);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], payload);
+  EXPECT_EQ(b.stack().ip().counters().received, 1u);
+}
+
+TEST_F(IpFixture, RoutesOnlyConnectedSubnets) {
+  EXPECT_FALSE(a.stack().ip().send(net::Ipv4Addr{},
+                                   net::Ipv4Addr::parse("192.168.9.9"), 200,
+                                   {}, nullptr));
+  EXPECT_EQ(a.stack().ip().counters().no_route, 1u);
+}
+
+TEST_F(IpFixture, FragmentsAndReassemblesLargeDatagram) {
+  capture_proto200();
+  buf::Bytes payload(4000, 0);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  EXPECT_TRUE(a.stack().ip().send(net::Ipv4Addr{}, b.ip_addr(), 200, payload,
+                                  nullptr));
+  loop.run_until(sim::kSec);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], payload);
+  EXPECT_GE(a.stack().ip().counters().fragments_sent, 3u);
+  EXPECT_EQ(b.stack().ip().counters().reassembled, 1u);
+}
+
+TEST_F(IpFixture, ReassemblyToleratesReordering) {
+  capture_proto200();
+  chan.jitter_max = 5 * sim::kMs;  // scrambles fragment arrival order
+  buf::Bytes payload(6000, 0);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i ^ (i >> 8));
+  }
+  EXPECT_TRUE(a.stack().ip().send(net::Ipv4Addr{}, b.ip_addr(), 200, payload,
+                                  nullptr));
+  loop.run_until(sim::kSec);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], payload);
+}
+
+TEST_F(IpFixture, ReassemblyTimesOutOnMissingFragment) {
+  capture_proto200();
+  // Hand b a single fragment directly; its siblings never arrive.
+  Ipv4Header h;
+  h.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize + 100);
+  h.ident = 999;
+  h.proto = 200;
+  h.more_fragments = true;
+  h.src = a.ip_addr();
+  h.dst = b.ip_addr();
+  buf::Bytes frag;
+  h.serialize(frag);
+  frag.resize(frag.size() + 100, 1);
+  b.stack().ip().input(0, frag);
+  loop.run_until(60 * sim::kSec);
+  EXPECT_TRUE(captured.empty());
+  EXPECT_EQ(b.stack().ip().counters().reassembly_timeouts, 1u);
+}
+
+TEST_F(IpFixture, BadHeaderChecksumDropped) {
+  capture_proto200();
+  Ipv4Header h;
+  h.total_len = Ipv4Header::kSize + 4;
+  h.proto = 200;
+  h.src = a.ip_addr();
+  h.dst = b.ip_addr();
+  buf::Bytes dg;
+  h.serialize(dg);
+  dg.resize(dg.size() + 4, 9);
+  dg[8] ^= 0xff;  // corrupt TTL
+  b.stack().ip().input(0, dg);
+  loop.run_until(sim::kMs);
+  EXPECT_TRUE(captured.empty());
+  EXPECT_EQ(b.stack().ip().counters().bad_checksum, 1u);
+}
+
+TEST_F(IpFixture, DatagramForOtherHostDroppedNotForwarded) {
+  // No gateway functions (paper Section 3.2).
+  Ipv4Header h;
+  h.total_len = Ipv4Header::kSize;
+  h.proto = 200;
+  h.src = a.ip_addr();
+  h.dst = net::Ipv4Addr::parse("10.0.0.77");
+  buf::Bytes dg;
+  h.serialize(dg);
+  b.stack().ip().input(0, dg);
+  EXPECT_EQ(b.stack().ip().counters().not_for_us, 1u);
+}
+
+TEST_F(IpFixture, UnknownProtocolCounted) {
+  Ipv4Header h;
+  h.total_len = Ipv4Header::kSize;
+  h.proto = 201;  // nothing registered
+  h.src = a.ip_addr();
+  h.dst = b.ip_addr();
+  buf::Bytes dg;
+  h.serialize(dg);
+  b.stack().ip().input(0, dg);
+  EXPECT_EQ(b.stack().ip().counters().no_protocol, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ICMP over the IP substrate
+// ---------------------------------------------------------------------------
+
+TEST_F(IpFixture, PingRoundTrip) {
+  bool got_reply = false;
+  sim::Time rtt = 0;
+  a.stack().icmp().ping(b.ip_addr(), 1, 56,
+                        [&](net::Ipv4Addr peer, std::uint16_t seq,
+                            sim::Time t, std::size_t len) {
+                          got_reply = true;
+                          rtt = t;
+                          EXPECT_EQ(peer, b.ip_addr());
+                          EXPECT_EQ(seq, 1);
+                          EXPECT_EQ(len, 56u);
+                        });
+  loop.run_until(sim::kSec);
+  EXPECT_TRUE(got_reply);
+  EXPECT_GE(rtt, 2 * sim::kMs);  // two channel crossings
+  EXPECT_EQ(b.stack().icmp().echoes_answered(), 1u);
+}
+
+TEST_F(IpFixture, PingLargePayloadExercisesFragmentation) {
+  bool got_reply = false;
+  a.stack().icmp().ping(b.ip_addr(), 2, 5000,
+                        [&](net::Ipv4Addr, std::uint16_t, sim::Time,
+                            std::size_t len) {
+                          got_reply = true;
+                          EXPECT_EQ(len, 5000u);
+                        });
+  loop.run_until(sim::kSec);
+  EXPECT_TRUE(got_reply);
+  EXPECT_GE(a.stack().ip().counters().fragments_sent, 4u);
+  EXPECT_GE(b.stack().ip().counters().reassembled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// UDP over the IP substrate
+// ---------------------------------------------------------------------------
+
+TEST_F(IpFixture, UdpDatagramDelivery) {
+  std::vector<buf::Bytes> got;
+  ASSERT_TRUE(b.stack().udp().bind(
+      7777, [&](net::Ipv4Addr src, std::uint16_t sport, buf::Bytes data) {
+        EXPECT_EQ(src, a.ip_addr());
+        EXPECT_EQ(sport, 5555);
+        got.push_back(std::move(data));
+      }));
+  buf::Bytes payload{10, 20, 30};
+  EXPECT_TRUE(a.stack().udp().send(5555, b.ip_addr(), 7777, payload));
+  loop.run_until(sim::kSec);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+}
+
+TEST_F(IpFixture, UdpUnboundPortCounted) {
+  a.stack().udp().send(5555, b.ip_addr(), 9999, buf::Bytes{1});
+  loop.run_until(sim::kSec);
+  EXPECT_EQ(b.stack().udp().counters().no_port, 1u);
+}
+
+TEST_F(IpFixture, UdpDoubleBindRefused) {
+  EXPECT_TRUE(b.stack().udp().bind(42, [](auto, auto, auto) {}));
+  EXPECT_FALSE(b.stack().udp().bind(42, [](auto, auto, auto) {}));
+  b.stack().udp().unbind(42);
+  EXPECT_TRUE(b.stack().udp().bind(42, [](auto, auto, auto) {}));
+}
+
+TEST_F(IpFixture, UdpCorruptionDroppedByChecksum) {
+  chan.corrupt_p = 1.0;
+  int got = 0;
+  b.stack().udp().bind(7777,
+                       [&](auto, auto, auto) { got++; });
+  a.stack().arp().add_entry(b.ip_addr(), b.mac());
+  b.stack().arp().add_entry(a.ip_addr(), a.mac());
+  a.stack().udp().send(5555, b.ip_addr(), 7777, buf::Bytes(100, 0x42));
+  loop.run_until(sim::kSec);
+  EXPECT_EQ(got, 0);
+  // Either the IP header or the UDP payload caught it.
+  EXPECT_GE(b.stack().ip().counters().bad_checksum +
+                b.stack().udp().counters().bad_checksum,
+            1u);
+}
+
+TEST_F(IpFixture, UdpLargeDatagramFragmentsRoundTrip) {
+  buf::Bytes payload(9000, 0);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  buf::Bytes got;
+  b.stack().udp().bind(7, [&](auto, auto, buf::Bytes d) { got = std::move(d); });
+  EXPECT_TRUE(a.stack().udp().send(8, b.ip_addr(), 7, payload));
+  loop.run_until(sim::kSec);
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(IpFixture, EphemeralPortsDoNotCollide) {
+  auto p1 = a.stack().udp().alloc_ephemeral();
+  a.stack().udp().bind(p1, [](auto, auto, auto) {});
+  auto p2 = a.stack().udp().alloc_ephemeral();
+  EXPECT_NE(p1, 0);
+  EXPECT_NE(p2, 0);
+  EXPECT_NE(p1, p2);
+}
+
+}  // namespace
+}  // namespace ulnet::proto

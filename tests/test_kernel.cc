@@ -1,0 +1,138 @@
+#include "os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "os/world.h"
+
+namespace ulnet::os {
+namespace {
+
+struct KernelFixture : ::testing::Test {
+  World world;
+  Host& host = world.add_host("h");
+  Kernel& k = host.kernel();
+};
+
+TEST_F(KernelFixture, PortRightsStartWithOwner) {
+  auto app = host.new_space("app");
+  auto other = host.new_space("other");
+  PortId p = k.port_allocate(app);
+  EXPECT_TRUE(k.port_has_send_right(p, app));
+  EXPECT_FALSE(k.port_has_send_right(p, other));
+}
+
+TEST_F(KernelFixture, SendRightsTransferable) {
+  auto app = host.new_space("app");
+  auto srv = host.new_space("srv");
+  PortId p = k.port_allocate(srv);
+  k.port_insert_send_right(p, app);
+  EXPECT_TRUE(k.port_has_send_right(p, app));
+  k.port_remove_send_right(p, app);
+  EXPECT_FALSE(k.port_has_send_right(p, app));
+}
+
+TEST_F(KernelFixture, DestroyedPortHasNoRights) {
+  auto app = host.new_space("app");
+  PortId p = k.port_allocate(app);
+  k.port_destroy(p);
+  EXPECT_FALSE(k.port_exists(p));
+  EXPECT_FALSE(k.port_has_send_right(p, app));
+}
+
+TEST_F(KernelFixture, RegionsMapPerSpace) {
+  auto app = host.new_space("app");
+  auto other = host.new_space("other");
+  RegionId r = k.region_create(64 * 1024);
+  EXPECT_EQ(k.region_size(r), 64u * 1024);
+  EXPECT_TRUE(k.region_mapped(r, sim::kKernelSpace));
+  EXPECT_FALSE(k.region_mapped(r, app));
+  k.region_map(r, app);
+  EXPECT_TRUE(k.region_mapped(r, app));
+  EXPECT_FALSE(k.region_mapped(r, other));
+  k.region_unmap(r, app);
+  EXPECT_FALSE(k.region_mapped(r, app));
+}
+
+TEST_F(KernelFixture, IpcChargesAndCrossesSpaces) {
+  auto app = host.new_space("app");
+  auto srv = host.new_space("srv");
+  bool handled = false;
+  sim::SpaceId handler_space = -1;
+
+  host.run_in(app, [&](sim::TaskCtx& ctx) {
+    k.ipc_send(ctx, srv, 256, [&](sim::TaskCtx& rctx) {
+      handled = true;
+      handler_space = rctx.space();
+    });
+  });
+  world.run();
+
+  EXPECT_TRUE(handled);
+  EXPECT_EQ(handler_space, srv);
+  EXPECT_EQ(world.metrics().ipc_messages, 1u);
+  EXPECT_GE(world.metrics().traps, 1u);
+  // Two space changes: kernel->app for the sender task, app->srv for the
+  // handler.
+  EXPECT_EQ(world.metrics().context_switches, 2u);
+}
+
+TEST_F(KernelFixture, IpcRoundTripCostIsRealistic) {
+  // The paper reports ~900 us for app -> registry server -> app.
+  auto app = host.new_space("app");
+  auto srv = host.new_space("srv");
+  host.run_in(app, [&](sim::TaskCtx&) {});  // settle initial switch
+  world.run();
+  const sim::Time t0 = world.now();
+  bool done = false;
+  host.run_in(app, [&](sim::TaskCtx& ctx) {
+    k.ipc_send(ctx, srv, 64, [&](sim::TaskCtx& rctx) {
+      k.ipc_send(rctx, app, 64, [&](sim::TaskCtx&) { done = true; });
+    });
+  });
+  world.run();
+  ASSERT_TRUE(done);
+  const double rtt_us = sim::to_us(world.now() - t0);
+  EXPECT_GT(rtt_us, 600.0);
+  EXPECT_LT(rtt_us, 1200.0);
+}
+
+TEST_F(KernelFixture, CopySmallChargesPerByte) {
+  host.run_in(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    k.copy_bytes(ctx, 100);
+  });
+  world.run();
+  EXPECT_EQ(world.metrics().copies, 1u);
+  EXPECT_EQ(world.metrics().bytes_copied, 100u);
+  EXPECT_EQ(world.metrics().page_remaps, 0u);
+}
+
+TEST_F(KernelFixture, CopyLargeUsesRemap) {
+  host.run_in(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    k.copy_bytes(ctx, world.cost().remap_threshold);
+  });
+  world.run();
+  EXPECT_EQ(world.metrics().page_remaps, 1u);
+  EXPECT_EQ(world.metrics().copies, 0u);
+}
+
+TEST_F(KernelFixture, CopyRemapIneligibleAlwaysCopies) {
+  host.run_in(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    k.copy_bytes(ctx, 8192, /*remap_eligible=*/false);
+  });
+  world.run();
+  EXPECT_EQ(world.metrics().page_remaps, 0u);
+  EXPECT_EQ(world.metrics().bytes_copied, 8192u);
+}
+
+TEST_F(KernelFixture, TrapsAreCounted) {
+  host.run_in(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    k.trap(ctx);
+    k.fast_trap(ctx);
+  });
+  world.run();
+  EXPECT_EQ(world.metrics().traps, 1u);
+  EXPECT_EQ(world.metrics().specialized_traps, 1u);
+}
+
+}  // namespace
+}  // namespace ulnet::os

@@ -1,0 +1,160 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace ulnet::net {
+namespace {
+
+class RecordingEndpoint : public LinkEndpoint {
+ public:
+  RecordingEndpoint(MacAddr mac, sim::EventLoop& loop)
+      : mac_(mac), loop_(loop) {}
+  void frame_arrived(const Frame& f) override {
+    frames.push_back(f);
+    arrival_times.push_back(loop_.now());
+  }
+  [[nodiscard]] MacAddr mac() const override { return mac_; }
+
+  std::vector<Frame> frames;
+  std::vector<sim::Time> arrival_times;
+
+ private:
+  MacAddr mac_;
+  sim::EventLoop& loop_;
+};
+
+Frame make_frame(MacAddr dst, MacAddr src, std::size_t payload) {
+  Frame f;
+  EthHeader{dst, src, kEtherTypeRaw}.serialize(f.bytes);
+  f.bytes.resize(EthHeader::kSize + payload, 0xab);
+  return f;
+}
+
+struct LinkFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::Rng rng{1};
+  net::Link link{loop, rng, LinkSpec::ethernet10()};
+  MacAddr ma = MacAddr::from_index(1, 0);
+  MacAddr mb = MacAddr::from_index(2, 0);
+  RecordingEndpoint a{ma, loop};
+  RecordingEndpoint b{mb, loop};
+
+  void SetUp() override {
+    link.attach(&a);
+    link.attach(&b);
+  }
+};
+
+TEST_F(LinkFixture, DeliversToAddressee) {
+  link.transmit(&a, make_frame(mb, ma, 100));
+  loop.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(a.frames.empty());  // sender does not hear its own unicast
+}
+
+TEST_F(LinkFixture, DoesNotDeliverToThirdParty) {
+  RecordingEndpoint c{MacAddr::from_index(3, 0), loop};
+  link.attach(&c);
+  link.transmit(&a, make_frame(mb, ma, 100));
+  loop.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_TRUE(c.frames.empty());
+}
+
+TEST_F(LinkFixture, BroadcastReachesAll) {
+  RecordingEndpoint c{MacAddr::from_index(3, 0), loop};
+  link.attach(&c);
+  link.transmit(&a, make_frame(MacAddr::broadcast(), ma, 50));
+  loop.run();
+  EXPECT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(c.frames.size(), 1u);
+  EXPECT_TRUE(a.frames.empty());
+}
+
+TEST_F(LinkFixture, SerializationTimeMatchesSpec) {
+  const std::size_t payload = 1000;
+  Frame f = make_frame(mb, ma, payload);
+  const auto expect =
+      link.spec().serialization_ns(f.size()) + link.spec().propagation;
+  link.transmit(&a, std::move(f));
+  loop.run();
+  ASSERT_EQ(b.arrival_times.size(), 1u);
+  EXPECT_EQ(b.arrival_times[0], expect);
+}
+
+TEST_F(LinkFixture, MinFramePaddingApplies) {
+  // A tiny frame must take at least the 64-byte slot time (~51.2 us) plus
+  // preamble.
+  Frame f = make_frame(mb, ma, 1);
+  link.transmit(&a, std::move(f));
+  loop.run();
+  ASSERT_EQ(b.arrival_times.size(), 1u);
+  const auto min_time = link.spec().serialization_ns(60);  // will pad to 64
+  EXPECT_EQ(b.arrival_times[0] - link.spec().propagation, min_time);
+  EXPECT_EQ(min_time, static_cast<sim::Time>((8 + 64) * 8 * 100));
+}
+
+TEST_F(LinkFixture, BackToBackFramesQueueOnChannel) {
+  link.transmit(&a, make_frame(mb, ma, 1000));
+  link.transmit(&a, make_frame(mb, ma, 1000));
+  loop.run();
+  ASSERT_EQ(b.arrival_times.size(), 2u);
+  const auto occupancy = link.spec().occupancy_ns(EthHeader::kSize + 1000);
+  EXPECT_EQ(b.arrival_times[1] - b.arrival_times[0], occupancy);
+}
+
+TEST_F(LinkFixture, LossDropsFrames) {
+  link.faults().loss_p = 1.0;
+  link.transmit(&a, make_frame(mb, ma, 100));
+  loop.run();
+  EXPECT_TRUE(b.frames.empty());
+  EXPECT_EQ(link.frames_dropped(), 1u);
+}
+
+TEST_F(LinkFixture, DuplicationDeliversTwice) {
+  link.faults().dup_p = 1.0;
+  link.transmit(&a, make_frame(mb, ma, 100));
+  loop.run();
+  EXPECT_EQ(b.frames.size(), 2u);
+}
+
+TEST_F(LinkFixture, CorruptionFlipsOneBitBeyondLinkHeader) {
+  link.faults().corrupt_p = 1.0;
+  Frame original = make_frame(mb, ma, 100);
+  link.transmit(&a, Frame{original.bytes});
+  loop.run();
+  ASSERT_EQ(b.frames.size(), 1u);
+  const auto& got = b.frames[0].bytes;
+  ASSERT_EQ(got.size(), original.bytes.size());
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    diff_bits += __builtin_popcount(got[i] ^ original.bytes[i]);
+    if (i < EthHeader::kSize) {
+      EXPECT_EQ(got[i], original.bytes[i]);
+    }
+  }
+  EXPECT_EQ(diff_bits, 1);
+}
+
+TEST(LinkSpec, EthernetSaturationMatchesTextbook) {
+  auto spec = LinkSpec::ethernet10();
+  // 1500-byte payload: 8 preamble + 1514 + 4 FCS + 12 IPG = 1538 byte
+  // times; payload share = 1500/1538 of 10 Mb/s ~ 9.75 Mb/s.
+  const double sat = spec.payload_saturation_bps(1500);
+  EXPECT_NEAR(sat / 1e6, 9.75, 0.02);
+  // Small payloads are dominated by the min-frame slot.
+  EXPECT_LT(spec.payload_saturation_bps(1), 1e6);
+}
+
+TEST(LinkSpec, An1IsHundredMegabit) {
+  auto spec = LinkSpec::an1();
+  EXPECT_GT(spec.payload_saturation_bps(1500), 90e6);
+}
+
+}  // namespace
+}  // namespace ulnet::net

@@ -1,0 +1,173 @@
+#include "hw/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "os/world.h"
+
+namespace ulnet::hw {
+namespace {
+
+using net::An1Header;
+using net::EthHeader;
+using net::Frame;
+using net::MacAddr;
+
+struct TwoHostFixture : ::testing::Test {
+  os::World world;
+};
+
+Frame eth_frame(MacAddr dst, MacAddr src, std::size_t payload) {
+  Frame f;
+  EthHeader{dst, src, net::kEtherTypeRaw}.serialize(f.bytes);
+  f.bytes.resize(EthHeader::kSize + payload, 0x5a);
+  return f;
+}
+
+Frame an1_frame(MacAddr dst, MacAddr src, std::uint16_t bqi,
+                std::size_t payload) {
+  Frame f;
+  An1Header h;
+  h.dst = dst;
+  h.src = src;
+  h.bqi = bqi;
+  h.ethertype = net::kEtherTypeRaw;
+  h.serialize(f.bytes);
+  f.bytes.resize(An1Header::kSize + payload, 0x5a);
+  return f;
+}
+
+TEST_F(TwoHostFixture, LanceEndToEndChargesPioBothSides) {
+  auto& link = world.add_ethernet();
+  auto& ha = world.add_host("a");
+  auto& hb = world.add_host("b");
+  auto& na = world.attach_lance(ha, link, net::Ipv4Addr::parse("10.0.0.1"));
+  auto& nb = world.attach_lance(hb, link, net::Ipv4Addr::parse("10.0.0.2"));
+
+  int got = 0;
+  nb.set_rx_handler(
+      [&](sim::TaskCtx&, const Frame&, std::uint16_t) { got++; });
+
+  const std::size_t payload = 1000;
+  ha.cpu().submit(sim::kKernelSpace, sim::Prio::kNormal,
+                  [&](sim::TaskCtx& ctx) {
+                    na.transmit(ctx, eth_frame(nb.mac(), na.mac(), payload));
+                  });
+  world.run();
+
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(na.tx_frames(), 1u);
+  EXPECT_EQ(nb.rx_frames(), 1u);
+  const auto& cost = world.cost();
+  const auto frame_len =
+      static_cast<sim::Time>(EthHeader::kSize + payload);
+  // Sender CPU: driver fixed + per-byte PIO.
+  EXPECT_EQ(ha.cpu().busy_ns(),
+            cost.driver_fixed + frame_len * cost.pio_per_byte);
+  // Receiver CPU: interrupt entry + driver fixed + per-byte PIO.
+  EXPECT_EQ(hb.cpu().busy_ns(), cost.interrupt_entry + cost.driver_fixed +
+                                    frame_len * cost.pio_per_byte);
+  EXPECT_EQ(world.metrics().interrupts, 1u);
+}
+
+TEST_F(TwoHostFixture, An1DeliversToAllocatedBqiRing) {
+  auto& link = world.add_an1();
+  auto& ha = world.add_host("a");
+  auto& hb = world.add_host("b");
+  auto& na = world.attach_an1(ha, link, net::Ipv4Addr::parse("10.1.0.1"));
+  auto& nb = world.attach_an1(hb, link, net::Ipv4Addr::parse("10.1.0.2"));
+
+  const std::uint16_t bqi = nb.alloc_bqi(4);
+  ASSERT_NE(bqi, 0);
+  nb.post_buffers(bqi, 4);
+
+  std::uint16_t seen_bqi = 0xffff;
+  nb.set_rx_handler([&](sim::TaskCtx&, const Frame&, std::uint16_t q) {
+    seen_bqi = q;
+  });
+
+  ha.cpu().submit(sim::kKernelSpace, sim::Prio::kNormal,
+                  [&](sim::TaskCtx& ctx) {
+                    na.transmit(ctx, an1_frame(nb.mac(), na.mac(), bqi, 500));
+                  });
+  world.run();
+
+  EXPECT_EQ(seen_bqi, bqi);
+  EXPECT_EQ(nb.posted_buffers(bqi), 3);
+  EXPECT_EQ(world.metrics().demux_hardware_runs, 1u);
+}
+
+TEST_F(TwoHostFixture, An1UnknownBqiFallsBackToKernelRing) {
+  auto& link = world.add_an1();
+  auto& ha = world.add_host("a");
+  auto& hb = world.add_host("b");
+  auto& na = world.attach_an1(ha, link, net::Ipv4Addr::parse("10.1.0.1"));
+  auto& nb = world.attach_an1(hb, link, net::Ipv4Addr::parse("10.1.0.2"));
+
+  std::uint16_t seen_bqi = 0xffff;
+  nb.set_rx_handler([&](sim::TaskCtx&, const Frame&, std::uint16_t q) {
+    seen_bqi = q;
+  });
+
+  ha.cpu().submit(sim::kKernelSpace, sim::Prio::kNormal,
+                  [&](sim::TaskCtx& ctx) {
+                    na.transmit(ctx, an1_frame(nb.mac(), na.mac(), 77, 100));
+                  });
+  world.run();
+  EXPECT_EQ(seen_bqi, An1Nic::kKernelBqi);
+}
+
+TEST_F(TwoHostFixture, An1EmptyRingDropsFrame) {
+  auto& link = world.add_an1();
+  auto& ha = world.add_host("a");
+  auto& hb = world.add_host("b");
+  auto& na = world.attach_an1(ha, link, net::Ipv4Addr::parse("10.1.0.1"));
+  auto& nb = world.attach_an1(hb, link, net::Ipv4Addr::parse("10.1.0.2"));
+
+  const std::uint16_t bqi = nb.alloc_bqi(2);
+  // No buffers posted.
+  int got = 0;
+  nb.set_rx_handler(
+      [&](sim::TaskCtx&, const Frame&, std::uint16_t) { got++; });
+  ha.cpu().submit(sim::kKernelSpace, sim::Prio::kNormal,
+                  [&](sim::TaskCtx& ctx) {
+                    na.transmit(ctx, an1_frame(nb.mac(), na.mac(), bqi, 100));
+                  });
+  world.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(nb.ring_drops(), 1u);
+}
+
+TEST_F(TwoHostFixture, An1BqiAllocationIsExclusive) {
+  auto& link = world.add_an1();
+  auto& ha = world.add_host("a");
+  auto& na = world.attach_an1(ha, link, net::Ipv4Addr::parse("10.1.0.1"));
+  auto b1 = na.alloc_bqi(1);
+  auto b2 = na.alloc_bqi(1);
+  EXPECT_NE(b1, 0);
+  EXPECT_NE(b2, 0);
+  EXPECT_NE(b1, b2);
+  na.free_bqi(b1);
+  EXPECT_FALSE(na.bqi_valid(b1));
+  EXPECT_TRUE(na.bqi_valid(b2));
+  auto b3 = na.alloc_bqi(1);
+  EXPECT_EQ(b3, b1);  // slot reused after free
+}
+
+TEST_F(TwoHostFixture, An1PostBuffersCapsAtCapacity) {
+  auto& link = world.add_an1();
+  auto& ha = world.add_host("a");
+  auto& na = world.attach_an1(ha, link, net::Ipv4Addr::parse("10.1.0.1"));
+  auto bqi = na.alloc_bqi(3);
+  na.post_buffers(bqi, 10);
+  EXPECT_EQ(na.posted_buffers(bqi), 3);
+}
+
+TEST_F(TwoHostFixture, RtClockQuantizesTo40ns) {
+  auto& ha = world.add_host("a");
+  world.loop().run_until(105);
+  EXPECT_EQ(ha.clock().ticks(), 2u);
+  EXPECT_EQ(ha.clock().now_ns(), 80);
+}
+
+}  // namespace
+}  // namespace ulnet::hw

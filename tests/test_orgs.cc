@@ -1,0 +1,168 @@
+// Integration tests: every protocol organization must move data correctly
+// over both networks through the uniform NetSystem API.
+#include <gtest/gtest.h>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+
+namespace ulnet::api {
+namespace {
+
+struct OrgCase {
+  const char* name;
+  OrgType org;
+  LinkType link;
+};
+
+const OrgCase kOrgCases[] = {
+    {"ultrix_ethernet", OrgType::kInKernel, LinkType::kEthernet},
+    {"ultrix_an1", OrgType::kInKernel, LinkType::kAn1},
+    {"machux_ethernet", OrgType::kSingleServer, LinkType::kEthernet},
+    {"machux_an1", OrgType::kSingleServer, LinkType::kAn1},
+    {"dedicated_ethernet", OrgType::kDedicated, LinkType::kEthernet},
+    {"userlevel_ethernet", OrgType::kUserLevel, LinkType::kEthernet},
+    {"userlevel_an1", OrgType::kUserLevel, LinkType::kAn1},
+};
+
+class OrgTest : public ::testing::TestWithParam<OrgCase> {};
+
+TEST_P(OrgTest, BulkTransferDeliversExactBytes) {
+  const auto& c = GetParam();
+  Testbed bed(c.org, c.link);
+  BulkTransfer bulk(bed, 100 * 1024, 4096, 5001, /*verify_data=*/true);
+  auto r = bulk.run();
+  EXPECT_TRUE(r.ok) << c.name << ": " << r.error;
+  EXPECT_EQ(r.bytes_received, 100u * 1024) << c.name;
+  EXPECT_TRUE(r.data_valid) << c.name;
+  EXPECT_GT(r.throughput_mbps(), 0.1) << c.name;
+}
+
+TEST_P(OrgTest, SmallWritesPreserveByteStream) {
+  const auto& c = GetParam();
+  Testbed bed(c.org, c.link, /*seed=*/7);
+  BulkTransfer bulk(bed, 16 * 1024, 512, 5001, true);
+  auto r = bulk.run();
+  EXPECT_TRUE(r.ok) << c.name << ": " << r.error;
+  EXPECT_TRUE(r.data_valid) << c.name;
+}
+
+TEST_P(OrgTest, PingPongCompletesAllRounds) {
+  const auto& c = GetParam();
+  Testbed bed(c.org, c.link);
+  PingPong pp(bed, 512, 20);
+  const double mean_rtt = pp.run_mean_rtt_us();
+  EXPECT_GT(mean_rtt, 0) << c.name;
+  EXPECT_EQ(pp.stats().count(), 20u) << c.name;
+  // Sanity: sub-second round trips on an idle LAN.
+  EXPECT_LT(mean_rtt, 1e6) << c.name;
+}
+
+TEST_P(OrgTest, RepeatedConnectionSetups) {
+  const auto& c = GetParam();
+  Testbed bed(c.org, c.link);
+  SetupProbe probe(bed, 5);
+  const double mean_setup = probe.run_mean_setup_us();
+  EXPECT_GT(mean_setup, 0) << c.name;
+  EXPECT_EQ(probe.stats().count(), 5u) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrgs, OrgTest, ::testing::ValuesIn(kOrgCases),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Cross-organization shape checks (the paper's qualitative results).
+// ---------------------------------------------------------------------------
+
+double ethernet_throughput(OrgType org, std::size_t write) {
+  Testbed bed(org, LinkType::kEthernet);
+  BulkTransfer bulk(bed, 512 * 1024, write);
+  auto r = bulk.run();
+  EXPECT_TRUE(r.ok) << to_string(org);
+  return r.throughput_mbps();
+}
+
+TEST(OrgComparison, EthernetThroughputOrdering) {
+  // Table 2's qualitative result at 4 KB user packets:
+  // Ultrix > user-level library > Mach/UX.
+  const double ultrix = ethernet_throughput(OrgType::kInKernel, 4096);
+  const double userlevel = ethernet_throughput(OrgType::kUserLevel, 4096);
+  const double machux = ethernet_throughput(OrgType::kSingleServer, 4096);
+  EXPECT_GT(ultrix, userlevel);
+  EXPECT_GT(userlevel, machux);
+}
+
+TEST(OrgComparison, DedicatedServersAreSlowestOnLatency) {
+  // Figure 1's "rare case": strictly more domain crossings than the single
+  // server, so strictly worse latency.
+  Testbed ss(OrgType::kSingleServer, LinkType::kEthernet);
+  Testbed ded(OrgType::kDedicated, LinkType::kEthernet);
+  PingPong p1(ss, 512, 10);
+  PingPong p2(ded, 512, 10);
+  const double rtt_ss = p1.run_mean_rtt_us();
+  const double rtt_ded = p2.run_mean_rtt_us();
+  EXPECT_GT(rtt_ded, rtt_ss);
+}
+
+TEST(OrgComparison, LatencyOrderingMatchesTable3) {
+  Testbed ultrix(OrgType::kInKernel, LinkType::kEthernet);
+  Testbed ul(OrgType::kUserLevel, LinkType::kEthernet);
+  Testbed machux(OrgType::kSingleServer, LinkType::kEthernet);
+  PingPong p1(ultrix, 512, 10);
+  PingPong p2(ul, 512, 10);
+  PingPong p3(machux, 512, 10);
+  const double t1 = p1.run_mean_rtt_us();
+  const double t2 = p2.run_mean_rtt_us();
+  const double t3 = p3.run_mean_rtt_us();
+  EXPECT_LT(t1, t2);  // Ultrix fastest
+  EXPECT_LT(t2, t3);  // user-level beats Mach/UX
+}
+
+TEST(OrgComparison, SetupCostOrderingMatchesTable4) {
+  Testbed ultrix(OrgType::kInKernel, LinkType::kEthernet);
+  Testbed machux(OrgType::kSingleServer, LinkType::kEthernet);
+  Testbed ul(OrgType::kUserLevel, LinkType::kEthernet);
+  SetupProbe s1(ultrix, 4);
+  SetupProbe s2(machux, 4);
+  SetupProbe s3(ul, 4);
+  const double c1 = s1.run_mean_setup_us();
+  const double c2 = s2.run_mean_setup_us();
+  const double c3 = s3.run_mean_setup_us();
+  EXPECT_LT(c1, c2);  // in-kernel cheapest
+  EXPECT_LT(c2, c3);  // registry path is the most expensive
+}
+
+TEST(OrgComparison, MechanismCountsMatchStructure) {
+  // The structural claim behind Figure 1, independent of the cost model:
+  // per-packet IPC messages are zero for in-kernel and user-level data
+  // paths, and the user-level path uses only the specialized trap.
+  auto run_and_metrics = [](OrgType org) {
+    Testbed bed(org, LinkType::kEthernet);
+    auto before = bed.world().metrics();
+    BulkTransfer bulk(bed, 64 * 1024, 4096);
+    auto r = bulk.run();
+    EXPECT_TRUE(r.ok);
+    return bed.world().metrics().delta_since(before);
+  };
+
+  const auto ik = run_and_metrics(OrgType::kInKernel);
+  const auto ss = run_and_metrics(OrgType::kSingleServer);
+  const auto ul = run_and_metrics(OrgType::kUserLevel);
+
+  // Mach/UX pays IPC per data push; the others only at setup.
+  EXPECT_GT(ss.ipc_messages, 5 * (ik.ipc_messages + 1));
+  EXPECT_GT(ss.ipc_messages, ul.ipc_messages);
+  // The user-level data path enters the kernel via the specialized trap.
+  EXPECT_GT(ul.specialized_traps, 40u);
+  EXPECT_EQ(ik.specialized_traps, 0u);
+  // In-kernel pays a generic trap per socket call.
+  EXPECT_GT(ik.traps, 16u);
+  // User-level never copies data across spaces on the data path; Ultrix
+  // copies (or remaps) on both ends.
+  EXPECT_GE(ik.copies + ik.page_remaps, 17u);
+  // Batched semaphore notification exists only in the user-level system.
+  EXPECT_GT(ul.semaphore_signals, 0u);
+  EXPECT_EQ(ik.semaphore_signals, 0u);
+}
+
+}  // namespace
+}  // namespace ulnet::api

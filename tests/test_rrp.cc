@@ -1,0 +1,219 @@
+// RRP (the VMTP-style request/response transport): transaction semantics,
+// retransmission, at-most-once execution, and coexistence with TCP.
+#include "proto/rrp.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stack_harness.h"
+#include "support/tcp_apps.h"
+
+namespace ulnet::proto {
+namespace {
+
+using ulnet::testing::StackHarness;
+using ulnet::testing::TestChannel;
+
+struct RrpFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::Rng rng{5};
+  StackHarness a{loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0)};
+  StackHarness b{loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0)};
+  TestChannel chan{loop, rng};
+
+  void SetUp() override {
+    chan.attach(&a);
+    chan.attach(&b);
+    // An echo-with-transform server on port 99.
+    b.stack().rrp().serve(99, [](net::Ipv4Addr, buf::ByteView req) {
+      buf::Bytes resp(req.begin(), req.end());
+      for (auto& byte : resp) byte ^= 0xff;
+      return resp;
+    });
+  }
+
+  void run(sim::Time d = 10 * sim::kSec) { loop.run_until(loop.now() + d); }
+};
+
+TEST_F(RrpFixture, BasicTransaction) {
+  std::optional<buf::Bytes> got;
+  buf::Bytes req{1, 2, 3, 4};
+  ASSERT_TRUE(a.stack().rrp().request(b.ip_addr(), 99, req,
+                                      [&](std::optional<buf::Bytes> r) {
+                                        got = std::move(r);
+                                      }));
+  run();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), 4u);
+  EXPECT_EQ((*got)[0], 0xfe);
+  EXPECT_EQ(b.stack().rrp().counters().handler_invocations, 1u);
+  EXPECT_EQ(a.stack().rrp().transactions_in_flight(), 0u);
+}
+
+TEST_F(RrpFixture, NoConnectionSetupSingleRoundTrip) {
+  // The whole transaction is one request + one response on the wire
+  // (plus ARP once): that is the protocol's reason to exist.
+  std::optional<buf::Bytes> got;
+  int rrp_packets = 0;
+  chan.tap = [&](std::uint16_t et, const buf::Bytes& p) {
+    if (et != net::kEtherTypeIp) return;
+    auto ih = Ipv4Header::parse(p);
+    if (ih && ih->proto == kProtoRrp) rrp_packets++;
+  };
+  a.stack().rrp().request(b.ip_addr(), 99, buf::Bytes(64, 1),
+                          [&](std::optional<buf::Bytes> r) { got = r; });
+  run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(rrp_packets, 2);
+}
+
+TEST_F(RrpFixture, RetransmitsThroughLoss) {
+  chan.loss_p = 0.4;
+  int ok = 0, fail = 0;
+  for (int i = 0; i < 20; ++i) {
+    a.stack().rrp().request(b.ip_addr(), 99, buf::Bytes(32, 7),
+                            [&](std::optional<buf::Bytes> r) {
+                              r ? ok++ : fail++;
+                            });
+  }
+  loop.run_until(120 * sim::kSec);
+  EXPECT_EQ(ok + fail, 20);
+  EXPECT_GE(ok, 18);  // exponential retry beats 40% loss
+  EXPECT_GT(a.stack().rrp().counters().retransmits, 0u);
+}
+
+TEST_F(RrpFixture, AtMostOnceExecutionUnderDuplication) {
+  chan.dup_p = 0.8;  // network duplicates most packets
+  int responses = 0;
+  for (int i = 0; i < 10; ++i) {
+    a.stack().rrp().request(b.ip_addr(), 99, buf::Bytes(16, 3),
+                            [&](std::optional<buf::Bytes> r) {
+                              if (r) responses++;
+                            });
+  }
+  loop.run_until(60 * sim::kSec);
+  EXPECT_EQ(responses, 10);
+  // Every transaction executed exactly once despite duplicate requests.
+  EXPECT_EQ(b.stack().rrp().counters().handler_invocations, 10u);
+}
+
+TEST_F(RrpFixture, CachedResponseReplayedForRetransmittedRequest) {
+  // Lose only the response direction first, so the request arrives, the
+  // handler runs, the response dies, and the client retransmits.
+  int handler_runs = 0;
+  b.stack().rrp().serve(100, [&](net::Ipv4Addr, buf::ByteView) {
+    handler_runs++;
+    return buf::Bytes{42};
+  });
+  chan.loss_p = 0.5;
+  std::optional<buf::Bytes> got;
+  a.stack().rrp().request(b.ip_addr(), 100, buf::Bytes(8, 1),
+                          [&](std::optional<buf::Bytes> r) { got = r; });
+  loop.run_until(120 * sim::kSec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(handler_runs, 1);
+  EXPECT_LE(b.stack().rrp().counters().duplicate_requests + 1u,
+            1u + a.stack().rrp().counters().retransmits);
+}
+
+TEST_F(RrpFixture, TimesOutWhenServerSilent) {
+  std::optional<std::optional<buf::Bytes>> result;
+  // Port 55 has no server; VMTP-style silence -> client retry -> timeout.
+  a.stack().rrp().request(b.ip_addr(), 55, buf::Bytes(8, 1),
+                          [&](std::optional<buf::Bytes> r) { result = r; });
+  loop.run_until(120 * sim::kSec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+  EXPECT_EQ(a.stack().rrp().counters().timeouts, 1u);
+  EXPECT_GT(b.stack().rrp().counters().no_server, 0u);
+}
+
+TEST_F(RrpFixture, LargeMessagesRideIpFragmentation) {
+  buf::Bytes req(20000);
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    req[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  std::optional<buf::Bytes> got;
+  ASSERT_TRUE(a.stack().rrp().request(
+      b.ip_addr(), 99, req,
+      [&](std::optional<buf::Bytes> r) { got = std::move(r); }));
+  run(30 * sim::kSec);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), req.size());
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    ASSERT_EQ((*got)[i], static_cast<std::uint8_t>(req[i] ^ 0xff));
+  }
+  EXPECT_GT(a.stack().ip().counters().fragments_sent, 10u);
+}
+
+TEST_F(RrpFixture, OversizedMessageRefused) {
+  EXPECT_FALSE(a.stack().rrp().request(b.ip_addr(), 99,
+                                       buf::Bytes(61 * 1024, 0),
+                                       [](std::optional<buf::Bytes>) {}));
+}
+
+TEST_F(RrpFixture, UnroutableDestinationRefused) {
+  EXPECT_FALSE(a.stack().rrp().request(net::Ipv4Addr::parse("192.168.7.7"),
+                                       99, buf::Bytes(8, 0),
+                                       [](std::optional<buf::Bytes>) {}));
+}
+
+TEST_F(RrpFixture, ConcurrentTransactionsKeepIdentity) {
+  // 50 outstanding transactions with distinct payloads; each response must
+  // match its own request.
+  int correct = 0;
+  for (int i = 0; i < 50; ++i) {
+    buf::Bytes req(8, static_cast<std::uint8_t>(i));
+    a.stack().rrp().request(
+        b.ip_addr(), 99, req, [&, i](std::optional<buf::Bytes> r) {
+          if (r && r->size() == 8 &&
+              (*r)[0] == static_cast<std::uint8_t>(i ^ 0xff)) {
+            correct++;
+          }
+        });
+  }
+  run(30 * sim::kSec);
+  EXPECT_EQ(correct, 50);
+}
+
+TEST_F(RrpFixture, CorruptedRequestDroppedByChecksum) {
+  chan.corrupt_p = 1.0;
+  std::optional<std::optional<buf::Bytes>> result;
+  a.stack().rrp().request(b.ip_addr(), 99, buf::Bytes(100, 9),
+                          [&](std::optional<buf::Bytes> r) { result = r; });
+  loop.run_until(120 * sim::kSec);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());  // everything corrupted: timeout
+  EXPECT_GT(a.stack().rrp().counters().bad_checksum +
+                b.stack().rrp().counters().bad_checksum +
+                a.stack().ip().counters().bad_checksum +
+                b.stack().ip().counters().bad_checksum,
+            0u);
+}
+
+TEST_F(RrpFixture, CoexistsWithTcpOnOneStack) {
+  // The paper's multiplicity argument: a byte stream and a transaction
+  // protocol share the same IP layer and wire without interference.
+  ulnet::testing::RecordingObserver server;
+  server.close_on_fin = true;
+  b.stack().tcp().listen(80, &server);
+  ulnet::testing::BulkSource source(64 * 1024, 4096);
+  a.stack().tcp().connect(b.ip_addr(), 80, &source);
+
+  int rpcs = 0;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(loop.now() + (i + 1) * 100 * sim::kMs, [&] {
+      a.stack().rrp().request(b.ip_addr(), 99, buf::Bytes(64, 5),
+                              [&](std::optional<buf::Bytes> r) {
+                                if (r) rpcs++;
+                              });
+    });
+  }
+  loop.run_until(120 * sim::kSec);
+  EXPECT_EQ(server.received.size(), 64u * 1024);
+  EXPECT_EQ(rpcs, 10);
+}
+
+}  // namespace
+}  // namespace ulnet::proto

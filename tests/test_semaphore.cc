@@ -1,0 +1,78 @@
+#include "os/semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include "os/world.h"
+
+namespace ulnet::os {
+namespace {
+
+struct SemFixture : ::testing::Test {
+  World world;
+  Host& host = world.add_host("h");
+  sim::SpaceId app = host.new_space("app");
+  Semaphore sem{host.cpu(), app};
+};
+
+TEST_F(SemFixture, SignalWakesWaiter) {
+  bool woke = false;
+  sim::SpaceId woke_in = -1;
+  sem.wait([&](sim::TaskCtx& ctx) {
+    woke = true;
+    woke_in = ctx.space();
+  });
+  host.run_in(sim::kKernelSpace,
+              [&](sim::TaskCtx& ctx) { sem.signal(ctx); });
+  world.run();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(woke_in, app);
+  EXPECT_EQ(world.metrics().semaphore_signals, 1u);
+  EXPECT_EQ(world.metrics().semaphore_wakeups, 1u);
+}
+
+TEST_F(SemFixture, WaitAfterSignalFiresWithoutKernelWakeup) {
+  host.run_in(sim::kKernelSpace,
+              [&](sim::TaskCtx& ctx) { sem.signal(ctx); });
+  world.run();
+  bool woke = false;
+  sem.wait([&](sim::TaskCtx&) { woke = true; });
+  world.run();
+  EXPECT_TRUE(woke);
+  // Fast path: signalled before wait, so no blocked-thread wakeup.
+  EXPECT_EQ(world.metrics().semaphore_wakeups, 0u);
+}
+
+TEST_F(SemFixture, SignalsAccumulate) {
+  host.run_in(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    sem.signal(ctx);
+    sem.signal(ctx);
+    sem.signal(ctx);
+  });
+  world.run();
+  EXPECT_EQ(sem.count(), 3);
+  int wakes = 0;
+  std::function<void(sim::TaskCtx&)> rewait = [&](sim::TaskCtx&) {
+    wakes++;
+    if (sem.count() > 0) sem.wait(rewait);
+  };
+  sem.wait(rewait);
+  world.run();
+  EXPECT_EQ(wakes, 3);
+}
+
+TEST_F(SemFixture, WakeupChargesDispatchCosts) {
+  sem.wait([&](sim::TaskCtx&) {});
+  const sim::Time before = host.cpu().busy_ns();
+  host.run_in(sim::kKernelSpace,
+              [&](sim::TaskCtx& ctx) { sem.signal(ctx); });
+  world.run();
+  const auto& cost = world.cost();
+  // Signal task + waiter task: signal cost, wakeup, uthread dispatch and
+  // one context switch into the app space must all be present.
+  EXPECT_GE(host.cpu().busy_ns() - before,
+            cost.semaphore_signal + cost.kernel_wakeup +
+                cost.uthread_dispatch + cost.context_switch);
+}
+
+}  // namespace
+}  // namespace ulnet::os

@@ -1,0 +1,329 @@
+#include "proto/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "support/stack_harness.h"
+#include "support/tcp_apps.h"
+
+namespace ulnet::proto {
+namespace {
+
+using ulnet::testing::BulkSource;
+using ulnet::testing::pattern_bytes;
+using ulnet::testing::RecordingObserver;
+using ulnet::testing::StackHarness;
+using ulnet::testing::TestChannel;
+
+struct TcpFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::Rng rng{11};
+  StackHarness a{loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0)};
+  StackHarness b{loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0)};
+  TestChannel chan{loop, rng};
+
+  void SetUp() override {
+    chan.attach(&a);
+    chan.attach(&b);
+  }
+
+  void run(sim::Time d = 5 * sim::kSec) { loop.run_until(loop.now() + d); }
+};
+
+TEST_F(TcpFixture, ThreeWayHandshakeEstablishes) {
+  RecordingObserver server;
+  RecordingObserver client;
+  ASSERT_TRUE(b.stack().tcp().listen(80, &server));
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state(), TcpState::kSynSent);
+  run();
+  EXPECT_EQ(c->state(), TcpState::kEstablished);
+  EXPECT_EQ(client.established, 1);
+  EXPECT_EQ(server.accepted, 1);
+  ASSERT_NE(server.accepted_conn, nullptr);
+  EXPECT_EQ(server.accepted_conn->state(), TcpState::kEstablished);
+  EXPECT_EQ(server.accepted_conn->remote_port(), c->local_port());
+}
+
+TEST_F(TcpFixture, ConnectionRefusedWithoutListener) {
+  RecordingObserver client;
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 81, &client);
+  ASSERT_NE(c, nullptr);
+  run();
+  EXPECT_EQ(client.closed, 1);
+  EXPECT_EQ(client.close_reason, "connection refused");
+  EXPECT_GE(b.stack().tcp().counters().rst_sent, 1u);
+}
+
+TEST_F(TcpFixture, ConnectToUnroutableAddressFails) {
+  RecordingObserver client;
+  EXPECT_EQ(a.stack().tcp().connect(net::Ipv4Addr::parse("192.168.1.1"), 80,
+                                    &client),
+            nullptr);
+}
+
+TEST_F(TcpFixture, MssNegotiatedToSmallerSide) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConfig small;
+  small.mss = 512;
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client, small);
+  run();
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+  EXPECT_EQ(c->effective_mss(), 512u);
+  EXPECT_EQ(server.accepted_conn->effective_mss(), 512u);
+}
+
+TEST_F(TcpFixture, MssClampedByPathMtu) {
+  RecordingObserver client;
+  RecordingObserver server;
+  b.stack().tcp().listen(80, &server);
+  TcpConfig cfg;
+  cfg.mss = 9000;  // way beyond the 1500 MTU
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client, cfg);
+  run();
+  EXPECT_EQ(c->effective_mss(), 1500u - 40u);
+}
+
+TEST_F(TcpFixture, SmallDataRoundTrip) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  const buf::Bytes msg = pattern_bytes(0, 100);
+  EXPECT_EQ(c->send(msg), 100u);
+  run();
+  EXPECT_EQ(server.received, msg);
+  EXPECT_EQ(b.stack().tcp().counters().bytes_received, 100u);
+}
+
+TEST_F(TcpFixture, BulkTransferLargerThanWindows) {
+  RecordingObserver server;
+  b.stack().tcp().listen(80, &server);
+  BulkSource source(200 * 1024, 4096);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &source);
+  ASSERT_NE(c, nullptr);
+  run(60 * sim::kSec);
+  EXPECT_EQ(server.received.size(), 200u * 1024);
+  EXPECT_EQ(server.received, pattern_bytes(0, 200 * 1024));
+  EXPECT_EQ(a.stack().tcp().counters().retransmits, 0u);  // clean channel
+}
+
+TEST_F(TcpFixture, BidirectionalTransfer) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  c->send(pattern_bytes(0, 5000));
+  run();
+  ASSERT_NE(server.accepted_conn, nullptr);
+  server.accepted_conn->send(pattern_bytes(1000, 7000));
+  run();
+  EXPECT_EQ(server.received, pattern_bytes(0, 5000));
+  EXPECT_EQ(client.received, pattern_bytes(1000, 7000));
+}
+
+TEST_F(TcpFixture, SegmentPerWritePreservesBoundaries) {
+  // With segment_per_write, a 512-byte user write travels as a 512-byte
+  // segment even though the MSS is 1460 (the paper's "user packet size").
+  std::vector<std::size_t> tcp_payload_sizes;
+  chan.tap = [&](std::uint16_t et, const buf::Bytes& p) {
+    if (et != net::kEtherTypeIp) return;
+    auto ih = Ipv4Header::parse(p);
+    if (!ih || ih->proto != kProtoTcp) return;
+    buf::ByteView seg(p.data() + Ipv4Header::kSize, ih->payload_len());
+    std::size_t hlen = 0;
+    auto th = TcpHeader::parse(seg, ih->src, ih->dst, nullptr, &hlen);
+    if (th && seg.size() > hlen) tcp_payload_sizes.push_back(seg.size() - hlen);
+  };
+  RecordingObserver server;
+  RecordingObserver client;
+  TcpConfig cfg;
+  cfg.segment_per_write = true;
+  b.stack().tcp().listen(80, &server, cfg);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client, cfg);
+  run();
+  for (int i = 0; i < 4; ++i) {
+    c->send(pattern_bytes(static_cast<std::size_t>(i) * 512, 512));
+    run(sim::kSec);
+  }
+  EXPECT_EQ(server.received.size(), 4u * 512);
+  ASSERT_GE(tcp_payload_sizes.size(), 4u);
+  for (std::size_t s : tcp_payload_sizes) EXPECT_EQ(s, 512u);
+}
+
+TEST_F(TcpFixture, OrderlyCloseWalksStates) {
+  RecordingObserver server;
+  RecordingObserver client;
+  server.close_on_fin = true;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  c->send(pattern_bytes(0, 10));
+  run();
+  c->close();
+  run();
+  // Client actively closed: should pass through TIME_WAIT.
+  EXPECT_TRUE(c->state() == TcpState::kTimeWait ||
+              c->state() == TcpState::kClosed)
+      << to_string(c->state());
+  EXPECT_EQ(server.accepted_conn->state(), TcpState::kClosed);
+  EXPECT_EQ(server.fins, 1);
+  run(30 * sim::kSec);  // let 2MSL expire
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+  EXPECT_EQ(client.closed, 1);
+  EXPECT_TRUE(client.close_reason.empty());
+}
+
+TEST_F(TcpFixture, SendAfterCloseRefused) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  c->close();
+  EXPECT_EQ(c->send(pattern_bytes(0, 10)), 0u);
+}
+
+TEST_F(TcpFixture, AbortSendsRstAndPeerSeesReset) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  c->abort();
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+  run();
+  EXPECT_EQ(server.accepted_conn->state(), TcpState::kClosed);
+  EXPECT_EQ(server.close_reason, "reset by peer");
+}
+
+TEST_F(TcpFixture, DataAfterFinStillDeliveredBeforeEof) {
+  // Sender queues data then closes: FIN must not outrun the data.
+  RecordingObserver server;
+  BulkSource source(50000, 1000, /*close_when_done=*/true);
+  b.stack().tcp().listen(80, &server);
+  a.stack().tcp().connect(b.ip_addr(), 80, &source);
+  run(30 * sim::kSec);
+  EXPECT_EQ(server.received.size(), 50000u);
+  EXPECT_EQ(server.fins, 1);
+  ASSERT_NE(server.accepted_conn, nullptr);
+  EXPECT_TRUE(server.accepted_conn->eof());
+}
+
+TEST_F(TcpFixture, FlowControlBlocksWhenReceiverStopsReading) {
+  RecordingObserver server;
+  server.auto_read = false;  // receiver never drains
+  b.stack().tcp().listen(80, &server);
+  BulkSource source(500 * 1024, 4096, /*close_when_done=*/false);
+  a.stack().tcp().connect(b.ip_addr(), 80, &source);
+  run(20 * sim::kSec);
+  // The transfer must stall near the receive-buffer size, not complete.
+  ASSERT_NE(server.accepted_conn, nullptr);
+  const std::size_t buffered = server.accepted_conn->bytes_available();
+  EXPECT_LE(buffered, TcpConfig{}.recv_buf);
+  EXPECT_GE(buffered, TcpConfig{}.recv_buf / 2);
+  EXPECT_LT(source.sent, 500u * 1024);
+
+  // Resume reading: the window reopens and the transfer completes.
+  server.auto_read = true;
+  auto chunk = server.accepted_conn->read(
+      std::numeric_limits<std::size_t>::max());
+  server.received.insert(server.received.end(), chunk.begin(), chunk.end());
+  run(120 * sim::kSec);
+  EXPECT_EQ(server.received.size(), 500u * 1024);
+  EXPECT_EQ(server.received, pattern_bytes(0, 500 * 1024));
+}
+
+TEST_F(TcpFixture, EphemeralPortsUniqueAcrossConnections) {
+  RecordingObserver server;
+  RecordingObserver c1o, c2o;
+  b.stack().tcp().listen(80, &server);
+  auto* c1 = a.stack().tcp().connect(b.ip_addr(), 80, &c1o);
+  auto* c2 = a.stack().tcp().connect(b.ip_addr(), 80, &c2o);
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_NE(c1->local_port(), c2->local_port());
+  run();
+  EXPECT_EQ(c1->state(), TcpState::kEstablished);
+  EXPECT_EQ(c2->state(), TcpState::kEstablished);
+  EXPECT_EQ(b.stack().tcp().counters().conns_accepted, 2u);
+}
+
+TEST_F(TcpFixture, ListenerRefusesDuplicatePort) {
+  RecordingObserver s1, s2;
+  EXPECT_TRUE(b.stack().tcp().listen(80, &s1));
+  EXPECT_FALSE(b.stack().tcp().listen(80, &s2));
+  b.stack().tcp().close_listener(80);
+  EXPECT_TRUE(b.stack().tcp().listen(80, &s2));
+}
+
+TEST_F(TcpFixture, ReleaseReclaimsConnections) {
+  RecordingObserver server;
+  RecordingObserver client;
+  server.close_on_fin = true;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  c->close();
+  run(30 * sim::kSec);
+  EXPECT_EQ(a.stack().tcp().connection_count(), 1u);
+  a.stack().tcp().release(c);
+  EXPECT_EQ(a.stack().tcp().connection_count(), 0u);
+  b.stack().tcp().release(server.accepted_conn);
+  EXPECT_EQ(b.stack().tcp().connection_count(), 0u);
+}
+
+TEST_F(TcpFixture, DelayedAckCoalescesAcks) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  const auto acks_before = b.stack().tcp().counters().pure_acks_sent;
+  // One small write: the ACK should come from the delayed-ACK timer, and
+  // exactly one.
+  c->send(pattern_bytes(0, 100));
+  run(2 * sim::kSec);
+  const auto acks_after = b.stack().tcp().counters().pure_acks_sent;
+  EXPECT_EQ(acks_after - acks_before, 1u);
+  EXPECT_GE(b.stack().tcp().counters().delayed_acks, 1u);
+}
+
+TEST_F(TcpFixture, RttEstimateTracksChannelDelay) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  BulkSource src(100 * 1024, 2048, false);
+  c->set_observer(&src);
+  src.pump(*c);
+  run(30 * sim::kSec);
+  // Channel one-way delay is 1 ms; ACKs may be delayed by up to 200 ms.
+  EXPECT_GE(c->srtt(), 2 * sim::kMs);
+  EXPECT_LE(c->srtt(), 300 * sim::kMs);
+  EXPECT_GE(c->rto(), TcpConfig{}.rto_min);
+}
+
+TEST_F(TcpFixture, SimultaneousOpenConverges) {
+  RecordingObserver oa, ob;
+  // Both sides connect to each other's fixed ports at once.
+  TcpConnection* ca =
+      a.stack().tcp().connect(b.ip_addr(), 7001, &oa, TcpConfig{}, 7000);
+  TcpConnection* cb =
+      b.stack().tcp().connect(a.ip_addr(), 7000, &ob, TcpConfig{}, 7001);
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  run(10 * sim::kSec);
+  EXPECT_EQ(ca->state(), TcpState::kEstablished);
+  EXPECT_EQ(cb->state(), TcpState::kEstablished);
+}
+
+}  // namespace
+}  // namespace ulnet::proto

@@ -1,0 +1,207 @@
+// TCP edge cases: sequence-number wraparound, simultaneous close,
+// half-close data flow, TIME_WAIT behaviour, handoff state fidelity.
+#include <gtest/gtest.h>
+
+#include "proto/tcp.h"
+#include "support/stack_harness.h"
+#include "support/tcp_apps.h"
+
+namespace ulnet::proto {
+namespace {
+
+using ulnet::testing::BulkSource;
+using ulnet::testing::pattern_bytes;
+using ulnet::testing::RecordingObserver;
+using ulnet::testing::StackHarness;
+using ulnet::testing::TestChannel;
+
+struct EdgeFixture : ::testing::Test {
+  sim::EventLoop loop;
+  sim::Rng rng{17};
+  StackHarness a{loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0)};
+  StackHarness b{loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0)};
+  TestChannel chan{loop, rng};
+
+  void SetUp() override {
+    chan.attach(&a);
+    chan.attach(&b);
+  }
+  void run(sim::Time d = 5 * sim::kSec) { loop.run_until(loop.now() + d); }
+
+  // Build a connected pair whose sequence numbers sit `offset` bytes before
+  // the 2^32 wrap, using the hand-off import path on both sides.
+  std::pair<TcpConnection*, TcpConnection*> wrap_pair(std::uint32_t offset) {
+    const std::uint32_t seq_a = 0xffffffffu - offset;
+    const std::uint32_t seq_b = 0xfffffff0u - offset;
+    TcpHandoffState sa;
+    sa.local_ip = a.ip_addr();
+    sa.remote_ip = b.ip_addr();
+    sa.local_port = 1111;
+    sa.remote_port = 2222;
+    sa.mss = 1460;
+    sa.iss = seq_a;
+    sa.irs = seq_b;
+    sa.snd_una = sa.snd_nxt = sa.snd_max = seq_a;
+    sa.snd_wnd = 32 * 1024;
+    sa.rcv_nxt = sa.rcv_adv = seq_b;
+
+    TcpHandoffState sb;
+    sb.local_ip = b.ip_addr();
+    sb.remote_ip = a.ip_addr();
+    sb.local_port = 2222;
+    sb.remote_port = 1111;
+    sb.mss = 1460;
+    sb.iss = seq_b;
+    sb.irs = seq_a;
+    sb.snd_una = sb.snd_nxt = sb.snd_max = seq_b;
+    sb.snd_wnd = 32 * 1024;
+    sb.rcv_nxt = sb.rcv_adv = seq_a;
+
+    a.stack().arp().add_entry(b.ip_addr(), b.mac());
+    b.stack().arp().add_entry(a.ip_addr(), a.mac());
+    auto* ca = a.stack().tcp().import_connection(sa, nullptr);
+    auto* cb = b.stack().tcp().import_connection(sb, nullptr);
+    return {ca, cb};
+  }
+};
+
+TEST_F(EdgeFixture, SequenceNumbersWrapMidTransfer) {
+  auto [ca, cb] = wrap_pair(/*offset=*/2000);
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  RecordingObserver sink;
+  cb->set_observer(&sink);
+  BulkSource src(300 * 1024, 4096, /*close_when_done=*/true);
+  ca->set_observer(&src);
+  src.pump(*ca);
+  run(120 * sim::kSec);
+  // The stream crossed seq 2^32 after ~2000 bytes and kept going.
+  EXPECT_EQ(sink.received.size(), 300u * 1024);
+  EXPECT_EQ(sink.received, pattern_bytes(0, 300 * 1024));
+}
+
+TEST_F(EdgeFixture, SequenceWrapSurvivesLossToo) {
+  chan.loss_p = 0.08;
+  auto [ca, cb] = wrap_pair(/*offset=*/5000);
+  RecordingObserver sink;
+  sink.close_on_fin = true;
+  cb->set_observer(&sink);
+  BulkSource src(120 * 1024, 4096);
+  ca->set_observer(&src);
+  src.pump(*ca);
+  loop.run_until(600 * sim::kSec);
+  EXPECT_EQ(sink.received, pattern_bytes(0, 120 * 1024));
+}
+
+TEST_F(EdgeFixture, SimultaneousCloseReachesClosedOnBothSides) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+  // Both sides close in the same instant: FINs cross on the wire and both
+  // should traverse FIN_WAIT_1 -> CLOSING -> TIME_WAIT.
+  c->close();
+  server.accepted_conn->close();
+  run(60 * sim::kSec);
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+  EXPECT_EQ(server.accepted_conn->state(), TcpState::kClosed);
+  EXPECT_TRUE(client.close_reason.empty());
+  EXPECT_TRUE(server.close_reason.empty());
+}
+
+TEST_F(EdgeFixture, HalfCloseStillCarriesDataTheOtherWay) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  // Client closes its direction immediately...
+  c->close();
+  run();
+  ASSERT_NE(server.accepted_conn, nullptr);
+  EXPECT_EQ(server.fins, 1);
+  // ...but the server can still stream data to the half-closed client.
+  EXPECT_GT(server.accepted_conn->send(pattern_bytes(0, 8000)), 0u);
+  run();
+  EXPECT_EQ(client.received, pattern_bytes(0, 8000));
+  // Server finishes; everything terminates cleanly.
+  server.accepted_conn->close();
+  run(60 * sim::kSec);
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+}
+
+TEST_F(EdgeFixture, TimeWaitReAcksRetransmittedFin) {
+  RecordingObserver server;
+  RecordingObserver client;
+  server.close_on_fin = true;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  // Drop the client's final ACK so the server retransmits its FIN into the
+  // client's TIME_WAIT.
+  c->close();
+  run(400 * sim::kMs);
+  chan.loss_p = 1.0;  // the ACK of the server FIN dies
+  run(2 * sim::kSec);
+  chan.loss_p = 0;
+  loop.run_until(loop.now() + 120 * sim::kSec);
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+  EXPECT_EQ(server.accepted_conn->state(), TcpState::kClosed);
+  EXPECT_TRUE(server.close_reason.empty());
+}
+
+TEST_F(EdgeFixture, HandoffStatePreservesUnreadDataAndRtt) {
+  RecordingObserver server;
+  RecordingObserver client;
+  server.auto_read = false;  // leave data buffered for the export
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  c->send(pattern_bytes(0, 3000));
+  run();
+  ASSERT_NE(server.accepted_conn, nullptr);
+  ASSERT_EQ(server.accepted_conn->bytes_available(), 3000u);
+
+  const TcpHandoffState st = server.accepted_conn->export_state();
+  EXPECT_EQ(st.rcv_pending.size(), 3000u);
+  EXPECT_EQ(st.rcv_pending, pattern_bytes(0, 3000));
+  EXPECT_EQ(st.state, TcpState::kEstablished);
+  EXPECT_GT(st.snd_wnd, 0u);
+  EXPECT_GE(st.wire_size(), 3000u);
+}
+
+TEST_F(EdgeFixture, ImportRefusesDuplicateFourTuple) {
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  run();
+  const TcpHandoffState st = c->export_state();
+  // The 4-tuple is still live in this module: import must refuse.
+  EXPECT_EQ(a.stack().tcp().import_connection(st, nullptr), nullptr);
+}
+
+TEST_F(EdgeFixture, ListenBacklogManyConcurrentAccepts) {
+  RecordingObserver server;
+  b.stack().tcp().listen(80, &server);
+  std::vector<RecordingObserver> clients(12);
+  std::vector<TcpConnection*> conns;
+  for (auto& obs : clients) {
+    conns.push_back(a.stack().tcp().connect(b.ip_addr(), 80, &obs));
+  }
+  run(20 * sim::kSec);
+  int established = 0;
+  for (auto* conn : conns) {
+    established += (conn != nullptr &&
+                    conn->state() == TcpState::kEstablished);
+  }
+  EXPECT_EQ(established, 12);
+  EXPECT_EQ(b.stack().tcp().counters().conns_accepted, 12u);
+}
+
+}  // namespace
+}  // namespace ulnet::proto

@@ -1,0 +1,284 @@
+// Property-style robustness tests: whatever the channel does (drop,
+// duplicate, reorder, corrupt), TCP must deliver the exact byte stream, in
+// order, exactly once.
+#include <gtest/gtest.h>
+
+#include "proto/tcp.h"
+#include "support/stack_harness.h"
+#include "support/tcp_apps.h"
+
+namespace ulnet::proto {
+namespace {
+
+using ulnet::testing::BulkSource;
+using ulnet::testing::pattern_bytes;
+using ulnet::testing::RecordingObserver;
+using ulnet::testing::StackHarness;
+using ulnet::testing::TestChannel;
+
+struct FaultCase {
+  const char* name;
+  std::uint64_t seed;
+  double loss;
+  double dup;
+  double corrupt;
+  sim::Time jitter;
+  std::size_t bytes;
+  std::size_t write_size;
+};
+
+const FaultCase kCases[] = {
+    {"loss5", 101, 0.05, 0, 0, 0, 120 * 1024, 4096},
+    {"loss15", 102, 0.15, 0, 0, 0, 60 * 1024, 4096},
+    {"dup10", 103, 0, 0.10, 0, 0, 120 * 1024, 4096},
+    {"corrupt5", 104, 0, 0, 0.05, 0, 60 * 1024, 2048},
+    {"reorder", 105, 0, 0, 0, 8 * sim::kMs, 120 * 1024, 4096},
+    {"everything", 106, 0.05, 0.05, 0.02, 4 * sim::kMs, 60 * 1024, 1024},
+    {"small_writes_loss", 107, 0.10, 0, 0, 0, 30 * 1024, 512},
+    {"everything_seed2", 108, 0.05, 0.05, 0.02, 4 * sim::kMs, 60 * 1024,
+     1024},
+};
+
+class TcpFaultTest : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(TcpFaultTest, ExactlyOnceInOrderDelivery) {
+  const FaultCase& fc = GetParam();
+  sim::EventLoop loop;
+  sim::Rng rng(fc.seed);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+  chan.loss_p = fc.loss;
+  chan.dup_p = fc.dup;
+  chan.corrupt_p = fc.corrupt;
+  chan.jitter_max = fc.jitter;
+
+  RecordingObserver server;
+  server.close_on_fin = true;
+  ASSERT_TRUE(b.stack().tcp().listen(80, &server));
+  BulkSource source(fc.bytes, fc.write_size);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &source);
+  ASSERT_NE(c, nullptr);
+
+  loop.run_until(1800 * sim::kSec);
+
+  EXPECT_EQ(server.received.size(), fc.bytes) << fc.name;
+  EXPECT_EQ(server.received, pattern_bytes(0, fc.bytes)) << fc.name;
+  EXPECT_EQ(server.fins, 1) << fc.name;
+  if (fc.loss > 0 || fc.corrupt > 0) {
+    EXPECT_GT(a.stack().tcp().counters().retransmits +
+                  a.stack().tcp().counters().timeouts,
+              0u)
+        << fc.name;
+  }
+  if (fc.corrupt > 0) {
+    EXPECT_GT(a.stack().tcp().counters().bad_checksum +
+                  b.stack().tcp().counters().bad_checksum +
+                  a.stack().ip().counters().bad_checksum +
+                  b.stack().ip().counters().bad_checksum,
+              0u)
+        << fc.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, TcpFaultTest, ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(TcpRobustness, RetransmissionTimeoutRecoversFromBlackout) {
+  sim::EventLoop loop;
+  sim::Rng rng(7);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  loop.run_until(5 * sim::kSec);
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+
+  // Total blackout while a write is in flight.
+  chan.loss_p = 1.0;
+  c->send(pattern_bytes(0, 1000));
+  loop.run_until(loop.now() + 10 * sim::kSec);
+  EXPECT_TRUE(server.received.empty());
+  EXPECT_GE(a.stack().tcp().counters().timeouts, 1u);
+
+  // Heal the network: the retransmission timer delivers the data.
+  chan.loss_p = 0;
+  loop.run_until(loop.now() + 120 * sim::kSec);
+  EXPECT_EQ(server.received, pattern_bytes(0, 1000));
+}
+
+TEST(TcpRobustness, PermanentBlackoutTimesOutTheConnection) {
+  sim::EventLoop loop;
+  sim::Rng rng(9);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConfig cfg;
+  cfg.max_retransmits = 4;  // shorten the agony
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client, cfg);
+  loop.run_until(5 * sim::kSec);
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+
+  chan.loss_p = 1.0;
+  c->send(pattern_bytes(0, 100));
+  loop.run_until(loop.now() + 600 * sim::kSec);
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+  EXPECT_EQ(client.close_reason, "connection timed out");
+}
+
+TEST(TcpRobustness, SynLossRecoveredByHandshakeRetransmit) {
+  sim::EventLoop loop;
+  sim::Rng rng(13);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  // ARP first so the SYN is the first casualty.
+  a.stack().arp().add_entry(b.ip_addr(), b.mac());
+  b.stack().arp().add_entry(a.ip_addr(), a.mac());
+  chan.loss_p = 1.0;
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  loop.run_until(loop.now() + 2 * sim::kSec);
+  EXPECT_EQ(c->state(), TcpState::kSynSent);
+  chan.loss_p = 0;
+  loop.run_until(loop.now() + 60 * sim::kSec);
+  EXPECT_EQ(c->state(), TcpState::kEstablished);
+  EXPECT_GE(a.stack().tcp().counters().retransmits, 1u);
+}
+
+TEST(TcpRobustness, FastRetransmitFiresOnIsolatedLoss) {
+  // Drop exactly one data segment mid-stream; with enough in-flight data the
+  // dup-ACK threshold should trigger fast retransmit (not a timeout).
+  sim::EventLoop loop;
+  sim::Rng rng(21);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  server.close_on_fin = true;
+  b.stack().tcp().listen(80, &server);
+  TcpConfig cfg;
+  cfg.recv_buf = 48 * 1024;  // plenty of window for dup ACKs
+  cfg.send_buf = 128 * 1024;
+  b.stack().tcp().close_listener(80);
+  b.stack().tcp().listen(80, &server, cfg);
+
+  BulkSource source(300 * 1024, 8192);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &source, cfg);
+  ASSERT_NE(c, nullptr);
+
+  // Drop the ~40th IP packet from a only.
+  int ip_count = 0;
+  bool dropped = false;
+  chan.tap = [&](std::uint16_t et, const buf::Bytes&) {
+    if (et == net::kEtherTypeIp) ip_count++;
+  };
+  // Use loss via a one-shot window around packet 40.
+  loop.schedule_at(sim::kMs, [&] {});
+  // Simpler: drop by probability burst after some progress.
+  loop.schedule_at(200 * sim::kMs, [&] {
+    if (!dropped) {
+      chan.loss_p = 0.3;
+      dropped = true;
+      loop.schedule_in(30 * sim::kMs, [&] { chan.loss_p = 0; });
+    }
+  });
+
+  loop.run_until(600 * sim::kSec);
+  EXPECT_EQ(server.received.size(), 300u * 1024);
+  EXPECT_EQ(server.received, pattern_bytes(0, 300 * 1024));
+  EXPECT_GE(a.stack().tcp().counters().fast_retransmits +
+                a.stack().tcp().counters().timeouts,
+            1u);
+}
+
+TEST(TcpRobustness, ZeroWindowProbePreventsDeadlock) {
+  sim::EventLoop loop;
+  sim::Rng rng(31);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  server.auto_read = false;
+  b.stack().tcp().listen(80, &server);
+  BulkSource source(64 * 1024, 4096, false);
+  a.stack().tcp().connect(b.ip_addr(), 80, &source);
+  loop.run_until(30 * sim::kSec);
+  ASSERT_NE(server.accepted_conn, nullptr);
+  // Window is closed and some persist probes have been sent.
+  EXPECT_GT(server.accepted_conn->bytes_available(), 0u);
+
+  // The receiver wakes up much later and drains in small sips; the probe
+  // machinery must reopen the flow without any timeout-based stall.
+  server.auto_read = true;
+  auto chunk =
+      server.accepted_conn->read(std::numeric_limits<std::size_t>::max());
+  server.received.insert(server.received.end(), chunk.begin(), chunk.end());
+  loop.run_until(loop.now() + 300 * sim::kSec);
+  EXPECT_EQ(server.received.size(), 64u * 1024);
+  EXPECT_EQ(server.received, pattern_bytes(0, 64 * 1024));
+}
+
+TEST(TcpRobustness, ChecksumDisabledStillWorksOnCleanChannel) {
+  // The application-specific specialization of Section 5: elide checksums on
+  // a reliable link.
+  sim::EventLoop loop;
+  sim::Rng rng(41);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  TcpConfig cfg;
+  cfg.checksum_enabled = false;
+  RecordingObserver server;
+  server.close_on_fin = true;
+  b.stack().tcp().listen(80, &server, cfg);
+  BulkSource source(50 * 1024, 4096);
+  a.stack().tcp().connect(b.ip_addr(), 80, &source, cfg);
+  loop.run_until(120 * sim::kSec);
+  EXPECT_EQ(server.received, pattern_bytes(0, 50 * 1024));
+}
+
+}  // namespace
+}  // namespace ulnet::proto

@@ -1,0 +1,438 @@
+// Tests of the user-level organization's distinctive machinery: protection
+// (capabilities + header templates), registry behaviour (port quarantine,
+// crash inheritance + RST), BQI exchange on AN1, notification batching,
+// demux modes, and connection passing between applications.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "core/user_level.h"
+
+namespace ulnet::api {
+namespace {
+
+using core::NetIoModule;
+using core::UserLevelApp;
+
+// Establish one connection between app_a and app_b; returns (client id,
+// accepted id via out-param).
+SocketId establish(Testbed& bed, SocketId* accepted,
+                   std::uint16_t port = 6000) {
+  auto cid = std::make_shared<SocketId>(kInvalidSocket);
+  bed.app_b().run_app([&, port](sim::TaskCtx&) {
+    bed.app_b().listen(port, [accepted](SocketId id) {
+      *accepted = id;
+      return SocketEvents{};
+    });
+  });
+  bed.world().loop().schedule_in(20 * sim::kMs, [&, port, cid] {
+    bed.app_a().run_app([&, port, cid](sim::TaskCtx&) {
+      bed.app_a().connect(bed.ip_b(), port, SocketEvents{},
+                          [cid](SocketId id) { *cid = id; });
+    });
+  });
+  bed.world().run_for(2 * sim::kSec);
+  return *cid;
+}
+
+TEST(UserLevelSecurity, ForgedCapabilityIsRejected) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  SocketId accepted = kInvalidSocket;
+  SocketId cid = establish(bed, &accepted);
+  ASSERT_NE(cid, kInvalidSocket);
+
+  auto& netio = bed.user_org_a()->netio(0);
+  auto* app = bed.user_app_a();
+  const auto rejects_before = netio.counters().send_rejects;
+
+  // A made-up capability must be refused even for channel 1.
+  app->run_app([&, app](sim::TaskCtx& ctx) {
+    buf::Bytes fake_ip(40, 0);
+    EXPECT_FALSE(netio.channel_send(ctx, 1, /*cap=*/0xdeadbeef,
+                                    app->app_space(), net::kEtherTypeIp,
+                                    std::move(fake_ip)));
+  });
+  bed.world().run_for(100 * sim::kMs);
+  EXPECT_GT(netio.counters().send_rejects, rejects_before);
+}
+
+TEST(UserLevelSecurity, WrongAddressSpaceCannotUseChannel) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  SocketId accepted = kInvalidSocket;
+  SocketId cid = establish(bed, &accepted);
+  ASSERT_NE(cid, kInvalidSocket);
+
+  auto& netio = bed.user_org_a()->netio(0);
+  auto* app = bed.user_app_a();
+  // The channel created for app_a's connection is id 1 on this netio.
+  const os::PortId cap = netio.channel_cap(1);
+  ASSERT_NE(cap, os::kInvalidPort);
+
+  // Another app on the same host presents the stolen (correct!) capability
+  // value but from its own address space: the kernel rights check fails.
+  auto& intruder = static_cast<UserLevelApp&>(bed.add_app_a("intruder"));
+  const auto rejects_before = netio.counters().send_rejects;
+  intruder.run_app([&](sim::TaskCtx& ctx) {
+    buf::Bytes fake_ip(40, 0);
+    EXPECT_FALSE(netio.channel_send(ctx, 1, cap, intruder.app_space(),
+                                    net::kEtherTypeIp, std::move(fake_ip)));
+  });
+  bed.world().run_for(100 * sim::kMs);
+  EXPECT_GT(netio.counters().send_rejects, rejects_before);
+  (void)app;
+}
+
+TEST(UserLevelSecurity, TemplateBlocksImpersonation) {
+  // The library owns a valid channel but tries to send a segment whose
+  // source port impersonates another connection: the header template match
+  // must refuse it.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  SocketId accepted = kInvalidSocket;
+  SocketId cid = establish(bed, &accepted);
+  ASSERT_NE(cid, kInvalidSocket);
+
+  auto& netio = bed.user_org_a()->netio(0);
+  auto* app = bed.user_app_a();
+  const os::PortId cap = netio.channel_cap(1);
+  const auto rejects_before = netio.counters().send_rejects;
+
+  app->run_app([&, app](sim::TaskCtx& ctx) {
+    // Build a real-looking TCP/IP datagram with a forged source port 7777.
+    proto::Ipv4Header ih;
+    ih.total_len = 40;
+    ih.proto = proto::kProtoTcp;
+    ih.src = bed.ip_a();
+    ih.dst = bed.ip_b();
+    buf::Bytes pkt;
+    ih.serialize(pkt);
+    proto::TcpHeader th;
+    th.sport = 7777;  // not this channel's local port
+    th.dport = 6000;
+    th.flags.ack = true;
+    th.serialize(pkt, ih.src, ih.dst, {});
+    EXPECT_FALSE(netio.channel_send(ctx, 1, cap, app->app_space(),
+                                    net::kEtherTypeIp, std::move(pkt)));
+  });
+  bed.world().run_for(100 * sim::kMs);
+  EXPECT_EQ(netio.counters().send_rejects, rejects_before + 1);
+}
+
+TEST(UserLevelRegistry, CrashInheritanceResetsPeerAndQuarantinesPort) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  SocketId accepted = kInvalidSocket;
+  bool peer_reset = false;
+  std::string peer_reason;
+
+  bed.app_b().run_app([&](sim::TaskCtx&) {
+    bed.app_b().listen(6000, [&](SocketId id) {
+      accepted = id;
+      SocketEvents evs;
+      evs.on_closed = [&](const std::string& r) {
+        peer_reset = true;
+        peer_reason = r;
+      };
+      return evs;
+    });
+  });
+  auto cid = std::make_shared<SocketId>(kInvalidSocket);
+  bed.world().loop().schedule_in(20 * sim::kMs, [&, cid] {
+    bed.app_a().run_app([&, cid](sim::TaskCtx&) {
+      bed.app_a().connect(bed.ip_b(), 6000, SocketEvents{},
+                          [cid](SocketId id) { *cid = id; });
+    });
+  });
+  bed.world().run_for(2 * sim::kSec);
+  ASSERT_NE(*cid, kInvalidSocket);
+  ASSERT_NE(accepted, kInvalidSocket);
+
+  // The client application dies abnormally.
+  auto* app = bed.user_app_a();
+  std::uint16_t lport = 0;
+  app->run_app([&, app](sim::TaskCtx& ctx) {
+    // Capture the local port before the crash wipes the state.
+    app->simulate_crash(ctx);
+  });
+  bed.world().run_for(5 * sim::kSec);
+
+  EXPECT_TRUE(peer_reset);
+  EXPECT_EQ(peer_reason, "reset by peer");
+  (void)lport;
+}
+
+TEST(UserLevelRegistry, PortQuarantinedAfterRelease) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  auto& reg = bed.user_org_a()->registry();
+  SocketId accepted = kInvalidSocket;
+  SocketId cid = establish(bed, &accepted);
+  ASSERT_NE(cid, kInvalidSocket);
+
+  auto* app = bed.user_app_a();
+  // Close + release; the registry should quarantine the ephemeral port.
+  app->run_app([&, app](sim::TaskCtx&) { app->close(cid); });
+  bed.world().run_for(15 * sim::kSec);  // ride out TIME_WAIT
+  app->run_app([&, app](sim::TaskCtx&) { app->release(cid); });
+  bed.world().run_for(sim::kSec);
+  // Port 30000 is the registry's first ephemeral allocation.
+  EXPECT_TRUE(reg.port_quarantined(30000));
+  bed.world().run_for(15 * sim::kSec);  // 2*MSL quarantine expires
+  EXPECT_FALSE(reg.port_quarantined(30000));
+}
+
+TEST(UserLevelAn1, BqiExchangedAndUsedForDataPath) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1);
+  BulkTransfer bulk(bed, 64 * 1024, 4096, 6001, true);
+  auto r = bulk.run();
+  ASSERT_TRUE(r.ok) << r.error;
+  // The hardware demultiplexed the data packets into non-kernel rings.
+  EXPECT_GT(bed.world().metrics().demux_hardware_runs, 40u);
+  // Data-path packets never fell back to the registry.
+  const auto& na = bed.user_org_a()->netio(0).counters();
+  const auto& nb = bed.user_org_b()->netio(0).counters();
+  // Default (registry) deliveries are handshake-only: a handful.
+  EXPECT_LT(na.default_deliveries + nb.default_deliveries, 12u);
+  EXPECT_GT(nb.delivered, 16u);  // data flowed through the channel ring
+}
+
+TEST(UserLevelBatching, SignalsAreSuppressedUnderLoad) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1);
+  BulkTransfer bulk(bed, 256 * 1024, 4096, 6001);
+  auto r = bulk.run();
+  ASSERT_TRUE(r.ok);
+  const auto& nb = bed.user_org_b()->netio(0).counters();
+  // The paper: "batch multiple network packets per semaphore notification
+  // in order to amortize the cost of signaling."
+  EXPECT_GT(nb.signals_suppressed, nb.delivered / 4);
+}
+
+TEST(UserLevelDemux, ModesAllDeliverOnEthernet) {
+  for (auto mode : {NetIoModule::DemuxMode::kSynthesized,
+                    NetIoModule::DemuxMode::kBpf,
+                    NetIoModule::DemuxMode::kCspf}) {
+    Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+    bed.user_org_a()->netio(0).set_demux_mode(mode);
+    bed.user_org_b()->netio(0).set_demux_mode(mode);
+    BulkTransfer bulk(bed, 64 * 1024, 4096, 6001, true);
+    auto r = bulk.run();
+    EXPECT_TRUE(r.ok) << static_cast<int>(mode);
+    EXPECT_TRUE(r.data_valid);
+  }
+}
+
+TEST(UserLevelDemux, InterpretedModesAreSlower) {
+  auto tput = [](NetIoModule::DemuxMode mode) {
+    Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+    bed.user_org_a()->netio(0).set_demux_mode(mode);
+    bed.user_org_b()->netio(0).set_demux_mode(mode);
+    BulkTransfer bulk(bed, 256 * 1024, 4096, 6001);
+    return bulk.run().throughput_mbps();
+  };
+  const double synth = tput(NetIoModule::DemuxMode::kSynthesized);
+  const double cspf = tput(NetIoModule::DemuxMode::kCspf);
+  EXPECT_GT(synth, 0);
+  EXPECT_GT(cspf, 0);
+  // "Slow packet demultiplexing tends to confine user-level protocol
+  // implementations to debugging and development."
+  EXPECT_GT(synth, cspf);
+}
+
+TEST(UserLevelHandoff, PassConnectionToAnotherApp) {
+  // The inetd pattern: appA accepts a connection, then passes it to a
+  // worker app on the same host without involving the registry.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  auto& worker = static_cast<UserLevelApp&>(bed.add_app_a("worker"));
+
+  SocketId accepted = kInvalidSocket;
+  SocketId cid = establish(bed, &accepted, 6000);
+  ASSERT_NE(cid, kInvalidSocket);
+  ASSERT_NE(accepted, kInvalidSocket);
+
+  // Move the client-side socket from appA to the worker.
+  auto* app_a = bed.user_app_a();
+  buf::Bytes got;
+  SocketId wid = kInvalidSocket;
+  app_a->run_app([&](sim::TaskCtx&) {
+    SocketEvents evs;
+    evs.on_readable = [&](std::size_t) {
+      auto d = worker.recv(wid, std::numeric_limits<std::size_t>::max());
+      got.insert(got.end(), d.begin(), d.end());
+    };
+    wid = app_a->pass_connection(cid, worker, std::move(evs));
+  });
+  bed.world().run_for(200 * sim::kMs);
+  ASSERT_NE(wid, kInvalidSocket);
+
+  // The peer sends data; it must arrive at the worker.
+  bed.app_b().run_app([&](sim::TaskCtx&) {
+    bed.app_b().send(accepted, payload_bytes(0, 2000));
+  });
+  bed.world().run_for(2 * sim::kSec);
+  EXPECT_EQ(got, payload_bytes(0, 2000));
+
+  // And the worker can transmit on the moved channel.
+  worker.run_app([&](sim::TaskCtx&) { worker.send(wid, payload_bytes(7, 500)); });
+  bed.world().run_for(2 * sim::kSec);
+  EXPECT_EQ(bed.user_org_a()->netio(0).counters().send_rejects, 0u);
+}
+
+TEST(UserLevelRaw, RawChannelRoundTrip) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  const net::MacAddr mac_a = bed.host_a().interfaces()[0].nic->mac();
+  const net::MacAddr mac_b = bed.host_b().interfaces()[0].nic->mac();
+
+  int got_b = 0;
+  b->run_app([&](sim::TaskCtx& ctx) {
+    b->open_raw(ctx, 0, net::kEtherTypeRaw, mac_a,
+                [&](sim::TaskCtx&, buf::Bytes data) {
+                  EXPECT_EQ(data.size(), 300u);
+                  got_b++;
+                },
+                [](core::RawChannel) {});
+  });
+  auto chan = std::make_shared<core::RawChannel>();
+  a->run_app([&, chan](sim::TaskCtx& ctx) {
+    a->open_raw(ctx, 0, net::kEtherTypeRaw, mac_b,
+                [](sim::TaskCtx&, buf::Bytes) {},
+                [&, chan](core::RawChannel rc) {
+                  *chan = rc;
+                  a->run_app([chan](sim::TaskCtx& tctx) {
+                    for (int i = 0; i < 5; ++i) {
+                      chan->send(tctx, buf::Bytes(300, 0x5a));
+                    }
+                  });
+                });
+  });
+  bed.world().run_for(3 * sim::kSec);
+  EXPECT_EQ(got_b, 5);
+}
+
+TEST(UserLevelConcurrency, ManySimultaneousConnectionsAcrossApps) {
+  // Two applications per host, three connections each, all streaming at
+  // once: per-connection channels must demultiplex cleanly and every byte
+  // stream must stay intact.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  auto& a2 = bed.add_app_a("appA2");
+  auto& b2 = bed.add_app_b("appB2");
+
+  struct Stream {
+    NetSystem* client;
+    NetSystem* server;
+    std::uint16_t port;
+    std::size_t total;
+    std::size_t received = 0;
+    bool valid = true;
+    SocketId ssock = kInvalidSocket;
+    SocketId csock = kInvalidSocket;
+    std::size_t sent = 0;
+  };
+  std::vector<Stream> streams = {
+      {&bed.app_a(), &bed.app_b(), 7001, 48 * 1024},
+      {&a2, &bed.app_b(), 7002, 32 * 1024},
+      {&bed.app_a(), &b2, 7003, 24 * 1024},
+  };
+
+  for (auto& s : streams) {
+    s.server->run_app([&s](sim::TaskCtx&) {
+      s.server->listen(s.port, [&s](SocketId id) {
+        s.ssock = id;
+        SocketEvents evs;
+        evs.on_readable = [&s](std::size_t) {
+          auto d = s.server->recv(s.ssock,
+                                  std::numeric_limits<std::size_t>::max());
+          for (std::size_t i = 0; i < d.size(); ++i) {
+            if (d[i] != payload_byte(s.received + i)) s.valid = false;
+          }
+          s.received += d.size();
+        };
+        return evs;
+      });
+    });
+  }
+  bed.world().loop().schedule_in(30 * sim::kMs, [&] {
+    for (auto& s : streams) {
+      s.client->run_app([&s, &bed](sim::TaskCtx&) {
+        SocketEvents evs;
+        auto pump = [&s] {
+          while (s.sent < s.total) {
+            const std::size_t n =
+                std::min<std::size_t>(4096, s.total - s.sent);
+            const std::size_t took =
+                s.client->send(s.csock, payload_bytes(s.sent, n));
+            s.sent += took;
+            if (took < n) return;
+          }
+        };
+        evs.on_established = [&s, pump] {
+          s.client->run_app([pump](sim::TaskCtx&) { pump(); });
+        };
+        evs.on_writable = [&s, pump] {
+          s.client->run_app([pump](sim::TaskCtx&) { pump(); });
+        };
+        s.client->connect(bed.ip_b(), s.port, std::move(evs),
+                          [&s](SocketId id) { s.csock = id; });
+      });
+    }
+  });
+  bed.world().run_until(120 * sim::kSec);
+  for (auto& s : streams) {
+    EXPECT_EQ(s.received, s.total) << "port " << s.port;
+    EXPECT_TRUE(s.valid) << "port " << s.port;
+  }
+}
+
+TEST(UserLevelMultiProtocol, TcpAndRrpLibrariesCoexist) {
+  // The title claim, plural: the same application links a byte-stream
+  // library (TCP, per-connection channels) and a transaction library (RRP,
+  // one connectionless wildcard channel) and runs both at once.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet);
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  const net::MacAddr mac_a = bed.host_a().interfaces()[0].nic->mac();
+  const net::MacAddr mac_b = bed.host_b().interfaces()[0].nic->mac();
+
+  // RRP: server in app B's library, client in app A's library.
+  b->run_app([&](sim::TaskCtx& ctx) {
+    b->seed_arp(bed.ip_a(), mac_a);
+    b->enable_rrp(ctx, 0, [&] {
+      b->library_stack().rrp().serve(
+          77, [](net::Ipv4Addr, buf::ByteView req) {
+            return buf::Bytes(req.begin(), req.end());
+          });
+    });
+  });
+  int rpcs_done = 0;
+  a->run_app([&](sim::TaskCtx& ctx) {
+    a->seed_arp(bed.ip_b(), mac_b);
+    a->enable_rrp(ctx, 0, [] {});
+  });
+
+  // TCP bulk transfer runs concurrently through the same netio module.
+  BulkTransfer bulk(bed, 128 * 1024, 4096, 6002, /*verify=*/true);
+  bulk.start();
+
+  // Issue RPCs spread across the transfer.
+  for (int i = 0; i < 8; ++i) {
+    bed.world().loop().schedule_in((300 + i * 150) * sim::kMs, [&, i] {
+      a->run_app([&, i](sim::TaskCtx&) {
+        a->library_stack().rrp().request(
+            bed.ip_b(), 77, buf::Bytes(64, static_cast<std::uint8_t>(i)),
+            [&](std::optional<buf::Bytes> r) {
+              if (r && r->size() == 64) rpcs_done++;
+            });
+      });
+    });
+  }
+
+  bed.world().run_until(120 * sim::kSec);
+  EXPECT_TRUE(bulk.result().ok);
+  EXPECT_TRUE(bulk.result().data_valid);
+  EXPECT_EQ(rpcs_done, 8);
+  // RRP data really used the wildcard channel, not the registry fallback.
+  EXPECT_EQ(bed.user_org_a()->netio(0).counters().send_rejects, 0u);
+}
+
+}  // namespace
+}  // namespace ulnet::api

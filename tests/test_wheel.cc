@@ -1,0 +1,194 @@
+#include "timer/wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ulnet::timer {
+namespace {
+
+TEST(TimingWheel, FiresAtRequestedGranularity) {
+  TimingWheel w(10 * sim::kMs);
+  std::vector<sim::Time> fired;
+  w.schedule(25 * sim::kMs, [&] { fired.push_back(w.now()); });
+  w.advance_to(100 * sim::kMs);
+  ASSERT_EQ(fired.size(), 1u);
+  // Deadline 25 ms rounds up to the 30 ms tick.
+  EXPECT_EQ(fired[0], 30 * sim::kMs);
+}
+
+TEST(TimingWheel, ZeroDelayFiresNextTick) {
+  TimingWheel w(10 * sim::kMs);
+  bool fired = false;
+  w.schedule(0, [&] { fired = true; });
+  w.advance_to(9 * sim::kMs);
+  EXPECT_FALSE(fired);
+  w.advance_to(10 * sim::kMs);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimingWheel, CancelPreventsFiring) {
+  TimingWheel w(10 * sim::kMs);
+  bool fired = false;
+  TimerId id = w.schedule(50 * sim::kMs, [&] { fired = true; });
+  EXPECT_TRUE(w.cancel(id));
+  EXPECT_FALSE(w.cancel(id));  // second cancel is a no-op
+  w.advance_to(sim::kSec);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(TimingWheel, LongDelaysCascadeAcrossLevels) {
+  TimingWheel w(10 * sim::kMs);
+  // 100 s = 10000 ticks: lands in level 1 and must cascade down.
+  std::vector<sim::Time> fired;
+  w.schedule(100 * sim::kSec, [&] { fired.push_back(w.now()); });
+  w.advance_to(200 * sim::kSec);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_GE(fired[0], 100 * sim::kSec);
+  EXPECT_LE(fired[0], 100 * sim::kSec + 2 * w.tick());
+  EXPECT_GT(w.cascades_total(), 0u);
+}
+
+TEST(TimingWheel, CallbackMayScheduleNewTimer) {
+  TimingWheel w(10 * sim::kMs);
+  std::vector<sim::Time> fired;
+  w.schedule(10 * sim::kMs, [&] {
+    fired.push_back(w.now());
+    w.schedule(20 * sim::kMs, [&] { fired.push_back(w.now()); });
+  });
+  w.advance_to(sim::kSec);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 10 * sim::kMs);
+  EXPECT_EQ(fired[1], 30 * sim::kMs);
+}
+
+TEST(TimingWheel, NextDeadlineTracksEarliest) {
+  TimingWheel w(10 * sim::kMs);
+  EXPECT_EQ(w.next_deadline(), sim::EventLoop::kForever);
+  w.schedule(500 * sim::kMs, [] {});
+  TimerId early = w.schedule(90 * sim::kMs, [] {});
+  EXPECT_EQ(w.next_deadline(), 90 * sim::kMs);
+  w.cancel(early);
+  EXPECT_EQ(w.next_deadline(), 500 * sim::kMs);
+}
+
+TEST(TimingWheel, IdleAdvanceIsCheap) {
+  TimingWheel w(10 * sim::kMs);
+  w.advance_to(3600 * sim::kSec);  // an hour with no timers: must be instant
+  EXPECT_EQ(w.now(), 3600 * sim::kSec);
+}
+
+// Differential test: wheel behaviour matches the exact heap timer to within
+// wheel granularity, under a random schedule/cancel workload.
+TEST(TimingWheel, MatchesHeapTimerUnderRandomWorkload) {
+  const sim::Time tick = 10 * sim::kMs;
+  TimingWheel wheel(tick);
+  HeapTimer heap;
+  sim::Rng rng(2024);
+
+  std::map<int, sim::Time> wheel_fired, heap_fired;
+  std::vector<std::pair<TimerId, TimerId>> ids;  // (wheel, heap)
+  std::vector<int> keys;
+  std::set<int> cancelled;
+  int next_key = 0;
+
+  sim::Time now = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += rng.range(1, 30) * sim::kMs;
+    wheel.advance_to(now);
+    heap.advance_to(now);
+    const double dice = rng.uniform();
+    if (dice < 0.6) {
+      const sim::Time delay = rng.range(1, 5000) * sim::kMs;
+      const int key = next_key++;
+      TimerId wid =
+          wheel.schedule(delay, [&, key] { wheel_fired[key] = wheel.now(); });
+      TimerId hid =
+          heap.schedule(delay, [&, key] { heap_fired[key] = heap.now(); });
+      ids.emplace_back(wid, hid);
+      keys.push_back(key);
+    } else if (!ids.empty()) {
+      const std::size_t pick = rng.below(ids.size());
+      wheel.cancel(ids[pick].first);
+      heap.cancel(ids[pick].second);
+      cancelled.insert(keys[pick]);
+    }
+  }
+  wheel.advance_to(now + 6000 * sim::kSec);
+  heap.advance_to(now + 6000 * sim::kSec);
+
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(heap.pending(), 0u);
+  // Every never-cancelled timer fired in both implementations, within wheel
+  // granularity of each other. (A cancel can race the granularity skew --
+  // the exact heap may fire just before the wheel's rounded-up tick -- so
+  // cancelled keys may legitimately fire in one implementation only.)
+  for (int key : keys) {
+    const bool in_wheel = wheel_fired.contains(key);
+    const bool in_heap = heap_fired.contains(key);
+    if (!cancelled.contains(key)) {
+      ASSERT_TRUE(in_wheel && in_heap) << "key " << key;
+    }
+    if (in_wheel && in_heap) {
+      const sim::Time wt = wheel_fired[key];
+      const sim::Time ht = heap_fired[key];
+      EXPECT_GE(wt, ht) << "key " << key;
+      EXPECT_LE(wt - ht, 2 * tick) << "key " << key;
+    }
+  }
+}
+
+TEST(HeapTimer, FiresInDeadlineOrder) {
+  HeapTimer h;
+  std::vector<int> order;
+  h.schedule(30, [&] { order.push_back(3); });
+  h.schedule(10, [&] { order.push_back(1); });
+  h.schedule(20, [&] { order.push_back(2); });
+  h.advance_to(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheelDriver, FiresThroughEventLoop) {
+  sim::EventLoop loop;
+  TimingWheel wheel(10 * sim::kMs);
+  TimerWheelDriver driver(loop, wheel);
+  std::vector<sim::Time> fired;
+  driver.schedule(95 * sim::kMs, [&] { fired.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_GE(fired[0], 95 * sim::kMs);
+  EXPECT_LE(fired[0], 95 * sim::kMs + 2 * wheel.tick());
+}
+
+TEST(TimerWheelDriver, CancelSilencesTimer) {
+  sim::EventLoop loop;
+  TimingWheel wheel(10 * sim::kMs);
+  TimerWheelDriver driver(loop, wheel);
+  bool fired = false;
+  TimerId id = driver.schedule(50 * sim::kMs, [&] { fired = true; });
+  EXPECT_TRUE(driver.cancel(id));
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheelDriver, RepeatingTimerChain) {
+  sim::EventLoop loop;
+  TimingWheel wheel(10 * sim::kMs);
+  TimerWheelDriver driver(loop, wheel);
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) driver.schedule(100 * sim::kMs, tick);
+  };
+  driver.schedule(100 * sim::kMs, tick);
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_GE(loop.now(), 500 * sim::kMs);
+}
+
+}  // namespace
+}  // namespace ulnet::timer

@@ -1,0 +1,233 @@
+#include "proto/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "proto/tcp.h"  // seq_* arithmetic
+#include "sim/rng.h"
+
+namespace ulnet::proto {
+namespace {
+
+const net::Ipv4Addr kSrc = net::Ipv4Addr::parse("10.0.0.1");
+const net::Ipv4Addr kDst = net::Ipv4Addr::parse("10.0.0.2");
+
+TEST(Ipv4Wire, RoundTrip) {
+  Ipv4Header h;
+  h.total_len = 120;
+  h.ident = 0x4242;
+  h.ttl = 17;
+  h.proto = kProtoTcp;
+  h.src = kSrc;
+  h.dst = kDst;
+  buf::Bytes out;
+  h.serialize(out);
+  ASSERT_EQ(out.size(), Ipv4Header::kSize);
+  bool ok = false;
+  auto p = Ipv4Header::parse(out, &ok);
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(p->total_len, 120);
+  EXPECT_EQ(p->ident, 0x4242);
+  EXPECT_EQ(p->ttl, 17);
+  EXPECT_EQ(p->proto, kProtoTcp);
+  EXPECT_EQ(p->src, kSrc);
+  EXPECT_EQ(p->dst, kDst);
+  EXPECT_FALSE(p->more_fragments);
+  EXPECT_EQ(p->frag_offset_bytes(), 0u);
+}
+
+TEST(Ipv4Wire, FragmentFieldsRoundTrip) {
+  Ipv4Header h;
+  h.total_len = 100;
+  h.proto = kProtoUdp;
+  h.src = kSrc;
+  h.dst = kDst;
+  h.more_fragments = true;
+  h.frag_offset_units = 185;  // 1480 bytes
+  buf::Bytes out;
+  h.serialize(out);
+  auto p = Ipv4Header::parse(out);
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->more_fragments);
+  EXPECT_EQ(p->frag_offset_bytes(), 1480u);
+}
+
+TEST(Ipv4Wire, CorruptionFailsChecksum) {
+  Ipv4Header h;
+  h.total_len = 40;
+  h.proto = kProtoTcp;
+  h.src = kSrc;
+  h.dst = kDst;
+  buf::Bytes out;
+  h.serialize(out);
+  out[8] ^= 0x01;  // flip a TTL bit
+  bool ok = true;
+  ASSERT_TRUE(Ipv4Header::parse(out, &ok));
+  EXPECT_FALSE(ok);
+}
+
+TEST(Ipv4Wire, RejectsNonIpv4) {
+  buf::Bytes junk(20, 0);
+  junk[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(junk).has_value());
+}
+
+TEST(TcpWire, RoundTripWithPayloadAndMss) {
+  TcpHeader t;
+  t.sport = 1234;
+  t.dport = 80;
+  t.seq = 0xdeadbeef;
+  t.ack = 0x01020304;
+  t.flags.syn = true;
+  t.flags.ack = true;
+  t.wnd = 8192;
+  t.mss_option = 1460;
+  buf::Bytes payload{1, 2, 3, 4, 5};
+  buf::Bytes seg;
+  t.serialize(seg, kSrc, kDst, payload);
+  ASSERT_EQ(seg.size(), 24 + 5u);
+
+  bool ok = false;
+  std::size_t hlen = 0;
+  auto p = TcpHeader::parse(seg, kSrc, kDst, &ok, &hlen);
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(hlen, 24u);
+  EXPECT_EQ(p->sport, 1234);
+  EXPECT_EQ(p->dport, 80);
+  EXPECT_EQ(p->seq, 0xdeadbeefu);
+  EXPECT_EQ(p->ack, 0x01020304u);
+  EXPECT_TRUE(p->flags.syn);
+  EXPECT_TRUE(p->flags.ack);
+  EXPECT_FALSE(p->flags.fin);
+  EXPECT_EQ(p->wnd, 8192);
+  ASSERT_TRUE(p->mss_option.has_value());
+  EXPECT_EQ(*p->mss_option, 1460);
+}
+
+TEST(TcpWire, ChecksumCoversPseudoHeader) {
+  TcpHeader t;
+  t.sport = 1;
+  t.dport = 2;
+  buf::Bytes seg;
+  t.serialize(seg, kSrc, kDst, {});
+  bool ok = false;
+  // Parsing against different addresses must fail the checksum.
+  TcpHeader::parse(seg, kSrc, net::Ipv4Addr::parse("10.0.0.3"), &ok);
+  EXPECT_FALSE(ok);
+  TcpHeader::parse(seg, kSrc, kDst, &ok);
+  EXPECT_TRUE(ok);
+}
+
+TEST(TcpWire, PayloadCorruptionDetected) {
+  sim::Rng rng(17);
+  TcpHeader t;
+  t.sport = 7;
+  t.dport = 9;
+  buf::Bytes payload(100, 0);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u32());
+  buf::Bytes seg;
+  t.serialize(seg, kSrc, kDst, payload);
+  for (int trial = 0; trial < 50; ++trial) {
+    buf::Bytes bad = seg;
+    bad[rng.below(bad.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    bool ok = true;
+    if (TcpHeader::parse(bad, kSrc, kDst, &ok)) {
+      EXPECT_FALSE(ok);
+    }
+  }
+}
+
+TEST(TcpWire, FlagsEncodeDecodeAllCombinations) {
+  for (int bits = 0; bits < 64; ++bits) {
+    auto f = TcpFlags::decode(static_cast<std::uint8_t>(bits));
+    EXPECT_EQ(f.encode(), bits);
+  }
+}
+
+TEST(UdpWire, RoundTrip) {
+  UdpHeader u;
+  u.sport = 53;
+  u.dport = 5353;
+  buf::Bytes payload{9, 8, 7};
+  buf::Bytes dg;
+  u.serialize(dg, kSrc, kDst, payload);
+  ASSERT_EQ(dg.size(), UdpHeader::kSize + 3);
+  bool ok = false;
+  auto p = UdpHeader::parse(dg, kSrc, kDst, &ok);
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(p->sport, 53);
+  EXPECT_EQ(p->dport, 5353);
+  EXPECT_EQ(p->length, UdpHeader::kSize + 3);
+}
+
+TEST(UdpWire, CorruptionDetected) {
+  UdpHeader u;
+  u.sport = 1;
+  u.dport = 2;
+  buf::Bytes payload(64, 0x33);
+  buf::Bytes dg;
+  u.serialize(dg, kSrc, kDst, payload);
+  dg[12] ^= 0x10;
+  bool ok = true;
+  ASSERT_TRUE(UdpHeader::parse(dg, kSrc, kDst, &ok));
+  EXPECT_FALSE(ok);
+}
+
+TEST(IcmpWire, EchoRoundTrip) {
+  IcmpEcho e;
+  e.type = IcmpEcho::kEchoRequest;
+  e.id = 77;
+  e.seq = 3;
+  buf::Bytes payload(32, 0xaa);
+  buf::Bytes msg;
+  e.serialize(msg, payload);
+  bool ok = false;
+  auto p = IcmpEcho::parse(msg, &ok);
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(p->type, IcmpEcho::kEchoRequest);
+  EXPECT_EQ(p->id, 77);
+  EXPECT_EQ(p->seq, 3);
+}
+
+TEST(ArpWire, RoundTrip) {
+  ArpMessage m;
+  m.op = ArpMessage::kOpReply;
+  m.sender_mac = net::MacAddr::from_index(1, 0);
+  m.sender_ip = kSrc;
+  m.target_mac = net::MacAddr::from_index(2, 0);
+  m.target_ip = kDst;
+  buf::Bytes out;
+  m.serialize(out);
+  ASSERT_EQ(out.size(), ArpMessage::kSize);
+  auto p = ArpMessage::parse(out);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->op, ArpMessage::kOpReply);
+  EXPECT_EQ(p->sender_mac, m.sender_mac);
+  EXPECT_EQ(p->sender_ip, kSrc);
+  EXPECT_EQ(p->target_ip, kDst);
+}
+
+TEST(ArpWire, RejectsWrongHardwareType) {
+  ArpMessage m;
+  buf::Bytes out;
+  m.serialize(out);
+  out[1] = 9;  // not Ethernet
+  EXPECT_FALSE(ArpMessage::parse(out).has_value());
+}
+
+TEST(SeqArith, WrapsCorrectly) {
+  EXPECT_TRUE(seq_lt(0xfffffff0u, 0x10u));
+  EXPECT_TRUE(seq_gt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(seq_le(5u, 5u));
+  EXPECT_TRUE(seq_ge(5u, 5u));
+  EXPECT_FALSE(seq_lt(5u, 5u));
+  EXPECT_TRUE(seq_lt(0u, 0x7fffffffu));
+  EXPECT_FALSE(seq_lt(0u, 0x80000001u));  // beyond half-range: "behind"
+}
+
+}  // namespace
+}  // namespace ulnet::proto
