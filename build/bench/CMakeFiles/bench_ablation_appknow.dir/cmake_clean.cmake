@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_appknow.dir/bench_ablation_appknow.cc.o"
+  "CMakeFiles/bench_ablation_appknow.dir/bench_ablation_appknow.cc.o.d"
+  "bench_ablation_appknow"
+  "bench_ablation_appknow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_appknow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timers.dir/bench_ablation_timers.cc.o"
+  "CMakeFiles/bench_ablation_timers.dir/bench_ablation_timers.cc.o.d"
+  "bench_ablation_timers"
+  "bench_ablation_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

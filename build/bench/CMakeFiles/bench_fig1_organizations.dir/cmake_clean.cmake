@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_organizations.dir/bench_fig1_organizations.cc.o"
+  "CMakeFiles/bench_fig1_organizations.dir/bench_fig1_organizations.cc.o.d"
+  "bench_fig1_organizations"
+  "bench_fig1_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mechanisms.dir/bench_table1_mechanisms.cc.o"
+  "CMakeFiles/bench_table1_mechanisms.dir/bench_table1_mechanisms.cc.o.d"
+  "bench_table1_mechanisms"
+  "bench_table1_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_demux.dir/bench_table5_demux.cc.o"
+  "CMakeFiles/bench_table5_demux.dir/bench_table5_demux.cc.o.d"
+  "bench_table5_demux"
+  "bench_table5_demux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_demux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_specialization.dir/app_specialization.cpp.o"
+  "CMakeFiles/app_specialization.dir/app_specialization.cpp.o.d"
+  "app_specialization"
+  "app_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_protocol.dir/multi_protocol.cpp.o"
+  "CMakeFiles/multi_protocol.dir/multi_protocol.cpp.o.d"
+  "multi_protocol"
+  "multi_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

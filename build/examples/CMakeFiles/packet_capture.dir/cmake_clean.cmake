@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_capture.dir/packet_capture.cpp.o"
+  "CMakeFiles/packet_capture.dir/packet_capture.cpp.o.d"
+  "packet_capture"
+  "packet_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("buf")
+subdirs("net")
+subdirs("hw")
+subdirs("os")
+subdirs("filter")
+subdirs("timer")
+subdirs("proto")
+subdirs("core")
+subdirs("baseline")
+subdirs("api")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_api.dir/testbed.cc.o"
+  "CMakeFiles/ulnet_api.dir/testbed.cc.o.d"
+  "CMakeFiles/ulnet_api.dir/workloads.cc.o"
+  "CMakeFiles/ulnet_api.dir/workloads.cc.o.d"
+  "libulnet_api.a"
+  "libulnet_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

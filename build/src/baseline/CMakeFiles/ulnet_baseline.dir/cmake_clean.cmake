@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_baseline.dir/inkernel.cc.o"
+  "CMakeFiles/ulnet_baseline.dir/inkernel.cc.o.d"
+  "CMakeFiles/ulnet_baseline.dir/single_server.cc.o"
+  "CMakeFiles/ulnet_baseline.dir/single_server.cc.o.d"
+  "libulnet_baseline.a"
+  "libulnet_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

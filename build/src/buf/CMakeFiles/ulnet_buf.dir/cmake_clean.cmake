@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_buf.dir/bytes.cc.o"
+  "CMakeFiles/ulnet_buf.dir/bytes.cc.o.d"
+  "CMakeFiles/ulnet_buf.dir/checksum.cc.o"
+  "CMakeFiles/ulnet_buf.dir/checksum.cc.o.d"
+  "libulnet_buf.a"
+  "libulnet_buf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulnet_buf.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_core.dir/exec_env.cc.o"
+  "CMakeFiles/ulnet_core.dir/exec_env.cc.o.d"
+  "CMakeFiles/ulnet_core.dir/netio_module.cc.o"
+  "CMakeFiles/ulnet_core.dir/netio_module.cc.o.d"
+  "CMakeFiles/ulnet_core.dir/registry_server.cc.o"
+  "CMakeFiles/ulnet_core.dir/registry_server.cc.o.d"
+  "CMakeFiles/ulnet_core.dir/user_level.cc.o"
+  "CMakeFiles/ulnet_core.dir/user_level.cc.o.d"
+  "libulnet_core.a"
+  "libulnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_filter.dir/filter.cc.o"
+  "CMakeFiles/ulnet_filter.dir/filter.cc.o.d"
+  "libulnet_filter.a"
+  "libulnet_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_hw.dir/nic.cc.o"
+  "CMakeFiles/ulnet_hw.dir/nic.cc.o.d"
+  "libulnet_hw.a"
+  "libulnet_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cc" "src/net/CMakeFiles/ulnet_net.dir/addr.cc.o" "gcc" "src/net/CMakeFiles/ulnet_net.dir/addr.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/ulnet_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/ulnet_net.dir/frame.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/ulnet_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/ulnet_net.dir/link.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/ulnet_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/ulnet_net.dir/pcap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buf/CMakeFiles/ulnet_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

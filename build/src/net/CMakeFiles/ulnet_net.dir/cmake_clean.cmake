@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_net.dir/addr.cc.o"
+  "CMakeFiles/ulnet_net.dir/addr.cc.o.d"
+  "CMakeFiles/ulnet_net.dir/frame.cc.o"
+  "CMakeFiles/ulnet_net.dir/frame.cc.o.d"
+  "CMakeFiles/ulnet_net.dir/link.cc.o"
+  "CMakeFiles/ulnet_net.dir/link.cc.o.d"
+  "CMakeFiles/ulnet_net.dir/pcap.cc.o"
+  "CMakeFiles/ulnet_net.dir/pcap.cc.o.d"
+  "libulnet_net.a"
+  "libulnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_os.dir/kernel.cc.o"
+  "CMakeFiles/ulnet_os.dir/kernel.cc.o.d"
+  "libulnet_os.a"
+  "libulnet_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

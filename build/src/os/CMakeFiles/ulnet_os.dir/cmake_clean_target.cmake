@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulnet_os.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/arp.cc" "src/proto/CMakeFiles/ulnet_proto.dir/arp.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/arp.cc.o.d"
+  "/root/repo/src/proto/icmp.cc" "src/proto/CMakeFiles/ulnet_proto.dir/icmp.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/icmp.cc.o.d"
+  "/root/repo/src/proto/ip.cc" "src/proto/CMakeFiles/ulnet_proto.dir/ip.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/ip.cc.o.d"
+  "/root/repo/src/proto/rrp.cc" "src/proto/CMakeFiles/ulnet_proto.dir/rrp.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/rrp.cc.o.d"
+  "/root/repo/src/proto/tcp.cc" "src/proto/CMakeFiles/ulnet_proto.dir/tcp.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/tcp.cc.o.d"
+  "/root/repo/src/proto/udp.cc" "src/proto/CMakeFiles/ulnet_proto.dir/udp.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/udp.cc.o.d"
+  "/root/repo/src/proto/wire.cc" "src/proto/CMakeFiles/ulnet_proto.dir/wire.cc.o" "gcc" "src/proto/CMakeFiles/ulnet_proto.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ulnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/ulnet_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/buf/CMakeFiles/ulnet_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

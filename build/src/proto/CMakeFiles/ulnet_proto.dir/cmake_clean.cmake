@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_proto.dir/arp.cc.o"
+  "CMakeFiles/ulnet_proto.dir/arp.cc.o.d"
+  "CMakeFiles/ulnet_proto.dir/icmp.cc.o"
+  "CMakeFiles/ulnet_proto.dir/icmp.cc.o.d"
+  "CMakeFiles/ulnet_proto.dir/ip.cc.o"
+  "CMakeFiles/ulnet_proto.dir/ip.cc.o.d"
+  "CMakeFiles/ulnet_proto.dir/rrp.cc.o"
+  "CMakeFiles/ulnet_proto.dir/rrp.cc.o.d"
+  "CMakeFiles/ulnet_proto.dir/tcp.cc.o"
+  "CMakeFiles/ulnet_proto.dir/tcp.cc.o.d"
+  "CMakeFiles/ulnet_proto.dir/udp.cc.o"
+  "CMakeFiles/ulnet_proto.dir/udp.cc.o.d"
+  "CMakeFiles/ulnet_proto.dir/wire.cc.o"
+  "CMakeFiles/ulnet_proto.dir/wire.cc.o.d"
+  "libulnet_proto.a"
+  "libulnet_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

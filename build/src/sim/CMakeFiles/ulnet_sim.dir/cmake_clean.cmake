@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_sim.dir/cpu.cc.o"
+  "CMakeFiles/ulnet_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/ulnet_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ulnet_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ulnet_sim.dir/metrics.cc.o"
+  "CMakeFiles/ulnet_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/ulnet_sim.dir/rng.cc.o"
+  "CMakeFiles/ulnet_sim.dir/rng.cc.o.d"
+  "CMakeFiles/ulnet_sim.dir/stats.cc.o"
+  "CMakeFiles/ulnet_sim.dir/stats.cc.o.d"
+  "libulnet_sim.a"
+  "libulnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulnet_timer.dir/wheel.cc.o"
+  "CMakeFiles/ulnet_timer.dir/wheel.cc.o.d"
+  "libulnet_timer.a"
+  "libulnet_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulnet_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

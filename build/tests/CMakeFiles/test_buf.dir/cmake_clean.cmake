@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buf.dir/test_bytes.cc.o"
+  "CMakeFiles/test_buf.dir/test_bytes.cc.o.d"
+  "CMakeFiles/test_buf.dir/test_checksum.cc.o"
+  "CMakeFiles/test_buf.dir/test_checksum.cc.o.d"
+  "test_buf"
+  "test_buf.pdb"
+  "test_buf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

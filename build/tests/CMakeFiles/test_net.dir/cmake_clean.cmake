@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/test_addr.cc.o"
+  "CMakeFiles/test_net.dir/test_addr.cc.o.d"
+  "CMakeFiles/test_net.dir/test_frame.cc.o"
+  "CMakeFiles/test_net.dir/test_frame.cc.o.d"
+  "CMakeFiles/test_net.dir/test_link.cc.o"
+  "CMakeFiles/test_net.dir/test_link.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

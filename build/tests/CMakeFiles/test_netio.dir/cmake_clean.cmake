@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netio.dir/test_netio.cc.o"
+  "CMakeFiles/test_netio.dir/test_netio.cc.o.d"
+  "test_netio"
+  "test_netio.pdb"
+  "test_netio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orgs.dir/test_orgs.cc.o"
+  "CMakeFiles/test_orgs.dir/test_orgs.cc.o.d"
+  "test_orgs"
+  "test_orgs.pdb"
+  "test_orgs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

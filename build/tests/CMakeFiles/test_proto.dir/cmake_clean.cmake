@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/test_arp.cc.o"
+  "CMakeFiles/test_proto.dir/test_arp.cc.o.d"
+  "CMakeFiles/test_proto.dir/test_ip.cc.o"
+  "CMakeFiles/test_proto.dir/test_ip.cc.o.d"
+  "CMakeFiles/test_proto.dir/test_wire.cc.o"
+  "CMakeFiles/test_proto.dir/test_wire.cc.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

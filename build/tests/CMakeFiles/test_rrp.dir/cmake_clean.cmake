@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrp.dir/test_rrp.cc.o"
+  "CMakeFiles/test_rrp.dir/test_rrp.cc.o.d"
+  "test_rrp"
+  "test_rrp.pdb"
+  "test_rrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

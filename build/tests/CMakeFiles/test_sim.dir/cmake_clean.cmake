@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_cpu.cc.o"
+  "CMakeFiles/test_sim.dir/test_cpu.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_event_loop.cc.o"
+  "CMakeFiles/test_sim.dir/test_event_loop.cc.o.d"
+  "CMakeFiles/test_sim.dir/test_rng_stats.cc.o"
+  "CMakeFiles/test_sim.dir/test_rng_stats.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

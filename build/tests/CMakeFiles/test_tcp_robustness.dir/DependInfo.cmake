@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tcp_robustness.cc" "tests/CMakeFiles/test_tcp_robustness.dir/test_tcp_robustness.cc.o" "gcc" "tests/CMakeFiles/test_tcp_robustness.dir/test_tcp_robustness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/ulnet_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ulnet_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/ulnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ulnet_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/ulnet_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ulnet_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ulnet_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ulnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/buf/CMakeFiles/ulnet_buf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

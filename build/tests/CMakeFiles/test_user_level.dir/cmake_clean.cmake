@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_user_level.dir/test_user_level.cc.o"
+  "CMakeFiles/test_user_level.dir/test_user_level.cc.o.d"
+  "test_user_level"
+  "test_user_level.pdb"
+  "test_user_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_user_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

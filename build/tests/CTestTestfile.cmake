@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_buf[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_filter[1]_include.cmake")
+include("/root/repo/build/tests/test_timer[1]_include.cmake")
+include("/root/repo/build/tests/test_proto[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_rrp[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_congestion[1]_include.cmake")
+include("/root/repo/build/tests/test_netio[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_pcap[1]_include.cmake")
+include("/root/repo/build/tests/test_orgs[1]_include.cmake")
+include("/root/repo/build/tests/test_user_level[1]_include.cmake")
