@@ -50,7 +50,8 @@ double per_pkt(std::uint64_t count, std::uint64_t pkts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_fig1_organizations", "Figure 1");
   bench::heading(
       "Figure 1 quantified: mechanisms per packet and resulting performance "
       "(512 KB bulk / 512 B ping-pong, Ethernet)");
@@ -71,6 +72,21 @@ int main() {
                 per_pkt(r.per_op.copies + r.per_op.page_remaps, r.packets),
                 per_pkt(r.per_op.semaphore_signals, r.packets), r.mbps,
                 r.rtt_us);
+    const char* label = to_string(org);
+    report.add(label, "traps_per_pkt", "1/pkt",
+               per_pkt(r.per_op.traps, r.packets));
+    report.add(label, "specialized_traps_per_pkt", "1/pkt",
+               per_pkt(r.per_op.specialized_traps, r.packets));
+    report.add(label, "ipc_per_pkt", "1/pkt",
+               per_pkt(r.per_op.ipc_messages, r.packets));
+    report.add(label, "ctxsw_per_pkt", "1/pkt",
+               per_pkt(r.per_op.context_switches, r.packets));
+    report.add(label, "copies_per_pkt", "1/pkt",
+               per_pkt(r.per_op.copies + r.per_op.page_remaps, r.packets));
+    report.add(label, "signals_per_pkt", "1/pkt",
+               per_pkt(r.per_op.semaphore_signals, r.packets));
+    report.add(label, "bulk_throughput", "Mb/s", r.mbps);
+    report.add(label, "rtt", "us", r.rtt_us);
   }
 
   std::printf(
@@ -81,5 +97,5 @@ int main() {
       "\nreplaces generic traps and copies with one specialized trap per"
       "\nsend and batched signals per receive, approaching in-kernel"
       "\nperformance without kernel residence.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

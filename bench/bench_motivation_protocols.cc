@@ -99,7 +99,9 @@ double rrp_bulk_mbps(std::size_t total, std::size_t msg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_motivation_protocols",
+                           "Section 1.1");
   bench::heading(
       "Motivation: request/response vs byte-stream transports (in-kernel "
       "stack, Ethernet)");
@@ -133,5 +135,10 @@ int main() {
       "\nthe windowed byte stream wins throughput (it keeps the wire full"
       "\ninstead of stopping-and-waiting per message) -- hence both must"
       "\nco-exist, and separate user-level libraries make that cheap.\n");
-  return 0;
+
+  report.add("RRP", "rpc_latency", "us", rrp_rtt);
+  report.add("TCP", "rpc_latency", "us", tcp_rtt);
+  report.add("RRP", "bulk_throughput", "Mb/s", rrp_bulk);
+  report.add("TCP", "bulk_throughput", "Mb/s", tcp_bulk);
+  return report.write() ? 0 : 1;
 }

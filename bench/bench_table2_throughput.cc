@@ -40,7 +40,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_table2_throughput", "Table 2");
   const std::size_t sizes[4] = {512, 1024, 2048, 4096};
   const Row rows[] = {
       {"Ethernet / Ultrix 4.2A", OrgType::kInKernel, LinkType::kEthernet,
@@ -65,6 +66,8 @@ int main() {
     for (int i = 0; i < 4; ++i) {
       const double m = throughput(row.org, row.link, sizes[i]);
       std::printf(" %10.2f (paper %5.1f)", m, row.paper[i]);
+      report.add(row.label, "throughput", "Mb/s", m, row.paper[i],
+                 {{"write_size", static_cast<double>(sizes[i])}});
     }
     std::printf("\n");
   }
@@ -72,5 +75,5 @@ int main() {
       "\nShape checks: Ultrix > user-level > Mach/UX on Ethernet; user-level"
       "\nwins at 512 B on AN1 (no copies below the remap threshold); both"
       "\nconverge at the AN1 driver's 1500-byte encapsulation limit.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

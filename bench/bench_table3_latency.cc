@@ -31,7 +31,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_table3_latency", "Table 3");
   const std::size_t sizes[3] = {1, 512, 1460};
   const Row rows[] = {
       {"Ethernet / Ultrix 4.2A", OrgType::kInKernel, LinkType::kEthernet,
@@ -55,6 +56,8 @@ int main() {
     for (int i = 0; i < 3; ++i) {
       const double m = rtt_ms(row.org, row.link, sizes[i]);
       std::printf(" %10.2f (paper %5.1f)", m, row.paper[i]);
+      report.add(row.label, "rtt", "ms", m, row.paper[i],
+                 {{"size", static_cast<double>(sizes[i])}});
     }
     std::printf("\n");
   }
@@ -62,5 +65,5 @@ int main() {
       "\nShape checks: Ultrix < user-level < Mach/UX at every size; the"
       "\nuser-level penalty vs Ultrix is smaller on AN1 (hardware demux,"
       "\nno PIO) than on Ethernet.\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -73,7 +73,8 @@ double measured_hardware_demux_us() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_table5_demux", "Table 5");
   bench::heading("Table 5: hardware/software demultiplexing tradeoffs");
 
   const double sw = measured_software_demux_us();
@@ -81,6 +82,9 @@ int main() {
   std::printf("%-44s %7.1f us   (paper 52)\n",
               "Lance Ethernet (software, synthesized)", sw);
   std::printf("%-44s %7.1f us   (paper 50)\n", "AN1 (hardware BQI)", hwd);
+  report.add("Lance Ethernet (software, synthesized)", "demux_cost", "us", sw,
+             52);
+  report.add("AN1 (hardware BQI)", "demux_cost", "us", hwd, 50);
 
   // ---- Interpreted-filter alternatives (the Section 2.2 argument) ----
   bench::heading("Interpreted filters per packet (one binding)");
@@ -129,5 +133,14 @@ int main() {
       "\nShape check: hardware and software demux cost about the same"
       "\n(~50 us) -- 'there is no significant difference in the timing' --"
       "\nwhile a CSPF-style interpreter is several times more expensive.\n");
-  return 0;
+
+  report.add("CSPF stack interpreter", "filter_cost", "us",
+             rc.instructions * sim::to_us(cm.filter_interp_per_insn),
+             std::nullopt,
+             {{"instructions", static_cast<double>(rc.instructions)}});
+  report.add("BPF register machine", "filter_cost", "us",
+             rb.instructions * sim::to_us(cm.filter_bpf_per_insn),
+             std::nullopt,
+             {{"instructions", static_cast<double>(rb.instructions)}});
+  return report.write() ? 0 : 1;
 }

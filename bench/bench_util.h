@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ulnet::bench {
@@ -37,5 +39,117 @@ inline std::string cellf(const char* fmt, double v) {
   std::snprintf(tmp, sizeof tmp, fmt, v);
   return tmp;
 }
+
+// Machine-readable export: every exhibit bench accepts `--json <path>` and
+// writes its measurements in one shared schema, validated by
+// scripts/check_bench_json.py:
+//
+//   {"schema_version": 1, "bench": "<binary name>", "exhibit": "<Table N>",
+//    "results": [{"label": str, "metric": str, "unit": str, "value": num,
+//                 "paper_value": num?, "params": {str: num, ...}?}, ...]}
+//
+// The human-readable table still goes to stdout either way.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string bench, std::string exhibit)
+      : bench_(std::move(bench)), exhibit_(std::move(exhibit)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) != "--json") continue;
+      if (i + 1 < argc) {
+        path_ = argv[++i];
+      } else {
+        missing_path_ = true;
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void add(std::string label, std::string metric, std::string unit,
+           double value, std::optional<double> paper_value = std::nullopt,
+           std::vector<std::pair<std::string, double>> params = {}) {
+    results_.push_back(Result{std::move(label), std::move(metric),
+                              std::move(unit), value, paper_value,
+                              std::move(params)});
+  }
+
+  // Returns false (with a message on stderr) if the file cannot be written;
+  // a no-op returning true when --json was not given.
+  bool write() const {
+    if (missing_path_) {
+      std::fprintf(stderr, "--json requires a path\n");
+      return false;
+    }
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::string out = "{\"schema_version\":1,\"bench\":\"" + escape(bench_) +
+                      "\",\"exhibit\":\"" + escape(exhibit_) +
+                      "\",\"results\":[";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      if (i > 0) out += ',';
+      out += "{\"label\":\"" + escape(r.label) + "\",\"metric\":\"" +
+             escape(r.metric) + "\",\"unit\":\"" + escape(r.unit) +
+             "\",\"value\":" + number(r.value);
+      if (r.paper_value) out += ",\"paper_value\":" + number(*r.paper_value);
+      if (!r.params.empty()) {
+        out += ",\"params\":{";
+        for (std::size_t j = 0; j < r.params.size(); ++j) {
+          if (j > 0) out += ',';
+          out += "\"" + escape(r.params[j].first) +
+                 "\":" + number(r.params[j].second);
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+    out += "]}\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  struct Result {
+    std::string label, metric, unit;
+    double value;
+    std::optional<double> paper_value;
+    std::vector<std::pair<std::string, double>> params;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char tmp[8];
+        std::snprintf(tmp, sizeof tmp, "\\u%04x", c);
+        out += tmp;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  // JSON has no NaN/Inf literals; failed measurements (-1 sentinels stay
+  // representable) degrade to null.
+  static std::string number(double v) {
+    if (!(v == v) || v > 1e308 || v < -1e308) return "null";
+    char tmp[40];
+    std::snprintf(tmp, sizeof tmp, "%.6g", v);
+    return tmp;
+  }
+
+  std::string bench_, exhibit_, path_;
+  bool missing_path_ = false;
+  std::vector<Result> results_;
+};
 
 }  // namespace ulnet::bench

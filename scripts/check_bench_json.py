@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate the --json output of the exhibit benchmarks.
+
+Every bench in bench/ that reproduces a paper exhibit accepts
+`--json <path>` and writes one object in the shared schema:
+
+    {"schema_version": 1,
+     "bench": str,                 # binary name
+     "exhibit": str,               # "Table 2", "Figure 1", ...
+     "results": [                  # non-empty
+        {"label": str,             # row / system name
+         "metric": str,            # e.g. "throughput"
+         "unit": str,              # e.g. "Mb/s"
+         "value": number | null,   # null = measurement failed
+         "paper_value": number,    # optional: the paper's published value
+         "params": {str: number}}, # optional: e.g. {"write_size": 512}
+        ...]}
+
+Usage:
+    check_bench_json.py out.json [more.json ...]
+    check_bench_json.py --bench path/to/bench_binary
+        (runs `binary --json <tmpfile>` and validates the tmpfile)
+
+Exit status 0 iff every file validates. No third-party dependencies.
+"""
+
+import json
+import numbers
+import os
+import subprocess
+import sys
+import tempfile
+
+RESULT_REQUIRED = {"label": str, "metric": str, "unit": str}
+RESULT_OPTIONAL = {"value", "paper_value", "params"}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def is_number(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def check_result(path, i, r):
+    if not isinstance(r, dict):
+        return fail(path, f"results[{i}] is not an object")
+    ok = True
+    for key, typ in RESULT_REQUIRED.items():
+        if key not in r:
+            ok = fail(path, f"results[{i}] missing '{key}'")
+        elif not isinstance(r[key], typ):
+            ok = fail(path, f"results[{i}].{key} is not a {typ.__name__}")
+    unknown = set(r) - set(RESULT_REQUIRED) - RESULT_OPTIONAL
+    if unknown:
+        ok = fail(path, f"results[{i}] has unknown keys {sorted(unknown)}")
+    if "value" not in r:
+        ok = fail(path, f"results[{i}] missing 'value'")
+    elif r["value"] is not None and not is_number(r["value"]):
+        ok = fail(path, f"results[{i}].value is not a number or null")
+    if "paper_value" in r and not is_number(r["paper_value"]):
+        ok = fail(path, f"results[{i}].paper_value is not a number")
+    if "params" in r:
+        if not isinstance(r["params"], dict):
+            ok = fail(path, f"results[{i}].params is not an object")
+        else:
+            for k, v in r["params"].items():
+                if not isinstance(k, str) or not is_number(v):
+                    ok = fail(path, f"results[{i}].params[{k!r}] malformed")
+    return ok
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    ok = True
+    if doc.get("schema_version") != 1:
+        ok = fail(path, f"schema_version is {doc.get('schema_version')!r}, "
+                        "expected 1")
+    for key in ("bench", "exhibit"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            ok = fail(path, f"'{key}' missing or not a non-empty string")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return fail(path, "'results' missing or empty")
+    for i, r in enumerate(results):
+        ok = check_result(path, i, r) and ok
+    if ok:
+        print(f"{path}: OK ({doc['bench']}, {doc['exhibit']}, "
+              f"{len(results)} results)")
+    return ok
+
+
+def run_bench(binary):
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_")
+    os.close(fd)
+    try:
+        proc = subprocess.run([binary, "--json", path],
+                              stdout=subprocess.DEVNULL, timeout=600)
+        if proc.returncode != 0:
+            return fail(binary, f"exited with {proc.returncode}")
+        return check_file(path)
+    finally:
+        os.unlink(path)
+
+
+def main(argv):
+    if not argv or argv in (["-h"], ["--help"]):
+        print(__doc__)
+        return 2
+    ok = True
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--bench":
+            if i + 1 >= len(argv):
+                return fail("argv", "--bench needs a binary path") or 2
+            ok = run_bench(argv[i + 1]) and ok
+            i += 2
+        else:
+            ok = check_file(argv[i]) and ok
+            i += 1
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -49,17 +49,36 @@ class HostStackEnv : public proto::StackEnv {
   }
   std::uint32_t random32() override { return rng_.next_u32(); }
 
+  void trace(sim::TraceEventType type, std::int64_t id = 0,
+             std::int64_t a = 0, std::int64_t b = 0,
+             const char* detail = nullptr) override {
+    host_.cpu().trace(type, id, a, b, detail);
+  }
+
   timer::TimerId schedule(sim::Time delay,
                           std::function<void()> cb) override {
     host_.cpu().metrics().timer_ops++;
-    return driver_.schedule(delay, [this, cb = std::move(cb)] {
-      host_.cpu().submit(exec_space_, sim::Prio::kNormal,
-                         [cb](sim::TaskCtx&) { cb(); });
-    });
+    // The fire event must carry the id the caller got back, which does not
+    // exist until schedule() returns; route it through a shared slot.
+    auto idh = std::make_shared<timer::TimerId>(timer::kInvalidTimer);
+    const timer::TimerId id =
+        driver_.schedule(delay, [this, cb = std::move(cb), idh] {
+          host_.cpu().trace(sim::TraceEventType::kTimerFire,
+                            static_cast<std::int64_t>(*idh));
+          host_.cpu().submit(exec_space_, sim::Prio::kNormal,
+                             [cb](sim::TaskCtx&) { cb(); });
+        });
+    *idh = id;
+    host_.cpu().trace(sim::TraceEventType::kTimerSchedule,
+                      static_cast<std::int64_t>(id), delay);
+    return id;
   }
   void cancel_timer(timer::TimerId id) override {
     host_.cpu().metrics().timer_ops++;
-    driver_.cancel(id);
+    if (driver_.cancel(id)) {
+      host_.cpu().trace(sim::TraceEventType::kTimerCancel,
+                        static_cast<std::int64_t>(id));
+    }
   }
 
   [[nodiscard]] int interface_count() const override {

@@ -1,6 +1,7 @@
 #include "core/netio_module.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "core/exec_env.h"
 
@@ -146,6 +147,76 @@ net::MacAddr NetIoModule::channel_peer_mac(ChannelId id) const {
   return ch == nullptr ? net::MacAddr{} : ch->peer_mac;
 }
 
+const NetIoModule::ChannelStats* NetIoModule::channel_stats(
+    ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch == nullptr ? nullptr : &ch->stats;
+}
+
+std::string NetIoModule::dump_json() const {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"interface\":%d,\"an1\":%s,\"channels\":[", ifc_,
+                an1_ ? "true" : "false");
+  out += buf;
+
+  // unordered_map iteration order is not deterministic; emit by id so the
+  // dump of a given run is byte-stable.
+  std::vector<const Channel*> ordered;
+  ordered.reserve(channels_.size());
+  for (const auto& [id, ch] : channels_) ordered.push_back(&ch);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Channel* a, const Channel* b) { return a->id < b->id; });
+
+  bool first = true;
+  for (const Channel* ch : ordered) {
+    if (!first) out += ',';
+    first = false;
+    const ChannelStats& s = ch->stats;
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"id\":%u,\"app_space\":%d,\"raw\":%s,"
+        "\"local\":\"%s:%u\",\"remote\":\"%s:%u\",\"ip_proto\":%u,"
+        "\"rx_bqi\":%u,\"ring_capacity\":%d,\"ring_depth\":%zu,"
+        "\"delivered\":%llu,\"bytes_rx\":%llu,\"ring_drops\":%llu,"
+        "\"max_ring_depth\":%llu,\"sends\":%llu,\"bytes_tx\":%llu,"
+        "\"send_rejects\":%llu,\"signals\":%llu,"
+        "\"signals_suppressed\":%llu}",
+        ch->id, ch->app_space, ch->raw ? "true" : "false",
+        net::Ipv4Addr{ch->flow.local_ip}.to_string().c_str(),
+        ch->flow.local_port,
+        net::Ipv4Addr{ch->flow.remote_ip}.to_string().c_str(),
+        ch->flow.remote_port, ch->flow.ip_proto, ch->rx_bqi,
+        ch->ring_capacity, ch->ring.size(),
+        static_cast<unsigned long long>(s.delivered),
+        static_cast<unsigned long long>(s.bytes_rx),
+        static_cast<unsigned long long>(s.ring_drops),
+        static_cast<unsigned long long>(s.max_ring_depth),
+        static_cast<unsigned long long>(s.sends),
+        static_cast<unsigned long long>(s.bytes_tx),
+        static_cast<unsigned long long>(s.send_rejects),
+        static_cast<unsigned long long>(s.signals),
+        static_cast<unsigned long long>(s.signals_suppressed));
+    out += buf;
+  }
+
+  std::snprintf(
+      buf, sizeof buf,
+      "],\"totals\":{\"delivered\":%llu,\"ring_drops\":%llu,"
+      "\"sends\":%llu,\"send_rejects\":%llu,\"signals_suppressed\":%llu,"
+      "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu}}",
+      static_cast<unsigned long long>(counters_.delivered),
+      static_cast<unsigned long long>(counters_.ring_drops),
+      static_cast<unsigned long long>(counters_.sends),
+      static_cast<unsigned long long>(counters_.send_rejects),
+      static_cast<unsigned long long>(counters_.signals_suppressed),
+      static_cast<unsigned long long>(counters_.default_deliveries),
+      static_cast<unsigned long long>(counters_.unclaimed_drops));
+  out += buf;
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Transmit path
 // ---------------------------------------------------------------------------
@@ -174,15 +245,20 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
   k.fast_trap(ctx);
 
   Channel* ch = find(id);
-  sim::Metrics& m = host_.cpu().metrics();
+  sim::Cpu& cpu = host_.cpu();
+  sim::Metrics& m = cpu.metrics();
   m.template_checks++;
-  ctx.charge(host_.cpu().cost().template_match);
+  ctx.charge(cpu.cost().template_match);
+  cpu.trace(sim::TraceEventType::kTemplateCheck, id,
+            static_cast<std::int64_t>(payload.size()));
   if (ch == nullptr || cap != ch->cap ||
       !k.port_has_send_right(cap, caller_space) ||
       caller_space != ch->app_space ||
       !template_matches(*ch, ethertype, payload)) {
     m.template_rejects++;
     counters_.send_rejects++;
+    if (ch != nullptr) ch->stats.send_rejects++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
     return false;
   }
 
@@ -193,11 +269,17 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
       // Fully bound channel: the destination is part of the template.
       m.template_rejects++;
       counters_.send_rejects++;
+      ch->stats.send_rejects++;
+      cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
       return false;
     }
     dst = dst_override;
   }
   counters_.sends++;
+  ch->stats.sends++;
+  ch->stats.bytes_tx += payload.size();
+  cpu.trace(sim::TraceEventType::kPacketTx, id,
+            static_cast<std::int64_t>(payload.size()), ethertype);
   net::Frame f = frame_for(nic_, dst, ethertype, payload, ch->tx_bqi);
   nic_.transmit(ctx, std::move(f));
   return true;
@@ -224,6 +306,8 @@ void NetIoModule::rx(sim::TaskCtx& ctx, const net::Frame& f,
     ethertype = h->ethertype;
   }
   buf::Bytes payload(f.bytes.begin() + static_cast<long>(lh), f.bytes.end());
+  host_.cpu().trace(sim::TraceEventType::kPacketRx, 0,
+                    static_cast<std::int64_t>(payload.size()), ethertype);
 
   if (an1_) {
     // Hardware demultiplexing already happened in the controller (the BQI
@@ -299,20 +383,32 @@ NetIoModule::Channel* NetIoModule::classify_software(sim::TaskCtx& ctx,
 
 void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
                           std::uint16_t ethertype, buf::Bytes payload) {
+  sim::Cpu& cpu = host_.cpu();
   if (static_cast<int>(ch.ring.size()) >= ch.ring_capacity) {
     counters_.ring_drops++;
-    host_.cpu().metrics().demux_drops++;
+    ch.stats.ring_drops++;
+    cpu.metrics().demux_drops++;
+    cpu.trace(sim::TraceEventType::kDemuxDrop, ch.id,
+              static_cast<std::int64_t>(ch.ring.size()), 0, "ring_full");
     return;
   }
   // The packet lands in the pinned shared region: no copy toward the
   // application, only the ring bookkeeping and (maybe) a signal.
+  ch.stats.delivered++;
+  ch.stats.bytes_rx += payload.size();
+  cpu.trace(sim::TraceEventType::kDemuxMatch, ch.id,
+            static_cast<std::int64_t>(payload.size()), ethertype);
   ch.ring.push_back(RxPacket{ethertype, std::move(payload)});
+  ch.stats.max_ring_depth =
+      std::max<std::uint64_t>(ch.stats.max_ring_depth, ch.ring.size());
   counters_.delivered++;
   if (!ch.notify_pending || !batched_signals_) {
     ch.notify_pending = true;
+    ch.stats.signals++;
     ch.sem->signal(ctx);
   } else {
     counters_.signals_suppressed++;  // batched under an outstanding signal
+    ch.stats.signals_suppressed++;
   }
 }
 
@@ -321,6 +417,9 @@ void NetIoModule::deliver_default(sim::TaskCtx& ctx, std::uint16_t ethertype,
                                   std::uint16_t bqi_advert) {
   if (!default_handler_) {
     counters_.unclaimed_drops++;
+    host_.cpu().trace(sim::TraceEventType::kDemuxDrop, 0,
+                      static_cast<std::int64_t>(payload.size()), ethertype,
+                      "unclaimed");
     return;
   }
   counters_.default_deliveries++;

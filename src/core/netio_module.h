@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -143,6 +144,26 @@ class NetIoModule {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // Per-channel attribution of the same quantities, plus byte totals and
+  // the high-water mark of the shared ring -- the paper's "which connection
+  // pays which mechanism" question made directly answerable.
+  struct ChannelStats {
+    std::uint64_t delivered = 0;
+    std::uint64_t ring_drops = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t send_rejects = 0;
+    std::uint64_t signals = 0;
+    std::uint64_t signals_suppressed = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t max_ring_depth = 0;
+  };
+  // nullptr for unknown channels.
+  [[nodiscard]] const ChannelStats* channel_stats(ChannelId id) const;
+  // All live channels (id, binding, ring occupancy, stats) plus the module
+  // totals, as one JSON object.
+  [[nodiscard]] std::string dump_json() const;
+
   [[nodiscard]] hw::Nic& nic() { return nic_; }
   [[nodiscard]] bool an1() const { return an1_; }
   [[nodiscard]] int ifc_index() const { return ifc_; }
@@ -161,6 +182,7 @@ class NetIoModule {
     std::uint16_t tx_bqi = 0;  // peer's advertised ring
     int ring_capacity = 64;
     std::deque<RxPacket> ring;
+    ChannelStats stats;
     std::unique_ptr<os::Semaphore> sem;
     bool notify_pending = false;
     // Demux programs for the ablation modes.

@@ -31,6 +31,7 @@ class Semaphore {
   void signal(sim::TaskCtx& ctx) {
     ctx.charge(cpu_.cost().semaphore_signal);
     cpu_.metrics().semaphore_signals++;
+    cpu_.trace(sim::TraceEventType::kSemSignal, waiter_space_, count_ + 1);
     count_++;
     maybe_wake(ctx);
   }
@@ -67,6 +68,8 @@ class Semaphore {
                   if (blocked) {
                     tctx.charge(cost.kernel_wakeup);
                     cpu_.metrics().semaphore_wakeups++;
+                    cpu_.trace(sim::TraceEventType::kSemWakeup,
+                               waiter_space_);
                   }
                   tctx.charge(cost.uthread_dispatch);
                   fn(tctx);

@@ -15,6 +15,7 @@
 #include "sim/event_loop.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
+#include "sim/trace.h"
 
 namespace ulnet::os {
 
@@ -30,9 +31,12 @@ class World {
   sim::Rng& rng() { return rng_; }
   sim::CostModel& cost() { return cost_; }
   sim::Metrics& metrics() { return metrics_; }
+  sim::Tracer& tracer() { return tracer_; }
 
   Host& add_host(const std::string& name) {
     hosts_.push_back(std::make_unique<Host>(loop_, cost_, metrics_, name));
+    hosts_.back()->cpu().set_tracer(&tracer_,
+                                    static_cast<int>(hosts_.size() - 1));
     return *hosts_.back();
   }
 
@@ -80,6 +84,7 @@ class World {
   sim::EventLoop loop_;
   sim::CostModel cost_;
   sim::Metrics metrics_;
+  sim::Tracer tracer_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::Link>> links_;

@@ -16,6 +16,7 @@
 #include "net/frame.h"
 #include "sim/cost_model.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 #include "timer/wheel.h"
 
 namespace ulnet::proto {
@@ -39,6 +40,14 @@ class StackEnv {
   virtual void charge(sim::Time ns) = 0;
   [[nodiscard]] virtual const sim::CostModel& cost() const = 0;
   virtual std::uint32_t random32() = 0;
+
+  // ---- Observability -----------------------------------------------------
+  // Record a trace event in the organization's tracer (stamped with the
+  // environment's notion of "now"). Default: no tracer, no-op -- protocol
+  // code can trace unconditionally.
+  virtual void trace(sim::TraceEventType /*type*/, std::int64_t /*id*/ = 0,
+                     std::int64_t /*a*/ = 0, std::int64_t /*b*/ = 0,
+                     const char* /*detail*/ = nullptr) {}
 
   // ---- Timers -------------------------------------------------------------
   // Run `cb` in this stack's execution context after `delay`. The context

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 namespace ulnet::proto {
 
@@ -247,12 +249,43 @@ TxFlow TcpConnection::tx_flow() const {
   return TxFlow{local_ip_, remote_ip_, kProtoTcp, local_port_, remote_port_};
 }
 
+void TcpConnection::set_state(TcpState s) {
+  if (s == state_) return;
+  state_ = s;
+  stats_.state_transitions++;
+  mod_.env().trace(sim::TraceEventType::kTcpState, trace_id(), 0, 0,
+                   to_string(s));
+}
+
+void TcpConnection::note_retransmit(std::uint32_t seq, bool fast) {
+  retransmit_count_++;
+  stats_.retransmits++;
+  mod_.counters().retransmits++;
+  if (fast) {
+    stats_.fast_retransmits++;
+    mod_.counters().fast_retransmits++;
+  }
+  mod_.env().trace(sim::TraceEventType::kTcpRetransmit, trace_id(),
+                   static_cast<std::int64_t>(seq - iss_), fast ? 1 : 0);
+}
+
+void TcpConnection::note_queues() {
+  stats_.cwnd_max = std::max<std::uint64_t>(stats_.cwnd_max, cwnd_);
+  stats_.snd_wnd_max = std::max<std::uint64_t>(stats_.snd_wnd_max, snd_wnd_);
+  stats_.snd_buf_max =
+      std::max<std::uint64_t>(stats_.snd_buf_max, snd_buf_.size());
+  stats_.rcv_queue_max =
+      std::max<std::uint64_t>(stats_.rcv_queue_max, rcv_queue_.size());
+  stats_.ooo_bytes_max =
+      std::max<std::uint64_t>(stats_.ooo_bytes_max, ooo_bytes_);
+}
+
 void TcpConnection::start_active_open() {
   iss_ = mod_.env().random32();
   snd_una_ = iss_;
   snd_nxt_ = iss_;
   snd_max_ = iss_;
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
   TcpFlags f;
   f.syn = true;
   emit_segment(snd_nxt_, {}, f, /*mss_opt=*/true);
@@ -275,7 +308,7 @@ void TcpConnection::start_passive_open(const TcpHeader& syn) {
   snd_una_ = iss_;
   snd_nxt_ = iss_;
   snd_max_ = iss_;
-  state_ = TcpState::kSynReceived;
+  set_state(TcpState::kSynReceived);
   TcpFlags f;
   f.syn = true;
   f.ack = true;
@@ -315,6 +348,8 @@ void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
 
   mod_.counters().segments_sent++;
   mod_.counters().bytes_sent += payload.size();
+  stats_.segments_out++;
+  stats_.bytes_out += payload.size();
   if (flags.ack) {
     // Any ACK-bearing segment satisfies pending delayed-ACK obligations.
     if (delack_timer_ != timer::kInvalidTimer) {
@@ -335,6 +370,7 @@ void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
                                 static_cast<std::uint32_t>(payload.size()) +
                                 (flags.syn ? 1 : 0) + (flags.fin ? 1 : 0);
   if (seq_gt(seg_end, snd_max_)) snd_max_ = seg_end;
+  note_queues();
 
   mod_.ip().send(local_ip_, remote_ip_, kProtoTcp, std::move(seg), &flow);
 }
@@ -354,6 +390,7 @@ std::size_t TcpConnection::send(buf::ByteView data) {
   if (n == 0) return 0;
   snd_buf_.insert(snd_buf_.end(), data.begin(), data.begin() + n);
   push_marks_.push_back(snd_buf_end_seq());
+  note_queues();
   if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
     output(false);
   }
@@ -438,8 +475,7 @@ void TcpConnection::output(bool force_ack) {
 
       // Classify before emitting: emit_segment itself advances snd_max.
       if (seq_lt(snd_nxt_, snd_max_)) {
-        retransmit_count_++;
-        mod_.counters().retransmits++;
+        note_retransmit(snd_nxt_, /*fast=*/false);
       }
       emit_segment(snd_nxt_, chunk, f, false);
 
@@ -501,6 +537,7 @@ void TcpConnection::send_rst() {
 
 void TcpConnection::segment_arrived(const TcpHeader& t,
                                     buf::ByteView payload) {
+  stats_.segments_in++;
   switch (state_) {
     case TcpState::kClosed:
       return;
@@ -539,7 +576,7 @@ void TcpConnection::segment_arrived(const TcpHeader& t,
         irs_ = t.seq;
         rcv_nxt_ = t.seq + 1;
         snd_wnd_ = t.wnd;
-        state_ = TcpState::kSynReceived;
+        set_state(TcpState::kSynReceived);
         TcpFlags f;
         f.syn = true;
         f.ack = true;
@@ -640,7 +677,7 @@ void TcpConnection::segment_arrived(const TcpHeader& t,
   if (fin_acked) {
     switch (state_) {
       case TcpState::kFinWait1:
-        state_ = TcpState::kFinWait2;
+        set_state(TcpState::kFinWait2);
         break;
       case TcpState::kClosing:
         enter_time_wait();
@@ -679,6 +716,7 @@ void TcpConnection::process_ack(const TcpHeader& t) {
     if (ack == snd_una_ && seq_gt(snd_max_, snd_una_) && t.wnd == snd_wnd_) {
       dup_acks_++;
       mod_.counters().dup_acks_in++;
+      stats_.dup_acks_in++;
       if (dup_acks_ == 3) {
         // Fast retransmit (Reno).
         ssthresh_ = std::max<std::size_t>(2 * mss_, flight_size() / 2);
@@ -690,9 +728,7 @@ void TcpConnection::process_ack(const TcpHeader& t) {
           TcpFlags f;
           f.ack = true;
           emit_segment(snd_una_, chunk, f, false);
-          mod_.counters().fast_retransmits++;
-          mod_.counters().retransmits++;
-          retransmit_count_++;
+          note_retransmit(snd_una_, /*fast=*/true);
         } else if (fin_sent_ && snd_una_ == fin_seq_) {
           TcpFlags f;
           f.fin = true;
@@ -750,8 +786,7 @@ void TcpConnection::process_ack(const TcpHeader& t) {
         TcpFlags f;
         f.ack = true;
         emit_segment(snd_una_, chunk, f, false);
-        mod_.counters().retransmits++;
-        retransmit_count_++;
+        note_retransmit(snd_una_, /*fast=*/false);
       }
     }
   } else {
@@ -765,6 +800,7 @@ void TcpConnection::process_ack(const TcpHeader& t) {
   }
 
   snd_wnd_ = t.wnd;
+  note_queues();
   if (snd_wnd_ > 0 && persist_timer_ != timer::kInvalidTimer) {
     mod_.env().cancel_timer(persist_timer_);
     persist_timer_ = timer::kInvalidTimer;
@@ -813,6 +849,7 @@ void TcpConnection::process_payload(const TcpHeader& t,
                       data.begin() + static_cast<long>(take));
     rcv_nxt_ += static_cast<std::uint32_t>(take);
     mod_.counters().bytes_received += take;
+    stats_.bytes_in += take;
 
     // Pull any out-of-order segments that are now contiguous.
     for (auto it = ooo_.begin(); it != ooo_.end();) {
@@ -832,9 +869,11 @@ void TcpConnection::process_payload(const TcpHeader& t,
                         seg.begin() + static_cast<long>(skip), seg.end());
       rcv_nxt_ += static_cast<std::uint32_t>(add);
       mod_.counters().bytes_received += add;
+      stats_.bytes_in += add;
       ooo_bytes_ -= seg.size();
       it = ooo_.erase(it);
     }
+    note_queues();
 
     if (observer_ != nullptr && take > 0) observer_->on_data_ready(*this);
 
@@ -851,12 +890,14 @@ void TcpConnection::process_payload(const TcpHeader& t,
 
   // Out of order: stash (bounded by buffer space) and duplicate-ACK.
   mod_.counters().out_of_order++;
+  stats_.out_of_order++;
   const std::size_t space = cfg_.recv_buf > rcv_queue_.size() + ooo_bytes_
                                 ? cfg_.recv_buf - rcv_queue_.size() - ooo_bytes_
                                 : 0;
   if (data.size() <= space && !ooo_.contains(seq)) {
     ooo_.emplace(seq, buf::Bytes(data.begin(), data.end()));
     ooo_bytes_ += data.size();
+    note_queues();
   }
   send_ack_now();
 }
@@ -879,13 +920,13 @@ void TcpConnection::process_fin(std::uint32_t fin_seq) {
 
   switch (state_) {
     case TcpState::kEstablished:
-      state_ = TcpState::kCloseWait;
+      set_state(TcpState::kCloseWait);
       break;
     case TcpState::kFinWait1:
       if (fin_sent_ && seq_ge(snd_una_, fin_seq_ + 1)) {
         enter_time_wait();
       } else {
-        state_ = TcpState::kClosing;
+        set_state(TcpState::kClosing);
       }
       break;
     case TcpState::kFinWait2:
@@ -901,7 +942,7 @@ void TcpConnection::process_fin(std::uint32_t fin_seq) {
 
 void TcpConnection::established() {
   const bool passive = state_ == TcpState::kSynReceived;
-  state_ = TcpState::kEstablished;
+  set_state(TcpState::kEstablished);
   if (passive) {
     mod_.counters().conns_accepted++;
     if (observer_ != nullptr) observer_->on_accept(*this);
@@ -910,7 +951,7 @@ void TcpConnection::established() {
 }
 
 void TcpConnection::enter_time_wait() {
-  state_ = TcpState::kTimeWait;
+  set_state(TcpState::kTimeWait);
   cancel_rtx();
   if (persist_timer_ != timer::kInvalidTimer) {
     mod_.env().cancel_timer(persist_timer_);
@@ -930,7 +971,7 @@ void TcpConnection::time_wait_timeout() {
 
 void TcpConnection::terminate(const std::string& reason) {
   cancel_all_timers();
-  state_ = TcpState::kClosed;
+  set_state(TcpState::kClosed);
   if (observer_ != nullptr) observer_->on_closed(*this, reason);
 }
 
@@ -946,12 +987,12 @@ void TcpConnection::close() {
     case TcpState::kSynReceived:
     case TcpState::kEstablished:
       fin_pending_ = true;
-      state_ = TcpState::kFinWait1;
+      set_state(TcpState::kFinWait1);
       output(false);
       break;
     case TcpState::kCloseWait:
       fin_pending_ = true;
-      state_ = TcpState::kLastAck;
+      set_state(TcpState::kLastAck);
       output(false);
       break;
     default:
@@ -993,6 +1034,7 @@ void TcpConnection::rtx_timeout() {
   rtx_timer_ = timer::kInvalidTimer;
   rtx_shift_++;
   mod_.counters().timeouts++;
+  stats_.timeouts++;
 
   if (rtx_shift_ > cfg_.max_retransmits) {
     terminate("connection timed out");
@@ -1005,8 +1047,7 @@ void TcpConnection::rtx_timeout() {
     TcpFlags f;
     f.syn = true;
     emit_segment(iss_, {}, f, true);
-    mod_.counters().retransmits++;
-    retransmit_count_++;
+    note_retransmit(iss_, /*fast=*/false);
     arm_rtx();
     return;
   }
@@ -1015,8 +1056,7 @@ void TcpConnection::rtx_timeout() {
     f.syn = true;
     f.ack = true;
     emit_segment(iss_, {}, f, true);
-    mod_.counters().retransmits++;
-    retransmit_count_++;
+    note_retransmit(iss_, /*fast=*/false);
     arm_rtx();
     return;
   }
@@ -1058,6 +1098,7 @@ void TcpConnection::persist_timeout() {
     f.ack = true;
     emit_segment(snd_nxt_, probe, f, false);
     mod_.counters().persists++;
+    stats_.persists++;
     snd_nxt_ += 1;
     if (rtx_timer_ == timer::kInvalidTimer) arm_rtx();
   }
@@ -1090,6 +1131,7 @@ void TcpConnection::cancel_all_timers() {
 // ---------------------------------------------------------------------------
 
 void TcpConnection::rtt_sample(sim::Time measured) {
+  stats_.rtt_samples++;
   if (srtt_ == 0) {
     srtt_ = measured;
     rttvar_ = measured / 2;
@@ -1099,6 +1141,101 @@ void TcpConnection::rtt_sample(sim::Time measured) {
     rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;
   }
   rto_ = std::clamp(srtt_ + 4 * rttvar_, cfg_.rto_min, cfg_.rto_max);
+}
+
+// ---------------------------------------------------------------------------
+// Observability dumps
+// ---------------------------------------------------------------------------
+
+std::string TcpConnection::dump_json() const {
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"local\":\"%s:%u\",\"remote\":\"%s:%u\",\"state\":\"%s\","
+      "\"mss\":%zu,\"srtt_us\":%lld,\"rttvar_us\":%lld,\"rto_us\":%lld,"
+      "\"cwnd\":%zu,\"ssthresh\":%zu,\"snd_wnd\":%llu,\"flight\":%zu,"
+      "\"snd_buf_depth\":%zu,\"rcv_queue_depth\":%zu,\"ooo_bytes\":%zu,"
+      "\"stats\":{\"segments_in\":%llu,\"segments_out\":%llu,"
+      "\"bytes_in\":%llu,\"bytes_out\":%llu,\"retransmits\":%llu,"
+      "\"fast_retransmits\":%llu,\"timeouts\":%llu,\"dup_acks_in\":%llu,"
+      "\"out_of_order\":%llu,\"persists\":%llu,\"rtt_samples\":%llu,"
+      "\"state_transitions\":%llu,\"cwnd_max\":%llu,\"snd_wnd_max\":%llu,"
+      "\"snd_buf_max\":%llu,\"rcv_queue_max\":%llu,\"ooo_bytes_max\":%llu}}",
+      local_ip_.to_string().c_str(), local_port_,
+      remote_ip_.to_string().c_str(), remote_port_, to_string(state_), mss_,
+      static_cast<long long>(srtt_ / 1000),
+      static_cast<long long>(rttvar_ / 1000),
+      static_cast<long long>(rto_ / 1000), cwnd_, ssthresh_,
+      static_cast<unsigned long long>(snd_wnd_), flight_size(),
+      snd_buf_.size(), rcv_queue_.size(), ooo_bytes_,
+      static_cast<unsigned long long>(stats_.segments_in),
+      static_cast<unsigned long long>(stats_.segments_out),
+      static_cast<unsigned long long>(stats_.bytes_in),
+      static_cast<unsigned long long>(stats_.bytes_out),
+      static_cast<unsigned long long>(stats_.retransmits),
+      static_cast<unsigned long long>(stats_.fast_retransmits),
+      static_cast<unsigned long long>(stats_.timeouts),
+      static_cast<unsigned long long>(stats_.dup_acks_in),
+      static_cast<unsigned long long>(stats_.out_of_order),
+      static_cast<unsigned long long>(stats_.persists),
+      static_cast<unsigned long long>(stats_.rtt_samples),
+      static_cast<unsigned long long>(stats_.state_transitions),
+      static_cast<unsigned long long>(stats_.cwnd_max),
+      static_cast<unsigned long long>(stats_.snd_wnd_max),
+      static_cast<unsigned long long>(stats_.snd_buf_max),
+      static_cast<unsigned long long>(stats_.rcv_queue_max),
+      static_cast<unsigned long long>(stats_.ooo_bytes_max));
+  return buf;
+}
+
+std::string TcpModule::dump_json() const {
+  // unordered_map iteration order is not deterministic; order by 4-tuple.
+  std::vector<const TcpConnection*> ordered;
+  ordered.reserve(conns_.size());
+  for (const auto& [key, conn] : conns_) ordered.push_back(conn.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TcpConnection* a, const TcpConnection* b) {
+              return std::tuple(a->local_port(), a->remote_port(),
+                                a->remote_ip().value, a->local_ip().value) <
+                     std::tuple(b->local_port(), b->remote_port(),
+                                b->remote_ip().value, b->local_ip().value);
+            });
+
+  std::string out = "{\"connections\":[";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ordered[i]->dump_json();
+  }
+  out += "],\"counters\":{";
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"segments_sent\":%llu,\"segments_received\":%llu,"
+      "\"bytes_sent\":%llu,\"bytes_received\":%llu,\"retransmits\":%llu,"
+      "\"fast_retransmits\":%llu,\"timeouts\":%llu,\"dup_acks_in\":%llu,"
+      "\"pure_acks_sent\":%llu,\"delayed_acks\":%llu,\"bad_checksum\":%llu,"
+      "\"out_of_order\":%llu,\"rst_sent\":%llu,\"rst_received\":%llu,"
+      "\"persists\":%llu,\"conns_opened\":%llu,\"conns_accepted\":%llu",
+      static_cast<unsigned long long>(counters_.segments_sent),
+      static_cast<unsigned long long>(counters_.segments_received),
+      static_cast<unsigned long long>(counters_.bytes_sent),
+      static_cast<unsigned long long>(counters_.bytes_received),
+      static_cast<unsigned long long>(counters_.retransmits),
+      static_cast<unsigned long long>(counters_.fast_retransmits),
+      static_cast<unsigned long long>(counters_.timeouts),
+      static_cast<unsigned long long>(counters_.dup_acks_in),
+      static_cast<unsigned long long>(counters_.pure_acks_sent),
+      static_cast<unsigned long long>(counters_.delayed_acks),
+      static_cast<unsigned long long>(counters_.bad_checksum),
+      static_cast<unsigned long long>(counters_.out_of_order),
+      static_cast<unsigned long long>(counters_.rst_sent),
+      static_cast<unsigned long long>(counters_.rst_received),
+      static_cast<unsigned long long>(counters_.persists),
+      static_cast<unsigned long long>(counters_.conns_opened),
+      static_cast<unsigned long long>(counters_.conns_accepted));
+  out += buf;
+  out += "}}";
+  return out;
 }
 
 }  // namespace ulnet::proto

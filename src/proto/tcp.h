@@ -119,6 +119,31 @@ struct TcpCounters {
   std::uint64_t conns_accepted = 0;
 };
 
+// Per-connection attribution of traffic, loss recovery, and window / queue
+// evolution -- the paper's per-connection mechanisms (threads, channels,
+// timers are all per-connection at user level) made observable per
+// connection. Read via TcpConnection::stats() or dump_json().
+struct TcpConnStats {
+  std::uint64_t segments_in = 0;
+  std::uint64_t segments_out = 0;
+  std::uint64_t bytes_in = 0;   // in-order payload accepted for the app
+  std::uint64_t bytes_out = 0;  // payload emitted (retransmissions included)
+  std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_acks_in = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t persists = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t state_transitions = 0;
+  // High-water marks (window and queue evolution).
+  std::uint64_t cwnd_max = 0;
+  std::uint64_t snd_wnd_max = 0;
+  std::uint64_t snd_buf_max = 0;    // send-buffer occupancy
+  std::uint64_t rcv_queue_max = 0;  // in-order receive queue occupancy
+  std::uint64_t ooo_bytes_max = 0;  // reassembly-queue occupancy
+};
+
 // A snapshot of an established connection, used to hand a connection from
 // one TcpModule instance to another (the paper's registry server completes
 // the three-way handshake and then "transfers TCP state to user level").
@@ -181,6 +206,10 @@ class TcpModule {
   TcpCounters& counters() { return counters_; }
   StackEnv& env() { return env_; }
   IpModule& ip() { return ip_; }
+
+  // Every connection (deterministically ordered by 4-tuple) plus the module
+  // counters, as one JSON object.
+  [[nodiscard]] std::string dump_json() const;
 
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
 
@@ -261,6 +290,10 @@ class TcpConnection {
   [[nodiscard]] std::uint64_t retransmit_count() const {
     return retransmit_count_;
   }
+  [[nodiscard]] const TcpConnStats& stats() const { return stats_; }
+  // 4-tuple, state, estimators, windows, queue depths, and stats() as one
+  // JSON object.
+  [[nodiscard]] std::string dump_json() const;
 
   // Snapshot an ESTABLISHED connection for hand-off to another TcpModule.
   // The send buffer must be empty (the registry never queues user data).
@@ -310,6 +343,16 @@ class TcpConnection {
 
   // RTT estimation.
   void rtt_sample(sim::Time measured);
+
+  // Observability: all state transitions and retransmissions funnel through
+  // these so stats and trace events cannot drift out of sync with the
+  // protocol machine.
+  void set_state(TcpState s);
+  void note_retransmit(std::uint32_t seq, bool fast);
+  void note_queues();  // refresh window / queue high-water marks
+  [[nodiscard]] std::int64_t trace_id() const {
+    return (static_cast<std::int64_t>(local_port_) << 16) | remote_port_;
+  }
 
   [[nodiscard]] std::size_t flight_size() const { return snd_nxt_ - snd_una_; }
   [[nodiscard]] std::uint32_t snd_buf_end_seq() const {
@@ -373,6 +416,7 @@ class TcpConnection {
 
   std::uint64_t retransmit_count_ = 0;
   bool in_fast_recovery_ = false;
+  TcpConnStats stats_;
 };
 
 }  // namespace ulnet::proto

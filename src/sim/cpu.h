@@ -23,6 +23,7 @@
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 #include "sim/metrics.h"
+#include "sim/trace.h"
 
 namespace ulnet::sim {
 
@@ -80,6 +81,23 @@ class Cpu {
   }
   void defer(std::function<void()> fn);
 
+  // Observability: the world's tracer (if any) plus this host's ordinal,
+  // used as the "pid" in exported traces. Installed by os::World.
+  void set_tracer(Tracer* t, int host_ord) {
+    tracer_ = t;
+    host_ord_ = host_ord;
+  }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] int host_ord() const { return host_ord_; }
+  // Record an event stamped with the current task instant (or the loop
+  // clock outside any task). One branch when tracing is off.
+  void trace(TraceEventType type, std::int64_t id = 0, std::int64_t a = 0,
+             std::int64_t b = 0, const char* detail = nullptr) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    const Time ts = current_ != nullptr ? current_->now() : loop_.now();
+    tracer_->record(TraceEvent{ts, type, host_ord_, id, a, b, detail});
+  }
+
   [[nodiscard]] Time busy_ns() const { return busy_ns_; }
   [[nodiscard]] std::uint64_t tasks_run() const { return tasks_run_; }
   [[nodiscard]] std::uint64_t switches() const { return switches_; }
@@ -103,6 +121,8 @@ class Cpu {
   EventLoop& loop_;
   const CostModel& cost_;
   Metrics& metrics_;
+  Tracer* tracer_ = nullptr;
+  int host_ord_ = 0;
   std::string name_;
   std::deque<Pending> queues_[2];  // [interrupt, normal]
   bool busy_ = false;

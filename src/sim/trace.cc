@@ -1,0 +1,125 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace ulnet::sim {
+
+const char* to_string(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kPacketTx: return "packet.tx";
+    case TraceEventType::kPacketRx: return "packet.rx";
+    case TraceEventType::kDemuxMatch: return "demux.match";
+    case TraceEventType::kDemuxDrop: return "demux.drop";
+    case TraceEventType::kTemplateCheck: return "template.check";
+    case TraceEventType::kTemplateReject: return "template.reject";
+    case TraceEventType::kSemSignal: return "sem.signal";
+    case TraceEventType::kSemWakeup: return "sem.wakeup";
+    case TraceEventType::kTimerSchedule: return "timer.schedule";
+    case TraceEventType::kTimerFire: return "timer.fire";
+    case TraceEventType::kTimerCancel: return "timer.cancel";
+    case TraceEventType::kTcpState: return "tcp.state";
+    case TraceEventType::kTcpRetransmit: return "tcp.retransmit";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  if (!enabled_) return;
+  recorded_++;
+  if (size_ < capacity_) {
+    ring_[(head_ + size_) % capacity_] = ev;
+    size_++;
+  } else {
+    ring_[head_] = ev;  // overwrite the oldest
+    head_ = (head_ + 1) % capacity_;
+    overwritten_++;
+  }
+}
+
+const TraceEvent& Tracer::at(std::size_t i) const {
+  return ring_[(head_ + i) % capacity_];
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  overwritten_ = 0;
+}
+
+namespace {
+
+// The only free-form strings in a trace are the static `detail` names, but
+// escape defensively so the output is always valid JSON.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  std::string out;
+  out.reserve(size_ * 160 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& ev = at(i);
+    if (i != 0) out += ',';
+    // "ts" is microseconds in the trace_event format; emit fractional us so
+    // nanosecond-resolution simulated timestamps survive.
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"ulnet\",\"ph\":\"i\","
+                  "\"s\":\"t\",\"ts\":%lld.%03lld,\"pid\":%d,\"tid\":0,"
+                  "\"args\":{\"id\":%lld,\"a\":%lld,\"b\":%lld",
+                  to_string(ev.type), static_cast<long long>(ev.ts / 1000),
+                  static_cast<long long>(ev.ts % 1000 < 0 ? -(ev.ts % 1000)
+                                                          : ev.ts % 1000),
+                  ev.host, static_cast<long long>(ev.id),
+                  static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+    out += buf;
+    if (ev.detail != nullptr) {
+      out += ",\"detail\":\"";
+      append_escaped(out, ev.detail);
+      out += '"';
+    }
+    out += "}}";
+  }
+  std::snprintf(buf, sizeof buf,
+                "],\"otherData\":{\"recorded_total\":%llu,"
+                "\"overwritten\":%llu}}",
+                static_cast<unsigned long long>(recorded_),
+                static_cast<unsigned long long>(overwritten_));
+  out += buf;
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ulnet::sim

@@ -1,0 +1,215 @@
+// Minimal recursive-descent JSON parser for tests that validate the JSON
+// emitted by the observability layer (Tracer::to_chrome_json, the module
+// dump_json methods, the bench --json files). Strict: the whole input must
+// be one well-formed JSON value with nothing but whitespace after it.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ulnet::testing {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace json_detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      pos_++;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue v;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        auto s = string();
+        if (!s) return std::nullopt;
+        v.type = JsonValue::Type::kString;
+        v.str = std::move(*s);
+        return v;
+      }
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        v.type = JsonValue::Type::kBool;
+        return v;
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  std::optional<JsonValue> object() {  // NOLINT(misc-no-recursion)
+    if (!eat('{')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      if (!eat(':')) return std::nullopt;
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*val));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {  // NOLINT(misc-no-recursion)
+    if (!eat('[')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.array.push_back(std::move(*val));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    pos_++;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // Tests only need ASCII escapes; anything else is preserved as '?'.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace json_detail
+
+inline std::optional<JsonValue> json_parse(std::string_view text) {
+  return json_detail::Parser(text).parse();
+}
+
+}  // namespace ulnet::testing

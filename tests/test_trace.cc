@@ -1,0 +1,236 @@
+// Observability layer tests: the bounded trace ring, Chrome-JSON export,
+// Metrics::delta_since coverage, tracing's zero effect on Metrics, and the
+// per-connection TCP stats.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "proto/tcp.h"
+#include "sim/metrics.h"
+#include "sim/trace.h"
+#include "support/json_lite.h"
+#include "support/stack_harness.h"
+#include "support/tcp_apps.h"
+
+namespace ulnet {
+namespace {
+
+using testing::json_parse;
+using testing::JsonValue;
+
+// ---------------------------------------------------------------------------
+// Metrics::delta_since
+// ---------------------------------------------------------------------------
+
+// Metrics is a plain struct of uint64 counters; treat it as an array so a
+// counter added to the struct but forgotten in delta_since() fails here
+// without this test changing: the new slot's delta comes out 0 (or garbage)
+// instead of the patterned 7 + i.
+TEST(Metrics, DeltaSinceCoversEveryCounter) {
+  static_assert(sizeof(sim::Metrics) % sizeof(std::uint64_t) == 0);
+  constexpr std::size_t kSlots = sizeof(sim::Metrics) / sizeof(std::uint64_t);
+
+  sim::Metrics base;
+  sim::Metrics cur;
+  auto* b = reinterpret_cast<std::uint64_t*>(&base);
+  auto* c = reinterpret_cast<std::uint64_t*>(&cur);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    b[i] = 1000 + 13 * i;
+    c[i] = b[i] + 7 + i;
+  }
+
+  const sim::Metrics d = cur.delta_since(base);
+  const auto* dd = reinterpret_cast<const std::uint64_t*>(&d);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    EXPECT_EQ(dd[i], 7 + i)
+        << "counter slot " << i << " is not subtracted in delta_since()";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer ring
+// ---------------------------------------------------------------------------
+
+sim::TraceEvent ev(sim::Time ts, std::int64_t id) {
+  sim::TraceEvent e;
+  e.ts = ts;
+  e.type = sim::TraceEventType::kPacketTx;
+  e.id = id;
+  return e;
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  sim::Tracer tr(4);
+  EXPECT_FALSE(tr.enabled());
+  tr.record(ev(1, 1));
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.recorded_total(), 0u);
+}
+
+TEST(Tracer, RingOverflowDropsOldestKeepsNewest) {
+  sim::Tracer tr(4);
+  tr.set_enabled(true);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    tr.record(ev(i, i));
+  }
+  EXPECT_EQ(tr.capacity(), 4u);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.recorded_total(), 10u);
+  EXPECT_EQ(tr.overwritten(), 6u);
+  // Oldest retained first: events 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tr.at(i).id, static_cast<std::int64_t>(6 + i));
+  }
+
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  tr.record(ev(42, 42));
+  EXPECT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr.at(0).id, 42);
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  sim::Tracer tr(16);
+  tr.set_enabled(true);
+  sim::TraceEvent e;
+  e.ts = 1234567;  // 1234.567 us
+  e.type = sim::TraceEventType::kTcpState;
+  e.host = 1;
+  e.id = 7;
+  e.detail = "ESTABLISHED";
+  tr.record(e);
+  e.ts = 2000000;
+  e.type = sim::TraceEventType::kDemuxDrop;
+  e.detail = "ring_full";
+  tr.record(e);
+
+  const auto doc = json_parse(tr.to_chrome_json());
+  ASSERT_TRUE(doc.has_value()) << "export is not valid JSON";
+  ASSERT_EQ(doc->type, JsonValue::Type::kObject);
+
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const JsonValue& first = events->array[0];
+  const JsonValue* name = first.find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->str, "tcp.state");
+  const JsonValue* ph = first.find("ph");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->str, "i");  // instant event
+  const JsonValue* ts = first.find("ts");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_DOUBLE_EQ(ts->number, 1234.567);  // microseconds
+  const JsonValue* args = first.find("args");
+  ASSERT_NE(args, nullptr);
+  const JsonValue* detail = args->find("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->str, "ESTABLISHED");
+
+  const JsonValue* other = doc->find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* recorded = other->find("recorded_total");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_DOUBLE_EQ(recorded->number, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing must not perturb the simulation
+// ---------------------------------------------------------------------------
+
+sim::Metrics bulk_metrics_delta(bool tracing) {
+  api::Testbed bed(api::OrgType::kUserLevel, api::LinkType::kEthernet,
+                   /*seed=*/5);
+  bed.world().tracer().set_enabled(tracing);
+  const sim::Metrics before = bed.world().metrics();
+  api::BulkTransfer bulk(bed, 96 * 1024, 2048);
+  const auto r = bulk.run();
+  EXPECT_TRUE(r.ok) << r.error;
+  if (tracing) {
+    EXPECT_GT(bed.world().tracer().recorded_total(), 0u);
+  }
+  return bed.world().metrics().delta_since(before);
+}
+
+TEST(Tracer, TracingOnVsOffYieldsIdenticalMetrics) {
+  const sim::Metrics off = bulk_metrics_delta(false);
+  const sim::Metrics on = bulk_metrics_delta(true);
+  EXPECT_EQ(std::memcmp(&off, &on, sizeof(sim::Metrics)), 0)
+      << "enabling the tracer changed the simulation's mechanism counts";
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection TCP stats
+// ---------------------------------------------------------------------------
+
+TEST(TcpConnStats, CountsTrafficAndRetransmitsUnderForcedLoss) {
+  sim::EventLoop loop;
+  sim::Rng rng(7);
+  testing::StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                          net::MacAddr::from_index(1, 0));
+  testing::StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                          net::MacAddr::from_index(2, 0));
+  testing::TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  testing::RecordingObserver server;
+  testing::RecordingObserver client;
+  ASSERT_TRUE(b.stack().tcp().listen(80, &server));
+  proto::TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  ASSERT_NE(c, nullptr);
+  loop.run_until(5 * sim::kSec);
+  ASSERT_EQ(c->state(), proto::TcpState::kEstablished);
+  EXPECT_GT(c->stats().state_transitions, 0u);
+  EXPECT_EQ(c->stats().retransmits, 0u);
+
+  // Force loss: blackout while a write is in flight, then heal.
+  chan.loss_p = 1.0;
+  const auto payload = testing::pattern_bytes(0, 4000);
+  ASSERT_EQ(c->send(payload), payload.size());
+  loop.run_until(loop.now() + 10 * sim::kSec);
+  chan.loss_p = 0;
+  loop.run_until(loop.now() + 120 * sim::kSec);
+
+  ASSERT_EQ(server.received, payload);
+  EXPECT_GE(c->stats().retransmits, 1u);
+  EXPECT_GE(c->stats().timeouts, 1u);
+  EXPECT_EQ(c->stats().retransmits, c->retransmit_count());
+  EXPECT_GT(c->stats().segments_out, 0u);
+  EXPECT_GT(c->stats().segments_in, 0u);
+  EXPECT_GT(c->stats().bytes_out, payload.size())
+      << "retransmissions must make bytes_out exceed the user payload";
+  EXPECT_GT(c->stats().rtt_samples, 0u);
+  EXPECT_GE(c->stats().snd_buf_max, payload.size());
+  EXPECT_GT(c->stats().cwnd_max, 0u);
+
+  // Receiver side attribution.
+  ASSERT_NE(server.accepted_conn, nullptr);
+  EXPECT_EQ(server.accepted_conn->stats().bytes_in, payload.size());
+  EXPECT_GT(server.accepted_conn->stats().rcv_queue_max, 0u);
+
+  // dump_json: well-formed, and carries the retransmit count.
+  const auto conn_doc = json_parse(c->dump_json());
+  ASSERT_TRUE(conn_doc.has_value()) << c->dump_json();
+  const JsonValue* stats = conn_doc->find("stats");
+  ASSERT_NE(stats, nullptr);
+  const JsonValue* rtx = stats->find("retransmits");
+  ASSERT_NE(rtx, nullptr);
+  EXPECT_EQ(rtx->number, static_cast<double>(c->stats().retransmits));
+
+  const auto mod_doc = json_parse(a.stack().tcp().dump_json());
+  ASSERT_TRUE(mod_doc.has_value());
+  const JsonValue* conns = mod_doc->find("connections");
+  ASSERT_NE(conns, nullptr);
+  ASSERT_EQ(conns->array.size(), 1u);
+  const JsonValue* counters = mod_doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("retransmits"), nullptr);
+}
+
+}  // namespace
+}  // namespace ulnet

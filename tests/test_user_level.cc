@@ -4,11 +4,15 @@
 // demux modes, and connection passing between applications.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <limits>
+#include <set>
+#include <sstream>
 
 #include "api/testbed.h"
 #include "api/workloads.h"
 #include "core/user_level.h"
+#include "support/json_lite.h"
 
 namespace ulnet::api {
 namespace {
@@ -432,6 +436,67 @@ TEST(UserLevelMultiProtocol, TcpAndRrpLibrariesCoexist) {
   EXPECT_EQ(rpcs_done, 8);
   // RRP data really used the wildcard channel, not the registry fallback.
   EXPECT_EQ(bed.user_org_a()->netio(0).counters().send_rejects, 0u);
+}
+
+TEST(UserLevelObservability, TraceExportsValidChromeJson) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/9);
+  bed.world().tracer().set_enabled(true);
+
+  BulkTransfer bulk(bed, 96 * 1024, 2048);
+  ASSERT_TRUE(bulk.run().ok);
+
+  auto& tracer = bed.world().tracer();
+  ASSERT_GT(tracer.recorded_total(), 0u);
+
+  // The full user-level data path shows up: packet tx/rx, demux matches,
+  // template checks, semaphore signalling, timers, TCP transitions.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < tracer.size(); ++i) {
+    names.insert(to_string(tracer.at(i).type));
+  }
+  for (const char* expected :
+       {"packet.tx", "packet.rx", "demux.match", "template.check",
+        "sem.signal", "timer.schedule", "timer.fire", "tcp.state"}) {
+    EXPECT_TRUE(names.contains(expected)) << "no " << expected << " events";
+  }
+
+  // Round-trip through a file, as a user following docs/OBSERVABILITY.md
+  // would, and check the export is one well-formed Chrome trace object.
+  const std::string path = ::testing::TempDir() + "ulnet_trace.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = ulnet::testing::json_parse(ss.str());
+  ASSERT_TRUE(doc.has_value()) << "trace file is not valid JSON";
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array.size(), tracer.size());
+  for (const auto& e : events->array) {
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("ph"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+  }
+
+  // The per-channel stats agree with the module counters, and the module
+  // dump is itself valid JSON.
+  auto& netio = bed.user_org_b()->netio(0);
+  const auto netio_doc = ulnet::testing::json_parse(netio.dump_json());
+  ASSERT_TRUE(netio_doc.has_value()) << netio.dump_json();
+  ASSERT_NE(netio_doc->find("channels"), nullptr);
+  ASSERT_NE(netio_doc->find("totals"), nullptr);
+}
+
+TEST(UserLevelObservability, DeterministicTraceAcrossRuns) {
+  auto run = [] {
+    Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/11);
+    bed.world().tracer().set_enabled(true);
+    BulkTransfer bulk(bed, 32 * 1024, 2048);
+    EXPECT_TRUE(bulk.run().ok);
+    return bed.world().tracer().to_chrome_json();
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace
