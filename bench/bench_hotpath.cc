@@ -1,0 +1,199 @@
+// Hot-path microbenchmarks for the simulator substrate itself.
+//
+// Unlike the exhibit benches (which regenerate tables from the paper in
+// *simulated* time), this bench measures the *wall-clock* cost of the
+// simulator's hot paths: event-loop churn, packet-pool alloc/recycle,
+// Internet-checksum throughput, and an end-to-end TCP bulk transfer. These
+// are the numbers scripts/perf_gate.py compares against the committed
+// baseline in bench/BENCH_hotpath.json.
+//
+// Results carry "kind": wall-clock rows are host-dependent (gated with a
+// tolerance band); simulated rows (e.g. allocations per packet) must stay
+// bit-identical across runs on any host.
+//
+// Usage: bench_hotpath [--quick] [--json <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "bench/bench_util.h"
+#include "buf/checksum.h"
+#include "buf/packet_pool.h"
+#include "sim/event_loop.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Keep results observable so the optimizer cannot delete the measured work.
+volatile std::uint64_t g_sink = 0;
+
+void sink(std::uint64_t v) { g_sink = g_sink + v; }
+
+// --- Event-loop churn: schedule / cancel / fire mix -------------------------
+
+double bench_event_loop_ns_per_op(int rounds, int events_per_round) {
+  std::uint64_t ops = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    ulnet::sim::EventLoop loop;
+    std::vector<ulnet::sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(events_per_round));
+    std::uint64_t fired = 0;
+    for (int i = 0; i < events_per_round; ++i) {
+      // Interleaved deadlines exercise real heap movement, not append-only.
+      const ulnet::sim::Time when = (i % 7) * 1000 + i;
+      ids.push_back(loop.schedule_at(when, [&fired] { ++fired; }));
+    }
+    // Cancel every third event (timer-wheel-style churn), then drain.
+    for (std::size_t i = 0; i < ids.size(); i += 3) loop.cancel(ids[i]);
+    loop.run();
+    sink(fired);
+    ops += static_cast<std::uint64_t>(events_per_round);  // schedule+fire pairs
+  }
+  const double total_ns = ms_since(t0) * 1e6;
+  return total_ns / static_cast<double>(ops);
+}
+
+// --- Packet pool: acquire/recycle vs plain vector allocation ----------------
+
+double bench_pool_ns_per_cycle(int iters, std::size_t size) {
+  ulnet::buf::PacketPool pool;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    ulnet::buf::Bytes b = pool.acquire(size);
+    b.resize(size);
+    b[0] = static_cast<std::uint8_t>(i);
+    sink(b[0]);
+    pool.recycle(std::move(b));
+  }
+  return ms_since(t0) * 1e6 / iters;
+}
+
+double bench_malloc_ns_per_cycle(int iters, std::size_t size) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    ulnet::buf::Bytes b;
+    b.reserve(size);
+    b.resize(size);
+    b[0] = static_cast<std::uint8_t>(i);
+    sink(b[0]);
+  }
+  return ms_since(t0) * 1e6 / iters;
+}
+
+// --- Checksum throughput ----------------------------------------------------
+
+template <typename ChecksumFn>
+double bench_checksum_mb_per_s(int iters, ChecksumFn fn) {
+  ulnet::buf::Bytes data(64 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    sink(fn(data));
+  }
+  const double secs = ms_since(t0) / 1e3;
+  const double bytes = static_cast<double>(data.size()) * iters;
+  return bytes / (1024.0 * 1024.0) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ulnet;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  bench::JsonReport report(argc, argv, "bench_hotpath", "hot paths");
+
+  bench::heading("Simulator hot paths (wall clock)");
+  bench::row_header({"path", "result"});
+
+  // Event loop.
+  const double ev_ns = bench_event_loop_ns_per_op(quick ? 20 : 200, 10000);
+  std::printf("%-34s%-34s\n", "event loop churn",
+              bench::cellf("%.1f ns/op", ev_ns).c_str());
+  report.add("event_loop_churn", "latency", "ns/op", ev_ns, std::nullopt,
+             {{"events", 10000}, {"higher_is_better", 0}}, "wallclock");
+
+  // Pool vs plain allocation.
+  const int pool_iters = quick ? 200000 : 2000000;
+  const double pool_ns = bench_pool_ns_per_cycle(pool_iters, 1500);
+  const double malloc_ns = bench_malloc_ns_per_cycle(pool_iters, 1500);
+  std::printf("%-34s%-34s\n", "pool acquire+recycle (1500B)",
+              bench::cellf("%.1f ns/cycle", pool_ns).c_str());
+  std::printf("%-34s%-34s\n", "plain vector alloc (1500B)",
+              bench::cellf("%.1f ns/cycle", malloc_ns).c_str());
+  report.add("pool_cycle_1500", "latency", "ns/op", pool_ns, std::nullopt,
+             {{"bytes", 1500}, {"higher_is_better", 0}}, "wallclock");
+  report.add("malloc_cycle_1500", "latency", "ns/op", malloc_ns, std::nullopt,
+             {{"bytes", 1500}, {"higher_is_better", 0}}, "wallclock");
+
+  // Checksum.
+  const int ck_iters = quick ? 2000 : 20000;
+  const double word_mbs = bench_checksum_mb_per_s(
+      ck_iters,
+      [](buf::ByteView v) { return ulnet::buf::internet_checksum(v); });
+  const double scalar_mbs = bench_checksum_mb_per_s(
+      ck_iters,
+      [](buf::ByteView v) { return ulnet::buf::internet_checksum_scalar(v); });
+  std::printf("%-34s%-34s\n", "checksum (word-at-a-time)",
+              bench::cellf("%.0f MB/s", word_mbs).c_str());
+  std::printf("%-34s%-34s\n", "checksum (scalar reference)",
+              bench::cellf("%.0f MB/s", scalar_mbs).c_str());
+  report.add("checksum_word", "throughput", "MB/s", word_mbs, std::nullopt,
+             {{"buffer", 65536}, {"higher_is_better", 1}}, "wallclock");
+  report.add("checksum_scalar", "throughput", "MB/s", scalar_mbs, std::nullopt,
+             {{"buffer", 65536}, {"higher_is_better", 1}}, "wallclock");
+
+  // End-to-end TCP bulk transfer (the paper's user-level organization).
+  const std::size_t total = quick ? 256 * 1024 : 1024 * 1024;
+  const auto t0 = Clock::now();
+  api::Testbed bed(api::OrgType::kUserLevel, api::LinkType::kEthernet, 1);
+  api::BulkTransfer bulk(bed, total, 4096);
+  auto r = bulk.run();
+  const double bulk_ms = ms_since(t0);
+  const sim::Metrics& m = bed.world().metrics();
+  const double packets =
+      static_cast<double>(m.packets_tx + m.packets_rx);
+  const double acquires = static_cast<double>(m.pool_hits + m.pool_misses);
+  const double heap_per_pkt =
+      packets > 0 ? static_cast<double>(m.pool_misses) / packets : 0;
+  const double acquires_per_pkt = packets > 0 ? acquires / packets : 0;
+  std::printf("%-34s%-34s\n", "TCP bulk (user-level, wall)",
+              bench::cellf("%.1f ms", bulk_ms).c_str());
+  std::printf("%-34s%-34s\n", "  heap allocs per packet",
+              bench::cellf("%.3f", heap_per_pkt).c_str());
+  std::printf("%-34s%-34s\n", "  pool acquires per packet",
+              bench::cellf("%.3f", acquires_per_pkt).c_str());
+  std::printf("%-34s%-34s\n", "  pool hit rate",
+              bench::cellf("%.1f %%",
+                           acquires > 0 ? 100.0 * m.pool_hits / acquires : 0)
+                  .c_str());
+  if (!r.ok) std::fprintf(stderr, "bulk transfer failed\n");
+  report.add("tcp_bulk_user_level", "wall_time", "ms", bulk_ms, std::nullopt,
+             {{"bytes", static_cast<double>(total)},
+              {"higher_is_better", 0}},
+             "wallclock");
+  // Deterministic rows: identical on every host for a given build.
+  report.add("tcp_bulk_user_level", "heap_allocs_per_packet", "allocs/pkt",
+             heap_per_pkt, std::nullopt,
+             {{"bytes", static_cast<double>(total)}}, "simulated");
+  report.add("tcp_bulk_user_level", "pool_acquires_per_packet", "acquires/pkt",
+             acquires_per_pkt, std::nullopt,
+             {{"bytes", static_cast<double>(total)}}, "simulated");
+
+  if (!report.write()) return 1;
+  return r.ok ? 0 : 1;
+}

@@ -46,8 +46,12 @@ inline std::string cellf(const char* fmt, double v) {
 //
 //   {"schema_version": 1, "bench": "<binary name>", "exhibit": "<Table N>",
 //    "results": [{"label": str, "metric": str, "unit": str, "value": num,
-//                 "paper_value": num?, "params": {str: num, ...}?}, ...]}
+//                 "paper_value": num?, "params": {str: num, ...}?,
+//                 "kind": "simulated"|"wallclock"?}, ...]}
 //
+// `kind` distinguishes simulated-time measurements (deterministic, must be
+// bit-identical across runs) from wall-clock ones (host-dependent; gated
+// with a tolerance band by scripts/perf_gate.py). Omitted means simulated.
 // The human-readable table still goes to stdout either way.
 class JsonReport {
  public:
@@ -67,10 +71,11 @@ class JsonReport {
 
   void add(std::string label, std::string metric, std::string unit,
            double value, std::optional<double> paper_value = std::nullopt,
-           std::vector<std::pair<std::string, double>> params = {}) {
+           std::vector<std::pair<std::string, double>> params = {},
+           std::string kind = {}) {
     results_.push_back(Result{std::move(label), std::move(metric),
                               std::move(unit), value, paper_value,
-                              std::move(params)});
+                              std::move(params), std::move(kind)});
   }
 
   // Returns false (with a message on stderr) if the file cannot be written;
@@ -96,6 +101,7 @@ class JsonReport {
              escape(r.metric) + "\",\"unit\":\"" + escape(r.unit) +
              "\",\"value\":" + number(r.value);
       if (r.paper_value) out += ",\"paper_value\":" + number(*r.paper_value);
+      if (!r.kind.empty()) out += ",\"kind\":\"" + escape(r.kind) + "\"";
       if (!r.params.empty()) {
         out += ",\"params\":{";
         for (std::size_t j = 0; j < r.params.size(); ++j) {
@@ -119,6 +125,7 @@ class JsonReport {
     double value;
     std::optional<double> paper_value;
     std::vector<std::pair<std::string, double>> params;
+    std::string kind;  // "", "simulated" or "wallclock"
   };
 
   static std::string escape(const std::string& s) {

@@ -13,8 +13,13 @@ Every bench in bench/ that reproduces a paper exhibit accepts
          "unit": str,              # e.g. "Mb/s"
          "value": number | null,   # null = measurement failed
          "paper_value": number,    # optional: the paper's published value
-         "params": {str: number}}, # optional: e.g. {"write_size": 512}
+         "params": {str: number},  # optional: e.g. {"write_size": 512}
+         "kind": str},             # optional: "simulated" | "wallclock"
         ...]}
+
+Wall-clock results ("kind": "wallclock") are host-dependent and compared
+against a committed baseline with a tolerance band by scripts/perf_gate.py;
+simulated results must be bit-identical across runs.
 
 Usage:
     check_bench_json.py out.json [more.json ...]
@@ -32,7 +37,8 @@ import sys
 import tempfile
 
 RESULT_REQUIRED = {"label": str, "metric": str, "unit": str}
-RESULT_OPTIONAL = {"value", "paper_value", "params"}
+RESULT_OPTIONAL = {"value", "paper_value", "params", "kind"}
+RESULT_KINDS = {"simulated", "wallclock"}
 
 
 def fail(path, msg):
@@ -62,6 +68,9 @@ def check_result(path, i, r):
         ok = fail(path, f"results[{i}].value is not a number or null")
     if "paper_value" in r and not is_number(r["paper_value"]):
         ok = fail(path, f"results[{i}].paper_value is not a number")
+    if "kind" in r and r["kind"] not in RESULT_KINDS:
+        ok = fail(path, f"results[{i}].kind is {r['kind']!r}, "
+                        f"expected one of {sorted(RESULT_KINDS)}")
     if "params" in r:
         if not isinstance(r["params"], dict):
             ok = fail(path, f"results[{i}].params is not an object")
@@ -98,11 +107,11 @@ def check_file(path):
     return ok
 
 
-def run_bench(binary):
+def run_bench(binary, extra_args):
     fd, path = tempfile.mkstemp(suffix=".json", prefix="bench_")
     os.close(fd)
     try:
-        proc = subprocess.run([binary, "--json", path],
+        proc = subprocess.run([binary, *extra_args, "--json", path],
                               stdout=subprocess.DEVNULL, timeout=600)
         if proc.returncode != 0:
             return fail(binary, f"exited with {proc.returncode}")
@@ -116,12 +125,20 @@ def main(argv):
         print(__doc__)
         return 2
     ok = True
+    extra_args = []
     i = 0
     while i < len(argv):
         if argv[i] == "--bench":
             if i + 1 >= len(argv):
                 return fail("argv", "--bench needs a binary path") or 2
-            ok = run_bench(argv[i + 1]) and ok
+            ok = run_bench(argv[i + 1], extra_args) and ok
+            i += 2
+        elif argv[i] == "--bench-args":
+            # One extra argument (repeatable) passed to later --bench runs,
+            # e.g. `--bench-args --quick --bench path/to/bench_hotpath`.
+            if i + 1 >= len(argv):
+                return fail("argv", "--bench-args needs an argument") or 2
+            extra_args.append(argv[i + 1])
             i += 2
         else:
             ok = check_file(argv[i]) and ok

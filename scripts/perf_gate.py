@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_hotpath run against the committed baseline.
+
+Wall-clock results ("kind": "wallclock") are host-dependent, so they are
+compared with a tolerance band: the gate fails only when the fresh value is
+worse than the baseline by more than --tolerance (default 0.30, i.e. 30%).
+Direction comes from the result's params.higher_is_better (0 = lower is
+better, e.g. ns/op; 1 = higher is better, e.g. MB/s). Results without the
+param default to lower-is-better.
+
+Simulated results ("kind": "simulated") are deterministic by construction
+and must match the baseline exactly -- any drift means the change altered
+simulated behaviour, not just wall-clock performance.
+
+Usage:
+    perf_gate.py --baseline bench/BENCH_hotpath.json --fresh out.json
+    perf_gate.py --baseline bench/BENCH_hotpath.json --run path/to/bench_hotpath
+        (runs `bench_hotpath --json <tmpfile>` and gates the tmpfile)
+
+Options:
+    --tolerance FRACTION   allowed wall-clock regression (default 0.30)
+    --quick                pass --quick to the bench in --run mode
+
+Refreshing the baseline after a deliberate change:
+    build/bench/bench_hotpath --json bench/BENCH_hotpath.json
+
+Exit status 0 iff every gated result passes. No third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def index_results(doc):
+    out = {}
+    for r in doc.get("results", []):
+        out[(r["label"], r["metric"])] = r
+    return out
+
+
+def gate(baseline_doc, fresh_doc, tolerance):
+    base = index_results(baseline_doc)
+    fresh = index_results(fresh_doc)
+    failures = []
+    compared = 0
+    for key, b in sorted(base.items()):
+        label = f"{key[0]}/{key[1]}"
+        f = fresh.get(key)
+        if f is None:
+            failures.append(f"{label}: missing from fresh run")
+            continue
+        bv, fv = b.get("value"), f.get("value")
+        if bv is None or fv is None:
+            failures.append(f"{label}: null value (baseline={bv}, fresh={fv})")
+            continue
+        kind = b.get("kind", "simulated")
+        compared += 1
+        if kind == "simulated":
+            if fv != bv:
+                failures.append(
+                    f"{label}: simulated value drifted "
+                    f"(baseline {bv}, fresh {fv}) -- simulated results must "
+                    "be bit-identical")
+            else:
+                print(f"  OK  {label}: {fv} (exact)")
+            continue
+        higher_is_better = bool(b.get("params", {}).get("higher_is_better", 0))
+        if higher_is_better:
+            limit = bv * (1.0 - tolerance)
+            bad = fv < limit
+            rel = (bv - fv) / bv if bv else 0.0
+        else:
+            limit = bv * (1.0 + tolerance)
+            bad = fv > limit
+            rel = (fv - bv) / bv if bv else 0.0
+        verdict = "FAIL" if bad else "  OK"
+        print(f"{verdict}  {label}: baseline {bv:g}, fresh {fv:g} "
+              f"({rel:+.1%} vs limit {tolerance:.0%})")
+        if bad:
+            failures.append(
+                f"{label}: regressed {rel:.1%} beyond the {tolerance:.0%} "
+                f"band (baseline {bv:g}, fresh {fv:g})")
+    if compared == 0:
+        failures.append("no comparable results between baseline and fresh run")
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--fresh")
+    ap.add_argument("--run", help="bench binary to execute for the fresh run")
+    ap.add_argument("--tolerance", type=float, default=0.30)
+    ap.add_argument("--quick", action="store_true",
+                    help="pass --quick to the bench in --run mode")
+    args = ap.parse_args(argv)
+    if bool(args.fresh) == bool(args.run):
+        ap.error("exactly one of --fresh / --run is required")
+
+    baseline_doc = load(args.baseline)
+
+    if args.run:
+        fd, path = tempfile.mkstemp(suffix=".json", prefix="hotpath_")
+        os.close(fd)
+        try:
+            cmd = [args.run, "--json", path]
+            if args.quick:
+                cmd.append("--quick")
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL, timeout=600)
+            if proc.returncode != 0:
+                print(f"{args.run}: exited with {proc.returncode}",
+                      file=sys.stderr)
+                return 1
+            fresh_doc = load(path)
+        finally:
+            os.unlink(path)
+    else:
+        fresh_doc = load(args.fresh)
+
+    failures = gate(baseline_doc, fresh_doc, args.tolerance)
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

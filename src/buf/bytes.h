@@ -18,7 +18,9 @@ using ByteView = std::span<const std::uint8_t>;
 
 inline void check_bounds(std::size_t off, std::size_t need, std::size_t size,
                          const char* what) {
-  if (off + need > size) {
+  // Overflow-safe form: `off + need > size` would wrap for huge offsets
+  // (e.g. off == SIZE_MAX) and wrongly pass the check.
+  if (need > size || off > size - need) {
     throw std::out_of_range(std::string(what) + ": offset " +
                             std::to_string(off) + "+" + std::to_string(need) +
                             " > size " + std::to_string(size));

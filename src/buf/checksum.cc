@@ -1,27 +1,44 @@
 #include "buf/checksum.h"
 
+#include <bit>
+#include <cstring>
+
 namespace ulnet::buf {
+
+namespace {
+
+// Load 8 bytes as the big-endian (network-order) 64-bit value they spell.
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  if constexpr (std::endian::native == std::endian::little) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+}  // namespace
 
 void ChecksumAccumulator::add(ByteView data) {
   std::size_t i = 0;
   if (odd_ && !data.empty()) {
     // Complete the pending high byte with this range's first byte.
-    sum_ += data[0];
+    add64(data[0]);
     odd_ = false;
     i = 1;
   }
+  // At this point the accumulation phase is 16-bit aligned, so big-endian
+  // 64-bit chunks are just four network-order words summed at once.
+  for (; i + 8 <= data.size(); i += 8) {
+    add64(load_be64(data.data() + i));
+  }
   for (; i + 1 < data.size(); i += 2) {
-    sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    add64((static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1]);
   }
   if (i < data.size()) {
-    sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+    add64(static_cast<std::uint32_t>(data[i]) << 8);
     odd_ = true;
   }
-}
-
-void ChecksumAccumulator::add16(std::uint16_t v) {
-  // add16 assumes 16-bit alignment in the virtual concatenation.
-  sum_ += v;
 }
 
 std::uint16_t ChecksumAccumulator::fold() const {
@@ -34,6 +51,19 @@ std::uint16_t internet_checksum(ByteView data) {
   ChecksumAccumulator acc;
   acc.add(data);
   return acc.fold();
+}
+
+std::uint16_t internet_checksum_scalar(ByteView data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
 }
 
 bool checksum_ok(ByteView data) {

@@ -3,6 +3,11 @@
 // function the paper's stack runs; its per-byte cost is charged from the
 // CostModel, while this computes the actual value so corruption tests can
 // observe real checksum failures.
+//
+// The accumulator sums 64 bits at a time (RFC 1071 section 2(A): word size
+// does not change the folded result) with end-around carry, falling back to
+// 16-bit words at range tails and odd boundaries. The original byte-pair
+// loop is kept as `internet_checksum_scalar`, the differential-test oracle.
 #pragma once
 
 #include <cstdint>
@@ -18,16 +23,29 @@ class ChecksumAccumulator {
   // concatenated, so a range with odd length shifts subsequent ranges --
   // callers must add ranges in wire order.
   void add(ByteView data);
-  void add16(std::uint16_t v);
+  void add16(std::uint16_t v) { add64(v); }
   [[nodiscard]] std::uint16_t fold() const;
 
  private:
+  // One's-complement 64-bit add: the end-around carry keeps the running
+  // sum valid no matter how many words are accumulated (a plain += could
+  // silently overflow when mixing 64-bit chunk adds).
+  void add64(std::uint64_t v) {
+    sum_ += v;
+    sum_ += static_cast<std::uint64_t>(sum_ < v);  // end-around carry
+  }
+
   std::uint64_t sum_ = 0;
   bool odd_ = false;  // true if an odd byte is pending from a prior range
 };
 
 // One-shot checksum of a contiguous range (header checksums).
 [[nodiscard]] std::uint16_t internet_checksum(ByteView data);
+
+// Reference implementation: the original byte-pair scalar loop. Kept as the
+// oracle for differential tests of the word-at-a-time path; not used on the
+// hot path.
+[[nodiscard]] std::uint16_t internet_checksum_scalar(ByteView data);
 
 // Verify: the sum over data *including* its checksum field must fold to 0.
 [[nodiscard]] bool checksum_ok(ByteView data);

@@ -1,0 +1,80 @@
+#include "buf/packet_pool.h"
+
+#include "sim/metrics.h"
+
+namespace ulnet::buf {
+
+namespace {
+
+// Smallest class whose size covers `n`, or kNumClasses if none.
+std::size_t class_covering(std::size_t n) {
+  for (std::size_t c = 0; c < PacketPool::kNumClasses; ++c) {
+    if (PacketPool::kClassSizes[c] >= n) return c;
+  }
+  return PacketPool::kNumClasses;
+}
+
+// Largest class whose size fits within capacity `cap`, or kNumClasses.
+std::size_t class_fitting(std::size_t cap) {
+  for (std::size_t c = PacketPool::kNumClasses; c-- > 0;) {
+    if (PacketPool::kClassSizes[c] <= cap) return c;
+  }
+  return PacketPool::kNumClasses;
+}
+
+}  // namespace
+
+Bytes PacketPool::acquire(std::size_t capacity_hint) {
+  Bytes out;
+  const std::size_t cls = class_covering(capacity_hint);
+  if (cls < kNumClasses && !free_[cls].empty()) {
+    out = std::move(free_[cls].back());
+    free_[cls].pop_back();
+    out.clear();  // keeps capacity
+    ++stats_.hits;
+    if (metrics_ != nullptr) ++metrics_->pool_hits;
+  } else {
+    out.reserve(cls < kNumClasses ? kClassSizes[cls] : capacity_hint);
+    ++stats_.misses;
+    if (metrics_ != nullptr) ++metrics_->pool_misses;
+  }
+  ++stats_.outstanding;
+  if (stats_.outstanding > stats_.high_water) {
+    stats_.high_water = stats_.outstanding;
+    if (metrics_ != nullptr) metrics_->pool_high_water = stats_.high_water;
+  }
+  return out;
+}
+
+void PacketPool::recycle(Bytes&& b) {
+  if (b.capacity() == 0) return;  // moved-from or never-allocated: nothing
+  ++stats_.recycles;
+  if (metrics_ != nullptr) ++metrics_->pool_recycles;
+  // Buffers may also reach us from outside the pool (e.g. test-built
+  // frames), so outstanding is a saturating difference.
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  const std::size_t cls = class_fitting(b.capacity());
+  if (cls < kNumClasses && free_[cls].size() < kMaxFreePerClass) {
+    b.clear();
+    free_[cls].push_back(std::move(b));
+  }
+  // else: fall through, the vector frees its storage here.
+}
+
+std::string PacketPool::dump_json() const {
+  std::string out = "{\"hits\":" + std::to_string(stats_.hits) +
+                    ",\"misses\":" + std::to_string(stats_.misses) +
+                    ",\"recycles\":" + std::to_string(stats_.recycles) +
+                    ",\"outstanding\":" + std::to_string(stats_.outstanding) +
+                    ",\"high_water\":" + std::to_string(stats_.high_water) +
+                    ",\"classes\":[";
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    if (c > 0) out += ',';
+    out += "{\"size\":" + std::to_string(kClassSizes[c]) +
+           ",\"free\":" + std::to_string(free_[c].size()) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ulnet::buf

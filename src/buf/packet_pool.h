@@ -1,0 +1,130 @@
+// Size-classed free-list of packet buffers.
+//
+// The simulator's data path used to allocate a fresh std::vector on nearly
+// every hop (frame build, ISR copy, netio payload copy, IP deliver, ...).
+// PacketPool recycles those vectors instead: acquire() vends an empty Bytes
+// whose capacity covers the caller's hint (reusing a previously recycled
+// buffer when one is available), recycle() returns a buffer's storage to
+// the pool. This changes wall-clock behaviour only -- simulated costs are
+// charged exactly as before -- but the hit/miss/high-water stats make the
+// allocation behaviour of a run observable and testable.
+//
+// Pools are per-World (not global) so identical seeds produce identical
+// pool counters; bind_metrics() mirrors the stats into sim::Metrics for the
+// observability layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "buf/bytes.h"
+
+namespace ulnet::sim {
+struct Metrics;
+}  // namespace ulnet::sim
+
+namespace ulnet::buf {
+
+class PacketPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;      // acquire served from a free list
+    std::uint64_t misses = 0;    // acquire had to allocate
+    std::uint64_t recycles = 0;  // buffers handed back (retained or dropped)
+    std::uint64_t outstanding = 0;  // acquired minus recycled (saturating)
+    std::uint64_t high_water = 0;   // max outstanding ever observed
+  };
+
+  static constexpr std::size_t kClassSizes[] = {256,  512,   1024,  2048,
+                                                4096, 16384, 65536};
+  static constexpr std::size_t kNumClasses =
+      sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+  // Per-class retention bound: beyond this, recycled buffers are freed.
+  static constexpr std::size_t kMaxFreePerClass = 64;
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // An empty Bytes with capacity >= `capacity_hint` (hints above the largest
+  // class fall through to a plain allocation and count as a miss).
+  Bytes acquire(std::size_t capacity_hint);
+
+  // Hand a buffer's storage back. Empty-capacity (e.g. moved-from) buffers
+  // are ignored; buffers smaller than the smallest class or overflowing the
+  // retention bound are simply freed.
+  void recycle(Bytes&& b);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t free_count(std::size_t cls) const {
+    return free_[cls].size();
+  }
+
+  // Mirror hits/misses/recycles/high_water into `m->pool_*`.
+  void bind_metrics(sim::Metrics* m) { metrics_ = m; }
+
+  // {"hits":..,"misses":..,...,"classes":[{"size":..,"free":..},...]}
+  [[nodiscard]] std::string dump_json() const;
+
+ private:
+  std::array<std::vector<Bytes>, kNumClasses> free_;
+  Stats stats_;
+  sim::Metrics* metrics_ = nullptr;
+};
+
+// RAII borrow: returns the buffer to the pool on destruction. Move-only.
+// take() detaches the buffer (e.g. to hand ownership down the stack).
+class PooledBytes {
+ public:
+  PooledBytes() = default;
+  PooledBytes(PacketPool* pool, Bytes bytes)
+      : pool_(pool), bytes_(std::move(bytes)) {}
+  PooledBytes(PooledBytes&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        bytes_(std::move(other.bytes_)) {}
+  PooledBytes& operator=(PooledBytes&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      bytes_ = std::move(other.bytes_);
+    }
+    return *this;
+  }
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+  ~PooledBytes() { release(); }
+
+  Bytes& operator*() { return bytes_; }
+  Bytes* operator->() { return &bytes_; }
+  [[nodiscard]] const Bytes& operator*() const { return bytes_; }
+  [[nodiscard]] ByteView view() const { return bytes_; }
+
+  // Detach: the caller now owns the buffer; the pool is no longer involved.
+  [[nodiscard]] Bytes take() && {
+    pool_ = nullptr;
+    return std::move(bytes_);
+  }
+
+  // Return the buffer to the pool now (no-op if already released/taken).
+  void release() {
+    if (pool_ != nullptr) {
+      pool_->recycle(std::move(bytes_));
+      pool_ = nullptr;
+    }
+    bytes_.clear();
+  }
+
+ private:
+  PacketPool* pool_ = nullptr;
+  Bytes bytes_;
+};
+
+// Scoped acquire: pool.borrow(n) gives a PooledBytes returning on scope exit.
+inline PooledBytes borrow(PacketPool& pool, std::size_t capacity_hint) {
+  return PooledBytes(&pool, pool.acquire(capacity_hint));
+}
+
+}  // namespace ulnet::buf

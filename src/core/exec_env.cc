@@ -10,6 +10,9 @@ net::Frame frame_for(const hw::Nic& nic, net::MacAddr dst,
                      std::uint16_t ethertype, buf::ByteView payload,
                      std::uint16_t bqi, std::uint16_t bqi_advert) {
   net::Frame f;
+  if (buf::PacketPool* pool = nic.pool()) {
+    f.bytes = pool->acquire(net::An1Header::kSize + payload.size());
+  }
   if (is_an1(nic)) {
     net::An1Header h;
     h.dst = dst;

@@ -18,6 +18,7 @@
 #include <functional>
 #include <utility>
 
+#include "buf/packet_pool.h"
 #include "os/host.h"
 #include "proto/env.h"
 #include "timer/wheel.h"
@@ -95,6 +96,20 @@ class HostStackEnv : public proto::StackEnv {
   }
   [[nodiscard]] std::size_t ifc_mtu(int ifc) const override {
     return nic(ifc)->driver_mtu();
+  }
+
+  buf::Bytes acquire_buffer(std::size_t reserve) override {
+    if (buf::PacketPool* p = host_.pool()) return p->acquire(reserve);
+    buf::Bytes b;
+    b.reserve(reserve);
+    return b;
+  }
+  void recycle_buffer(buf::Bytes&& b) override {
+    if (buf::PacketPool* p = host_.pool()) {
+      p->recycle(std::move(b));
+    } else {
+      b = buf::Bytes{};
+    }
   }
 
   void transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,

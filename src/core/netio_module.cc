@@ -25,7 +25,7 @@ std::optional<filter::FlowKey> outgoing_flow(buf::ByteView ip_payload) {
 
 NetIoModule::NetIoModule(os::Host& host, hw::Nic& nic, int ifc_index)
     : host_(host), nic_(nic), ifc_(ifc_index), an1_(is_an1(nic)) {
-  nic_.set_rx_handler([this](sim::TaskCtx& ctx, const net::Frame& f,
+  nic_.set_rx_handler([this](sim::TaskCtx& ctx, net::Frame& f,
                              std::uint16_t bqi) { rx(ctx, f, bqi); });
 }
 
@@ -281,6 +281,8 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
   cpu.trace(sim::TraceEventType::kPacketTx, id,
             static_cast<std::int64_t>(payload.size()), ethertype);
   net::Frame f = frame_for(nic_, dst, ethertype, payload, ch->tx_bqi);
+  // The payload has been framed; its storage is dead weight from here on.
+  if (buf::PacketPool* pool = nic_.pool()) pool->recycle(std::move(payload));
   nic_.transmit(ctx, std::move(f));
   return true;
 }
@@ -289,8 +291,7 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
 // Receive path
 // ---------------------------------------------------------------------------
 
-void NetIoModule::rx(sim::TaskCtx& ctx, const net::Frame& f,
-                     std::uint16_t bqi) {
+void NetIoModule::rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
   const std::size_t lh = link_header_size();
   if (f.bytes.size() < lh) return;
   std::uint16_t ethertype = 0;
@@ -305,9 +306,18 @@ void NetIoModule::rx(sim::TaskCtx& ctx, const net::Frame& f,
     if (!h) return;
     ethertype = h->ethertype;
   }
-  buf::Bytes payload(f.bytes.begin() + static_cast<long>(lh), f.bytes.end());
   host_.cpu().trace(sim::TraceEventType::kPacketRx, 0,
-                    static_cast<std::int64_t>(payload.size()), ethertype);
+                    static_cast<std::int64_t>(f.bytes.size() - lh), ethertype);
+
+  // Instead of copying the payload out of the frame, steal the frame's
+  // storage and trim the link header in place (a memmove, no allocation).
+  // Classification must look at the intact frame, so the steal happens
+  // after each path has finished reading the link header / filter bytes.
+  auto steal_payload = [&f, lh]() {
+    buf::Bytes payload = std::move(f.bytes);
+    payload.erase(payload.begin(), payload.begin() + static_cast<long>(lh));
+    return payload;
+  };
 
   if (an1_) {
     // Hardware demultiplexing already happened in the controller (the BQI
@@ -315,20 +325,20 @@ void NetIoModule::rx(sim::TaskCtx& ctx, const net::Frame& f,
     // NIC model.
     if (bqi != hw::An1Nic::kKernelBqi) {
       if (auto it = by_bqi_.find(bqi); it != by_bqi_.end()) {
-        deliver(ctx, channels_[it->second], ethertype, std::move(payload));
+        deliver(ctx, channels_[it->second], ethertype, steal_payload());
         return;
       }
     }
-    deliver_default(ctx, ethertype, std::move(payload), advert);
+    deliver_default(ctx, ethertype, steal_payload(), advert);
     return;
   }
 
   // Ethernet: software demultiplexing in the kernel.
   Channel* ch = classify_software(ctx, f);
   if (ch != nullptr) {
-    deliver(ctx, *ch, ethertype, std::move(payload));
+    deliver(ctx, *ch, ethertype, steal_payload());
   } else {
-    deliver_default(ctx, ethertype, std::move(payload), advert);
+    deliver_default(ctx, ethertype, steal_payload(), advert);
   }
 }
 

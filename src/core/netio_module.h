@@ -191,7 +191,7 @@ class NetIoModule {
     std::unique_ptr<filter::CspfVm> cspf;
   };
 
-  void rx(sim::TaskCtx& ctx, const net::Frame& f, std::uint16_t bqi);
+  void rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi);
   Channel* classify_software(sim::TaskCtx& ctx, const net::Frame& f);
   void deliver(sim::TaskCtx& ctx, Channel& ch, std::uint16_t ethertype,
                buf::Bytes payload);

@@ -102,6 +102,11 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
     } else {
       stack_->link_input(rec.netio->ifc_index(), pkt->ethertype,
                          pkt->payload);
+      // link_input reads the payload by view; the ring buffer's storage can
+      // go straight back to the pool.
+      if (buf::PacketPool* pool = org_.host().pool()) {
+        pool->recycle(std::move(pkt->payload));
+      }
     }
     // The channel may have been destroyed by protocol processing
     // (e.g. an RST that closed the connection and released the socket).

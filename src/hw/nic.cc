@@ -1,13 +1,21 @@
 #include "hw/nic.h"
 
 #include <cassert>
+#include <utility>
+
+#include "buf/packet_pool.h"
 
 namespace ulnet::hw {
 
-void Nic::frame_arrived(const net::Frame& f) {
+void Nic::frame_arrived(net::Frame f) {
   cpu_.metrics().interrupts++;
   cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
-              [this, f](sim::TaskCtx& ctx) { rx_isr(ctx, f); });
+              [this, f = std::move(f)](sim::TaskCtx& ctx) mutable {
+                rx_isr(ctx, f);
+                // Whatever storage the handler did not steal goes back to
+                // the pool (drops, unclaimed frames).
+                if (pool_ != nullptr) pool_->recycle(std::move(f.bytes));
+              });
 }
 
 // ---------------------------------------------------------------------------
@@ -30,7 +38,7 @@ void LanceNic::transmit(sim::TaskCtx& ctx, net::Frame f) {
   });
 }
 
-void LanceNic::rx_isr(sim::TaskCtx& ctx, const net::Frame& f) {
+void LanceNic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
   const auto& cost = cpu_.cost();
   ctx.charge(cost.interrupt_entry);
   ctx.charge(cost.driver_fixed);
@@ -102,7 +110,7 @@ bool An1Nic::bqi_valid(std::uint16_t bqi) const {
   return bqi < kMaxBqis && rings_[bqi].in_use;
 }
 
-void An1Nic::rx_isr(sim::TaskCtx& ctx, const net::Frame& f) {
+void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
   const auto& cost = cpu_.cost();
   ctx.charge(cost.interrupt_entry);
 

@@ -15,15 +15,21 @@
 #include "net/link.h"
 #include "sim/cpu.h"
 
+namespace ulnet::buf {
+class PacketPool;
+}  // namespace ulnet::buf
+
 namespace ulnet::hw {
 
 class Nic : public net::LinkEndpoint {
  public:
   // Invoked in kernel space at interrupt priority once the device-specific
   // receive costs have been charged. For the AN1 this also conveys the BQI
-  // the hardware demultiplexed on.
+  // the hardware demultiplexed on. The frame is mutable so the handler may
+  // steal its bytes (the netio fast path turns the old payload copy into a
+  // move); handlers taking `const net::Frame&` still bind unchanged.
   using RxHandler =
-      std::function<void(sim::TaskCtx&, const net::Frame&, std::uint16_t bqi)>;
+      std::function<void(sim::TaskCtx&, net::Frame&, std::uint16_t bqi)>;
 
   Nic(sim::Cpu& cpu, net::Link& link, net::MacAddr mac, std::string name)
       : cpu_(cpu), link_(link), mac_(mac), name_(std::move(name)) {
@@ -38,8 +44,13 @@ class Nic : public net::LinkEndpoint {
   virtual void transmit(sim::TaskCtx& ctx, net::Frame f) = 0;
 
   // --- LinkEndpoint ---
-  void frame_arrived(const net::Frame& f) override;
+  void frame_arrived(net::Frame f) override;
   [[nodiscard]] net::MacAddr mac() const override { return mac_; }
+
+  // Optional buffer pool (owned by the World): when set, frame storage left
+  // over after the receive handler ran is recycled instead of freed.
+  void set_pool(buf::PacketPool* pool) { pool_ = pool; }
+  [[nodiscard]] buf::PacketPool* pool() const { return pool_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] net::Link& link() { return link_; }
@@ -54,11 +65,11 @@ class Nic : public net::LinkEndpoint {
   [[nodiscard]] virtual std::size_t driver_mtu() const = 0;
 
  protected:
-  // Device-specific receive processing, running inside the ISR task.
-  virtual void rx_isr(sim::TaskCtx& ctx, const net::Frame& f) = 0;
+  // Device-specific receive processing, running inside the ISR task. The
+  // frame belongs to the ISR; the handler may consume its bytes by move.
+  virtual void rx_isr(sim::TaskCtx& ctx, net::Frame& f) = 0;
 
-  void dispatch_rx(sim::TaskCtx& ctx, const net::Frame& f,
-                   std::uint16_t bqi) {
+  void dispatch_rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
     if (rx_handler_) rx_handler_(ctx, f, bqi);
   }
 
@@ -67,6 +78,7 @@ class Nic : public net::LinkEndpoint {
   net::MacAddr mac_;
   std::string name_;
   RxHandler rx_handler_;
+  buf::PacketPool* pool_ = nullptr;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t rx_dropped_ = 0;
@@ -86,7 +98,7 @@ class LanceNic final : public Nic {
   }
 
  protected:
-  void rx_isr(sim::TaskCtx& ctx, const net::Frame& f) override;
+  void rx_isr(sim::TaskCtx& ctx, net::Frame& f) override;
 };
 
 // ---------------------------------------------------------------------------
@@ -122,7 +134,7 @@ class An1Nic final : public Nic {
   [[nodiscard]] std::uint64_t ring_drops() const { return ring_drops_; }
 
  protected:
-  void rx_isr(sim::TaskCtx& ctx, const net::Frame& f) override;
+  void rx_isr(sim::TaskCtx& ctx, net::Frame& f) override;
 
  private:
   struct Ring {

@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace ulnet::net {
 
@@ -91,11 +92,19 @@ void Link::transmit(const LinkEndpoint* from, Frame f) {
     arrive += rng_.range(0, faults_.jitter_max);
   }
 
-  loop_.schedule_at(arrive,
-                    [this, delivered, from] { deliver(delivered, from); });
+  // Rare fault path copies; the common path moves the frame straight into
+  // the delivery closure. Schedule order (primary, then duplicate) is part
+  // of the deterministic FIFO tie-break, so the copy happens up front.
+  Frame dup_copy;
+  const sim::Time dup_at = arrive + spec_.occupancy_ns(delivered.size());
+  if (duplicate) dup_copy = delivered;
+  loop_.schedule_at(arrive, [this, f = std::move(delivered), from]() mutable {
+    deliver(std::move(f), from);
+  });
   if (duplicate) {
-    loop_.schedule_at(arrive + spec_.occupancy_ns(delivered.size()),
-                      [this, delivered, from] { deliver(delivered, from); });
+    loop_.schedule_at(dup_at, [this, f = std::move(dup_copy), from]() mutable {
+      deliver(std::move(f), from);
+    });
   }
 }
 
@@ -107,11 +116,25 @@ MacAddr Link::frame_dst(const Frame& f) const {
   return dst;
 }
 
-void Link::deliver(const Frame& f, const LinkEndpoint* from) {
+void Link::deliver(Frame f, const LinkEndpoint* from) {
   const MacAddr dst = frame_dst(f);
+  // Two passes so the last recipient can take the frame by move while any
+  // earlier ones (broadcast, promiscuous taps) get copies, preserving the
+  // original endpoint visit order.
+  LinkEndpoint* last = nullptr;
   for (LinkEndpoint* ep : endpoints_) {
     if (ep == from) continue;
     if (dst.is_broadcast() || ep->mac() == dst || ep->promiscuous()) {
+      last = ep;
+    }
+  }
+  for (LinkEndpoint* ep : endpoints_) {
+    if (ep == from) continue;
+    if (dst.is_broadcast() || ep->mac() == dst || ep->promiscuous()) {
+      if (ep == last) {
+        ep->frame_arrived(std::move(f));
+        break;
+      }
       ep->frame_arrived(f);
     }
   }

@@ -27,7 +27,9 @@ class LinkEndpoint {
  public:
   virtual ~LinkEndpoint() = default;
   // Hardware-level frame arrival (before any interrupt or CPU involvement).
-  virtual void frame_arrived(const Frame& f) = 0;
+  // Takes the frame by value: the link hands each recipient its own frame,
+  // moving rather than copying for the final (usually only) recipient.
+  virtual void frame_arrived(Frame f) = 0;
   [[nodiscard]] virtual MacAddr mac() const = 0;
   [[nodiscard]] virtual bool promiscuous() const { return false; }
 };
@@ -90,7 +92,7 @@ class Link {
   [[nodiscard]] sim::Time busy_ns() const { return busy_ns_; }
 
  private:
-  void deliver(const Frame& f, const LinkEndpoint* from);
+  void deliver(Frame f, const LinkEndpoint* from);
   [[nodiscard]] MacAddr frame_dst(const Frame& f) const;
 
   sim::EventLoop& loop_;

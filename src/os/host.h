@@ -48,6 +48,11 @@ class Host {
     return space_names_.at(static_cast<std::size_t>(s));
   }
 
+  // Optional packet-buffer pool, owned by the World and shared by every
+  // host in it (per-World so identical seeds give identical pool stats).
+  void set_pool(buf::PacketPool* pool) { pool_ = pool; }
+  [[nodiscard]] buf::PacketPool* pool() const { return pool_; }
+
   void add_interface(Interface ifc) { interfaces_.push_back(ifc); }
   std::vector<Interface>& interfaces() { return interfaces_; }
 
@@ -81,6 +86,7 @@ class Host {
   hw::RtClock clock_;
   std::vector<std::string> space_names_;
   std::vector<Interface> interfaces_;
+  buf::PacketPool* pool_ = nullptr;
 };
 
 }  // namespace ulnet::os

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "buf/packet_pool.h"
 #include "hw/nic.h"
 #include "net/link.h"
 #include "os/host.h"
@@ -23,7 +24,10 @@ class World {
  public:
   explicit World(std::uint64_t seed = 1,
                  const sim::CostModel& cost = sim::CostModel{})
-      : cost_(cost), rng_(seed) {}
+      : cost_(cost), rng_(seed) {
+    loop_.bind_metrics(&metrics_);
+    pool_.bind_metrics(&metrics_);
+  }
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
@@ -32,11 +36,13 @@ class World {
   sim::CostModel& cost() { return cost_; }
   sim::Metrics& metrics() { return metrics_; }
   sim::Tracer& tracer() { return tracer_; }
+  buf::PacketPool& pool() { return pool_; }
 
   Host& add_host(const std::string& name) {
     hosts_.push_back(std::make_unique<Host>(loop_, cost_, metrics_, name));
     hosts_.back()->cpu().set_tracer(&tracer_,
                                     static_cast<int>(hosts_.size() - 1));
+    hosts_.back()->set_pool(&pool_);
     return *hosts_.back();
   }
 
@@ -53,6 +59,7 @@ class World {
     auto nic = std::make_unique<hw::LanceNic>(host.cpu(), link, mac,
                                               host.name() + ".lance");
     auto& ref = *nic;
+    ref.set_pool(&pool_);
     nics_.push_back(std::move(nic));
     host.add_interface(Host::Interface{&ref, ip, prefix_len});
     return ref;
@@ -64,6 +71,7 @@ class World {
     auto nic = std::make_unique<hw::An1Nic>(host.cpu(), link, mac,
                                             host.name() + ".an1");
     auto& ref = *nic;
+    ref.set_pool(&pool_);
     nics_.push_back(std::move(nic));
     host.add_interface(Host::Interface{&ref, ip, prefix_len});
     return ref;
@@ -86,6 +94,7 @@ class World {
   sim::Metrics metrics_;
   sim::Tracer tracer_;
   sim::Rng rng_;
+  buf::PacketPool pool_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<std::unique_ptr<hw::Nic>> nics_;

@@ -66,6 +66,19 @@ class StackEnv {
   // 1500 even though the hardware could carry 64 KB).
   [[nodiscard]] virtual std::size_t ifc_mtu(int ifc) const = 0;
 
+  // ---- Buffers ----------------------------------------------------------
+  // Scratch-buffer management for segment/datagram construction. The
+  // organization may back these with a recycling pool (wall-clock
+  // optimisation only -- simulated copy costs are charged the same either
+  // way); the defaults are plain allocation/free so protocol code works
+  // against any environment.
+  virtual buf::Bytes acquire_buffer(std::size_t reserve) {
+    buf::Bytes b;
+    b.reserve(reserve);
+    return b;
+  }
+  virtual void recycle_buffer(buf::Bytes&& b) { b = buf::Bytes{}; }
+
   // ---- Transmission -----------------------------------------------------
   // Ship `payload` (an IP datagram or ARP message) out of interface `ifc`
   // to link address `dst`. The organization performs link framing (Ethernet

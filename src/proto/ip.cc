@@ -42,6 +42,7 @@ bool IpModule::send(net::Ipv4Addr src, net::Ipv4Addr dst, std::uint8_t proto,
   if (l4_payload.size() <= max_payload) {
     transmit_datagram(ifc, src, dst, proto, ident, l4_payload, 0, false,
                       flow);
+    env_.recycle_buffer(std::move(l4_payload));
     counters_.sent++;
     return true;
   }
@@ -61,6 +62,7 @@ bool IpModule::send(net::Ipv4Addr src, net::Ipv4Addr dst, std::uint8_t proto,
     counters_.fragments_sent++;
     off += len;
   }
+  env_.recycle_buffer(std::move(l4_payload));
   counters_.sent++;
   return true;
 }
@@ -80,8 +82,7 @@ void IpModule::transmit_datagram(int ifc, net::Ipv4Addr src,
   h.src = src;
   h.dst = dst;
 
-  buf::Bytes datagram;
-  datagram.reserve(h.total_len);
+  buf::Bytes datagram = env_.acquire_buffer(h.total_len);
   h.serialize(datagram);
   buf::put_bytes(datagram, payload);
 
@@ -126,7 +127,9 @@ void IpModule::input(int ifc, buf::ByteView datagram) {
     return;
   }
   counters_.received++;
-  deliver(*h, buf::Bytes(payload.begin(), payload.end()), ifc);
+  buf::Bytes owned = env_.acquire_buffer(payload.size());
+  buf::put_bytes(owned, payload);
+  deliver(*h, std::move(owned), ifc);
 }
 
 void IpModule::deliver(const Ipv4Header& h, buf::Bytes payload, int ifc) {

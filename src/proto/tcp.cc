@@ -153,6 +153,7 @@ void TcpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
 
   if (conn != nullptr) {
     conn->segment_arrived(*t, body);
+    env_.recycle_buffer(std::move(payload));
     return;
   }
 
@@ -166,10 +167,13 @@ void TcpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
       TcpConnection* raw = child.get();
       conns_.emplace(key, std::move(child));
       raw->start_passive_open(*t);
+      env_.recycle_buffer(std::move(payload));
       return;
     }
   }
-  send_rst_for(h, *t, body.size());
+  const std::size_t body_len = body.size();
+  env_.recycle_buffer(std::move(payload));
+  send_rst_for(h, *t, body_len);
 }
 
 void TcpModule::send_rst_for(const Ipv4Header& h, const TcpHeader& t,
@@ -186,7 +190,7 @@ void TcpModule::send_rst_for(const Ipv4Header& h, const TcpHeader& t,
     rst.ack = t.seq + static_cast<std::uint32_t>(payload_len) +
               (t.flags.syn ? 1 : 0) + (t.flags.fin ? 1 : 0);
   }
-  buf::Bytes seg;
+  buf::Bytes seg = env_.acquire_buffer(TcpHeader::kMinSize);
   env_.charge(env_.cost().tcp_output_fixed);
   rst.serialize(seg, h.dst, h.src, {});
   counters_.rst_sent++;
@@ -342,8 +346,7 @@ void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
   }
   env.charge(env.cost().timer_op);  // "practically every departure" (2.1)
 
-  buf::Bytes seg;
-  seg.reserve(t.header_len() + payload.size());
+  buf::Bytes seg = env.acquire_buffer(t.header_len() + payload.size());
   t.serialize(seg, local_ip_, remote_ip_, payload);
 
   mod_.counters().segments_sent++;
@@ -462,8 +465,11 @@ void TcpConnection::output(bool force_ack) {
         break;
       }
 
-      buf::Bytes chunk(snd_buf_.begin() + static_cast<long>(off),
-                       snd_buf_.begin() + static_cast<long>(off + len));
+      // snd_buf_ is a deque, so a contiguous staging copy is unavoidable;
+      // the staging buffer itself comes from (and returns to) the pool.
+      buf::Bytes chunk = mod_.env().acquire_buffer(len);
+      chunk.insert(chunk.end(), snd_buf_.begin() + static_cast<long>(off),
+                   snd_buf_.begin() + static_cast<long>(off + len));
       TcpFlags f;
       f.ack = true;
       const std::uint32_t seg_end = snd_nxt_ + static_cast<std::uint32_t>(len);
@@ -478,6 +484,7 @@ void TcpConnection::output(bool force_ack) {
         note_retransmit(snd_nxt_, /*fast=*/false);
       }
       emit_segment(snd_nxt_, chunk, f, false);
+      mod_.env().recycle_buffer(std::move(chunk));
 
       if (!rtt_timing_) {
         rtt_timing_ = true;
@@ -723,11 +730,13 @@ void TcpConnection::process_ack(const TcpHeader& t) {
         recover_ = snd_max_;
         const std::size_t len = std::min<std::size_t>(mss_, snd_buf_.size());
         if (len > 0) {
-          buf::Bytes chunk(snd_buf_.begin(),
-                           snd_buf_.begin() + static_cast<long>(len));
+          buf::Bytes chunk = mod_.env().acquire_buffer(len);
+          chunk.insert(chunk.end(), snd_buf_.begin(),
+                       snd_buf_.begin() + static_cast<long>(len));
           TcpFlags f;
           f.ack = true;
           emit_segment(snd_una_, chunk, f, false);
+          mod_.env().recycle_buffer(std::move(chunk));
           note_retransmit(snd_una_, /*fast=*/true);
         } else if (fin_sent_ && snd_una_ == fin_seq_) {
           TcpFlags f;
@@ -781,11 +790,13 @@ void TcpConnection::process_ack(const TcpHeader& t) {
       // Partial ACK (NewReno-flavoured): retransmit the next hole.
       const std::size_t len = std::min<std::size_t>(mss_, snd_buf_.size());
       if (len > 0) {
-        buf::Bytes chunk(snd_buf_.begin(),
-                         snd_buf_.begin() + static_cast<long>(len));
+        buf::Bytes chunk = mod_.env().acquire_buffer(len);
+        chunk.insert(chunk.end(), snd_buf_.begin(),
+                     snd_buf_.begin() + static_cast<long>(len));
         TcpFlags f;
         f.ack = true;
         emit_segment(snd_una_, chunk, f, false);
+        mod_.env().recycle_buffer(std::move(chunk));
         note_retransmit(snd_una_, /*fast=*/false);
       }
     }

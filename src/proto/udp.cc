@@ -37,12 +37,12 @@ bool UdpModule::send(std::uint16_t sport, net::Ipv4Addr dst,
   h.sport = sport;
   h.dport = dport;
 
-  buf::Bytes datagram;
-  datagram.reserve(UdpHeader::kSize + payload.size());
+  buf::Bytes datagram = env_.acquire_buffer(UdpHeader::kSize + payload.size());
   env_.charge(env_.cost().udp_fixed);
   env_.charge(static_cast<sim::Time>(payload.size()) *
               env_.cost().checksum_per_byte);
   h.serialize(datagram, src, dst, payload);
+  env_.recycle_buffer(std::move(payload));
   counters_.sent++;
   return ip_.send(src, dst, kProtoUdp, std::move(datagram), nullptr);
 }
@@ -64,9 +64,11 @@ void UdpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
     return;
   }
   counters_.delivered++;
-  buf::Bytes body(payload.begin() + UdpHeader::kSize,
-                  payload.begin() + udp->length);
-  it->second(h.src, udp->sport, std::move(body));
+  // Trim the UDP header (and any trailing slack) in place instead of
+  // copying the body out, then pass the storage along to the receiver.
+  payload.resize(udp->length);
+  payload.erase(payload.begin(), payload.begin() + UdpHeader::kSize);
+  it->second(h.src, udp->sport, std::move(payload));
 }
 
 }  // namespace ulnet::proto

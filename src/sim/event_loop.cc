@@ -1,42 +1,129 @@
 #include "sim/event_loop.h"
 
-#include <cassert>
+#include <algorithm>
 #include <stdexcept>
+
+#include "sim/metrics.h"
 
 namespace ulnet::sim {
 
-EventId EventLoop::schedule_at(Time when, std::function<void()> fn) {
+std::uint32_t EventLoop::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t si = free_slots_.back();
+    free_slots_.pop_back();
+    return si;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::retire_slot(std::uint32_t si) {
+  Slot& s = slots_[si];
+  s.fn = EventFn{};
+  s.heap_pos = kNpos;
+  if (++s.gen == 0) s.gen = 1;  // keep ids distinguishable across wrap
+  free_slots_.push_back(si);
+}
+
+void EventLoop::sift_up(std::size_t pos) {
+  const std::uint32_t si = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!before(si, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = si;
+  slots_[si].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventLoop::sift_down(std::size_t pos) {
+  const std::uint32_t si = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], si)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = si;
+  slots_[si].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventLoop::heap_remove(std::size_t pos) {
+  const std::uint32_t moved = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;
+  heap_[pos] = moved;
+  slots_[moved].heap_pos = static_cast<std::uint32_t>(pos);
+  if (pos > 0 && before(moved, heap_[(pos - 1) / 4])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+EventId EventLoop::schedule_at(Time when, EventFn fn) {
   if (when < now_) {
     throw std::logic_error("EventLoop: scheduling into the past");
   }
-  EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  return id;
+  const std::uint32_t si = acquire_slot();
+  Slot& s = slots_[si];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  heap_.push_back(si);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > occupancy_high_water_) {
+    occupancy_high_water_ = heap_.size();
+    if (metrics_ != nullptr) {
+      metrics_->event_slab_high_water = occupancy_high_water_;
+    }
+  }
+  return make_id(si, s.gen);
 }
 
-void EventLoop::cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+bool EventLoop::cancel(EventId id) {
+  const std::uint64_t slot_plus1 = id >> 32;
+  if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return false;
+  const auto si = static_cast<std::uint32_t>(slot_plus1 - 1);
+  Slot& s = slots_[si];
+  if (s.gen != static_cast<std::uint32_t>(id) || s.heap_pos == kNpos) {
+    return false;  // already fired, already cancelled, or stale id
+  }
+  heap_remove(s.heap_pos);
+  retire_slot(si);
+  return true;
 }
 
 std::uint64_t EventLoop::run_until(Time deadline) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!queue_.empty() && !stopped_) {
-    const Event& top = queue_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
+  while (!heap_.empty() && !stopped_) {
+    const std::uint32_t si = heap_[0];
+    {
+      Slot& s = slots_[si];
+      if (s.when > deadline) break;
+      assert(s.when >= now_);
+      now_ = s.when;
     }
-    if (top.when > deadline) break;
-    // Move the closure out before popping so the event may reschedule.
-    Event ev{top.when, top.id, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    assert(ev.when >= now_);
-    now_ = ev.when;
+    // Move the closure out and retire the slot before invoking, so the
+    // event may freely schedule (and reuse slots) or cancel others.
+    EventFn fn = std::move(slots_[si].fn);
+    heap_remove(0);
+    retire_slot(si);
     ++executed_;
     ++n;
-    ev.fn();
+    fn();
   }
   // Simulated time passes to the deadline even if the next event lies
   // beyond it (events remain queued for a later run).

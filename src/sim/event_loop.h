@@ -4,21 +4,121 @@
 // completions, timer expiries) is an event scheduled here. Events at equal
 // timestamps fire in scheduling order, which makes whole-world runs
 // bit-for-bit reproducible for a given seed.
+//
+// Hot-path layout: events live in a slab of reusable slots indexed by a
+// 4-ary min-heap, so steady-state scheduling performs no heap allocation
+// (closures up to EventFn::kInlineCapacity bytes are stored inline in the
+// slot). Cancellation is a true O(log n) removal validated by a per-slot
+// generation counter, so cancelling a fired or invalid id is an exact no-op
+// and pending()/empty() accounting stays correct.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace ulnet::sim {
 
+struct Metrics;
+
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+// Move-only type-erased `void()` callable with inline storage. The event
+// loop stores one per slot; closures that fit kInlineCapacity (all of the
+// simulator's own lambdas) never touch the heap. Larger or over-aligned
+// callables fall back to a heap allocation, so any callable still works.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct the callable into `dst` from `src`, then destroy the
+    // source representation.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke(void* p) { (*std::launder(static_cast<Fn*>(p)))(); }
+    static void relocate(void* dst, void* src) {
+      Fn* s = std::launder(static_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* p) { std::launder(static_cast<Fn*>(p))->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* ptr(void* p) { return *std::launder(static_cast<Fn**>(p)); }
+    static void invoke(void* p) { (*ptr(p))(); }
+    static void relocate(void* dst, void* src) { ::new (dst) Fn*(ptr(src)); }
+    static void destroy(void* p) { delete ptr(p); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void steal(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
 
 class EventLoop {
  public:
@@ -29,16 +129,17 @@ class EventLoop {
   [[nodiscard]] Time now() const { return now_; }
 
   // Schedule `fn` to run at absolute simulated time `when` (>= now).
-  EventId schedule_at(Time when, std::function<void()> fn);
+  EventId schedule_at(Time when, EventFn fn);
 
   // Schedule `fn` to run `delay` nanoseconds from now.
-  EventId schedule_in(Time delay, std::function<void()> fn) {
+  EventId schedule_in(Time delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  // Cancel a pending event. Cancelling an already-fired or invalid id is a
-  // harmless no-op (lazy deletion).
-  void cancel(EventId id);
+  // Cancel a pending event: O(log n) removal from the heap. The slot
+  // generation makes cancelling an already-fired, already-cancelled or
+  // invalid id an exact no-op (returns false).
+  bool cancel(EventId id);
 
   // Run until the queue drains or simulated time would exceed `deadline`.
   // Returns the number of events executed.
@@ -50,34 +151,58 @@ class EventLoop {
   // Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] bool empty() const {
-    return queue_.size() == cancelled_.size();
-  }
-  [[nodiscard]] std::size_t pending() const {
-    return queue_.size() - cancelled_.size();
-  }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  // Slab introspection: current slot count (capacity grown so far) and the
+  // maximum number of simultaneously pending events ever observed.
+  [[nodiscard]] std::size_t slab_size() const { return slots_.size(); }
+  [[nodiscard]] std::size_t occupancy_high_water() const {
+    return occupancy_high_water_;
+  }
+
+  // Mirror the occupancy high-water into `m->event_slab_high_water`.
+  void bind_metrics(Metrics* m) { metrics_ = m; }
 
   static constexpr Time kForever = INT64_MAX / 4;
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNpos = UINT32_MAX;
+
+  struct Slot {
     Time when = 0;
-    EventId id = kInvalidEvent;  // doubles as the FIFO tiebreaker
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+    std::uint64_t seq = 0;  // FIFO tiebreaker for equal timestamps
+    EventFn fn;
+    std::uint32_t gen = 1;        // bumped on retire; validates EventIds
+    std::uint32_t heap_pos = kNpos;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot + 1) << 32) | gen;
+  }
+
+  [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    if (x.when != y.when) return x.when < y.when;
+    return x.seq < y.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void retire_slot(std::uint32_t si);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> heap_;  // slot indices, 4-ary min-heap
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t occupancy_high_water_ = 0;
+  Metrics* metrics_ = nullptr;
   bool stopped_ = false;
 };
 

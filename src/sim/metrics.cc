@@ -9,8 +9,47 @@ std::ostream& operator<<(std::ostream& os, const Metrics& m) {
      << " remaps=" << m.page_remaps << " intr=" << m.interrupts
      << " signals=" << m.semaphore_signals
      << " wakeups=" << m.semaphore_wakeups << " tx=" << m.packets_tx
-     << " rx=" << m.packets_rx;
+     << " rx=" << m.packets_rx << " pool_hits=" << m.pool_hits
+     << " pool_misses=" << m.pool_misses;
   return os;
+}
+
+std::string Metrics::dump_json() const {
+  std::string out = "{";
+  bool first = true;
+  auto field = [&](const char* name, std::uint64_t v) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("traps", traps);
+  field("specialized_traps", specialized_traps);
+  field("context_switches", context_switches);
+  field("ipc_messages", ipc_messages);
+  field("copies", copies);
+  field("bytes_copied", bytes_copied);
+  field("page_remaps", page_remaps);
+  field("interrupts", interrupts);
+  field("semaphore_signals", semaphore_signals);
+  field("semaphore_wakeups", semaphore_wakeups);
+  field("packets_tx", packets_tx);
+  field("packets_rx", packets_rx);
+  field("demux_software_runs", demux_software_runs);
+  field("demux_hardware_runs", demux_hardware_runs);
+  field("template_checks", template_checks);
+  field("template_rejects", template_rejects);
+  field("demux_drops", demux_drops);
+  field("timer_ops", timer_ops);
+  field("pool_hits", pool_hits);
+  field("pool_misses", pool_misses);
+  field("pool_recycles", pool_recycles);
+  field("pool_high_water", pool_high_water);
+  field("event_slab_high_water", event_slab_high_water);
+  out += '}';
+  return out;
 }
 
 }  // namespace ulnet::sim

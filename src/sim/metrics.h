@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 
 namespace ulnet::sim {
 
@@ -30,6 +31,14 @@ struct Metrics {
   std::uint64_t template_rejects = 0;
   std::uint64_t demux_drops = 0;
   std::uint64_t timer_ops = 0;
+  // Hot-path allocator health (wall-clock observability; these do not feed
+  // back into simulated costs). Pool counters mirror buf::PacketPool stats,
+  // event_slab_high_water mirrors EventLoop::occupancy_high_water().
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_recycles = 0;
+  std::uint64_t pool_high_water = 0;
+  std::uint64_t event_slab_high_water = 0;
 
   void reset() { *this = Metrics{}; }
 
@@ -53,8 +62,16 @@ struct Metrics {
     d.template_rejects = template_rejects - base.template_rejects;
     d.demux_drops = demux_drops - base.demux_drops;
     d.timer_ops = timer_ops - base.timer_ops;
+    d.pool_hits = pool_hits - base.pool_hits;
+    d.pool_misses = pool_misses - base.pool_misses;
+    d.pool_recycles = pool_recycles - base.pool_recycles;
+    d.pool_high_water = pool_high_water - base.pool_high_water;
+    d.event_slab_high_water = event_slab_high_water - base.event_slab_high_water;
     return d;
   }
+
+  // All counters as one flat JSON object, in declaration order.
+  [[nodiscard]] std::string dump_json() const;
 };
 
 std::ostream& operator<<(std::ostream& os, const Metrics& m);

@@ -48,6 +48,25 @@ TEST(Bytes, OutOfRangeWriteThrows) {
   EXPECT_THROW(wr32(b, o1, 0), std::out_of_range);
 }
 
+// Regression: `off + need > size` wraps for off near SIZE_MAX and used to
+// wrongly pass the bounds check; the overflow-safe form must reject it.
+TEST(Bytes, HugeOffsetDoesNotWrapBoundsCheck) {
+  Bytes b(4, 0);
+  volatile std::size_t huge = SIZE_MAX;
+  EXPECT_THROW((void)rd16(b, huge), std::out_of_range);
+  EXPECT_THROW((void)rd32(b, huge), std::out_of_range);
+  EXPECT_THROW(wr16(b, huge, 0), std::out_of_range);
+  volatile std::size_t near_max = SIZE_MAX - 1;
+  EXPECT_THROW((void)rd32(b, near_max), std::out_of_range);
+  EXPECT_THROW(check_bounds(SIZE_MAX, 2, 4, "test"), std::out_of_range);
+  // need > size alone must also throw, even at offset 0.
+  EXPECT_THROW(check_bounds(0, 5, 4, "test"), std::out_of_range);
+  // Boundary cases that must still pass.
+  EXPECT_NO_THROW(check_bounds(0, 4, 4, "test"));
+  EXPECT_NO_THROW(check_bounds(2, 2, 4, "test"));
+  EXPECT_NO_THROW(check_bounds(4, 0, 4, "test"));
+}
+
 TEST(Bytes, PutBytesAppends) {
   Bytes a{1, 2};
   Bytes b{3, 4, 5};

@@ -78,5 +78,56 @@ TEST(Checksum, Add16MatchesBytePair) {
   EXPECT_EQ(a.fold(), b.fold());
 }
 
+// Differential: the word-at-a-time fast path must agree with the scalar
+// byte-pair reference on every length (hits all word/tail/odd cases).
+TEST(Checksum, WordAtATimeMatchesScalarAllSmallLengths) {
+  sim::Rng rng(11);
+  for (std::size_t len = 0; len <= 130; ++len) {
+    Bytes data(len, 0);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    EXPECT_EQ(internet_checksum(data), internet_checksum_scalar(data))
+        << "len " << len;
+  }
+}
+
+TEST(Checksum, WordAtATimeMatchesScalarRandomLengths) {
+  sim::Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes data(rng.below(4096), 0);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+    ASSERT_EQ(internet_checksum(data), internet_checksum_scalar(data))
+        << "trial " << trial << " len " << data.size();
+  }
+}
+
+// Splitting at an odd offset forces the accumulator's odd-byte prologue on
+// the second add; all split points must still agree with the scalar loop.
+TEST(Checksum, MisalignedSplitsMatchScalar) {
+  sim::Rng rng(17);
+  Bytes data(257, 0);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  const std::uint16_t want = internet_checksum_scalar(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    ChecksumAccumulator acc;
+    acc.add(ByteView(data.data(), split));
+    acc.add(ByteView(data.data() + split, data.size() - split));
+    ASSERT_EQ(acc.fold(), want) << "split at " << split;
+  }
+}
+
+TEST(Checksum, AllOnesDataExercisesCarryPropagation) {
+  // 0xff words maximize end-around carries in the 64-bit accumulator.
+  for (std::size_t len : {7u, 8u, 9u, 63u, 64u, 65u, 1500u}) {
+    Bytes data(len, 0xff);
+    EXPECT_EQ(internet_checksum(data), internet_checksum_scalar(data))
+        << "len " << len;
+  }
+}
+
+TEST(Checksum, ScalarReferenceMatchesRfc1071Example) {
+  Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum_scalar(data), 0x220d);
+}
+
 }  // namespace
 }  // namespace ulnet::buf

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace ulnet::sim {
@@ -123,6 +125,106 @@ TEST(EventLoop, PendingCountExcludesCancelled) {
   EXPECT_EQ(loop.pending(), 2u);
   loop.cancel(a);
   EXPECT_EQ(loop.pending(), 1u);
+}
+
+// Regression: cancelling an already-fired id used to insert into the
+// tombstone set forever, leaking memory and corrupting pending()/empty().
+TEST(EventLoop, CancelAfterFireIsExactNoop) {
+  EventLoop loop;
+  EventId id = loop.schedule_at(10, [] {});
+  loop.run();
+  EXPECT_TRUE(loop.empty());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(loop.cancel(id));  // fired: nothing to cancel
+  }
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending(), 0u);
+  bool ran = false;
+  loop.schedule_in(1, [&] { ran = true; });
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, CancelSucceedsExactlyOnce) {
+  EventLoop loop;
+  EventId id = loop.schedule_at(10, [] {});
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));
+  EXPECT_TRUE(loop.empty());
+}
+
+// A retired slot is reused by later events with a bumped generation: stale
+// ids must not cancel the new occupant.
+TEST(EventLoop, StaleIdDoesNotCancelSlotReuse) {
+  EventLoop loop;
+  EventId first = loop.schedule_at(1, [] {});
+  loop.run();
+  bool ran = false;
+  loop.schedule_in(1, [&] { ran = true; });  // reuses the retired slot
+  EXPECT_FALSE(loop.cancel(first));
+  loop.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, CancelledEventsDoNotCountAsExecuted) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1, [&] { fired++; });
+  EventId b = loop.schedule_at(2, [&] { fired++; });
+  loop.schedule_at(3, [&] { fired++; });
+  loop.cancel(b);
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.executed(), 2u);
+}
+
+TEST(EventLoop, CancelInterleavedWithFiringKeepsOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(loop.schedule_at(100 + i / 10, [&order, i] {
+      order.push_back(i);
+    }));
+  }
+  for (int i = 1; i < 20; i += 2) loop.cancel(ids[static_cast<size_t>(i)]);
+  loop.run();
+  std::vector<int> want;
+  for (int i = 0; i < 20; i += 2) want.push_back(i);
+  EXPECT_EQ(order, want);
+}
+
+TEST(EventLoop, OccupancyHighWaterTracksPeakPending) {
+  EventLoop loop;
+  for (int i = 0; i < 5; ++i) loop.schedule_at(10 + i, [] {});
+  EXPECT_EQ(loop.occupancy_high_water(), 5u);
+  loop.run();
+  EXPECT_EQ(loop.occupancy_high_water(), 5u);  // high-water sticks
+  loop.schedule_in(1, [] {});
+  loop.run();
+  EXPECT_EQ(loop.occupancy_high_water(), 5u);
+}
+
+TEST(EventFn, MoveOnlyCallablesWork) {
+  EventLoop loop;
+  auto p = std::make_unique<int>(41);
+  int got = 0;
+  loop.schedule_at(1, [p = std::move(p), &got] { got = *p + 1; });
+  loop.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventFn, LargeCallablesFallBackToHeap) {
+  EventLoop loop;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, beyond inline storage
+  big[0] = 7;
+  big[31] = 35;
+  std::uint64_t got = 0;
+  loop.schedule_at(1, [big, &got] { got = big[0] + big[31]; });
+  loop.run();
+  EXPECT_EQ(got, 42u);
 }
 
 }  // namespace

@@ -14,8 +14,8 @@ class RecordingEndpoint : public LinkEndpoint {
  public:
   RecordingEndpoint(MacAddr mac, sim::EventLoop& loop)
       : mac_(mac), loop_(loop) {}
-  void frame_arrived(const Frame& f) override {
-    frames.push_back(f);
+  void frame_arrived(Frame f) override {
+    frames.push_back(std::move(f));
     arrival_times.push_back(loop_.now());
   }
   [[nodiscard]] MacAddr mac() const override { return mac_; }

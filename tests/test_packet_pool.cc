@@ -1,0 +1,169 @@
+#include "buf/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "sim/metrics.h"
+
+namespace ulnet::buf {
+namespace {
+
+TEST(PacketPool, ColdAcquireIsAMiss) {
+  PacketPool pool;
+  Bytes b = pool.acquire(100);
+  EXPECT_TRUE(b.empty());
+  EXPECT_GE(b.capacity(), 100u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(PacketPool, RecycleThenAcquireIsAHit) {
+  PacketPool pool;
+  Bytes b = pool.acquire(100);
+  b.resize(80, 0xaa);
+  pool.recycle(std::move(b));
+  EXPECT_EQ(pool.stats().recycles, 1u);
+
+  Bytes c = pool.acquire(100);
+  EXPECT_TRUE(c.empty());  // recycled storage comes back cleared
+  EXPECT_GE(c.capacity(), 100u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(PacketPool, AcquirePicksSmallestCoveringClass) {
+  PacketPool pool;
+  // Recycle one buffer into the 1024 class and one into the 4096 class.
+  Bytes small;
+  small.reserve(1024);
+  pool.recycle(std::move(small));
+  Bytes big;
+  big.reserve(4096);
+  pool.recycle(std::move(big));
+  // A 600-byte hint should take the 1024 buffer, not the 4096 one.
+  Bytes got = pool.acquire(600);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_LT(got.capacity(), 4096u);
+}
+
+TEST(PacketPool, OversizeHintFallsThroughToPlainAllocation) {
+  PacketPool pool;
+  const std::size_t huge = PacketPool::kClassSizes[PacketPool::kNumClasses - 1] + 1;
+  Bytes b = pool.acquire(huge);
+  EXPECT_GE(b.capacity(), huge);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  // Oversize buffers can't be retained in any class; recycling frees them.
+  pool.recycle(std::move(b));
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  Bytes c = pool.acquire(huge);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(PacketPool, RetentionBoundCapsFreeList) {
+  PacketPool pool;
+  for (std::size_t i = 0; i < PacketPool::kMaxFreePerClass + 10; ++i) {
+    Bytes b;
+    b.reserve(256);
+    pool.recycle(std::move(b));
+  }
+  EXPECT_EQ(pool.free_count(0), PacketPool::kMaxFreePerClass);
+}
+
+TEST(PacketPool, EmptyCapacityRecycleIsIgnored) {
+  PacketPool pool;
+  Bytes moved_from;
+  pool.recycle(std::move(moved_from));
+  for (std::size_t c = 0; c < PacketPool::kNumClasses; ++c) {
+    EXPECT_EQ(pool.free_count(c), 0u);
+  }
+}
+
+TEST(PacketPool, HighWaterTracksPeakOutstanding) {
+  PacketPool pool;
+  Bytes a = pool.acquire(256);
+  Bytes b = pool.acquire(256);
+  Bytes c = pool.acquire(256);
+  EXPECT_EQ(pool.stats().outstanding, 3u);
+  EXPECT_EQ(pool.stats().high_water, 3u);
+  pool.recycle(std::move(a));
+  pool.recycle(std::move(b));
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  EXPECT_EQ(pool.stats().high_water, 3u);  // high-water sticks
+  pool.recycle(std::move(c));
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(PacketPool, BindMetricsMirrorsCounters) {
+  PacketPool pool;
+  sim::Metrics m;
+  pool.bind_metrics(&m);
+  Bytes a = pool.acquire(256);
+  pool.recycle(std::move(a));
+  Bytes b = pool.acquire(256);
+  pool.recycle(std::move(b));
+  EXPECT_EQ(m.pool_hits, 1u);
+  EXPECT_EQ(m.pool_misses, 1u);
+  EXPECT_EQ(m.pool_recycles, 2u);
+  EXPECT_EQ(m.pool_high_water, 1u);
+}
+
+TEST(PacketPool, DumpJsonHasStatsAndClasses) {
+  PacketPool pool;
+  Bytes a = pool.acquire(256);
+  pool.recycle(std::move(a));
+  const std::string j = pool.dump_json();
+  EXPECT_NE(j.find("\"hits\""), std::string::npos);
+  EXPECT_NE(j.find("\"misses\""), std::string::npos);
+  EXPECT_NE(j.find("\"classes\""), std::string::npos);
+  EXPECT_NE(j.find("\"size\":256"), std::string::npos);
+}
+
+TEST(PooledBytes, ReturnsToPoolOnDestruction) {
+  PacketPool pool;
+  {
+    PooledBytes pb = borrow(pool, 512);
+    pb->resize(10, 1);
+    EXPECT_EQ((*pb).size(), 10u);
+  }
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  Bytes again = pool.acquire(512);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(PooledBytes, TakeDetachesFromPool) {
+  PacketPool pool;
+  Bytes detached;
+  {
+    PooledBytes pb = borrow(pool, 512);
+    pb->resize(10, 7);
+    detached = std::move(pb).take();
+  }
+  EXPECT_EQ(pool.stats().recycles, 0u);  // nothing returned
+  EXPECT_EQ(detached.size(), 10u);
+  EXPECT_EQ(detached[0], 7);
+}
+
+TEST(PooledBytes, MoveTransfersOwnership) {
+  PacketPool pool;
+  {
+    PooledBytes a = borrow(pool, 512);
+    PooledBytes b = std::move(a);
+    PooledBytes c;
+    c = std::move(b);
+    // Only the final owner returns the buffer.
+  }
+  EXPECT_EQ(pool.stats().recycles, 1u);
+}
+
+TEST(PooledBytes, ExplicitReleaseIsIdempotent) {
+  PacketPool pool;
+  PooledBytes pb = borrow(pool, 512);
+  pb.release();
+  pb.release();
+  EXPECT_EQ(pool.stats().recycles, 1u);
+}
+
+}  // namespace
+}  // namespace ulnet::buf
