@@ -1,0 +1,120 @@
+// Chaos exhibit: crash-fault injection against the user-level organization.
+//
+// Runs the canonical chaos scenario (api/chaos.h) twice with the same seed
+// and checks (a) every robustness invariant -- the surviving bulk stream
+// delivers byte-exact data, the killed library's peer sees a clean RST, the
+// trusted path reclaims every channel/ring/buffer -- and (b) replay
+// identity: both runs produce the same fingerprint. Exits nonzero on any
+// violation, so scripts/run_chaos.py can sweep seeds and ctest can gate.
+//
+//   bench_chaos [--seed N] [--an1] [--json <path>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/chaos.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  api::LinkType link = api::LinkType::kEthernet;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--an1") == 0) {
+      link = api::LinkType::kAn1;
+    }
+  }
+
+  api::ChaosScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.link = link;
+
+  bench::heading("Chaos: crash-fault injection, seed " + std::to_string(seed) +
+                 (link == api::LinkType::kAn1 ? " (AN1)" : " (Ethernet)"));
+  const api::ChaosReport rep = api::run_chaos_scenario(cfg);
+  const api::ChaosReport replay = api::run_chaos_scenario(cfg);
+  const bool replay_ok = rep.fingerprint == replay.fingerprint;
+
+  bench::row_header({"invariant", "value"});
+  std::printf("%-34s%s\n", "bulk survived + data valid",
+              rep.bulk_ok && rep.bulk_data_valid ? "yes" : "NO");
+  std::printf("%-34s%s\n", "victim killed, peer saw RST",
+              rep.victim_killed && rep.peer_saw_reset ? "yes" : "NO");
+  std::printf("%-34s%zu live (expect %zu) / %zu live (expect %zu)\n",
+              "channels A / B", rep.live_channels_a, rep.expected_channels_a,
+              rep.live_channels_b, rep.expected_channels_b);
+  std::printf("%-34s%d / %d (-1 = no BQIs on this link)\n", "AN1 rings A / B",
+              rep.bqis_a, rep.bqis_b);
+  std::printf("%-34s%llu channels, %llu RSTs\n", "registry reclaimed",
+              static_cast<unsigned long long>(rep.channels_reclaimed),
+              static_cast<unsigned long long>(rep.rsts_sent));
+  std::printf("%-34s%llu dropped, %llu repolls, %llu recoveries\n",
+              "wakeups",
+              static_cast<unsigned long long>(rep.wakeups_dropped),
+              static_cast<unsigned long long>(rep.repolls),
+              static_cast<unsigned long long>(rep.repoll_recoveries));
+  std::printf("%-34s%llu backpressure events, %llu retries\n", "transmit",
+              static_cast<unsigned long long>(rep.tx_backpressure),
+              static_cast<unsigned long long>(rep.tx_retries));
+  std::printf("%-34s%016llx %s\n", "replay fingerprint",
+              static_cast<unsigned long long>(rep.fingerprint),
+              replay_ok ? "(replay matches)" : "(REPLAY DIVERGED)");
+  std::printf("fault census: %s\n", rep.fault_census.c_str());
+
+  bench::JsonReport json(argc, argv, "bench_chaos", "Chaos");
+  const auto b01 = [](bool v) { return v ? 1.0 : 0.0; };
+  std::vector<std::pair<std::string, double>> params = {
+      {"seed", static_cast<double>(seed)},
+      {"an1", link == api::LinkType::kAn1 ? 1.0 : 0.0}};
+  json.add("survivor", "bulk_ok", "bool", b01(rep.bulk_ok && rep.bulk_data_valid),
+           std::nullopt, params);
+  json.add("crash", "peer_saw_reset", "bool",
+           b01(rep.victim_killed && rep.peer_saw_reset), std::nullopt, params);
+  json.add("leaks.channels", "leaked_channels", "count",
+           static_cast<double>((rep.live_channels_a - rep.expected_channels_a) +
+                               (rep.live_channels_b - rep.expected_channels_b) +
+                               rep.victim_channels_left),
+           std::nullopt, params);
+  json.add("leaks.bqis", "leaked_bqis", "count",
+           rep.bqis_a < 0 ? 0.0
+                          : static_cast<double>(
+                                (rep.bqis_a - static_cast<int>(rep.live_channels_a)) +
+                                (rep.bqis_b - static_cast<int>(rep.live_channels_b))),
+           std::nullopt, params);
+  json.add("reclaims.channels", "channels_reclaimed", "count",
+           static_cast<double>(rep.channels_reclaimed), std::nullopt, params);
+  json.add("reclaims.rsts", "rsts_sent", "count",
+           static_cast<double>(rep.rsts_sent), std::nullopt, params);
+  json.add("faults.wakeups_dropped", "wakeups_dropped", "count",
+           static_cast<double>(rep.wakeups_dropped), std::nullopt, params);
+  json.add("faults.tx_backpressure", "tx_backpressure", "count",
+           static_cast<double>(rep.tx_backpressure), std::nullopt, params);
+  json.add("recovery.tx_retries", "tx_retries", "count",
+           static_cast<double>(rep.tx_retries), std::nullopt, params);
+  json.add("recovery.repoll_recoveries", "repoll_recoveries", "count",
+           static_cast<double>(rep.repoll_recoveries), std::nullopt, params);
+  json.add("replay", "fingerprint_match", "bool", b01(replay_ok), std::nullopt,
+           params);
+  if (!json.write()) return 2;
+
+  const std::string fail = rep.failure();
+  if (!fail.empty()) {
+    std::fprintf(stderr, "FAIL (seed %llu): %s\n",
+                 static_cast<unsigned long long>(seed), fail.c_str());
+    return 1;
+  }
+  if (!replay_ok) {
+    std::fprintf(stderr,
+                 "FAIL (seed %llu): replay diverged (%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(rep.fingerprint),
+                 static_cast<unsigned long long>(replay.fingerprint));
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -40,6 +40,15 @@ RESULT_REQUIRED = {"label": str, "metric": str, "unit": str}
 RESULT_OPTIONAL = {"value", "paper_value", "params", "kind"}
 RESULT_KINDS = {"simulated", "wallclock"}
 
+# Per-bench label contracts: benches whose downstream consumers (ctest
+# gates, sweep drivers) key on specific labels must always emit them.
+BENCH_REQUIRED_LABELS = {
+    "bench_chaos": {
+        "survivor", "crash", "leaks.channels", "leaks.bqis",
+        "reclaims.channels", "reclaims.rsts", "replay",
+    },
+}
+
 
 def fail(path, msg):
     print(f"{path}: {msg}", file=sys.stderr)
@@ -101,6 +110,12 @@ def check_file(path):
         return fail(path, "'results' missing or empty")
     for i, r in enumerate(results):
         ok = check_result(path, i, r) and ok
+    required = BENCH_REQUIRED_LABELS.get(doc.get("bench"), set())
+    labels = {r.get("label") for r in results if isinstance(r, dict)}
+    missing = required - labels
+    if missing:
+        ok = fail(path, f"{doc.get('bench')} output missing required labels "
+                        f"{sorted(missing)}")
     if ok:
         print(f"{path}: OK ({doc['bench']}, {doc['exhibit']}, "
               f"{len(results)} results)")

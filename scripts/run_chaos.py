@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Seed-sweep driver for the chaos exhibit.
+
+Runs bench_chaos once per seed (each invocation itself runs the scenario
+twice and checks replay identity) and aggregates pass/fail across the
+sweep. Ethernet and AN1 alternate by default so both datapaths -- software
+demultiplexing and hardware BQI rings -- see every fault kind.
+
+    python3 scripts/run_chaos.py --bench build/bench/bench_chaos --seeds 8
+    python3 scripts/run_chaos.py --bench ... --seeds 64 --start 100 --an1 only
+
+No third-party dependencies; stdlib only.
+"""
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+
+def run_one(bench: str, seed: int, an1: bool, timeout: float) -> tuple[bool, str]:
+    cmd = [bench, "--seed", str(seed)]
+    if an1:
+        cmd.append("--an1")
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout, check=False
+        )
+    except subprocess.TimeoutExpired:
+        return False, "timeout"
+    except OSError as e:
+        return False, f"exec failed: {e}"
+    if proc.returncode == 0:
+        return True, ""
+    detail = proc.stderr.strip().splitlines()
+    return False, detail[-1] if detail else f"exit {proc.returncode}"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True, help="path to bench_chaos binary")
+    ap.add_argument("--seeds", type=int, default=8, help="number of seeds to sweep")
+    ap.add_argument("--start", type=int, default=1, help="first seed")
+    ap.add_argument(
+        "--an1",
+        choices=["alternate", "only", "never"],
+        default="alternate",
+        help="AN1 link usage across the sweep (default: alternate with Ethernet)",
+    )
+    ap.add_argument(
+        "--timeout", type=float, default=120.0, help="per-seed timeout in seconds"
+    )
+    args = ap.parse_args()
+
+    failures: list[str] = []
+    for i in range(args.seeds):
+        seed = args.start + i
+        an1 = args.an1 == "only" or (args.an1 == "alternate" and i % 2 == 1)
+        ok, why = run_one(args.bench, seed, an1, args.timeout)
+        link = "an1" if an1 else "eth"
+        status = "ok" if ok else f"FAIL: {why}"
+        print(f"seed {seed:>4} [{link}] {status}")
+        if not ok:
+            failures.append(f"seed {seed} [{link}]: {why}")
+
+    print(f"\n{args.seeds - len(failures)}/{args.seeds} seeds passed")
+    if failures:
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

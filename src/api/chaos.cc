@@ -1,0 +1,259 @@
+#include "api/chaos.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "api/workloads.h"
+#include "hw/nic.h"
+
+namespace ulnet::api {
+
+// ---------------------------------------------------------------------------
+// ChaosController
+// ---------------------------------------------------------------------------
+
+ChaosController::ChaosController(Testbed& bed, sim::Time repoll_interval)
+    : bed_(bed), repoll_interval_(repoll_interval) {}
+
+int ChaosController::add_target(core::UserLevelApp& app) {
+  targets_.push_back(&app);
+  if (repoll_interval_ > 0) app.set_repoll_interval(repoll_interval_);
+  return static_cast<int>(targets_.size()) - 1;
+}
+
+void ChaosController::arm(sim::FaultSchedule schedule) {
+  sched_ = std::move(schedule);
+  sched_.sort();
+  for (const sim::FaultEvent& ev : sched_.events()) {
+    if (ev.target < 0 ||
+        ev.target >= static_cast<int>(targets_.size())) {
+      continue;
+    }
+    core::UserLevelApp* app = targets_[static_cast<std::size_t>(ev.target)];
+    // Each fault lands as a task in the target's own space: a kill charges
+    // its last gasp to the dying library, exactly like a real crash.
+    bed_.world().loop().schedule_at(ev.at, [this, ev, app] {
+      app->run_app([this, ev](sim::TaskCtx& ctx) { apply(ctx, ev); });
+    });
+  }
+}
+
+void ChaosController::apply(sim::TaskCtx& ctx, const sim::FaultEvent& ev) {
+  core::UserLevelApp& app = *targets_[static_cast<std::size_t>(ev.target)];
+  if (app.dead()) return;  // dead targets absorb nothing; not counted
+  switch (ev.kind) {
+    case sim::FaultKind::kKillApp:
+      app.kill(ctx);
+      break;
+    case sim::FaultKind::kStallApp:
+      app.stall();
+      break;
+    case sim::FaultKind::kResumeApp:
+      app.resume();
+      break;
+    case sim::FaultKind::kDropWakeup:
+      app.drop_next_wakeup();
+      break;
+    case sim::FaultKind::kExhaustRing:
+      app.exhaust_rings();
+      break;
+    case sim::FaultKind::kTxBackpressure:
+      app.org().netio(0).inject_tx_backpressure(ev.arg == 0 ? 1 : ev.arg);
+      break;
+  }
+  sched_.note_injected(ev.kind);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario runner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct VictimState {
+  SocketId sock = kInvalidSocket;
+  std::size_t sent = 0;
+  std::size_t peer_rcvd = 0;
+  bool peer_closed = false;
+  std::string peer_close_reason;
+};
+
+void victim_pump(core::UserLevelApp& victim,
+                 const std::shared_ptr<VictimState>& st) {
+  if (victim.dead() || st->sock == kInvalidSocket) return;
+  // Stream continuously so the kill always lands mid-transfer.
+  for (;;) {
+    const std::size_t space = victim.send_space(st->sock);
+    if (space == 0) return;
+    const std::size_t n = std::min<std::size_t>(1024, space);
+    const std::size_t took = victim.send(st->sock, payload_bytes(st->sent, n));
+    st->sent += took;
+    if (took < n) return;
+  }
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
+  Testbed bed(OrgType::kUserLevel, cfg.link, cfg.seed);
+  ChaosController chaos(bed, cfg.repoll_interval);
+
+  core::UserLevelApp& victim = bed.user_org_a()->add_app_impl("victim");
+  core::UserLevelApp& vpeer = bed.user_org_b()->add_app_impl("vpeer");
+  const int victim_idx = chaos.add_target(victim);
+  chaos.add_target(*bed.user_app_a());
+  chaos.add_target(*bed.user_app_b());
+
+  // The survivor: a verified stream that must deliver every byte intact no
+  // matter what the fault schedule does around it.
+  BulkTransfer bulk(bed, cfg.bulk_bytes, cfg.write_size, 5001,
+                    /*verify_data=*/true);
+  bulk.start();
+
+  // The victim flow: vpeer listens and counts; the victim streams until it
+  // is killed. Its peer must then observe a clean RST (not a hang).
+  auto st = std::make_shared<VictimState>();
+  vpeer.run_app([&vpeer, st](sim::TaskCtx&) {
+    vpeer.listen(6001, [&vpeer, st](SocketId id) {
+      SocketEvents evs;
+      evs.on_readable = [&vpeer, id, st](std::size_t) {
+        st->peer_rcvd +=
+            vpeer.recv(id, std::numeric_limits<std::size_t>::max()).size();
+      };
+      evs.on_eof = [&vpeer, id] { vpeer.close(id); };
+      evs.on_closed = [&vpeer, id, st](const std::string& reason) {
+        st->peer_close_reason = reason;
+        st->peer_closed = true;
+        vpeer.run_app([&vpeer, id](sim::TaskCtx&) { vpeer.release(id); });
+      };
+      return evs;
+    });
+  });
+  bed.world().loop().schedule_in(100 * sim::kMs, [&victim, &bed, st] {
+    victim.run_app([&victim, &bed, st](sim::TaskCtx&) {
+      SocketEvents evs;
+      evs.on_established = [&victim, st] {
+        victim.run_app(
+            [&victim, st](sim::TaskCtx&) { victim_pump(victim, st); });
+      };
+      evs.on_writable = [&victim, st] {
+        victim.run_app(
+            [&victim, st](sim::TaskCtx&) { victim_pump(victim, st); });
+      };
+      victim.connect(bed.ip_b(), 6001, std::move(evs),
+                     [st](SocketId id) { st->sock = id; });
+    });
+  });
+
+  sim::FaultSchedule::GenSpec spec;
+  spec.start = cfg.fault_start;
+  spec.horizon = cfg.fault_start + cfg.fault_span;
+  spec.targets = 3;
+  spec.kill_target = victim_idx;
+  spec.kills = 1;
+  spec.stalls = cfg.stalls;
+  spec.stall_len = cfg.stall_len;
+  spec.wakeup_drops = cfg.wakeup_drops;
+  spec.ring_exhausts = cfg.ring_exhausts;
+  spec.tx_backpressures = cfg.tx_backpressures;
+  spec.tx_burst = cfg.tx_burst;
+  chaos.arm(sim::FaultSchedule::generate(cfg.seed, spec));
+
+  os::World& world = bed.world();
+  while (world.now() < cfg.deadline &&
+         !(bulk.finished() && victim.dead() && st->peer_closed)) {
+    world.run_for(sim::kSec);
+  }
+  // Let in-flight reclamation IPCs and the last retransmissions settle.
+  world.run_for(2 * sim::kSec);
+
+  ChaosReport rep;
+  rep.bulk_ok = bulk.finished() && bulk.result().ok;
+  rep.bulk_data_valid = bulk.result().data_valid;
+  rep.victim_killed = victim.dead();
+  rep.peer_close_reason = st->peer_close_reason;
+  rep.peer_saw_reset =
+      st->peer_closed && st->peer_close_reason == "reset by peer";
+
+  core::NetIoModule& na = bed.user_org_a()->netio(0);
+  core::NetIoModule& nb = bed.user_org_b()->netio(0);
+  rep.victim_channels_left = na.channels_of_space(victim.app_space()).size();
+  rep.live_channels_a = na.live_channels();
+  rep.live_channels_b = nb.live_channels();
+  // Bulk client/server keep their channel (sockets closed, never released);
+  // the victim's channel is reclaimed and vpeer releases on reset.
+  rep.expected_channels_a = 1;
+  rep.expected_channels_b = 1;
+  if (cfg.link == LinkType::kAn1) {
+    rep.bqis_a = static_cast<hw::An1Nic&>(na.nic()).bqis_in_use();
+    rep.bqis_b = static_cast<hw::An1Nic&>(nb.nic()).bqis_in_use();
+  }
+
+  const auto& reclaim = bed.user_org_a()->registry().reclaim_stats();
+  rep.channels_reclaimed = reclaim.channels;
+  rep.rsts_sent = reclaim.rsts_sent;
+
+  const sim::Metrics& m = world.metrics();
+  rep.wakeups_dropped = m.wakeups_dropped;
+  rep.tx_backpressure = m.netio_tx_backpressure;
+  rep.tx_retries = victim.tx_retries() + bed.user_app_a()->tx_retries() +
+                   bed.user_app_b()->tx_retries();
+  rep.repolls = victim.repolls() + bed.user_app_a()->repolls() +
+                bed.user_app_b()->repolls();
+  rep.repoll_recoveries = victim.repoll_recoveries() +
+                          bed.user_app_a()->repoll_recoveries() +
+                          bed.user_app_b()->repoll_recoveries();
+  rep.fault_census = chaos.schedule().dump_json();
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, m.dump_json());
+  h = fnv1a(h, na.dump_json());
+  h = fnv1a(h, nb.dump_json());
+  h = fnv1a(h, rep.fault_census);
+  h = fnv1a(h, std::to_string(st->peer_rcvd));
+  rep.fingerprint = h;
+  return rep;
+}
+
+bool ChaosReport::invariants_ok() const { return failure().empty(); }
+
+std::string ChaosReport::failure() const {
+  if (!bulk_ok) return "surviving bulk transfer did not complete";
+  if (!bulk_data_valid) return "surviving bulk stream corrupted";
+  if (!victim_killed) return "victim library was never killed";
+  if (!peer_saw_reset) {
+    return "peer of dead library saw '" + peer_close_reason +
+           "', expected 'reset by peer'";
+  }
+  if (victim_channels_left != 0) return "dead library still owns channels";
+  if (live_channels_a != expected_channels_a) {
+    return "host A channel leak: " + std::to_string(live_channels_a) +
+           " live, expected " + std::to_string(expected_channels_a);
+  }
+  if (live_channels_b != expected_channels_b) {
+    return "host B channel leak: " + std::to_string(live_channels_b) +
+           " live, expected " + std::to_string(expected_channels_b);
+  }
+  if (bqis_a >= 0 && bqis_a != static_cast<int>(live_channels_a)) {
+    return "host A BQI leak: " + std::to_string(bqis_a) + " rings for " +
+           std::to_string(live_channels_a) + " channels";
+  }
+  if (bqis_b >= 0 && bqis_b != static_cast<int>(live_channels_b)) {
+    return "host B BQI leak: " + std::to_string(bqis_b) + " rings for " +
+           std::to_string(live_channels_b) + " channels";
+  }
+  if (channels_reclaimed == 0) return "registry reclaimed nothing";
+  if (rsts_sent == 0) return "registry sent no RST for the dead library";
+  return "";
+}
+
+}  // namespace ulnet::api

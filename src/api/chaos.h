@@ -1,0 +1,113 @@
+// Chaos controller and scenario runner for the user-level organization.
+//
+// The controller replays a sim::FaultSchedule against registered protocol
+// libraries: it kills them mid-transfer, stalls their service threads until
+// rings fill, swallows semaphore wakeups, drains receive rings, and makes
+// the transmit path report device backpressure. Everything is driven off
+// the world's event loop, so a (seed, spec) pair reproduces the entire run
+// -- faults, recoveries and final metrics -- bit for bit.
+//
+// run_chaos_scenario() is the shared harness used by tests/test_chaos.cc
+// and bench/bench_chaos.cc: a verified bulk transfer that must survive,
+// plus a victim connection whose library is killed, with the trusted path
+// expected to reclaim every resource the victim held.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/testbed.h"
+#include "core/user_level.h"
+#include "sim/fault.h"
+
+namespace ulnet::api {
+
+class ChaosController {
+ public:
+  // `repoll_interval` > 0 arms the lost-wakeup safety net on every target
+  // as it registers (0 leaves the targets' event schedules untouched).
+  explicit ChaosController(Testbed& bed, sim::Time repoll_interval = 0);
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+
+  // Register an app as a fault target; returns its index for GenSpec /
+  // FaultEvent.target.
+  int add_target(core::UserLevelApp& app);
+
+  // Schedule every event of `schedule` on the world's loop. Call once.
+  void arm(sim::FaultSchedule schedule);
+
+  // The armed schedule, with its injection census filled in as events fire.
+  [[nodiscard]] const sim::FaultSchedule& schedule() const { return sched_; }
+
+ private:
+  void apply(sim::TaskCtx& ctx, const sim::FaultEvent& ev);
+
+  Testbed& bed_;
+  sim::Time repoll_interval_;
+  std::vector<core::UserLevelApp*> targets_;
+  sim::FaultSchedule sched_;
+};
+
+// ---------------------------------------------------------------------------
+// Canonical crash-fault scenario
+// ---------------------------------------------------------------------------
+
+struct ChaosScenarioConfig {
+  std::uint64_t seed = 1;
+  LinkType link = LinkType::kEthernet;
+  // Survivor stream: sized to still be in flight through the fault window.
+  std::size_t bulk_bytes = 3 * 1024 * 1024;
+  std::size_t write_size = 4096;
+  // Fault window [fault_start, fault_start + fault_span): opens after the
+  // handshakes are long done.
+  sim::Time fault_start = 1 * sim::kSec;
+  sim::Time fault_span = 3 * sim::kSec;
+  sim::Time repoll_interval = 20 * sim::kMs;
+  // One library kill (the victim) is always scheduled; the rest target the
+  // survivors and must be absorbed.
+  int stalls = 1;
+  sim::Time stall_len = 200 * sim::kMs;
+  int wakeup_drops = 2;
+  int ring_exhausts = 1;
+  int tx_backpressures = 1;
+  std::uint64_t tx_burst = 4;
+  sim::Time deadline = 300 * sim::kSec;
+};
+
+struct ChaosReport {
+  // Survival: the bulk stream completed and every byte matched.
+  bool bulk_ok = false;
+  bool bulk_data_valid = false;
+  // Crash handling: the victim died, and its peer observed a clean RST.
+  bool victim_killed = false;
+  bool peer_saw_reset = false;
+  std::string peer_close_reason;
+  // Leak census after the dust settles.
+  std::size_t victim_channels_left = 0;  // must be 0
+  std::size_t live_channels_a = 0, live_channels_b = 0;
+  std::size_t expected_channels_a = 0, expected_channels_b = 0;
+  int bqis_a = -1, bqis_b = -1;  // AN1 live rings; -1 on Ethernet
+  // Reclamation + recovery activity (from the registry and the libraries).
+  std::uint64_t channels_reclaimed = 0;
+  std::uint64_t rsts_sent = 0;
+  std::uint64_t wakeups_dropped = 0;
+  std::uint64_t tx_backpressure = 0;
+  std::uint64_t tx_retries = 0;
+  std::uint64_t repolls = 0;
+  std::uint64_t repoll_recoveries = 0;
+  // Replay identity: FNV-1a over world metrics + both netio dumps + the
+  // fault census. Two runs of the same (seed, config) must match exactly.
+  std::uint64_t fingerprint = 0;
+  std::string fault_census;  // FaultSchedule::dump_json()
+
+  [[nodiscard]] bool invariants_ok() const;
+  // Empty when invariants hold; otherwise a short description of the first
+  // violated one.
+  [[nodiscard]] std::string failure() const;
+};
+
+ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg);
+
+}  // namespace ulnet::api

@@ -85,7 +85,8 @@ ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
   return id;
 }
 
-void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id) {
+void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id,
+                                  bool reclaimed) {
   auto it = channels_.find(id);
   if (it == channels_.end()) return;
   Channel& ch = it->second;
@@ -97,6 +98,13 @@ void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id) {
     static_cast<hw::An1Nic&>(nic_).free_bqi(ch.rx_bqi);
     by_bqi_.erase(ch.rx_bqi);
   }
+  // Undrained packets in the shared ring go back to the pool with the
+  // region -- a dead library must not leak the buffers it never consumed.
+  if (buf::PacketPool* pool = nic_.pool()) {
+    counters_.buffers_reclaimed += ch.ring.size();
+    for (RxPacket& p : ch.ring) pool->recycle(std::move(p.payload));
+  }
+  if (reclaimed) counters_.channels_reclaimed++;
   channels_.erase(it);
   (void)ctx;
 }
@@ -205,14 +213,19 @@ std::string NetIoModule::dump_json() const {
       buf, sizeof buf,
       "],\"totals\":{\"delivered\":%llu,\"ring_drops\":%llu,"
       "\"sends\":%llu,\"send_rejects\":%llu,\"signals_suppressed\":%llu,"
-      "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu}}",
+      "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
+      "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
+      "\"buffers_reclaimed\":%llu}}",
       static_cast<unsigned long long>(counters_.delivered),
       static_cast<unsigned long long>(counters_.ring_drops),
       static_cast<unsigned long long>(counters_.sends),
       static_cast<unsigned long long>(counters_.send_rejects),
       static_cast<unsigned long long>(counters_.signals_suppressed),
       static_cast<unsigned long long>(counters_.default_deliveries),
-      static_cast<unsigned long long>(counters_.unclaimed_drops));
+      static_cast<unsigned long long>(counters_.unclaimed_drops),
+      static_cast<unsigned long long>(counters_.tx_backpressure),
+      static_cast<unsigned long long>(counters_.channels_reclaimed),
+      static_cast<unsigned long long>(counters_.buffers_reclaimed));
   out += buf;
   return out;
 }
@@ -240,6 +253,19 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
                                os::PortId cap, sim::SpaceId caller_space,
                                std::uint16_t ethertype, buf::Bytes payload,
                                net::MacAddr dst_override) {
+  const SendStatus st = channel_send_status(ctx, id, cap, caller_space,
+                                            ethertype, payload, dst_override);
+  if (st == SendStatus::kBackpressure) {
+    // Legacy callers do not retry: the packet is dropped here and a
+    // reliable transport above recovers by retransmission.
+    if (buf::PacketPool* pool = nic_.pool()) pool->recycle(std::move(payload));
+  }
+  return st == SendStatus::kOk;
+}
+
+NetIoModule::SendStatus NetIoModule::channel_send_status(
+    sim::TaskCtx& ctx, ChannelId id, os::PortId cap, sim::SpaceId caller_space,
+    std::uint16_t ethertype, buf::Bytes& payload, net::MacAddr dst_override) {
   os::Kernel& k = host_.kernel();
   // Specialized kernel entry point (much cheaper than a generic trap).
   k.fast_trap(ctx);
@@ -259,7 +285,7 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
     counters_.send_rejects++;
     if (ch != nullptr) ch->stats.send_rejects++;
     cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
-    return false;
+    return SendStatus::kRejected;
   }
 
   net::MacAddr dst = ch->peer_mac;
@@ -271,10 +297,24 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
       counters_.send_rejects++;
       ch->stats.send_rejects++;
       cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
-      return false;
+      return SendStatus::kRejected;
     }
     dst = dst_override;
   }
+
+  // Validation passed; now the device gets a say. A full transmit ring (or
+  // an injected throttle) refuses the packet *after* the caller has paid
+  // the trap and template costs -- exactly what a real driver would do.
+  // The payload stays with the caller for the retry.
+  if (tx_throttle_remaining_ > 0 || nic_.tx_ring_full()) {
+    if (tx_throttle_remaining_ > 0) tx_throttle_remaining_--;
+    counters_.tx_backpressure++;
+    m.netio_tx_backpressure++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space, 0,
+              "backpressure");
+    return SendStatus::kBackpressure;
+  }
+
   counters_.sends++;
   ch->stats.sends++;
   ch->stats.bytes_tx += payload.size();
@@ -284,7 +324,54 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
   // The payload has been framed; its storage is dead weight from here on.
   if (buf::PacketPool* pool = nic_.pool()) pool->recycle(std::move(payload));
   nic_.transmit(ctx, std::move(f));
-  return true;
+  return SendStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & reclamation support
+// ---------------------------------------------------------------------------
+
+void NetIoModule::channel_drop_next_wakeup(ChannelId id) {
+  if (Channel* ch = find(id)) ch->sem->drop_next_wakeup();
+}
+
+int NetIoModule::exhaust_channel(ChannelId id) {
+  Channel* ch = find(id);
+  if (ch == nullptr) return 0;
+  int discarded = static_cast<int>(ch->ring.size());
+  if (buf::PacketPool* pool = nic_.pool()) {
+    for (RxPacket& p : ch->ring) pool->recycle(std::move(p.payload));
+  }
+  ch->ring.clear();
+  if (an1_ && ch->rx_bqi != 0) {
+    discarded +=
+        static_cast<hw::An1Nic&>(nic_).drain_buffers(ch->rx_bqi);
+  }
+  return discarded;
+}
+
+void NetIoModule::channel_replenish(ChannelId id) {
+  Channel* ch = find(id);
+  if (ch == nullptr || !an1_ || ch->rx_bqi == 0) return;
+  auto& an1nic = static_cast<hw::An1Nic&>(nic_);
+  if (an1nic.posted_buffers(ch->rx_bqi) == 0) {
+    an1nic.post_buffers(ch->rx_bqi, ch->ring_capacity);
+  }
+}
+
+std::vector<ChannelId> NetIoModule::channels_of_space(
+    sim::SpaceId space) const {
+  std::vector<ChannelId> ids;
+  for (const auto& [id, ch] : channels_) {
+    if (ch.app_space == space) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t NetIoModule::channel_ring_depth(ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch == nullptr ? 0 : ch->ring.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +485,7 @@ void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
     counters_.ring_drops++;
     ch.stats.ring_drops++;
     cpu.metrics().demux_drops++;
+    cpu.metrics().netio_ring_drops++;
     cpu.trace(sim::TraceEventType::kDemuxDrop, ch.id,
               static_cast<std::int64_t>(ch.ring.size()), 0, "ring_full");
     return;
@@ -427,6 +515,7 @@ void NetIoModule::deliver_default(sim::TaskCtx& ctx, std::uint16_t ethertype,
                                   std::uint16_t bqi_advert) {
   if (!default_handler_) {
     counters_.unclaimed_drops++;
+    host_.cpu().metrics().netio_unclaimed_drops++;
     host_.cpu().trace(sim::TraceEventType::kDemuxDrop, 0,
                       static_cast<std::int64_t>(payload.size()), ethertype,
                       "unclaimed");

@@ -68,7 +68,11 @@ class NetIoModule {
   // Creates shared region + capability + demux binding (+ BQI ring on AN1).
   // Runs in a privileged task; the caller charges the setup costs.
   ChannelId create_channel(sim::TaskCtx& ctx, const ChannelSetup& setup);
-  void destroy_channel(sim::TaskCtx& ctx, ChannelId id);
+  // `reclaimed` marks a teardown performed on behalf of a dead client (for
+  // the reclamation census); resources are released identically either way,
+  // including recycling any packets still sitting in the shared ring.
+  void destroy_channel(sim::TaskCtx& ctx, ChannelId id,
+                       bool reclaimed = false);
   // Outgoing BQI the peer advertised for this flow (AN1 data path).
   void set_tx_bqi(ChannelId id, std::uint16_t bqi);
   // Re-target an existing channel at a different application space
@@ -111,6 +115,39 @@ class NetIoModule {
                     buf::Bytes payload,
                     net::MacAddr dst_override = net::MacAddr{});
 
+  // Like channel_send, but distinguishes a permanent refusal (bad cap /
+  // template violation) from transient device backpressure (transmit ring
+  // full, injected throttle). kOk and kRejected consume the payload; on
+  // kBackpressure nothing reached the wire and the payload is left intact
+  // so the caller can retry it after a backoff.
+  enum class SendStatus { kOk, kRejected, kBackpressure };
+  SendStatus channel_send_status(sim::TaskCtx& ctx, ChannelId id,
+                                 os::PortId cap, sim::SpaceId caller_space,
+                                 std::uint16_t ethertype, buf::Bytes& payload,
+                                 net::MacAddr dst_override = net::MacAddr{});
+
+  // ------------------------------------------------------------------
+  // Fault injection & reclamation support (chaos controller / registry)
+  // ------------------------------------------------------------------
+  // The next `n` channel sends report device backpressure.
+  void inject_tx_backpressure(std::uint64_t n) { tx_throttle_remaining_ += n; }
+  // Swallow the next semaphore wakeup on this channel (lost notification).
+  void channel_drop_next_wakeup(ChannelId id);
+  // Empty the channel's shared ring (contents lost, storage recycled) and,
+  // on AN1, drain its posted hardware buffers. Returns packets + buffers
+  // discarded. Reliable transports recover via retransmission.
+  int exhaust_channel(ChannelId id);
+  // AN1 starvation recovery: if the channel's hardware ring has zero posted
+  // buffers (everything consumed or drained by a fault) repost a full
+  // complement. No-op on Ethernet, on healthy rings, and on partial fills
+  // (the normal drain-then-post cycle handles those).
+  void channel_replenish(ChannelId id);
+  // Ids of every channel owned by `space`, ascending (dead-client sweep).
+  [[nodiscard]] std::vector<ChannelId> channels_of_space(
+      sim::SpaceId space) const;
+  [[nodiscard]] std::size_t live_channels() const { return channels_.size(); }
+  [[nodiscard]] std::size_t channel_ring_depth(ChannelId id) const;
+
   // Drain one packet from the channel's shared ring (no copy, no trap).
   std::optional<RxPacket> channel_pop(ChannelId id);
   // Rearm notification after a drain; returns true if more packets slipped
@@ -141,6 +178,9 @@ class NetIoModule {
     std::uint64_t signals_suppressed = 0;  // batching wins
     std::uint64_t default_deliveries = 0;
     std::uint64_t unclaimed_drops = 0;
+    std::uint64_t tx_backpressure = 0;     // transient device-full refusals
+    std::uint64_t channels_reclaimed = 0;  // destroyed on behalf of a dead app
+    std::uint64_t buffers_reclaimed = 0;   // ring packets recycled at destroy
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -215,6 +255,7 @@ class NetIoModule {
   sim::SpaceId default_space_ = -1;
   DefaultHandler default_handler_;
   Counters counters_;
+  std::uint64_t tx_throttle_remaining_ = 0;
   ChannelId next_id_ = 1;
 };
 

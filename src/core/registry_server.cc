@@ -1,5 +1,6 @@
 #include "core/registry_server.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ulnet::core {
@@ -26,7 +27,12 @@ RegistryServer::RegistryServer(os::World& world, os::Host& host,
       const auto key = flow_key(flow->local_ip.value, flow->local_port,
                                 flow->remote_ip.value, flow->remote_port);
       auto it = my_advert_.find(key);
-      if (it == my_advert_.end()) {
+      // Mint a fresh ring only for a SYN (TCP flags live at IP(20)+13).
+      // Segments for flows the table has forgotten -- above all the RST the
+      // registry sends on a dead library's behalf -- must not allocate: one
+      // leaked BQI per crash would exhaust the table.
+      const bool is_syn = payload.size() > 33 && (payload[33] & 0x02) != 0;
+      if (it == my_advert_.end() && is_syn) {
         NetIoModule* mod = nullptr;
         for (NetIoModule* m : netios_) {
           if (&m->nic() == nic) mod = m;
@@ -58,6 +64,15 @@ RegistryServer::RegistryServer(os::World& world, os::Host& host,
           default_rx(ctx, m, et, std::move(payload), advert);
         });
   }
+  // Dead-name notification: when an application space dies the kernel tells
+  // us; the actual sweep runs as an IPC-delivered task in our own space.
+  host_.kernel().watch_space_death(
+      [this](sim::TaskCtx& ctx, sim::SpaceId space) {
+        if (space == space_) return;
+        host_.kernel().ipc_send(
+            ctx, space_, 64,
+            [this, space](sim::TaskCtx& rctx) { client_died(rctx, space); });
+      });
 }
 
 void RegistryServer::default_rx(sim::TaskCtx& ctx, NetIoModule* netio,
@@ -277,6 +292,98 @@ void RegistryServer::inherit_connection(sim::TaskCtx& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// Dead-client reclamation
+// ---------------------------------------------------------------------------
+
+void RegistryServer::client_died(sim::TaskCtx& ctx, sim::SpaceId space) {
+  ctx.charge(host_.cpu().cost().registry_outbound_setup);
+  reclaim_stats_.clients++;
+
+  // 1. Handed-off connections: destroy the channel, reset the peer on the
+  //    dead library's behalf, quarantine the port. Keys sorted so the sweep
+  //    order (and therefore the RST order on the wire) is deterministic.
+  std::vector<std::uint64_t> dead_keys;
+  for (const auto& [key, ho] : handed_off_) {
+    if (ho.app_space == space) dead_keys.push_back(key);
+  }
+  std::sort(dead_keys.begin(), dead_keys.end());
+  for (const std::uint64_t key : dead_keys) {
+    HandedOff ho = std::move(handed_off_[key]);
+    handed_off_.erase(key);
+    ho.netio->destroy_channel(ctx, ho.channel, /*reclaimed=*/true);
+    reclaim_stats_.channels++;
+    proto::TcpConnection* conn =
+        stack_->tcp().import_connection(ho.state, this);
+    if (conn != nullptr) {
+      conn->abort();  // RST: the peer must not stay half-open forever
+      stack_->tcp().release(conn);
+      reclaim_stats_.rsts_sent++;
+    }
+    quarantine_port(ho.local_port);
+    reclaim_stats_.ports_quarantined++;
+  }
+
+  // 2. Channels the hand-off table does not track (raw channels and
+  //    connectionless protocol bindings created for this space).
+  for (NetIoModule* m : netios_) {
+    for (const ChannelId id : m->channels_of_space(space)) {
+      m->destroy_channel(ctx, id, /*reclaimed=*/true);
+      reclaim_stats_.channels++;
+    }
+  }
+
+  // 3. In-flight setups: abort the half-done handshake, free the port and
+  //    any ring already pre-advertised to the peer. Erase from pending_
+  //    *before* aborting so on_closed cannot re-enter the entry; sort by
+  //    local port because pending_ is keyed by pointer (iteration order
+  //    would otherwise vary run to run and break replay determinism).
+  std::vector<proto::TcpConnection*> dead_pending;
+  for (const auto& [conn, p] : pending_) {
+    if (p.client != nullptr && p.client->client_space() == space) {
+      dead_pending.push_back(conn);
+    }
+  }
+  std::sort(dead_pending.begin(), dead_pending.end(),
+            [](const proto::TcpConnection* a, const proto::TcpConnection* b) {
+              return a->local_port() < b->local_port();
+            });
+  for (proto::TcpConnection* conn : dead_pending) {
+    pending_.erase(conn);
+    const auto key = flow_key(conn->local_ip().value, conn->local_port(),
+                              conn->remote_ip().value, conn->remote_port());
+    if (auto ait = my_advert_.find(key); ait != my_advert_.end()) {
+      if (NetIoModule* m = netio_for(conn->remote_ip());
+          m != nullptr && m->an1() && ait->second != 0) {
+        static_cast<hw::An1Nic&>(m->nic()).free_bqi(ait->second);
+        reclaim_stats_.adverts_freed++;
+      }
+      my_advert_.erase(ait);
+    }
+    peer_advert_.erase(key);
+    quarantine_port(conn->local_port());
+    reclaim_stats_.ports_quarantined++;
+    conn->abort();
+    stack_->tcp().release(conn);
+    reclaim_stats_.pending_aborted++;
+  }
+
+  // 4. Listening endpoints registered by the dead space.
+  std::vector<std::uint16_t> dead_listen;
+  for (const auto& [port, le] : listeners_) {
+    if (le.client != nullptr && le.client->client_space() == space) {
+      dead_listen.push_back(port);
+    }
+  }
+  std::sort(dead_listen.begin(), dead_listen.end());
+  for (const std::uint16_t port : dead_listen) {
+    stack_->tcp().close_listener(port);
+    listeners_.erase(port);
+    ports_in_use_.erase(port);
+    reclaim_stats_.listeners_closed++;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Handshake completion -> channel setup -> hand-off
 // ---------------------------------------------------------------------------
 
@@ -381,7 +488,9 @@ void RegistryServer::finish_setup(sim::TaskCtx& ctx,
   info.request_id = pending.active ? pending.request_id : 0;
   info.listen_port = pending.listen_port;
   stack_->tcp().release(conn);  // detach without touching the wire
-  handed_off_[key] = HandedOff{netio, chan};
+  handed_off_[key] =
+      HandedOff{netio, chan, setup.app_space, info.state.local_port,
+                info.state};
 
   ctx.charge(cost.registry_state_transfer);
   RegistryClient* client = pending.client;

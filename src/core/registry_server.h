@@ -106,6 +106,26 @@ class RegistryServer : public proto::TcpObserver {
   void inherit_connection(sim::TaskCtx& ctx, proto::TcpHandoffState state,
                           NetIoModule* netio, ChannelId id);
 
+  // ---- Dead-client reclamation (crash-fault path) ----
+  // What one or more client_died sweeps recovered, cumulatively.
+  struct ReclaimStats {
+    std::uint64_t clients = 0;            // spaces swept
+    std::uint64_t channels = 0;           // channels destroyed
+    std::uint64_t rsts_sent = 0;          // peers reset on the dead app's behalf
+    std::uint64_t ports_quarantined = 0;  // 2*MSL quiet periods started
+    std::uint64_t pending_aborted = 0;    // half-done handshakes torn down
+    std::uint64_t listeners_closed = 0;
+    std::uint64_t adverts_freed = 0;      // unconsumed pre-advertised BQIs
+  };
+  // Runs in the registry's space (reached via the kernel's death
+  // notification -> IPC). A library that dies without an orderly
+  // inherit_connection leaves channels, half-open peers, ports, listeners
+  // and pre-advertised rings behind; this reclaims all of them.
+  void client_died(sim::TaskCtx& ctx, sim::SpaceId space);
+  [[nodiscard]] const ReclaimStats& reclaim_stats() const {
+    return reclaim_stats_;
+  }
+
   // Ring slots per channel for subsequently created channels (ablation
   // knob; default matches the window/segment worst case with slack).
   void set_channel_ring_capacity(int slots) { ring_capacity_ = slots; }
@@ -173,6 +193,12 @@ class RegistryServer : public proto::TcpObserver {
   struct HandedOff {
     NetIoModule* netio = nullptr;
     ChannelId channel = kInvalidChannel;
+    sim::SpaceId app_space = -1;
+    std::uint16_t local_port = 0;
+    // Snapshot from hand-off time, kept so the registry can reset the peer
+    // if the library dies. Stale sequence numbers are fine: a pure RST is
+    // accepted without the sequence-window check.
+    proto::TcpHandoffState state;
   };
   std::unordered_map<std::uint64_t, HandedOff> handed_off_;
   std::unordered_set<std::uint16_t> ports_in_use_;
@@ -181,6 +207,7 @@ class RegistryServer : public proto::TcpObserver {
   SetupTiming last_setup_;
   int ring_capacity_ = 192;
   std::uint64_t setups_completed_ = 0;
+  ReclaimStats reclaim_stats_;
 };
 
 }  // namespace ulnet::core

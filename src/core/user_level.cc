@@ -47,31 +47,73 @@ UserLevelApp::UserLevelApp(UserLevelOrg& org, const std::string& name)
   stack_ = std::make_unique<proto::NetworkStack>(*env_);
 }
 
+namespace {
+// Transient-backpressure retry policy: exponential backoff from 200us,
+// bounded -- a wedged device must not pin packets forever.
+constexpr int kTxMaxAttempts = 6;
+constexpr sim::Time kTxBackoffBase = 200 * sim::kUs;
+}  // namespace
+
 void UserLevelApp::lib_transmit(int, net::MacAddr dst,
                                 std::uint16_t ethertype, buf::Bytes payload,
                                 const proto::TxFlow* flow) {
   // The library reaches the wire only through its channels.
+  if (dead_) return;
   if (flow == nullptr) {
     lib_unroutable_++;
     return;
   }
+  ChannelId id = kInvalidChannel;
+  net::MacAddr dst_override{};
   // Connectionless protocols ride the per-protocol wildcard channel, with
   // the destination supplied per send (the template's remote is wild).
   if (flow->ip_proto == proto::kProtoRrp &&
       rrp_channel_ != kInvalidChannel) {
-    ChannelRec& rec = channels_[rrp_channel_];
-    rec.netio->channel_send(org_.host().cpu().current(), rec.id, rec.cap,
-                            space_, ethertype, std::move(payload), dst);
+    id = rrp_channel_;
+    dst_override = dst;
+  } else {
+    auto it = chan_by_flow_.find(flow_key(*flow));
+    if (it == chan_by_flow_.end()) {
+      lib_unroutable_++;
+      return;
+    }
+    id = it->second;
+  }
+  send_attempt(org_.host().cpu().current(), id, ethertype, std::move(payload),
+               dst_override, 0);
+}
+
+void UserLevelApp::send_attempt(sim::TaskCtx& ctx, ChannelId id,
+                                std::uint16_t ethertype, buf::Bytes payload,
+                                net::MacAddr dst_override, int attempt) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    // Channel torn down while we were backing off.
+    if (buf::PacketPool* pool = org_.host().pool()) {
+      pool->recycle(std::move(payload));
+    }
     return;
   }
-  auto it = chan_by_flow_.find(flow_key(*flow));
-  if (it == chan_by_flow_.end()) {
-    lib_unroutable_++;
+  ChannelRec& rec = it->second;
+  const auto st = rec.netio->channel_send_status(
+      ctx, rec.id, rec.cap, space_, ethertype, payload, dst_override);
+  if (st != NetIoModule::SendStatus::kBackpressure) return;
+  if (dead_ || attempt + 1 >= kTxMaxAttempts) {
+    // Give up: drop the packet and let the transport's retransmission
+    // machinery find out the slow way.
+    tx_drops_++;
+    if (buf::PacketPool* pool = org_.host().pool()) {
+      pool->recycle(std::move(payload));
+    }
     return;
   }
-  ChannelRec& rec = channels_[it->second];
-  rec.netio->channel_send(org_.host().cpu().current(), rec.id, rec.cap,
-                          space_, ethertype, std::move(payload));
+  tx_retries_++;
+  env_->schedule(kTxBackoffBase << attempt,
+                 [this, id, ethertype, p = std::move(payload), dst_override,
+                  attempt]() mutable {
+                   send_attempt(org_.host().cpu().current(), id, ethertype,
+                                std::move(p), dst_override, attempt + 1);
+                 });
 }
 
 void UserLevelApp::start_drain(ChannelId id) {
@@ -85,6 +127,9 @@ void UserLevelApp::start_drain(ChannelId id) {
 void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
   auto it = channels_.find(id);
   if (it == channels_.end()) return;  // channel died while we slept
+  // A stalled (or dead) library consumes the notification but processes
+  // nothing: packets accumulate in the ring until resume() re-drains.
+  if (dead_ || stalled_) return;
   ChannelRec& rec = it->second;
   rec.draining = true;
   int drained = 0;
@@ -130,6 +175,7 @@ UserLevelApp::ChannelRec* UserLevelApp::rec_of_conn(
 bool UserLevelApp::listen(
     std::uint16_t port,
     std::function<api::SocketEvents(api::SocketId)> acceptor) {
+  if (dead_) return false;
   acceptors_[port] = std::move(acceptor);
   org_.registry().listen_request(org_.host().cpu().current(), this, port,
                                  tcp_config_);
@@ -139,6 +185,10 @@ bool UserLevelApp::listen(
 void UserLevelApp::connect(net::Ipv4Addr dst, std::uint16_t port,
                            api::SocketEvents evs,
                            std::function<void(api::SocketId)> done) {
+  if (dead_) {
+    if (done) done(api::kInvalidSocket);
+    return;
+  }
   const std::uint64_t rid = next_request_++;
   pending_connects_[rid] = PendingConnect{std::move(evs), std::move(done)};
   org_.registry().connect_request(org_.host().cpu().current(), this, rid,
@@ -209,6 +259,7 @@ void UserLevelApp::connect_failed(std::uint64_t request_id,
 // ---- Data path (pure library calls: no traps, no copies) ----
 
 std::size_t UserLevelApp::send(api::SocketId s, buf::ByteView data) {
+  if (dead_) return 0;
   auto* e = bridge_.find(s);
   if (e == nullptr || e->closed) return 0;
   // The application composes its data directly in the shared buffer
@@ -350,6 +401,102 @@ void UserLevelApp::enable_rrp(sim::TaskCtx& ctx, int ifc,
         start_drain(id);
         if (ready) ready();
       });
+}
+
+void UserLevelApp::kill(sim::TaskCtx& ctx) {
+  if (dead_) return;
+  dead_ = true;
+  // The process is gone mid-instruction: no FINs, no inherit RPCs, no
+  // registry cooperation. Local state evaporates (releasing each connection
+  // cancels its timers so the dead library never runs again), and the only
+  // thing the trusted path learns is the kernel's death notification.
+  std::vector<ChannelId> ids;
+  for (auto& [id, rec] : channels_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const ChannelId id : ids) {
+    ChannelRec& rec = channels_[id];
+    if (rec.conn != nullptr) {
+      const api::SocketId sid = bridge_.id_of(rec.conn);
+      if (sid != api::kInvalidSocket) bridge_.detach(sid);
+      stack_->tcp().release(rec.conn);
+    }
+  }
+  channels_.clear();
+  chan_by_flow_.clear();
+  raw_rx_.clear();
+  pending_connects_.clear();
+  acceptors_.clear();
+  rrp_channel_ = kInvalidChannel;
+  org_.host().kernel().space_died(ctx, space_);
+}
+
+void UserLevelApp::resume() {
+  if (!stalled_) return;
+  stalled_ = false;
+  // Drain everything that piled up, one task per channel, in id order.
+  std::vector<ChannelId> ids;
+  for (auto& [id, rec] : channels_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const ChannelId id : ids) {
+    run_app([this, id](sim::TaskCtx& ctx) { drain(ctx, id); });
+  }
+}
+
+void UserLevelApp::set_repoll_interval(sim::Time interval) {
+  repoll_interval_ = interval;
+  if (interval > 0 && !repoll_armed_) {
+    repoll_armed_ = true;
+    schedule_repoll();
+  }
+}
+
+void UserLevelApp::schedule_repoll() {
+  env_->schedule(repoll_interval_, [this] {
+    if (dead_ || repoll_interval_ <= 0) {
+      repoll_armed_ = false;
+      return;
+    }
+    repolls_++;
+    if (!stalled_) {
+      std::vector<ChannelId> ids;
+      for (auto& [id, rec] : channels_) ids.push_back(id);
+      std::sort(ids.begin(), ids.end());
+      for (const ChannelId id : ids) {
+        auto it = channels_.find(id);
+        if (it == channels_.end()) continue;
+        // A fully starved AN1 ring would black-hole the flow forever (no
+        // packets -> no drain -> no repost); repost a full complement.
+        it->second.netio->channel_replenish(id);
+        if (it->second.netio->channel_ring_depth(id) == 0) continue;
+        // Work sat in the ring with nobody dispatched to take it: either a
+        // wakeup was lost or the service thread fell behind. Draining also
+        // consumes any stale semaphore count, so the channel self-heals.
+        repoll_recoveries_++;
+        drain(org_.host().cpu().current(), id);
+      }
+    }
+    schedule_repoll();
+  });
+}
+
+void UserLevelApp::drop_next_wakeup() {
+  std::vector<ChannelId> ids;
+  for (auto& [id, rec] : channels_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const ChannelId id : ids) {
+    channels_[id].netio->channel_drop_next_wakeup(id);
+  }
+}
+
+int UserLevelApp::exhaust_rings() {
+  int discarded = 0;
+  std::vector<ChannelId> ids;
+  for (auto& [id, rec] : channels_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const ChannelId id : ids) {
+    discarded += channels_[id].netio->exhaust_channel(id);
+  }
+  return discarded;
 }
 
 void UserLevelApp::simulate_crash(sim::TaskCtx& ctx) {

@@ -123,7 +123,35 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   // registry, which resets the peers and quarantines the ports.
   void simulate_crash(sim::TaskCtx& ctx);
 
+  // ---- Crash-fault surface (chaos controller) ----
+  // Hard death: unlike simulate_crash the library gets no chance to hand
+  // anything to the registry -- local state simply evaporates and the
+  // kernel's dead-space notification is the only signal the trusted path
+  // receives. Everything left behind must be reclaimed by the registry.
+  void kill(sim::TaskCtx& ctx);
+  [[nodiscard]] bool dead() const { return dead_; }
+  // Freeze / unfreeze the library's service thread. While stalled, arriving
+  // packets pile up in the shared rings (eventually dropping at the ring);
+  // resume() drains whatever survived.
+  void stall() { stalled_ = true; }
+  void resume();
+  // Periodic safety-net poll of the shared rings: recovers from a lost
+  // semaphore wakeup at the price of one timer per interval. 0 = off
+  // (default -- healthy runs must not change their event schedule).
+  void set_repoll_interval(sim::Time interval);
+  // Arm the lost-wakeup fault on every channel / discard all ring contents.
+  void drop_next_wakeup();
+  int exhaust_rings();
+
+  [[nodiscard]] std::uint64_t tx_retries() const { return tx_retries_; }
+  [[nodiscard]] std::uint64_t tx_drops() const { return tx_drops_; }
+  [[nodiscard]] std::uint64_t repolls() const { return repolls_; }
+  [[nodiscard]] std::uint64_t repoll_recoveries() const {
+    return repoll_recoveries_;
+  }
+
   proto::NetworkStack& library_stack() { return *stack_; }
+  UserLevelOrg& org() { return org_; }
   [[nodiscard]] std::uint64_t packets_drained() const {
     return packets_drained_;
   }
@@ -149,6 +177,10 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
 
   void lib_transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
                     buf::Bytes payload, const proto::TxFlow* flow);
+  void send_attempt(sim::TaskCtx& ctx, ChannelId id, std::uint16_t ethertype,
+                    buf::Bytes payload, net::MacAddr dst_override,
+                    int attempt);
+  void schedule_repoll();
   void start_drain(ChannelId id);
   void drain(sim::TaskCtx& ctx, ChannelId id);
   ChannelRec* rec_of_conn(proto::TcpConnection* conn);
@@ -173,6 +205,14 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   std::uint64_t next_request_ = 1;
   std::uint64_t packets_drained_ = 0;
   std::uint64_t lib_unroutable_ = 0;
+  bool dead_ = false;
+  bool stalled_ = false;
+  sim::Time repoll_interval_ = 0;
+  bool repoll_armed_ = false;
+  std::uint64_t tx_retries_ = 0;
+  std::uint64_t tx_drops_ = 0;
+  std::uint64_t repolls_ = 0;
+  std::uint64_t repoll_recoveries_ = 0;
 
   friend struct RawChannel;
   friend class UserLevelOrg;

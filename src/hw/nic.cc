@@ -7,6 +7,14 @@
 
 namespace ulnet::hw {
 
+std::size_t Nic::tx_ring_in_use() {
+  const sim::Time now = cpu_.loop().now();
+  while (!tx_done_at_.empty() && tx_done_at_.front() <= now) {
+    tx_done_at_.pop_front();
+  }
+  return tx_done_at_.size();
+}
+
 void Nic::frame_arrived(net::Frame f) {
   cpu_.metrics().interrupts++;
   cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
@@ -34,7 +42,7 @@ void LanceNic::transmit(sim::TaskCtx& ctx, net::Frame f) {
   // not at the end of the enclosing task: a multi-segment send loop
   // overlaps its per-segment processing with transmission.
   cpu_.loop().schedule_at(ctx.now(), [this, fr = std::move(f)]() mutable {
-    link_.transmit(this, std::move(fr));
+    note_tx_occupancy(link_.transmit(this, std::move(fr)));
   });
 }
 
@@ -72,7 +80,7 @@ void An1Nic::transmit(sim::TaskCtx& ctx, net::Frame f) {
   tx_frames_++;
   cpu_.metrics().packets_tx++;
   cpu_.loop().schedule_at(ctx.now(), [this, fr = std::move(f)]() mutable {
-    link_.transmit(this, std::move(fr));
+    note_tx_occupancy(link_.transmit(this, std::move(fr)));
   });
 }
 
@@ -110,6 +118,22 @@ bool An1Nic::bqi_valid(std::uint16_t bqi) const {
   return bqi < kMaxBqis && rings_[bqi].in_use;
 }
 
+int An1Nic::drain_buffers(std::uint16_t bqi) {
+  if (bqi == kKernelBqi || !bqi_valid(bqi)) return 0;
+  auto& r = rings_[bqi];
+  const int drained = r.posted;
+  r.posted = 0;
+  return drained;
+}
+
+int An1Nic::bqis_in_use() const {
+  int n = 0;
+  for (int i = 1; i < kMaxBqis; ++i) {
+    if (rings_[static_cast<std::size_t>(i)].in_use) n++;
+  }
+  return n;
+}
+
 void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
   const auto& cost = cpu_.cost();
   ctx.charge(cost.interrupt_entry);
@@ -117,6 +141,7 @@ void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
   const auto hdr = net::An1Header::parse(f.bytes);
   if (!hdr) {
     rx_dropped_++;
+    cpu_.metrics().nic_rx_dropped++;
     return;
   }
   // Hardware demultiplex: the controller indexed the BQI table before
@@ -134,6 +159,8 @@ void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
     ring_drops_++;
     rx_dropped_++;
     cpu_.metrics().demux_drops++;
+    cpu_.metrics().nic_rx_dropped++;
+    cpu_.metrics().nic_ring_drops++;
     return;
   }
   ring.posted--;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 
@@ -61,6 +62,21 @@ class Nic : public net::LinkEndpoint {
   [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
   [[nodiscard]] std::uint64_t rx_dropped() const { return rx_dropped_; }
 
+  // --- Transmit-ring model ---
+  // Descriptors stay occupied until their frame clears the wire; a full
+  // ring is the netio module's backpressure signal. The default capacity is
+  // effectively unbounded (the pre-existing behaviour); tests and chaos
+  // scenarios shrink it to exercise the retry path. Occupancy is computed
+  // lazily from recorded wire-completion times -- no extra events.
+  void set_tx_ring_capacity(std::size_t slots) { tx_ring_capacity_ = slots; }
+  [[nodiscard]] std::size_t tx_ring_capacity() const {
+    return tx_ring_capacity_;
+  }
+  [[nodiscard]] std::size_t tx_ring_in_use();
+  [[nodiscard]] bool tx_ring_full() {
+    return tx_ring_in_use() >= tx_ring_capacity_;
+  }
+
   // Link-payload MTU as seen by the protocol stack above the driver.
   [[nodiscard]] virtual std::size_t driver_mtu() const = 0;
 
@@ -73,6 +89,10 @@ class Nic : public net::LinkEndpoint {
     if (rx_handler_) rx_handler_(ctx, f, bqi);
   }
 
+  // Record a frame's end-of-occupancy time (the Link returns it from
+  // transmit()) so tx_ring_in_use() can age descriptors out lazily.
+  void note_tx_occupancy(sim::Time until) { tx_done_at_.push_back(until); }
+
   sim::Cpu& cpu_;
   net::Link& link_;
   net::MacAddr mac_;
@@ -82,6 +102,8 @@ class Nic : public net::LinkEndpoint {
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
   std::uint64_t rx_dropped_ = 0;
+  std::size_t tx_ring_capacity_ = static_cast<std::size_t>(-1);
+  std::deque<sim::Time> tx_done_at_;  // completion times, ascending
 };
 
 // ---------------------------------------------------------------------------
@@ -130,6 +152,11 @@ class An1Nic final : public Nic {
   void post_buffers(std::uint16_t bqi, int n);
   [[nodiscard]] int posted_buffers(std::uint16_t bqi) const;
   [[nodiscard]] bool bqi_valid(std::uint16_t bqi) const;
+  // Fault injection: consume every posted buffer of a ring (as if the
+  // library took them all and returned none). Returns the number drained.
+  int drain_buffers(std::uint16_t bqi);
+  // Live user rings (excludes the kernel's BQI 0) -- the leak invariant.
+  [[nodiscard]] int bqis_in_use() const;
 
   [[nodiscard]] std::uint64_t ring_drops() const { return ring_drops_; }
 

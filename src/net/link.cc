@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/metrics.h"
+
 namespace ulnet::net {
 
 sim::Time LinkSpec::serialization_ns(std::size_t frame_len) const {
@@ -59,7 +61,7 @@ LinkSpec LinkSpec::an1() {
   return s;
 }
 
-void Link::transmit(const LinkEndpoint* from, Frame f) {
+sim::Time Link::transmit(const LinkEndpoint* from, Frame f) {
   if (tap) tap(f);
   const sim::Time now = loop_.now();
   const sim::Time start = std::max(now, channel_free_at_);
@@ -72,7 +74,9 @@ void Link::transmit(const LinkEndpoint* from, Frame f) {
 
   if (faults_.loss_p > 0 && rng_.chance(faults_.loss_p)) {
     frames_dropped_++;
-    return;
+    faults_.dropped++;
+    if (metrics_ != nullptr) metrics_->link_frames_lost++;
+    return channel_free_at_;
   }
 
   Frame delivered = std::move(f);
@@ -84,12 +88,23 @@ void Link::transmit(const LinkEndpoint* from, Frame f) {
         spec_.header_bytes +
         rng_.below(delivered.bytes.size() - spec_.header_bytes);
     delivered.bytes[off] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    faults_.corrupted++;
+    if (metrics_ != nullptr) metrics_->link_frames_corrupted++;
   }
 
   const bool duplicate = faults_.dup_p > 0 && rng_.chance(faults_.dup_p);
+  if (duplicate) {
+    faults_.duplicated++;
+    if (metrics_ != nullptr) metrics_->link_frames_duplicated++;
+  }
   sim::Time arrive = end + spec_.propagation;
   if (faults_.jitter_max > 0) {
-    arrive += rng_.range(0, faults_.jitter_max);
+    const sim::Time extra = rng_.range(0, faults_.jitter_max);
+    if (extra > 0) {
+      faults_.jittered++;
+      if (metrics_ != nullptr) metrics_->link_frames_jittered++;
+    }
+    arrive += extra;
   }
 
   // Rare fault path copies; the common path moves the frame straight into
@@ -106,6 +121,7 @@ void Link::transmit(const LinkEndpoint* from, Frame f) {
       deliver(std::move(f), from);
     });
   }
+  return channel_free_at_;
 }
 
 MacAddr Link::frame_dst(const Frame& f) const {

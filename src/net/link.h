@@ -21,6 +21,10 @@
 #include "sim/event_loop.h"
 #include "sim/rng.h"
 
+namespace ulnet::sim {
+struct Metrics;
+}  // namespace ulnet::sim
+
 namespace ulnet::net {
 
 class LinkEndpoint {
@@ -62,6 +66,18 @@ struct FaultPlan {
   double dup_p = 0;
   double corrupt_p = 0;
   sim::Time jitter_max = 0;  // uniform extra delay; can reorder frames
+
+  // Per-kind injection counts, incremented by the link as faults fire, so
+  // tests can assert that a configured fault actually happened (previously
+  // only losses were visible, via Link::frames_dropped()).
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t jittered = 0;  // frames that received nonzero extra delay
+
+  [[nodiscard]] std::uint64_t total_injected() const {
+    return dropped + duplicated + corrupted + jittered;
+  }
 };
 
 class Link {
@@ -79,10 +95,15 @@ class Link {
 
   // Queue a frame for transmission by `from`. Delivery is scheduled after
   // channel acquisition + serialization + propagation (+ injected jitter).
-  void transmit(const LinkEndpoint* from, Frame f);
+  // Returns the time the channel becomes free again (end of this frame's
+  // occupancy) so a NIC can model transmit-ring drain.
+  sim::Time transmit(const LinkEndpoint* from, Frame f);
 
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
   FaultPlan& faults() { return faults_; }
+
+  // Mirror fault/drop injections into world metrics (bound by the World).
+  void bind_metrics(sim::Metrics* m) { metrics_ = m; }
 
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_dropped() const {
@@ -99,6 +120,7 @@ class Link {
   sim::Rng& rng_;
   LinkSpec spec_;
   FaultPlan faults_;
+  sim::Metrics* metrics_ = nullptr;
   std::vector<LinkEndpoint*> endpoints_;
   sim::Time channel_free_at_ = 0;
   std::uint64_t frames_sent_ = 0;

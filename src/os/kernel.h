@@ -16,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "sim/cpu.h"
 #include "sim/metrics.h"
@@ -74,6 +75,21 @@ class Kernel {
   void ipc_send(sim::TaskCtx& ctx, sim::SpaceId dst_space, std::size_t bytes,
                 sim::Cpu::TaskFn handler);
 
+  // ---- Space death notification -----------------------------------------
+  // Mach-style dead-name notification, reduced to what the trusted path
+  // needs: privileged servers register a watcher; when an address space
+  // terminates abnormally the kernel tells every watcher (as a task in the
+  // watcher's own context via the watcher's closure -- the registry turns
+  // it into an IPC to itself). Watchers are never removed in this model;
+  // servers outlive applications.
+  using DeathWatcher = std::function<void(sim::TaskCtx&, sim::SpaceId)>;
+  void watch_space_death(DeathWatcher w) {
+    death_watchers_.push_back(std::move(w));
+  }
+  void space_died(sim::TaskCtx& ctx, sim::SpaceId space) {
+    for (auto& w : death_watchers_) w(ctx, space);
+  }
+
   // ---- Data movement costs ----------------------------------------------
   // Cross-space copy of `bytes`: charged as a copy, or as a fixed page remap
   // when the monolithic stacks' copy-avoidance threshold applies.
@@ -97,6 +113,7 @@ class Kernel {
   sim::Metrics& metrics_;
   std::unordered_map<PortId, Port> ports_;
   std::unordered_map<RegionId, Region> regions_;
+  std::vector<DeathWatcher> death_watchers_;
   PortId next_port_ = 1;
   RegionId next_region_ = 1;
 };

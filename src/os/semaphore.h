@@ -33,7 +33,22 @@ class Semaphore {
     cpu_.metrics().semaphore_signals++;
     cpu_.trace(sim::TraceEventType::kSemSignal, waiter_space_, count_ + 1);
     count_++;
+    if (drop_next_wakeup_) {
+      // Fault injection: the signal happened (count moved, cost charged)
+      // but the wakeup never reaches the waiter -- the lost-notification
+      // failure mode that the library's re-poll timer exists to survive.
+      drop_next_wakeup_ = false;
+      wakeups_dropped_++;
+      cpu_.metrics().wakeups_dropped++;
+      return;
+    }
     maybe_wake(ctx);
+  }
+
+  // Arm the lost-wakeup fault: the next signal's wakeup is swallowed.
+  void drop_next_wakeup() { drop_next_wakeup_ = true; }
+  [[nodiscard]] std::uint64_t wakeups_dropped() const {
+    return wakeups_dropped_;
   }
 
   // Library side: run `fn` (in the waiter's space) once the count is
@@ -80,6 +95,8 @@ class Semaphore {
   sim::SpaceId waiter_space_;
   int count_ = 0;
   std::optional<WaitFn> waiter_;
+  bool drop_next_wakeup_ = false;
+  std::uint64_t wakeups_dropped_ = 0;
 };
 
 }  // namespace ulnet::os

@@ -48,6 +48,7 @@ class World {
 
   net::Link& add_link(net::LinkSpec spec) {
     links_.push_back(std::make_unique<net::Link>(loop_, rng_, std::move(spec)));
+    links_.back()->bind_metrics(&metrics_);
     return *links_.back();
   }
   net::Link& add_ethernet() { return add_link(net::LinkSpec::ethernet10()); }

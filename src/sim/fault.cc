@@ -1,0 +1,97 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+
+namespace ulnet::sim {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kKillApp: return "kill_app";
+    case FaultKind::kStallApp: return "stall_app";
+    case FaultKind::kResumeApp: return "resume_app";
+    case FaultKind::kDropWakeup: return "drop_wakeup";
+    case FaultKind::kExhaustRing: return "exhaust_ring";
+    case FaultKind::kTxBackpressure: return "tx_backpressure";
+  }
+  return "?";
+}
+
+void FaultSchedule::sort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultSchedule FaultSchedule::generate(std::uint64_t seed,
+                                      const GenSpec& spec) {
+  FaultSchedule s;
+  Rng rng(seed);
+  const Time span = spec.horizon > spec.start ? spec.horizon - spec.start : 0;
+  auto when = [&]() -> Time {
+    return span == 0 ? spec.start
+                     : spec.start + static_cast<Time>(rng.below(
+                                        static_cast<std::uint64_t>(span)));
+  };
+  auto whom = [&]() -> int {
+    return spec.targets <= 1 ? 0 : static_cast<int>(rng.below(
+                                       static_cast<std::uint64_t>(
+                                           spec.targets)));
+  };
+  // Non-kill faults go to the survivors: a stall landing on an app that is
+  // about to be killed tests nothing, so when a kill target is pinned the
+  // other draws skip it (uniformly over the remaining targets).
+  auto survivor = [&]() -> int {
+    if (spec.kill_target < 0 || spec.kill_target >= spec.targets ||
+        spec.targets <= 1) {
+      return whom();
+    }
+    int v = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(spec.targets - 1)));
+    return v >= spec.kill_target ? v + 1 : v;
+  };
+  for (int i = 0; i < spec.kills; ++i) {
+    const int t = spec.kill_target >= 0 ? spec.kill_target : whom();
+    s.add({when(), FaultKind::kKillApp, t, 0});
+  }
+  for (int i = 0; i < spec.stalls; ++i) {
+    const Time at = when();
+    const int t = survivor();
+    s.add({at, FaultKind::kStallApp, t, 0});
+    s.add({at + spec.stall_len, FaultKind::kResumeApp, t, 0});
+  }
+  for (int i = 0; i < spec.wakeup_drops; ++i) {
+    s.add({when(), FaultKind::kDropWakeup, survivor(), 0});
+  }
+  for (int i = 0; i < spec.ring_exhausts; ++i) {
+    s.add({when(), FaultKind::kExhaustRing, survivor(), 0});
+  }
+  for (int i = 0; i < spec.tx_backpressures; ++i) {
+    s.add({when(), FaultKind::kTxBackpressure, survivor(), spec.tx_burst});
+  }
+  s.sort();
+  return s;
+}
+
+std::uint64_t FaultSchedule::total_injected() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t v : injected_) n += v;
+  return n;
+}
+
+std::string FaultSchedule::dump_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<FaultKind>(i));
+    out += "\":";
+    out += std::to_string(injected_[i]);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace ulnet::sim

@@ -1,0 +1,94 @@
+// Seeded, deterministic fault schedules for chaos testing.
+//
+// A FaultSchedule is a sorted list of (time, kind, target, arg) events,
+// either hand-built by a test or generated from a seed. The schedule itself
+// knows nothing about hosts or apps: a controller (api::ChaosController)
+// interprets the events against a concrete world and reports each injection
+// back via note_injected(), so a run's fault census is part of its
+// reproducible output. Identical (seed, spec) pairs produce identical
+// schedules; replaying a schedule against the same seeded world reproduces
+// the run bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ulnet::sim {
+
+class Rng;
+
+enum class FaultKind : std::uint8_t {
+  kKillApp = 0,     // hard-kill a protocol library (no cooperative export)
+  kStallApp,        // library stops draining; rings fill
+  kResumeApp,       // stalled library resumes draining
+  kDropWakeup,      // next semaphore wakeup for the target's channels is lost
+  kExhaustRing,     // receive rings emptied of posted buffers, contents lost
+  kTxBackpressure,  // next `arg` netio transmits report a full device ring
+};
+inline constexpr std::size_t kFaultKindCount = 6;
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  Time at = 0;
+  FaultKind kind = FaultKind::kKillApp;
+  int target = 0;        // controller-defined index (e.g. nth registered app)
+  std::uint64_t arg = 0; // kind-specific (stall length, burst size, ...)
+};
+
+class FaultSchedule {
+ public:
+  // Knobs for seeded generation. Counts are exact (not probabilities) so a
+  // sweep over seeds varies *when* and *whom*, never *how much* chaos.
+  struct GenSpec {
+    Time start = 0;        // no faults before this (lets handshakes finish)
+    Time horizon = 0;      // no faults at/after this
+    int targets = 1;       // target indices drawn from [0, targets)
+    int kill_target = -1;  // kills pinned to this index; -1 = drawn
+    int kills = 0;
+    int stalls = 0;          // each stall schedules a paired resume
+    Time stall_len = 0;      // resume fires this long after its stall
+    int wakeup_drops = 0;
+    int ring_exhausts = 0;
+    int tx_backpressures = 0;
+    std::uint64_t tx_burst = 4;  // rejected sends per backpressure event
+  };
+
+  void add(FaultEvent ev) { events_.push_back(ev); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  // Stable order by time; equal-time events keep insertion order so a
+  // schedule replays identically however it was built.
+  void sort();
+
+  // Deterministic schedule from a seed (via a private SplitMix64 stream, so
+  // generation never perturbs the world's own RNG).
+  static FaultSchedule generate(std::uint64_t seed, const GenSpec& spec);
+
+  // ---- Injection census (filled by the controller as events are applied;
+  // an event that cannot be applied, e.g. a stall on a dead app, is not
+  // counted) ----
+  void note_injected(FaultKind k) {
+    injected_[static_cast<std::size_t>(k)]++;
+  }
+  [[nodiscard]] std::uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+  // {"kill_app":N,"stall_app":N,...} in FaultKind order.
+  [[nodiscard]] std::string dump_json() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace ulnet::sim

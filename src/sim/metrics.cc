@@ -48,6 +48,16 @@ std::string Metrics::dump_json() const {
   field("pool_recycles", pool_recycles);
   field("pool_high_water", pool_high_water);
   field("event_slab_high_water", event_slab_high_water);
+  field("link_frames_lost", link_frames_lost);
+  field("link_frames_duplicated", link_frames_duplicated);
+  field("link_frames_corrupted", link_frames_corrupted);
+  field("link_frames_jittered", link_frames_jittered);
+  field("nic_rx_dropped", nic_rx_dropped);
+  field("nic_ring_drops", nic_ring_drops);
+  field("netio_ring_drops", netio_ring_drops);
+  field("netio_unclaimed_drops", netio_unclaimed_drops);
+  field("netio_tx_backpressure", netio_tx_backpressure);
+  field("wakeups_dropped", wakeups_dropped);
   out += '}';
   return out;
 }

@@ -39,6 +39,20 @@ struct Metrics {
   std::uint64_t pool_recycles = 0;
   std::uint64_t pool_high_water = 0;
   std::uint64_t event_slab_high_water = 0;
+  // Fault-and-drop census (chaos observability). Link counters mirror
+  // net::FaultPlan injections; NIC counters mirror Nic::rx_dropped /
+  // An1Nic::ring_drops; netio counters mirror the NetIoModule totals so a
+  // chaos run's losses are visible in the world-level JSON export.
+  std::uint64_t link_frames_lost = 0;
+  std::uint64_t link_frames_duplicated = 0;
+  std::uint64_t link_frames_corrupted = 0;
+  std::uint64_t link_frames_jittered = 0;
+  std::uint64_t nic_rx_dropped = 0;
+  std::uint64_t nic_ring_drops = 0;
+  std::uint64_t netio_ring_drops = 0;
+  std::uint64_t netio_unclaimed_drops = 0;
+  std::uint64_t netio_tx_backpressure = 0;
+  std::uint64_t wakeups_dropped = 0;
 
   void reset() { *this = Metrics{}; }
 
@@ -67,6 +81,20 @@ struct Metrics {
     d.pool_recycles = pool_recycles - base.pool_recycles;
     d.pool_high_water = pool_high_water - base.pool_high_water;
     d.event_slab_high_water = event_slab_high_water - base.event_slab_high_water;
+    d.link_frames_lost = link_frames_lost - base.link_frames_lost;
+    d.link_frames_duplicated =
+        link_frames_duplicated - base.link_frames_duplicated;
+    d.link_frames_corrupted =
+        link_frames_corrupted - base.link_frames_corrupted;
+    d.link_frames_jittered = link_frames_jittered - base.link_frames_jittered;
+    d.nic_rx_dropped = nic_rx_dropped - base.nic_rx_dropped;
+    d.nic_ring_drops = nic_ring_drops - base.nic_ring_drops;
+    d.netio_ring_drops = netio_ring_drops - base.netio_ring_drops;
+    d.netio_unclaimed_drops =
+        netio_unclaimed_drops - base.netio_unclaimed_drops;
+    d.netio_tx_backpressure =
+        netio_tx_backpressure - base.netio_tx_backpressure;
+    d.wakeups_dropped = wakeups_dropped - base.wakeups_dropped;
     return d;
   }
 

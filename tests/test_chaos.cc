@@ -1,0 +1,241 @@
+// Chaos-fault tests: the trusted path (registry server + network I/O
+// module) must survive anything an application library does -- die
+// mid-transfer, stall until rings fill, lose wakeups, have its rings
+// drained -- reclaim every resource, and keep unrelated connections
+// delivering their exact byte streams. Scenarios are seeded and replayable;
+// the last test pins the replay-identity property itself.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/chaos.h"
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "core/netio_module.h"
+#include "core/user_level.h"
+#include "hw/nic.h"
+
+namespace ulnet::api {
+namespace {
+
+using core::NetIoModule;
+using core::UserLevelApp;
+
+TEST(Chaos, KillMidTransferReclaimsEverythingEthernet) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.link = LinkType::kEthernet;
+  const ChaosReport rep = run_chaos_scenario(cfg);
+  EXPECT_TRUE(rep.invariants_ok()) << rep.failure();
+  EXPECT_EQ(rep.victim_channels_left, 0u);
+  EXPECT_GE(rep.channels_reclaimed, 1u);
+  EXPECT_GE(rep.rsts_sent, 1u);
+}
+
+TEST(Chaos, KillMidTransferReclaimsEverythingAn1) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = 4;
+  cfg.link = LinkType::kAn1;
+  const ChaosReport rep = run_chaos_scenario(cfg);
+  EXPECT_TRUE(rep.invariants_ok()) << rep.failure();
+  // On AN1 every live channel owns exactly one BQI ring; a dead library's
+  // rings must have been freed by the registry sweep.
+  EXPECT_EQ(rep.bqis_a, static_cast<int>(rep.live_channels_a));
+  EXPECT_EQ(rep.bqis_b, static_cast<int>(rep.live_channels_b));
+}
+
+TEST(Chaos, ReplayIsDeterministic) {
+  ChaosScenarioConfig cfg;
+  cfg.seed = 5;
+  const ChaosReport r1 = run_chaos_scenario(cfg);
+  const ChaosReport r2 = run_chaos_scenario(cfg);
+  EXPECT_TRUE(r1.invariants_ok()) << r1.failure();
+  EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+  EXPECT_EQ(r1.fault_census, r2.fault_census);
+  // A different seed shifts the schedule and must produce a different run.
+  cfg.seed = 6;
+  const ChaosReport r3 = run_chaos_scenario(cfg);
+  EXPECT_NE(r1.fingerprint, r3.fingerprint);
+}
+
+TEST(Chaos, StallFillsRingThenRecovers) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/11);
+  bed.user_app_b()->set_repoll_interval(20 * sim::kMs);
+  BulkTransfer bulk(bed, 768 * 1024, 4096, 5001, /*verify_data=*/true);
+  bulk.start();
+
+  // Freeze the receiving library mid-stream; packets pile into the shared
+  // ring (overflow drops at the ring, not in the library). On resume the
+  // drain plus TCP retransmission must still deliver every byte.
+  bed.world().loop().schedule_in(300 * sim::kMs,
+                                 [&] { bed.user_app_b()->stall(); });
+  bed.world().loop().schedule_in(700 * sim::kMs,
+                                 [&] { bed.user_app_b()->resume(); });
+  bed.world().run_for(120 * sim::kSec);
+
+  ASSERT_TRUE(bulk.finished());
+  EXPECT_TRUE(bulk.result().ok);
+  EXPECT_TRUE(bulk.result().data_valid);
+}
+
+TEST(Chaos, LostWakeupRecoveredByRepoll) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/12);
+  bed.user_app_b()->set_repoll_interval(20 * sim::kMs);
+  BulkTransfer bulk(bed, 512 * 1024, 4096, 5001, /*verify_data=*/true);
+  bulk.start();
+
+  bed.world().loop().schedule_in(200 * sim::kMs,
+                                 [&] { bed.user_app_b()->drop_next_wakeup(); });
+  bed.world().run_for(120 * sim::kSec);
+
+  ASSERT_TRUE(bulk.finished());
+  EXPECT_TRUE(bulk.result().ok);
+  EXPECT_TRUE(bulk.result().data_valid);
+  EXPECT_GE(bed.world().metrics().wakeups_dropped, 1u);
+  EXPECT_GE(bed.user_app_b()->repolls(), 1u);
+}
+
+TEST(Chaos, TxBackpressureRetriesRecover) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/13);
+  BulkTransfer bulk(bed, 512 * 1024, 4096, 5001, /*verify_data=*/true);
+  bulk.start();
+
+  NetIoModule& netio = bed.user_org_a()->netio(0);
+  bed.world().loop().schedule_in(200 * sim::kMs,
+                                 [&] { netio.inject_tx_backpressure(6); });
+  bed.world().run_for(120 * sim::kSec);
+
+  ASSERT_TRUE(bulk.finished());
+  EXPECT_TRUE(bulk.result().ok);
+  EXPECT_TRUE(bulk.result().data_valid);
+  // Every rejected send was observed and retried, not silently dropped.
+  EXPECT_GE(netio.counters().tx_backpressure, 6u);
+  EXPECT_GE(bed.user_app_a()->tx_retries(), 1u);
+  EXPECT_EQ(bed.user_app_a()->tx_drops(), 0u);
+}
+
+TEST(Chaos, RingExhaustRecoversOnAn1) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1, /*seed=*/14);
+  bed.user_app_b()->set_repoll_interval(20 * sim::kMs);
+  BulkTransfer bulk(bed, 512 * 1024, 4096, 5001, /*verify_data=*/true);
+  bulk.start();
+
+  // Drain the victim's posted BQI buffers: with zero buffers posted every
+  // arrival drops at the NIC and nothing ever reposts from the drain path
+  // -- only the repoll safety net can replenish and unwedge the flow.
+  bed.world().loop().schedule_in(300 * sim::kMs,
+                                 [&] { bed.user_app_b()->exhaust_rings(); });
+  bed.world().run_for(300 * sim::kSec);
+
+  ASSERT_TRUE(bulk.finished());
+  EXPECT_TRUE(bulk.result().ok);
+  EXPECT_TRUE(bulk.result().data_valid);
+  EXPECT_GE(bed.user_app_b()->repolls(), 1u);
+}
+
+TEST(Chaos, NoBqiLeakAfterRepeatedCrashes) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1, /*seed=*/15);
+  NetIoModule& na = bed.user_org_a()->netio(0);
+  auto& an1_a = static_cast<hw::An1Nic&>(na.nic());
+  auto& an1_b =
+      static_cast<hw::An1Nic&>(bed.user_org_b()->netio(0).nic());
+
+  // One long-lived server on host B; its sockets release on reset so the
+  // B side returns to baseline after every crash.
+  auto& server = static_cast<UserLevelApp&>(bed.add_app_b("server"));
+  server.run_app([&server](sim::TaskCtx&) {
+    server.listen(7000, [&server](SocketId id) {
+      SocketEvents evs;
+      evs.on_closed = [&server, id](const std::string&) {
+        server.run_app([&server, id](sim::TaskCtx&) { server.release(id); });
+      };
+      return evs;
+    });
+  });
+  bed.world().run_for(100 * sim::kMs);
+
+  const std::size_t base_channels = na.live_channels();
+  const int base_bqis = an1_a.bqis_in_use();
+
+  for (int round = 0; round < 3; ++round) {
+    auto& victim = static_cast<UserLevelApp&>(
+        bed.add_app_a("victim" + std::to_string(round)));
+    auto sock = std::make_shared<SocketId>(kInvalidSocket);
+    victim.run_app([&victim, &bed, sock](sim::TaskCtx&) {
+      SocketEvents evs;
+      evs.on_established = [&victim, sock] {
+        victim.run_app([&victim, sock](sim::TaskCtx&) {
+          victim.send(*sock, payload_bytes(0, 4096));
+        });
+      };
+      victim.connect(bed.ip_b(), 7000, std::move(evs),
+                     [sock](SocketId id) { *sock = id; });
+    });
+    bed.world().run_for(500 * sim::kMs);
+    ASSERT_NE(*sock, kInvalidSocket) << "round " << round;
+
+    victim.run_app([&victim](sim::TaskCtx& ctx) { victim.kill(ctx); });
+    bed.world().run_for(2 * sim::kSec);
+
+    EXPECT_TRUE(na.channels_of_space(victim.app_space()).empty())
+        << "round " << round;
+  }
+
+  // After three crash/reclaim cycles both hosts are back at baseline:
+  // no leaked channels, no leaked hardware rings.
+  EXPECT_EQ(na.live_channels(), base_channels);
+  EXPECT_EQ(an1_a.bqis_in_use(), base_bqis);
+  EXPECT_EQ(an1_b.bqis_in_use(),
+            static_cast<int>(bed.user_org_b()->netio(0).live_channels()));
+  const auto& stats = bed.user_org_a()->registry().reclaim_stats();
+  EXPECT_EQ(stats.clients, 3u);
+  EXPECT_GE(stats.channels, 3u);
+  EXPECT_GE(stats.rsts_sent, 3u);
+}
+
+TEST(Chaos, DestroyChannelRecyclesRingContents) {
+  // Unit-level reclamation: destroying a channel whose ring still holds
+  // undrained packets must return every buffer to the pool.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/16);
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  NetIoModule& nb = bed.user_org_b()->netio(0);
+
+  auto sock = std::make_shared<SocketId>(kInvalidSocket);
+  b->run_app([b](sim::TaskCtx&) {
+    b->listen(6000, [](SocketId) { return SocketEvents{}; });
+  });
+  bed.world().loop().schedule_in(20 * sim::kMs, [&bed, a, sock] {
+    a->run_app([&bed, a, sock](sim::TaskCtx&) {
+      a->connect(bed.ip_b(), 6000, SocketEvents{},
+                 [sock](SocketId id) { *sock = id; });
+    });
+  });
+  bed.world().run_for(1 * sim::kSec);
+  ASSERT_NE(*sock, kInvalidSocket);
+
+  // Freeze b's library, then pump data at it so segments sit in the ring.
+  b->stall();
+  a->run_app([a, sock](sim::TaskCtx&) {
+    a->send(*sock, payload_bytes(0, 16 * 1024));
+  });
+  bed.world().run_for(1 * sim::kSec);
+
+  const auto chans = nb.channels_of_space(b->app_space());
+  ASSERT_FALSE(chans.empty());
+  const std::size_t depth = nb.channel_ring_depth(chans[0]);
+  ASSERT_GT(depth, 0u);
+
+  const auto before = nb.counters().buffers_reclaimed;
+  const std::size_t live_before = nb.live_channels();
+  b->run_app([&nb, &chans](sim::TaskCtx& ctx) {
+    nb.destroy_channel(ctx, chans[0], /*reclaimed=*/true);
+  });
+  bed.world().run_for(10 * sim::kMs);
+
+  EXPECT_EQ(nb.counters().buffers_reclaimed, before + depth);
+  EXPECT_EQ(nb.live_channels(), live_before - 1);
+}
+
+}  // namespace
+}  // namespace ulnet::api

@@ -146,6 +146,80 @@ TEST(TcpRobustness, PermanentBlackoutTimesOutTheConnection) {
   EXPECT_EQ(client.close_reason, "connection timed out");
 }
 
+TEST(TcpRobustness, RetransmitExhaustionSurfacesErrorToApplication) {
+  // When max_retransmits is exceeded the connection must not merely vanish:
+  // the observer gets on_closed with a reason, and every subsequent API
+  // call fails cleanly instead of buffering into a dead connection.
+  sim::EventLoop loop;
+  sim::Rng rng(11);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConfig cfg;
+  cfg.max_retransmits = 3;
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client, cfg);
+  loop.run_until(5 * sim::kSec);
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+
+  chan.loss_p = 1.0;
+  EXPECT_GT(c->send(pattern_bytes(0, 100)), 0u);
+  loop.run_until(loop.now() + 600 * sim::kSec);
+
+  EXPECT_EQ(c->state(), TcpState::kClosed);
+  EXPECT_EQ(client.closed, 1);
+  EXPECT_EQ(client.close_reason, "connection timed out");
+  // The error is surfaced: the dead connection accepts no more data and
+  // reports nothing readable.
+  EXPECT_EQ(c->send(pattern_bytes(0, 100)), 0u);
+  EXPECT_EQ(c->bytes_available(), 0u);
+  EXPECT_GE(a.stack().tcp().counters().timeouts,
+            static_cast<std::uint64_t>(cfg.max_retransmits));
+}
+
+TEST(TcpRobustness, HalfOpenPeerReceivesRstOnData) {
+  // One side silently forgets an established connection (the user-level
+  // analogue: a library dies and its state evaporates). When the oblivious
+  // peer next sends data, the forgetting side's TCP must answer with RST
+  // and the peer must error out with "reset by peer" -- not hang half-open.
+  sim::EventLoop loop;
+  sim::Rng rng(17);
+  StackHarness a(loop, rng, net::Ipv4Addr::parse("10.0.0.1"),
+                 net::MacAddr::from_index(1, 0));
+  StackHarness b(loop, rng, net::Ipv4Addr::parse("10.0.0.2"),
+                 net::MacAddr::from_index(2, 0));
+  TestChannel chan(loop, rng);
+  chan.attach(&a);
+  chan.attach(&b);
+
+  RecordingObserver server;
+  RecordingObserver client;
+  b.stack().tcp().listen(80, &server);
+  TcpConnection* c = a.stack().tcp().connect(b.ip_addr(), 80, &client);
+  loop.run_until(5 * sim::kSec);
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+  ASSERT_NE(server.accepted_conn, nullptr);
+
+  // A forgets the connection without sending anything on the wire.
+  a.stack().tcp().release(c);
+  const auto rst_before = a.stack().tcp().counters().rst_sent;
+
+  // B is now half-open; its next transmission hits no connection on A.
+  server.accepted_conn->send(pattern_bytes(0, 512));
+  loop.run_until(loop.now() + 30 * sim::kSec);
+
+  EXPECT_GT(a.stack().tcp().counters().rst_sent, rst_before);
+  EXPECT_EQ(server.closed, 1);
+  EXPECT_EQ(server.close_reason, "reset by peer");
+}
+
 TEST(TcpRobustness, SynLossRecoveredByHandshakeRetransmit) {
   sim::EventLoop loop;
   sim::Rng rng(13);
