@@ -47,6 +47,13 @@ BENCH_REQUIRED_LABELS = {
         "survivor", "crash", "leaks.channels", "leaks.bqis",
         "reclaims.channels", "reclaims.rsts", "replay",
     },
+    # Labels the quick-mode run of the connection-scale bench must emit
+    # (the full matrix is a superset; scale_full gates it via perf_gate).
+    "bench_scale_conns": {
+        "synth/eth/n1", "synth/eth/n8", "synth/an1/n8", "bpf/eth/n8",
+        "fastpath/on/n8", "fastpath/off/n8", "coalesce/on/n8",
+        "fastpath/neutrality", "coalesce/effect",
+    },
 }
 
 

@@ -71,18 +71,40 @@ ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
       ch.rx_bqi = prealloc_rx_bqi(setup.ring_capacity);
     }
     if (ch.rx_bqi != 0) by_bqi_[ch.rx_bqi] = id;
-  } else if (!setup.raw) {
-    // Software demux programs (one per binding; the synthesized one is the
-    // production path, the VMs exist for the ablation).
-    const std::size_t lh = net::EthHeader::kSize;
-    ch.synth = std::make_unique<filter::SynthesizedMatcher>(setup.flow, lh);
-    ch.bpf = std::make_unique<filter::BpfVm>(
-        filter::build_bpf_flow_filter(setup.flow, lh, lh - 2));
-    ch.cspf = std::make_unique<filter::CspfVm>(
-        filter::build_cspf_flow_filter(setup.flow, lh, lh - 2));
+  } else {
+    if (!setup.raw) {
+      // Software demux programs (one per binding; the synthesized one is the
+      // production path, the VMs exist for the ablation).
+      const std::size_t lh = net::EthHeader::kSize;
+      ch.synth = std::make_unique<filter::SynthesizedMatcher>(setup.flow, lh);
+      ch.bpf = std::make_unique<filter::BpfVm>(
+          filter::build_bpf_flow_filter(setup.flow, lh, lh - 2));
+      ch.cspf = std::make_unique<filter::CspfVm>(
+          filter::build_cspf_flow_filter(setup.flow, lh, lh - 2));
+    }
+    binding_order_.push_back(id);
+    bind_channel(ch);
   }
   (void)ctx;
   return id;
+}
+
+void NetIoModule::bind_channel(Channel& ch) {
+  // try_emplace keeps the first binding on a key collision, matching the
+  // insertion-ordered walk this table short-circuits.
+  if (ch.raw) {
+    raw_by_ethertype_.try_emplace(ch.raw_ethertype, ch.id);
+  } else {
+    bind_table_.try_emplace(ch.flow, ch.id);
+  }
+}
+
+void NetIoModule::rebuild_bind_table() {
+  bind_table_.clear();
+  raw_by_ethertype_.clear();
+  for (ChannelId id : binding_order_) {
+    if (Channel* ch = find(id)) bind_channel(*ch);
+  }
 }
 
 void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id,
@@ -106,6 +128,14 @@ void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id,
   }
   if (reclaimed) counters_.channels_reclaimed++;
   channels_.erase(it);
+  if (auto bit = std::find(binding_order_.begin(), binding_order_.end(), id);
+      bit != binding_order_.end()) {
+    binding_order_.erase(bit);
+    // A destroyed binding may have shadowed a later one with the same key;
+    // rebuild so the table again mirrors the walk. Teardown is rare and
+    // off the data path.
+    rebuild_bind_table();
+  }
   (void)ctx;
 }
 
@@ -213,6 +243,7 @@ std::string NetIoModule::dump_json() const {
       buf, sizeof buf,
       "],\"totals\":{\"delivered\":%llu,\"ring_drops\":%llu,"
       "\"sends\":%llu,\"send_rejects\":%llu,\"signals_suppressed\":%llu,"
+      "\"demux_hash_hits\":%llu,\"demux_fallback_walks\":%llu,"
       "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
       "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
       "\"buffers_reclaimed\":%llu}}",
@@ -221,6 +252,8 @@ std::string NetIoModule::dump_json() const {
       static_cast<unsigned long long>(counters_.sends),
       static_cast<unsigned long long>(counters_.send_rejects),
       static_cast<unsigned long long>(counters_.signals_suppressed),
+      static_cast<unsigned long long>(counters_.demux_hash_hits),
+      static_cast<unsigned long long>(counters_.demux_fallback_walks),
       static_cast<unsigned long long>(counters_.default_deliveries),
       static_cast<unsigned long long>(counters_.unclaimed_drops),
       static_cast<unsigned long long>(counters_.tx_backpressure),
@@ -435,34 +468,82 @@ NetIoModule::Channel* NetIoModule::classify_software(sim::TaskCtx& ctx,
   const auto& cost = host_.cpu().cost();
   m.demux_software_runs++;
 
-  switch (demux_mode_) {
-    case DemuxMode::kSynthesized: {
-      // The production path: synthesized matcher plus binding-table lookup,
-      // costed as one fixed demux operation (Table 5's software line).
-      ctx.charge(cost.demux_software);
-      for (auto& [id, ch] : channels_) {
-        if (ch.raw) {
-          auto h = net::EthHeader::parse(f.bytes);
-          if (h && h->ethertype == ch.raw_ethertype) return &ch;
-          continue;
-        }
-        if (ch.synth && ch.synth->run(f.bytes).accept) return &ch;
+  if (demux_mode_ != DemuxMode::kSynthesized) {
+    return classify_walk(ctx, f, demux_mode_);
+  }
+
+  // The production path: one fixed charge covers the synthesized matcher
+  // plus the binding-table hash (Table 5's software line already includes
+  // "hash of the binding table"). The incoming flow is probed at three
+  // specificities -- exact connection, listening/connectionless binding
+  // (remote side wild), then protocol-wide binding (ports wild too) -- so
+  // the most specific template wins regardless of creation order.
+  ctx.charge(cost.demux_software);
+  if (auto flow = filter::extract_flow(f.bytes, net::EthHeader::kSize,
+                                       net::EthHeader::kSize - 2)) {
+    filter::FlowKey probe = *flow;
+    for (int round = 0; round < 3; ++round) {
+      if (round == 1) {
+        probe.remote_ip = 0;
+        probe.remote_port = 0;
+      } else if (round == 2) {
+        probe.local_port = 0;
       }
-      return nullptr;
+      if (auto it = bind_table_.find(probe); it != bind_table_.end()) {
+        m.demux_hash_hits++;
+        counters_.demux_hash_hits++;
+        return find(it->second);
+      }
     }
-    case DemuxMode::kBpf:
-    case DemuxMode::kCspf: {
-      // Interpreted filters: pay per executed VM instruction, per binding
-      // tried, as the original Packet Filter did.
-      for (auto& [id, ch] : channels_) {
-        if (ch.raw) {
-          auto h = net::EthHeader::parse(f.bytes);
-          if (h && h->ethertype == ch.raw_ethertype) return &ch;
-          continue;
-        }
+  }
+  if (!raw_by_ethertype_.empty()) {
+    if (auto h = net::EthHeader::parse(f.bytes)) {
+      if (auto it = raw_by_ethertype_.find(h->ethertype);
+          it != raw_by_ethertype_.end()) {
+        m.demux_hash_hits++;
+        counters_.demux_hash_hits++;
+        return find(it->second);
+      }
+    }
+  }
+
+  // Hash miss: nonstandard template shapes (or no binding at all) fall back
+  // to the walk, paying per binding actually compared against.
+  m.demux_fallback_walks++;
+  counters_.demux_fallback_walks++;
+  return classify_walk(ctx, f, DemuxMode::kSynthesized);
+}
+
+NetIoModule::Channel* NetIoModule::classify_walk(sim::TaskCtx& ctx,
+                                                 const net::Frame& f,
+                                                 DemuxMode mode) {
+  const auto& cost = host_.cpu().cost();
+  const auto eth = net::EthHeader::parse(f.bytes);
+  for (ChannelId id : binding_order_) {
+    Channel* chp = find(id);
+    if (chp == nullptr) continue;
+    Channel& ch = *chp;
+    if (ch.raw) {
+      // Raw bindings dispatch on the ethertype already decoded by rx();
+      // no extra compare is charged in any mode.
+      if (eth && eth->ethertype == ch.raw_ethertype) return &ch;
+      continue;
+    }
+    switch (mode) {
+      case DemuxMode::kSynthesized:
+        // The synthesized code dispatches on ethertype first (free: rx()
+        // already decoded it), then pays one template compare.
+        if (!eth || eth->ethertype != ch.flow.ethertype) continue;
+        ctx.charge(cost.demux_fallback_per_binding);
+        if (ch.synth && ch.synth->run(f.bytes).accept) return &ch;
+        break;
+      case DemuxMode::kBpf:
+      case DemuxMode::kCspf: {
+        // Interpreted filters: pay per executed VM instruction, per binding
+        // tried, as the original Packet Filter did.
         filter::RunResult r;
         sim::Time per_insn = 0;
-        if (demux_mode_ == DemuxMode::kBpf && ch.bpf) {
+        if (mode == DemuxMode::kBpf && ch.bpf) {
           r = ch.bpf->run(f.bytes);
           per_insn = cost.filter_bpf_per_insn;
         } else if (ch.cspf) {
@@ -471,8 +552,8 @@ NetIoModule::Channel* NetIoModule::classify_software(sim::TaskCtx& ctx,
         }
         ctx.charge(r.instructions * per_insn);
         if (r.accept) return &ch;
+        break;
       }
-      return nullptr;
     }
   }
   return nullptr;

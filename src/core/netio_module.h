@@ -176,6 +176,8 @@ class NetIoModule {
     std::uint64_t sends = 0;
     std::uint64_t send_rejects = 0;
     std::uint64_t signals_suppressed = 0;  // batching wins
+    std::uint64_t demux_hash_hits = 0;       // O(1) binding-table resolutions
+    std::uint64_t demux_fallback_walks = 0;  // hash miss -> binding-list walk
     std::uint64_t default_deliveries = 0;
     std::uint64_t unclaimed_drops = 0;
     std::uint64_t tx_backpressure = 0;     // transient device-full refusals
@@ -233,6 +235,16 @@ class NetIoModule {
 
   void rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi);
   Channel* classify_software(sim::TaskCtx& ctx, const net::Frame& f);
+  // Fallback: insertion-ordered walk of the software bindings (the only
+  // demux the interpreted modes have; the synthesized mode reaches it when
+  // the hash probes miss). Charges per binding tried according to `mode`.
+  Channel* classify_walk(sim::TaskCtx& ctx, const net::Frame& f,
+                         DemuxMode mode);
+  // (Re)install a channel's entries in bind_table_ / raw_by_ethertype_.
+  // First creation wins on key collisions, matching the insertion-ordered
+  // walk the table replaces.
+  void bind_channel(Channel& ch);
+  void rebuild_bind_table();
   void deliver(sim::TaskCtx& ctx, Channel& ch, std::uint16_t ethertype,
                buf::Bytes payload);
   void deliver_default(sim::TaskCtx& ctx, std::uint16_t ethertype,
@@ -252,6 +264,15 @@ class NetIoModule {
   bool batched_signals_ = true;
   std::unordered_map<ChannelId, Channel> channels_;
   std::unordered_map<std::uint16_t, ChannelId> by_bqi_;
+  // Software-demux bindings in creation order: the deterministic walk order
+  // for the interpreted modes and the hash-miss fallback.
+  std::vector<ChannelId> binding_order_;
+  // Synthesized mode's O(1) demux: header templates keyed verbatim (their
+  // wildcard fields as stored), probed with progressively wilder variants
+  // of the incoming packet's extracted flow.
+  std::unordered_map<filter::FlowKey, ChannelId, filter::FlowKeyHash>
+      bind_table_;
+  std::unordered_map<std::uint16_t, ChannelId> raw_by_ethertype_;
   sim::SpaceId default_space_ = -1;
   DefaultHandler default_handler_;
   Counters counters_;

@@ -133,6 +133,11 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
   ChannelRec& rec = it->second;
   rec.draining = true;
   int drained = 0;
+  // Delimit the whole-ring burst: buffer returns already batch into one
+  // channel_post_buffers below, and connections with ACK coalescing get at
+  // most one ACK decision per burst instead of one per segment.
+  proto::TcpModule& tcp = stack_->tcp();
+  tcp.begin_input_burst();
   for (;;) {
     auto pkt = rec.netio->channel_pop(rec.id);
     if (!pkt) {
@@ -156,8 +161,12 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
     // The channel may have been destroyed by protocol processing
     // (e.g. an RST that closed the connection and released the socket).
     it = channels_.find(id);
-    if (it == channels_.end()) return;
+    if (it == channels_.end()) {
+      tcp.end_input_burst();
+      return;
+    }
   }
+  tcp.end_input_burst();
   if (drained > 0) rec.netio->channel_post_buffers(rec.id, drained);
   start_drain(id);
 }

@@ -117,6 +117,27 @@ struct FlowKey {
   bool operator==(const FlowKey&) const = default;
 };
 
+// Hash over every field (wildcards hash as the literal 0 they store), so a
+// binding table can be probed with progressively wilder variants of an
+// extracted key: exact 5-tuple, then remote-wildcard, then port/proto
+// wildcard. FNV-1a keeps the value deterministic across platforms.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.ethertype);
+    mix(k.ip_proto);
+    mix(k.local_ip);
+    mix(k.remote_ip);
+    mix(k.local_port);
+    mix(k.remote_port);
+    return static_cast<std::size_t>(h);
+  }
+};
+
 class SynthesizedMatcher {
  public:
   // `link_header` is the number of link-level bytes preceding the IP header.

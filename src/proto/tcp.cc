@@ -89,9 +89,27 @@ TcpConnection* TcpModule::find(const ConnKey& key) {
 void TcpModule::release(TcpConnection* conn) {
   if (conn == nullptr) return;
   conn->cancel_all_timers();
+  if (conn->burst_ack_pending_) {
+    conn->burst_ack_pending_ = false;
+    burst_conns_.erase(
+        std::remove(burst_conns_.begin(), burst_conns_.end(), conn),
+        burst_conns_.end());
+  }
   const ConnKey key{conn->local_ip().value, conn->remote_ip().value,
                     conn->local_port(), conn->remote_port()};
   conns_.erase(key);
+}
+
+void TcpModule::note_burst_conn(TcpConnection* conn) {
+  burst_conns_.push_back(conn);
+}
+
+void TcpModule::end_input_burst() {
+  if (burst_depth_ > 0) burst_depth_--;
+  if (burst_depth_ > 0 || burst_conns_.empty()) return;
+  std::vector<TcpConnection*> pending;
+  pending.swap(burst_conns_);
+  for (TcpConnection* c : pending) c->flush_burst_ack();
 }
 
 TcpConnection* TcpModule::import_connection(const TcpHandoffState& st,
@@ -545,6 +563,10 @@ void TcpConnection::send_rst() {
 void TcpConnection::segment_arrived(const TcpHeader& t,
                                     buf::ByteView payload) {
   stats_.segments_in++;
+  if (cfg_.header_prediction && state_ == TcpState::kEstablished &&
+      try_fast_path(t, payload)) {
+    return;
+  }
   switch (state_) {
     case TcpState::kClosed:
       return;
@@ -709,6 +731,88 @@ void TcpConnection::segment_arrived(const TcpHeader& t,
   if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
 
   output(false);
+}
+
+// Van Jacobson header prediction. The two shortcuts below replay, line for
+// line, what the established-state slow path does for the segments they
+// accept -- including the trailing output(false) -- so they are pure
+// shortcuts: same wire behavior, same counters the slow path would touch,
+// same simulated charges (TcpModule::input charged them before we got
+// here). Anything unusual (flags, gaps, window news, recovery or closing
+// state, persist pending) falls through to the full state machine.
+bool TcpConnection::try_fast_path(const TcpHeader& t, buf::ByteView payload) {
+  if (t.flags.syn || t.flags.fin || t.flags.rst || !t.flags.ack) return false;
+  if (t.seq != rcv_nxt_) return false;        // exactly the next segment
+  if (t.wnd != snd_wnd_) return false;        // no window news
+  if (in_fast_recovery_) return false;
+  if (persist_timer_ != timer::kInvalidTimer) return false;
+
+  if (payload.empty()) {
+    // ---- Pure ACK advancing snd_una (mirror of process_ack's advance
+    // branch with no recovery and no persist in progress). ----
+    if (!(seq_gt(t.ack, snd_una_) && seq_le(t.ack, snd_max_))) return false;
+    if (fin_sent_) return false;  // closing handshake: take the slow path
+
+    const std::uint32_t ack = t.ack;
+    const std::uint32_t acked = ack - snd_una_;
+    const std::size_t data_acked =
+        std::min<std::size_t>(acked, snd_buf_.size());
+    snd_buf_.erase(snd_buf_.begin(),
+                   snd_buf_.begin() + static_cast<long>(data_acked));
+    while (!push_marks_.empty() && seq_le(push_marks_.front(), ack)) {
+      push_marks_.pop_front();
+    }
+    snd_una_ = ack;
+    if (seq_lt(snd_nxt_, snd_una_)) snd_nxt_ = snd_una_;
+    rtx_shift_ = 0;
+    if (rtt_timing_ && seq_gt(ack, rtt_seq_)) {
+      rtt_sample(mod_.env().now() - rtt_start_);
+      rtt_timing_ = false;
+    }
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += mss_;  // slow start
+    } else {
+      cwnd_ += std::max<std::size_t>(mss_ * mss_ / cwnd_, 1);  // CA
+    }
+    cwnd_ = std::min(cwnd_, cfg_.send_buf);
+    snd_wnd_ = t.wnd;
+    note_queues();
+    if (snd_una_ == snd_max_) {
+      cancel_rtx();
+    } else {
+      arm_rtx();
+    }
+    stats_.fast_path_acks++;
+    mod_.counters().fast_path_acks++;
+    if (data_acked > 0 && observer_ != nullptr) {
+      observer_->on_send_space(*this);
+    }
+    output(false);
+    return true;
+  }
+
+  // ---- Pure in-order data carrying no ACK or window news (mirror of
+  // process_payload's in-order branch with an empty reassembly queue and
+  // room for the whole segment). ----
+  if (t.ack != snd_una_ || snd_max_ != snd_una_) return false;  // quiet ACK
+  if (!ooo_.empty()) return false;
+  const std::size_t space = cfg_.recv_buf > rcv_queue_.size()
+                                ? cfg_.recv_buf - rcv_queue_.size()
+                                : 0;
+  if (payload.size() > space) return false;
+
+  rcv_queue_.insert(rcv_queue_.end(), payload.begin(), payload.end());
+  rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
+  mod_.counters().bytes_received += payload.size();
+  stats_.bytes_in += payload.size();
+  note_queues();
+  stats_.fast_path_data++;
+  mod_.counters().fast_path_data++;
+  if (observer_ != nullptr) observer_->on_data_ready(*this);
+  ack_policy_in_order();
+  output(false);
+  return true;
 }
 
 void TcpConnection::process_ack(const TcpHeader& t) {
@@ -888,14 +992,7 @@ void TcpConnection::process_payload(const TcpHeader& t,
 
     if (observer_ != nullptr && take > 0) observer_->on_data_ready(*this);
 
-    // ACK policy: immediate every second segment (BSD), else delayed.
-    segs_since_ack_++;
-    if (!cfg_.delayed_ack || segs_since_ack_ >= 2 || !ooo_.empty()) {
-      send_ack_now();
-    } else if (delack_timer_ == timer::kInvalidTimer) {
-      delack_timer_ = mod_.env().schedule(cfg_.delack_delay,
-                                          [this] { delack_timeout(); });
-    }
+    ack_policy_in_order();
     return;
   }
 
@@ -911,6 +1008,43 @@ void TcpConnection::process_payload(const TcpHeader& t,
     note_queues();
   }
   send_ack_now();
+}
+
+// ACK policy for in-order data: immediate every second segment (BSD), else
+// delayed. Under an active burst drain with ack_coalescing the decision is
+// deferred -- segments keep counting, and end_input_burst applies the same
+// policy once per connection (so a singleton burst behaves identically).
+// Loss recovery (!ooo_.empty()) never defers: the peer needs its dup-ACKs.
+void TcpConnection::ack_policy_in_order() {
+  segs_since_ack_++;
+  if (cfg_.ack_coalescing && mod_.in_input_burst() && ooo_.empty()) {
+    if (!burst_ack_pending_) {
+      burst_ack_pending_ = true;
+      mod_.note_burst_conn(this);
+    }
+    return;
+  }
+  if (!cfg_.delayed_ack || segs_since_ack_ >= 2 || !ooo_.empty()) {
+    send_ack_now();
+  } else if (delack_timer_ == timer::kInvalidTimer) {
+    delack_timer_ = mod_.env().schedule(cfg_.delack_delay,
+                                        [this] { delack_timeout(); });
+  }
+}
+
+void TcpConnection::flush_burst_ack() {
+  burst_ack_pending_ = false;
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+  // Something ACK-bearing may have gone out since the deferral (piggybacked
+  // data, a FIN) -- emit_segment resets segs_since_ack_, so the obligation
+  // is already satisfied.
+  if (segs_since_ack_ == 0) return;
+  if (!cfg_.delayed_ack || segs_since_ack_ >= 2 || !ooo_.empty()) {
+    send_ack_now();
+  } else if (delack_timer_ == timer::kInvalidTimer) {
+    delack_timer_ = mod_.env().schedule(cfg_.delack_delay,
+                                        [this] { delack_timeout(); });
+  }
 }
 
 void TcpConnection::process_fin(std::uint32_t fin_seq) {
@@ -1170,7 +1304,8 @@ std::string TcpConnection::dump_json() const {
       "\"bytes_in\":%llu,\"bytes_out\":%llu,\"retransmits\":%llu,"
       "\"fast_retransmits\":%llu,\"timeouts\":%llu,\"dup_acks_in\":%llu,"
       "\"out_of_order\":%llu,\"persists\":%llu,\"rtt_samples\":%llu,"
-      "\"state_transitions\":%llu,\"cwnd_max\":%llu,\"snd_wnd_max\":%llu,"
+      "\"state_transitions\":%llu,\"fast_path_acks\":%llu,"
+      "\"fast_path_data\":%llu,\"cwnd_max\":%llu,\"snd_wnd_max\":%llu,"
       "\"snd_buf_max\":%llu,\"rcv_queue_max\":%llu,\"ooo_bytes_max\":%llu}}",
       local_ip_.to_string().c_str(), local_port_,
       remote_ip_.to_string().c_str(), remote_port_, to_string(state_), mss_,
@@ -1191,6 +1326,8 @@ std::string TcpConnection::dump_json() const {
       static_cast<unsigned long long>(stats_.persists),
       static_cast<unsigned long long>(stats_.rtt_samples),
       static_cast<unsigned long long>(stats_.state_transitions),
+      static_cast<unsigned long long>(stats_.fast_path_acks),
+      static_cast<unsigned long long>(stats_.fast_path_data),
       static_cast<unsigned long long>(stats_.cwnd_max),
       static_cast<unsigned long long>(stats_.snd_wnd_max),
       static_cast<unsigned long long>(stats_.snd_buf_max),
@@ -1226,7 +1363,8 @@ std::string TcpModule::dump_json() const {
       "\"fast_retransmits\":%llu,\"timeouts\":%llu,\"dup_acks_in\":%llu,"
       "\"pure_acks_sent\":%llu,\"delayed_acks\":%llu,\"bad_checksum\":%llu,"
       "\"out_of_order\":%llu,\"rst_sent\":%llu,\"rst_received\":%llu,"
-      "\"persists\":%llu,\"conns_opened\":%llu,\"conns_accepted\":%llu",
+      "\"persists\":%llu,\"conns_opened\":%llu,\"conns_accepted\":%llu,"
+      "\"fast_path_acks\":%llu,\"fast_path_data\":%llu",
       static_cast<unsigned long long>(counters_.segments_sent),
       static_cast<unsigned long long>(counters_.segments_received),
       static_cast<unsigned long long>(counters_.bytes_sent),
@@ -1243,7 +1381,9 @@ std::string TcpModule::dump_json() const {
       static_cast<unsigned long long>(counters_.rst_received),
       static_cast<unsigned long long>(counters_.persists),
       static_cast<unsigned long long>(counters_.conns_opened),
-      static_cast<unsigned long long>(counters_.conns_accepted));
+      static_cast<unsigned long long>(counters_.conns_accepted),
+      static_cast<unsigned long long>(counters_.fast_path_acks),
+      static_cast<unsigned long long>(counters_.fast_path_data));
   out += buf;
   out += "}}";
   return out;

@@ -65,6 +65,16 @@ struct TcpConfig {
   // Application-specific specialization hook (Section 5: "canned options"):
   // on a link with reliable delivery the data checksum can be elided.
   bool checksum_enabled = true;
+  // Van Jacobson header prediction: pure in-order ACKs and pure in-order
+  // data segments take a shortcut past the full state machine. The shortcut
+  // is simulated-cost-neutral (it mirrors exactly what the slow path would
+  // do for qualifying segments), so disabling it is an ablation switch for
+  // wall-clock benches, never a behavior change.
+  bool header_prediction = true;
+  // Coalesce ACKs across a burst ring drain: at most one ACK decision per
+  // connection per drained burst instead of per segment. Changes the ACK
+  // schedule (fewer pure ACKs on the wire), so it is opt-in.
+  bool ack_coalescing = false;
 
   sim::Time delack_delay = 200 * sim::kMs;  // BSD fast timer
   sim::Time rto_initial = 1 * sim::kSec;
@@ -117,6 +127,8 @@ struct TcpCounters {
   std::uint64_t persists = 0;
   std::uint64_t conns_opened = 0;
   std::uint64_t conns_accepted = 0;
+  std::uint64_t fast_path_acks = 0;  // header-prediction shortcut hits
+  std::uint64_t fast_path_data = 0;
 };
 
 // Per-connection attribution of traffic, loss recovery, and window / queue
@@ -136,6 +148,8 @@ struct TcpConnStats {
   std::uint64_t persists = 0;
   std::uint64_t rtt_samples = 0;
   std::uint64_t state_transitions = 0;
+  std::uint64_t fast_path_acks = 0;  // header-prediction shortcut hits
+  std::uint64_t fast_path_data = 0;
   // High-water marks (window and queue evolution).
   std::uint64_t cwnd_max = 0;
   std::uint64_t snd_wnd_max = 0;
@@ -202,6 +216,15 @@ class TcpModule {
 
   std::uint16_t alloc_ephemeral();
 
+  // Burst delimiters for batched receive drains (the user-level library
+  // processes a whole shared-ring burst per wakeup). Between begin and end,
+  // connections with ack_coalescing enabled defer their in-order ACK
+  // decision; end_input_burst applies the normal policy once per connection
+  // touched. Connections without the option behave identically either way.
+  void begin_input_burst() { burst_depth_++; }
+  void end_input_burst();
+  [[nodiscard]] bool in_input_burst() const { return burst_depth_ > 0; }
+
   [[nodiscard]] const TcpCounters& counters() const { return counters_; }
   TcpCounters& counters() { return counters_; }
   StackEnv& env() { return env_; }
@@ -240,6 +263,7 @@ class TcpModule {
                     std::size_t payload_len);
   TcpConnection* find(const ConnKey& key);
   void rekey_or_erase(TcpConnection* conn);
+  void note_burst_conn(TcpConnection* conn);
 
   StackEnv& env_;
   IpModule& ip_;
@@ -248,6 +272,10 @@ class TcpModule {
   std::unordered_map<std::uint16_t, Listener> listeners_;
   TcpCounters counters_;
   std::uint16_t next_ephemeral_ = 20000;
+  // Connections with a deferred ACK decision in the current burst, in
+  // arrival order (deterministic flush order).
+  std::vector<TcpConnection*> burst_conns_;
+  int burst_depth_ = 0;
 };
 
 class TcpConnection {
@@ -324,8 +352,17 @@ class TcpConnection {
   [[nodiscard]] std::uint16_t advertised_window() const;
 
   // Input helpers.
+  // Header prediction (VJ): returns true iff the segment was fully handled
+  // by the pure-ACK or pure-data shortcut. Both shortcuts mirror the slow
+  // path's effects exactly for the segments they accept.
+  bool try_fast_path(const TcpHeader& t, buf::ByteView payload);
   void process_ack(const TcpHeader& t);
   void process_payload(const TcpHeader& t, buf::ByteView payload);
+  // Shared in-order ACK policy (BSD every-2nd-segment, delayed otherwise);
+  // under an active burst with ack_coalescing the decision is deferred to
+  // TcpModule::end_input_burst.
+  void ack_policy_in_order();
+  void flush_burst_ack();
   void process_fin(std::uint32_t fin_seq);
   void established();
   void enter_time_wait();
@@ -416,6 +453,7 @@ class TcpConnection {
 
   std::uint64_t retransmit_count_ = 0;
   bool in_fast_recovery_ = false;
+  bool burst_ack_pending_ = false;  // registered in the module's burst list
   TcpConnStats stats_;
 };
 

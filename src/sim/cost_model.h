@@ -61,6 +61,11 @@ struct CostModel {
   // Software demux of one incoming Ethernet packet: synthesized in-kernel
   // matcher incl. hash of the binding table. Paper Table 5: 52 us.
   Time demux_software = 52 * kUs;
+  // Extra per-binding compare when the hash probe misses and the kernel
+  // falls back to walking the binding list (synthesized mode only; the
+  // paper's "few instructions" matcher, roughly a dozen R3000 cycles each
+  // plus loads). Bindings whose ethertype differs are skipped for free.
+  Time demux_fallback_per_binding = 3 * kUs;
   // AN1 hardware BQI demux: the *device management* code inherent to the
   // BQI machinery (ring bookkeeping, descriptor recycle). Paper: 50 us.
   Time demux_hardware_mgmt = 50 * kUs;

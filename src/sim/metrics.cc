@@ -39,6 +39,8 @@ std::string Metrics::dump_json() const {
   field("packets_rx", packets_rx);
   field("demux_software_runs", demux_software_runs);
   field("demux_hardware_runs", demux_hardware_runs);
+  field("demux_hash_hits", demux_hash_hits);
+  field("demux_fallback_walks", demux_fallback_walks);
   field("template_checks", template_checks);
   field("template_rejects", template_rejects);
   field("demux_drops", demux_drops);

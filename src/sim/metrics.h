@@ -27,6 +27,10 @@ struct Metrics {
   std::uint64_t packets_rx = 0;
   std::uint64_t demux_software_runs = 0;
   std::uint64_t demux_hardware_runs = 0;
+  // Synthesized-demux binding table: packets resolved by the O(1) hash
+  // probe vs. packets that missed and walked the binding list.
+  std::uint64_t demux_hash_hits = 0;
+  std::uint64_t demux_fallback_walks = 0;
   std::uint64_t template_checks = 0;
   std::uint64_t template_rejects = 0;
   std::uint64_t demux_drops = 0;
@@ -72,6 +76,8 @@ struct Metrics {
     d.packets_rx = packets_rx - base.packets_rx;
     d.demux_software_runs = demux_software_runs - base.demux_software_runs;
     d.demux_hardware_runs = demux_hardware_runs - base.demux_hardware_runs;
+    d.demux_hash_hits = demux_hash_hits - base.demux_hash_hits;
+    d.demux_fallback_walks = demux_fallback_walks - base.demux_fallback_walks;
     d.template_checks = template_checks - base.template_checks;
     d.template_rejects = template_rejects - base.template_rejects;
     d.demux_drops = demux_drops - base.demux_drops;

@@ -59,6 +59,18 @@ struct NetIoFixture : ::testing::Test {
                       [fn](sim::TaskCtx& ctx) { fn(ctx); });
     world.run();
   }
+
+  // Deliver a payload through the full rx path (classify included), as the
+  // wire would: an Ethernet frame from the remote host addressed to us.
+  void arrive(buf::Bytes payload) {
+    net::Frame f;
+    net::EthHeader{nic.mac(), net::MacAddr::from_index(9, 0),
+                   net::kEtherTypeIp}
+        .serialize(f.bytes);
+    buf::put_bytes(f.bytes, payload);
+    nic.frame_arrived(f);
+    world.run();
+  }
 };
 
 TEST_F(NetIoFixture, ChannelCreatesKernelResources) {
@@ -217,6 +229,87 @@ TEST_F(NetIoFixture, UnclaimedPacketsCountWithoutDefaultHandler) {
   buf::put_bytes(f.bytes, ip_tcp(2000, 80));
   nic.frame_arrived(f);
   world.run();
+  EXPECT_EQ(mod.counters().unclaimed_drops, 1u);
+}
+
+// --- Binding-table demux: priority, determinism, and accounting ----------
+
+TEST_F(NetIoFixture, OverlappingBindingsMostSpecificWins) {
+  // A wildcard listener-style binding (any remote) created FIRST, then a
+  // fully-bound channel for one remote. Before the binding table the demux
+  // walked an unordered_map, so which of two overlapping filters saw a
+  // matching packet depended on hash-bucket layout. The hash probe ladder
+  // must always hand the frame to the most specific binding, while the
+  // wildcard still catches everything else.
+  auto wild = tcp_setup(80, 0);
+  wild.flow.remote_ip = 0;
+  ChannelId w = kInvalidChannel;
+  ChannelId b = kInvalidChannel;
+  in_task(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    w = mod.create_channel(ctx, wild);
+    b = mod.create_channel(ctx, tcp_setup(80, 2000));
+  });
+  arrive(ip_tcp(2000, 80, "10.0.0.2", "10.0.0.1"));
+  EXPECT_TRUE(mod.channel_pop(b).has_value());
+  EXPECT_FALSE(mod.channel_pop(w).has_value());
+  // A different remote port matches only the wildcard.
+  arrive(ip_tcp(2001, 80, "10.0.0.2", "10.0.0.1"));
+  EXPECT_TRUE(mod.channel_pop(w).has_value());
+  EXPECT_FALSE(mod.channel_pop(b).has_value());
+  EXPECT_EQ(mod.counters().demux_hash_hits, 2u);
+  EXPECT_EQ(mod.counters().demux_fallback_walks, 0u);
+}
+
+TEST_F(NetIoFixture, DuplicateBindingsDeliverToFirstCreated) {
+  // Two channels with identical flow keys: the table keeps the first, and
+  // destroying it promotes the survivor (the table is rebuilt).
+  ChannelId c1 = kInvalidChannel;
+  ChannelId c2 = kInvalidChannel;
+  in_task(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    c1 = mod.create_channel(ctx, tcp_setup(80, 2000));
+    c2 = mod.create_channel(ctx, tcp_setup(80, 2000));
+  });
+  arrive(ip_tcp(2000, 80, "10.0.0.2", "10.0.0.1"));
+  EXPECT_TRUE(mod.channel_pop(c1).has_value());
+  EXPECT_FALSE(mod.channel_pop(c2).has_value());
+  in_task(sim::kKernelSpace,
+          [&](sim::TaskCtx& ctx) { mod.destroy_channel(ctx, c1); });
+  arrive(ip_tcp(2000, 80, "10.0.0.2", "10.0.0.1"));
+  EXPECT_TRUE(mod.channel_pop(c2).has_value());
+}
+
+TEST_F(NetIoFixture, InterpretedWalkIsInsertionOrdered) {
+  // BPF keeps the paper's linear scan; with two filters that both accept,
+  // delivery must follow creation order, not container iteration order.
+  mod.set_demux_mode(NetIoModule::DemuxMode::kBpf);
+  ChannelId c1 = kInvalidChannel;
+  ChannelId c2 = kInvalidChannel;
+  in_task(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    c1 = mod.create_channel(ctx, tcp_setup(80, 2000));
+    c2 = mod.create_channel(ctx, tcp_setup(80, 2000));
+  });
+  arrive(ip_tcp(2000, 80, "10.0.0.2", "10.0.0.1"));
+  EXPECT_TRUE(mod.channel_pop(c1).has_value());
+  EXPECT_FALSE(mod.channel_pop(c2).has_value());
+  in_task(sim::kKernelSpace,
+          [&](sim::TaskCtx& ctx) { mod.destroy_channel(ctx, c1); });
+  arrive(ip_tcp(2000, 80, "10.0.0.2", "10.0.0.1"));
+  EXPECT_TRUE(mod.channel_pop(c2).has_value());
+  EXPECT_EQ(mod.counters().demux_hash_hits, 0u);  // interpreted mode
+}
+
+TEST_F(NetIoFixture, FallbackWalkCountsOnHashMiss) {
+  // A frame no binding claims: every hash probe misses, the binding list
+  // is walked (and charged), and the frame falls through to the default
+  // path -- here, with no handler, an accounted drop.
+  ChannelId id = kInvalidChannel;
+  in_task(sim::kKernelSpace, [&](sim::TaskCtx& ctx) {
+    id = mod.create_channel(ctx, tcp_setup(80, 2000));
+  });
+  arrive(ip_tcp(2000, 81, "10.0.0.2", "10.0.0.1"));
+  EXPECT_FALSE(mod.channel_pop(id).has_value());
+  EXPECT_EQ(mod.counters().demux_hash_hits, 0u);
+  EXPECT_EQ(mod.counters().demux_fallback_walks, 1u);
   EXPECT_EQ(mod.counters().unclaimed_drops, 1u);
 }
 
