@@ -7,7 +7,10 @@
 // identity: both runs produce the same fingerprint. Exits nonzero on any
 // violation, so scripts/run_chaos.py can sweep seeds and ctest can gate.
 //
-//   bench_chaos [--seed N] [--an1] [--json <path>]
+//   bench_chaos [--seed N] [--an1] [--json <path>] [--postmortem <dir>]
+//
+// With --postmortem, a failed run leaves a flight-recorder bundle (event
+// trace, metrics, netio dumps, CPU profile, fault census) in <dir>.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,17 +24,21 @@ using namespace ulnet;
 int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   api::LinkType link = api::LinkType::kEthernet;
+  std::string postmortem_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--an1") == 0) {
       link = api::LinkType::kAn1;
+    } else if (std::strcmp(argv[i], "--postmortem") == 0 && i + 1 < argc) {
+      postmortem_dir = argv[++i];
     }
   }
 
   api::ChaosScenarioConfig cfg;
   cfg.seed = seed;
   cfg.link = link;
+  cfg.postmortem_dir = postmortem_dir;
 
   bench::heading("Chaos: crash-fault injection, seed " + std::to_string(seed) +
                  (link == api::LinkType::kAn1 ? " (AN1)" : " (Ethernet)"));

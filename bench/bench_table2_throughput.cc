@@ -12,6 +12,8 @@
 #include "api/testbed.h"
 #include "api/workloads.h"
 #include "bench/bench_util.h"
+#include "core/user_level.h"
+#include "net/link.h"
 
 using namespace ulnet;
 using namespace ulnet::api;
@@ -75,5 +77,27 @@ int main(int argc, char** argv) {
       "\nShape checks: Ultrix > user-level > Mach/UX on Ethernet; user-level"
       "\nwins at 512 B on AN1 (no copies below the remap threshold); both"
       "\nconverge at the AN1 driver's 1500-byte encapsulation limit.\n");
+
+  // Latency provenance: re-run the user-level/Ethernet/4096 cell with the
+  // testbed kept alive and export its per-stage residency histograms (the
+  // table above only reports end-to-end throughput).
+  if (report.enabled()) {
+    Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/1);
+    BulkTransfer bulk(bed, 1024 * 1024, 4096);
+    if (bulk.run().ok) {
+      bench::add_hist(report, "hist.link.tx_wait", bed.link().tx_wait_hist());
+      bench::add_hist(report, "hist.link.transit", bed.link().transit_hist());
+      core::NetIoModule& rx_netio = bed.user_org_b()->netio(0);
+      bench::add_hist(report, "hist.netio.ring_residency",
+                      rx_netio.ring_residency_hist());
+      bench::add_hist(report, "hist.netio.wakeup_latency",
+                      rx_netio.wakeup_latency_hist());
+      bench::add_hist(report, "hist.lib.drain_batch",
+                      bed.user_app_b()->drain_batch_hist(), "pkts");
+      bench::add_hist(report, "hist.tcp.setup_time",
+                      bed.user_org_a()->registry().stack().tcp()
+                          .setup_time_hist());
+    }
+  }
   return report.write() ? 0 : 1;
 }

@@ -9,6 +9,8 @@
 #include "api/testbed.h"
 #include "api/workloads.h"
 #include "bench/bench_util.h"
+#include "core/user_level.h"
+#include "net/link.h"
 
 using namespace ulnet;
 using namespace ulnet::api;
@@ -65,5 +67,38 @@ int main(int argc, char** argv) {
       "\nShape checks: Ultrix < user-level < Mach/UX at every size; the"
       "\nuser-level penalty vs Ultrix is smaller on AN1 (hardware demux,"
       "\nno PIO) than on Ethernet.\n");
+
+  // Latency provenance: one instrumented user-level/Ethernet/512 run kept
+  // alive past the measurement so the per-stage residency histograms behind
+  // the end-to-end RTT can be exported alongside it.
+  if (report.enabled()) {
+    Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/1);
+    PingPong pp(bed, 512, /*rounds=*/50);
+    if (pp.run_mean_rtt_us() >= 0) {
+      const sim::Stats& rtts = pp.stats();
+      const auto cnt = static_cast<double>(rtts.count());
+      report.add("hist.app_rtt", "p50", "us", rtts.percentile(50),
+                 std::nullopt, {{"count", cnt}});
+      report.add("hist.app_rtt", "p90", "us", rtts.percentile(90),
+                 std::nullopt, {{"count", cnt}});
+      report.add("hist.app_rtt", "p99", "us", rtts.percentile(99),
+                 std::nullopt, {{"count", cnt}});
+      report.add("hist.app_rtt", "max", "us", rtts.max(), std::nullopt,
+                 {{"count", cnt}});
+      bench::add_hist(report, "hist.link.tx_wait", bed.link().tx_wait_hist());
+      bench::add_hist(report, "hist.link.transit", bed.link().transit_hist());
+      for (int side = 0; side < 2; ++side) {
+        core::NetIoModule& n = (side == 0 ? bed.user_org_a()
+                                          : bed.user_org_b())->netio(0);
+        const std::string tag = side == 0 ? "a" : "b";
+        bench::add_hist(report, "hist.netio." + tag + ".ring_residency",
+                        n.ring_residency_hist());
+        bench::add_hist(report, "hist.netio." + tag + ".wakeup_latency",
+                        n.wakeup_latency_hist());
+      }
+      bench::add_hist(report, "hist.lib.drain_batch",
+                      bed.user_app_a()->drain_batch_hist(), "pkts");
+    }
+  }
   return report.write() ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/histogram.h"
+
 namespace ulnet::bench {
 
 inline void heading(const std::string& title) {
@@ -158,5 +160,23 @@ class JsonReport {
   bool missing_path_ = false;
   std::vector<Result> results_;
 };
+
+// Export one per-stage latency histogram as the four-percentile row group
+// scripts/check_bench_json.py validates: one shared label, metrics
+// p50/p90/p99/max, every row carrying params.count. Skips empty histograms
+// (a group with count 0 has no latency story to tell).
+inline void add_hist(JsonReport& report, const std::string& label,
+                     const sim::Histogram& h, const std::string& unit = "ns") {
+  if (h.empty()) return;
+  const auto count = static_cast<double>(h.count());
+  report.add(label, "p50", unit, static_cast<double>(h.percentile(50)),
+             std::nullopt, {{"count", count}});
+  report.add(label, "p90", unit, static_cast<double>(h.percentile(90)),
+             std::nullopt, {{"count", count}});
+  report.add(label, "p99", unit, static_cast<double>(h.percentile(99)),
+             std::nullopt, {{"count", count}});
+  report.add(label, "max", unit, static_cast<double>(h.max()), std::nullopt,
+             {{"count", count}});
+}
 
 }  // namespace ulnet::bench

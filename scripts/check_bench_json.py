@@ -21,6 +21,14 @@ Wall-clock results ("kind": "wallclock") are host-dependent and compared
 against a committed baseline with a tolerance band by scripts/perf_gate.py;
 simulated results must be bit-identical across runs.
 
+Latency-histogram rows: a bench that exports a per-stage latency histogram
+emits one row per percentile, all sharing one label (conventionally
+"hist.<stage>") with metric in {p50, p90, p99, max} and params.count set to
+the sample count. For every label that emits any of those metrics this
+checker enforces the group contract: all four metrics present exactly once,
+percentiles monotone (p50 <= p90 <= p99 <= max), and every row of the group
+carrying the same params.count.
+
 Usage:
     check_bench_json.py out.json [more.json ...]
     check_bench_json.py --bench path/to/bench_binary
@@ -97,6 +105,50 @@ def check_result(path, i, r):
     return ok
 
 
+HIST_METRICS = ("p50", "p90", "p99", "max")
+
+
+def check_histograms(path, results):
+    """Validate percentile row groups (see module docstring)."""
+    groups = {}
+    for i, r in enumerate(results):
+        if not isinstance(r, dict) or r.get("metric") not in HIST_METRICS:
+            continue
+        groups.setdefault(r.get("label"), []).append((i, r))
+    ok = True
+    for label, rows in groups.items():
+        metrics = [r.get("metric") for _, r in rows]
+        for m in HIST_METRICS:
+            n = metrics.count(m)
+            if n != 1:
+                ok = fail(path, f"histogram {label!r}: metric '{m}' appears "
+                                f"{n} times, expected exactly 1")
+        by_metric = {r.get("metric"): r for _, r in rows}
+        if all(m in by_metric for m in HIST_METRICS):
+            vals = [by_metric[m].get("value") for m in HIST_METRICS]
+            if all(is_number(v) for v in vals):
+                for lo, hi in zip(HIST_METRICS, HIST_METRICS[1:]):
+                    if by_metric[lo]["value"] > by_metric[hi]["value"]:
+                        ok = fail(path, f"histogram {label!r}: {lo}="
+                                        f"{by_metric[lo]['value']} > {hi}="
+                                        f"{by_metric[hi]['value']} "
+                                        "(percentiles must be monotone)")
+            else:
+                ok = fail(path, f"histogram {label!r}: null percentile value")
+        counts = set()
+        for i, r in rows:
+            params = r.get("params")
+            if not isinstance(params, dict) or "count" not in params:
+                ok = fail(path, f"results[{i}] (histogram {label!r}) "
+                                "missing params.count")
+            else:
+                counts.add(params["count"])
+        if len(counts) > 1:
+            ok = fail(path, f"histogram {label!r}: rows disagree on "
+                            f"params.count {sorted(counts)}")
+    return ok
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -117,6 +169,7 @@ def check_file(path):
         return fail(path, "'results' missing or empty")
     for i, r in enumerate(results):
         ok = check_result(path, i, r) and ok
+    ok = check_histograms(path, results) and ok
     required = BENCH_REQUIRED_LABELS.get(doc.get("bench"), set())
     labels = {r.get("label") for r in results if isinstance(r, dict)}
     missing = required - labels

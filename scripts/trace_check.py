@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate a ulnet Chrome/Perfetto trace and summarize stage latencies.
+
+The simulator's tracer (sim::Tracer::write_chrome_json) emits the Chrome
+trace_event format:
+
+  * async stage spans  -- cat "ulnet.span", ph "b"/"e", paired by
+    (name, id, pid): one interval per packet per stage ("wire", "rxring").
+  * flow arrows        -- cat "ulnet.flow", ph "s"/"f", paired by
+    (name, id): packet hand-offs ("pkt") and causal links ("cause.rtx",
+    "cause.ack").
+  * instant events     -- cat "ulnet", ph "i": the point-event firehose.
+
+This checker enforces the structural invariants the instrumentation
+guarantees on a faultless run:
+
+  1. every span end has a matching earlier begin, and nothing stays open
+     at end of trace (chaos teardown must close "rxring" spans);
+  2. span intervals are non-negative;
+  3. every flow head ("f") has a matching earlier tail ("s");
+  4. flow tails are all consumed (an unmatched "s" means a packet vanished
+     -- only legal on lossy/chaos runs, see --allow-dangling-flows);
+  5. the tracer ring did not overwrite events (otherwise pairing cannot be
+     judged; see --allow-truncated).
+
+It then prints a per-stage latency table (count / p50 / p90 / p99 / max in
+simulated nanoseconds) from the matched span intervals, plus flow counts.
+
+Usage:
+    trace_check.py trace.json [more.json ...]
+    trace_check.py --allow-dangling-flows trace.json
+    trace_check.py --bench path/to/binary [--bench-args ARG ...]
+        (runs `binary [ARGS] --trace <tmpfile>` and validates the tmpfile)
+
+Exit status 0 iff every trace validates. No third-party dependencies.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOP_N = 12  # stages shown in the latency summary
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(p * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+def check_trace(path, allow_dangling_flows=False, allow_truncated=False):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        return fail(path, "not a Chrome trace (no traceEvents array)")
+    events = doc["traceEvents"]
+    ok = True
+
+    overwritten = doc.get("otherData", {}).get("overwritten", 0)
+    if overwritten and not allow_truncated:
+        ok = fail(path, f"tracer ring overwrote {overwritten} events; "
+                        "pairing cannot be validated (raise the tracer "
+                        "capacity or pass --allow-truncated)")
+
+    open_spans = {}     # (name, id, pid) -> [begin_ts, ...] (stack)
+    durations = {}      # name -> [ns, ...]
+    open_flows = {}     # (name, id) -> count of unmatched "s"
+    flow_counts = {}    # name -> completed pairs
+    counts = {"b": 0, "e": 0, "s": 0, "f": 0, "i": 0}
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            ok = fail(path, f"traceEvents[{i}] is not an object")
+            continue
+        ph = ev.get("ph")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            ok = fail(path, f"traceEvents[{i}] has no numeric ts")
+            continue
+        if ph in counts:
+            counts[ph] += 1
+        if ph == "b":
+            key = (ev.get("name"), ev.get("id"), ev.get("pid"))
+            open_spans.setdefault(key, []).append(ts)
+        elif ph == "e":
+            key = (ev.get("name"), ev.get("id"), ev.get("pid"))
+            stack = open_spans.get(key)
+            if not stack:
+                ok = fail(path, f"traceEvents[{i}]: span end without begin "
+                                f"(name={key[0]!r} id={key[1]} pid={key[2]})")
+                continue
+            begin_ts = stack.pop()
+            if not stack:
+                del open_spans[key]
+            if ts < begin_ts:
+                ok = fail(path, f"traceEvents[{i}]: span {key[0]!r} ends at "
+                                f"{ts}us before its begin at {begin_ts}us")
+                continue
+            # ts is fractional microseconds; store nanoseconds.
+            durations.setdefault(ev.get("name"), []).append(
+                (ts - begin_ts) * 1000.0)
+        elif ph == "s":
+            key = (ev.get("name"), ev.get("id"))
+            open_flows[key] = open_flows.get(key, 0) + 1
+        elif ph == "f":
+            key = (ev.get("name"), ev.get("id"))
+            if open_flows.get(key, 0) <= 0:
+                ok = fail(path, f"traceEvents[{i}]: flow head without tail "
+                                f"(name={key[0]!r} id={key[1]})")
+                continue
+            open_flows[key] -= 1
+            if open_flows[key] == 0:
+                del open_flows[key]
+            flow_counts[ev.get("name")] = flow_counts.get(ev.get("name"),
+                                                          0) + 1
+
+    if open_spans:
+        sample = sorted(open_spans)[:5]
+        ok = fail(path, f"{len(open_spans)} span(s) never closed, e.g. "
+                        f"{sample}")
+    if open_flows:
+        dangling = sum(open_flows.values())
+        by_name = {}
+        for (name, _), n in open_flows.items():
+            by_name[name] = by_name.get(name, 0) + n
+        msg = (f"{dangling} flow tail(s) never consumed: "
+               f"{dict(sorted(by_name.items()))}")
+        if allow_dangling_flows:
+            print(f"{path}: note: {msg} (allowed)")
+        else:
+            ok = fail(path, msg + " (lossy run? pass --allow-dangling-flows)")
+
+    print(f"{path}: {len(events)} events "
+          f"(spans {counts['b']}b/{counts['e']}e, "
+          f"flows {counts['s']}s/{counts['f']}f, instants {counts['i']})")
+    if durations:
+        print(f"  {'stage':<12}{'count':>8}{'p50 ns':>12}{'p90 ns':>12}"
+              f"{'p99 ns':>12}{'max ns':>12}")
+        ranked = sorted(durations.items(), key=lambda kv: -len(kv[1]))
+        for name, vals in ranked[:TOP_N]:
+            vals.sort()
+            print(f"  {str(name):<12}{len(vals):>8}"
+                  f"{percentile(vals, 0.50):>12.0f}"
+                  f"{percentile(vals, 0.90):>12.0f}"
+                  f"{percentile(vals, 0.99):>12.0f}"
+                  f"{vals[-1]:>12.0f}")
+        if len(ranked) > TOP_N:
+            print(f"  ... {len(ranked) - TOP_N} more stage(s)")
+    for name, n in sorted(flow_counts.items()):
+        print(f"  flow {name}: {n} pair(s)")
+    if ok:
+        print(f"{path}: OK")
+    return ok
+
+
+def run_bench(binary, extra_args, **kw):
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="trace_")
+    os.close(fd)
+    try:
+        proc = subprocess.run([binary, *extra_args, "--trace", path],
+                              stdout=subprocess.DEVNULL, timeout=600)
+        if proc.returncode != 0:
+            return fail(binary, f"exited with {proc.returncode}")
+        return check_trace(path, **kw)
+    finally:
+        os.unlink(path)
+
+
+def main(argv):
+    if not argv or argv in (["-h"], ["--help"]):
+        print(__doc__)
+        return 2
+    ok = True
+    kw = {}
+    extra_args = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--allow-dangling-flows":
+            kw["allow_dangling_flows"] = True
+            i += 1
+        elif arg == "--allow-truncated":
+            kw["allow_truncated"] = True
+            i += 1
+        elif arg == "--bench-args":
+            if i + 1 >= len(argv):
+                return fail("argv", "--bench-args needs an argument") or 2
+            extra_args.append(argv[i + 1])
+            i += 2
+        elif arg == "--bench":
+            if i + 1 >= len(argv):
+                return fail("argv", "--bench needs a binary path") or 2
+            ok = run_bench(argv[i + 1], extra_args, **kw) and ok
+            i += 2
+        else:
+            ok = check_trace(arg, **kw) and ok
+            i += 1
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

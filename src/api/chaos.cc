@@ -1,8 +1,11 @@
 #include "api/chaos.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <memory>
+#include <system_error>
 
 #include "api/workloads.h"
 #include "hw/nic.h"
@@ -101,10 +104,47 @@ std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
   return h;
 }
 
+bool write_text(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// Flight recorder: dump everything needed to debug a failed run from
+// artifacts alone. Best-effort -- a write failure must not mask the
+// original invariant violation.
+void write_postmortem(const std::string& dir, const std::string& why,
+                      os::World& world, core::NetIoModule& na,
+                      core::NetIoModule& nb, const ChaosReport& rep) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "chaos: cannot create postmortem dir %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return;
+  }
+  write_text(dir + "/failure.txt", why + "\n");
+  world.tracer().write_chrome_json(dir + "/trace.json");
+  write_text(dir + "/metrics.json", world.metrics().dump_json());
+  write_text(dir + "/netio_a.json", na.dump_json());
+  write_text(dir + "/netio_b.json", nb.dump_json());
+  write_text(dir + "/profile.json", world.profile_dump_json());
+  world.write_profile_folded(dir + "/profile.folded");
+  write_text(dir + "/fault_census.json", rep.fault_census);
+  std::fprintf(stderr, "chaos: invariants failed (%s); postmortem in %s\n",
+               why.c_str(), dir.c_str());
+}
+
 }  // namespace
 
 ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   Testbed bed(OrgType::kUserLevel, cfg.link, cfg.seed);
+  // Arm the flight recorder up front: tracing is behaviour-neutral (a
+  // tier-1 test asserts metrics identity), so the recorder never perturbs
+  // the run it is documenting.
+  if (!cfg.postmortem_dir.empty()) bed.world().tracer().set_enabled(true);
   ChaosController chaos(bed, cfg.repoll_interval);
 
   core::UserLevelApp& victim = bed.user_org_a()->add_app_impl("victim");
@@ -221,6 +261,11 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   h = fnv1a(h, rep.fault_census);
   h = fnv1a(h, std::to_string(st->peer_rcvd));
   rep.fingerprint = h;
+
+  if (!cfg.postmortem_dir.empty()) {
+    const std::string why = rep.failure();
+    if (!why.empty()) write_postmortem(cfg.postmortem_dir, why, world, na, nb, rep);
+  }
   return rep;
 }
 

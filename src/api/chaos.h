@@ -74,6 +74,13 @@ struct ChaosScenarioConfig {
   int tx_backpressures = 1;
   std::uint64_t tx_burst = 4;
   sim::Time deadline = 300 * sim::kSec;
+  // Flight recorder: when non-empty and the report's invariants fail, the
+  // scenario dumps a postmortem bundle into this directory -- the event
+  // trace (trace.json, Perfetto-loadable), world metrics, both netio dumps,
+  // the simulated-CPU profile (JSON + folded stacks), the fault census and
+  // the failure string -- so a red chaos run is debuggable from artifacts
+  // alone, without a rerun.
+  std::string postmortem_dir;
 };
 
 struct ChaosReport {

@@ -7,12 +7,13 @@ InKernelOrg::InKernelOrg(os::World& world, os::Host& host)
       host_(host),
       env_(host, world.rng(), sim::kKernelSpace) {
   env_.set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
-                           buf::Bytes payload, const proto::TxFlow*) {
+                           buf::Bytes payload, const proto::TxFlow* flow) {
     // Kernel output path: frame and hand to the driver within the current
     // task (syscall or ISR context). Ultrix uses only BQI 0 on AN1.
     hw::Nic* nic = env_.nic(ifc);
     net::Frame f = core::frame_for(*nic, dst, et, payload,
                                    hw::An1Nic::kKernelBqi);
+    f.trace_id = flow != nullptr ? flow->trace_id : 0;
     nic->transmit(host_.cpu().current(), std::move(f));
   });
   stack_ = std::make_unique<proto::NetworkStack>(env_);
@@ -28,6 +29,7 @@ void InKernelOrg::wire_receive_paths() {
                                          std::uint16_t) {
       // ISR context: strip the link header and run the protocol input path
       // to completion in the kernel (Ultrix splnet processing).
+      stack_->tcp().set_current_rx_trace_id(f.trace_id);
       if (an1) {
         auto h = net::An1Header::parse(f.bytes);
         if (!h) return;
@@ -41,6 +43,7 @@ void InKernelOrg::wire_receive_paths() {
                            buf::ByteView(f.bytes.data() + net::EthHeader::kSize,
                                          f.bytes.size() - net::EthHeader::kSize));
       }
+      stack_->tcp().set_current_rx_trace_id(0);
     });
   }
 }

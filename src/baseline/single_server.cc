@@ -15,10 +15,11 @@ SingleServerOrg::SingleServerOrg(os::World& world, os::Host& host, Config cfg)
   }
 
   env_.set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
-                           buf::Bytes payload, const proto::TxFlow*) {
+                           buf::Bytes payload, const proto::TxFlow* flow) {
     hw::Nic* nic = env_.nic(ifc);
     net::Frame f = core::frame_for(*nic, dst, et, payload,
                                    hw::An1Nic::kKernelBqi);
+    f.trace_id = flow != nullptr ? flow->trace_id : 0;
     if (cfg_.dedicated_device_server) {
       // Dedicated device server: one more IPC + domain crossing per packet.
       host_.kernel().ipc_send(

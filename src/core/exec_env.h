@@ -56,6 +56,29 @@ class HostStackEnv : public proto::StackEnv {
     host_.cpu().trace(type, id, a, b, detail);
   }
 
+  std::uint64_t new_trace_id() override {
+    sim::Tracer* t = host_.cpu().tracer();
+    return t != nullptr ? t->new_trace_id() : 0;
+  }
+  void trace_flow_start(const char* name, std::uint64_t id) override {
+    sim::Tracer* t = host_.cpu().tracer();
+    if (t != nullptr && t->enabled() && id != 0) {
+      t->flow_start(host_.cpu().trace_now(), host_.cpu().host_ord(), name, id);
+    }
+  }
+  void trace_flow_end(const char* name, std::uint64_t id) override {
+    sim::Tracer* t = host_.cpu().tracer();
+    if (t != nullptr && t->enabled() && id != 0) {
+      t->flow_end(host_.cpu().trace_now(), host_.cpu().host_ord(), name, id);
+    }
+  }
+
+  sim::CpuComponent swap_profile_component(sim::CpuComponent c) override {
+    const sim::CpuComponent prev = host_.cpu().component();
+    host_.cpu().set_component(c);
+    return prev;
+  }
+
   timer::TimerId schedule(sim::Time delay,
                           std::function<void()> cb) override {
     host_.cpu().metrics().timer_ops++;
@@ -67,7 +90,14 @@ class HostStackEnv : public proto::StackEnv {
           host_.cpu().trace(sim::TraceEventType::kTimerFire,
                             static_cast<std::int64_t>(*idh));
           host_.cpu().submit(exec_space_, sim::Prio::kNormal,
-                             [cb](sim::TaskCtx&) { cb(); });
+                             [this, cb](sim::TaskCtx&) {
+                               // Timer-driven protocol work (retransmits,
+                               // delayed ACKs) profiles as "timers" unless
+                               // an inner scope refines it.
+                               const sim::ProfileScope prof(
+                                   host_.cpu(), sim::CpuComponent::kTimers);
+                               cb();
+                             });
         });
     *idh = id;
     host_.cpu().trace(sim::TraceEventType::kTimerSchedule,

@@ -63,6 +63,7 @@ ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
   k.port_insert_send_right(ch.cap, setup.app_space);
   // Notification semaphore, woken in the application's space.
   ch.sem = std::make_unique<os::Semaphore>(host_.cpu(), setup.app_space);
+  ch.sem->bind_wakeup_hist(&wakeup_hist_);
 
   if (an1_) {
     if (setup.preallocated_bqi != 0) {
@@ -122,6 +123,7 @@ void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id,
   }
   // Undrained packets in the shared ring go back to the pool with the
   // region -- a dead library must not leak the buffers it never consumed.
+  close_ring_spans(ch);
   if (buf::PacketPool* pool = nic_.pool()) {
     counters_.buffers_reclaimed += ch.ring.size();
     for (RxPacket& p : ch.ring) pool->recycle(std::move(p.payload));
@@ -154,6 +156,7 @@ bool NetIoModule::retarget_channel(sim::TaskCtx& ctx, ChannelId id,
   k.port_insert_send_right(ch->cap, new_space);
   ch->app_space = new_space;
   ch->sem = std::make_unique<os::Semaphore>(host_.cpu(), new_space);
+  ch->sem->bind_wakeup_hist(&wakeup_hist_);
   ch->notify_pending = false;
   (void)ctx;
   return true;
@@ -246,7 +249,7 @@ std::string NetIoModule::dump_json() const {
       "\"demux_hash_hits\":%llu,\"demux_fallback_walks\":%llu,"
       "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
       "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
-      "\"buffers_reclaimed\":%llu}}",
+      "\"buffers_reclaimed\":%llu}",
       static_cast<unsigned long long>(counters_.delivered),
       static_cast<unsigned long long>(counters_.ring_drops),
       static_cast<unsigned long long>(counters_.sends),
@@ -260,6 +263,11 @@ std::string NetIoModule::dump_json() const {
       static_cast<unsigned long long>(counters_.channels_reclaimed),
       static_cast<unsigned long long>(counters_.buffers_reclaimed));
   out += buf;
+  out += ",\"hist\":{\"ring_residency_ns\":";
+  out += ring_hist_.dump_json();
+  out += ",\"wakeup_latency_ns\":";
+  out += wakeup_hist_.dump_json();
+  out += "}}";
   return out;
 }
 
@@ -285,9 +293,11 @@ bool NetIoModule::template_matches(const Channel& ch, std::uint16_t ethertype,
 bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
                                os::PortId cap, sim::SpaceId caller_space,
                                std::uint16_t ethertype, buf::Bytes payload,
-                               net::MacAddr dst_override) {
-  const SendStatus st = channel_send_status(ctx, id, cap, caller_space,
-                                            ethertype, payload, dst_override);
+                               net::MacAddr dst_override,
+                               std::uint64_t trace_id) {
+  const SendStatus st =
+      channel_send_status(ctx, id, cap, caller_space, ethertype, payload,
+                          dst_override, trace_id);
   if (st == SendStatus::kBackpressure) {
     // Legacy callers do not retry: the packet is dropped here and a
     // reliable transport above recovers by retransmission.
@@ -298,7 +308,8 @@ bool NetIoModule::channel_send(sim::TaskCtx& ctx, ChannelId id,
 
 NetIoModule::SendStatus NetIoModule::channel_send_status(
     sim::TaskCtx& ctx, ChannelId id, os::PortId cap, sim::SpaceId caller_space,
-    std::uint16_t ethertype, buf::Bytes& payload, net::MacAddr dst_override) {
+    std::uint16_t ethertype, buf::Bytes& payload, net::MacAddr dst_override,
+    std::uint64_t trace_id) {
   os::Kernel& k = host_.kernel();
   // Specialized kernel entry point (much cheaper than a generic trap).
   k.fast_trap(ctx);
@@ -352,8 +363,10 @@ NetIoModule::SendStatus NetIoModule::channel_send_status(
   ch->stats.sends++;
   ch->stats.bytes_tx += payload.size();
   cpu.trace(sim::TraceEventType::kPacketTx, id,
-            static_cast<std::int64_t>(payload.size()), ethertype);
+            static_cast<std::int64_t>(payload.size()), ethertype, nullptr,
+            trace_id);
   net::Frame f = frame_for(nic_, dst, ethertype, payload, ch->tx_bqi);
+  f.trace_id = trace_id;  // 0 = let the NIC stamp it at the wire boundary
   // The payload has been framed; its storage is dead weight from here on.
   if (buf::PacketPool* pool = nic_.pool()) pool->recycle(std::move(payload));
   nic_.transmit(ctx, std::move(f));
@@ -372,6 +385,7 @@ int NetIoModule::exhaust_channel(ChannelId id) {
   Channel* ch = find(id);
   if (ch == nullptr) return 0;
   int discarded = static_cast<int>(ch->ring.size());
+  close_ring_spans(*ch);
   if (buf::PacketPool* pool = nic_.pool()) {
     for (RxPacket& p : ch->ring) pool->recycle(std::move(p.payload));
   }
@@ -412,6 +426,7 @@ std::size_t NetIoModule::channel_ring_depth(ChannelId id) const {
 // ---------------------------------------------------------------------------
 
 void NetIoModule::rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
+  const sim::ProfileScope prof(host_.cpu(), sim::CpuComponent::kDemux);
   const std::size_t lh = link_header_size();
   if (f.bytes.size() < lh) return;
   std::uint16_t ethertype = 0;
@@ -427,7 +442,8 @@ void NetIoModule::rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
     ethertype = h->ethertype;
   }
   host_.cpu().trace(sim::TraceEventType::kPacketRx, 0,
-                    static_cast<std::int64_t>(f.bytes.size() - lh), ethertype);
+                    static_cast<std::int64_t>(f.bytes.size() - lh), ethertype,
+                    nullptr, f.trace_id);
 
   // Instead of copying the payload out of the frame, steal the frame's
   // storage and trim the link header in place (a memmove, no allocation).
@@ -445,7 +461,8 @@ void NetIoModule::rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
     // NIC model.
     if (bqi != hw::An1Nic::kKernelBqi) {
       if (auto it = by_bqi_.find(bqi); it != by_bqi_.end()) {
-        deliver(ctx, channels_[it->second], ethertype, steal_payload());
+        deliver(ctx, channels_[it->second], ethertype, steal_payload(),
+                f.trace_id);
         return;
       }
     }
@@ -456,7 +473,7 @@ void NetIoModule::rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
   // Ethernet: software demultiplexing in the kernel.
   Channel* ch = classify_software(ctx, f);
   if (ch != nullptr) {
-    deliver(ctx, *ch, ethertype, steal_payload());
+    deliver(ctx, *ch, ethertype, steal_payload(), f.trace_id);
   } else {
     deliver_default(ctx, ethertype, steal_payload(), advert);
   }
@@ -560,7 +577,8 @@ NetIoModule::Channel* NetIoModule::classify_walk(sim::TaskCtx& ctx,
 }
 
 void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
-                          std::uint16_t ethertype, buf::Bytes payload) {
+                          std::uint16_t ethertype, buf::Bytes payload,
+                          std::uint64_t trace_id) {
   sim::Cpu& cpu = host_.cpu();
   if (static_cast<int>(ch.ring.size()) >= ch.ring_capacity) {
     counters_.ring_drops++;
@@ -568,7 +586,8 @@ void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
     cpu.metrics().demux_drops++;
     cpu.metrics().netio_ring_drops++;
     cpu.trace(sim::TraceEventType::kDemuxDrop, ch.id,
-              static_cast<std::int64_t>(ch.ring.size()), 0, "ring_full");
+              static_cast<std::int64_t>(ch.ring.size()), 0, "ring_full",
+              trace_id);
     return;
   }
   // The packet lands in the pinned shared region: no copy toward the
@@ -576,8 +595,15 @@ void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
   ch.stats.delivered++;
   ch.stats.bytes_rx += payload.size();
   cpu.trace(sim::TraceEventType::kDemuxMatch, ch.id,
-            static_cast<std::int64_t>(payload.size()), ethertype);
-  ch.ring.push_back(RxPacket{ethertype, std::move(payload)});
+            static_cast<std::int64_t>(payload.size()), ethertype, nullptr,
+            trace_id);
+  if (sim::Tracer* t = cpu.tracer();
+      t != nullptr && t->enabled() && trace_id != 0) {
+    t->span_begin(ctx.now(), cpu.host_ord(), "rxring", trace_id,
+                  static_cast<std::int64_t>(ch.id));
+  }
+  ch.ring.push_back(RxPacket{ethertype, std::move(payload), trace_id,
+                             ctx.now()});
   ch.stats.max_ring_depth =
       std::max<std::uint64_t>(ch.stats.max_ring_depth, ch.ring.size());
   counters_.delivered++;
@@ -630,7 +656,26 @@ std::optional<NetIoModule::RxPacket> NetIoModule::channel_pop(ChannelId id) {
   if (ch == nullptr || ch->ring.empty()) return std::nullopt;
   RxPacket p = std::move(ch->ring.front());
   ch->ring.pop_front();
+  sim::Cpu& cpu = host_.cpu();
+  const sim::Time now = cpu.trace_now();
+  if (now >= p.enqueued_at) ring_hist_.record(now - p.enqueued_at);
+  if (sim::Tracer* t = cpu.tracer();
+      t != nullptr && t->enabled() && p.trace_id != 0) {
+    t->span_end(now, cpu.host_ord(), "rxring", p.trace_id);
+  }
   return p;
+}
+
+void NetIoModule::close_ring_spans(const Channel& ch) {
+  sim::Cpu& cpu = host_.cpu();
+  sim::Tracer* t = cpu.tracer();
+  if (t == nullptr || !t->enabled()) return;
+  const sim::Time now = cpu.trace_now();
+  for (const RxPacket& p : ch.ring) {
+    if (p.trace_id != 0) {
+      t->span_end(now, cpu.host_ord(), "rxring", p.trace_id);
+    }
+  }
 }
 
 bool NetIoModule::channel_rearm(ChannelId id) {

@@ -32,6 +32,7 @@
 #include "hw/nic.h"
 #include "os/host.h"
 #include "os/semaphore.h"
+#include "sim/histogram.h"
 
 namespace ulnet::core {
 
@@ -101,6 +102,8 @@ class NetIoModule {
   struct RxPacket {
     std::uint16_t ethertype = 0;
     buf::Bytes payload;  // link header stripped
+    std::uint64_t trace_id = 0;   // provenance id carried from the frame
+    sim::Time enqueued_at = 0;    // ring entry time (residency histogram)
   };
 
   // Transmit through a channel. Enters the kernel via the specialized trap,
@@ -110,10 +113,13 @@ class NetIoModule {
   // `dst_override` selects the link destination for channels whose
   // template leaves the remote side wild (connectionless protocols); it is
   // refused on fully-bound channels.
+  // `trace_id` stamps the outgoing frame with the segment's provenance id
+  // (0 = let the NIC allocate one at the wire boundary).
   bool channel_send(sim::TaskCtx& ctx, ChannelId id, os::PortId cap,
                     sim::SpaceId caller_space, std::uint16_t ethertype,
                     buf::Bytes payload,
-                    net::MacAddr dst_override = net::MacAddr{});
+                    net::MacAddr dst_override = net::MacAddr{},
+                    std::uint64_t trace_id = 0);
 
   // Like channel_send, but distinguishes a permanent refusal (bad cap /
   // template violation) from transient device backpressure (transmit ring
@@ -124,7 +130,8 @@ class NetIoModule {
   SendStatus channel_send_status(sim::TaskCtx& ctx, ChannelId id,
                                  os::PortId cap, sim::SpaceId caller_space,
                                  std::uint16_t ethertype, buf::Bytes& payload,
-                                 net::MacAddr dst_override = net::MacAddr{});
+                                 net::MacAddr dst_override = net::MacAddr{},
+                                 std::uint64_t trace_id = 0);
 
   // ------------------------------------------------------------------
   // Fault injection & reclamation support (chaos controller / registry)
@@ -203,8 +210,18 @@ class NetIoModule {
   // nullptr for unknown channels.
   [[nodiscard]] const ChannelStats* channel_stats(ChannelId id) const;
   // All live channels (id, binding, ring occupancy, stats) plus the module
-  // totals, as one JSON object.
+  // totals and the per-stage latency histograms, as one JSON object.
   [[nodiscard]] std::string dump_json() const;
+
+  // Per-stage latency histograms (nanoseconds), always on:
+  // shared-ring residency (deliver -> library pop)...
+  [[nodiscard]] const sim::Histogram& ring_residency_hist() const {
+    return ring_hist_;
+  }
+  // ...and notification latency (semaphore signal -> library wakeup).
+  [[nodiscard]] const sim::Histogram& wakeup_latency_hist() const {
+    return wakeup_hist_;
+  }
 
   [[nodiscard]] hw::Nic& nic() { return nic_; }
   [[nodiscard]] bool an1() const { return an1_; }
@@ -246,7 +263,10 @@ class NetIoModule {
   void bind_channel(Channel& ch);
   void rebuild_bind_table();
   void deliver(sim::TaskCtx& ctx, Channel& ch, std::uint16_t ethertype,
-               buf::Bytes payload);
+               buf::Bytes payload, std::uint64_t trace_id = 0);
+  // Close the "rxring" span of every packet still in the ring (teardown,
+  // exhaustion) so chaos kills never leave a dangling span begin.
+  void close_ring_spans(const Channel& ch);
   void deliver_default(sim::TaskCtx& ctx, std::uint16_t ethertype,
                        buf::Bytes payload, std::uint16_t bqi_advert);
   Channel* find(ChannelId id);
@@ -276,6 +296,8 @@ class NetIoModule {
   sim::SpaceId default_space_ = -1;
   DefaultHandler default_handler_;
   Counters counters_;
+  sim::Histogram ring_hist_;
+  sim::Histogram wakeup_hist_;
   std::uint64_t tx_throttle_remaining_ = 0;
   ChannelId next_id_ = 1;
 };

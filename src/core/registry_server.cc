@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/cpu.h"
+
 namespace ulnet::core {
 
 RegistryServer::RegistryServer(os::World& world, os::Host& host,
@@ -18,6 +20,7 @@ RegistryServer::RegistryServer(os::World& world, os::Host& host,
   env_.set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
                            buf::Bytes payload, const proto::TxFlow* flow) {
     auto& cpu = host_.cpu();
+    const sim::ProfileScope prof(cpu, sim::CpuComponent::kRegistry);
     cpu.charge(cpu.cost().registry_device_access);
     hw::Nic* nic = env_.nic(ifc);
     std::uint16_t advert = 0;
@@ -78,6 +81,7 @@ RegistryServer::RegistryServer(os::World& world, os::Host& host,
 void RegistryServer::default_rx(sim::TaskCtx& ctx, NetIoModule* netio,
                                 std::uint16_t ethertype, buf::Bytes payload,
                                 std::uint16_t bqi_advert) {
+  const sim::ProfileScope prof(host_.cpu(), sim::CpuComponent::kRegistry);
   // Parse the TCP 4-tuple straight out of the IP payload (fixed 20-byte
   // header in this stack).
   std::uint64_t key = 0;
@@ -162,6 +166,7 @@ void RegistryServer::handle_connect(sim::TaskCtx& ctx, RegistryClient* client,
                                     net::Ipv4Addr dst, std::uint16_t dport,
                                     proto::TcpConfig cfg,
                                     sim::Time request_sent) {
+  const sim::ProfileScope prof(host_.cpu(), sim::CpuComponent::kRegistry);
   SetupTiming timing;
   timing.request_sent = request_sent;
   timing.request_received = ctx.now();
@@ -296,6 +301,7 @@ void RegistryServer::inherit_connection(sim::TaskCtx& ctx,
 // ---------------------------------------------------------------------------
 
 void RegistryServer::client_died(sim::TaskCtx& ctx, sim::SpaceId space) {
+  const sim::ProfileScope prof(host_.cpu(), sim::CpuComponent::kRegistry);
   ctx.charge(host_.cpu().cost().registry_outbound_setup);
   reclaim_stats_.clients++;
 
@@ -428,6 +434,7 @@ void RegistryServer::finish_setup(sim::TaskCtx& ctx,
                                   proto::TcpConnection* conn,
                                   PendingConn pending) {
   auto& cpu = host_.cpu();
+  const sim::ProfileScope prof(cpu, sim::CpuComponent::kRegistry);
   const auto& cost = cpu.cost();
 
   NetIoModule* netio = netio_for(conn->remote_ip());

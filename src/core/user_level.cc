@@ -80,12 +80,13 @@ void UserLevelApp::lib_transmit(int, net::MacAddr dst,
     id = it->second;
   }
   send_attempt(org_.host().cpu().current(), id, ethertype, std::move(payload),
-               dst_override, 0);
+               dst_override, 0, flow->trace_id);
 }
 
 void UserLevelApp::send_attempt(sim::TaskCtx& ctx, ChannelId id,
                                 std::uint16_t ethertype, buf::Bytes payload,
-                                net::MacAddr dst_override, int attempt) {
+                                net::MacAddr dst_override, int attempt,
+                                std::uint64_t trace_id) {
   auto it = channels_.find(id);
   if (it == channels_.end()) {
     // Channel torn down while we were backing off.
@@ -96,7 +97,8 @@ void UserLevelApp::send_attempt(sim::TaskCtx& ctx, ChannelId id,
   }
   ChannelRec& rec = it->second;
   const auto st = rec.netio->channel_send_status(
-      ctx, rec.id, rec.cap, space_, ethertype, payload, dst_override);
+      ctx, rec.id, rec.cap, space_, ethertype, payload, dst_override,
+      trace_id);
   if (st != NetIoModule::SendStatus::kBackpressure) return;
   if (dead_ || attempt + 1 >= kTxMaxAttempts) {
     // Give up: drop the packet and let the transport's retransmission
@@ -110,9 +112,10 @@ void UserLevelApp::send_attempt(sim::TaskCtx& ctx, ChannelId id,
   tx_retries_++;
   env_->schedule(kTxBackoffBase << attempt,
                  [this, id, ethertype, p = std::move(payload), dst_override,
-                  attempt]() mutable {
+                  attempt, trace_id]() mutable {
                    send_attempt(org_.host().cpu().current(), id, ethertype,
-                                std::move(p), dst_override, attempt + 1);
+                                std::move(p), dst_override, attempt + 1,
+                                trace_id);
                  });
 }
 
@@ -130,6 +133,8 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
   // A stalled (or dead) library consumes the notification but processes
   // nothing: packets accumulate in the ring until resume() re-drains.
   if (dead_ || stalled_) return;
+  const sim::ProfileScope prof(org_.host().cpu(),
+                               sim::CpuComponent::kLibraryDrain);
   ChannelRec& rec = it->second;
   rec.draining = true;
   int drained = 0;
@@ -150,8 +155,12 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
     if (auto rit = raw_rx_.find(id); rit != raw_rx_.end()) {
       rit->second(ctx, std::move(pkt->payload));
     } else {
+      // Provenance of the packet being processed, so protocol code can link
+      // effects (an ACK sent from input) back to their cause.
+      tcp.set_current_rx_trace_id(pkt->trace_id);
       stack_->link_input(rec.netio->ifc_index(), pkt->ethertype,
                          pkt->payload);
+      tcp.set_current_rx_trace_id(0);
       // link_input reads the payload by view; the ring buffer's storage can
       // go straight back to the pool.
       if (buf::PacketPool* pool = org_.host().pool()) {
@@ -163,11 +172,17 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
     it = channels_.find(id);
     if (it == channels_.end()) {
       tcp.end_input_burst();
+      if (drained > 0) {
+        drain_batch_hist_.record(static_cast<std::uint64_t>(drained));
+      }
       return;
     }
   }
   tcp.end_input_burst();
-  if (drained > 0) rec.netio->channel_post_buffers(rec.id, drained);
+  if (drained > 0) {
+    drain_batch_hist_.record(static_cast<std::uint64_t>(drained));
+    rec.netio->channel_post_buffers(rec.id, drained);
+  }
   start_drain(id);
 }
 

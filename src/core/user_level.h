@@ -155,6 +155,11 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   [[nodiscard]] std::uint64_t packets_drained() const {
     return packets_drained_;
   }
+  // Packets consumed per service-thread wakeup (notification batching's
+  // yield, always on).
+  [[nodiscard]] const sim::Histogram& drain_batch_hist() const {
+    return drain_batch_hist_;
+  }
 
  private:
   struct ChannelRec {
@@ -179,7 +184,7 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
                     buf::Bytes payload, const proto::TxFlow* flow);
   void send_attempt(sim::TaskCtx& ctx, ChannelId id, std::uint16_t ethertype,
                     buf::Bytes payload, net::MacAddr dst_override,
-                    int attempt);
+                    int attempt, std::uint64_t trace_id);
   void schedule_repoll();
   void start_drain(ChannelId id);
   void drain(sim::TaskCtx& ctx, ChannelId id);
@@ -204,6 +209,7 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   ChannelId rrp_channel_ = kInvalidChannel;
   std::uint64_t next_request_ = 1;
   std::uint64_t packets_drained_ = 0;
+  sim::Histogram drain_batch_hist_;
   std::uint64_t lib_unroutable_ = 0;
   bool dead_ = false;
   bool stalled_ = false;

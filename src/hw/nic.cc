@@ -36,6 +36,7 @@ void LanceNic::transmit(sim::TaskCtx& ctx, net::Frame f) {
   // programmed I/O, then the controller serializes it onto the wire.
   ctx.charge(cost.driver_fixed);
   ctx.charge(static_cast<sim::Time>(f.size()) * cost.pio_per_byte);
+  provenance_tx(ctx, f);
   tx_frames_++;
   cpu_.metrics().packets_tx++;
   // The frame reaches the wire at the point the CPU has accounted for it,
@@ -47,12 +48,14 @@ void LanceNic::transmit(sim::TaskCtx& ctx, net::Frame f) {
 }
 
 void LanceNic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
+  const sim::ProfileScope prof(cpu_, sim::CpuComponent::kNicIsr);
   const auto& cost = cpu_.cost();
   ctx.charge(cost.interrupt_entry);
   ctx.charge(cost.driver_fixed);
   // PIO copy of the whole packet, headers included, out of the controller's
   // on-board packet buffers into host memory.
   ctx.charge(static_cast<sim::Time>(f.size()) * cost.pio_per_byte);
+  provenance_rx(ctx, f);
   rx_frames_++;
   cpu_.metrics().packets_rx++;
   dispatch_rx(ctx, f, 0);
@@ -77,6 +80,7 @@ void An1Nic::transmit(sim::TaskCtx& ctx, net::Frame f) {
   // Descriptor writes only; the controller DMAs from host memory itself.
   ctx.charge(cost.driver_fixed);
   ctx.charge(cost.dma_setup);
+  provenance_tx(ctx, f);
   tx_frames_++;
   cpu_.metrics().packets_tx++;
   cpu_.loop().schedule_at(ctx.now(), [this, fr = std::move(f)]() mutable {
@@ -135,6 +139,7 @@ int An1Nic::bqis_in_use() const {
 }
 
 void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
+  const sim::ProfileScope prof(cpu_, sim::CpuComponent::kNicIsr);
   const auto& cost = cpu_.cost();
   ctx.charge(cost.interrupt_entry);
 
@@ -167,6 +172,7 @@ void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
   if (bqi == kKernelBqi) ring.posted++;  // kernel pool self-replenishes
 
   ctx.charge(cost.demux_hardware_mgmt);
+  provenance_rx(ctx, f);
   cpu_.metrics().demux_hardware_runs++;
   rx_frames_++;
   cpu_.metrics().packets_rx++;

@@ -93,6 +93,28 @@ class Nic : public net::LinkEndpoint {
   // transmit()) so tx_ring_in_use() can age descriptors out lazily.
   void note_tx_occupancy(sim::Time until) { tx_done_at_.push_back(until); }
 
+  // Latency provenance at the wire boundary. Outbound: stamp a frame that
+  // was born without an id (ARP, raw benches) and open the cross-host
+  // "pkt" flow. Inbound: stamp injected frames and close the flow. Ids are
+  // allocated whether or not tracing is enabled, so identities -- and
+  // everything keyed on them -- match between traced and untraced runs.
+  void provenance_tx(sim::TaskCtx& ctx, net::Frame& f) {
+    sim::Tracer* t = cpu_.tracer();
+    if (t == nullptr) return;
+    if (f.trace_id == 0) f.trace_id = t->new_trace_id();
+    if (t->enabled()) {
+      t->flow_start(ctx.now(), cpu_.host_ord(), "pkt", f.trace_id);
+    }
+  }
+  void provenance_rx(sim::TaskCtx& ctx, net::Frame& f) {
+    sim::Tracer* t = cpu_.tracer();
+    if (t == nullptr) return;
+    if (f.trace_id == 0) f.trace_id = t->new_trace_id();
+    if (t->enabled()) {
+      t->flow_end(ctx.now(), cpu_.host_ord(), "pkt", f.trace_id);
+    }
+  }
+
   sim::Cpu& cpu_;
   net::Link& link_;
   net::MacAddr mac_;

@@ -29,6 +29,11 @@ inline constexpr std::uint16_t kEtherTypeRaw = 0x88b5;
 // controller would see.
 struct Frame {
   buf::Bytes bytes;
+  // Latency-provenance identity: assigned once at the packet's birth (app
+  // send or NIC receive) and carried across the wire, so spans and flow
+  // events on both hosts share one id. 0 = not yet stamped. Out-of-band
+  // metadata -- never serialized, never charged, never parsed.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] std::size_t size() const { return bytes.size(); }
 };

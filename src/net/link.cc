@@ -4,8 +4,14 @@
 #include <utility>
 
 #include "sim/metrics.h"
+#include "sim/trace.h"
 
 namespace ulnet::net {
+
+namespace {
+// Chrome "pid" for wire-transit spans: the link is not a host.
+constexpr std::int32_t kWireHost = -1;
+}  // namespace
 
 sim::Time LinkSpec::serialization_ns(std::size_t frame_len) const {
   const std::size_t padded = std::max(frame_len + fcs_bytes, min_frame);
@@ -71,6 +77,7 @@ sim::Time Link::transmit(const LinkEndpoint* from, Frame f) {
   busy_ns_ += ser;
   frames_sent_++;
   bytes_sent_ += f.size();
+  tx_wait_hist_.record(static_cast<std::uint64_t>(start - now));
 
   if (faults_.loss_p > 0 && rng_.chance(faults_.loss_p)) {
     frames_dropped_++;
@@ -105,6 +112,13 @@ sim::Time Link::transmit(const LinkEndpoint* from, Frame f) {
       if (metrics_ != nullptr) metrics_->link_frames_jittered++;
     }
     arrive += extra;
+  }
+
+  transit_hist_.record(static_cast<std::uint64_t>(arrive - start));
+  if (tracer_ != nullptr && tracer_->enabled() && delivered.trace_id != 0) {
+    tracer_->span_begin(start, kWireHost, "wire", delivered.trace_id,
+                        static_cast<std::int64_t>(delivered.size()));
+    tracer_->span_end(arrive, kWireHost, "wire", delivered.trace_id);
   }
 
   // Rare fault path copies; the common path moves the frame straight into

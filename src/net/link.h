@@ -19,10 +19,12 @@
 
 #include "net/frame.h"
 #include "sim/event_loop.h"
+#include "sim/histogram.h"
 #include "sim/rng.h"
 
 namespace ulnet::sim {
 struct Metrics;
+class Tracer;
 }  // namespace ulnet::sim
 
 namespace ulnet::net {
@@ -104,6 +106,19 @@ class Link {
 
   // Mirror fault/drop injections into world metrics (bound by the World).
   void bind_metrics(sim::Metrics* m) { metrics_ = m; }
+  // Span events for wire transit (bound by the World; host -1 = the wire).
+  void bind_tracer(sim::Tracer* t) { tracer_ = t; }
+
+  // Per-stage residency histograms (nanoseconds), always on:
+  // time a frame waited for the channel before its first bit went out...
+  [[nodiscard]] const sim::Histogram& tx_wait_hist() const {
+    return tx_wait_hist_;
+  }
+  // ...and time from first bit to arrival (serialization + propagation +
+  // any injected jitter). Lost frames appear in neither.
+  [[nodiscard]] const sim::Histogram& transit_hist() const {
+    return transit_hist_;
+  }
 
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_dropped() const {
@@ -121,6 +136,9 @@ class Link {
   LinkSpec spec_;
   FaultPlan faults_;
   sim::Metrics* metrics_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
+  sim::Histogram tx_wait_hist_;
+  sim::Histogram transit_hist_;
   std::vector<LinkEndpoint*> endpoints_;
   sim::Time channel_free_at_ = 0;
   std::uint64_t frames_sent_ = 0;

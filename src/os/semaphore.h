@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "sim/cpu.h"
+#include "sim/histogram.h"
 
 namespace ulnet::os {
 
@@ -33,6 +34,7 @@ class Semaphore {
     cpu_.metrics().semaphore_signals++;
     cpu_.trace(sim::TraceEventType::kSemSignal, waiter_space_, count_ + 1);
     count_++;
+    last_signal_at_ = ctx.now();
     if (drop_next_wakeup_) {
       // Fault injection: the signal happened (count moved, cost charged)
       // but the wakeup never reaches the waiter -- the lost-notification
@@ -44,6 +46,12 @@ class Semaphore {
     }
     maybe_wake(ctx);
   }
+
+  // Optional signal->wakeup latency histogram (owned by the channel's
+  // module); records the gap between the most recent signal and the waiter
+  // actually running, covering both the blocked and the already-signalled
+  // fast path.
+  void bind_wakeup_hist(sim::Histogram* h) { wakeup_hist_ = h; }
 
   // Arm the lost-wakeup fault: the next signal's wakeup is swallowed.
   void drop_next_wakeup() { drop_next_wakeup_ = true; }
@@ -77,8 +85,10 @@ class Semaphore {
     count_--;
     WaitFn fn = std::move(*waiter_);
     waiter_.reset();
+    const sim::Time sig_at = last_signal_at_;
     cpu_.submit(waiter_space_, sim::Prio::kNormal,
-                [this, fn = std::move(fn), blocked](sim::TaskCtx& tctx) {
+                [this, fn = std::move(fn), blocked, sig_at](
+                    sim::TaskCtx& tctx) {
                   const auto& cost = cpu_.cost();
                   if (blocked) {
                     tctx.charge(cost.kernel_wakeup);
@@ -87,6 +97,9 @@ class Semaphore {
                                waiter_space_);
                   }
                   tctx.charge(cost.uthread_dispatch);
+                  if (wakeup_hist_ != nullptr && tctx.now() >= sig_at) {
+                    wakeup_hist_->record(tctx.now() - sig_at);
+                  }
                   fn(tctx);
                 });
   }
@@ -95,6 +108,8 @@ class Semaphore {
   sim::SpaceId waiter_space_;
   int count_ = 0;
   std::optional<WaitFn> waiter_;
+  sim::Histogram* wakeup_hist_ = nullptr;
+  sim::Time last_signal_at_ = 0;
   bool drop_next_wakeup_ = false;
   std::uint64_t wakeups_dropped_ = 0;
 };

@@ -1,0 +1,59 @@
+#include "os/world.h"
+
+#include <cstdio>
+
+namespace ulnet::os {
+
+std::string World::profile_dump_json() const {
+  std::string out = "{\"hosts\":[";
+  char buf[128];
+  sim::Time grand_total = 0;
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const sim::Cpu& cpu = hosts_[h]->cpu();
+    if (h > 0) out += ',';
+    out += "{\"host\":\"" + hosts_[h]->name() + "\",\"components\":{";
+    for (int c = 0; c < sim::kCpuComponentCount; ++c) {
+      std::snprintf(buf, sizeof buf, "%s\"%s\":%lld", c > 0 ? "," : "",
+                    to_string(static_cast<sim::CpuComponent>(c)),
+                    static_cast<long long>(
+                        cpu.profile()[static_cast<std::size_t>(c)]));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "},\"busy_ns\":%lld}",
+                  static_cast<long long>(cpu.busy_ns()));
+    out += buf;
+    grand_total += cpu.busy_ns();
+  }
+  std::snprintf(buf, sizeof buf, "],\"total_busy_ns\":%lld}",
+                static_cast<long long>(grand_total));
+  out += buf;
+  return out;
+}
+
+std::string World::profile_folded() const {
+  std::string out;
+  char buf[64];
+  for (const auto& host : hosts_) {
+    const sim::Cpu& cpu = host->cpu();
+    for (int c = 0; c < sim::kCpuComponentCount; ++c) {
+      const sim::Time ns = cpu.profile()[static_cast<std::size_t>(c)];
+      if (ns == 0) continue;
+      out += host->name();
+      out += ';';
+      out += to_string(static_cast<sim::CpuComponent>(c));
+      std::snprintf(buf, sizeof buf, " %lld\n", static_cast<long long>(ns));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool World::write_profile_folded(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = profile_folded();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ulnet::os

@@ -49,6 +49,7 @@ class World {
   net::Link& add_link(net::LinkSpec spec) {
     links_.push_back(std::make_unique<net::Link>(loop_, rng_, std::move(spec)));
     links_.back()->bind_metrics(&metrics_);
+    links_.back()->bind_tracer(&tracer_);
     return *links_.back();
   }
   net::Link& add_ethernet() { return add_link(net::LinkSpec::ethernet10()); }
@@ -84,6 +85,15 @@ class World {
   std::uint64_t run_for(sim::Time d) { return loop_.run_until(now() + d); }
 
   std::vector<std::unique_ptr<Host>>& hosts() { return hosts_; }
+
+  // Simulated-CPU profile across all hosts: per-component nanoseconds as
+  // charged by the cost model, attributed via ProfileScope. The components
+  // of each host sum exactly to that host CPU's busy_ns().
+  [[nodiscard]] std::string profile_dump_json() const;
+  // Folded-stack form ("host;component <ns>" per line) consumable by
+  // standard flamegraph tooling (flamegraph.pl / inferno / speedscope).
+  [[nodiscard]] std::string profile_folded() const;
+  bool write_profile_folded(const std::string& path) const;
 
  private:
   net::MacAddr next_mac() {

@@ -15,6 +15,7 @@
 #include "net/addr.h"
 #include "net/frame.h"
 #include "sim/cost_model.h"
+#include "sim/cpu.h"
 #include "sim/time.h"
 #include "sim/trace.h"
 #include "timer/wheel.h"
@@ -29,6 +30,10 @@ struct TxFlow {
   std::uint8_t ip_proto = 0;
   std::uint16_t local_port = 0;
   std::uint16_t remote_port = 0;
+  // Provenance id assigned to the segment at birth (StackEnv::new_trace_id
+  // in TcpConnection::emit_segment); the framing layer stamps it onto the
+  // outgoing net::Frame. 0 = unassigned.
+  std::uint64_t trace_id = 0;
 };
 
 class StackEnv {
@@ -48,6 +53,23 @@ class StackEnv {
   virtual void trace(sim::TraceEventType /*type*/, std::int64_t /*id*/ = 0,
                      std::int64_t /*a*/ = 0, std::int64_t /*b*/ = 0,
                      const char* /*detail*/ = nullptr) {}
+
+  // Allocate a packet-provenance id (latency tracing). Implementations
+  // with a tracer return its monotone allocator; the default (no tracer)
+  // returns 0, which every consumer treats as "unstamped".
+  virtual std::uint64_t new_trace_id() { return 0; }
+  // Emit the tail/head of a causal flow arrow (e.g. "cause.rtx" from the
+  // timer that fired to the retransmitted segment). `name` must be a
+  // static string. Default: no tracer, no-op.
+  virtual void trace_flow_start(const char* /*name*/, std::uint64_t /*id*/) {}
+  virtual void trace_flow_end(const char* /*name*/, std::uint64_t /*id*/) {}
+
+  // Simulated-CPU profiler attribution: make subsequent charges count
+  // against `c`, returning the previously active component so scopes can
+  // nest and restore. Default: no profiler, identity.
+  virtual sim::CpuComponent swap_profile_component(sim::CpuComponent c) {
+    return c;
+  }
 
   // ---- Timers -------------------------------------------------------------
   // Run `cb` in this stack's execution context after `delay`. The context
@@ -88,6 +110,22 @@ class StackEnv {
   // segments so per-flow channels can be selected; ARP and ICMP pass null.
   virtual void transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
                         buf::Bytes payload, const TxFlow* flow) = 0;
+};
+
+// RAII profiler scope over a StackEnv (the protocol-code analogue of
+// sim::ProfileScope, which needs a Cpu the organization-agnostic stack
+// never sees directly).
+class EnvProfileScope {
+ public:
+  EnvProfileScope(StackEnv& env, sim::CpuComponent c)
+      : env_(env), prev_(env.swap_profile_component(c)) {}
+  EnvProfileScope(const EnvProfileScope&) = delete;
+  EnvProfileScope& operator=(const EnvProfileScope&) = delete;
+  ~EnvProfileScope() { env_.swap_profile_component(prev_); }
+
+ private:
+  StackEnv& env_;
+  sim::CpuComponent prev_;
 };
 
 }  // namespace ulnet::proto

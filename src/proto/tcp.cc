@@ -145,6 +145,7 @@ TcpConnection* TcpModule::import_connection(const TcpHandoffState& st,
 }
 
 void TcpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
+  const EnvProfileScope prof(env_, sim::CpuComponent::kTcpInput);
   env_.charge(env_.cost().tcp_input_fixed);
 
   bool cksum_ok = false;
@@ -158,6 +159,7 @@ void TcpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
   const bool verify =
       conn == nullptr || conn->config().checksum_enabled;
   if (verify) {
+    const EnvProfileScope cks(env_, sim::CpuComponent::kChecksum);
     env_.charge(static_cast<sim::Time>(payload.size()) *
                 env_.cost().checksum_per_byte);
     if (!cksum_ok) {
@@ -303,6 +305,8 @@ void TcpConnection::note_queues() {
 }
 
 void TcpConnection::start_active_open() {
+  open_started_at_ = mod_.env().now();
+  open_timed_ = true;
   iss_ = mod_.env().random32();
   snd_una_ = iss_;
   snd_nxt_ = iss_;
@@ -319,6 +323,8 @@ void TcpConnection::start_active_open() {
 }
 
 void TcpConnection::start_passive_open(const TcpHeader& syn) {
+  open_started_at_ = mod_.env().now();
+  open_timed_ = true;
   irs_ = syn.seq;
   rcv_nxt_ = irs_ + 1;
   snd_wnd_ = syn.wnd;
@@ -381,7 +387,20 @@ void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
     rcv_adv_ = rcv_nxt_ + t.wnd;
   }
 
-  const TxFlow flow = tx_flow();
+  TxFlow flow = tx_flow();
+  // Provenance id assigned at the segment's birth. A causal site (timer
+  // fire, ACK decision) may have pre-allocated the id and opened a flow
+  // arrow; the emission point closes it.
+  if (pending_tx_trace_id_ != 0) {
+    flow.trace_id = pending_tx_trace_id_;
+    pending_tx_trace_id_ = 0;
+    if (pending_cause_ != nullptr) {
+      env.trace_flow_end(pending_cause_, flow.trace_id);
+      pending_cause_ = nullptr;
+    }
+  } else {
+    flow.trace_id = env.new_trace_id();
+  }
   // Track the highest sequence ever sent. A resend from snd_una can extend
   // beyond the previous snd_max (e.g. a full segment covering an earlier
   // 1-byte window probe); failing to advance snd_max here would make the
@@ -542,6 +561,14 @@ void TcpConnection::output(bool force_ack) {
 }
 
 void TcpConnection::send_ack_now() {
+  // Causal link: this ACK exists because of the segment being processed.
+  if (mod_.current_rx_trace_id() != 0 && pending_tx_trace_id_ == 0) {
+    pending_tx_trace_id_ = mod_.env().new_trace_id();
+    if (pending_tx_trace_id_ != 0) {
+      pending_cause_ = "cause.ack";
+      mod_.env().trace_flow_start(pending_cause_, pending_tx_trace_id_);
+    }
+  }
   TcpFlags f;
   f.ack = true;
   mod_.counters().pure_acks_sent++;
@@ -741,6 +768,7 @@ void TcpConnection::segment_arrived(const TcpHeader& t,
 // here). Anything unusual (flags, gaps, window news, recovery or closing
 // state, persist pending) falls through to the full state machine.
 bool TcpConnection::try_fast_path(const TcpHeader& t, buf::ByteView payload) {
+  const EnvProfileScope prof(mod_.env(), sim::CpuComponent::kTcpFastpath);
   if (t.flags.syn || t.flags.fin || t.flags.rst || !t.flags.ack) return false;
   if (t.seq != rcv_nxt_) return false;        // exactly the next segment
   if (t.wnd != snd_wnd_) return false;        // no window news
@@ -1087,6 +1115,11 @@ void TcpConnection::process_fin(std::uint32_t fin_seq) {
 
 void TcpConnection::established() {
   const bool passive = state_ == TcpState::kSynReceived;
+  if (open_timed_) {
+    const sim::Time setup = mod_.env().now() - open_started_at_;
+    mod_.setup_hist_.record(static_cast<std::uint64_t>(setup < 0 ? 0 : setup));
+    open_timed_ = false;
+  }
   set_state(TcpState::kEstablished);
   if (passive) {
     mod_.counters().conns_accepted++;
@@ -1188,6 +1221,13 @@ void TcpConnection::rtx_timeout() {
 
   rtt_timing_ = false;  // Karn's algorithm: no samples from retransmissions
 
+  // Causal link: whatever goes out next was caused by this timer firing.
+  pending_tx_trace_id_ = mod_.env().new_trace_id();
+  if (pending_tx_trace_id_ != 0) {
+    pending_cause_ = "cause.rtx";
+    mod_.env().trace_flow_start(pending_cause_, pending_tx_trace_id_);
+  }
+
   if (state_ == TcpState::kSynSent) {
     TcpFlags f;
     f.syn = true;
@@ -1217,6 +1257,15 @@ void TcpConnection::rtx_timeout() {
     fin_sent_ = false;  // FIN will be re-emitted after the data
   }
   output(false);
+  if (pending_tx_trace_id_ != 0) {
+    // Nothing was retransmitted (raced with a closing ACK): close the flow
+    // arrow here so it never dangles.
+    if (pending_cause_ != nullptr) {
+      mod_.env().trace_flow_end(pending_cause_, pending_tx_trace_id_);
+      pending_cause_ = nullptr;
+    }
+    pending_tx_trace_id_ = 0;
+  }
   if (rtx_timer_ == timer::kInvalidTimer && seq_gt(snd_max_, snd_una_)) {
     arm_rtx();
   }
@@ -1277,6 +1326,7 @@ void TcpConnection::cancel_all_timers() {
 
 void TcpConnection::rtt_sample(sim::Time measured) {
   stats_.rtt_samples++;
+  rtt_hist_.record(static_cast<std::uint64_t>(measured < 0 ? 0 : measured));
   if (srtt_ == 0) {
     srtt_ = measured;
     rttvar_ = measured / 2;
@@ -1306,7 +1356,7 @@ std::string TcpConnection::dump_json() const {
       "\"out_of_order\":%llu,\"persists\":%llu,\"rtt_samples\":%llu,"
       "\"state_transitions\":%llu,\"fast_path_acks\":%llu,"
       "\"fast_path_data\":%llu,\"cwnd_max\":%llu,\"snd_wnd_max\":%llu,"
-      "\"snd_buf_max\":%llu,\"rcv_queue_max\":%llu,\"ooo_bytes_max\":%llu}}",
+      "\"snd_buf_max\":%llu,\"rcv_queue_max\":%llu,\"ooo_bytes_max\":%llu}",
       local_ip_.to_string().c_str(), local_port_,
       remote_ip_.to_string().c_str(), remote_port_, to_string(state_), mss_,
       static_cast<long long>(srtt_ / 1000),
@@ -1333,7 +1383,11 @@ std::string TcpConnection::dump_json() const {
       static_cast<unsigned long long>(stats_.snd_buf_max),
       static_cast<unsigned long long>(stats_.rcv_queue_max),
       static_cast<unsigned long long>(stats_.ooo_bytes_max));
-  return buf;
+  std::string out = buf;
+  out += ",\"hist\":{\"rtt_ns\":";
+  out += rtt_hist_.dump_json();
+  out += "}}";
+  return out;
 }
 
 std::string TcpModule::dump_json() const {
@@ -1385,6 +1439,8 @@ std::string TcpModule::dump_json() const {
       static_cast<unsigned long long>(counters_.fast_path_acks),
       static_cast<unsigned long long>(counters_.fast_path_data));
   out += buf;
+  out += "},\"hist\":{\"setup_time_ns\":";
+  out += setup_hist_.dump_json();
   out += "}}";
   return out;
 }

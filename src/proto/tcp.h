@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "proto/ip.h"
+#include "sim/histogram.h"
 
 namespace ulnet::proto {
 
@@ -230,6 +231,19 @@ class TcpModule {
   StackEnv& env() { return env_; }
   IpModule& ip() { return ip_; }
 
+  // Provenance of the received packet currently being processed (0 = not in
+  // receive processing). Set by the organization's drain loop so protocol
+  // code can link effects (an ACK emitted from input) back to their cause.
+  void set_current_rx_trace_id(std::uint64_t id) { current_rx_trace_id_ = id; }
+  [[nodiscard]] std::uint64_t current_rx_trace_id() const {
+    return current_rx_trace_id_;
+  }
+  // SYN -> ESTABLISHED latency across every handshake this module completed
+  // (active and passive opens; imported connections are not re-counted).
+  [[nodiscard]] const sim::Histogram& setup_time_hist() const {
+    return setup_hist_;
+  }
+
   // Every connection (deterministically ordered by 4-tuple) plus the module
   // counters, as one JSON object.
   [[nodiscard]] std::string dump_json() const;
@@ -267,6 +281,8 @@ class TcpModule {
 
   StackEnv& env_;
   IpModule& ip_;
+  std::uint64_t current_rx_trace_id_ = 0;
+  sim::Histogram setup_hist_;
   std::unordered_map<ConnKey, std::unique_ptr<TcpConnection>, ConnKeyHash>
       conns_;
   std::unordered_map<std::uint16_t, Listener> listeners_;
@@ -319,8 +335,11 @@ class TcpConnection {
     return retransmit_count_;
   }
   [[nodiscard]] const TcpConnStats& stats() const { return stats_; }
-  // 4-tuple, state, estimators, windows, queue depths, and stats() as one
-  // JSON object.
+  // Every RTT sample this connection took (Karn-filtered, like the
+  // estimator feed).
+  [[nodiscard]] const sim::Histogram& rtt_hist() const { return rtt_hist_; }
+  // 4-tuple, state, estimators, windows, queue depths, stats(), and the RTT
+  // histogram as one JSON object.
   [[nodiscard]] std::string dump_json() const;
 
   // Snapshot an ESTABLISHED connection for hand-off to another TcpModule.
@@ -455,6 +474,16 @@ class TcpConnection {
   bool in_fast_recovery_ = false;
   bool burst_ack_pending_ = false;  // registered in the module's burst list
   TcpConnStats stats_;
+  sim::Histogram rtt_hist_;
+
+  // Latency provenance. pending_tx_trace_id_ is a pre-allocated id for the
+  // next emitted segment, set at a causal site (timer fire, ACK decision)
+  // that already opened the `pending_cause_` flow; emit_segment consumes it
+  // and closes the flow at the emission point.
+  std::uint64_t pending_tx_trace_id_ = 0;
+  const char* pending_cause_ = nullptr;
+  sim::Time open_started_at_ = 0;
+  bool open_timed_ = false;  // handshake in progress (setup-time histogram)
 };
 
 }  // namespace ulnet::proto

@@ -6,6 +6,21 @@
 
 namespace ulnet::sim {
 
+const char* to_string(CpuComponent c) {
+  switch (c) {
+    case CpuComponent::kNicIsr: return "nic-isr";
+    case CpuComponent::kDemux: return "demux";
+    case CpuComponent::kChecksum: return "checksum";
+    case CpuComponent::kTcpInput: return "tcp-input";
+    case CpuComponent::kTcpFastpath: return "tcp-fastpath";
+    case CpuComponent::kTimers: return "timers";
+    case CpuComponent::kLibraryDrain: return "library-drain";
+    case CpuComponent::kRegistry: return "registry";
+    case CpuComponent::kOther: return "other";
+  }
+  return "?";
+}
+
 void Cpu::submit(SpaceId space, Prio prio, TaskFn fn) {
   queues_[static_cast<int>(prio)].push_back(Pending{space, std::move(fn)});
   maybe_dispatch();
@@ -46,7 +61,8 @@ void Cpu::dispatch_next() {
     return;
   }
 
-  TaskCtx ctx(loop_.now(), task.space);
+  TaskCtx ctx(loop_.now(), task.space, this);
+  component_ = CpuComponent::kOther;  // no scope survives across tasks
   if (task.space != current_space_) {
     ctx.charge(cost_.context_switch);
     metrics_.context_switches++;

@@ -14,6 +14,7 @@
 // at the task's end time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,16 +34,41 @@ inline constexpr SpaceId kKernelSpace = 0;
 
 enum class Prio { kInterrupt = 0, kNormal = 1 };
 
+class Cpu;
+
+// Simulated-CPU profiler component: every cost-model charge is attributed
+// to the component active at charge time (set with ProfileScope below), so
+// the per-host breakdown answers "where did the simulated cycles go?".
+// kOther catches everything not inside an explicit scope (context
+// switches, app code, IPC plumbing) so the components always sum exactly
+// to the CPU's busy_ns().
+enum class CpuComponent : std::uint8_t {
+  kNicIsr,
+  kDemux,
+  kChecksum,
+  kTcpInput,
+  kTcpFastpath,
+  kTimers,
+  kLibraryDrain,
+  kRegistry,
+  kOther,
+};
+inline constexpr int kCpuComponentCount =
+    static_cast<int>(CpuComponent::kOther) + 1;
+
+[[nodiscard]] const char* to_string(CpuComponent c);
+
 class TaskCtx {
  public:
-  explicit TaskCtx(Time start, SpaceId space) : start_(start), space_(space) {}
+  explicit TaskCtx(Time start, SpaceId space, Cpu* cpu = nullptr)
+      : start_(start), space_(space), cpu_(cpu) {}
 
   // Current instant within the task: start plus cost accrued so far.
   [[nodiscard]] Time now() const { return start_ + accrued_; }
   [[nodiscard]] Time accrued() const { return accrued_; }
   [[nodiscard]] SpaceId space() const { return space_; }
 
-  void charge(Time ns) { accrued_ += ns; }
+  inline void charge(Time ns);
 
   // Run `fn` (outside the CPU) at this task's completion time.
   void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
@@ -52,6 +78,7 @@ class TaskCtx {
   Time start_;
   Time accrued_ = 0;
   SpaceId space_;
+  Cpu* cpu_ = nullptr;
   std::vector<std::function<void()>> deferred_;
 };
 
@@ -89,13 +116,33 @@ class Cpu {
   }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
   [[nodiscard]] int host_ord() const { return host_ord_; }
-  // Record an event stamped with the current task instant (or the loop
-  // clock outside any task). One branch when tracing is off.
+  // The instant a trace event recorded right now should carry: the current
+  // task instant, or the loop clock outside any task.
+  [[nodiscard]] Time trace_now() const {
+    return current_ != nullptr ? current_->now() : loop_.now();
+  }
+  // Record an event stamped with trace_now(). One branch when tracing is
+  // off. `trace_id` carries packet provenance (0 = none).
   void trace(TraceEventType type, std::int64_t id = 0, std::int64_t a = 0,
-             std::int64_t b = 0, const char* detail = nullptr) {
+             std::int64_t b = 0, const char* detail = nullptr,
+             std::uint64_t trace_id = 0) {
     if (tracer_ == nullptr || !tracer_->enabled()) return;
-    const Time ts = current_ != nullptr ? current_->now() : loop_.now();
-    tracer_->record(TraceEvent{ts, type, host_ord_, id, a, b, detail});
+    tracer_->record(
+        TraceEvent{trace_now(), type, host_ord_, id, a, b, detail, trace_id});
+  }
+
+  // Profiler state: the component charges are attributed to right now.
+  // Scoped via ProfileScope; reset to kOther at each task dispatch.
+  [[nodiscard]] CpuComponent component() const { return component_; }
+  void set_component(CpuComponent c) { component_ = c; }
+  void attribute(Time ns) {
+    profile_[static_cast<int>(component_)] += ns;
+  }
+  [[nodiscard]] Time profile_ns(CpuComponent c) const {
+    return profile_[static_cast<int>(c)];
+  }
+  [[nodiscard]] const std::array<Time, kCpuComponentCount>& profile() const {
+    return profile_;
   }
 
   [[nodiscard]] Time busy_ns() const { return busy_ns_; }
@@ -131,6 +178,30 @@ class Cpu {
   Time busy_ns_ = 0;
   std::uint64_t tasks_run_ = 0;
   std::uint64_t switches_ = 0;
+  CpuComponent component_ = CpuComponent::kOther;
+  std::array<Time, kCpuComponentCount> profile_{};
+};
+
+inline void TaskCtx::charge(Time ns) {
+  accrued_ += ns;
+  if (cpu_ != nullptr) cpu_->attribute(ns);
+}
+
+// RAII component scope: all charges on `cpu` between construction and
+// destruction are attributed to `c`. Scopes nest (the inner component
+// wins, as in a call stack's leaf frame).
+class ProfileScope {
+ public:
+  ProfileScope(Cpu& cpu, CpuComponent c) : cpu_(cpu), prev_(cpu.component()) {
+    cpu_.set_component(c);
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+  ~ProfileScope() { cpu_.set_component(prev_); }
+
+ private:
+  Cpu& cpu_;
+  CpuComponent prev_;
 };
 
 }  // namespace ulnet::sim

@@ -1,0 +1,46 @@
+#include "sim/histogram.h"
+
+#include <cstdio>
+
+namespace ulnet::sim {
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  auto rank = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(total_) + 0.9999999);
+  if (rank == 0) rank = 1;
+  if (rank > total_) rank = total_;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return lower_bound(i);
+  }
+  return max_;  // unreachable: seen == total_ at the last non-empty bucket
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.total_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+std::string Histogram::dump_json() const {
+  char tmp[256];
+  std::snprintf(tmp, sizeof tmp,
+                "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.1f,"
+                "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
+                static_cast<unsigned long long>(total_),
+                static_cast<unsigned long long>(min_),
+                static_cast<unsigned long long>(max_), mean(),
+                static_cast<unsigned long long>(percentile(50)),
+                static_cast<unsigned long long>(percentile(90)),
+                static_cast<unsigned long long>(percentile(99)));
+  return tmp;
+}
+
+}  // namespace ulnet::sim

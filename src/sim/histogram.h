@@ -1,0 +1,90 @@
+// Fixed-memory log-linear histogram (HDR style) for latency provenance.
+//
+// Values are non-negative integers (typically sim::Time nanoseconds or
+// counts). Buckets are exact below 64; above that, each power-of-two range
+// is split into 64 linear sub-buckets, so the bucket width is always at
+// most value/64 -- a worst-case relative error of ~1.6%. Recording is one
+// bit-scan plus one array increment: no allocation, no sorting, and no
+// dependence on insertion order, so a histogram can stay always-on without
+// perturbing determinism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ulnet::sim {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 6;                      // 64 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  // 64 exact buckets + 58 half-open power-of-two ranges of 64 sub-buckets
+  // each covers the full uint64 domain in ~30 KB.
+  static constexpr int kBuckets = kSub + (64 - kSubBits) * kSub;
+
+  void record(std::uint64_t v) {
+    counts_[index_of(v)]++;
+    total_++;
+    sum_ += v;
+    if (total_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] std::uint64_t min() const { return min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  // Nearest-rank percentile, p in [0, 100]. Returns the lower bound of the
+  // bucket holding the rank-th sample (exact for values < 64, within the
+  // ~1.6% bucket width above). 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  // Per-bucket mapping, exposed for tests and the inverse below.
+  [[nodiscard]] static int index_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<int>(v);
+    const int msb = 63 - countl_zero(v);
+    return (msb - kSubBits + 1) * kSub +
+           static_cast<int>(v >> (msb - kSubBits)) - kSub;
+  }
+  // Smallest value mapping to `index` (the bucket's lower bound).
+  [[nodiscard]] static std::uint64_t lower_bound(int index) {
+    if (index < kSub) return static_cast<std::uint64_t>(index);
+    const int q = index >> kSubBits;       // power-of-two range, >= 1
+    const int r = index & (kSub - 1);      // sub-bucket within the range
+    return static_cast<std::uint64_t>(kSub + r) << (q - 1);
+  }
+
+  // Pointwise sum; merging is exact because buckets are position-aligned.
+  void merge(const Histogram& other);
+
+  // {"count":N,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..}
+  // All-zero object when empty.
+  [[nodiscard]] std::string dump_json() const;
+
+ private:
+  static int countl_zero(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_clzll(v);
+#else
+    int n = 0;
+    for (std::uint64_t bit = 1ULL << 63; bit != 0 && !(v & bit); bit >>= 1)
+      ++n;
+    return n;
+#endif
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ulnet::sim

@@ -39,13 +39,16 @@ double Stats::stddev() const {
 
 double Stats::percentile(double p) const {
   require_nonempty(samples_);
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  if (p <= 0) return sorted.front();
-  if (p >= 100) return sorted.back();
+  if (sorted_dirty_ || sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_dirty_ = false;
+  }
+  if (p <= 0) return sorted_.front();
+  if (p >= 100) return sorted_.back();
   const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
 }
 
 }  // namespace ulnet::sim

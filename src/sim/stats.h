@@ -8,7 +8,10 @@ namespace ulnet::sim {
 
 class Stats {
  public:
-  void add(double v) { samples_.push_back(v); }
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_dirty_ = true;
+  }
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
@@ -16,12 +19,15 @@ class Stats {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double stddev() const;
-  // p in [0, 100]; nearest-rank on a sorted copy.
+  // p in [0, 100]; nearest-rank. The sorted view is cached and only
+  // rebuilt after add(), so repeated queries sort once, not per call.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
  private:
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_dirty_ = false;
 };
 
 }  // namespace ulnet::sim

@@ -19,6 +19,10 @@ const char* to_string(TraceEventType t) {
     case TraceEventType::kTimerCancel: return "timer.cancel";
     case TraceEventType::kTcpState: return "tcp.state";
     case TraceEventType::kTcpRetransmit: return "tcp.retransmit";
+    case TraceEventType::kSpanBegin: return "span.begin";
+    case TraceEventType::kSpanEnd: return "span.end";
+    case TraceEventType::kFlowStart: return "flow.start";
+    case TraceEventType::kFlowEnd: return "flow.end";
   }
   return "?";
 }
@@ -88,16 +92,61 @@ std::string Tracer::to_chrome_json() const {
     if (i != 0) out += ',';
     // "ts" is microseconds in the trace_event format; emit fractional us so
     // nanosecond-resolution simulated timestamps survive.
+    const auto ts_us = static_cast<long long>(ev.ts / 1000);
+    const auto ts_frac = static_cast<long long>(
+        ev.ts % 1000 < 0 ? -(ev.ts % 1000) : ev.ts % 1000);
+    switch (ev.type) {
+      case TraceEventType::kSpanBegin:
+      case TraceEventType::kSpanEnd:
+        // Async slices named after the stage, paired by packet id: one
+        // Perfetto row per stage showing each packet's residency interval.
+        out += "{\"name\":\"";
+        append_escaped(out, ev.detail == nullptr ? "span" : ev.detail);
+        std::snprintf(buf, sizeof buf,
+                      "\",\"cat\":\"ulnet.span\",\"ph\":\"%c\","
+                      "\"id\":%llu,\"ts\":%lld.%03lld,\"pid\":%d,\"tid\":0,"
+                      "\"args\":{\"trace_id\":%llu,\"a\":%lld}}",
+                      ev.type == TraceEventType::kSpanBegin ? 'b' : 'e',
+                      static_cast<unsigned long long>(ev.trace_id), ts_us,
+                      ts_frac, ev.host,
+                      static_cast<unsigned long long>(ev.trace_id),
+                      static_cast<long long>(ev.a));
+        out += buf;
+        continue;
+      case TraceEventType::kFlowStart:
+      case TraceEventType::kFlowEnd:
+        // Flow arrows ("s" tail -> "f" head), paired by packet id; the
+        // head binds to the enclosing slice at the same timestamp.
+        out += "{\"name\":\"";
+        append_escaped(out, ev.detail == nullptr ? "flow" : ev.detail);
+        std::snprintf(buf, sizeof buf,
+                      "\",\"cat\":\"ulnet.flow\",\"ph\":\"%c\","
+                      "\"id\":%llu,\"ts\":%lld.%03lld,\"pid\":%d,\"tid\":0%s"
+                      ",\"args\":{\"trace_id\":%llu}}",
+                      ev.type == TraceEventType::kFlowStart ? 's' : 'f',
+                      static_cast<unsigned long long>(ev.trace_id), ts_us,
+                      ts_frac, ev.host,
+                      ev.type == TraceEventType::kFlowEnd ? ",\"bp\":\"e\""
+                                                          : "",
+                      static_cast<unsigned long long>(ev.trace_id));
+        out += buf;
+        continue;
+      default:
+        break;
+    }
     std::snprintf(buf, sizeof buf,
                   "{\"name\":\"%s\",\"cat\":\"ulnet\",\"ph\":\"i\","
                   "\"s\":\"t\",\"ts\":%lld.%03lld,\"pid\":%d,\"tid\":0,"
                   "\"args\":{\"id\":%lld,\"a\":%lld,\"b\":%lld",
-                  to_string(ev.type), static_cast<long long>(ev.ts / 1000),
-                  static_cast<long long>(ev.ts % 1000 < 0 ? -(ev.ts % 1000)
-                                                          : ev.ts % 1000),
-                  ev.host, static_cast<long long>(ev.id),
-                  static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+                  to_string(ev.type), ts_us, ts_frac, ev.host,
+                  static_cast<long long>(ev.id), static_cast<long long>(ev.a),
+                  static_cast<long long>(ev.b));
     out += buf;
+    if (ev.trace_id != 0) {
+      std::snprintf(buf, sizeof buf, ",\"trace_id\":%llu",
+                    static_cast<unsigned long long>(ev.trace_id));
+      out += buf;
+    }
     if (ev.detail != nullptr) {
       out += ",\"detail\":\"";
       append_escaped(out, ev.detail);

@@ -38,6 +38,14 @@ enum class TraceEventType : std::uint8_t {
   kTimerCancel,     // pending timer cancelled          (id=timer)
   kTcpState,        // TCP state transition             (detail=new state)
   kTcpRetransmit,   // TCP segment retransmitted        (a=seq, b=fast?1:0)
+  // Latency-provenance kinds. Spans are stage-residency intervals (Chrome
+  // async "b"/"e", paired by trace_id + detail name); flows are causal
+  // arrows between stages or packets (Chrome "s"/"f", paired the same
+  // way). The packet's trace_id lives in TraceEvent::trace_id.
+  kSpanBegin,       // stage residency begins           (detail=stage name)
+  kSpanEnd,         // stage residency ends             (detail=stage name)
+  kFlowStart,       // causal arrow tail                (detail=flow name)
+  kFlowEnd,         // causal arrow head                (detail=flow name)
 };
 
 [[nodiscard]] const char* to_string(TraceEventType t);
@@ -50,6 +58,7 @@ struct TraceEvent {
   std::int64_t a = 0;           // first type-specific argument
   std::int64_t b = 0;           // second type-specific argument
   const char* detail = nullptr; // static string (e.g. a TCP state name)
+  std::uint64_t trace_id = 0;   // packet provenance id (0 = none)
 };
 
 class Tracer {
@@ -64,6 +73,33 @@ class Tracer {
   // Record one event. No-op while disabled. When the ring is full the
   // oldest event is overwritten (and counted in overwritten()).
   void record(const TraceEvent& ev);
+
+  // Monotone per-world packet-identity allocator, starting at 1. Always
+  // allocates (whether or not tracing is enabled) so that packet ids --
+  // and therefore everything keyed on them -- are identical between a
+  // traced and an untraced run of the same seed.
+  [[nodiscard]] std::uint64_t new_trace_id() { return ++last_trace_id_; }
+  [[nodiscard]] std::uint64_t last_trace_id() const { return last_trace_id_; }
+
+  // Span/flow conveniences: `name` must be a static string; spans pair a
+  // kSpanBegin with the kSpanEnd carrying the same (trace_id, name), flows
+  // pair kFlowStart with kFlowEnd likewise.
+  void span_begin(Time ts, std::int32_t host, const char* name,
+                  std::uint64_t trace_id, std::int64_t a = 0) {
+    record({ts, TraceEventType::kSpanBegin, host, 0, a, 0, name, trace_id});
+  }
+  void span_end(Time ts, std::int32_t host, const char* name,
+                std::uint64_t trace_id, std::int64_t a = 0) {
+    record({ts, TraceEventType::kSpanEnd, host, 0, a, 0, name, trace_id});
+  }
+  void flow_start(Time ts, std::int32_t host, const char* name,
+                  std::uint64_t trace_id) {
+    record({ts, TraceEventType::kFlowStart, host, 0, 0, 0, name, trace_id});
+  }
+  void flow_end(Time ts, std::int32_t host, const char* name,
+                std::uint64_t trace_id) {
+    record({ts, TraceEventType::kFlowEnd, host, 0, 0, 0, name, trace_id});
+  }
 
   // Events currently retained, oldest first.
   [[nodiscard]] std::size_t size() const { return size_; }
@@ -89,6 +125,7 @@ class Tracer {
   std::size_t size_ = 0;
   std::uint64_t recorded_ = 0;
   std::uint64_t overwritten_ = 0;
+  std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace ulnet::sim

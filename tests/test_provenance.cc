@@ -1,0 +1,348 @@
+// Latency-provenance tests: the log-linear histogram, the cached-sort
+// Stats regression, trace-id determinism, span/flow closure under chaos,
+// the traced-vs-untraced identity extended to spans/flows/profiler, and
+// the simulated-CPU profiler's accounting invariant.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "core/netio_module.h"
+#include "core/user_level.h"
+#include "os/world.h"
+#include "sim/histogram.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "support/json_lite.h"
+
+namespace ulnet {
+namespace {
+
+using api::BulkTransfer;
+using api::LinkType;
+using api::OrgType;
+using api::SocketEvents;
+using api::SocketId;
+using api::Testbed;
+using api::kInvalidSocket;
+using core::UserLevelApp;
+using testing::json_parse;
+using testing::JsonValue;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, ValuesBelowSixtyFourAreExact) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(sim::Histogram::index_of(v), static_cast<int>(v));
+    EXPECT_EQ(sim::Histogram::lower_bound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(Histogram, BucketBoundariesRoundTripAndBound2PercentError) {
+  // Sweep values across the whole 64-bit range: the bucket holding v must
+  // contain v, and its width must be at most v/64 (~1.6% relative error).
+  for (int shift = 6; shift < 63; ++shift) {
+    for (std::uint64_t off : {0ULL, 1ULL, 63ULL}) {
+      const std::uint64_t v = (1ULL << shift) + off * (1ULL << (shift - 6));
+      const int idx = sim::Histogram::index_of(v);
+      const std::uint64_t lo = sim::Histogram::lower_bound(idx);
+      const std::uint64_t next = sim::Histogram::lower_bound(idx + 1);
+      EXPECT_LE(lo, v) << "v=" << v;
+      EXPECT_LT(v, next) << "v=" << v;
+      EXPECT_LE(next - lo, v / 64 + 1) << "bucket too wide at v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, PercentilesWithinBucketError) {
+  sim::Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_NEAR(h.mean(), 5000.5, 0.01);
+  // Nearest-rank with a <=1.6% bucket error.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 5000.0, 5000.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(h.percentile(90)), 9000.0, 9000.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 9900.0, 9900.0 * 0.02);
+  EXPECT_EQ(h.percentile(0), 1u);
+  EXPECT_LE(h.percentile(100), 10000u);
+  // Monotone in p.
+  EXPECT_LE(h.percentile(50), h.percentile(90));
+  EXPECT_LE(h.percentile(90), h.percentile(99));
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  sim::Histogram a, b, both;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;  // LCG
+    const std::uint64_t v = x >> 40;
+    ((i % 2 == 0) ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.percentile(p), both.percentile(p)) << "p=" << p;
+  }
+  EXPECT_EQ(a.dump_json(), both.dump_json());
+}
+
+TEST(Histogram, DumpJsonWellFormed) {
+  sim::Histogram h;
+  const auto empty = json_parse(h.dump_json());
+  ASSERT_TRUE(empty.has_value()) << h.dump_json();
+  EXPECT_DOUBLE_EQ(empty->find("count")->number, 0.0);
+
+  h.record(100);
+  h.record(200);
+  const auto doc = json_parse(h.dump_json());
+  ASSERT_TRUE(doc.has_value()) << h.dump_json();
+  for (const char* key :
+       {"count", "min", "max", "mean", "p50", "p90", "p99"}) {
+    ASSERT_NE(doc->find(key), nullptr) << key;
+  }
+  EXPECT_DOUBLE_EQ(doc->find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(doc->find("min")->number, 100.0);
+  EXPECT_DOUBLE_EQ(doc->find("max")->number, 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stats cached-sort regression
+// ---------------------------------------------------------------------------
+
+TEST(Stats, PercentileStableUnderInterleavedAddsAndQueries) {
+  sim::Stats interleaved;
+  sim::Stats reference;
+  // Descending inserts interleaved with queries: every query must see the
+  // samples added so far, and repeated queries must not change the answer.
+  for (int i = 100; i > 0; --i) {
+    interleaved.add(i);
+    reference.add(i);
+    const double m1 = interleaved.median();
+    const double m2 = interleaved.median();
+    EXPECT_DOUBLE_EQ(m1, m2);
+  }
+  for (double p : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(interleaved.percentile(p), reference.percentile(p));
+  }
+  EXPECT_DOUBLE_EQ(interleaved.median(), reference.median());
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id determinism and traced/untraced identity
+// ---------------------------------------------------------------------------
+
+struct ProvenanceRun {
+  std::string trace_json;
+  std::uint64_t last_trace_id = 0;
+  std::string netio_a_dump, netio_b_dump;
+  std::string profile_json;
+  std::string profile_folded;
+};
+
+ProvenanceRun traced_bulk(bool tracing, std::uint64_t seed = 11) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, seed);
+  bed.world().tracer().set_enabled(tracing);
+  BulkTransfer bulk(bed, 96 * 1024, 2048);
+  const auto r = bulk.run();
+  EXPECT_TRUE(r.ok) << r.error;
+  ProvenanceRun out;
+  out.trace_json = bed.world().tracer().to_chrome_json();
+  out.last_trace_id = bed.world().tracer().last_trace_id();
+  out.netio_a_dump = bed.user_org_a()->netio(0).dump_json();
+  out.netio_b_dump = bed.user_org_b()->netio(0).dump_json();
+  out.profile_json = bed.world().profile_dump_json();
+  out.profile_folded = bed.world().profile_folded();
+  return out;
+}
+
+TEST(Provenance, SameSeedRunsProduceIdenticalTraces) {
+  const ProvenanceRun r1 = traced_bulk(true);
+  const ProvenanceRun r2 = traced_bulk(true);
+  EXPECT_GT(r1.last_trace_id, 0u);
+  EXPECT_EQ(r1.last_trace_id, r2.last_trace_id);
+  EXPECT_EQ(r1.trace_json, r2.trace_json)
+      << "same seed, same build: the trace byte stream must replay exactly";
+}
+
+TEST(Provenance, TracingOnVsOffIdentity) {
+  const ProvenanceRun off = traced_bulk(false);
+  const ProvenanceRun on = traced_bulk(true);
+  // Trace ids are allocated whether or not the tracer records, so the id
+  // stream -- and everything keyed on it -- is identical.
+  EXPECT_EQ(off.last_trace_id, on.last_trace_id);
+  // Histograms are always-on (no simulated cost), so the stats surfaces
+  // are bit-identical too.
+  EXPECT_EQ(off.netio_a_dump, on.netio_a_dump);
+  EXPECT_EQ(off.netio_b_dump, on.netio_b_dump);
+  // And so is the simulated-CPU profile.
+  EXPECT_EQ(off.profile_json, on.profile_json);
+  EXPECT_EQ(off.profile_folded, on.profile_folded);
+}
+
+// ---------------------------------------------------------------------------
+// Span/flow pairing, including after a chaos kill
+// ---------------------------------------------------------------------------
+
+// Count span begin/end and flow start/end per detail name across the whole
+// retained ring.
+struct PairCensus {
+  std::map<std::string, std::int64_t> span_balance;  // begins - ends
+  std::map<std::string, std::int64_t> flow_balance;  // starts - heads
+  std::uint64_t spans_seen = 0, flows_seen = 0;
+};
+
+PairCensus census_of(const sim::Tracer& tr) {
+  PairCensus c;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const sim::TraceEvent& ev = tr.at(i);
+    const std::string name = ev.detail == nullptr ? "?" : ev.detail;
+    switch (ev.type) {
+      case sim::TraceEventType::kSpanBegin:
+        c.span_balance[name]++;
+        c.spans_seen++;
+        break;
+      case sim::TraceEventType::kSpanEnd:
+        c.span_balance[name]--;
+        break;
+      case sim::TraceEventType::kFlowStart:
+        c.flow_balance[name]++;
+        c.flows_seen++;
+        break;
+      case sim::TraceEventType::kFlowEnd:
+        c.flow_balance[name]--;
+        break;
+      default:
+        break;
+    }
+  }
+  return c;
+}
+
+TEST(Provenance, SpansAndFlowsBalanceOnCleanRun) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/3);
+  bed.world().tracer().set_enabled(true);
+  BulkTransfer bulk(bed, 96 * 1024, 2048);
+  ASSERT_TRUE(bulk.run().ok);
+  ASSERT_EQ(bed.world().tracer().overwritten(), 0u)
+      << "ring too small for the pairing check";
+  const PairCensus c = census_of(bed.world().tracer());
+  EXPECT_GT(c.spans_seen, 0u);
+  EXPECT_GT(c.flows_seen, 0u);
+  for (const auto& [name, bal] : c.span_balance) {
+    EXPECT_EQ(bal, 0) << "unbalanced span " << name;
+  }
+  for (const auto& [name, bal] : c.flow_balance) {
+    EXPECT_EQ(bal, 0) << "unbalanced flow " << name;
+  }
+}
+
+TEST(Provenance, RxRingSpansCloseAfterChaosKill) {
+  // Fill a victim's receive ring (library stalled so nothing drains), then
+  // kill it: reclamation must close every open "rxring" span when the
+  // channel is destroyed, leaving the trace structurally sound.
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/16);
+  bed.world().tracer().set_enabled(true);
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+
+  auto sock = std::make_shared<SocketId>(kInvalidSocket);
+  b->run_app([b](sim::TaskCtx&) {
+    b->listen(6000, [](SocketId) { return SocketEvents{}; });
+  });
+  bed.world().loop().schedule_in(20 * sim::kMs, [&bed, a, sock] {
+    a->run_app([&bed, a, sock](sim::TaskCtx&) {
+      a->connect(bed.ip_b(), 6000, SocketEvents{},
+                 [sock](SocketId id) { *sock = id; });
+    });
+  });
+  bed.world().run_for(1 * sim::kSec);
+  ASSERT_NE(*sock, kInvalidSocket);
+
+  // Freeze b's library and pump segments at it so its ring holds packets
+  // with open residency spans.
+  b->stall();
+  a->run_app([a, sock](sim::TaskCtx&) {
+    a->send(*sock, api::payload_bytes(0, 16 * 1024));
+  });
+  bed.world().run_for(1 * sim::kSec);
+
+  // Kill the stalled library; the trusted path reclaims its channel.
+  b->run_app([b](sim::TaskCtx& ctx) { b->kill(ctx); });
+  bed.world().run_for(5 * sim::kSec);
+  ASSERT_TRUE(b->dead());
+  ASSERT_TRUE(bed.user_org_b()
+                  ->netio(0)
+                  .channels_of_space(b->app_space())
+                  .empty());
+
+  ASSERT_EQ(bed.world().tracer().overwritten(), 0u);
+  const PairCensus c = census_of(bed.world().tracer());
+  ASSERT_GT(c.span_balance.count("rxring"), 0u)
+      << "scenario never opened an rxring span";
+  EXPECT_EQ(c.span_balance.at("rxring"), 0)
+      << "rxring spans left dangling after the kill";
+  for (const auto& [name, bal] : c.span_balance) {
+    EXPECT_EQ(bal, 0) << "unbalanced span " << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated-CPU profiler
+// ---------------------------------------------------------------------------
+
+TEST(Provenance, ProfilerComponentsSumToBusyNs) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/7);
+  BulkTransfer bulk(bed, 96 * 1024, 2048);
+  ASSERT_TRUE(bulk.run().ok);
+  for (const auto& host : bed.world().hosts()) {
+    const sim::Cpu& cpu = host->cpu();
+    sim::Time sum = 0;
+    for (const sim::Time t : cpu.profile()) sum += t;
+    EXPECT_EQ(sum, cpu.busy_ns())
+        << host->name() << ": profiler lost or invented charged time";
+  }
+  // The user-level data path must show up in its own components.
+  const sim::Cpu& cpu_a = bed.world().hosts()[0]->cpu();
+  EXPECT_GT(cpu_a.profile_ns(sim::CpuComponent::kDemux), 0);
+  EXPECT_GT(cpu_a.profile_ns(sim::CpuComponent::kLibraryDrain), 0);
+  EXPECT_GT(cpu_a.profile_ns(sim::CpuComponent::kNicIsr), 0);
+  EXPECT_GT(cpu_a.profile_ns(sim::CpuComponent::kRegistry), 0);
+
+  // Export forms: valid JSON, and folded lines of "host;component <ns>"
+  // whose values sum to the total busy time across hosts.
+  const auto doc = json_parse(bed.world().profile_dump_json());
+  ASSERT_TRUE(doc.has_value()) << bed.world().profile_dump_json();
+  const std::string folded = bed.world().profile_folded();
+  ASSERT_FALSE(folded.empty());
+  sim::Time folded_sum = 0;
+  sim::Time busy_sum = 0;
+  for (const auto& host : bed.world().hosts()) busy_sum += host->cpu().busy_ns();
+  std::size_t pos = 0;
+  while (pos < folded.size()) {
+    const std::size_t eol = folded.find('\n', pos);
+    const std::string line = folded.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? folded.size() : eol + 1;
+    if (line.empty()) continue;
+    const std::size_t semi = line.find(';');
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(semi, std::string::npos) << line;
+    ASSERT_NE(space, std::string::npos) << line;
+    folded_sum += std::stoll(line.substr(space + 1));
+  }
+  EXPECT_EQ(folded_sum, busy_sum);
+}
+
+}  // namespace
+}  // namespace ulnet
