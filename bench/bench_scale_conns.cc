@@ -1,43 +1,65 @@
 // Connection-scale bench: N concurrent TCP bulk transfers through one
 // user-level stack, swept across demultiplexing modes.
 //
-// The paper's packet filter is consulted once per channel per packet, so
-// interpreted demultiplexing (BPF / CSPF) costs O(channels) per packet and
-// the per-packet budget grows with connection count. The synthesized demux
-// path now fronts its bindings with an O(1) hash table keyed on the header
-// template's flow tuple, so its per-packet cost is flat in N. This bench
-// makes that visible: aggregate throughput in synthesized mode stays flat
-// from N=8 to N=256 (the acceptance bar is within 15%), while interpreted
-// modes degrade as the per-packet walk outgrows the wire time.
+// The paper's packet filter is consulted once per channel per packet, so a
+// naive interpreted demultiplexer (BPF / CSPF) costs O(channels) per packet
+// and the per-packet budget grows with connection count. Two mechanisms
+// keep the per-packet cost flat in N:
+//   - synthesized mode fronts its bindings with an O(1) hash table keyed
+//     on the header template's flow tuple (PR 4);
+//   - interpreted modes compile every installed program into one shared
+//     prefix trie (DPF/MPF-style aggregation), classifying each packet in
+//     a single pass whose cost scales with header depth, not binding count.
+// This bench makes both visible: aggregate throughput at N=256 must stay
+// within 15% of N=8 for synthesized AND for aggregated BPF/CSPF, while the
+// legacy linear-walk rows (engines `bpflin` / `cspflin`) keep exhibiting
+// the collapse the trie kills (bpflin n256/n8 ~ 0.17).
 //
 // Per-connection throughput on a shared 10 Mb/s link necessarily falls as
 // 1/N; the scale criterion is therefore expressed on the aggregate
 // (per-connection throughput x N), which is what "no per-connection
 // penalty" means on a fixed-capacity link.
 //
+// Every aggregated run executes with the differential shadow on: each
+// frame is also classified by the uncharged paper-accurate linear walk and
+// any disagreement counts in `demux_diff_mismatches`. That counter is
+// exported per aggregated run and exact-gated at 0, so the baseline itself
+// proves the trie verdicts bit-identical to the walk.
+//
 // Methodology: all N connections are established first (staggered active
 // opens), then every connection starts its bulk transfer at once. The
 // window measured is first data byte received -> last data byte received,
 // so connection setup is excluded and the transfers genuinely overlap.
 //
-// Two ablation rows ride along:
+// Riding along:
 //   - header prediction off (fastpath/off/n8): simulated results must be
 //     IDENTICAL to the default run -- the VJ fast path is cost-neutral by
 //     construction, and the "fastpath/neutrality" ratio row pins that at
 //     exactly 1.
 //   - ACK coalescing on (coalesce/on/n8): fewer pure ACKs on the wire
 //     (the "coalesce/effect" row pins the reduction ratio).
+//   - NAPI-style interrupt mitigation (full mode): napi/on/n256 re-runs
+//     the aggregated BPF N=256 sweep with the NIC in budgeted poll mode;
+//     napi/off/n256 is the same run with per-frame interrupts. The
+//     interrupt count collapses while throughput holds; poll-round batch
+//     sizes and backlog waits export as `hist.napi.*` groups.
+//   - cfg/<engine> rows: one self-describing row group per engine with
+//     the TCP knobs every run of that engine used (RTO floors, receive
+//     buffer) plus whether aggregation was on -- so the baseline JSON
+//     carries its own experimental conditions.
 //
 // All throughput/counter rows carry kind "simulated" and are exact-gated
 // by scripts/perf_gate.py against bench/BENCH_scale_conns.json. Two
-// wall-clock rows (host time for the N=256 synthesized and BPF runs) show
-// the hash table also wins host time; those use the tolerance band.
+// wall-clock rows (host time for the N=256 synthesized and aggregated BPF
+// runs) show the one-pass structures also win host time; those use the
+// tolerance band.
 //
 // Usage: bench_scale_conns [--quick] [--json <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,7 +68,9 @@
 #include "api/workloads.h"
 #include "bench/bench_util.h"
 #include "core/user_level.h"
+#include "hw/nic.h"
 #include "proto/tcp.h"
+#include "sim/histogram.h"
 #include "sim/time.h"
 
 namespace {
@@ -228,16 +252,41 @@ struct RunResult {
   std::uint64_t fast_path_data = 0;
   std::uint64_t hash_hits = 0;
   std::uint64_t fallback_walks = 0;
+  std::uint64_t trie_hits = 0;
+  std::uint64_t trie_rebuilds = 0;
+  std::uint64_t diff_mismatches = 0;
+  std::uint64_t interrupts = 0;
+  std::uint64_t poll_transitions = 0;
+  std::uint64_t poll_rounds = 0;
+  std::uint64_t poll_frames = 0;
+  std::uint64_t poll_budget_exhausted = 0;
+  std::uint64_t poll_rearms = 0;
+  sim::Histogram poll_batch;    // frames drained per poll round (both NICs)
+  sim::Histogram backlog_wait;  // ns a frame waited in the device backlog
+  sim::Histogram ring_res;      // netio shared-ring residency (both hosts)
   double host_ms = 0;
 };
 
+// `aggregation` turns the one-pass trie on (interpreted modes only; the
+// differential shadow rides along so every aggregated run self-checks
+// against the linear walk). `poll` puts both NICs in NAPI-style budgeted
+// poll mode with the default budget/watermark.
 RunResult run_scale(LinkType link, DemuxMode mode, int conns,
-                    std::size_t per_conn_bytes,
-                    ulnet::proto::TcpConfig tcfg) {
+                    std::size_t per_conn_bytes, ulnet::proto::TcpConfig tcfg,
+                    bool aggregation = false, bool poll = false) {
   const auto t0 = Clock::now();
   Testbed bed(OrgType::kUserLevel, link);
-  bed.user_org_a()->netio(0).set_demux_mode(mode);
-  bed.user_org_b()->netio(0).set_demux_mode(mode);
+  for (auto* org : {bed.user_org_a(), bed.user_org_b()}) {
+    auto& nio = org->netio(0);
+    nio.set_demux_mode(mode);
+    nio.set_filter_aggregation(aggregation);
+    nio.set_demux_differential(aggregation);
+    if (poll) {
+      ulnet::hw::Nic::PollConfig pc;
+      pc.enabled = true;
+      nio.nic().set_poll_config(pc);
+    }
+  }
   bed.app_a().set_tcp_config(tcfg);
   bed.app_b().set_tcp_config(tcfg);
 
@@ -254,44 +303,61 @@ RunResult run_scale(LinkType link, DemuxMode mode, int conns,
   r.pure_acks = tcp_a.pure_acks_sent + tcp_b.pure_acks_sent;
   r.fast_path_acks = tcp_a.fast_path_acks + tcp_b.fast_path_acks;
   r.fast_path_data = tcp_a.fast_path_data + tcp_b.fast_path_data;
-  const auto& nio_a = bed.user_org_a()->netio(0).counters();
-  const auto& nio_b = bed.user_org_b()->netio(0).counters();
+  auto& netio_a = bed.user_org_a()->netio(0);
+  auto& netio_b = bed.user_org_b()->netio(0);
+  const auto& nio_a = netio_a.counters();
+  const auto& nio_b = netio_b.counters();
   r.hash_hits = nio_a.demux_hash_hits + nio_b.demux_hash_hits;
   r.fallback_walks = nio_a.demux_fallback_walks + nio_b.demux_fallback_walks;
+  r.trie_hits = nio_a.demux_trie_hits + nio_b.demux_trie_hits;
+  r.trie_rebuilds = nio_a.demux_trie_rebuilds + nio_b.demux_trie_rebuilds;
+  r.diff_mismatches =
+      nio_a.demux_diff_mismatches + nio_b.demux_diff_mismatches;
+  const sim::Metrics& m = bed.world().metrics();
+  r.interrupts = m.interrupts;
+  r.poll_transitions = m.nic_poll_transitions;
+  r.poll_rounds = m.nic_poll_rounds;
+  r.poll_frames = m.nic_poll_frames;
+  r.poll_budget_exhausted = m.nic_poll_budget_exhausted;
+  r.poll_rearms = m.nic_poll_rearms;
+  r.poll_batch = netio_a.nic().poll_batch_hist();
+  r.poll_batch.merge(netio_b.nic().poll_batch_hist());
+  r.backlog_wait = netio_a.nic().backlog_wait_hist();
+  r.backlog_wait.merge(netio_b.nic().backlog_wait_hist());
+  r.ring_res = netio_a.ring_residency_hist();
+  r.ring_res.merge(netio_b.ring_residency_hist());
   r.host_ms = ms_since(t0);
   return r;
 }
 
-// Base TCP config for every run in this bench, identical at every N so the
-// sweep varies exactly one thing: connection count.
+// Base TCP config for every run in this bench, identical at every N and in
+// every engine so the sweep varies exactly one thing at a time. The
+// cfg/<engine> rows in the JSON restate these knobs per engine, so the
+// committed baseline is self-describing.
 //
 // recv_buf: 8 KiB per connection (a 1993-realistic socket buffer). The
 // stack default (32 KiB) would queue 256 full windows ~7 s deep on a
 // 10 Mb/s link at N=256; 8 KiB keeps the deliberate bufferbloat bounded
 // while staying >> 2*MSS, so delayed ACKs never stall a window.
 //
-// rto floors: the queue at N=256 still holds ~1.4 s of data, far above
-// the handshake RTTs that train srtt, and above the stack's 500 ms
-// rto_min -- the default floors would fire spuriously on the first data
-// flight of every connection at once and the dup-ACK echo of those
-// retransmissions snowballs. No packets are lost in these runs, so any
-// retransmission is spurious by construction; the floors are sized above
-// the worst-case queueing delay of the sweep.
+// rto floors: sized above the worst-case per-packet delay of the sweep,
+// which has two components: the shared-link queueing delay (~1.4 s of
+// data at N=256 even with 8 KiB buffers) and, in the legacy linear-walk
+// engines (bpflin/cspflin), the O(N) demux walk itself, which inflates
+// effective RTT far beyond the handshake RTTs that trained srtt. No
+// packets are lost in these runs, so any retransmission is spurious by
+// construction; without the floors the first data flight of every
+// connection would time out at once and the dup-ACK echo of those
+// retransmissions snowballs. The aggregated engines (bpf/cspf) no longer
+// need the demux headroom -- their walk is one pass -- but every engine
+// keeps the same floors so throughput differences are attributable to
+// demux cost alone, not to tuning.
 ulnet::proto::TcpConfig base_cfg() {
   ulnet::proto::TcpConfig cfg;
   cfg.recv_buf = 8 * 1024;
   cfg.rto_min = 4 * sim::kSec;
   cfg.rto_initial = 6 * sim::kSec;
   return cfg;
-}
-
-const char* mode_name(DemuxMode m) {
-  switch (m) {
-    case DemuxMode::kSynthesized: return "synth";
-    case DemuxMode::kBpf: return "bpf";
-    case DemuxMode::kCspf: return "cspf";
-  }
-  return "?";
 }
 
 const char* link_name(LinkType l) {
@@ -310,53 +376,71 @@ int main(int argc, char** argv) {
   const std::size_t kPerConn = 128 * 1024;  // same in quick and full mode
   bool all_ok = true;
 
+  // An engine is a demux configuration: mode plus whether the one-pass
+  // trie aggregation is on. `bpf`/`cspf` are the aggregated interpreted
+  // engines (the production configuration); `bpflin`/`cspflin` keep the
+  // paper-accurate per-binding linear walk as the collapse exhibit.
   struct MatrixRun {
+    const char* engine;
     LinkType link;
     DemuxMode mode;
+    bool agg;
     int conns;
     bool in_quick;
   };
-  // Interpreted-mode sweeps stop where the per-packet walk makes the
+  // The linear-walk sweeps stop where the per-packet walk makes the
   // simulated run pathological: CSPF at 64 bindings already spends ~4x the
-  // wire time per packet in demux, so N=256 is skipped for CSPF.
+  // wire time per packet in demux, so N=256 is skipped for cspflin. The
+  // aggregated engines sweep the full range -- that is the point.
   const std::vector<MatrixRun> matrix = {
-      {LinkType::kEthernet, DemuxMode::kSynthesized, 1, true},
-      {LinkType::kEthernet, DemuxMode::kSynthesized, 8, true},
-      {LinkType::kEthernet, DemuxMode::kSynthesized, 64, false},
-      {LinkType::kEthernet, DemuxMode::kSynthesized, 256, false},
-      {LinkType::kAn1, DemuxMode::kSynthesized, 1, false},
-      {LinkType::kAn1, DemuxMode::kSynthesized, 8, true},
-      {LinkType::kAn1, DemuxMode::kSynthesized, 64, false},
-      {LinkType::kAn1, DemuxMode::kSynthesized, 256, false},
-      {LinkType::kEthernet, DemuxMode::kBpf, 1, false},
-      {LinkType::kEthernet, DemuxMode::kBpf, 8, true},
-      {LinkType::kEthernet, DemuxMode::kBpf, 64, false},
-      {LinkType::kEthernet, DemuxMode::kBpf, 256, false},
-      {LinkType::kEthernet, DemuxMode::kCspf, 1, false},
-      {LinkType::kEthernet, DemuxMode::kCspf, 8, false},
-      {LinkType::kEthernet, DemuxMode::kCspf, 64, false},
+      {"synth", LinkType::kEthernet, DemuxMode::kSynthesized, false, 1, true},
+      {"synth", LinkType::kEthernet, DemuxMode::kSynthesized, false, 8, true},
+      {"synth", LinkType::kEthernet, DemuxMode::kSynthesized, false, 64, false},
+      {"synth", LinkType::kEthernet, DemuxMode::kSynthesized, false, 256,
+       false},
+      {"synth", LinkType::kAn1, DemuxMode::kSynthesized, false, 1, false},
+      {"synth", LinkType::kAn1, DemuxMode::kSynthesized, false, 8, true},
+      {"synth", LinkType::kAn1, DemuxMode::kSynthesized, false, 64, false},
+      {"synth", LinkType::kAn1, DemuxMode::kSynthesized, false, 256, false},
+      {"bpf", LinkType::kEthernet, DemuxMode::kBpf, true, 1, false},
+      {"bpf", LinkType::kEthernet, DemuxMode::kBpf, true, 8, true},
+      {"bpf", LinkType::kEthernet, DemuxMode::kBpf, true, 64, false},
+      {"bpf", LinkType::kEthernet, DemuxMode::kBpf, true, 256, false},
+      {"cspf", LinkType::kEthernet, DemuxMode::kCspf, true, 1, false},
+      {"cspf", LinkType::kEthernet, DemuxMode::kCspf, true, 8, false},
+      {"cspf", LinkType::kEthernet, DemuxMode::kCspf, true, 64, false},
+      {"cspf", LinkType::kEthernet, DemuxMode::kCspf, true, 256, false},
+      {"bpflin", LinkType::kEthernet, DemuxMode::kBpf, false, 8, true},
+      {"bpflin", LinkType::kEthernet, DemuxMode::kBpf, false, 64, false},
+      {"bpflin", LinkType::kEthernet, DemuxMode::kBpf, false, 256, false},
+      {"cspflin", LinkType::kEthernet, DemuxMode::kCspf, false, 8, false},
+      {"cspflin", LinkType::kEthernet, DemuxMode::kCspf, false, 64, false},
   };
 
   bench::heading("Connection scaling: N concurrent transfers, 128 KiB each");
-  bench::row_header({"config", "aggregate", "per-conn", "rtx / fallback"});
+  bench::row_header({"config", "aggregate", "per-conn", "rtx / walk / trie"});
 
-  // Keyed "mode/link/nN" -> result, for the derived ratio rows.
+  // Keyed "engine/link/nN" -> result, for the derived ratio rows.
   std::unordered_map<std::string, RunResult> results;
+  std::set<std::string> engines_seen;
 
   for (const MatrixRun& m : matrix) {
     if (quick && !m.in_quick) continue;
     const ulnet::proto::TcpConfig tcfg = base_cfg();  // defaults: prediction on
-    RunResult r = run_scale(m.link, m.mode, m.conns, kPerConn, tcfg);
+    RunResult r =
+        run_scale(m.link, m.mode, m.conns, kPerConn, tcfg, m.agg);
     all_ok = all_ok && r.ok && r.data_valid;
+    engines_seen.insert(m.engine);
     char label[64];
-    std::snprintf(label, sizeof label, "%s/%s/n%d", mode_name(m.mode),
+    std::snprintf(label, sizeof label, "%s/%s/n%d", m.engine,
                   link_name(m.link), m.conns);
     results[label] = r;
 
     char tail[64];
-    std::snprintf(tail, sizeof tail, "%llu / %llu",
+    std::snprintf(tail, sizeof tail, "%llu / %llu / %llu",
                   static_cast<unsigned long long>(r.retransmits),
-                  static_cast<unsigned long long>(r.fallback_walks));
+                  static_cast<unsigned long long>(r.fallback_walks),
+                  static_cast<unsigned long long>(r.trie_hits));
     std::printf("%-34s%-34s%-34s%-34s\n", label,
                 bench::cellf("%.3f Mb/s", r.aggregate_mbps).c_str(),
                 bench::cellf("%.4f Mb/s", r.per_conn_mbps).c_str(), tail);
@@ -366,6 +450,7 @@ int main(int argc, char** argv) {
         {"per_conn_kib", static_cast<double>(kPerConn / 1024)},
         {"link", m.link == LinkType::kEthernet ? 0.0 : 1.0},
         {"demux", static_cast<double>(static_cast<int>(m.mode))},
+        {"aggregation", m.agg ? 1.0 : 0.0},
     };
     report.add(label, "aggregate_throughput", "Mb/s", r.aggregate_mbps,
                std::nullopt, params, "simulated");
@@ -383,12 +468,62 @@ int main(int argc, char** argv) {
     report.add(label, "pure_acks_sent", "count",
                static_cast<double>(r.pure_acks), std::nullopt, params,
                "simulated");
-    if (!quick && m.conns == 256 &&
-        (m.mode == DemuxMode::kSynthesized || m.mode == DemuxMode::kBpf) &&
-        m.link == LinkType::kEthernet) {
+    if (m.agg) {
+      // The trie resolved every delivered frame; the uncharged shadow walk
+      // agreed on all of them. Exact-gating mismatches at 0 makes the
+      // committed baseline a standing proof of verdict identity.
+      report.add(label, "demux_trie_hits", "count",
+                 static_cast<double>(r.trie_hits), std::nullopt, params,
+                 "simulated");
+      report.add(label, "demux_trie_rebuilds", "count",
+                 static_cast<double>(r.trie_rebuilds), std::nullopt, params,
+                 "simulated");
+      report.add(label, "demux_diff_mismatches", "count",
+                 static_cast<double>(r.diff_mismatches), std::nullopt, params,
+                 "simulated");
+      if (r.diff_mismatches != 0) {
+        std::printf("FAIL: %s aggregated demux disagreed with the linear "
+                    "walk %llu times\n", label,
+                    static_cast<unsigned long long>(r.diff_mismatches));
+        all_ok = false;
+      }
+    }
+    if (!quick && m.conns == 256 && m.link == LinkType::kEthernet &&
+        (std::strcmp(m.engine, "synth") == 0 ||
+         std::strcmp(m.engine, "bpf") == 0)) {
       params.emplace_back("higher_is_better", 0.0);
       report.add(label, "host_time", "ms", r.host_ms, std::nullopt, params,
                  "wallclock");
+    }
+  }
+
+  // --- Self-describing baselines: one cfg row group per engine ----------
+  // Restates the TCP knobs and demux configuration every run of the
+  // engine used, so a reader of BENCH_scale_conns.json does not need this
+  // source file to know the experimental conditions.
+  {
+    const ulnet::proto::TcpConfig cfg = base_cfg();
+    struct EngineCfg {
+      const char* engine;
+      double aggregation;
+    };
+    for (const EngineCfg& ec :
+         {EngineCfg{"synth", 0}, EngineCfg{"bpf", 1}, EngineCfg{"cspf", 1},
+          EngineCfg{"bpflin", 0}, EngineCfg{"cspflin", 0}}) {
+      if (engines_seen.find(ec.engine) == engines_seen.end()) continue;
+      const std::string label = std::string("cfg/") + ec.engine;
+      const std::vector<std::pair<std::string, double>> params = {
+          {"aggregation", ec.aggregation},
+      };
+      report.add(label, "rto_min_ms", "ms",
+                 static_cast<double>(cfg.rto_min) / sim::kMs, std::nullopt,
+                 params, "simulated");
+      report.add(label, "rto_initial_ms", "ms",
+                 static_cast<double>(cfg.rto_initial) / sim::kMs, std::nullopt,
+                 params, "simulated");
+      report.add(label, "recv_buf_kib", "KiB",
+                 static_cast<double>(cfg.recv_buf) / 1024.0, std::nullopt,
+                 params, "simulated");
     }
   }
 
@@ -473,8 +608,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(co_on.pure_acks), ack_ratio);
 
   // Scale ratios (full mode only: they need the N=64/N=256 runs). The
-  // acceptance bar: synthesized aggregate at N=256 within 15% of N=8;
-  // interpreted modes are expected to degrade well past that.
+  // acceptance bar: aggregate at N=256 within 15% of N=8 for synthesized
+  // AND for the aggregated interpreted engines; the linear-walk engines
+  // are the before picture and are expected to collapse well past that.
   if (!quick) {
     struct Ratio {
       const char* label;
@@ -489,9 +625,13 @@ int main(int argc, char** argv) {
           Ratio{"scale/synth/an1", "n256_vs_n8_aggregate", "synth/an1/n256",
                 "synth/an1/n8", true},
           Ratio{"scale/bpf/eth", "n256_vs_n8_aggregate", "bpf/eth/n256",
-                "bpf/eth/n8", false},
-          Ratio{"scale/cspf/eth", "n64_vs_n8_aggregate", "cspf/eth/n64",
-                "cspf/eth/n8", false}}) {
+                "bpf/eth/n8", true},
+          Ratio{"scale/cspf/eth", "n256_vs_n8_aggregate", "cspf/eth/n256",
+                "cspf/eth/n8", true},
+          Ratio{"scale/bpflin/eth", "n256_vs_n8_aggregate", "bpflin/eth/n256",
+                "bpflin/eth/n8", false},
+          Ratio{"scale/cspflin/eth", "n64_vs_n8_aggregate", "cspflin/eth/n64",
+                "cspflin/eth/n8", false}}) {
       const double hi = results.at(rt.hi).aggregate_mbps;
       const double lo = results.at(rt.lo).aggregate_mbps;
       const double ratio = lo > 0 ? hi / lo : 0;
@@ -503,6 +643,80 @@ int main(int argc, char** argv) {
         all_ok = false;
       }
     }
+  }
+
+  // --- NAPI exhibit (full mode): aggregated BPF N=256, poll vs interrupt -
+  // Same workload, same demux engine; the only change is the NIC draining
+  // its backlog in budgeted poll rounds instead of one interrupt per
+  // frame. Throughput must hold while the interrupt count collapses.
+  if (!quick) {
+    bench::heading("Interrupt mitigation (N=256, Ethernet, aggregated BPF)");
+    bench::row_header({"config", "aggregate", "interrupts", "poll rounds"});
+    const RunResult& napi_off = results.at("bpf/eth/n256");
+    RunResult napi_on = run_scale(LinkType::kEthernet, DemuxMode::kBpf, 256,
+                                  kPerConn, base_cfg(), /*aggregation=*/true,
+                                  /*poll=*/true);
+    all_ok = all_ok && napi_on.ok && napi_on.data_valid;
+    struct NapiRow {
+      const char* label;
+      const RunResult* r;
+      double poll;
+    };
+    for (const NapiRow& row : {NapiRow{"napi/off/n256", &napi_off, 0},
+                               NapiRow{"napi/on/n256", &napi_on, 1}}) {
+      std::printf("%-34s%-34s%-34s%-34s\n", row.label,
+                  bench::cellf("%.3f Mb/s", row.r->aggregate_mbps).c_str(),
+                  std::to_string(row.r->interrupts).c_str(),
+                  std::to_string(row.r->poll_rounds).c_str());
+      const std::vector<std::pair<std::string, double>> params = {
+          {"conns", 256.0},
+          {"aggregation", 1.0},
+          {"poll", row.poll},
+          {"poll_budget", 16.0},
+          {"rearm_watermark", 0.0},
+      };
+      report.add(row.label, "aggregate_throughput", "Mb/s",
+                 row.r->aggregate_mbps, std::nullopt, params, "simulated");
+      report.add(row.label, "interrupts", "count",
+                 static_cast<double>(row.r->interrupts), std::nullopt, params,
+                 "simulated");
+      report.add(row.label, "retransmits", "count",
+                 static_cast<double>(row.r->retransmits), std::nullopt,
+                 params, "simulated");
+    }
+    const std::vector<std::pair<std::string, double>> on_params = {
+        {"conns", 256.0}, {"poll_budget", 16.0}, {"rearm_watermark", 0.0}};
+    report.add("napi/on/n256", "poll_transitions", "count",
+               static_cast<double>(napi_on.poll_transitions), std::nullopt,
+               on_params, "simulated");
+    report.add("napi/on/n256", "poll_rounds", "count",
+               static_cast<double>(napi_on.poll_rounds), std::nullopt,
+               on_params, "simulated");
+    report.add("napi/on/n256", "poll_frames", "count",
+               static_cast<double>(napi_on.poll_frames), std::nullopt,
+               on_params, "simulated");
+    report.add("napi/on/n256", "poll_budget_exhausted", "count",
+               static_cast<double>(napi_on.poll_budget_exhausted),
+               std::nullopt, on_params, "simulated");
+    report.add("napi/on/n256", "poll_rearms", "count",
+               static_cast<double>(napi_on.poll_rearms), std::nullopt,
+               on_params, "simulated");
+    const double intr_ratio =
+        napi_off.interrupts > 0
+            ? static_cast<double>(napi_on.interrupts) /
+                  static_cast<double>(napi_off.interrupts)
+            : 0;
+    report.add("napi/effect", "interrupt_ratio", "ratio", intr_ratio,
+               std::nullopt, {}, "simulated");
+    std::printf("interrupt mitigation: %llu -> %llu interrupts (x%.4f)\n",
+                static_cast<unsigned long long>(napi_off.interrupts),
+                static_cast<unsigned long long>(napi_on.interrupts),
+                intr_ratio);
+    bench::add_hist(report, "hist.napi.poll_batch", napi_on.poll_batch,
+                    "frames");
+    bench::add_hist(report, "hist.napi.backlog_wait", napi_on.backlog_wait);
+    bench::add_hist(report, "hist.napi_on.ring_residency", napi_on.ring_res);
+    bench::add_hist(report, "hist.napi_off.ring_residency", napi_off.ring_res);
   }
 
   if (!report.write()) return 1;

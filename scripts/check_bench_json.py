@@ -57,12 +57,21 @@ BENCH_REQUIRED_LABELS = {
     },
     # Labels the quick-mode run of the connection-scale bench must emit
     # (the full matrix is a superset; scale_full gates it via perf_gate).
+    # `bpf` is the aggregated one-pass-trie engine, `bpflin` the legacy
+    # linear walk; the cfg/* groups are the self-describing baselines.
     "bench_scale_conns": {
         "synth/eth/n1", "synth/eth/n8", "synth/an1/n8", "bpf/eth/n8",
+        "bpflin/eth/n8", "cfg/synth", "cfg/bpf", "cfg/bpflin",
         "fastpath/on/n8", "fastpath/off/n8", "coalesce/on/n8",
         "fastpath/neutrality", "coalesce/effect",
     },
 }
+
+# Counter contract: rows with these metrics are invariants, not
+# measurements -- any run that emits one with a non-zero value is broken
+# regardless of what the baseline says (the differential shadow disagreed
+# with the reference demux walk).
+ZERO_METRICS = {"demux_diff_mismatches"}
 
 
 def fail(path, msg):
@@ -169,6 +178,10 @@ def check_file(path):
         return fail(path, "'results' missing or empty")
     for i, r in enumerate(results):
         ok = check_result(path, i, r) and ok
+        if (isinstance(r, dict) and r.get("metric") in ZERO_METRICS
+                and is_number(r.get("value")) and r["value"] != 0):
+            ok = fail(path, f"results[{i}] ({r.get('label')}): "
+                            f"{r['metric']} = {r['value']}, must be 0")
     ok = check_histograms(path, results) and ok
     required = BENCH_REQUIRED_LABELS.get(doc.get("bench"), set())
     labels = {r.get("label") for r in results if isinstance(r, dict)}

@@ -145,6 +145,17 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   // tier-1 test asserts metrics identity), so the recorder never perturbs
   // the run it is documenting.
   if (!cfg.postmortem_dir.empty()) bed.world().tracer().set_enabled(true);
+  const bool agg_armed =
+      cfg.demux_mode != core::NetIoModule::DemuxMode::kSynthesized &&
+      cfg.link == LinkType::kEthernet;
+  if (agg_armed) {
+    for (auto* org : {bed.user_org_a(), bed.user_org_b()}) {
+      auto& nio = org->netio(0);
+      nio.set_demux_mode(cfg.demux_mode);
+      nio.set_filter_aggregation(cfg.filter_aggregation);
+      nio.set_demux_differential(cfg.demux_differential);
+    }
+  }
   ChaosController chaos(bed, cfg.repoll_interval);
 
   core::UserLevelApp& victim = bed.user_org_a()->add_app_impl("victim");
@@ -254,6 +265,16 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
                           bed.user_app_b()->repoll_recoveries();
   rep.fault_census = chaos.schedule().dump_json();
 
+  rep.aggregation_armed = agg_armed && cfg.filter_aggregation;
+  if (rep.aggregation_armed) {
+    rep.demux_diff_mismatches = na.counters().demux_diff_mismatches +
+                                nb.counters().demux_diff_mismatches;
+    // trie_nodes() recompiles a trie left stale by the reclamation
+    // unbinds, so the counts below reflect exactly the surviving bindings.
+    rep.trie_nodes_a = na.trie_nodes();
+    rep.trie_nodes_b = nb.trie_nodes();
+  }
+
   std::uint64_t h = 0xcbf29ce484222325ULL;
   h = fnv1a(h, m.dump_json());
   h = fnv1a(h, na.dump_json());
@@ -298,6 +319,25 @@ std::string ChaosReport::failure() const {
   }
   if (channels_reclaimed == 0) return "registry reclaimed nothing";
   if (rsts_sent == 0) return "registry sent no RST for the dead library";
+  if (aggregation_armed) {
+    if (demux_diff_mismatches != 0) {
+      return "aggregated demux disagreed with the linear walk " +
+             std::to_string(demux_diff_mismatches) + " times";
+    }
+    // A flow filter contributes at most one node per header dimension
+    // (ethertype, protocol, addresses, ports) plus the root: a recompiled
+    // trie holding more than that per surviving binding kept nodes for
+    // reclaimed ones.
+    const std::size_t bound_a = 8 * live_channels_a + 1;
+    const std::size_t bound_b = 8 * live_channels_b + 1;
+    if (trie_nodes_a > bound_a || trie_nodes_b > bound_b) {
+      return "trie node leak after reclamation: " +
+             std::to_string(trie_nodes_a) + "/" +
+             std::to_string(trie_nodes_b) + " nodes for " +
+             std::to_string(live_channels_a) + "/" +
+             std::to_string(live_channels_b) + " channels";
+    }
+  }
   return "";
 }
 

@@ -74,6 +74,16 @@ struct ChaosScenarioConfig {
   int tx_backpressures = 1;
   std::uint64_t tx_burst = 4;
   sim::Time deadline = 300 * sim::kSec;
+  // Demux ablation: run the whole scenario under an interpreted demux mode
+  // (Ethernet only), optionally with the one-pass trie aggregation and its
+  // differential shadow armed on both hosts. The differential classifies
+  // every frame twice -- trie and uncharged linear walk -- and the report
+  // carries the disagreement count, so a chaos run doubles as a soak test
+  // of verdict identity under kills, stalls and reclamation.
+  core::NetIoModule::DemuxMode demux_mode =
+      core::NetIoModule::DemuxMode::kSynthesized;
+  bool filter_aggregation = false;
+  bool demux_differential = false;
   // Flight recorder: when non-empty and the report's invariants fail, the
   // scenario dumps a postmortem bundle into this directory -- the event
   // trace (trace.json, Perfetto-loadable), world metrics, both netio dumps,
@@ -104,6 +114,14 @@ struct ChaosReport {
   std::uint64_t tx_retries = 0;
   std::uint64_t repolls = 0;
   std::uint64_t repoll_recoveries = 0;
+  // Aggregated-demux soak (only meaningful when cfg.filter_aggregation was
+  // set): shadow-walk disagreements (must be 0) and the per-host trie node
+  // counts after reclamation. The victim's bindings must be gone from the
+  // recompiled trie -- a node count above what the surviving bindings can
+  // produce is a leak.
+  bool aggregation_armed = false;
+  std::uint64_t demux_diff_mismatches = 0;
+  std::size_t trie_nodes_a = 0, trie_nodes_b = 0;
   // Replay identity: FNV-1a over world metrics + both netio dumps + the
   // fault census. Two runs of the same (seed, config) must match exactly.
   std::uint64_t fingerprint = 0;

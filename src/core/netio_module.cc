@@ -85,6 +85,7 @@ ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
     }
     binding_order_.push_back(id);
     bind_channel(ch);
+    aggregate_bind(ch);
   }
   (void)ctx;
   return id;
@@ -135,8 +136,10 @@ void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id,
     binding_order_.erase(bit);
     // A destroyed binding may have shadowed a later one with the same key;
     // rebuild so the table again mirrors the walk. Teardown is rare and
-    // off the data path.
+    // off the data path. The trie cannot drop a path incrementally (it may
+    // be shared), so it recompiles lazily on the next classification.
     rebuild_bind_table();
+    agg_valid_ = false;
   }
   (void)ctx;
 }
@@ -196,7 +199,7 @@ const NetIoModule::ChannelStats* NetIoModule::channel_stats(
 
 std::string NetIoModule::dump_json() const {
   std::string out;
-  char buf[512];
+  char buf[1024];
   std::snprintf(buf, sizeof buf,
                 "{\"interface\":%d,\"an1\":%s,\"channels\":[", ifc_,
                 an1_ ? "true" : "false");
@@ -247,6 +250,8 @@ std::string NetIoModule::dump_json() const {
       "],\"totals\":{\"delivered\":%llu,\"ring_drops\":%llu,"
       "\"sends\":%llu,\"send_rejects\":%llu,\"signals_suppressed\":%llu,"
       "\"demux_hash_hits\":%llu,\"demux_fallback_walks\":%llu,"
+      "\"demux_trie_hits\":%llu,\"demux_trie_rebuilds\":%llu,"
+      "\"demux_diff_mismatches\":%llu,"
       "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
       "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
       "\"buffers_reclaimed\":%llu}",
@@ -257,6 +262,9 @@ std::string NetIoModule::dump_json() const {
       static_cast<unsigned long long>(counters_.signals_suppressed),
       static_cast<unsigned long long>(counters_.demux_hash_hits),
       static_cast<unsigned long long>(counters_.demux_fallback_walks),
+      static_cast<unsigned long long>(counters_.demux_trie_hits),
+      static_cast<unsigned long long>(counters_.demux_trie_rebuilds),
+      static_cast<unsigned long long>(counters_.demux_diff_mismatches),
       static_cast<unsigned long long>(counters_.default_deliveries),
       static_cast<unsigned long long>(counters_.unclaimed_drops),
       static_cast<unsigned long long>(counters_.tx_backpressure),
@@ -486,7 +494,19 @@ NetIoModule::Channel* NetIoModule::classify_software(sim::TaskCtx& ctx,
   m.demux_software_runs++;
 
   if (demux_mode_ != DemuxMode::kSynthesized) {
-    return classify_walk(ctx, f, demux_mode_);
+    if (!filter_aggregation_) return classify_walk(&ctx, f, demux_mode_);
+    Channel* ch = classify_aggregated(ctx, f);
+    if (demux_differential_) {
+      // Shadow reference: the uncharged paper-accurate walk must agree
+      // frame-for-frame. Disagreements are counted, never acted on -- the
+      // aggregated verdict stands so a mismatch is observable, not masked.
+      Channel* ref = classify_walk(nullptr, f, demux_mode_);
+      if (ref != ch) {
+        counters_.demux_diff_mismatches++;
+        m.demux_diff_mismatches++;
+      }
+    }
+    return ch;
   }
 
   // The production path: one fixed charge covers the synthesized matcher
@@ -528,10 +548,10 @@ NetIoModule::Channel* NetIoModule::classify_software(sim::TaskCtx& ctx,
   // to the walk, paying per binding actually compared against.
   m.demux_fallback_walks++;
   counters_.demux_fallback_walks++;
-  return classify_walk(ctx, f, DemuxMode::kSynthesized);
+  return classify_walk(&ctx, f, DemuxMode::kSynthesized);
 }
 
-NetIoModule::Channel* NetIoModule::classify_walk(sim::TaskCtx& ctx,
+NetIoModule::Channel* NetIoModule::classify_walk(sim::TaskCtx* ctx,
                                                  const net::Frame& f,
                                                  DemuxMode mode) {
   const auto& cost = host_.cpu().cost();
@@ -551,7 +571,7 @@ NetIoModule::Channel* NetIoModule::classify_walk(sim::TaskCtx& ctx,
         // The synthesized code dispatches on ethertype first (free: rx()
         // already decoded it), then pays one template compare.
         if (!eth || eth->ethertype != ch.flow.ethertype) continue;
-        ctx.charge(cost.demux_fallback_per_binding);
+        if (ctx != nullptr) ctx->charge(cost.demux_fallback_per_binding);
         if (ch.synth && ch.synth->run(f.bytes).accept) return &ch;
         break;
       case DemuxMode::kBpf:
@@ -567,13 +587,97 @@ NetIoModule::Channel* NetIoModule::classify_walk(sim::TaskCtx& ctx,
           r = ch.cspf->run(f.bytes);
           per_insn = cost.filter_interp_per_insn;
         }
-        ctx.charge(r.instructions * per_insn);
+        if (ctx != nullptr) ctx->charge(r.instructions * per_insn);
         if (r.accept) return &ch;
         break;
       }
     }
   }
   return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated demux (one-pass trie over the interpreted programs)
+// ---------------------------------------------------------------------------
+
+void NetIoModule::aggregate_bind(const Channel& ch) {
+  if (!agg_valid_) return;  // stale anyway; next classify recompiles
+  if (ch.raw) {
+    // Raw bindings are an ethertype-only predicate in every mode.
+    agg_.insert(ch.id, {{{net::EthHeader::kSize - 2, 2, 0xffffu},
+                         ch.raw_ethertype}});
+    return;
+  }
+  std::optional<std::vector<filter::FilterPredicate>> preds;
+  if (agg_mode_ == DemuxMode::kBpf && ch.bpf) {
+    preds = filter::analyze_bpf(ch.bpf->program());
+  } else if (agg_mode_ == DemuxMode::kCspf && ch.cspf) {
+    preds = filter::analyze_cspf(ch.cspf->program());
+  }
+  if (preds) {
+    agg_.insert(ch.id, *preds);
+  } else {
+    agg_residual_.push_back(ch.id);  // ids grow, so order stays ascending
+  }
+}
+
+void NetIoModule::ensure_aggregate() {
+  if (agg_valid_ && agg_mode_ == demux_mode_) return;
+  agg_.clear();
+  agg_residual_.clear();
+  agg_mode_ = demux_mode_;
+  agg_valid_ = true;
+  counters_.demux_trie_rebuilds++;
+  host_.cpu().metrics().demux_trie_rebuilds++;
+  for (ChannelId id : binding_order_) {
+    if (const Channel* ch = find(id)) aggregate_bind(*ch);
+  }
+}
+
+std::size_t NetIoModule::trie_nodes() {
+  if (filter_aggregation_ && demux_mode_ != DemuxMode::kSynthesized) {
+    ensure_aggregate();
+  }
+  return agg_.node_count();
+}
+
+NetIoModule::Channel* NetIoModule::classify_aggregated(sim::TaskCtx& ctx,
+                                                       const net::Frame& f) {
+  ensure_aggregate();
+  sim::Metrics& m = host_.cpu().metrics();
+  const auto& cost = host_.cpu().cost();
+  const auto res = agg_.classify(f.bytes);
+  // One pass: a masked load per tested dimension plus a node expansion per
+  // trie step -- header-depth cost, independent of how many bindings share
+  // the trie.
+  ctx.charge(static_cast<sim::Time>(res.nodes_visited + res.loads) *
+             cost.demux_trie_node);
+  ChannelId best = res.best;
+  // Residual programs the analyzer could not fold run interpreted, in walk
+  // order; ids are ascending, so stop once past the trie's candidate.
+  for (ChannelId id : agg_residual_) {
+    if (best != 0 && id > best) break;
+    Channel* ch = find(id);
+    if (ch == nullptr || ch->raw) continue;
+    filter::RunResult r;
+    sim::Time per_insn = 0;
+    if (agg_mode_ == DemuxMode::kBpf && ch->bpf) {
+      r = ch->bpf->run(f.bytes);
+      per_insn = cost.filter_bpf_per_insn;
+    } else if (ch->cspf) {
+      r = ch->cspf->run(f.bytes);
+      per_insn = cost.filter_interp_per_insn;
+    }
+    ctx.charge(r.instructions * per_insn);
+    if (r.accept) {
+      best = id;
+      break;
+    }
+  }
+  if (best == 0) return nullptr;
+  counters_.demux_trie_hits++;
+  m.demux_trie_hits++;
+  return find(best);
 }
 
 void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,

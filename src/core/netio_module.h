@@ -85,6 +85,19 @@ class NetIoModule {
   // Ablation: signal the semaphore on every packet instead of batching
   // under an outstanding notification (paper Section 3.3).
   void set_batched_signals(bool on) { batched_signals_ = on; }
+  // Aggregated demux for the interpreted modes: compile the installed
+  // BPF/CSPF programs into one shared decision trie and classify each frame
+  // in a single pass instead of walking every binding. Off by default (the
+  // paper-accurate linear walk); verdicts are first-match identical.
+  void set_filter_aggregation(bool on) { filter_aggregation_ = on; }
+  [[nodiscard]] bool filter_aggregation() const { return filter_aggregation_; }
+  // Differential self-check: after every aggregated classification, run the
+  // uncharged linear walk and count disagreements (demux_diff_mismatches).
+  // Costs nothing in simulated time; used by tests and chaos scenarios.
+  void set_demux_differential(bool on) { demux_differential_ = on; }
+  // Live trie size (leak check: zero once every binding is destroyed).
+  // Rebuilds a stale trie first so the answer reflects current bindings.
+  [[nodiscard]] std::size_t trie_nodes();
 
   // Fallback for packets no channel claims: delivered to the registry
   // server by IPC (it runs the handshake flows and generates RSTs).
@@ -185,6 +198,9 @@ class NetIoModule {
     std::uint64_t signals_suppressed = 0;  // batching wins
     std::uint64_t demux_hash_hits = 0;       // O(1) binding-table resolutions
     std::uint64_t demux_fallback_walks = 0;  // hash miss -> binding-list walk
+    std::uint64_t demux_trie_hits = 0;      // one-pass trie resolutions
+    std::uint64_t demux_trie_rebuilds = 0;  // trie recompiles (bind/unbind)
+    std::uint64_t demux_diff_mismatches = 0;  // trie vs walk disagreements
     std::uint64_t default_deliveries = 0;
     std::uint64_t unclaimed_drops = 0;
     std::uint64_t tx_backpressure = 0;     // transient device-full refusals
@@ -254,9 +270,19 @@ class NetIoModule {
   Channel* classify_software(sim::TaskCtx& ctx, const net::Frame& f);
   // Fallback: insertion-ordered walk of the software bindings (the only
   // demux the interpreted modes have; the synthesized mode reaches it when
-  // the hash probes miss). Charges per binding tried according to `mode`.
-  Channel* classify_walk(sim::TaskCtx& ctx, const net::Frame& f,
+  // the hash probes miss). Charges per binding tried according to `mode`;
+  // with a null ctx it runs uncharged (the differential reference).
+  Channel* classify_walk(sim::TaskCtx* ctx, const net::Frame& f,
                          DemuxMode mode);
+  // One-pass aggregated classification (interpreted modes with
+  // set_filter_aggregation(true)): trie first, then the short residual list
+  // of programs the analyzer could not fold, preserving first-match order.
+  Channel* classify_aggregated(sim::TaskCtx& ctx, const net::Frame& f);
+  // (Re)compile the trie from the live bindings if it is stale.
+  void ensure_aggregate();
+  // Incrementally add one binding to a valid trie (new ids only grow, so
+  // existing min-id accepts stay correct); no-op when the trie is stale.
+  void aggregate_bind(const Channel& ch);
   // (Re)install a channel's entries in bind_table_ / raw_by_ethertype_.
   // First creation wins on key collisions, matching the insertion-ordered
   // walk the table replaces.
@@ -293,6 +319,14 @@ class NetIoModule {
   std::unordered_map<filter::FlowKey, ChannelId, filter::FlowKeyHash>
       bind_table_;
   std::unordered_map<std::uint16_t, ChannelId> raw_by_ethertype_;
+  // Aggregated demux state (interpreted modes only). The trie is rebuilt
+  // lazily after an unbind or a mode switch; binds insert incrementally.
+  filter::FilterAggregate agg_;
+  std::vector<ChannelId> agg_residual_;  // non-aggregable, ascending ids
+  DemuxMode agg_mode_ = DemuxMode::kBpf;
+  bool filter_aggregation_ = false;
+  bool demux_differential_ = false;
+  bool agg_valid_ = false;
   sim::SpaceId default_space_ = -1;
   DefaultHandler default_handler_;
   Counters counters_;

@@ -1,5 +1,7 @@
 #include "filter/filter.h"
 
+#include <algorithm>
+
 namespace ulnet::filter {
 
 namespace {
@@ -221,6 +223,227 @@ std::vector<BpfInsn> build_bpf_flow_filter(const FlowKey& key,
   p.push_back({BpfOp::kRetImm, 1, 0, 0});  // accept
   p.push_back({BpfOp::kRetImm, 0, 0, 0});  // reject
   return p;
+}
+
+// ---------------------------------------------------------------------------
+// Filter aggregation
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint32_t width_mask(std::uint8_t width) {
+  switch (width) {
+    case 1: return 0xffu;
+    case 2: return 0xffffu;
+    default: return 0xffffffffu;
+  }
+}
+
+std::uint32_t load_field(buf::ByteView p, const FieldKey& f) {
+  std::uint32_t v = 0;
+  switch (f.width) {
+    case 1: v = word8(p, f.offset); break;
+    case 2: v = word16(p, f.offset); break;
+    default: v = word32(p, f.offset); break;
+  }
+  return v & f.mask;
+}
+
+// Append the predicate, refusing contradictory duplicates (same field,
+// different value -- the program can never accept, so let the interpreter
+// handle it) and collapsing agreeing ones.
+bool add_pred(std::vector<FilterPredicate>& preds, const FieldKey& field,
+              std::uint32_t value) {
+  if ((value & ~field.mask) != 0) return false;  // never-true compare
+  for (const FilterPredicate& p : preds) {
+    if (p.field == field) return p.value == value;
+  }
+  preds.push_back({field, value});
+  return true;
+}
+}  // namespace
+
+std::optional<std::vector<FilterPredicate>> analyze_bpf(
+    const std::vector<BpfInsn>& program) {
+  // Recognized shape: [Ld{B,H,W} off; (AndImm mask;)? Jeq v jt=0 jf->reject]*
+  // RetImm !=0, where every reject target is a RetImm 0. This is exactly
+  // what build_bpf_flow_filter emits; anything else is not aggregable.
+  std::vector<FilterPredicate> preds;
+  std::size_t pc = 0;
+  const auto is_reject = [&program](std::size_t i) {
+    return i < program.size() && program[i].op == BpfOp::kRetImm &&
+           program[i].arg == 0;
+  };
+  while (pc < program.size()) {
+    const BpfInsn& in = program[pc];
+    if (in.op == BpfOp::kRetImm) {
+      // Terminal: unconditional accept ends the conjunction; a bare reject
+      // (the shared reject tail, or a reject-all program) is only valid
+      // once at least the accept terminal was seen -- handled below.
+      return in.arg != 0 ? std::optional(preds) : std::nullopt;
+    }
+    FieldKey f;
+    switch (in.op) {
+      case BpfOp::kLdAbsB: f = {in.arg, 1, 0xffu}; break;
+      case BpfOp::kLdAbsH: f = {in.arg, 2, 0xffffu}; break;
+      case BpfOp::kLdAbsW: f = {in.arg, 4, 0xffffffffu}; break;
+      default: return std::nullopt;
+    }
+    pc++;
+    if (pc < program.size() && program[pc].op == BpfOp::kAndImm) {
+      f.mask &= program[pc].arg;
+      pc++;
+    }
+    if (pc >= program.size() || program[pc].op != BpfOp::kJeq ||
+        program[pc].jt != 0 || !is_reject(pc + 1 + program[pc].jf)) {
+      return std::nullopt;
+    }
+    if (!add_pred(preds, f, program[pc].arg)) return std::nullopt;
+    pc++;
+  }
+  return std::nullopt;  // fell off the end: reject-all, not a conjunction
+}
+
+std::optional<std::vector<FilterPredicate>> analyze_cspf(
+    const std::vector<CspfInsn>& program) {
+  // Recognized shape (build_cspf_flow_filter's output): a first compare
+  // group, then (group, And)* and a final Ret. A group is either
+  //   PushWord off, PushLit v, Eq                    -- plain word compare
+  //   PushWord off, PushLit m, And, PushLit v, Eq    -- masked compare
+  std::vector<FilterPredicate> preds;
+  std::size_t pc = 0;
+  const auto at = [&program](std::size_t i, CspfOp op) {
+    return i < program.size() && program[i].op == op;
+  };
+  const auto parse_group = [&](std::size_t& i, FieldKey& f,
+                               std::uint32_t& value) {
+    if (!at(i, CspfOp::kPushWord)) return false;
+    f = {program[i].arg, 2, 0xffffu};
+    i++;
+    if (!at(i, CspfOp::kPushLit)) return false;
+    std::uint32_t lit = program[i].arg;
+    i++;
+    if (at(i, CspfOp::kAnd)) {  // masked variant
+      f.mask &= lit;
+      i++;
+      if (!at(i, CspfOp::kPushLit)) return false;
+      lit = program[i].arg;
+      i++;
+    }
+    if (!at(i, CspfOp::kEq)) return false;
+    i++;
+    value = lit;
+    return true;
+  };
+
+  bool first = true;
+  while (pc < program.size()) {
+    if (at(pc, CspfOp::kRet)) {
+      return pc + 1 == program.size() && !first ? std::optional(preds)
+                                                : std::nullopt;
+    }
+    FieldKey f;
+    std::uint32_t value = 0;
+    if (!parse_group(pc, f, value)) return std::nullopt;
+    if (!first) {
+      if (!at(pc, CspfOp::kAnd)) return std::nullopt;
+      pc++;
+    }
+    if (!add_pred(preds, f, value)) return std::nullopt;
+    first = false;
+  }
+  return std::nullopt;  // no Ret: fell off the end mid-conjunction
+}
+
+std::size_t FilterAggregate::dim_index(const FieldKey& f) {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i] == f) return i;
+  }
+  dims_.push_back(f);
+  return dims_.size() - 1;
+}
+
+int FilterAggregate::child(int node, std::size_t level, bool wild,
+                           std::uint32_t value) {
+  int next = -1;
+  if (wild) {
+    next = nodes_[static_cast<std::size_t>(node)].wildcard;
+  } else {
+    auto& edges = nodes_[static_cast<std::size_t>(node)].edges;
+    if (auto it = edges.find(value); it != edges.end()) next = it->second;
+  }
+  if (next < 0) {
+    next = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{level + 1, 0, -1, {}});
+    Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (wild) {
+      n.wildcard = next;
+    } else {
+      n.edges.emplace(value, next);
+    }
+  }
+  return next;
+}
+
+void FilterAggregate::insert(std::uint32_t id,
+                             const std::vector<FilterPredicate>& preds) {
+  if (nodes_.empty()) nodes_.push_back(Node{});
+  // Register every field first (may extend the dimension order), then lay
+  // the path down in that global order so all filters agree on levels.
+  std::vector<std::pair<std::size_t, std::uint32_t>> path;  // (dim, value)
+  path.reserve(preds.size());
+  for (const FilterPredicate& p : preds) {
+    path.emplace_back(dim_index(p.field), p.value);
+  }
+  std::sort(path.begin(), path.end());
+  // Last tested dimension bounds the path depth; untested dimensions in
+  // between become wildcard hops.
+  int node = 0;
+  std::size_t next = 0;
+  for (const auto& [dim, value] : path) {
+    for (; next < dim; ++next) node = child(node, next, /*wild=*/true, 0);
+    node = child(node, dim, /*wild=*/false, value);
+    next = dim + 1;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.accept_min == 0 || id < n.accept_min) n.accept_min = id;
+  filters_++;
+}
+
+FilterAggregate::ClassifyResult FilterAggregate::classify(
+    buf::ByteView packet) const {
+  ClassifyResult r;
+  if (nodes_.empty()) return r;
+  // One lazy header load per dimension, shared across every branch.
+  std::vector<std::uint32_t> loaded(dims_.size(), 0);
+  std::vector<bool> have(dims_.size(), false);
+  std::vector<int> work{0};
+  while (!work.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(work.back())];
+    work.pop_back();
+    r.nodes_visited++;
+    if (n.accept_min != 0 && (r.best == 0 || n.accept_min < r.best)) {
+      r.best = n.accept_min;
+    }
+    if (n.level >= dims_.size()) continue;
+    if (!n.edges.empty()) {
+      if (!have[n.level]) {
+        have[n.level] = true;
+        loaded[n.level] = load_field(packet, dims_[n.level]);
+        r.loads++;
+      }
+      if (auto it = n.edges.find(loaded[n.level]); it != n.edges.end()) {
+        work.push_back(it->second);
+      }
+    }
+    if (n.wildcard >= 0) work.push_back(n.wildcard);
+  }
+  return r;
+}
+
+void FilterAggregate::clear() {
+  dims_.clear();
+  nodes_.clear();
+  filters_ = 0;
 }
 
 }  // namespace ulnet::filter

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "buf/bytes.h"
@@ -64,6 +65,9 @@ class CspfVm {
   [[nodiscard]] RunResult run(buf::ByteView packet) const;
 
   [[nodiscard]] std::size_t size() const { return program_.size(); }
+  [[nodiscard]] const std::vector<CspfInsn>& program() const {
+    return program_;
+  }
 
  private:
   std::vector<CspfInsn> program_;
@@ -97,6 +101,9 @@ class BpfVm {
 
   [[nodiscard]] RunResult run(buf::ByteView packet) const;
   [[nodiscard]] std::size_t size() const { return program_.size(); }
+  [[nodiscard]] const std::vector<BpfInsn>& program() const {
+    return program_;
+  }
 
  private:
   std::vector<BpfInsn> program_;
@@ -171,5 +178,84 @@ class SynthesizedMatcher {
 [[nodiscard]] std::optional<FlowKey> extract_flow(buf::ByteView packet,
                                                   std::size_t link_header,
                                                   std::size_t ethertype_offset);
+
+// ---------------------------------------------------------------------------
+// Filter aggregation (DPF/MPF lineage): compile the *set* of installed
+// interpreted programs into one shared decision trie keyed on the loads
+// they perform, so classification is a single pass whose cost scales with
+// header depth rather than binding count.
+// ---------------------------------------------------------------------------
+
+// One masked equality test: (load<width>(packet, offset) & mask) == value.
+// Loads use the same out-of-range-reads-zero semantics as the VMs, so a
+// trie built from analyzed programs is behaviourally identical to running
+// each program.
+struct FieldKey {
+  std::uint32_t offset = 0;
+  std::uint8_t width = 0;  // 1, 2 or 4 bytes, big-endian
+  std::uint32_t mask = 0;
+
+  bool operator==(const FieldKey&) const = default;
+};
+
+struct FilterPredicate {
+  FieldKey field;
+  std::uint32_t value = 0;  // compared against the masked load
+};
+
+// Conservative analyzers: recognize the straight-line conjunction-of-
+// equalities shape the flow-filter builders emit and return its predicate
+// list (empty = accepts everything). Any program outside that shape yields
+// nullopt and the caller must fall back to interpreting it directly --
+// aggregation is an optimization, never a semantics change.
+[[nodiscard]] std::optional<std::vector<FilterPredicate>> analyze_bpf(
+    const std::vector<BpfInsn>& program);
+[[nodiscard]] std::optional<std::vector<FilterPredicate>> analyze_cspf(
+    const std::vector<CspfInsn>& program);
+
+// The shared trie. Dimensions (distinct FieldKeys) are ordered first-seen;
+// each inserted filter contributes one root-to-node path with value edges
+// for the fields it tests and wildcard edges for those it skips. A node
+// where a filter's predicates are exhausted records the smallest binding id
+// accepting there -- because binding ids are handed out in walk order,
+// first-match under the linear walk is exactly the minimum id over all
+// accepting bindings, which is what classify() returns.
+class FilterAggregate {
+ public:
+  struct ClassifyResult {
+    std::uint32_t best = 0;  // smallest accepting binding id; 0 = no match
+    int nodes_visited = 0;   // trie nodes expanded (cost accounting)
+    int loads = 0;           // distinct header loads performed
+  };
+
+  // Insert one analyzed filter under binding id `id` (must be non-zero).
+  // Insertion is incremental: ids only grow, so min-id accepts at existing
+  // nodes stay valid.
+  void insert(std::uint32_t id, const std::vector<FilterPredicate>& preds);
+
+  // One-pass classification over the whole installed set. Wildcard edges
+  // fork the search, but each dimension's header load happens at most once.
+  [[nodiscard]] ClassifyResult classify(buf::ByteView packet) const;
+
+  void clear();
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t dimension_count() const { return dims_.size(); }
+  [[nodiscard]] bool empty() const { return filters_ == 0; }
+
+ private:
+  struct Node {
+    std::size_t level = 0;          // dimension index this node tests
+    std::uint32_t accept_min = 0;   // smallest id accepted here; 0 = none
+    int wildcard = -1;              // child for "field not tested"
+    std::unordered_map<std::uint32_t, int> edges;  // value -> child index
+  };
+
+  [[nodiscard]] std::size_t dim_index(const FieldKey& f);
+  int child(int node, std::size_t level, bool wild, std::uint32_t value);
+
+  std::vector<FieldKey> dims_;  // global dimension order, first-seen
+  std::vector<Node> nodes_;     // nodes_[0] is the root (created lazily)
+  std::size_t filters_ = 0;
+};
 
 }  // namespace ulnet::filter

@@ -16,14 +16,80 @@ std::size_t Nic::tx_ring_in_use() {
 }
 
 void Nic::frame_arrived(net::Frame f) {
-  cpu_.metrics().interrupts++;
-  cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
-              [this, f = std::move(f)](sim::TaskCtx& ctx) mutable {
-                rx_isr(ctx, f);
-                // Whatever storage the handler did not steal goes back to
-                // the pool (drops, unclaimed frames).
-                if (pool_ != nullptr) pool_->recycle(std::move(f.bytes));
-              });
+  if (!poll_.enabled) {
+    // Paper-accurate path: one interrupt task per frame.
+    cpu_.metrics().interrupts++;
+    cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
+                [this, f = std::move(f)](sim::TaskCtx& ctx) mutable {
+                  rx_isr(ctx, f);
+                  // Whatever storage the handler did not steal goes back to
+                  // the pool (drops, unclaimed frames).
+                  if (pool_ != nullptr) pool_->recycle(std::move(f.bytes));
+                });
+    return;
+  }
+  // Interrupt mitigation: the frame lands in the device backlog. Only the
+  // first frame after quiescence raises an interrupt; while a poll loop is
+  // outstanding further arrivals are absorbed silently.
+  if (backlog_.size() >= poll_.rx_ring) {
+    rx_dropped_++;
+    cpu_.metrics().nic_rx_dropped++;
+    if (pool_ != nullptr) pool_->recycle(std::move(f.bytes));
+    return;
+  }
+  backlog_.push_back(PendingRx{cpu_.loop().now(), std::move(f)});
+  if (intr_armed_) {
+    intr_armed_ = false;
+    poll_transitions_++;
+    cpu_.metrics().nic_poll_transitions++;
+    cpu_.metrics().interrupts++;
+    cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
+                [this](sim::TaskCtx& ctx) { poll_once(ctx, /*first=*/true); });
+  }
+}
+
+void Nic::poll_once(sim::TaskCtx& ctx, bool first) {
+  const sim::ProfileScope prof(cpu_, sim::CpuComponent::kNicIsr);
+  const auto& cost = cpu_.cost();
+  // The first round rides the interrupt it was raised by; re-polls are
+  // softirq-equivalent dispatches from the task queue.
+  ctx.charge(first ? cost.interrupt_entry : cost.poll_entry);
+  int drained = 0;
+  const auto drain_one = [this, &ctx, &cost] {
+    PendingRx p = std::move(backlog_.front());
+    backlog_.pop_front();
+    const sim::Time now = ctx.now();
+    if (now >= p.arrived) backlog_wait_hist_.record(now - p.arrived);
+    ctx.charge(cost.poll_per_frame);
+    rx_process(ctx, p.frame);
+    if (pool_ != nullptr) pool_->recycle(std::move(p.frame.bytes));
+  };
+  while (!backlog_.empty() && drained < poll_.budget) {
+    drain_one();
+    drained++;
+  }
+  poll_rounds_++;
+  poll_frames_ += static_cast<std::uint64_t>(drained);
+  cpu_.metrics().nic_poll_rounds++;
+  cpu_.metrics().nic_poll_frames += static_cast<std::uint64_t>(drained);
+  poll_batch_hist_.record(drained);
+  if (backlog_.size() > poll_.rearm_watermark) {
+    // Still loaded: stay in poll mode, yield, and come back for another
+    // budgeted round so one hot device cannot monopolize the CPU.
+    if (drained >= poll_.budget) {
+      poll_budget_exhausted_++;
+      cpu_.metrics().nic_poll_budget_exhausted++;
+    }
+    cpu_.submit(sim::kKernelSpace, sim::Prio::kInterrupt,
+                [this](sim::TaskCtx& ctx) { poll_once(ctx, /*first=*/false); });
+    return;
+  }
+  // At or below the watermark: finish the trickle inline (frames must never
+  // be stranded waiting for an interrupt that cannot fire) and re-arm.
+  while (!backlog_.empty()) drain_one();
+  intr_armed_ = true;
+  poll_rearms_++;
+  cpu_.metrics().nic_poll_rearms++;
 }
 
 // ---------------------------------------------------------------------------
@@ -47,10 +113,8 @@ void LanceNic::transmit(sim::TaskCtx& ctx, net::Frame f) {
   });
 }
 
-void LanceNic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
-  const sim::ProfileScope prof(cpu_, sim::CpuComponent::kNicIsr);
+void LanceNic::rx_process(sim::TaskCtx& ctx, net::Frame& f) {
   const auto& cost = cpu_.cost();
-  ctx.charge(cost.interrupt_entry);
   ctx.charge(cost.driver_fixed);
   // PIO copy of the whole packet, headers included, out of the controller's
   // on-board packet buffers into host memory.
@@ -138,11 +202,8 @@ int An1Nic::bqis_in_use() const {
   return n;
 }
 
-void An1Nic::rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
-  const sim::ProfileScope prof(cpu_, sim::CpuComponent::kNicIsr);
+void An1Nic::rx_process(sim::TaskCtx& ctx, net::Frame& f) {
   const auto& cost = cpu_.cost();
-  ctx.charge(cost.interrupt_entry);
-
   const auto hdr = net::An1Header::parse(f.bytes);
   if (!hdr) {
     rx_dropped_++;

@@ -15,6 +15,7 @@
 
 #include "net/link.h"
 #include "sim/cpu.h"
+#include "sim/histogram.h"
 
 namespace ulnet::buf {
 class PacketPool;
@@ -80,10 +81,58 @@ class Nic : public net::LinkEndpoint {
   // Link-payload MTU as seen by the protocol stack above the driver.
   [[nodiscard]] virtual std::size_t driver_mtu() const = 0;
 
+  // --- NAPI-style interrupt mitigation ---
+  // Off (the default): every frame raises its own interrupt task -- the
+  // paper-accurate per-frame ISR, bit-identical to the pre-poll model.
+  // On: the first frame after quiescence raises one interrupt, disarms
+  // further ones, and starts a budgeted poll loop that drains the device
+  // backlog in bursts; interrupts re-arm once the backlog falls to the
+  // watermark. Per-frame device costs (PIO copy, BQI management) are still
+  // paid -- what mitigation removes is the per-frame interrupt entry.
+  struct PollConfig {
+    bool enabled = false;
+    int budget = 16;                  // frames drained per poll round
+    std::size_t rearm_watermark = 0;  // re-arm when backlog <= this
+    std::size_t rx_ring = 256;        // device backlog; overflow drops
+  };
+  void set_poll_config(const PollConfig& pc) { poll_ = pc; }
+  [[nodiscard]] const PollConfig& poll_config() const { return poll_; }
+
+  [[nodiscard]] std::uint64_t poll_transitions() const {
+    return poll_transitions_;
+  }
+  [[nodiscard]] std::uint64_t poll_rounds() const { return poll_rounds_; }
+  [[nodiscard]] std::uint64_t poll_frames() const { return poll_frames_; }
+  [[nodiscard]] std::uint64_t poll_budget_exhausted() const {
+    return poll_budget_exhausted_;
+  }
+  [[nodiscard]] std::uint64_t poll_rearms() const { return poll_rearms_; }
+  // Frames drained per poll round / time a frame waited in the device
+  // backlog before its poll round picked it up.
+  [[nodiscard]] const sim::Histogram& poll_batch_hist() const {
+    return poll_batch_hist_;
+  }
+  [[nodiscard]] const sim::Histogram& backlog_wait_hist() const {
+    return backlog_wait_hist_;
+  }
+
  protected:
-  // Device-specific receive processing, running inside the ISR task. The
-  // frame belongs to the ISR; the handler may consume its bytes by move.
-  virtual void rx_isr(sim::TaskCtx& ctx, net::Frame& f) = 0;
+  // Device-specific receive processing minus the interrupt entry: header
+  // parse, per-frame device costs, demux hand-off. Runs once per frame
+  // from either the per-frame ISR or the poll loop. The frame belongs to
+  // the caller; the handler may consume its bytes by move.
+  virtual void rx_process(sim::TaskCtx& ctx, net::Frame& f) = 0;
+
+  // The per-frame ISR: interrupt entry plus device processing.
+  void rx_isr(sim::TaskCtx& ctx, net::Frame& f) {
+    const sim::ProfileScope prof(cpu_, sim::CpuComponent::kNicIsr);
+    ctx.charge(cpu_.cost().interrupt_entry);
+    rx_process(ctx, f);
+  }
+
+  // One budgeted poll round (`first` = the round entered from the
+  // interrupt itself, later rounds are softirq-equivalent re-polls).
+  void poll_once(sim::TaskCtx& ctx, bool first);
 
   void dispatch_rx(sim::TaskCtx& ctx, net::Frame& f, std::uint16_t bqi) {
     if (rx_handler_) rx_handler_(ctx, f, bqi);
@@ -126,6 +175,23 @@ class Nic : public net::LinkEndpoint {
   std::uint64_t rx_dropped_ = 0;
   std::size_t tx_ring_capacity_ = static_cast<std::size_t>(-1);
   std::deque<sim::Time> tx_done_at_;  // completion times, ascending
+
+  // Poll-mode state: the device-side backlog ring and whether the next
+  // arriving frame raises an interrupt (armed) or just joins the backlog.
+  struct PendingRx {
+    sim::Time arrived = 0;
+    net::Frame frame;
+  };
+  PollConfig poll_;
+  std::deque<PendingRx> backlog_;
+  bool intr_armed_ = true;
+  std::uint64_t poll_transitions_ = 0;
+  std::uint64_t poll_rounds_ = 0;
+  std::uint64_t poll_frames_ = 0;
+  std::uint64_t poll_budget_exhausted_ = 0;
+  std::uint64_t poll_rearms_ = 0;
+  sim::Histogram poll_batch_hist_;
+  sim::Histogram backlog_wait_hist_;
 };
 
 // ---------------------------------------------------------------------------
@@ -142,7 +208,7 @@ class LanceNic final : public Nic {
   }
 
  protected:
-  void rx_isr(sim::TaskCtx& ctx, net::Frame& f) override;
+  void rx_process(sim::TaskCtx& ctx, net::Frame& f) override;
 };
 
 // ---------------------------------------------------------------------------
@@ -183,7 +249,7 @@ class An1Nic final : public Nic {
   [[nodiscard]] std::uint64_t ring_drops() const { return ring_drops_; }
 
  protected:
-  void rx_isr(sim::TaskCtx& ctx, net::Frame& f) override;
+  void rx_process(sim::TaskCtx& ctx, net::Frame& f) override;
 
  private:
   struct Ring {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -74,10 +75,19 @@ class Semaphore {
   [[nodiscard]] bool has_waiter() const { return waiter_.has_value(); }
 
  private:
+  // Both deferred hops below capture `this`, but the semaphore lives inside
+  // a channel that can be torn down before they fire (a library releases the
+  // channel -- or the registry reclaims it from a dead client -- while a
+  // wakeup is in flight). Each hop therefore carries a weak token and turns
+  // into a no-op if the semaphore died in the meantime: the waiter it would
+  // have woken is gone with the channel, so there is nothing to deliver.
   void maybe_wake(sim::TaskCtx& ctx) {
     if (!waiter_ || count_ <= 0) return;
     cpu_.loop().schedule_at(ctx.now(),
-                            [this] { dispatch_waiter(/*blocked=*/true); });
+                            [this, alive = std::weak_ptr<void>(alive_)] {
+                              if (alive.expired()) return;
+                              dispatch_waiter(/*blocked=*/true);
+                            });
   }
 
   void dispatch_waiter(bool blocked) {
@@ -87,8 +97,9 @@ class Semaphore {
     waiter_.reset();
     const sim::Time sig_at = last_signal_at_;
     cpu_.submit(waiter_space_, sim::Prio::kNormal,
-                [this, fn = std::move(fn), blocked, sig_at](
-                    sim::TaskCtx& tctx) {
+                [this, alive = std::weak_ptr<void>(alive_),
+                 fn = std::move(fn), blocked, sig_at](sim::TaskCtx& tctx) {
+                  if (alive.expired()) return;
                   const auto& cost = cpu_.cost();
                   if (blocked) {
                     tctx.charge(cost.kernel_wakeup);
@@ -106,6 +117,8 @@ class Semaphore {
 
   sim::Cpu& cpu_;
   sim::SpaceId waiter_space_;
+  // Lifetime token for the deferred wakeup hops (see maybe_wake).
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
   int count_ = 0;
   std::optional<WaitFn> waiter_;
   sim::Histogram* wakeup_hist_ = nullptr;

@@ -56,6 +56,13 @@ struct CostModel {
   Time interrupt_entry = 20 * kUs;
   // Common driver bookkeeping per packet (queues, mbuf trim, stats).
   Time driver_fixed = 50 * kUs;
+  // NAPI-style polled drain (interrupt mitigation): entering one more poll
+  // round from the task queue -- a softirq-equivalent dispatch, much
+  // cheaper than a full interrupt (no vector, no device ack).
+  Time poll_entry = 6 * kUs;
+  // Per-frame poll-loop bookkeeping (ring index, descriptor recycle) on
+  // top of the device's own per-frame receive costs.
+  Time poll_per_frame = 2 * kUs;
 
   // ---- Demultiplexing (Table 5) ----------------------------------------
   // Software demux of one incoming Ethernet packet: synthesized in-kernel
@@ -74,6 +81,11 @@ struct CostModel {
   Time filter_interp_per_insn = 4 * kUs;
   // BPF-style register VM, per instruction.
   Time filter_bpf_per_insn = 800;
+  // Aggregated-demux trie, per node expansion / header load: a masked
+  // big-endian load plus one hash-edge lookup, ~15 R3000 cycles. The whole
+  // one-pass classification costs header depth x this, independent of how
+  // many bindings were folded into the trie (DPF/MPF lineage).
+  Time demux_trie_node = 600;
   // Header-template match on transmit (a few compares; paper Section 3.4:
   // "usually, this code segment is quite short").
   Time template_match = 8 * kUs;

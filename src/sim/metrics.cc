@@ -41,6 +41,9 @@ std::string Metrics::dump_json() const {
   field("demux_hardware_runs", demux_hardware_runs);
   field("demux_hash_hits", demux_hash_hits);
   field("demux_fallback_walks", demux_fallback_walks);
+  field("demux_trie_hits", demux_trie_hits);
+  field("demux_trie_rebuilds", demux_trie_rebuilds);
+  field("demux_diff_mismatches", demux_diff_mismatches);
   field("template_checks", template_checks);
   field("template_rejects", template_rejects);
   field("demux_drops", demux_drops);
@@ -56,6 +59,11 @@ std::string Metrics::dump_json() const {
   field("link_frames_jittered", link_frames_jittered);
   field("nic_rx_dropped", nic_rx_dropped);
   field("nic_ring_drops", nic_ring_drops);
+  field("nic_poll_transitions", nic_poll_transitions);
+  field("nic_poll_rounds", nic_poll_rounds);
+  field("nic_poll_frames", nic_poll_frames);
+  field("nic_poll_budget_exhausted", nic_poll_budget_exhausted);
+  field("nic_poll_rearms", nic_poll_rearms);
   field("netio_ring_drops", netio_ring_drops);
   field("netio_unclaimed_drops", netio_unclaimed_drops);
   field("netio_tx_backpressure", netio_tx_backpressure);

@@ -31,6 +31,12 @@ struct Metrics {
   // probe vs. packets that missed and walked the binding list.
   std::uint64_t demux_hash_hits = 0;
   std::uint64_t demux_fallback_walks = 0;
+  // Aggregated demux (interpreted modes): one-pass trie resolutions, trie
+  // recompiles after unbind/mode-switch, and differential-shadow
+  // disagreements with the linear walk (must stay 0).
+  std::uint64_t demux_trie_hits = 0;
+  std::uint64_t demux_trie_rebuilds = 0;
+  std::uint64_t demux_diff_mismatches = 0;
   std::uint64_t template_checks = 0;
   std::uint64_t template_rejects = 0;
   std::uint64_t demux_drops = 0;
@@ -53,6 +59,14 @@ struct Metrics {
   std::uint64_t link_frames_jittered = 0;
   std::uint64_t nic_rx_dropped = 0;
   std::uint64_t nic_ring_drops = 0;
+  // NAPI-style interrupt mitigation (hw/nic poll mode): ISR->poll mode
+  // transitions, poll rounds and frames drained by them, rounds that hit
+  // the budget with backlog remaining, and poll->ISR re-arms.
+  std::uint64_t nic_poll_transitions = 0;
+  std::uint64_t nic_poll_rounds = 0;
+  std::uint64_t nic_poll_frames = 0;
+  std::uint64_t nic_poll_budget_exhausted = 0;
+  std::uint64_t nic_poll_rearms = 0;
   std::uint64_t netio_ring_drops = 0;
   std::uint64_t netio_unclaimed_drops = 0;
   std::uint64_t netio_tx_backpressure = 0;
@@ -78,6 +92,10 @@ struct Metrics {
     d.demux_hardware_runs = demux_hardware_runs - base.demux_hardware_runs;
     d.demux_hash_hits = demux_hash_hits - base.demux_hash_hits;
     d.demux_fallback_walks = demux_fallback_walks - base.demux_fallback_walks;
+    d.demux_trie_hits = demux_trie_hits - base.demux_trie_hits;
+    d.demux_trie_rebuilds = demux_trie_rebuilds - base.demux_trie_rebuilds;
+    d.demux_diff_mismatches =
+        demux_diff_mismatches - base.demux_diff_mismatches;
     d.template_checks = template_checks - base.template_checks;
     d.template_rejects = template_rejects - base.template_rejects;
     d.demux_drops = demux_drops - base.demux_drops;
@@ -95,6 +113,12 @@ struct Metrics {
     d.link_frames_jittered = link_frames_jittered - base.link_frames_jittered;
     d.nic_rx_dropped = nic_rx_dropped - base.nic_rx_dropped;
     d.nic_ring_drops = nic_ring_drops - base.nic_ring_drops;
+    d.nic_poll_transitions = nic_poll_transitions - base.nic_poll_transitions;
+    d.nic_poll_rounds = nic_poll_rounds - base.nic_poll_rounds;
+    d.nic_poll_frames = nic_poll_frames - base.nic_poll_frames;
+    d.nic_poll_budget_exhausted =
+        nic_poll_budget_exhausted - base.nic_poll_budget_exhausted;
+    d.nic_poll_rearms = nic_poll_rearms - base.nic_poll_rearms;
     d.netio_ring_drops = netio_ring_drops - base.netio_ring_drops;
     d.netio_unclaimed_drops =
         netio_unclaimed_drops - base.netio_unclaimed_drops;

@@ -1,0 +1,232 @@
+// Differential tests for the aggregated (one-pass trie) demultiplexer.
+//
+// The trie is an optimization, not a semantics change: for every frame the
+// kernel delivers, the aggregated classification must name exactly the
+// channel the paper-accurate linear walk would have named -- including
+// first-match resolution of overlapping and duplicate bindings, wildcard
+// (listening) filters, raw ethertype bindings and residual programs the
+// analyzer could not fold. These tests drive the real NetIoModule with the
+// differential shadow armed, so every delivered frame is classified twice
+// and any disagreement trips `demux_diff_mismatches`.
+//
+// The quick storms run in tier 1 under the `demux_diff` ctest label; the
+// 256-binding full sweep is the same property at bench scale and only runs
+// when ULNET_DEMUX_FULL=1 (wired as the perf-configuration ctest).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "api/chaos.h"
+#include "core/netio_module.h"
+#include "os/world.h"
+#include "proto/wire.h"
+#include "sim/rng.h"
+
+namespace ulnet::core {
+namespace {
+
+struct DemuxDiffFixture : ::testing::Test {
+  os::World world;
+  os::Host& host = world.add_host("h");
+  net::Link& link = world.add_ethernet();
+  hw::LanceNic& nic =
+      world.attach_lance(host, link, net::Ipv4Addr::parse("10.0.0.1"));
+  NetIoModule mod{host, nic, 0};
+  sim::SpaceId app = host.new_space("app");
+
+  void arm(NetIoModule::DemuxMode mode) {
+    mod.set_demux_mode(mode);
+    mod.set_filter_aggregation(true);
+    mod.set_demux_differential(true);
+  }
+
+  NetIoModule::ChannelSetup tcp_setup(std::uint16_t lport,
+                                      std::uint16_t rport,
+                                      std::uint32_t remote_ip) {
+    NetIoModule::ChannelSetup s;
+    s.app_space = app;
+    s.flow.ethertype = net::kEtherTypeIp;
+    s.flow.ip_proto = proto::kProtoTcp;
+    s.flow.local_ip = net::Ipv4Addr::parse("10.0.0.1").value;
+    s.flow.remote_ip = remote_ip;
+    s.flow.local_port = lport;
+    s.flow.remote_port = rport;
+    s.peer_mac = net::MacAddr::from_index(9, 0);
+    return s;
+  }
+
+  ChannelId create(const NetIoModule::ChannelSetup& setup) {
+    ChannelId id = kInvalidChannel;
+    host.cpu().submit(sim::kKernelSpace, sim::Prio::kNormal,
+                      [&](sim::TaskCtx& ctx) {
+                        id = mod.create_channel(ctx, setup);
+                      });
+    world.run();
+    return id;
+  }
+
+  void destroy(ChannelId id) {
+    host.cpu().submit(sim::kKernelSpace, sim::Prio::kNormal,
+                      [&](sim::TaskCtx& ctx) { mod.destroy_channel(ctx, id); });
+    world.run();
+  }
+
+  // One wire-accurate frame through the full rx path (classify included).
+  void arrive(std::uint32_t src_ip, std::uint16_t sport, std::uint16_t dport,
+              std::uint8_t ip_proto = proto::kProtoTcp,
+              std::uint16_t ethertype = net::kEtherTypeIp) {
+    net::Frame f;
+    net::EthHeader{nic.mac(), net::MacAddr::from_index(9, 0), ethertype}
+        .serialize(f.bytes);
+    proto::Ipv4Header ih;
+    ih.total_len = 40;
+    ih.proto = ip_proto;
+    ih.src = net::Ipv4Addr{src_ip};
+    ih.dst = net::Ipv4Addr::parse("10.0.0.1");
+    ih.serialize(f.bytes);
+    proto::TcpHeader th;
+    th.sport = sport;
+    th.dport = dport;
+    th.flags.ack = true;
+    th.serialize(f.bytes, ih.src, ih.dst, {});
+    nic.frame_arrived(std::move(f));
+    world.run();
+  }
+
+  // A seeded storm mixing exact matches, near-misses, foreign protocols
+  // and foreign ethertypes across whatever bindings exist.
+  void storm(std::uint64_t seed, int frames) {
+    sim::Rng rng(seed);
+    const std::uint32_t ips[] = {net::Ipv4Addr::parse("10.0.0.2").value,
+                                 net::Ipv4Addr::parse("10.0.0.3").value,
+                                 net::Ipv4Addr::parse("10.0.0.99").value};
+    const std::uint16_t ports[] = {5001, 5002, 5003, 6001, 9999};
+    for (int i = 0; i < frames; ++i) {
+      arrive(ips[rng.below(3)], ports[rng.below(5)], ports[rng.below(5)],
+             rng.chance(0.85) ? proto::kProtoTcp : proto::kProtoUdp,
+             rng.chance(0.92) ? net::kEtherTypeIp : net::kEtherTypeArp);
+    }
+  }
+};
+
+TEST_F(DemuxDiffFixture, BpfStormOverMixedBindingsAgreesWithWalk) {
+  arm(NetIoModule::DemuxMode::kBpf);
+  const std::uint32_t peer = net::Ipv4Addr::parse("10.0.0.2").value;
+  // Mixed population: exact connections, a duplicate of the first binding
+  // (first-match tie), a wildcard listener, and a raw ethertype channel.
+  create(tcp_setup(5001, 6001, peer));
+  create(tcp_setup(5002, 6001, peer));
+  create(tcp_setup(5001, 6001, peer));  // duplicate: lower id must win
+  create(tcp_setup(5003, 0, 0));        // listener: remote wildcarded
+  NetIoModule::ChannelSetup raw;
+  raw.app_space = app;
+  raw.raw = true;
+  raw.raw_ethertype = net::kEtherTypeArp;
+  raw.peer_mac = net::MacAddr::from_index(9, 0);
+  create(raw);
+
+  storm(/*seed=*/17, /*frames=*/600);
+  EXPECT_EQ(mod.counters().demux_diff_mismatches, 0u);
+  EXPECT_GT(mod.counters().demux_trie_hits, 0u);
+  EXPECT_GT(mod.trie_nodes(), 0u);
+}
+
+TEST_F(DemuxDiffFixture, CspfStormOverMixedBindingsAgreesWithWalk) {
+  arm(NetIoModule::DemuxMode::kCspf);
+  const std::uint32_t peer = net::Ipv4Addr::parse("10.0.0.2").value;
+  create(tcp_setup(5001, 6001, peer));
+  create(tcp_setup(5002, 6001, peer));
+  create(tcp_setup(5003, 0, 0));
+
+  storm(/*seed=*/23, /*frames=*/600);
+  EXPECT_EQ(mod.counters().demux_diff_mismatches, 0u);
+  EXPECT_GT(mod.counters().demux_trie_hits, 0u);
+}
+
+TEST_F(DemuxDiffFixture, UnbindRecompilesAndForgetsTheBinding) {
+  arm(NetIoModule::DemuxMode::kBpf);
+  const std::uint32_t peer = net::Ipv4Addr::parse("10.0.0.2").value;
+  const ChannelId a = create(tcp_setup(5001, 6001, peer));
+  create(tcp_setup(5002, 6001, peer));
+  storm(/*seed=*/31, /*frames=*/200);
+  const std::size_t nodes_before = mod.trie_nodes();
+  const std::uint64_t rebuilds_before = mod.counters().demux_trie_rebuilds;
+
+  destroy(a);
+  storm(/*seed=*/37, /*frames=*/200);
+  // The unbind invalidated the trie; the next classification recompiled it
+  // without the dead binding, and the shadow walk still agrees on every
+  // frame (including the ones that used to hit channel `a`).
+  EXPECT_GT(mod.counters().demux_trie_rebuilds, rebuilds_before);
+  EXPECT_LT(mod.trie_nodes(), nodes_before);
+  EXPECT_EQ(mod.counters().demux_diff_mismatches, 0u);
+}
+
+TEST_F(DemuxDiffFixture, ModeSwitchRecompilesForTheNewEngine) {
+  arm(NetIoModule::DemuxMode::kBpf);
+  const std::uint32_t peer = net::Ipv4Addr::parse("10.0.0.2").value;
+  create(tcp_setup(5001, 6001, peer));
+  storm(/*seed=*/41, /*frames=*/100);
+  const std::uint64_t rebuilds_before = mod.counters().demux_trie_rebuilds;
+  mod.set_demux_mode(NetIoModule::DemuxMode::kCspf);
+  storm(/*seed=*/43, /*frames=*/100);
+  EXPECT_GT(mod.counters().demux_trie_rebuilds, rebuilds_before);
+  EXPECT_EQ(mod.counters().demux_diff_mismatches, 0u);
+}
+
+// 8-seed chaos soak: the full crash-fault scenario (library kill, stalls,
+// lost wakeups, ring exhaustion, reclamation) with the aggregated demux
+// and its differential shadow armed on both hosts. The report's invariants
+// now include verdict identity (0 mismatches) and the no-leaked-trie-nodes
+// bound after the victim's bindings are reclaimed.
+TEST(DemuxDiffChaos, EightSeedsSurviveWithAggregationArmed) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    api::ChaosScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.link = api::LinkType::kEthernet;
+    cfg.demux_mode = NetIoModule::DemuxMode::kBpf;
+    cfg.filter_aggregation = true;
+    cfg.demux_differential = true;
+    const api::ChaosReport rep = api::run_chaos_scenario(cfg);
+    EXPECT_TRUE(rep.invariants_ok()) << "seed " << seed << ": "
+                                     << rep.failure();
+    EXPECT_TRUE(rep.aggregation_armed) << "seed " << seed;
+    EXPECT_EQ(rep.demux_diff_mismatches, 0u) << "seed " << seed;
+  }
+}
+
+// Bench-scale sweep: 256 bindings, both interpreted engines, a long mixed
+// storm. Same property as the quick storms, at the population size the
+// scale bench gates on. Opt-in (ULNET_DEMUX_FULL=1); ctest runs it under
+// the perf configuration.
+TEST_F(DemuxDiffFixture, FullSweep256Bindings) {
+  if (std::getenv("ULNET_DEMUX_FULL") == nullptr) {
+    GTEST_SKIP() << "set ULNET_DEMUX_FULL=1 (ctest -C perf) for the full "
+                    "256-binding sweep";
+  }
+  for (NetIoModule::DemuxMode mode :
+       {NetIoModule::DemuxMode::kBpf, NetIoModule::DemuxMode::kCspf}) {
+    arm(mode);
+    const std::uint32_t peer = net::Ipv4Addr::parse("10.0.0.2").value;
+    std::vector<ChannelId> ids;
+    for (int i = 0; i < 256; ++i) {
+      ids.push_back(create(tcp_setup(static_cast<std::uint16_t>(5001 + i),
+                                     static_cast<std::uint16_t>(2000 + i),
+                                     peer)));
+    }
+    sim::Rng rng(1000 + static_cast<std::uint64_t>(mode));
+    for (int i = 0; i < 5000; ++i) {
+      const auto pick = static_cast<std::uint16_t>(rng.below(300));
+      arrive(peer, static_cast<std::uint16_t>(2000 + pick),
+             static_cast<std::uint16_t>(5001 + pick),
+             rng.chance(0.9) ? proto::kProtoTcp : proto::kProtoUdp);
+    }
+    EXPECT_EQ(mod.counters().demux_diff_mismatches, 0u);
+    EXPECT_GT(mod.counters().demux_trie_hits, 1000u);
+    for (ChannelId id : ids) destroy(id);
+  }
+}
+
+}  // namespace
+}  // namespace ulnet::core

@@ -199,5 +199,115 @@ TEST(FlowFilter, BpfFallOffEndRejects) {
   EXPECT_FALSE(vm.run(pkt).accept);
 }
 
+// ---------------------------------------------------------------------------
+// Filter aggregation: conjunctive-predicate analyzers + the shared trie
+// ---------------------------------------------------------------------------
+
+TEST(FilterAggregation, AnalyzersAcceptTheFlowFilterShape) {
+  // The programs the netio module actually installs must be aggregable:
+  // both analyzers recognize the masked-equality conjunction inside them.
+  const auto bpf = analyze_bpf(build_bpf_flow_filter(kKey, kEthHdr,
+                                                     kEthTypeOff));
+  ASSERT_TRUE(bpf.has_value());
+  EXPECT_GE(bpf->size(), 4u);
+  const auto cspf = analyze_cspf(build_cspf_flow_filter(kKey, kEthHdr,
+                                                        kEthTypeOff));
+  ASSERT_TRUE(cspf.has_value());
+  EXPECT_GE(cspf->size(), 4u);
+}
+
+TEST(FilterAggregation, AnalyzerPredicatesMeanWhatTheProgramMeans) {
+  // A trie built from the analyzed predicates must give the program's
+  // verdict on every probe -- acceptance iff the VM accepts.
+  BpfVm vm(build_bpf_flow_filter(kKey, kEthHdr, kEthTypeOff));
+  FilterAggregate agg;
+  agg.insert(1, *analyze_bpf(vm.program()));
+  for (const FilterCase& c : kCases) {
+    auto pkt = make_tcp_packet(c.src_ip, c.dst_ip, c.sport, c.dport, c.proto,
+                               c.ethertype);
+    EXPECT_EQ(agg.classify(pkt).best == 1, vm.run(pkt).accept) << c.name;
+  }
+}
+
+TEST(FilterAggregation, AnalyzersRejectNonConjunctivePrograms) {
+  // Always-reject BPF program: no accepting path to summarize.
+  EXPECT_FALSE(analyze_bpf({{BpfOp::kRetImm, 0, 0, 0}}).has_value());
+  // Fall-off-the-end program.
+  EXPECT_FALSE(analyze_bpf({{BpfOp::kLdAbsH, 0, 0, 0}}).has_value());
+  // CSPF program that is not a chain of equality groups.
+  EXPECT_FALSE(analyze_cspf({{CspfOp::kEq, 0}}).has_value());
+}
+
+TEST(FilterAggregation, FirstMatchWinsAcrossOverlappingBindings) {
+  // Two identical programs under different ids: the trie must report the
+  // lower id, exactly like the linear walk's first match.
+  const auto preds = *analyze_bpf(build_bpf_flow_filter(kKey, kEthHdr,
+                                                        kEthTypeOff));
+  FilterAggregate agg;
+  agg.insert(7, preds);
+  agg.insert(3, preds);
+  auto pkt = make_tcp_packet(0x0a000001, 0x0a000002, 1234, 80);
+  EXPECT_EQ(agg.classify(pkt).best, 3u);
+}
+
+TEST(FilterAggregation, WildcardAndExactBindingsResolveLikeTheWalk) {
+  // An exact connection filter and a listening (wildcard-remote) filter on
+  // the same port coexist; packets match the first (lowest-id) accepting
+  // binding, and a foreign port matches only the wildcard... or nothing.
+  const FlowKey listen = flow_of(0x0a000002, 80, 0, 0);
+  BpfVm exact_vm(build_bpf_flow_filter(kKey, kEthHdr, kEthTypeOff));
+  BpfVm listen_vm(build_bpf_flow_filter(listen, kEthHdr, kEthTypeOff));
+  FilterAggregate agg;
+  agg.insert(1, *analyze_bpf(exact_vm.program()));
+  agg.insert(2, *analyze_bpf(listen_vm.program()));
+
+  sim::Rng rng(77);
+  const std::uint32_t ips[] = {0x0a000001, 0x0a000002, 0x0a0000aa};
+  const std::uint16_t ports[] = {80, 1234, 9999};
+  for (int i = 0; i < 4000; ++i) {
+    auto pkt = make_tcp_packet(
+        ips[rng.below(3)], ips[rng.below(3)], ports[rng.below(3)],
+        ports[rng.below(3)], rng.chance(0.8) ? 6 : 17,
+        rng.chance(0.9) ? net::kEtherTypeIp : net::kEtherTypeArp);
+    std::uint32_t walk = 0;
+    if (exact_vm.run(pkt).accept) {
+      walk = 1;
+    } else if (listen_vm.run(pkt).accept) {
+      walk = 2;
+    }
+    EXPECT_EQ(agg.classify(pkt).best, walk) << "trial " << i;
+  }
+}
+
+TEST(FilterAggregation, ClassifyCostIsHeaderDepthNotBindingCount) {
+  // 64 distinct connections folded into one trie: classifying a packet
+  // loads each tested header field once and walks one path, so the work is
+  // bounded by header depth no matter how many bindings share the trie.
+  FilterAggregate agg;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const FlowKey k = flow_of(0x0a000002, 5001,  0x0a000001,
+                              static_cast<std::uint16_t>(2000 + i));
+    agg.insert(i + 1,
+               *analyze_bpf(build_bpf_flow_filter(k, kEthHdr, kEthTypeOff)));
+  }
+  auto pkt = make_tcp_packet(0x0a000001, 0x0a000002, 2063, 5001);
+  const auto res = agg.classify(pkt);
+  EXPECT_EQ(res.best, 64u);
+  EXPECT_LE(res.loads, static_cast<int>(agg.dimension_count()));
+  EXPECT_LE(res.nodes_visited, 8);
+}
+
+TEST(FilterAggregation, ClearForgetsEverything) {
+  FilterAggregate agg;
+  agg.insert(1, *analyze_bpf(build_bpf_flow_filter(kKey, kEthHdr,
+                                                   kEthTypeOff)));
+  EXPECT_FALSE(agg.empty());
+  agg.clear();
+  EXPECT_TRUE(agg.empty());
+  EXPECT_EQ(agg.node_count(), 0u);
+  auto pkt = make_tcp_packet(0x0a000001, 0x0a000002, 1234, 80);
+  EXPECT_EQ(agg.classify(pkt).best, 0u);
+}
+
 }  // namespace
 }  // namespace ulnet::filter

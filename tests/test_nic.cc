@@ -162,6 +162,110 @@ TEST_F(TwoHostFixture, An1PostBuffersCapsAtCapacity) {
   EXPECT_EQ(na.posted_buffers(bqi), 3);
 }
 
+// ---------------------------------------------------------------------------
+// NAPI-style interrupt mitigation (poll mode)
+// ---------------------------------------------------------------------------
+
+TEST_F(TwoHostFixture, PollModeTakesOneInterruptPerBurst) {
+  auto& link = world.add_ethernet();
+  auto& ha = world.add_host("a");
+  auto& na = world.attach_lance(ha, link, net::Ipv4Addr::parse("10.0.0.1"));
+  Nic::PollConfig pc;
+  pc.enabled = true;
+  na.set_poll_config(pc);
+
+  int got = 0;
+  na.set_rx_handler(
+      [&](sim::TaskCtx&, const Frame&, std::uint16_t) { got++; });
+
+  // A burst of 8 frames lands before the CPU runs: the first arms one
+  // interrupt, the rest join the device backlog silently.
+  for (int i = 0; i < 8; ++i) {
+    na.frame_arrived(eth_frame(na.mac(), na.mac(), 200));
+  }
+  world.run();
+  EXPECT_EQ(got, 8);
+  EXPECT_EQ(na.rx_frames(), 8u);
+  EXPECT_EQ(world.metrics().interrupts, 1u);
+  EXPECT_EQ(na.poll_transitions(), 1u);
+  EXPECT_EQ(na.poll_frames(), 8u);
+  EXPECT_EQ(na.poll_rearms(), 1u);
+
+  // Quiescence re-armed the interrupt: the next frame raises a new one.
+  na.frame_arrived(eth_frame(na.mac(), na.mac(), 200));
+  world.run();
+  EXPECT_EQ(got, 9);
+  EXPECT_EQ(world.metrics().interrupts, 2u);
+  EXPECT_EQ(na.poll_transitions(), 2u);
+}
+
+TEST_F(TwoHostFixture, PollBudgetBoundsEachRound) {
+  auto& link = world.add_ethernet();
+  auto& ha = world.add_host("a");
+  auto& na = world.attach_lance(ha, link, net::Ipv4Addr::parse("10.0.0.1"));
+  Nic::PollConfig pc;
+  pc.enabled = true;
+  pc.budget = 4;
+  na.set_poll_config(pc);
+  na.set_rx_handler([](sim::TaskCtx&, const Frame&, std::uint16_t) {});
+
+  for (int i = 0; i < 10; ++i) {
+    na.frame_arrived(eth_frame(na.mac(), na.mac(), 100));
+  }
+  world.run();
+  // Rounds of 4 + 4 + 2: the first two exhaust the budget with backlog
+  // left and yield; the last drains the remainder and re-arms.
+  EXPECT_EQ(na.poll_frames(), 10u);
+  EXPECT_EQ(na.poll_rounds(), 3u);
+  EXPECT_EQ(na.poll_budget_exhausted(), 2u);
+  EXPECT_EQ(na.poll_rearms(), 1u);
+  EXPECT_EQ(world.metrics().interrupts, 1u);
+  EXPECT_EQ(world.metrics().nic_poll_rounds, 3u);
+}
+
+TEST_F(TwoHostFixture, PollBacklogOverflowDrops) {
+  auto& link = world.add_ethernet();
+  auto& ha = world.add_host("a");
+  auto& na = world.attach_lance(ha, link, net::Ipv4Addr::parse("10.0.0.1"));
+  Nic::PollConfig pc;
+  pc.enabled = true;
+  pc.rx_ring = 4;
+  na.set_poll_config(pc);
+  na.set_rx_handler([](sim::TaskCtx&, const Frame&, std::uint16_t) {});
+
+  for (int i = 0; i < 6; ++i) {
+    na.frame_arrived(eth_frame(na.mac(), na.mac(), 100));
+  }
+  world.run();
+  EXPECT_EQ(na.rx_frames(), 4u);
+  EXPECT_EQ(na.rx_dropped(), 2u);
+  EXPECT_EQ(world.metrics().nic_rx_dropped, 2u);
+}
+
+TEST_F(TwoHostFixture, PollRoundCostsFollowTheModel) {
+  auto& link = world.add_ethernet();
+  auto& ha = world.add_host("a");
+  auto& na = world.attach_lance(ha, link, net::Ipv4Addr::parse("10.0.0.1"));
+  Nic::PollConfig pc;
+  pc.enabled = true;
+  na.set_poll_config(pc);
+  na.set_rx_handler([](sim::TaskCtx&, const Frame&, std::uint16_t) {});
+
+  const std::size_t payload = 300;
+  for (int i = 0; i < 8; ++i) {
+    na.frame_arrived(eth_frame(na.mac(), na.mac(), payload));
+  }
+  world.run();
+  // One interrupt entry for the whole burst, then per-frame poll
+  // bookkeeping on top of the unchanged device costs (Lance PIO copy).
+  const auto& cost = world.cost();
+  const auto frame_len = static_cast<sim::Time>(EthHeader::kSize + payload);
+  EXPECT_EQ(ha.cpu().busy_ns(),
+            cost.interrupt_entry +
+                8 * (cost.poll_per_frame + cost.driver_fixed +
+                     frame_len * cost.pio_per_byte));
+}
+
 TEST_F(TwoHostFixture, RtClockQuantizesTo40ns) {
   auto& ha = world.add_host("a");
   world.loop().run_until(105);
