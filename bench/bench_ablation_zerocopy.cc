@@ -1,14 +1,27 @@
-// Ablation: copy-avoiding buffer organization (paper Section 4).
+// Ablation: zero-copy / selective-copy data path (paper Section 4).
 //
 // "We achieve better performance than Ultrix with 512-byte user packets
 // because our implementation uses a buffer organization that eliminates
-// byte copying. Ultrix uses an identical mechanism, but it is invoked only
-// when the user packet size is 1024 bytes or larger."
+// byte copying."
 //
-// This bench sweeps the monolithic stack's remap threshold (the size at
-// or above which a page donation replaces the byte copy) and shows the
-// user-level library's always-zero-copy shared rings alongside.
+// Two row families per organization, same bulk workload:
+//
+//   model/  -- knob idealizations: what would eliminating the payload copy
+//              buy if the copy were simply free? (in-kernel: remap
+//              threshold; single-server: IPC per-byte rate; user-level:
+//              the payload-copy charge gate with the rate zeroed)
+//   real/   -- the actual mechanisms: page donation at the user/kernel
+//              boundary, out-of-line IPC, and the library's loaned RX
+//              buffers + template-gated gathered TX.
+//
+// A real mechanism still pays its machinery (VM remaps, OOL descriptors,
+// loan bookkeeping), so per organization real/zc must not beat model/zc;
+// and on the user-level path the measured copy elision must show up in the
+// counters: payload_bytes_copied collapses to ~0 while the loan census
+// returns to zero at exit.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "api/testbed.h"
 #include "api/workloads.h"
@@ -19,50 +32,194 @@ using namespace ulnet::api;
 
 namespace {
 
-double ik_tput(LinkType link, std::size_t write, std::size_t threshold) {
-  sim::CostModel cm;
-  cm.remap_threshold = threshold;
-  Testbed bed(OrgType::kInKernel, link, 1, cm);
-  BulkTransfer bulk(bed, 512 * 1024, write);
-  auto r = bulk.run();
-  return r.ok ? r.throughput_mbps() : -1;
+constexpr std::size_t kWrite = 1460;  // one MSS per write: no chunk spans
+constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+struct RunOut {
+  double tput = -1;
+  double payload_copied = 0;
+  double payload_elided = 0;
+  double tx_gather_frames = 0;
+  double loans_outstanding = 0;
+  double loan_high_water = 0;
+  sim::Histogram loan_residency;
+};
+
+void fill_counters(Testbed& bed, RunOut& out) {
+  const sim::Metrics& m = bed.world().metrics();
+  out.payload_copied = static_cast<double>(m.payload_bytes_copied);
+  out.payload_elided = static_cast<double>(m.payload_bytes_elided);
+  out.tx_gather_frames = static_cast<double>(m.tx_gather_frames);
+  out.loans_outstanding = static_cast<double>(m.loans_outstanding);
+  out.loan_high_water = static_cast<double>(m.loan_high_water);
+  out.loan_residency = bed.world().pool().loan_residency();
 }
 
-double ul_tput(LinkType link, std::size_t write) {
-  Testbed bed(OrgType::kUserLevel, link, 1);
-  BulkTransfer bulk(bed, 512 * 1024, write);
+RunOut run_ik(std::size_t total, std::size_t threshold, bool zero_copy) {
+  sim::CostModel cm;
+  cm.remap_threshold = threshold;
+  Testbed bed(OrgType::kInKernel, LinkType::kAn1, 1, cm);
+  if (zero_copy) {
+    bed.ik_org_a()->set_zero_copy(true);
+    bed.ik_org_b()->set_zero_copy(true);
+  }
+  BulkTransfer bulk(bed, total, kWrite);
   auto r = bulk.run();
-  return r.ok ? r.throughput_mbps() : -1;
+  RunOut out;
+  out.tput = r.ok ? r.throughput_mbps() : -1;
+  fill_counters(bed, out);
+  return out;
+}
+
+RunOut run_ss(std::size_t total, sim::Time ipc_per_byte, bool zero_copy) {
+  sim::CostModel cm;
+  cm.mach_ipc_per_byte = ipc_per_byte;
+  Testbed bed(OrgType::kSingleServer, LinkType::kAn1, 1, cm);
+  if (zero_copy) {
+    bed.ss_org_a()->set_zero_copy(true);
+    bed.ss_org_b()->set_zero_copy(true);
+  }
+  BulkTransfer bulk(bed, total, kWrite);
+  auto r = bulk.run();
+  RunOut out;
+  out.tput = r.ok ? r.throughput_mbps() : -1;
+  fill_counters(bed, out);
+  return out;
+}
+
+RunOut run_ul(std::size_t total, sim::Time payload_rate, bool mechanisms) {
+  sim::CostModel cm;
+  cm.payload_copy_per_byte = payload_rate;
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1, 1, cm);
+  // Copy charging on for every user-level row: the gate is what makes the
+  // counted copy sites cost simulated time, so both the knob model and the
+  // real mechanism move the same dial.
+  bed.user_app_a()->env().set_copy_charging(true);
+  bed.user_app_b()->env().set_copy_charging(true);
+  if (mechanisms) {
+    bed.user_org_a()->set_zero_copy(true);
+    bed.user_org_b()->set_zero_copy(true);
+    proto::TcpConfig zc = bed.app_a().tcp_config();
+    zc.rx_byref = true;
+    zc.tx_gather = true;
+    bed.app_a().set_tcp_config(zc);
+    bed.app_b().set_tcp_config(zc);
+  }
+  BulkTransfer bulk(bed, total, kWrite, 5001, /*verify_data=*/true);
+  bulk.set_zc_recv(mechanisms);
+  auto r = bulk.run();
+  RunOut out;
+  out.tput = (r.ok && r.data_valid) ? r.throughput_mbps() : -1;
+  fill_counters(bed, out);
+  return out;
+}
+
+bool check(bool cond, const char* what) {
+  if (!cond) std::fprintf(stderr, "FAIL: %s\n", what);
+  return cond;
 }
 
 }  // namespace
 
-int main() {
-  bench::heading(
-      "Ablation: copy-avoidance threshold (in-kernel stack) vs zero-copy "
-      "shared rings (user-level), AN1");
-  std::printf("%-44s %10s %10s\n", "configuration", "512 B", "4096 B");
-  const std::size_t kNever = static_cast<std::size_t>(-1);
-  struct Case {
-    const char* label;
-    std::size_t threshold;
-  } cases[] = {
-      {"in-kernel, always copy (no remap)", kNever},
-      {"in-kernel, remap >= 1024 (Ultrix 4.2A)", 1024},
-      {"in-kernel, remap >= 512", 512},
-  };
-  for (const Case& c : cases) {
-    std::printf("%-44s %10.2f %10.2f\n", c.label,
-                ik_tput(LinkType::kAn1, 512, c.threshold),
-                ik_tput(LinkType::kAn1, 4096, c.threshold));
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
-  std::printf("%-44s %10.2f %10.2f\n",
-              "user-level library (zero-copy shared rings)",
-              ul_tput(LinkType::kAn1, 512), ul_tput(LinkType::kAn1, 4096));
+  const std::size_t total = quick ? 256 * 1024 : 512 * 1024;
+
+  bench::JsonReport report(argc, argv, "bench_ablation_zerocopy",
+                           "Section 4 (copy elision)");
+
+  bench::heading(
+      "Ablation: copy elision -- knob models vs real mechanisms, AN1");
+  std::printf("%-34s %12s %14s %14s\n", "row", "Mb/s", "payload copied",
+              "payload elided");
+  auto emit = [&](const char* label, const RunOut& r) {
+    std::printf("%-34s %12.2f %14.0f %14.0f\n", label, r.tput,
+                r.payload_copied, r.payload_elided);
+    report.add(label, "throughput", "Mb/s", r.tput, std::nullopt,
+               {{"write_size", static_cast<double>(kWrite)},
+                {"total_bytes", static_cast<double>(total)}},
+               "simulated");
+  };
+
+  // In-kernel: the knob is the copy-avoidance threshold; the mechanism is
+  // unconditional page donation at the boundary.
+  const RunOut ik_copy = run_ik(total, kNever, false);
+  const RunOut ik_model = run_ik(total, 0, false);
+  const RunOut ik_real = run_ik(total, kNever, true);
+  emit("model/ik/copy", ik_copy);
+  emit("model/ik/zc", ik_model);
+  emit("real/ik/copy", ik_copy);
+  emit("real/ik/zc", ik_real);
+
+  // Single-server: the knob zeroes the IPC per-byte rate; the mechanism is
+  // out-of-line transfer on the data-bearing IPCs.
+  const sim::Time kIpcRate = sim::CostModel{}.mach_ipc_per_byte;
+  const RunOut ss_copy = run_ss(total, kIpcRate, false);
+  const RunOut ss_model = run_ss(total, 0, false);
+  const RunOut ss_real = run_ss(total, kIpcRate, true);
+  emit("model/ss/copy", ss_copy);
+  emit("model/ss/zc", ss_model);
+  emit("real/ss/copy", ss_copy);
+  emit("real/ss/zc", ss_real);
+
+  // User-level: the knob zeroes the payload-copy charge; the mechanism is
+  // loaned RX delivery + by-reference TCP + gathered TX + a recv_zc sink.
+  const sim::Time kPayloadRate = sim::CostModel{}.payload_copy_per_byte;
+  const RunOut ul_copy = run_ul(total, kPayloadRate, false);
+  const RunOut ul_model = run_ul(total, 0, false);
+  const RunOut ul_real = run_ul(total, kPayloadRate, true);
+  emit("model/ul/copy", ul_copy);
+  emit("model/ul/zc", ul_model);
+  emit("real/ul/copy", ul_copy);
+  emit("real/ul/zc", ul_real);
+
+  // Loan census and elision counters from the real user-level zero-copy run.
+  report.add("zc/ul", "payload_bytes_copied", "bytes", ul_real.payload_copied,
+             std::nullopt, {}, "simulated");
+  report.add("zc/ul", "payload_bytes_elided", "bytes", ul_real.payload_elided,
+             std::nullopt, {}, "simulated");
+  report.add("zc/ul", "tx_gather_frames", "frames", ul_real.tx_gather_frames,
+             std::nullopt, {}, "simulated");
+  report.add("zc/ul", "loan_high_water", "loans", ul_real.loan_high_water,
+             std::nullopt, {}, "simulated");
+  report.add("zc/ul", "loans_outstanding", "loans", ul_real.loans_outstanding,
+             std::nullopt, {}, "simulated");
+  bench::add_hist(report, "hist.loan_residency", ul_real.loan_residency);
+
   std::printf(
-      "\nReading: below the threshold every byte is copied across the"
-      "\nuser/kernel boundary; lowering the threshold (or eliminating the"
-      "\ncopy entirely, as the shared rings do) recovers small-packet"
-      "\nthroughput -- the effect behind the paper's AN1 512-byte column.\n");
-  return 0;
+      "\nReading: each model row prices the copy at zero by knob; each real"
+      "\nrow runs the organization's actual elision mechanism and pays its"
+      "\nmachinery, so real never beats model. On the user-level path the"
+      "\nloaned rings + gathered TX turn nearly every counted payload copy"
+      "\ninto an elision while the loan table drains back to zero.\n");
+
+  bool ok = true;
+  // The real mechanism cannot beat the free-copy idealization (small slack:
+  // the two paths schedule events differently).
+  ok &= check(ik_real.tput <= ik_model.tput * 1.02, "real/ik/zc > model/ik/zc");
+  ok &= check(ss_real.tput <= ss_model.tput * 1.02, "real/ss/zc > model/ss/zc");
+  ok &= check(ul_real.tput <= ul_model.tput * 1.02, "real/ul/zc > model/ul/zc");
+  // The opt-in path must be a measured win over the charged copy path.
+  ok &= check(ul_real.tput > ul_copy.tput,
+              "user-level zero-copy not faster than the copy path");
+  ok &= check(ik_real.tput > ik_copy.tput,
+              "in-kernel donation not faster than the copy path");
+  ok &= check(ss_real.tput > ss_copy.tput,
+              "single-server OOL not faster than the copy path");
+  // Measured elision: payload copies collapse, loans all come home.
+  ok &= check(ul_real.payload_copied < ul_copy.payload_copied / 100.0,
+              "payload_bytes_copied did not collapse on the zero-copy path");
+  ok &= check(ul_real.payload_elided > 0, "no payload bytes elided");
+  ok &= check(ul_real.tx_gather_frames > 0, "no gathered frames transmitted");
+  ok &= check(ul_real.loan_high_water > 0, "no loans ever outstanding");
+  ok &= check(ul_real.loans_outstanding == 0, "loans outstanding at exit");
+  ok &= check(ul_copy.tput > 0 && ul_model.tput > 0 && ik_copy.tput > 0 &&
+                  ik_model.tput > 0 && ss_copy.tput > 0 && ss_model.tput > 0,
+              "a baseline run failed");
+
+  if (!report.write()) return 1;
+  return ok ? 0 : 1;
 }

@@ -65,13 +65,23 @@ BENCH_REQUIRED_LABELS = {
         "fastpath/on/n8", "fastpath/off/n8", "coalesce/on/n8",
         "fastpath/neutrality", "coalesce/effect",
     },
+    # Copy-elision ablation: knob models (model/) and real mechanisms
+    # (real/) per organization, plus the loan census of the real user-level
+    # zero-copy run (whose loans_outstanding row must be exactly 0).
+    "bench_ablation_zerocopy": {
+        "model/ik/copy", "model/ik/zc", "real/ik/copy", "real/ik/zc",
+        "model/ss/copy", "model/ss/zc", "real/ss/copy", "real/ss/zc",
+        "model/ul/copy", "model/ul/zc", "real/ul/copy", "real/ul/zc",
+        "zc/ul",
+    },
 }
 
 # Counter contract: rows with these metrics are invariants, not
 # measurements -- any run that emits one with a non-zero value is broken
 # regardless of what the baseline says (the differential shadow disagreed
-# with the reference demux walk).
-ZERO_METRICS = {"demux_diff_mismatches"}
+# with the reference demux walk; a loaned receive buffer was never
+# returned to the pool).
+ZERO_METRICS = {"demux_diff_mismatches", "loans_outstanding"}
 
 
 def fail(path, msg):

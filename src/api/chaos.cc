@@ -78,6 +78,7 @@ struct VictimState {
   SocketId sock = kInvalidSocket;
   std::size_t sent = 0;
   std::size_t peer_rcvd = 0;
+  std::size_t back_sent = 0;  // zerocopy: reverse stream the victim ignores
   bool peer_closed = false;
   std::string peer_close_reason;
 };
@@ -164,6 +165,18 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   chaos.add_target(*bed.user_app_a());
   chaos.add_target(*bed.user_app_b());
 
+  if (cfg.zerocopy) {
+    bed.user_org_a()->set_zero_copy(true);
+    bed.user_org_b()->set_zero_copy(true);
+    proto::TcpConfig zc = bed.app_a().tcp_config();
+    zc.rx_byref = true;
+    zc.tx_gather = true;
+    bed.app_a().set_tcp_config(zc);
+    bed.app_b().set_tcp_config(zc);
+    victim.set_tcp_config(zc);
+    vpeer.set_tcp_config(zc);
+  }
+
   // The survivor: a verified stream that must deliver every byte intact no
   // matter what the fault schedule does around it.
   BulkTransfer bulk(bed, cfg.bulk_bytes, cfg.write_size, 5001,
@@ -173,13 +186,33 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   // The victim flow: vpeer listens and counts; the victim streams until it
   // is killed. Its peer must then observe a clean RST (not a hang).
   auto st = std::make_shared<VictimState>();
-  vpeer.run_app([&vpeer, st](sim::TaskCtx&) {
-    vpeer.listen(6001, [&vpeer, st](SocketId id) {
+  const bool zc_armed = cfg.zerocopy;
+  vpeer.run_app([&vpeer, st, zc_armed](sim::TaskCtx&) {
+    vpeer.listen(6001, [&vpeer, st, zc_armed](SocketId id) {
       SocketEvents evs;
       evs.on_readable = [&vpeer, id, st](std::size_t) {
         st->peer_rcvd +=
             vpeer.recv(id, std::numeric_limits<std::size_t>::max()).size();
       };
+      if (zc_armed) {
+        // Reverse stream the victim never reads: its receive buffer fills
+        // with loan-backed chunks, so the kill strands live pool loans that
+        // only the registry's dead-client sweep can retire.
+        evs.on_established = [&vpeer, id, st] {
+          vpeer.run_app([&vpeer, id, st](sim::TaskCtx&) {
+            for (;;) {
+              const std::size_t space = vpeer.send_space(id);
+              if (space == 0) return;
+              const std::size_t n = std::min<std::size_t>(1024, space);
+              const std::size_t took =
+                  vpeer.send(id, payload_bytes(st->back_sent, n));
+              st->back_sent += took;
+              if (took < n) return;
+            }
+          });
+        };
+        evs.on_writable = evs.on_established;
+      }
       evs.on_eof = [&vpeer, id] { vpeer.close(id); };
       evs.on_closed = [&vpeer, id, st](const std::string& reason) {
         st->peer_close_reason = reason;
@@ -265,6 +298,13 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
                           bed.user_app_b()->repoll_recoveries();
   rep.fault_census = chaos.schedule().dump_json();
 
+  rep.zerocopy_armed = cfg.zerocopy;
+  if (cfg.zerocopy) {
+    rep.loans_outstanding_end = m.loans_outstanding;
+    rep.loans_reclaimed = reclaim.loans_reclaimed;
+    rep.loan_high_water = m.loan_high_water;
+  }
+
   rep.aggregation_armed = agg_armed && cfg.filter_aggregation;
   if (rep.aggregation_armed) {
     rep.demux_diff_mismatches = na.counters().demux_diff_mismatches +
@@ -319,6 +359,15 @@ std::string ChaosReport::failure() const {
   }
   if (channels_reclaimed == 0) return "registry reclaimed nothing";
   if (rsts_sent == 0) return "registry sent no RST for the dead library";
+  if (zerocopy_armed) {
+    if (loans_outstanding_end != 0) {
+      return "loan_leak: " + std::to_string(loans_outstanding_end) +
+             " pool loans still outstanding after reclamation";
+    }
+    if (loans_reclaimed == 0) {
+      return "registry retired no leaked loans for the dead library";
+    }
+  }
   if (aggregation_armed) {
     if (demux_diff_mismatches != 0) {
       return "aggregated demux disagreed with the linear walk " +

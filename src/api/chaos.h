@@ -84,6 +84,13 @@ struct ChaosScenarioConfig {
       core::NetIoModule::DemuxMode::kSynthesized;
   bool filter_aggregation = false;
   bool demux_differential = false;
+  // Zero-copy ablation: run the scenario with loaned RX delivery and
+  // by-reference TCP receive on every connection, and add a reverse stream
+  // toward the victim that it never reads -- so at the kill its receive
+  // buffer holds live pool loans that only the registry's dead-client sweep
+  // can retire. The report then carries the loan census and failure()
+  // enforces the `loan_leak` invariant.
+  bool zerocopy = false;
   // Flight recorder: when non-empty and the report's invariants fail, the
   // scenario dumps a postmortem bundle into this directory -- the event
   // trace (trace.json, Perfetto-loadable), world metrics, both netio dumps,
@@ -122,6 +129,13 @@ struct ChaosReport {
   bool aggregation_armed = false;
   std::uint64_t demux_diff_mismatches = 0;
   std::size_t trie_nodes_a = 0, trie_nodes_b = 0;
+  // Zero-copy loan census (only meaningful when cfg.zerocopy was set):
+  // loans still active after settling (a pool-slot leak unless 0) and the
+  // loans the registry force-retired when the victim died.
+  bool zerocopy_armed = false;
+  std::uint64_t loans_outstanding_end = 0;
+  std::uint64_t loans_reclaimed = 0;
+  std::uint64_t loan_high_water = 0;
   // Replay identity: FNV-1a over world metrics + both netio dumps + the
   // fault census. Two runs of the same (seed, config) must match exactly.
   std::uint64_t fingerprint = 0;

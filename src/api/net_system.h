@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "buf/bytes.h"
+#include "buf/packet_pool.h"
 #include "net/addr.h"
 #include "proto/tcp.h"
 #include "sim/cpu.h"
@@ -58,6 +60,31 @@ class NetSystem {
   virtual std::size_t send(SocketId s, buf::ByteView data) = 0;
   // Read up to `max` bytes of in-order data.
   virtual buf::Bytes recv(SocketId s, std::size_t max) = 0;
+
+  // Zero-copy read: up to `max` in-order bytes as a list of chunks. Chunks
+  // may reference loaned receive buffers (chunk.loan engaged) -- the caller
+  // MUST hand every chunk back via release_chunks() or the pool slots leak
+  // (deliberately observable: a crashed app's leaks are reclaimed by the
+  // trusted path and counted). The default wraps recv() in one owned chunk
+  // so every organization supports the call; only organizations with a real
+  // loan path deliver by reference.
+  virtual std::vector<buf::RxChunk> recv_zc(SocketId s, std::size_t max) {
+    std::vector<buf::RxChunk> out;
+    buf::Bytes b = recv(s, max);
+    if (!b.empty()) {
+      buf::RxChunk c;
+      c.owned = std::move(b);
+      c.off = 0;
+      c.len = c.owned.size();
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+  // Return chunks obtained from recv_zc (releases loan references; owned
+  // chunks just free their storage).
+  virtual void release_chunks(std::vector<buf::RxChunk>& chunks) {
+    chunks.clear();
+  }
   [[nodiscard]] virtual std::size_t send_space(SocketId s) = 0;
   [[nodiscard]] virtual std::size_t bytes_available(SocketId s) = 0;
 

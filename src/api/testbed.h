@@ -49,6 +49,10 @@ class Testbed {
   core::UserLevelOrg* user_org_b() { return ul_b_.get(); }
   core::UserLevelApp* user_app_a();
   core::UserLevelApp* user_app_b();
+  baseline::InKernelOrg* ik_org_a() { return ik_a_.get(); }
+  baseline::InKernelOrg* ik_org_b() { return ik_b_.get(); }
+  baseline::SingleServerOrg* ss_org_a() { return ss_a_.get(); }
+  baseline::SingleServerOrg* ss_org_b() { return ss_b_.get(); }
 
   // Add a second application on a host (multi-app scenarios).
   NetSystem& add_app_a(const std::string& name);

@@ -35,24 +35,43 @@ void BulkTransfer::start() {
       server_sock_ = id;
       SocketEvents evs;
       evs.on_readable = [this, &server](std::size_t) {
-        auto data = server.recv(server_sock_,
-                                std::numeric_limits<std::size_t>::max());
-        if (data.empty()) return;
-        const sim::Time now = bed_.world().now();
-        if (result_.first_byte == 0 &&
-            result_.bytes_received + data.size() > warmup_) {
-          result_.first_byte = now;  // steady-state window starts here
-        }
-        if (verify_) {
-          for (std::size_t i = 0; i < data.size(); ++i) {
-            if (data[i] != payload_byte(verified_at_ + i)) {
-              result_.data_valid = false;
-              break;
+        std::size_t got = 0;
+        if (zc_recv_) {
+          auto chunks = server.recv_zc(server_sock_,
+                                       std::numeric_limits<std::size_t>::max());
+          for (const buf::RxChunk& c : chunks) {
+            const buf::ByteView v = c.view();
+            if (verify_ && result_.data_valid) {
+              for (std::size_t i = 0; i < v.size(); ++i) {
+                if (v[i] != payload_byte(verified_at_ + got + i)) {
+                  result_.data_valid = false;
+                  break;
+                }
+              }
+            }
+            got += v.size();
+          }
+          server.release_chunks(chunks);
+        } else {
+          auto data = server.recv(server_sock_,
+                                  std::numeric_limits<std::size_t>::max());
+          if (verify_) {
+            for (std::size_t i = 0; i < data.size(); ++i) {
+              if (data[i] != payload_byte(verified_at_ + i)) {
+                result_.data_valid = false;
+                break;
+              }
             }
           }
+          got = data.size();
         }
-        verified_at_ += data.size();
-        result_.bytes_received += data.size();
+        if (got == 0) return;
+        const sim::Time now = bed_.world().now();
+        if (result_.first_byte == 0 && result_.bytes_received + got > warmup_) {
+          result_.first_byte = now;  // steady-state window starts here
+        }
+        verified_at_ += got;
+        result_.bytes_received += got;
         if (result_.first_byte != 0) {
           result_.measured_bytes = result_.bytes_received - warmup_;
           result_.last_byte = now;

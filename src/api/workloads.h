@@ -51,6 +51,11 @@ class BulkTransfer {
                std::uint16_t port = 5001, bool verify_data = false,
                std::size_t warmup_bytes = 64 * 1024);
 
+  // Receive through recv_zc()/release_chunks() instead of recv(): data is
+  // verified through the chunk views, so on a by-reference connection the
+  // sink never forces the selective-copy exit. Set before start().
+  void set_zc_recv(bool on) { zc_recv_ = on; }
+
   // Install the server and kick off the client. Run the world afterwards.
   void start();
   [[nodiscard]] bool finished() const { return finished_; }
@@ -68,6 +73,7 @@ class BulkTransfer {
   std::size_t write_size_;
   std::uint16_t port_;
   bool verify_;
+  bool zc_recv_ = false;
   std::size_t warmup_;
   SocketId client_sock_ = kInvalidSocket;
   SocketId server_sock_ = kInvalidSocket;

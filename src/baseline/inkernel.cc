@@ -98,7 +98,13 @@ std::size_t InKernelApp::send(api::SocketId s, buf::ByteView data) {
   if (e == nullptr || e->closed) return 0;
   kernel().trap(cpu().current());
   const std::size_t n = std::min(data.size(), e->conn->send_space());
-  if (n > 0) kernel().copy_bytes(cpu().current(), n);  // copyin
+  if (n > 0) {
+    if (org_.zero_copy_) {
+      kernel().donate_bytes(cpu().current(), n);
+    } else {
+      kernel().copy_bytes(cpu().current(), n);  // copyin
+    }
+  }
   return e->conn->send(data.subspan(0, n));
 }
 
@@ -107,7 +113,13 @@ buf::Bytes InKernelApp::recv(api::SocketId s, std::size_t max) {
   if (e == nullptr) return {};
   kernel().trap(cpu().current());
   buf::Bytes out = e->conn->read(max);
-  if (!out.empty()) kernel().copy_bytes(cpu().current(), out.size());
+  if (!out.empty()) {
+    if (org_.zero_copy_) {
+      kernel().donate_bytes(cpu().current(), out.size());
+    } else {
+      kernel().copy_bytes(cpu().current(), out.size());  // copyout
+    }
+  }
   return out;
 }
 

@@ -37,6 +37,11 @@ class InKernelOrg {
   proto::NetworkStack& stack() { return *stack_; }
   os::Host& host() { return host_; }
 
+  // Opt the user/kernel boundary into page donation instead of copying
+  // (the copy-avoidance mechanism applied unconditionally, not just above
+  // the remap threshold). Off by default.
+  void set_zero_copy(bool on) { zero_copy_ = on; }
+
  private:
   friend class InKernelApp;
 
@@ -47,6 +52,7 @@ class InKernelOrg {
   core::HostStackEnv env_;
   std::unique_ptr<proto::NetworkStack> stack_;
   std::vector<std::unique_ptr<InKernelApp>> apps_;
+  bool zero_copy_ = false;
 };
 
 class InKernelApp : public api::NetSystem {

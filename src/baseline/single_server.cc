@@ -148,6 +148,11 @@ SingleServerOrg::ServerSocket* SingleServerOrg::by_app_id(
 
 void SingleServerOrg::ipc_to_app(SingleServerApp* app, std::size_t bytes,
                                  std::function<void()> fn) {
+  if (zero_copy_ && bytes > 0) {
+    host_.kernel().ipc_send_ool(host_.cpu().current(), app->space_, bytes,
+                                [fn = std::move(fn)](sim::TaskCtx&) { fn(); });
+    return;
+  }
   host_.kernel().ipc_send(host_.cpu().current(), app->space_, bytes,
                           [fn = std::move(fn)](sim::TaskCtx&) { fn(); });
 }
@@ -388,15 +393,21 @@ std::size_t SingleServerApp::send(api::SocketId s, buf::ByteView data) {
   if (n == 0) return 0;
   st->send_credit -= n;
   buf::Bytes copy(data.begin(), data.begin() + static_cast<long>(n));
-  org_.host().kernel().ipc_send(
-      org_.host().cpu().current(), org_.server_space(), n,
-      [this, s, copy = std::move(copy)](sim::TaskCtx&) {
-        if (SingleServerOrg::ServerSocket* sock = org_.by_app_id(this, s);
-            sock != nullptr) {
-          sock->staging.insert(sock->staging.end(), copy.begin(), copy.end());
-          org_.pump(*sock);
-        }
-      });
+  auto deliver = [this, s, copy = std::move(copy)](sim::TaskCtx&) mutable {
+    if (SingleServerOrg::ServerSocket* sock = org_.by_app_id(this, s);
+        sock != nullptr) {
+      sock->staging.insert(sock->staging.end(), copy.begin(), copy.end());
+      org_.pump(*sock);
+    }
+  };
+  if (org_.zero_copy_) {
+    org_.host().kernel().ipc_send_ool(org_.host().cpu().current(),
+                                      org_.server_space(), n,
+                                      std::move(deliver));
+  } else {
+    org_.host().kernel().ipc_send(org_.host().cpu().current(),
+                                  org_.server_space(), n, std::move(deliver));
+  }
   return n;
 }
 

@@ -64,6 +64,10 @@ class SingleServerOrg : public proto::TcpObserver {
   os::Host& host() { return host_; }
   [[nodiscard]] sim::SpaceId server_space() const { return server_space_; }
 
+  // Carry socket data between app and server in out-of-line IPC messages
+  // (page donation) instead of inline copies. Off by default.
+  void set_zero_copy(bool on) { zero_copy_ = on; }
+
  private:
   friend class SingleServerApp;
 
@@ -116,6 +120,7 @@ class SingleServerOrg : public proto::TcpObserver {
   std::unordered_map<std::uint16_t, SingleServerApp*> listeners_;
   std::unordered_map<api::SocketId, std::uint16_t> pending_accept_ports_;
   std::vector<std::unique_ptr<SingleServerApp>> apps_;
+  bool zero_copy_ = false;
 };
 
 class SingleServerApp : public api::NetSystem {

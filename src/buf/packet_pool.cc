@@ -61,19 +61,120 @@ void PacketPool::recycle(Bytes&& b) {
   // else: fall through, the vector frees its storage here.
 }
 
+// ---------------------------------------------------------------------------
+// Loan table
+// ---------------------------------------------------------------------------
+
+BufferLoan PacketPool::loan_out(Bytes&& storage, std::int64_t owner,
+                                std::uint64_t now) {
+  std::uint32_t slot;
+  if (!loan_free_.empty()) {
+    slot = loan_free_.back();
+    loan_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(loans_.size());
+    loans_.emplace_back();
+  }
+  LoanSlot& s = loans_[slot];
+  s.storage = std::move(storage);
+  s.owner = owner;
+  s.loaned_at = now;
+  s.refs = 1;
+  s.active = true;
+  ++stats_.loans_out;
+  ++stats_.loans_outstanding;
+  if (stats_.loans_outstanding > stats_.loan_high_water) {
+    stats_.loan_high_water = stats_.loans_outstanding;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->loans_outstanding = stats_.loans_outstanding;
+    metrics_->loan_high_water = stats_.loan_high_water;
+  }
+  return BufferLoan(this, slot, s.gen);
+}
+
+void PacketPool::loan_addref(std::uint32_t slot, std::uint32_t gen) {
+  if (slot < loans_.size() && loans_[slot].active &&
+      loans_[slot].gen == gen) {
+    ++loans_[slot].refs;
+  }
+}
+
+ByteView PacketPool::loan_view(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= loans_.size() || !loans_[slot].active ||
+      loans_[slot].gen != gen) {
+    return {};
+  }
+  return ByteView(loans_[slot].storage);
+}
+
+// Close a slot: record residency, recycle the storage, bump the generation
+// so stale handles are detectable, and return the slot to the free list.
+void PacketPool::loan_retire(LoanSlot& s, std::uint64_t now) {
+  loan_residency_.record(now >= s.loaned_at ? now - s.loaned_at : 0);
+  s.active = false;
+  s.refs = 0;
+  s.owner = -1;
+  ++s.gen;
+  recycle(std::move(s.storage));
+  s.storage = Bytes{};
+  --stats_.loans_outstanding;
+  if (metrics_ != nullptr) {
+    metrics_->loans_outstanding = stats_.loans_outstanding;
+  }
+  loan_free_.push_back(static_cast<std::uint32_t>(&s - loans_.data()));
+}
+
+bool PacketPool::loan_release(std::uint32_t slot, std::uint32_t gen,
+                              std::uint64_t now) {
+  if (slot >= loans_.size() || !loans_[slot].active ||
+      loans_[slot].gen != gen) {
+    ++stats_.loan_double_releases;
+    if (metrics_ != nullptr) ++metrics_->loan_double_releases;
+    return false;
+  }
+  LoanSlot& s = loans_[slot];
+  if (--s.refs == 0) loan_retire(s, now);
+  return true;
+}
+
+std::size_t PacketPool::reclaim_loans(std::int64_t owner, std::uint64_t now) {
+  std::size_t swept = 0;
+  for (LoanSlot& s : loans_) {
+    if (s.active && s.owner == owner) {
+      loan_retire(s, now);
+      ++swept;
+    }
+  }
+  stats_.loans_reclaimed += swept;
+  if (metrics_ != nullptr) metrics_->loans_reclaimed = stats_.loans_reclaimed;
+  return swept;
+}
+
 std::string PacketPool::dump_json() const {
   std::string out = "{\"hits\":" + std::to_string(stats_.hits) +
                     ",\"misses\":" + std::to_string(stats_.misses) +
                     ",\"recycles\":" + std::to_string(stats_.recycles) +
                     ",\"outstanding\":" + std::to_string(stats_.outstanding) +
                     ",\"high_water\":" + std::to_string(stats_.high_water) +
+                    ",\"loans_out\":" + std::to_string(stats_.loans_out) +
+                    ",\"loans_outstanding\":" +
+                    std::to_string(stats_.loans_outstanding) +
+                    ",\"loan_high_water\":" +
+                    std::to_string(stats_.loan_high_water) +
+                    ",\"loans_reclaimed\":" +
+                    std::to_string(stats_.loans_reclaimed) +
+                    ",\"loan_double_releases\":" +
+                    std::to_string(stats_.loan_double_releases) +
                     ",\"classes\":[";
   for (std::size_t c = 0; c < kNumClasses; ++c) {
     if (c > 0) out += ',';
     out += "{\"size\":" + std::to_string(kClassSizes[c]) +
            ",\"free\":" + std::to_string(free_[c].size()) + "}";
   }
-  out += "]}";
+  out += "],\"hist\":{\"loan_residency_ns\":";
+  out += loan_residency_.dump_json();
+  out += "}}";
   return out;
 }
 

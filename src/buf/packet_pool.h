@@ -12,6 +12,17 @@
 // Pools are per-World (not global) so identical seeds produce identical
 // pool counters; bind_metrics() mirrors the stats into sim::Metrics for the
 // observability layer.
+//
+// Loans (the zero-copy RX path): loan_out() parks a buffer's storage in a
+// generation-checked loan table and vends a BufferLoan handle -- a
+// refcounted *view* over pool storage that the network I/O module can hand
+// to a library, and the library to its application, without copying the
+// payload. Every handle copy takes a reference; every reference must be
+// returned by an explicit release(). Dropping a handle without releasing it
+// is deliberately observable (a crashed client cannot run destructors): the
+// slot stays out of circulation until reclaim_loans() sweeps the dead
+// owner's loans, which is what the registry's dead-client sweep and the
+// chaos `loan_leak` invariant check.
 #pragma once
 
 #include <array>
@@ -21,12 +32,71 @@
 #include <vector>
 
 #include "buf/bytes.h"
+#include "sim/histogram.h"
 
 namespace ulnet::sim {
 struct Metrics;
 }  // namespace ulnet::sim
 
 namespace ulnet::buf {
+
+class PacketPool;
+
+// A refcounted view over storage parked in a PacketPool loan slot.
+// Copying takes a reference; release() returns one. The destructor does
+// NOT release -- see the PacketPool header comment for why leaks are a
+// feature of the crash model, not a bug of the handle.
+class BufferLoan {
+ public:
+  BufferLoan() = default;
+  BufferLoan(const BufferLoan& o);
+  BufferLoan& operator=(const BufferLoan& o);
+  BufferLoan(BufferLoan&& o) noexcept
+      : pool_(std::exchange(o.pool_, nullptr)), slot_(o.slot_), gen_(o.gen_) {}
+  BufferLoan& operator=(BufferLoan&& o) noexcept {
+    if (this != &o) {
+      pool_ = std::exchange(o.pool_, nullptr);
+      slot_ = o.slot_;
+      gen_ = o.gen_;
+    }
+    return *this;
+  }
+  ~BufferLoan() = default;  // intentionally no auto-release
+
+  [[nodiscard]] bool engaged() const { return pool_ != nullptr; }
+  [[nodiscard]] ByteView view() const;
+  [[nodiscard]] std::uint32_t slot() const { return slot_; }
+
+  // Return this handle's reference; the slot recycles into the pool's free
+  // lists when the last reference is released. Returns false if the handle
+  // was already released, or -- counted as a loan_double_release -- if the
+  // slot was reclaimed/recycled under it (stale generation).
+  bool release(std::uint64_t now);
+
+ private:
+  friend class PacketPool;
+  BufferLoan(PacketPool* pool, std::uint32_t slot, std::uint32_t gen)
+      : pool_(pool), slot_(slot), gen_(gen) {}
+  PacketPool* pool_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
+// One unit of received payload as handed to a reader: either a loaned view
+// into pool storage (zero-copy) or an owned copy (the selective-copy
+// fallback: out-of-order reassembly, imports, non-loaned rings).
+// [off, off+len) addresses the useful bytes inside the backing storage.
+struct RxChunk {
+  BufferLoan loan;   // engaged <=> delivered by reference
+  Bytes owned;       // used when the bytes were copied after all
+  std::size_t off = 0;
+  std::size_t len = 0;
+
+  [[nodiscard]] ByteView view() const {
+    const ByteView base = loan.engaged() ? loan.view() : ByteView(owned);
+    return base.subspan(off, len);
+  }
+};
 
 class PacketPool {
  public:
@@ -36,6 +106,12 @@ class PacketPool {
     std::uint64_t recycles = 0;  // buffers handed back (retained or dropped)
     std::uint64_t outstanding = 0;  // acquired minus recycled (saturating)
     std::uint64_t high_water = 0;   // max outstanding ever observed
+    // Loan table (zero-copy RX).
+    std::uint64_t loans_out = 0;          // loan_out() calls
+    std::uint64_t loans_outstanding = 0;  // active loan slots right now
+    std::uint64_t loan_high_water = 0;    // max active slots ever
+    std::uint64_t loans_reclaimed = 0;    // slots force-freed by owner sweep
+    std::uint64_t loan_double_releases = 0;  // stale-generation releases
   };
 
   static constexpr std::size_t kClassSizes[] = {256,  512,   1024,  2048,
@@ -58,22 +134,84 @@ class PacketPool {
   // retention bound are simply freed.
   void recycle(Bytes&& b);
 
+  // ---- Loans (zero-copy RX) ----------------------------------------------
+  // Park `storage` in a loan slot owned by `owner` (an address-space id for
+  // registry reclaim; -1 = unowned) and return a handle with one reference.
+  BufferLoan loan_out(Bytes&& storage, std::int64_t owner, std::uint64_t now);
+
+  // Force-free every active loan slot tagged with `owner` (dead-client
+  // sweep). Returns the number of slots reclaimed.
+  std::size_t reclaim_loans(std::int64_t owner, std::uint64_t now);
+
+  // Residency (loan_out -> final release/reclaim) in the caller's `now`
+  // units (simulated ns in a World).
+  [[nodiscard]] const sim::Histogram& loan_residency() const {
+    return loan_residency_;
+  }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t free_count(std::size_t cls) const {
     return free_[cls].size();
   }
 
-  // Mirror hits/misses/recycles/high_water into `m->pool_*`.
+  // Mirror hits/misses/recycles/high_water and the loan stats into `m`.
   void bind_metrics(sim::Metrics* m) { metrics_ = m; }
 
   // {"hits":..,"misses":..,...,"classes":[{"size":..,"free":..},...]}
   [[nodiscard]] std::string dump_json() const;
 
  private:
+  friend class BufferLoan;
+
+  struct LoanSlot {
+    Bytes storage;
+    std::int64_t owner = -1;
+    std::uint64_t loaned_at = 0;
+    std::uint32_t refs = 0;
+    std::uint32_t gen = 0;
+    bool active = false;
+  };
+
+  void loan_addref(std::uint32_t slot, std::uint32_t gen);
+  bool loan_release(std::uint32_t slot, std::uint32_t gen, std::uint64_t now);
+  [[nodiscard]] ByteView loan_view(std::uint32_t slot,
+                                   std::uint32_t gen) const;
+  void loan_retire(LoanSlot& s, std::uint64_t now);  // refs==0 or reclaim
+
   std::array<std::vector<Bytes>, kNumClasses> free_;
   Stats stats_;
   sim::Metrics* metrics_ = nullptr;
+  std::vector<LoanSlot> loans_;
+  std::vector<std::uint32_t> loan_free_;
+  sim::Histogram loan_residency_;
 };
+
+inline BufferLoan::BufferLoan(const BufferLoan& o)
+    : pool_(o.pool_), slot_(o.slot_), gen_(o.gen_) {
+  if (pool_ != nullptr) pool_->loan_addref(slot_, gen_);
+}
+
+inline BufferLoan& BufferLoan::operator=(const BufferLoan& o) {
+  if (this != &o) {
+    // The previous reference (if any) is dropped, not released: assignment
+    // follows the same explicit-release discipline as destruction.
+    pool_ = o.pool_;
+    slot_ = o.slot_;
+    gen_ = o.gen_;
+    if (pool_ != nullptr) pool_->loan_addref(slot_, gen_);
+  }
+  return *this;
+}
+
+inline ByteView BufferLoan::view() const {
+  return pool_ != nullptr ? pool_->loan_view(slot_, gen_) : ByteView{};
+}
+
+inline bool BufferLoan::release(std::uint64_t now) {
+  if (pool_ == nullptr) return false;
+  PacketPool* p = std::exchange(pool_, nullptr);
+  return p->loan_release(slot_, gen_, now);
+}
 
 // RAII borrow: returns the buffer to the pool on destruction. Move-only.
 // take() detaches the buffer (e.g. to hand ownership down the stack).

@@ -29,4 +29,13 @@ net::Frame frame_for(const hw::Nic& nic, net::MacAddr dst,
   return f;
 }
 
+net::Frame frame_for_gather(const hw::Nic& nic, net::MacAddr dst,
+                            std::uint16_t ethertype, buf::ByteView payload,
+                            buf::ByteView payload2, std::uint16_t bqi,
+                            std::uint16_t bqi_advert) {
+  net::Frame f = frame_for(nic, dst, ethertype, payload, bqi, bqi_advert);
+  buf::put_bytes(f.bytes, payload2);
+  return f;
+}
+
 }  // namespace ulnet::core

@@ -30,6 +30,11 @@ class HostStackEnv : public proto::StackEnv {
   using TransmitFn =
       std::function<void(int ifc, net::MacAddr dst, std::uint16_t ethertype,
                          buf::Bytes payload, const proto::TxFlow* flow)>;
+  // Gathered variant: `headers` carries link-framable header bytes, the
+  // payload rides by reference out of caller-owned storage.
+  using GatherTransmitFn = std::function<void(
+      int ifc, net::MacAddr dst, std::uint16_t ethertype, buf::Bytes headers,
+      buf::ByteView payload, const proto::TxFlow* flow)>;
 
   HostStackEnv(os::Host& host, sim::Rng& rng, sim::SpaceId exec_space)
       : host_(host),
@@ -39,6 +44,12 @@ class HostStackEnv : public proto::StackEnv {
         driver_(host.loop(), wheel_) {}
 
   void set_transmit(TransmitFn fn) { transmit_fn_ = std::move(fn); }
+  void set_gather_transmit(GatherTransmitFn fn) {
+    gather_transmit_fn_ = std::move(fn);
+  }
+  // Publish/clear the loan backing the packet currently being delivered
+  // (user-level drain loop only; see StackEnv::current_rx_loan).
+  void set_current_rx_loan(const buf::BufferLoan* ln) { rx_loan_ = ln; }
   os::Host& host() { return host_; }
   [[nodiscard]] sim::SpaceId exec_space() const { return exec_space_; }
 
@@ -147,6 +158,25 @@ class HostStackEnv : public proto::StackEnv {
     if (transmit_fn_) transmit_fn_(ifc, dst, ethertype, std::move(payload), flow);
   }
 
+  void transmit_gather(int ifc, net::MacAddr dst, std::uint16_t ethertype,
+                       buf::Bytes headers, buf::ByteView payload,
+                       const proto::TxFlow* flow) override {
+    if (gather_transmit_fn_) {
+      gather_transmit_fn_(ifc, dst, ethertype, std::move(headers), payload,
+                          flow);
+      return;
+    }
+    // No gather-capable path wired: materialize (honest, counted copy).
+    proto::StackEnv::transmit_gather(ifc, dst, ethertype, std::move(headers),
+                                     payload, flow);
+  }
+
+  sim::Metrics* metrics() override { return &host_.cpu().metrics(); }
+
+  [[nodiscard]] const buf::BufferLoan* current_rx_loan() const override {
+    return rx_loan_;
+  }
+
   [[nodiscard]] hw::Nic* nic(int ifc) const {
     return host_.interfaces()[static_cast<std::size_t>(ifc)].nic;
   }
@@ -158,6 +188,8 @@ class HostStackEnv : public proto::StackEnv {
   timer::TimingWheel wheel_;
   timer::TimerWheelDriver driver_;
   TransmitFn transmit_fn_;
+  GatherTransmitFn gather_transmit_fn_;
+  const buf::BufferLoan* rx_loan_ = nullptr;
 };
 
 // Frame a link payload for the given interface type. For AN1, `bqi` selects
@@ -166,6 +198,15 @@ class HostStackEnv : public proto::StackEnv {
 net::Frame frame_for(const hw::Nic& nic, net::MacAddr dst,
                      std::uint16_t ethertype, buf::ByteView payload,
                      std::uint16_t bqi = 0, std::uint16_t bqi_advert = 0);
+
+// Gathered framing: the NIC picks up `payload2` directly from its storage
+// (modelling gather DMA out of an app-owned region) after the header bytes
+// in `payload`. Only wall-clock concatenation happens here; no simulated
+// copy cost is charged for `payload2`.
+net::Frame frame_for_gather(const hw::Nic& nic, net::MacAddr dst,
+                            std::uint16_t ethertype, buf::ByteView payload,
+                            buf::ByteView payload2, std::uint16_t bqi = 0,
+                            std::uint16_t bqi_advert = 0);
 
 // True if the NIC is an AN1 interface (BQI-capable).
 bool is_an1(const hw::Nic& nic);

@@ -127,7 +127,13 @@ void NetIoModule::destroy_channel(sim::TaskCtx& ctx, ChannelId id,
   close_ring_spans(ch);
   if (buf::PacketPool* pool = nic_.pool()) {
     counters_.buffers_reclaimed += ch.ring.size();
-    for (RxPacket& p : ch.ring) pool->recycle(std::move(p.payload));
+    for (RxPacket& p : ch.ring) {
+      if (p.loan.engaged()) {
+        p.loan.release(static_cast<std::uint64_t>(host_.loop().now()));
+      } else {
+        pool->recycle(std::move(p.payload));
+      }
+    }
   }
   if (reclaimed) counters_.channels_reclaimed++;
   channels_.erase(it);
@@ -254,7 +260,7 @@ std::string NetIoModule::dump_json() const {
       "\"demux_diff_mismatches\":%llu,"
       "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
       "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
-      "\"buffers_reclaimed\":%llu}",
+      "\"buffers_reclaimed\":%llu,\"tx_gather_frames\":%llu}",
       static_cast<unsigned long long>(counters_.delivered),
       static_cast<unsigned long long>(counters_.ring_drops),
       static_cast<unsigned long long>(counters_.sends),
@@ -269,7 +275,8 @@ std::string NetIoModule::dump_json() const {
       static_cast<unsigned long long>(counters_.unclaimed_drops),
       static_cast<unsigned long long>(counters_.tx_backpressure),
       static_cast<unsigned long long>(counters_.channels_reclaimed),
-      static_cast<unsigned long long>(counters_.buffers_reclaimed));
+      static_cast<unsigned long long>(counters_.buffers_reclaimed),
+      static_cast<unsigned long long>(counters_.tx_gather_frames));
   out += buf;
   out += ",\"hist\":{\"ring_residency_ns\":";
   out += ring_hist_.dump_json();
@@ -381,6 +388,62 @@ NetIoModule::SendStatus NetIoModule::channel_send_status(
   return SendStatus::kOk;
 }
 
+NetIoModule::SendStatus NetIoModule::channel_send_gather(
+    sim::TaskCtx& ctx, ChannelId id, os::PortId cap, sim::SpaceId caller_space,
+    std::uint16_t ethertype, buf::Bytes& headers, buf::ByteView payload,
+    std::uint64_t trace_id) {
+  os::Kernel& k = host_.kernel();
+  k.fast_trap(ctx);
+
+  Channel* ch = find(id);
+  sim::Cpu& cpu = host_.cpu();
+  sim::Metrics& m = cpu.metrics();
+  m.template_checks++;
+  ctx.charge(cpu.cost().template_match);
+  cpu.trace(sim::TraceEventType::kTemplateCheck, id,
+            static_cast<std::int64_t>(headers.size() + payload.size()));
+  // The header template inspects only the first 24 bytes of the IP
+  // datagram, all of which travel in `headers`; the payload riding by
+  // reference is invisible to the check, so gather weakens nothing in the
+  // paper's protection argument.
+  if (ch == nullptr || cap != ch->cap ||
+      !k.port_has_send_right(cap, caller_space) ||
+      caller_space != ch->app_space ||
+      !template_matches(*ch, ethertype,
+                        buf::ByteView(headers.data(), headers.size()))) {
+    m.template_rejects++;
+    counters_.send_rejects++;
+    if (ch != nullptr) ch->stats.send_rejects++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
+    return SendStatus::kRejected;
+  }
+
+  if (tx_throttle_remaining_ > 0 || nic_.tx_ring_full()) {
+    if (tx_throttle_remaining_ > 0) tx_throttle_remaining_--;
+    counters_.tx_backpressure++;
+    m.netio_tx_backpressure++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space, 0,
+              "backpressure");
+    return SendStatus::kBackpressure;
+  }
+
+  const std::size_t total = headers.size() + payload.size();
+  counters_.sends++;
+  counters_.tx_gather_frames++;
+  m.tx_gather_frames++;
+  ch->stats.sends++;
+  ch->stats.bytes_tx += total;
+  cpu.trace(sim::TraceEventType::kPacketTx, id,
+            static_cast<std::int64_t>(total), ethertype, nullptr, trace_id);
+  net::Frame f = frame_for_gather(
+      nic_, ch->peer_mac, ethertype,
+      buf::ByteView(headers.data(), headers.size()), payload, ch->tx_bqi);
+  f.trace_id = trace_id;
+  if (buf::PacketPool* pool = nic_.pool()) pool->recycle(std::move(headers));
+  nic_.transmit(ctx, std::move(f));
+  return SendStatus::kOk;
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection & reclamation support
 // ---------------------------------------------------------------------------
@@ -395,7 +458,13 @@ int NetIoModule::exhaust_channel(ChannelId id) {
   int discarded = static_cast<int>(ch->ring.size());
   close_ring_spans(*ch);
   if (buf::PacketPool* pool = nic_.pool()) {
-    for (RxPacket& p : ch->ring) pool->recycle(std::move(p.payload));
+    for (RxPacket& p : ch->ring) {
+      if (p.loan.engaged()) {
+        p.loan.release(static_cast<std::uint64_t>(host_.loop().now()));
+      } else {
+        pool->recycle(std::move(p.payload));
+      }
+    }
   }
   ch->ring.clear();
   if (an1_ && ch->rx_bqi != 0) {
@@ -706,8 +775,22 @@ void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
     t->span_begin(ctx.now(), cpu.host_ord(), "rxring", trace_id,
                   static_cast<std::int64_t>(ch.id));
   }
-  ch.ring.push_back(RxPacket{ethertype, std::move(payload), trace_id,
-                             ctx.now()});
+  RxPacket pkt;
+  pkt.ethertype = ethertype;
+  pkt.payload = std::move(payload);
+  pkt.trace_id = trace_id;
+  pkt.enqueued_at = ctx.now();
+  if (rx_loans_) {
+    if (buf::PacketPool* pool = nic_.pool()) {
+      // Zero-copy mode: the packet's storage becomes a loan owned by the
+      // application space; the slot recycles only on explicit release (or a
+      // dead-client sweep).
+      pkt.loan = pool->loan_out(std::move(pkt.payload), ch.app_space,
+                                static_cast<std::uint64_t>(ctx.now()));
+      pkt.payload = buf::Bytes{};
+    }
+  }
+  ch.ring.push_back(std::move(pkt));
   ch.stats.max_ring_depth =
       std::max<std::uint64_t>(ch.stats.max_ring_depth, ch.ring.size());
   counters_.delivered++;

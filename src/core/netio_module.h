@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buf/packet_pool.h"
 #include "filter/filter.h"
 #include "hw/nic.h"
 #include "os/host.h"
@@ -85,6 +86,12 @@ class NetIoModule {
   // Ablation: signal the semaphore on every packet instead of batching
   // under an outstanding notification (paper Section 3.3).
   void set_batched_signals(bool on) { batched_signals_ = on; }
+  // Zero-copy receive: delivered packets are wrapped in a pool loan owned by
+  // the channel's application space instead of travelling as owned bytes.
+  // The library (and ultimately the application) must release every loan;
+  // the registry's dead-client sweep reclaims leaked ones. Off by default.
+  void set_rx_loans(bool on) { rx_loans_ = on; }
+  [[nodiscard]] bool rx_loans() const { return rx_loans_; }
   // Aggregated demux for the interpreted modes: compile the installed
   // BPF/CSPF programs into one shared decision trie and classify each frame
   // in a single pass instead of walking every binding. Off by default (the
@@ -114,9 +121,16 @@ class NetIoModule {
   // ------------------------------------------------------------------
   struct RxPacket {
     std::uint16_t ethertype = 0;
-    buf::Bytes payload;  // link header stripped
+    buf::Bytes payload;  // link header stripped (empty when loaned)
+    // Zero-copy mode: the packet bytes live in pool storage referenced by
+    // this loan (view() = link header stripped already); `payload` is empty.
+    buf::BufferLoan loan;
     std::uint64_t trace_id = 0;   // provenance id carried from the frame
     sim::Time enqueued_at = 0;    // ring entry time (residency histogram)
+    [[nodiscard]] buf::ByteView view() const {
+      return loan.engaged() ? loan.view()
+                            : buf::ByteView(payload.data(), payload.size());
+    }
   };
 
   // Transmit through a channel. Enters the kernel via the specialized trap,
@@ -144,6 +158,18 @@ class NetIoModule {
                                  os::PortId cap, sim::SpaceId caller_space,
                                  std::uint16_t ethertype, buf::Bytes& payload,
                                  net::MacAddr dst_override = net::MacAddr{},
+                                 std::uint64_t trace_id = 0);
+
+  // Gathered transmit: `headers` carries the IP datagram's header bytes
+  // (enough of them -- the first 24 -- for the same template match the
+  // ordinary path performs); `payload` stays in the app-owned region and is
+  // picked up by the NIC at framing time. On kOk `headers` is consumed; on
+  // kRejected/kBackpressure both buffers are left with the caller (the
+  // library materializes and retries through the ordinary path).
+  SendStatus channel_send_gather(sim::TaskCtx& ctx, ChannelId id,
+                                 os::PortId cap, sim::SpaceId caller_space,
+                                 std::uint16_t ethertype, buf::Bytes& headers,
+                                 buf::ByteView payload,
                                  std::uint64_t trace_id = 0);
 
   // ------------------------------------------------------------------
@@ -206,6 +232,7 @@ class NetIoModule {
     std::uint64_t tx_backpressure = 0;     // transient device-full refusals
     std::uint64_t channels_reclaimed = 0;  // destroyed on behalf of a dead app
     std::uint64_t buffers_reclaimed = 0;   // ring packets recycled at destroy
+    std::uint64_t tx_gather_frames = 0;    // frames sent via channel gather
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -308,6 +335,7 @@ class NetIoModule {
   bool an1_;
   DemuxMode demux_mode_ = DemuxMode::kSynthesized;
   bool batched_signals_ = true;
+  bool rx_loans_ = false;
   std::unordered_map<ChannelId, Channel> channels_;
   std::unordered_map<std::uint16_t, ChannelId> by_bqi_;
   // Software-demux bindings in creation order: the deterministic walk order

@@ -387,6 +387,15 @@ void RegistryServer::client_died(sim::TaskCtx& ctx, sim::SpaceId space) {
     ports_in_use_.erase(port);
     reclaim_stats_.listeners_closed++;
   }
+
+  // 5. Loaned receive buffers the dead library never returned (zero-copy
+  //    mode). The pool tracks every loan's owning space, so the sweep can
+  //    retire them all -- the slot storage recycles and the leak becomes a
+  //    counted, bounded event instead of a permanent pool hole.
+  if (buf::PacketPool* pool = host_.pool()) {
+    reclaim_stats_.loans_reclaimed += pool->reclaim_loans(
+        space, static_cast<std::uint64_t>(env_.now()));
+  }
 }
 
 // ---------------------------------------------------------------------------

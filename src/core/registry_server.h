@@ -116,6 +116,7 @@ class RegistryServer : public proto::TcpObserver {
     std::uint64_t pending_aborted = 0;    // half-done handshakes torn down
     std::uint64_t listeners_closed = 0;
     std::uint64_t adverts_freed = 0;      // unconsumed pre-advertised BQIs
+    std::uint64_t loans_reclaimed = 0;    // leaked zero-copy loans retired
   };
   // Runs in the registry's space (reached via the kernel's death
   // notification -> IPC). A library that dies without an orderly

@@ -44,6 +44,11 @@ UserLevelApp::UserLevelApp(UserLevelOrg& org, const std::string& name)
                             buf::Bytes payload, const proto::TxFlow* flow) {
     lib_transmit(ifc, dst, et, std::move(payload), flow);
   });
+  env_->set_gather_transmit(
+      [this](int ifc, net::MacAddr dst, std::uint16_t et, buf::Bytes headers,
+             buf::ByteView payload, const proto::TxFlow* flow) {
+        lib_transmit_gather(ifc, dst, et, std::move(headers), payload, flow);
+      });
   stack_ = std::make_unique<proto::NetworkStack>(*env_);
 }
 
@@ -81,6 +86,51 @@ void UserLevelApp::lib_transmit(int, net::MacAddr dst,
   }
   send_attempt(org_.host().cpu().current(), id, ethertype, std::move(payload),
                dst_override, 0, flow->trace_id);
+}
+
+void UserLevelApp::lib_transmit_gather(int, net::MacAddr,
+                                       std::uint16_t ethertype,
+                                       buf::Bytes headers,
+                                       buf::ByteView payload,
+                                       const proto::TxFlow* flow) {
+  if (dead_) return;
+  if (flow == nullptr) {
+    lib_unroutable_++;
+    return;
+  }
+  auto fit = chan_by_flow_.find(flow_key(*flow));
+  if (fit == chan_by_flow_.end()) {
+    lib_unroutable_++;
+    return;
+  }
+  auto it = channels_.find(fit->second);
+  if (it == channels_.end()) {
+    lib_unroutable_++;
+    return;
+  }
+  ChannelRec& rec = it->second;
+  sim::TaskCtx& ctx = org_.host().cpu().current();
+  const auto st = rec.netio->channel_send_gather(ctx, rec.id, rec.cap, space_,
+                                                 ethertype, headers, payload,
+                                                 flow->trace_id);
+  if (st == NetIoModule::SendStatus::kOk) return;
+  if (st == NetIoModule::SendStatus::kRejected) {
+    // The template refused the headers; a materialized retry would fail the
+    // identical check. Drop and let the transport retransmit.
+    tx_drops_++;
+    if (buf::PacketPool* pool = org_.host().pool()) {
+      pool->recycle(std::move(headers));
+    }
+    return;
+  }
+  // Backpressure: the app-owned payload cannot be pinned across a backoff
+  // (the sender is free to rewrite its region once this call returns), so
+  // materialize the datagram once -- an honest, counted copy -- and hand it
+  // to the ordinary retry path.
+  env_->count_payload_copy(payload.size());
+  buf::put_bytes(headers, payload);
+  send_attempt(ctx, rec.id, ethertype, std::move(headers), net::MacAddr{}, 0,
+               flow->trace_id);
 }
 
 void UserLevelApp::send_attempt(sim::TaskCtx& ctx, ChannelId id,
@@ -153,7 +203,25 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
     packets_drained_++;
     ctx.charge(org_.host().cpu().cost().lib_rx_per_packet);
     if (auto rit = raw_rx_.find(id); rit != raw_rx_.end()) {
-      rit->second(ctx, std::move(pkt->payload));
+      buf::Bytes p = std::move(pkt->payload);
+      if (pkt->loan.engaged()) {
+        // Raw consumers take owned bytes; materialize and return the loan.
+        const buf::ByteView v = pkt->loan.view();
+        p.assign(v.begin(), v.end());
+        pkt->loan.release(static_cast<std::uint64_t>(ctx.now()));
+      }
+      rit->second(ctx, std::move(p));
+    } else if (pkt->loan.engaged()) {
+      // Zero-copy delivery: publish the loan for the duration of the
+      // upcall so IP/TCP can slice it by reference, then drop the ring's
+      // reference -- the connection holds its own if it kept a slice.
+      tcp.set_current_rx_trace_id(pkt->trace_id);
+      env_->set_current_rx_loan(&pkt->loan);
+      stack_->link_input(rec.netio->ifc_index(), pkt->ethertype,
+                         pkt->loan.view());
+      env_->set_current_rx_loan(nullptr);
+      tcp.set_current_rx_trace_id(0);
+      pkt->loan.release(static_cast<std::uint64_t>(ctx.now()));
     } else {
       // Provenance of the packet being processed, so protocol code can link
       // effects (an ACK sent from input) back to their cause.
@@ -295,6 +363,21 @@ buf::Bytes UserLevelApp::recv(api::SocketId s, std::size_t max) {
   auto* e = bridge_.find(s);
   if (e == nullptr) return {};
   return e->conn->read(max);
+}
+
+std::vector<buf::RxChunk> UserLevelApp::recv_zc(api::SocketId s,
+                                                std::size_t max) {
+  auto* e = bridge_.find(s);
+  if (e == nullptr) return {};
+  return e->conn->read_chunks(max);
+}
+
+void UserLevelApp::release_chunks(std::vector<buf::RxChunk>& chunks) {
+  const auto now = static_cast<std::uint64_t>(env_->now());
+  for (buf::RxChunk& c : chunks) {
+    if (c.loan.engaged()) c.loan.release(now);
+  }
+  chunks.clear();
 }
 
 std::size_t UserLevelApp::send_space(api::SocketId s) {
@@ -442,6 +525,11 @@ void UserLevelApp::kill(sim::TaskCtx& ctx) {
     if (rec.conn != nullptr) {
       const api::SocketId sid = bridge_.id_of(rec.conn);
       if (sid != api::kInvalidSocket) bridge_.detach(sid);
+      // A crashed process cannot return its loans: drop any by-reference
+      // receive chunks WITHOUT releasing them, so the pool slots stay
+      // outstanding until the registry's dead-client sweep reclaims them
+      // (the observable "loan leak" the chaos invariants assert on).
+      rec.conn->abandon_rx_chunks();
       stack_->tcp().release(rec.conn);
     }
   }

@@ -43,6 +43,13 @@ class UserLevelOrg {
   UserLevelApp& add_app_impl(const std::string& name);
 
   RegistryServer& registry() { return *registry_; }
+  // Opt the organization's receive path into zero-copy delivery: arriving
+  // packets are loaned out of the pool instead of handed over as owned
+  // bytes. Pair with TcpConfig::rx_byref / tx_gather on the apps to carry
+  // the elision end-to-end. Off by default.
+  void set_zero_copy(bool on) {
+    for (auto& n : netios_) n->set_rx_loans(on);
+  }
   NetIoModule& netio(int ifc) { return *netios_[static_cast<std::size_t>(ifc)]; }
   [[nodiscard]] std::size_t netio_count() const { return netios_.size(); }
   os::Host& host() { return host_; }
@@ -82,6 +89,8 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
                std::function<void(api::SocketId)> done) override;
   std::size_t send(api::SocketId s, buf::ByteView data) override;
   buf::Bytes recv(api::SocketId s, std::size_t max) override;
+  std::vector<buf::RxChunk> recv_zc(api::SocketId s, std::size_t max) override;
+  void release_chunks(std::vector<buf::RxChunk>& chunks) override;
   std::size_t send_space(api::SocketId s) override;
   std::size_t bytes_available(api::SocketId s) override;
   void close(api::SocketId s) override;
@@ -151,6 +160,7 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   }
 
   proto::NetworkStack& library_stack() { return *stack_; }
+  HostStackEnv& env() { return *env_; }
   UserLevelOrg& org() { return org_; }
   [[nodiscard]] std::uint64_t packets_drained() const {
     return packets_drained_;
@@ -182,6 +192,9 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
 
   void lib_transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
                     buf::Bytes payload, const proto::TxFlow* flow);
+  void lib_transmit_gather(int ifc, net::MacAddr dst, std::uint16_t ethertype,
+                           buf::Bytes headers, buf::ByteView payload,
+                           const proto::TxFlow* flow);
   void send_attempt(sim::TaskCtx& ctx, ChannelId id, std::uint16_t ethertype,
                     buf::Bytes payload, net::MacAddr dst_override,
                     int attempt, std::uint64_t trace_id);

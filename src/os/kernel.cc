@@ -79,6 +79,38 @@ void Kernel::ipc_send(sim::TaskCtx& ctx, sim::SpaceId dst_space,
       });
 }
 
+void Kernel::ipc_send_ool(sim::TaskCtx& ctx, sim::SpaceId dst_space,
+                          std::size_t bytes, sim::Cpu::TaskFn handler) {
+  const auto& cost = cpu_.cost();
+  metrics_.ipc_messages++;
+  // Send half: trap, rights check, inline OOL descriptor (not the payload).
+  ctx.charge(cost.trap_syscall);
+  metrics_.traps++;
+  ctx.charge(cost.mach_ipc_oneway / 2);
+  constexpr std::size_t kOolDescriptorBytes = 16;
+  ctx.charge(static_cast<sim::Time>(kOolDescriptorBytes) *
+             cost.mach_ipc_per_byte);
+  if (bytes > 0) {
+    ctx.charge(cost.page_remap);
+    metrics_.page_remaps++;
+    metrics_.payload_bytes_elided += bytes;
+  }
+  cpu_.loop().schedule_at(
+      ctx.now(), [this, dst_space, h = std::move(handler)]() mutable {
+        cpu_.submit(dst_space, sim::Prio::kNormal,
+                    [this, h = std::move(h)](sim::TaskCtx& rctx) {
+                      rctx.charge(cpu_.cost().mach_ipc_oneway / 2);
+                      h(rctx);
+                    });
+      });
+}
+
+void Kernel::donate_bytes(sim::TaskCtx& ctx, std::size_t bytes) {
+  ctx.charge(cpu_.cost().page_remap);
+  metrics_.page_remaps++;
+  metrics_.payload_bytes_elided += bytes;
+}
+
 void Kernel::copy_bytes(sim::TaskCtx& ctx, std::size_t bytes,
                         bool remap_eligible) {
   const auto& cost = cpu_.cost();

@@ -75,6 +75,13 @@ class Kernel {
   void ipc_send(sim::TaskCtx& ctx, sim::SpaceId dst_space, std::size_t bytes,
                 sim::Cpu::TaskFn handler);
 
+  // Out-of-line variant: the payload travels as an OOL descriptor whose
+  // pages are remapped into the receiver instead of being copied inline.
+  // Charges the oneway halves, a small inline control message and one page
+  // remap; the payload bytes themselves are elided.
+  void ipc_send_ool(sim::TaskCtx& ctx, sim::SpaceId dst_space,
+                    std::size_t bytes, sim::Cpu::TaskFn handler);
+
   // ---- Space death notification -----------------------------------------
   // Mach-style dead-name notification, reduced to what the trusted path
   // needs: privileged servers register a watcher; when an address space
@@ -95,6 +102,9 @@ class Kernel {
   // when the monolithic stacks' copy-avoidance threshold applies.
   void copy_bytes(sim::TaskCtx& ctx, std::size_t bytes,
                   bool remap_eligible = true);
+  // Zero-copy boundary crossing: the buffer's pages are donated into the
+  // destination space (fixed VM cost per crossing, independent of size).
+  void donate_bytes(sim::TaskCtx& ctx, std::size_t bytes);
 
   sim::Cpu& cpu() { return cpu_; }
   sim::Metrics& metrics() { return metrics_; }

@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
+#include "buf/packet_pool.h"
 #include "net/addr.h"
 #include "net/frame.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
+#include "sim/metrics.h"
 #include "sim/time.h"
 #include "sim/trace.h"
 #include "timer/wheel.h"
@@ -110,6 +113,80 @@ class StackEnv {
   // segments so per-flow channels can be selected; ARP and ICMP pass null.
   virtual void transmit(int ifc, net::MacAddr dst, std::uint16_t ethertype,
                         buf::Bytes payload, const TxFlow* flow) = 0;
+
+  // Gathered transmit: `headers` holds the IP datagram's header bytes only
+  // (IP + transport headers, checksums already folded over the payload);
+  // `payload` stays in caller-owned storage and is picked up by reference
+  // at framing time, modelling NIC gather DMA out of an app-owned region.
+  // The default materializes the datagram -- an honest payload copy, so
+  // every organization works even if it never implements real gather.
+  virtual void transmit_gather(int ifc, net::MacAddr dst,
+                               std::uint16_t ethertype, buf::Bytes headers,
+                               buf::ByteView payload, const TxFlow* flow) {
+    count_payload_copy(payload.size());
+    buf::put_bytes(headers, payload);
+    transmit(ifc, dst, ethertype, std::move(headers), flow);
+  }
+
+  // ---- Zero-copy plumbing -----------------------------------------------
+  // World-level counters, when the organization has them (protocol code
+  // must tolerate nullptr).
+  virtual sim::Metrics* metrics() { return nullptr; }
+
+  // The loan backing the packet currently being delivered up the stack, or
+  // nullptr when the receive path delivered by copy. Set by the user-level
+  // library's drain loop around link input; valid only for the duration of
+  // that delivery.
+  [[nodiscard]] virtual const buf::BufferLoan* current_rx_loan() const {
+    return nullptr;
+  }
+
+  // When true, the library's counted copy sites also charge simulated CPU
+  // time (header vs payload rates from the cost model). Off by default so
+  // the seed's simulated timings are bit-identical; the zero-copy ablation
+  // turns it on to measure what copy elision buys.
+  void set_copy_charging(bool on) { charge_payload_copies_ = on; }
+  [[nodiscard]] bool copy_charging() const { return charge_payload_copies_; }
+
+  // Attribute `n` payload bytes at a copy site. Counting is always on (the
+  // counters are observability, not cost); charging obeys the gate above.
+  void count_payload_copy(std::size_t n) {
+    if (sim::Metrics* m = metrics()) m->payload_bytes_copied += n;
+    if (charge_payload_copies_ && n > 0) {
+      charge(static_cast<sim::Time>(n) * cost().payload_copy_per_byte);
+    }
+  }
+  void count_payload_elided(std::size_t n) {
+    if (sim::Metrics* m = metrics()) m->payload_bytes_elided += n;
+  }
+  void count_header_copy(std::size_t n) {
+    if (sim::Metrics* m = metrics()) m->header_bytes_copied += n;
+    if (charge_payload_copies_ && n > 0) {
+      charge(static_cast<sim::Time>(n) * cost().header_copy_per_byte);
+    }
+  }
+
+  // If `body` lies inside the storage of the loan currently being delivered,
+  // return a chunk that references the loan (taking a reference) instead of
+  // copying; otherwise nullopt and the caller copies.
+  [[nodiscard]] std::optional<buf::RxChunk> rx_loan_slice(buf::ByteView body) {
+    const buf::BufferLoan* ln = current_rx_loan();
+    if (ln == nullptr || !ln->engaged() || body.empty()) return std::nullopt;
+    const buf::ByteView base = ln->view();
+    const auto* lo = base.data();
+    const auto* hi = base.data() + base.size();
+    if (body.data() < lo || body.data() + body.size() > hi) {
+      return std::nullopt;
+    }
+    buf::RxChunk c;
+    c.loan = *ln;  // addref
+    c.off = static_cast<std::size_t>(body.data() - lo);
+    c.len = body.size();
+    return c;
+  }
+
+ protected:
+  bool charge_payload_copies_ = false;
 };
 
 // RAII profiler scope over a StackEnv (the protocol-code analogue of

@@ -85,6 +85,9 @@ void IpModule::transmit_datagram(int ifc, net::Ipv4Addr src,
   buf::Bytes datagram = env_.acquire_buffer(h.total_len);
   h.serialize(datagram);
   buf::put_bytes(datagram, payload);
+  // The datagram build moves the whole L4 segment (transport header +
+  // data); attributed as payload movement at this site.
+  env_.count_payload_copy(payload.size());
 
   env_.charge(env_.cost().ip_fixed);
 
@@ -103,6 +106,52 @@ void IpModule::transmit_datagram(int ifc, net::Ipv4Addr src,
                  env_.transmit(ifc, *mac, net::kEtherTypeIp, std::move(d),
                                flow_copy ? &*flow_copy : nullptr);
                });
+}
+
+bool IpModule::send_gather(net::Ipv4Addr src, net::Ipv4Addr dst,
+                           std::uint8_t proto, buf::Bytes l4_headers,
+                           buf::ByteView payload, const TxFlow* flow) {
+  const int ifc = route(dst);
+  if (ifc < 0) {
+    counters_.no_route++;
+    return false;
+  }
+  if (src.is_zero()) src = env_.ifc_ip(ifc);
+
+  const std::size_t mtu = env_.ifc_mtu(ifc);
+  const std::size_t l4_len = l4_headers.size() + payload.size();
+  const auto mac = arp_.lookup(dst);
+  if (l4_len > mtu - Ipv4Header::kSize || !mac) {
+    // Fragmentation or a cold ARP cache: materialize the datagram (counted
+    // as a payload copy) and fall back to the ordinary path, which can
+    // fragment and park packets behind an ARP exchange.
+    env_.count_payload_copy(payload.size());
+    buf::put_bytes(l4_headers, payload);
+    return send(src, dst, proto, std::move(l4_headers), flow);
+  }
+
+  Ipv4Header h;
+  h.total_len = static_cast<std::uint16_t>(Ipv4Header::kSize + l4_len);
+  h.ident = next_ident_++;
+  h.ttl = cfg_.default_ttl;
+  h.proto = proto;
+  h.src = src;
+  h.dst = dst;
+
+  // Only the headers are assembled; the payload never enters this buffer.
+  buf::Bytes headers =
+      env_.acquire_buffer(Ipv4Header::kSize + l4_headers.size());
+  h.serialize(headers);
+  buf::put_bytes(headers, l4_headers);
+  env_.count_header_copy(l4_headers.size());
+  env_.recycle_buffer(std::move(l4_headers));
+  env_.count_payload_elided(payload.size());
+
+  env_.charge(env_.cost().ip_fixed);
+  env_.transmit_gather(ifc, *mac, net::kEtherTypeIp, std::move(headers),
+                       payload, flow);
+  counters_.sent++;
+  return true;
 }
 
 void IpModule::input(int ifc, buf::ByteView datagram) {
@@ -127,8 +176,19 @@ void IpModule::input(int ifc, buf::ByteView datagram) {
     return;
   }
   counters_.received++;
+  // Zero-copy delivery: when the packet arrived in a loaned ring buffer and
+  // the upper protocol accepts views, hand the payload up by reference.
+  if (env_.current_rx_loan() != nullptr) {
+    auto vit = view_handlers_.find(h->proto);
+    if (vit != view_handlers_.end()) {
+      env_.count_payload_elided(payload.size());
+      vit->second(*h, payload, ifc);
+      return;
+    }
+  }
   buf::Bytes owned = env_.acquire_buffer(payload.size());
   buf::put_bytes(owned, payload);
+  env_.count_payload_copy(payload.size());
   deliver(*h, std::move(owned), ifc);
 }
 
@@ -171,6 +231,7 @@ void IpModule::handle_fragment(const Ipv4Header& h, buf::ByteView payload,
     const std::size_t n = std::min(data.size(), r.total_len - off);
     std::copy_n(data.begin(), n, whole.begin() + static_cast<long>(off));
   }
+  env_.count_payload_copy(whole.size());
   Ipv4Header complete = h;
   complete.more_fragments = false;
   complete.frag_offset_units = 0;

@@ -22,6 +22,12 @@ class IpModule {
   // (header, payload, arriving interface)
   using UpperHandler =
       std::function<void(const Ipv4Header&, buf::Bytes, int)>;
+  // By-reference variant: the payload view aliases the receive buffer (a
+  // pool loan published by the organization) and is valid only for the
+  // duration of the call; the handler copies what it keeps, or takes a
+  // reference on the loan via StackEnv::rx_loan_slice.
+  using UpperViewHandler =
+      std::function<void(const Ipv4Header&, buf::ByteView, int)>;
 
   struct Config {
     sim::Time reassembly_timeout;
@@ -51,6 +57,14 @@ class IpModule {
     handlers_[proto] = std::move(handler);
   }
 
+  // Opt into zero-copy delivery for `proto`. Used only when the arriving
+  // packet is backed by a live loan (env_.current_rx_loan()); otherwise the
+  // copying handler runs, so registering both keeps every receive mode
+  // working.
+  void register_protocol_view(std::uint8_t proto, UpperViewHandler handler) {
+    view_handlers_[proto] = std::move(handler);
+  }
+
   // Send `l4_payload` to `dst`. `src` of 0 selects the outgoing interface's
   // address. Fragments when the datagram exceeds the interface MTU (unless
   // `dont_fragment`, in which case the datagram is dropped and counted).
@@ -58,6 +72,18 @@ class IpModule {
   bool send(net::Ipv4Addr src, net::Ipv4Addr dst, std::uint8_t proto,
             buf::Bytes l4_payload, const TxFlow* flow,
             bool dont_fragment = false);
+
+  // Gathered send: `l4_headers` holds only the transport header (checksum
+  // already folded over `payload`); the payload stays in caller-owned
+  // storage. On an ARP cache hit within the MTU, the IP header + transport
+  // header travel in one small buffer and the payload rides by reference
+  // (StackEnv::transmit_gather). Otherwise -- cold ARP or fragmentation --
+  // the datagram is materialized (an honest, counted payload copy) and
+  // takes the ordinary send() path. `payload` must stay valid until the
+  // call returns; the fast path hands it to the driver synchronously.
+  bool send_gather(net::Ipv4Addr src, net::Ipv4Addr dst, std::uint8_t proto,
+                   buf::Bytes l4_headers, buf::ByteView payload,
+                   const TxFlow* flow);
 
   // Incoming datagram (link header stripped) from interface `ifc`.
   void input(int ifc, buf::ByteView datagram);
@@ -102,6 +128,7 @@ class IpModule {
   ArpModule& arp_;
   Config cfg_;
   std::unordered_map<std::uint8_t, UpperHandler> handlers_;
+  std::unordered_map<std::uint8_t, UpperViewHandler> view_handlers_;
   std::unordered_map<ReassemblyKey, Reassembly, ReassemblyKeyHash> reasm_;
   Counters counters_;
   std::uint16_t next_ident_ = 1;

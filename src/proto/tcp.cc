@@ -34,6 +34,14 @@ TcpModule::TcpModule(StackEnv& env, IpModule& ip) : env_(env), ip_(ip) {
                         [this](const Ipv4Header& h, buf::Bytes p, int ifc) {
                           input(h, std::move(p), ifc);
                         });
+  // Zero-copy receive: when the arriving datagram is backed by a loaned
+  // ring buffer, IP hands the segment up as a view and no owned copy is
+  // ever made. Connections opt in per-config (rx_byref) to keeping the
+  // payload by reference; others copy exactly what they keep.
+  ip_.register_protocol_view(
+      kProtoTcp, [this](const Ipv4Header& h, buf::ByteView p, int ifc) {
+        input_view(h, p, ifc);
+      });
 }
 
 TcpModule::~TcpModule() {
@@ -134,8 +142,9 @@ TcpConnection* TcpModule::import_connection(const TcpHandoffState& st,
   c->rttvar_ = st.rttvar;
   if (st.rto > 0) c->rto_ = st.rto;
   c->cwnd_ = c->mss_;
-  c->rcv_queue_.insert(c->rcv_queue_.end(), st.rcv_pending.begin(),
-                       st.rcv_pending.end());
+  if (!st.rcv_pending.empty()) {
+    c->append_rx_owned(buf::Bytes(st.rcv_pending), 0);
+  }
   c->peer_fin_seen_ = st.peer_fin_seen;
   c->peer_fin_seq_ = st.peer_fin_seq;
   c->state_ = (st.state == TcpState::kCloseWait) ? TcpState::kCloseWait
@@ -196,6 +205,58 @@ void TcpModule::input(const Ipv4Header& h, buf::Bytes payload, int) {
   send_rst_for(h, *t, body_len);
 }
 
+// View-based twin of input(): identical protocol logic, but the segment
+// stays in the arrival buffer (a pool loan published by the organization's
+// drain loop) -- nothing is copied or recycled here. Kept separate rather
+// than delegating so the owned path's buffer-recycling order (and with it
+// the pool's hit/miss stream) is bit-identical to the seed.
+void TcpModule::input_view(const Ipv4Header& h, buf::ByteView payload, int) {
+  const EnvProfileScope prof(env_, sim::CpuComponent::kTcpInput);
+  env_.charge(env_.cost().tcp_input_fixed);
+
+  bool cksum_ok = false;
+  std::size_t hlen = 0;
+  auto t = TcpHeader::parse(payload, h.src, h.dst, &cksum_ok, &hlen);
+  if (!t) return;
+
+  const ConnKey key{h.dst.value, h.src.value, t->dport, t->sport};
+  TcpConnection* conn = find(key);
+
+  const bool verify = conn == nullptr || conn->config().checksum_enabled;
+  if (verify) {
+    const EnvProfileScope cks(env_, sim::CpuComponent::kChecksum);
+    env_.charge(static_cast<sim::Time>(payload.size()) *
+                env_.cost().checksum_per_byte);
+    if (!cksum_ok) {
+      counters_.bad_checksum++;
+      return;
+    }
+  }
+
+  counters_.segments_received++;
+  buf::ByteView body(payload.data() + hlen, payload.size() - hlen);
+
+  if (conn != nullptr) {
+    conn->segment_arrived(*t, body);
+    return;
+  }
+
+  // No connection: a SYN may match a listener.
+  if (t->flags.syn && !t->flags.ack) {
+    auto lit = listeners_.find(t->dport);
+    if (lit != listeners_.end()) {
+      auto child = std::unique_ptr<TcpConnection>(
+          new TcpConnection(*this, lit->second.cfg, h.dst, t->dport, h.src,
+                            t->sport, lit->second.acceptor));
+      TcpConnection* raw = child.get();
+      conns_.emplace(key, std::move(child));
+      raw->start_passive_open(*t);
+      return;
+    }
+  }
+  send_rst_for(h, *t, body.size());
+}
+
 void TcpModule::send_rst_for(const Ipv4Header& h, const TcpHeader& t,
                              std::size_t payload_len) {
   if (t.flags.rst) return;  // never answer a reset with a reset
@@ -239,9 +300,22 @@ TcpConnection::TcpConnection(TcpModule& mod, TcpConfig cfg, net::Ipv4Addr lip,
   if (mtu > overhead) mss_ = std::min(mss_, mtu - overhead);
   cwnd_ = mss_;
   ssthresh_ = cfg_.send_buf;
+  // Gather transmit stages one chunk per user write; without
+  // segment_per_write, segments would routinely span chunks and every
+  // emission would fall back to a staging copy anyway.
+  if (!cfg_.segment_per_write) cfg_.tx_gather = false;
 }
 
-TcpConnection::~TcpConnection() = default;
+TcpConnection::~TcpConnection() {
+  // Orderly teardown returns every loan the connection still holds.
+  // abandon_rx_chunks() (crash modelling) clears the deque first, so a
+  // killed app's loans stay out until the registry sweep reclaims them.
+  for (buf::RxChunk& c : rcv_chunks_) {
+    if (c.loan.engaged()) {
+      c.loan.release(static_cast<std::uint64_t>(mod_.env().now()));
+    }
+  }
+}
 
 TcpHandoffState TcpConnection::export_state() const {
   TcpHandoffState st;
@@ -266,6 +340,13 @@ TcpHandoffState TcpConnection::export_state() const {
   st.peer_fin_seen = peer_fin_seen_;
   st.peer_fin_seq = peer_fin_seq_;
   st.rcv_pending.assign(rcv_queue_.begin(), rcv_queue_.end());
+  // By-reference chunks flatten into the snapshot; the handed-off side has
+  // no access to this pool's loans. The loans themselves are returned when
+  // the exporting connection is released (destructor).
+  for (const buf::RxChunk& c : rcv_chunks_) {
+    const buf::ByteView v = c.view();
+    st.rcv_pending.insert(st.rcv_pending.end(), v.begin(), v.end());
+  }
   return st;
 }
 
@@ -297,9 +378,9 @@ void TcpConnection::note_queues() {
   stats_.cwnd_max = std::max<std::uint64_t>(stats_.cwnd_max, cwnd_);
   stats_.snd_wnd_max = std::max<std::uint64_t>(stats_.snd_wnd_max, snd_wnd_);
   stats_.snd_buf_max =
-      std::max<std::uint64_t>(stats_.snd_buf_max, snd_buf_.size());
+      std::max<std::uint64_t>(stats_.snd_buf_max, snd_len());
   stats_.rcv_queue_max =
-      std::max<std::uint64_t>(stats_.rcv_queue_max, rcv_queue_.size());
+      std::max<std::uint64_t>(stats_.rcv_queue_max, rcv_buffered());
   stats_.ooo_bytes_max =
       std::max<std::uint64_t>(stats_.ooo_bytes_max, ooo_bytes_);
 }
@@ -346,7 +427,7 @@ void TcpConnection::start_passive_open(const TcpHeader& syn) {
 }
 
 std::uint16_t TcpConnection::advertised_window() const {
-  const std::size_t used = rcv_queue_.size() + ooo_bytes_;
+  const std::size_t used = rcv_buffered() + ooo_bytes_;
   const std::size_t space = cfg_.recv_buf > used ? cfg_.recv_buf - used : 0;
   return static_cast<std::uint16_t>(std::min<std::size_t>(space, 65535));
 }
@@ -370,8 +451,20 @@ void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
   }
   env.charge(env.cost().timer_op);  // "practically every departure" (2.1)
 
-  buf::Bytes seg = env.acquire_buffer(t.header_len() + payload.size());
-  t.serialize(seg, local_ip_, remote_ip_, payload);
+  // Gather emission: only the header is materialized; the checksum folds
+  // over the payload where it lies and the payload travels by reference
+  // through IP to the NIC (template-gated on the user-level channel). The
+  // copy path serializes header + payload into one buffer as before.
+  const bool gather = cfg_.tx_gather && !payload.empty();
+  buf::Bytes seg =
+      env.acquire_buffer(t.header_len() + (gather ? 0 : payload.size()));
+  if (gather) {
+    t.serialize_header(seg, local_ip_, remote_ip_, payload);
+  } else {
+    t.serialize(seg, local_ip_, remote_ip_, payload);
+    env.count_payload_copy(payload.size());
+  }
+  env.count_header_copy(t.header_len());
 
   mod_.counters().segments_sent++;
   mod_.counters().bytes_sent += payload.size();
@@ -412,7 +505,12 @@ void TcpConnection::emit_segment(std::uint32_t seq, buf::ByteView payload,
   if (seq_gt(seg_end, snd_max_)) snd_max_ = seg_end;
   note_queues();
 
-  mod_.ip().send(local_ip_, remote_ip_, kProtoTcp, std::move(seg), &flow);
+  if (gather) {
+    mod_.ip().send_gather(local_ip_, remote_ip_, kProtoTcp, std::move(seg),
+                          payload, &flow);
+  } else {
+    mod_.ip().send(local_ip_, remote_ip_, kProtoTcp, std::move(seg), &flow);
+  }
 }
 
 std::size_t TcpConnection::send(buf::ByteView data) {
@@ -428,7 +526,7 @@ std::size_t TcpConnection::send(buf::ByteView data) {
   const std::size_t space = send_space();
   const std::size_t n = std::min(space, data.size());
   if (n == 0) return 0;
-  snd_buf_.insert(snd_buf_.end(), data.begin(), data.begin() + n);
+  snd_append(buf::ByteView(data.data(), n));
   push_marks_.push_back(snd_buf_end_seq());
   note_queues();
   if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
@@ -438,20 +536,216 @@ std::size_t TcpConnection::send(buf::ByteView data) {
 }
 
 std::size_t TcpConnection::send_space() const {
-  return cfg_.send_buf > snd_buf_.size() ? cfg_.send_buf - snd_buf_.size()
-                                         : 0;
+  return cfg_.send_buf > snd_len() ? cfg_.send_buf - snd_len() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Send- and receive-store helpers (copy vs zero-copy representations)
+// ---------------------------------------------------------------------------
+
+void TcpConnection::snd_append(buf::ByteView data) {
+  if (!cfg_.tx_gather) {
+    snd_buf_.insert(snd_buf_.end(), data.begin(), data.end());
+    return;
+  }
+  // One pooled chunk per user write -- the library's app-owned staging
+  // region. Composing the write into app memory happens in every
+  // organization and mode alike, so it is neither counted nor charged as a
+  // protocol copy.
+  buf::Bytes chunk = mod_.env().acquire_buffer(data.size());
+  chunk.insert(chunk.end(), data.begin(), data.end());
+  snd_chunk_bytes_ += chunk.size();
+  snd_chunks_.push_back(std::move(chunk));
+}
+
+void TcpConnection::snd_consume(std::size_t n) {
+  if (n == 0) return;
+  if (!cfg_.tx_gather) {
+    snd_buf_.erase(snd_buf_.begin(), snd_buf_.begin() + static_cast<long>(n));
+    return;
+  }
+  snd_chunk_bytes_ -= n;
+  snd_head_off_ += n;
+  while (!snd_chunks_.empty() &&
+         snd_head_off_ >= snd_chunks_.front().size()) {
+    snd_head_off_ -= snd_chunks_.front().size();
+    mod_.env().recycle_buffer(std::move(snd_chunks_.front()));
+    snd_chunks_.pop_front();
+  }
+}
+
+std::uint8_t TcpConnection::snd_byte(std::size_t off) const {
+  if (!cfg_.tx_gather) return snd_buf_[off];
+  std::size_t pos = snd_head_off_ + off;
+  for (const buf::Bytes& c : snd_chunks_) {
+    if (pos < c.size()) return c[pos];
+    pos -= c.size();
+  }
+  return 0;
+}
+
+buf::ByteView TcpConnection::snd_view(std::size_t off,
+                                      std::size_t len) const {
+  std::size_t pos = snd_head_off_ + off;
+  for (const buf::Bytes& c : snd_chunks_) {
+    if (pos < c.size()) {
+      if (pos + len <= c.size()) return buf::ByteView(c.data() + pos, len);
+      return {};  // spans two writes: caller stages a copy
+    }
+    pos -= c.size();
+  }
+  return {};
+}
+
+void TcpConnection::append_rx(buf::ByteView data) {
+  if (data.empty()) return;
+  auto& env = mod_.env();
+  if (cfg_.rx_byref) {
+    if (auto slice = env.rx_loan_slice(data)) {
+      env.count_payload_elided(data.size());
+      rcv_chunk_bytes_ += slice->len;
+      rcv_chunks_.push_back(std::move(*slice));
+      return;
+    }
+    // The bytes do not live in a loaned buffer (copied delivery, fragment
+    // reassembly): selective copy into an owned chunk.
+    buf::RxChunk c;
+    c.owned.assign(data.begin(), data.end());
+    c.len = data.size();
+    env.count_payload_copy(data.size());
+    rcv_chunk_bytes_ += c.len;
+    rcv_chunks_.push_back(std::move(c));
+    return;
+  }
+  env.count_payload_copy(data.size());
+  rcv_queue_.insert(rcv_queue_.end(), data.begin(), data.end());
+}
+
+void TcpConnection::append_rx_owned(buf::Bytes&& data, std::size_t skip) {
+  const std::size_t len = data.size() - skip;
+  if (len == 0) return;
+  auto& env = mod_.env();
+  if (!cfg_.rx_byref) {
+    env.count_payload_copy(len);
+    rcv_queue_.insert(rcv_queue_.end(),
+                      data.begin() + static_cast<long>(skip), data.end());
+    return;
+  }
+  // Already-owned bytes (reassembled segment, imported snapshot) move in
+  // without another copy.
+  env.count_payload_elided(len);
+  buf::RxChunk c;
+  c.owned = std::move(data);
+  c.off = skip;
+  c.len = len;
+  rcv_chunk_bytes_ += len;
+  rcv_chunks_.push_back(std::move(c));
 }
 
 buf::Bytes TcpConnection::read(std::size_t max) {
   auto& env = mod_.env();
   env.charge(env.cost().socket_fixed);
-  const std::size_t n = std::min(max, rcv_queue_.size());
-  buf::Bytes out(rcv_queue_.begin(), rcv_queue_.begin() + n);
-  rcv_queue_.erase(rcv_queue_.begin(), rcv_queue_.begin() + n);
+  buf::Bytes out;
+  if (cfg_.rx_byref) {
+    // read() on a by-reference connection is the selective-copy exit: the
+    // caller asked for a flat buffer, so the chunks are copied out and
+    // their loans released here.
+    const std::size_t n = std::min(max, rcv_chunk_bytes_);
+    out.reserve(n);
+    std::size_t need = n;
+    while (need > 0) {
+      buf::RxChunk& c = rcv_chunks_.front();
+      const std::size_t take = std::min(need, c.len);
+      const buf::ByteView v = c.view();
+      out.insert(out.end(), v.begin(), v.begin() + static_cast<long>(take));
+      c.off += take;
+      c.len -= take;
+      rcv_chunk_bytes_ -= take;
+      need -= take;
+      if (c.len == 0) {
+        if (c.loan.engaged()) {
+          c.loan.release(static_cast<std::uint64_t>(env.now()));
+        }
+        rcv_chunks_.pop_front();
+      }
+    }
+    env.count_payload_copy(n);
+  } else {
+    const std::size_t n = std::min(max, rcv_queue_.size());
+    out.assign(rcv_queue_.begin(), rcv_queue_.begin() + static_cast<long>(n));
+    rcv_queue_.erase(rcv_queue_.begin(),
+                     rcv_queue_.begin() + static_cast<long>(n));
+    env.count_payload_copy(n);
+  }
 
   // Window-update heuristic (silly-window avoidance on the receive side):
   // tell the peer when the window has opened by >= 2 segments or half the
   // buffer since the last advertisement.
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+      state_ == TcpState::kFinWait2) {
+    const std::uint32_t new_edge = rcv_nxt_ + advertised_window();
+    const std::uint32_t growth = new_edge - rcv_adv_;
+    if (growth >= 2 * mss_ || growth >= cfg_.recv_buf / 2) {
+      send_ack_now();
+    }
+  }
+  return out;
+}
+
+std::vector<buf::RxChunk> TcpConnection::read_chunks(std::size_t max) {
+  auto& env = mod_.env();
+  env.charge(env.cost().socket_fixed);
+  std::vector<buf::RxChunk> out;
+  if (!cfg_.rx_byref) {
+    // Flat-queue connection: the data was already merged byte-wise, so the
+    // handout is one owned chunk (a real copy, counted as such).
+    const std::size_t n = std::min(max, rcv_queue_.size());
+    if (n > 0) {
+      buf::RxChunk c;
+      c.owned.assign(rcv_queue_.begin(),
+                     rcv_queue_.begin() + static_cast<long>(n));
+      c.len = n;
+      rcv_queue_.erase(rcv_queue_.begin(),
+                       rcv_queue_.begin() + static_cast<long>(n));
+      env.count_payload_copy(n);
+      out.push_back(std::move(c));
+    }
+  } else {
+    std::size_t need = std::min(max, rcv_chunk_bytes_);
+    while (need > 0) {
+      buf::RxChunk& c = rcv_chunks_.front();
+      if (c.len <= need) {
+        need -= c.len;
+        rcv_chunk_bytes_ -= c.len;
+        env.count_payload_elided(c.len);
+        out.push_back(std::move(c));
+        rcv_chunks_.pop_front();
+        continue;
+      }
+      // `max` falls inside this chunk: split. A loaned chunk shares the
+      // loan (one more reference); an owned chunk copies the prefix out.
+      buf::RxChunk head;
+      if (c.loan.engaged()) {
+        head.loan = c.loan;  // addref
+        head.off = c.off;
+        head.len = need;
+        env.count_payload_elided(need);
+      } else {
+        const buf::ByteView v = c.view();
+        head.owned.assign(v.begin(), v.begin() + static_cast<long>(need));
+        head.len = need;
+        env.count_payload_copy(need);
+      }
+      c.off += need;
+      c.len -= need;
+      rcv_chunk_bytes_ -= need;
+      out.push_back(std::move(head));
+      need = 0;
+    }
+  }
+
+  // Same window-update heuristic as read(): the consumed bytes may have
+  // reopened the advertised window.
   if (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
       state_ == TcpState::kFinWait2) {
     const std::uint32_t new_edge = rcv_nxt_ + advertised_window();
@@ -474,7 +768,7 @@ void TcpConnection::output(bool force_ack) {
   if (may_send_data) {
     for (;;) {
       const std::size_t off = snd_nxt_ - snd_una_;
-      const std::size_t buffered = snd_buf_.size();
+      const std::size_t buffered = snd_len();
       const std::size_t avail = buffered > off ? buffered - off : 0;
       const std::size_t wnd =
           std::min<std::size_t>(std::max<std::size_t>(snd_wnd_, 0), cwnd_);
@@ -502,11 +796,6 @@ void TcpConnection::output(bool force_ack) {
         break;
       }
 
-      // snd_buf_ is a deque, so a contiguous staging copy is unavoidable;
-      // the staging buffer itself comes from (and returns to) the pool.
-      buf::Bytes chunk = mod_.env().acquire_buffer(len);
-      chunk.insert(chunk.end(), snd_buf_.begin() + static_cast<long>(off),
-                   snd_buf_.begin() + static_cast<long>(off + len));
       TcpFlags f;
       f.ack = true;
       const std::uint32_t seg_end = snd_nxt_ + static_cast<std::uint32_t>(len);
@@ -520,8 +809,7 @@ void TcpConnection::output(bool force_ack) {
       if (seq_lt(snd_nxt_, snd_max_)) {
         note_retransmit(snd_nxt_, /*fast=*/false);
       }
-      emit_segment(snd_nxt_, chunk, f, false);
-      mod_.env().recycle_buffer(std::move(chunk));
+      emit_data(snd_nxt_, off, len, f);
 
       if (!rtt_timing_) {
         rtt_timing_ = true;
@@ -548,7 +836,7 @@ void TcpConnection::output(bool force_ack) {
 
     // Zero-window with data pending: start probing.
     const std::size_t pending =
-        snd_buf_.size() > (snd_nxt_ - snd_una_) ? 1 : 0;
+        snd_len() > (snd_nxt_ - snd_una_) ? 1 : 0;
     if (!sent && pending > 0 && snd_wnd_ == 0 && flight_size() == 0 &&
         persist_timer_ == timer::kInvalidTimer) {
       arm_persist();
@@ -558,6 +846,32 @@ void TcpConnection::output(bool force_ack) {
   if (!sent && force_ack) {
     send_ack_now();
   }
+}
+
+void TcpConnection::emit_data(std::uint32_t seq, std::size_t off,
+                              std::size_t len, TcpFlags flags) {
+  auto& env = mod_.env();
+  buf::ByteView v = cfg_.tx_gather ? snd_view(off, len) : buf::ByteView{};
+  buf::Bytes chunk;
+  if (v.empty()) {
+    // snd_buf_ is a deque (or the segment spans two gather chunks, e.g. a
+    // retransmission across small writes), so a contiguous staging copy is
+    // unavoidable; the staging buffer itself comes from (and returns to)
+    // the pool.
+    chunk = env.acquire_buffer(len);
+    if (cfg_.tx_gather) {
+      for (std::size_t i = 0; i < len; ++i) chunk.push_back(snd_byte(off + i));
+    } else {
+      chunk.insert(chunk.end(), snd_buf_.begin() + static_cast<long>(off),
+                   snd_buf_.begin() + static_cast<long>(off + len));
+    }
+    env.count_payload_copy(len);
+    v = chunk;
+  } else {
+    env.count_payload_elided(len);
+  }
+  emit_segment(seq, v, flags, false);
+  if (!chunk.empty()) env.recycle_buffer(std::move(chunk));
 }
 
 void TcpConnection::send_ack_now() {
@@ -783,10 +1097,8 @@ bool TcpConnection::try_fast_path(const TcpHeader& t, buf::ByteView payload) {
 
     const std::uint32_t ack = t.ack;
     const std::uint32_t acked = ack - snd_una_;
-    const std::size_t data_acked =
-        std::min<std::size_t>(acked, snd_buf_.size());
-    snd_buf_.erase(snd_buf_.begin(),
-                   snd_buf_.begin() + static_cast<long>(data_acked));
+    const std::size_t data_acked = std::min<std::size_t>(acked, snd_len());
+    snd_consume(data_acked);
     while (!push_marks_.empty() && seq_le(push_marks_.front(), ack)) {
       push_marks_.pop_front();
     }
@@ -825,12 +1137,12 @@ bool TcpConnection::try_fast_path(const TcpHeader& t, buf::ByteView payload) {
   // room for the whole segment). ----
   if (t.ack != snd_una_ || snd_max_ != snd_una_) return false;  // quiet ACK
   if (!ooo_.empty()) return false;
-  const std::size_t space = cfg_.recv_buf > rcv_queue_.size()
-                                ? cfg_.recv_buf - rcv_queue_.size()
+  const std::size_t space = cfg_.recv_buf > rcv_buffered()
+                                ? cfg_.recv_buf - rcv_buffered()
                                 : 0;
   if (payload.size() > space) return false;
 
-  rcv_queue_.insert(rcv_queue_.end(), payload.begin(), payload.end());
+  append_rx(payload);
   rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
   mod_.counters().bytes_received += payload.size();
   stats_.bytes_in += payload.size();
@@ -860,15 +1172,11 @@ void TcpConnection::process_ack(const TcpHeader& t) {
         // Fast retransmit (Reno).
         ssthresh_ = std::max<std::size_t>(2 * mss_, flight_size() / 2);
         recover_ = snd_max_;
-        const std::size_t len = std::min<std::size_t>(mss_, snd_buf_.size());
+        const std::size_t len = std::min<std::size_t>(mss_, snd_len());
         if (len > 0) {
-          buf::Bytes chunk = mod_.env().acquire_buffer(len);
-          chunk.insert(chunk.end(), snd_buf_.begin(),
-                       snd_buf_.begin() + static_cast<long>(len));
           TcpFlags f;
           f.ack = true;
-          emit_segment(snd_una_, chunk, f, false);
-          mod_.env().recycle_buffer(std::move(chunk));
+          emit_data(snd_una_, 0, len, f);
           note_retransmit(snd_una_, /*fast=*/true);
         } else if (fin_sent_ && snd_una_ == fin_seq_) {
           TcpFlags f;
@@ -897,10 +1205,8 @@ void TcpConnection::process_ack(const TcpHeader& t) {
 
   // The ACK advances.
   const std::uint32_t acked = ack - snd_una_;
-  const std::size_t data_acked =
-      std::min<std::size_t>(acked, snd_buf_.size());
-  snd_buf_.erase(snd_buf_.begin(),
-                 snd_buf_.begin() + static_cast<long>(data_acked));
+  const std::size_t data_acked = std::min<std::size_t>(acked, snd_len());
+  snd_consume(data_acked);
   while (!push_marks_.empty() && seq_le(push_marks_.front(), ack)) {
     push_marks_.pop_front();
   }
@@ -920,15 +1226,11 @@ void TcpConnection::process_ack(const TcpHeader& t) {
       dup_acks_ = 0;
     } else {
       // Partial ACK (NewReno-flavoured): retransmit the next hole.
-      const std::size_t len = std::min<std::size_t>(mss_, snd_buf_.size());
+      const std::size_t len = std::min<std::size_t>(mss_, snd_len());
       if (len > 0) {
-        buf::Bytes chunk = mod_.env().acquire_buffer(len);
-        chunk.insert(chunk.end(), snd_buf_.begin(),
-                     snd_buf_.begin() + static_cast<long>(len));
         TcpFlags f;
         f.ack = true;
-        emit_segment(snd_una_, chunk, f, false);
-        mod_.env().recycle_buffer(std::move(chunk));
+        emit_data(snd_una_, 0, len, f);
         note_retransmit(snd_una_, /*fast=*/false);
       }
     }
@@ -984,12 +1286,11 @@ void TcpConnection::process_payload(const TcpHeader& t,
     // into the queue without consuming new space. (Counting ooo bytes here
     // can wedge the window permanently: the hole's retransmission would
     // never fit.)
-    const std::size_t space = cfg_.recv_buf > rcv_queue_.size()
-                                  ? cfg_.recv_buf - rcv_queue_.size()
+    const std::size_t space = cfg_.recv_buf > rcv_buffered()
+                                  ? cfg_.recv_buf - rcv_buffered()
                                   : 0;
     const std::size_t take = std::min(space, data.size());
-    rcv_queue_.insert(rcv_queue_.end(), data.begin(),
-                      data.begin() + static_cast<long>(take));
+    append_rx(buf::ByteView(data.data(), take));
     rcv_nxt_ += static_cast<std::uint32_t>(take);
     mod_.counters().bytes_received += take;
     stats_.bytes_in += take;
@@ -1008,12 +1309,12 @@ void TcpConnection::process_payload(const TcpHeader& t,
       }
       const std::uint32_t skip = rcv_nxt_ - seg_seq;
       const std::size_t add = seg.size() - skip;
-      rcv_queue_.insert(rcv_queue_.end(),
-                        seg.begin() + static_cast<long>(skip), seg.end());
+      const std::size_t seg_size = seg.size();
+      append_rx_owned(std::move(seg), skip);
       rcv_nxt_ += static_cast<std::uint32_t>(add);
       mod_.counters().bytes_received += add;
       stats_.bytes_in += add;
-      ooo_bytes_ -= seg.size();
+      ooo_bytes_ -= seg_size;
       it = ooo_.erase(it);
     }
     note_queues();
@@ -1027,11 +1328,12 @@ void TcpConnection::process_payload(const TcpHeader& t,
   // Out of order: stash (bounded by buffer space) and duplicate-ACK.
   mod_.counters().out_of_order++;
   stats_.out_of_order++;
-  const std::size_t space = cfg_.recv_buf > rcv_queue_.size() + ooo_bytes_
-                                ? cfg_.recv_buf - rcv_queue_.size() - ooo_bytes_
+  const std::size_t space = cfg_.recv_buf > rcv_buffered() + ooo_bytes_
+                                ? cfg_.recv_buf - rcv_buffered() - ooo_bytes_
                                 : 0;
   if (data.size() <= space && !ooo_.contains(seq)) {
     ooo_.emplace(seq, buf::Bytes(data.begin(), data.end()));
+    mod_.env().count_payload_copy(data.size());
     ooo_bytes_ += data.size();
     note_queues();
   }
@@ -1286,8 +1588,8 @@ void TcpConnection::persist_timeout() {
   }
   // Window probe: one byte beyond the window.
   const std::size_t off = snd_nxt_ - snd_una_;
-  if (snd_buf_.size() > off) {
-    buf::Bytes probe{snd_buf_[off]};
+  if (snd_len() > off) {
+    buf::Bytes probe{snd_byte(off)};
     TcpFlags f;
     f.ack = true;
     emit_segment(snd_nxt_, probe, f, false);
@@ -1363,7 +1665,7 @@ std::string TcpConnection::dump_json() const {
       static_cast<long long>(rttvar_ / 1000),
       static_cast<long long>(rto_ / 1000), cwnd_, ssthresh_,
       static_cast<unsigned long long>(snd_wnd_), flight_size(),
-      snd_buf_.size(), rcv_queue_.size(), ooo_bytes_,
+      snd_len(), rcv_buffered(), ooo_bytes_,
       static_cast<unsigned long long>(stats_.segments_in),
       static_cast<unsigned long long>(stats_.segments_out),
       static_cast<unsigned long long>(stats_.bytes_in),

@@ -19,6 +19,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "proto/ip.h"
 #include "sim/histogram.h"
@@ -76,6 +77,17 @@ struct TcpConfig {
   // connection per drained burst instead of per segment. Changes the ACK
   // schedule (fewer pure ACKs on the wire), so it is opt-in.
   bool ack_coalescing = false;
+  // Zero-copy receive: keep in-order payload as chunks that reference the
+  // arrival buffer (a pool loan) instead of flattening into the byte queue.
+  // read() still works (it copies and releases); read_chunks() hands the
+  // references to the application, which must release them. Opt-in: the
+  // wire behaviour is identical, but the bookkeeping differs.
+  bool rx_byref = false;
+  // Zero-copy transmit: stage each user write in its own pooled chunk (the
+  // paper's app-owned shared region) and emit segments as {header} +
+  // payload-by-reference gathers instead of materialized copies. Requires
+  // segment_per_write (the constructor forces it off otherwise). Opt-in.
+  bool tx_gather = false;
 
   sim::Time delack_delay = 200 * sim::kMs;  // BSD fast timer
   sim::Time rto_initial = 1 * sim::kSec;
@@ -273,6 +285,7 @@ class TcpModule {
   };
 
   void input(const Ipv4Header& h, buf::Bytes payload, int ifc);
+  void input_view(const Ipv4Header& h, buf::ByteView payload, int ifc);
   void send_rst_for(const Ipv4Header& h, const TcpHeader& t,
                     std::size_t payload_len);
   TcpConnection* find(const ConnKey& key);
@@ -306,12 +319,22 @@ class TcpConnection {
 
   // Read up to `max` bytes of in-order received data.
   buf::Bytes read(std::size_t max);
-  [[nodiscard]] std::size_t bytes_available() const {
-    return rcv_queue_.size();
-  }
+  // Zero-copy read: up to `max` bytes as chunks. With rx_byref the chunks
+  // reference the arrival buffers and the caller owns their loan references
+  // (release each via RxChunk::loan.release()); without it the data is
+  // copied into one owned chunk, so the call works on any connection.
+  std::vector<buf::RxChunk> read_chunks(std::size_t max);
+  [[nodiscard]] std::size_t bytes_available() const { return rcv_buffered(); }
   // True once the peer's FIN has been consumed (EOF).
   [[nodiscard]] bool eof() const {
-    return peer_fin_seen_ && rcv_queue_.empty();
+    return peer_fin_seen_ && rcv_buffered() == 0;
+  }
+  // Drop by-reference receive chunks *without* releasing their loans --
+  // crash modelling only (a dead process runs no cleanup); the pool
+  // registry sweep reclaims the slots afterwards.
+  void abandon_rx_chunks() {
+    rcv_chunks_.clear();
+    rcv_chunk_bytes_ = 0;
   }
 
   void close();  // orderly: FIN after queued data
@@ -366,6 +389,11 @@ class TcpConnection {
   void output(bool force_ack);
   void emit_segment(std::uint32_t seq, buf::ByteView payload, TcpFlags flags,
                     bool mss_opt);
+  // Emit one data-bearing segment of `len` bytes at logical offset `off`
+  // from snd_una_: gathers straight out of the staging chunks when the
+  // range is contiguous, else takes a counted staging copy.
+  void emit_data(std::uint32_t seq, std::size_t off, std::size_t len,
+                 TcpFlags flags);
   void send_ack_now();
   void send_rst();
   [[nodiscard]] std::uint16_t advertised_window() const;
@@ -410,9 +438,35 @@ class TcpConnection {
     return (static_cast<std::int64_t>(local_port_) << 16) | remote_port_;
   }
 
+  // ---- Send-store access (copy vs gather staging) ------------------------
+  // With tx_gather the unsent/unacked bytes live in per-write pooled chunks
+  // (snd_chunks_) instead of the flat snd_buf_; these helpers address both
+  // representations by logical offset from snd_una_.
+  [[nodiscard]] std::size_t snd_len() const {
+    return cfg_.tx_gather ? snd_chunk_bytes_ : snd_buf_.size();
+  }
+  void snd_append(buf::ByteView data);
+  void snd_consume(std::size_t n);  // drop n acked bytes from the front
+  [[nodiscard]] std::uint8_t snd_byte(std::size_t off) const;
+  // A contiguous view of [off, off+len) when it lies within one chunk
+  // (gather mode only); empty view otherwise -- caller falls back to a
+  // counted staging copy.
+  [[nodiscard]] buf::ByteView snd_view(std::size_t off, std::size_t len) const;
+
+  // ---- Receive-store access (flat queue vs by-reference chunks) ----------
+  [[nodiscard]] std::size_t rcv_buffered() const {
+    return rcv_queue_.size() + rcv_chunk_bytes_;
+  }
+  // In-order arrival: slice the current RX loan when rx_byref allows,
+  // otherwise copy into the flat queue (counted either way).
+  void append_rx(buf::ByteView data);
+  // In-order arrival of bytes we already own (ooo drain, import): moved,
+  // never copied. `skip` drops a duplicate prefix.
+  void append_rx_owned(buf::Bytes&& data, std::size_t skip);
+
   [[nodiscard]] std::size_t flight_size() const { return snd_nxt_ - snd_una_; }
   [[nodiscard]] std::uint32_t snd_buf_end_seq() const {
-    return snd_una_ + static_cast<std::uint32_t>(snd_buf_.size());
+    return snd_una_ + static_cast<std::uint32_t>(snd_len());
   }
 
   TcpModule& mod_;
@@ -432,6 +486,13 @@ class TcpConnection {
   std::uint32_t snd_max_ = 0;   // highest sequence ever sent
   std::uint32_t snd_wnd_ = 0;   // peer's advertised window
   std::deque<std::uint8_t> snd_buf_;
+  // Gather staging (tx_gather): one pooled chunk per accepted user write,
+  // fronted by snd_head_off_ consumed bytes; snd_chunk_bytes_ is the live
+  // total. deque growth never moves the chunks' heap arrays, so segment
+  // views into unacked chunks stay valid while frames are in flight.
+  std::deque<buf::Bytes> snd_chunks_;
+  std::size_t snd_head_off_ = 0;
+  std::size_t snd_chunk_bytes_ = 0;
   std::deque<std::uint32_t> push_marks_;
   bool fin_pending_ = false;
   bool fin_sent_ = false;
@@ -448,6 +509,11 @@ class TcpConnection {
   std::uint32_t rcv_nxt_ = 0;
   std::uint32_t rcv_adv_ = 0;  // highest window edge advertised
   std::deque<std::uint8_t> rcv_queue_;
+  // By-reference receive store (rx_byref): in-order payload as loan-backed
+  // or owned chunks, FIFO. Exactly one of rcv_queue_ / rcv_chunks_ is in
+  // use per connection.
+  std::deque<buf::RxChunk> rcv_chunks_;
+  std::size_t rcv_chunk_bytes_ = 0;
   std::map<std::uint32_t, buf::Bytes> ooo_;  // out-of-order segments
   std::size_t ooo_bytes_ = 0;
   bool peer_fin_seen_ = false;

@@ -112,6 +112,34 @@ void TcpHeader::serialize(buf::Bytes& out, net::Ipv4Addr src,
   buf::wr16(out, start + 16, acc.fold());
 }
 
+void TcpHeader::serialize_header(buf::Bytes& out, net::Ipv4Addr src,
+                                 net::Ipv4Addr dst,
+                                 buf::ByteView payload) const {
+  const std::size_t start = out.size();
+  const std::size_t hlen = header_len();
+  buf::put16(out, sport);
+  buf::put16(out, dport);
+  buf::put32(out, seq);
+  buf::put32(out, ack);
+  buf::put8(out, static_cast<std::uint8_t>((hlen / 4) << 4));
+  buf::put8(out, flags.encode());
+  buf::put16(out, wnd);
+  buf::put16(out, 0);  // checksum placeholder
+  buf::put16(out, urgent);
+  if (mss_option) {
+    buf::put8(out, 2);  // kind: MSS
+    buf::put8(out, 4);  // length
+    buf::put16(out, *mss_option);
+  }
+
+  const auto seg_len = static_cast<std::uint16_t>(hlen + payload.size());
+  buf::ChecksumAccumulator acc;
+  add_pseudo_header(acc, src, dst, kProtoTcp, seg_len);
+  acc.add(buf::ByteView(out.data() + start, hlen));  // hlen is even
+  acc.add(payload);
+  buf::wr16(out, start + 16, acc.fold());
+}
+
 std::optional<TcpHeader> TcpHeader::parse(buf::ByteView segment,
                                           net::Ipv4Addr src,
                                           net::Ipv4Addr dst,

@@ -92,6 +92,13 @@ struct TcpHeader {
   // Appends header + payload with a valid checksum (pseudo-header included).
   void serialize(buf::Bytes& out, net::Ipv4Addr src, net::Ipv4Addr dst,
                  buf::ByteView payload) const;
+  // Gathered form: appends the *header only*, with the checksum folded over
+  // `payload` where it lies (the payload is never appended to `out`). Valid
+  // because the header length is even, so the one's-complement sum can take
+  // the two ranges independently. The resulting bytes + the same payload
+  // concatenated parse identically to serialize()'s output.
+  void serialize_header(buf::Bytes& out, net::Ipv4Addr src, net::Ipv4Addr dst,
+                        buf::ByteView payload) const;
   // Parses a whole TCP segment (header+payload view). Returns the header;
   // `header_len_out` tells the caller where the payload starts.
   static std::optional<TcpHeader> parse(buf::ByteView segment,

@@ -37,6 +37,13 @@ struct CostModel {
   // bcopy between user and kernel (or app and server) address spaces
   // (~8 MB/s on a 25 MHz R3000).
   Time copy_per_byte = 120;
+  // Selective-copy split of the same bcopy rate: the zero-copy ablation
+  // charges protocol-header movement and payload movement separately so
+  // eliding only the payload copies (loaned RX buffers, gathered TX) is
+  // measurable. Both default to copy_per_byte's rate; benches perturb
+  // payload_copy_per_byte alone.
+  Time header_copy_per_byte = 120;
+  Time payload_copy_per_byte = 120;
   // Internet checksum, one pass over the data.
   Time checksum_per_byte = 90;
   // Fixed cost of donating a page by VM remap instead of copying.

@@ -68,6 +68,14 @@ std::string Metrics::dump_json() const {
   field("netio_unclaimed_drops", netio_unclaimed_drops);
   field("netio_tx_backpressure", netio_tx_backpressure);
   field("wakeups_dropped", wakeups_dropped);
+  field("loans_outstanding", loans_outstanding);
+  field("loan_high_water", loan_high_water);
+  field("loans_reclaimed", loans_reclaimed);
+  field("loan_double_releases", loan_double_releases);
+  field("payload_bytes_copied", payload_bytes_copied);
+  field("payload_bytes_elided", payload_bytes_elided);
+  field("header_bytes_copied", header_bytes_copied);
+  field("tx_gather_frames", tx_gather_frames);
   out += '}';
   return out;
 }

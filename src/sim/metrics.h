@@ -71,6 +71,19 @@ struct Metrics {
   std::uint64_t netio_unclaimed_drops = 0;
   std::uint64_t netio_tx_backpressure = 0;
   std::uint64_t wakeups_dropped = 0;
+  // Zero-copy data path. The loan gauges mirror buf::PacketPool's loan
+  // table (loans_outstanding is a point-in-time gauge -- 0 at a clean
+  // exit); the byte counters attribute every payload byte at each
+  // potential copy site to either a performed copy or an elision, so the
+  // selective-copy claim is measured rather than assumed.
+  std::uint64_t loans_outstanding = 0;
+  std::uint64_t loan_high_water = 0;
+  std::uint64_t loans_reclaimed = 0;
+  std::uint64_t loan_double_releases = 0;
+  std::uint64_t payload_bytes_copied = 0;
+  std::uint64_t payload_bytes_elided = 0;
+  std::uint64_t header_bytes_copied = 0;
+  std::uint64_t tx_gather_frames = 0;
 
   void reset() { *this = Metrics{}; }
 
@@ -125,6 +138,15 @@ struct Metrics {
     d.netio_tx_backpressure =
         netio_tx_backpressure - base.netio_tx_backpressure;
     d.wakeups_dropped = wakeups_dropped - base.wakeups_dropped;
+    d.loans_outstanding = loans_outstanding - base.loans_outstanding;
+    d.loan_high_water = loan_high_water - base.loan_high_water;
+    d.loans_reclaimed = loans_reclaimed - base.loans_reclaimed;
+    d.loan_double_releases =
+        loan_double_releases - base.loan_double_releases;
+    d.payload_bytes_copied = payload_bytes_copied - base.payload_bytes_copied;
+    d.payload_bytes_elided = payload_bytes_elided - base.payload_bytes_elided;
+    d.header_bytes_copied = header_bytes_copied - base.header_bytes_copied;
+    d.tx_gather_frames = tx_gather_frames - base.tx_gather_frames;
     return d;
   }
 

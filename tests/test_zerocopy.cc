@@ -1,0 +1,308 @@
+// Zero-copy / selective-copy data path tests.
+//
+// Three layers, mirroring the ownership chain:
+//   * PacketPool loan table: refcounted handles, explicit release, stale-
+//     generation rejection, deferral of recycling while loaned, and
+//     determinism of interleaved loan/release sequences.
+//   * End-to-end user-level transfers: defaults stay copy-path, the opt-in
+//     mechanisms (loaned RX + by-reference TCP + gathered TX + recv_zc sink)
+//     collapse the counted payload copies and drain every loan, and the
+//     whole thing replays bit-identically.
+//   * Baseline mechanisms: in-kernel page donation and single-server
+//     out-of-line IPC elide the boundary copy for their organizations.
+//   * Chaos soak: a killed library strands live loans; only the registry's
+//     dead-client sweep can retire them, and the loan_leak invariant holds
+//     across seeds (2 always; 8 under ULNET_ZC_FULL=1 via `-C perf`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "api/chaos.h"
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "buf/packet_pool.h"
+#include "proto/tcp.h"
+#include "sim/metrics.h"
+
+namespace ulnet {
+namespace {
+
+using api::BulkTransfer;
+using api::LinkType;
+using api::OrgType;
+using api::Testbed;
+
+// ---------------------------------------------------------------------------
+// PacketPool loan table
+// ---------------------------------------------------------------------------
+
+// kClassSizes[2] == 1024: acquire(1024) reserves exactly that class size, so
+// the storage recycles back into class 2 when the loan retires.
+constexpr std::size_t kCls1024 = 2;
+
+buf::Bytes filled_1024(buf::PacketPool& pool) {
+  buf::Bytes b = pool.acquire(1024);
+  b.resize(600, 0xAB);
+  return b;
+}
+
+TEST(PoolLoans, ReleaseRetiresSlotAndRecyclesStorage) {
+  buf::PacketPool pool;
+  buf::BufferLoan loan = pool.loan_out(filled_1024(pool), /*owner=*/7, 100);
+  EXPECT_TRUE(loan.engaged());
+  EXPECT_EQ(loan.view().size(), 600u);
+  EXPECT_EQ(pool.stats().loans_out, 1u);
+  EXPECT_EQ(pool.stats().loans_outstanding, 1u);
+  EXPECT_EQ(pool.free_count(kCls1024), 0u);  // parked, not free
+
+  EXPECT_TRUE(loan.release(200));
+  EXPECT_EQ(pool.stats().loans_outstanding, 0u);
+  EXPECT_EQ(pool.free_count(kCls1024), 1u);  // storage came home
+  EXPECT_EQ(pool.stats().loan_double_releases, 0u);
+  // The handle disengaged itself; releasing again is a no-op, not an error.
+  EXPECT_FALSE(loan.release(201));
+  EXPECT_EQ(pool.stats().loan_double_releases, 0u);
+}
+
+TEST(PoolLoans, CopyTakesReferenceSlotRetiresOnLast) {
+  buf::PacketPool pool;
+  buf::BufferLoan l1 = pool.loan_out(filled_1024(pool), 7, 0);
+  buf::BufferLoan l2 = l1;  // addref
+  EXPECT_TRUE(l1.release(10));
+  // One reference remains: slot still active, view still valid.
+  EXPECT_EQ(pool.stats().loans_outstanding, 1u);
+  EXPECT_EQ(l2.view().size(), 600u);
+  EXPECT_TRUE(l2.release(20));
+  EXPECT_EQ(pool.stats().loans_outstanding, 0u);
+  EXPECT_EQ(pool.free_count(kCls1024), 1u);
+}
+
+TEST(PoolLoans, StaleGenerationReleaseIsRejectedAndCounted) {
+  buf::PacketPool pool;
+  buf::BufferLoan l1 = pool.loan_out(filled_1024(pool), 7, 0);
+  buf::BufferLoan stale = l1;  // second reference, held across the sweep
+  // The owner dies: the sweep force-retires the slot and bumps its
+  // generation, references notwithstanding.
+  EXPECT_EQ(pool.reclaim_loans(7, 50), 1u);
+  EXPECT_EQ(pool.stats().loans_reclaimed, 1u);
+  EXPECT_EQ(pool.stats().loans_outstanding, 0u);
+  // The surviving handles now dangle: views are empty, releases are
+  // rejected and counted as double-releases.
+  EXPECT_TRUE(stale.view().empty());
+  EXPECT_FALSE(stale.release(60));
+  EXPECT_FALSE(l1.release(61));
+  EXPECT_EQ(pool.stats().loan_double_releases, 2u);
+}
+
+TEST(PoolLoans, RecyclingDeferredWhileLoaned) {
+  buf::PacketPool pool;
+  buf::BufferLoan loan = pool.loan_out(filled_1024(pool), 7, 0);
+  // While the loan is live its storage must not be vended to anyone else:
+  // the free list stays empty and a fresh acquire allocates.
+  const auto misses_before = pool.stats().misses;
+  buf::Bytes other = pool.acquire(1024);
+  EXPECT_EQ(pool.stats().misses, misses_before + 1);
+  pool.recycle(std::move(other));
+
+  EXPECT_TRUE(loan.release(100));
+  // Now the loaned storage is back in circulation: next acquire hits.
+  const auto hits_before = pool.stats().hits;
+  buf::Bytes reuse = pool.acquire(1024);
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  pool.recycle(std::move(reuse));
+}
+
+TEST(PoolLoans, InterleavedLoanReleaseIsDeterministic) {
+  // Two pools fed the same interleaved loan/release/reclaim sequence end in
+  // identical externally visible state (slot reuse order included, which
+  // dump_json exposes through the counters and free lists).
+  auto run = [](buf::PacketPool& pool) {
+    buf::BufferLoan a = pool.loan_out(filled_1024(pool), 1, 10);
+    buf::BufferLoan b = pool.loan_out(filled_1024(pool), 2, 20);
+    buf::BufferLoan b2 = b;
+    buf::BufferLoan c = pool.loan_out(filled_1024(pool), 1, 30);
+    EXPECT_TRUE(b.release(40));
+    pool.reclaim_loans(1, 50);  // sweeps a and c
+    EXPECT_FALSE(a.release(55));
+    EXPECT_TRUE(b2.release(60));
+    buf::BufferLoan d = pool.loan_out(filled_1024(pool), 3, 70);
+    EXPECT_TRUE(d.release(80));
+    (void)c;
+  };
+  buf::PacketPool p1, p2;
+  run(p1);
+  run(p2);
+  EXPECT_EQ(p1.dump_json(), p2.dump_json());
+  EXPECT_EQ(p1.stats().loans_out, 4u);
+  EXPECT_EQ(p1.stats().loans_reclaimed, 2u);
+  EXPECT_EQ(p1.stats().loans_outstanding, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: user-level organization
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kTotal = 256 * 1024;
+constexpr std::size_t kWrite = 1460;  // one MSS per write
+
+struct UlRun {
+  double tput = -1;
+  bool ok = false;
+  bool data_valid = false;
+  sim::Metrics metrics;
+  sim::Time end_time = 0;
+};
+
+UlRun run_ul_bulk(bool mechanisms, bool charging) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1, /*seed=*/21);
+  bed.user_app_a()->env().set_copy_charging(charging);
+  bed.user_app_b()->env().set_copy_charging(charging);
+  if (mechanisms) {
+    bed.user_org_a()->set_zero_copy(true);
+    bed.user_org_b()->set_zero_copy(true);
+    proto::TcpConfig zc = bed.app_a().tcp_config();
+    zc.rx_byref = true;
+    zc.tx_gather = true;
+    bed.app_a().set_tcp_config(zc);
+    bed.app_b().set_tcp_config(zc);
+  }
+  BulkTransfer bulk(bed, kTotal, kWrite, 5001, /*verify_data=*/true);
+  bulk.set_zc_recv(mechanisms);
+  auto r = bulk.run();
+  UlRun out;
+  out.ok = r.ok;
+  out.data_valid = r.data_valid;
+  out.tput = r.throughput_mbps();
+  out.metrics = bed.world().metrics();
+  out.end_time = bed.world().now();
+  return out;
+}
+
+TEST(ZeroCopyE2E, DefaultsStayOnTheCopyPath) {
+  const UlRun r = run_ul_bulk(/*mechanisms=*/false, /*charging=*/false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.data_valid);
+  // Counting is always on, the mechanisms are not: copies observed, no
+  // loans ever made, no frames gathered.
+  EXPECT_GT(r.metrics.payload_bytes_copied, 0u);
+  EXPECT_EQ(r.metrics.tx_gather_frames, 0u);
+  EXPECT_EQ(r.metrics.loan_high_water, 0u);
+  EXPECT_EQ(r.metrics.loans_outstanding, 0u);
+}
+
+TEST(ZeroCopyE2E, MechanismsElideCopiesAndDrainLoans) {
+  const UlRun copy = run_ul_bulk(/*mechanisms=*/false, /*charging=*/true);
+  const UlRun zc = run_ul_bulk(/*mechanisms=*/true, /*charging=*/true);
+  ASSERT_TRUE(copy.ok);
+  ASSERT_TRUE(zc.ok);
+  EXPECT_TRUE(zc.data_valid);
+  // The opt-in path is a measured win once copies cost simulated time.
+  EXPECT_GT(zc.tput, copy.tput);
+  // Payload copies collapse (header copies remain; that's the split).
+  EXPECT_LT(zc.metrics.payload_bytes_copied,
+            copy.metrics.payload_bytes_copied / 100);
+  EXPECT_GT(zc.metrics.payload_bytes_elided, 0u);
+  EXPECT_GT(zc.metrics.tx_gather_frames, 0u);
+  // Loans were used and every one came home.
+  EXPECT_GT(zc.metrics.loan_high_water, 0u);
+  EXPECT_EQ(zc.metrics.loans_outstanding, 0u);
+  EXPECT_EQ(zc.metrics.loan_double_releases, 0u);
+}
+
+TEST(ZeroCopyE2E, MechanismsWithoutChargingStillCorrect) {
+  // Charging is a measurement gate, not a correctness switch: with it off
+  // the zero-copy machinery still delivers the exact byte stream and drains
+  // its loans.
+  const UlRun r = run_ul_bulk(/*mechanisms=*/true, /*charging=*/false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.data_valid);
+  EXPECT_GT(r.metrics.loan_high_water, 0u);
+  EXPECT_EQ(r.metrics.loans_outstanding, 0u);
+}
+
+TEST(ZeroCopyE2E, ZeroCopyRunReplaysIdentically) {
+  const UlRun r1 = run_ul_bulk(/*mechanisms=*/true, /*charging=*/true);
+  const UlRun r2 = run_ul_bulk(/*mechanisms=*/true, /*charging=*/true);
+  ASSERT_TRUE(r1.ok);
+  EXPECT_EQ(r1.end_time, r2.end_time);
+  EXPECT_EQ(r1.metrics.payload_bytes_copied, r2.metrics.payload_bytes_copied);
+  EXPECT_EQ(r1.metrics.payload_bytes_elided, r2.metrics.payload_bytes_elided);
+  EXPECT_EQ(r1.metrics.tx_gather_frames, r2.metrics.tx_gather_frames);
+  EXPECT_EQ(r1.metrics.loan_high_water, r2.metrics.loan_high_water);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline mechanisms
+// ---------------------------------------------------------------------------
+
+TEST(ZeroCopyBaselines, InKernelPageDonationElidesTheBoundaryCopy) {
+  auto run = [](bool zc) {
+    Testbed bed(OrgType::kInKernel, LinkType::kAn1, /*seed=*/22);
+    if (zc) {
+      bed.ik_org_a()->set_zero_copy(true);
+      bed.ik_org_b()->set_zero_copy(true);
+    }
+    BulkTransfer bulk(bed, kTotal, kWrite);
+    auto r = bulk.run();
+    return std::tuple(r.ok ? r.throughput_mbps() : -1.0,
+                      bed.world().metrics().page_remaps,
+                      bed.world().metrics().payload_bytes_elided);
+  };
+  const auto [tput_copy, remaps_copy, elided_copy] = run(false);
+  const auto [tput_zc, remaps_zc, elided_zc] = run(true);
+  ASSERT_GT(tput_copy, 0.0);
+  EXPECT_EQ(elided_copy, 0u);
+  EXPECT_GT(tput_zc, tput_copy);
+  EXPECT_GT(remaps_zc, remaps_copy);
+  EXPECT_GT(elided_zc, 0u);
+}
+
+TEST(ZeroCopyBaselines, SingleServerOolIpcElidesThePerByteCharge) {
+  auto run = [](bool zc) {
+    Testbed bed(OrgType::kSingleServer, LinkType::kAn1, /*seed=*/23);
+    if (zc) {
+      bed.ss_org_a()->set_zero_copy(true);
+      bed.ss_org_b()->set_zero_copy(true);
+    }
+    BulkTransfer bulk(bed, kTotal, kWrite);
+    auto r = bulk.run();
+    return std::tuple(r.ok ? r.throughput_mbps() : -1.0,
+                      bed.world().metrics().payload_bytes_elided);
+  };
+  const auto [tput_copy, elided_copy] = run(false);
+  const auto [tput_zc, elided_zc] = run(true);
+  ASSERT_GT(tput_copy, 0.0);
+  EXPECT_EQ(elided_copy, 0u);
+  EXPECT_GT(tput_zc, tput_copy);
+  EXPECT_GT(elided_zc, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: crash-leaked loans are reclaimed, never lost
+// ---------------------------------------------------------------------------
+
+TEST(ZeroCopyChaos, KilledLibraryLeaksNoLoans) {
+  // 2 seeds in the tier-1 run; the `-C perf` zerocopy_soak_full entry sets
+  // ULNET_ZC_FULL=1 for the 8-seed sweep the issue's acceptance names.
+  const bool full = std::getenv("ULNET_ZC_FULL") != nullptr;
+  const int seeds = full ? 8 : 2;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    api::ChaosScenarioConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    cfg.link = (seed % 2 == 0) ? LinkType::kAn1 : LinkType::kEthernet;
+    cfg.zerocopy = true;
+    const api::ChaosReport rep = api::run_chaos_scenario(cfg);
+    EXPECT_TRUE(rep.invariants_ok()) << "seed " << seed << ": "
+                                     << rep.failure();
+    EXPECT_TRUE(rep.zerocopy_armed);
+    // The reverse stream parked live loans in the victim's receive buffer;
+    // the kill strands them; only the registry sweep brings them home.
+    EXPECT_GT(rep.loans_reclaimed, 0u) << "seed " << seed;
+    EXPECT_GT(rep.loan_high_water, 0u) << "seed " << seed;
+    EXPECT_EQ(rep.loans_outstanding_end, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ulnet
