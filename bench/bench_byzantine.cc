@@ -1,0 +1,151 @@
+// Byzantine exhibit: one adversarial tenant vs one honest victim stream.
+//
+// Picks the attacker kind from the seed (hoarder, starver, forger, flooder,
+// wakeup-spammer), runs the canonical byzantine scenario (api/adversary.h)
+// with per-tenant policing on, and checks (a) every isolation invariant --
+// the victim stream delivers byte-exact data at >= half its solo
+// throughput, nothing forged reaches the wire, the policer counters that
+// should fire did fire, and killing the attacker leaves no unreclaimable
+// channel or loan -- and (b) replay identity: the attack run and its replay
+// produce the same fingerprint. Exits nonzero on any violation, so
+// scripts/run_chaos.py can sweep seeds and ctest can gate.
+//
+//   bench_byzantine [--seed N] [--an1] [--json <path>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "api/adversary.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  api::LinkType link = api::LinkType::kEthernet;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--an1") == 0) {
+      link = api::LinkType::kAn1;
+    }
+  }
+
+  // Seed picks the adversary so a seed sweep covers every kind.
+  static const api::AdversaryKind kKinds[] = {
+      api::AdversaryKind::kHoarder, api::AdversaryKind::kStarver,
+      api::AdversaryKind::kForger, api::AdversaryKind::kFlooder,
+      api::AdversaryKind::kSpammer};
+  const api::AdversaryKind kind = kKinds[seed % 5];
+
+  bench::heading("Byzantine: adversarial tenant '" +
+                 std::string(api::to_string(kind)) + "', seed " +
+                 std::to_string(seed) +
+                 (link == api::LinkType::kAn1 ? " (AN1)" : " (Ethernet)"));
+
+  // Solo baseline: same topology and policing, attacker idle. Its
+  // throughput anchors the fairness floor for the attack run.
+  api::ByzantineScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.link = link;
+  cfg.policing = true;
+  cfg.attacker = api::AdversaryKind::kNone;
+  const api::ByzantineReport solo = api::run_byzantine_scenario(cfg);
+
+  cfg.attacker = kind;
+  cfg.solo_mbps = solo.victim_mbps;
+  const api::ByzantineReport rep = api::run_byzantine_scenario(cfg);
+  const api::ByzantineReport replay = api::run_byzantine_scenario(cfg);
+  const bool replay_ok = rep.fingerprint == replay.fingerprint;
+
+  bench::row_header({"invariant", "value"});
+  std::printf("%-34s%s\n", "victim stream + data valid",
+              rep.bulk_ok && rep.bulk_data_valid ? "yes" : "NO");
+  std::printf("%-34s%.2f Mb/s (solo %.2f, floor %.0f%%)\n", "victim throughput",
+              rep.victim_mbps, rep.solo_mbps,
+              rep.min_victim_fraction * 100.0);
+  std::printf("%-34s%llu on wire, %llu refused\n", "forged frames",
+              static_cast<unsigned long long>(rep.forged_frames_on_wire),
+              static_cast<unsigned long long>(rep.forge_refused));
+  std::printf("%-34s%llu policed, %llu ring quota, %llu loan budget\n",
+              "tenant policer",
+              static_cast<unsigned long long>(rep.tenant_tx_policed),
+              static_cast<unsigned long long>(rep.tenant_ring_quota_hits),
+              static_cast<unsigned long long>(rep.tenant_loan_budget_hits));
+  std::printf("%-34s%llu strikes, %llu quarantines\n", "forgery response",
+              static_cast<unsigned long long>(rep.forgery_strikes),
+              static_cast<unsigned long long>(rep.tenant_quarantines));
+  std::printf("%-34s%s, %zu hoarded at kill, %zu channels left, %llu loans\n",
+              "attacker teardown", rep.attacker_killed ? "killed" : "alive",
+              rep.hoarded_peak, rep.attacker_channels_left,
+              static_cast<unsigned long long>(rep.loans_outstanding_end));
+  std::printf("%-34s%llu loans, %llu quarantined channels\n",
+              "registry reclaimed",
+              static_cast<unsigned long long>(rep.loans_reclaimed),
+              static_cast<unsigned long long>(rep.channels_quarantined));
+  std::printf("%-34s%016llx %s\n", "replay fingerprint",
+              static_cast<unsigned long long>(rep.fingerprint),
+              replay_ok ? "(replay matches)" : "(REPLAY DIVERGED)");
+  std::printf("fault census: %s\n", rep.fault_census.c_str());
+
+  bench::JsonReport json(argc, argv, "bench_byzantine", "Byzantine");
+  const auto b01 = [](bool v) { return v ? 1.0 : 0.0; };
+  std::vector<std::pair<std::string, double>> params = {
+      {"seed", static_cast<double>(seed)},
+      {"an1", link == api::LinkType::kAn1 ? 1.0 : 0.0},
+      {"attacker", static_cast<double>(seed % 5)}};
+  json.add("victim", "bulk_ok", "bool",
+           b01(rep.bulk_ok && rep.bulk_data_valid), std::nullopt, params);
+  json.add("victim", "victim_mbps", "Mb/s", rep.victim_mbps, std::nullopt,
+           params);
+  json.add("victim", "solo_mbps", "Mb/s", rep.solo_mbps, std::nullopt, params);
+  json.add("wire", "forged_frames_on_wire", "count",
+           static_cast<double>(rep.forged_frames_on_wire), std::nullopt,
+           params);
+  json.add("policer", "tenant_tx_policed", "count",
+           static_cast<double>(rep.tenant_tx_policed), std::nullopt, params);
+  json.add("policer", "tenant_ring_quota_hits", "count",
+           static_cast<double>(rep.tenant_ring_quota_hits), std::nullopt,
+           params);
+  json.add("policer", "tenant_loan_budget_hits", "count",
+           static_cast<double>(rep.tenant_loan_budget_hits), std::nullopt,
+           params);
+  json.add("policer", "forgery_strikes", "count",
+           static_cast<double>(rep.forgery_strikes), std::nullopt, params);
+  json.add("policer", "tenant_quarantines", "count",
+           static_cast<double>(rep.tenant_quarantines), std::nullopt, params);
+  json.add("teardown", "attacker_channels_left", "count",
+           static_cast<double>(rep.attacker_channels_left), std::nullopt,
+           params);
+  json.add("teardown", "loans_outstanding", "count",
+           static_cast<double>(rep.loans_outstanding_end), std::nullopt,
+           params);
+  json.add("replay", "fingerprint_match", "bool", b01(replay_ok), std::nullopt,
+           params);
+  if (!json.write()) return 2;
+
+  const std::string solo_fail = solo.failure();
+  if (!solo_fail.empty()) {
+    std::fprintf(stderr, "FAIL (seed %llu, solo): %s\n",
+                 static_cast<unsigned long long>(seed), solo_fail.c_str());
+    return 1;
+  }
+  const std::string fail = rep.failure();
+  if (!fail.empty()) {
+    std::fprintf(stderr, "FAIL (seed %llu, %s): %s\n",
+                 static_cast<unsigned long long>(seed), api::to_string(kind),
+                 fail.c_str());
+    return 1;
+  }
+  if (!replay_ok) {
+    std::fprintf(stderr,
+                 "FAIL (seed %llu): replay diverged (%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(rep.fingerprint),
+                 static_cast<unsigned long long>(replay.fingerprint));
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

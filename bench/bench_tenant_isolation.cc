@@ -1,0 +1,183 @@
+// Tenant-isolation exhibit: what per-tenant policing buys an honest victim.
+//
+// Runs the byzantine scenario matrix -- solo baseline plus every adversary
+// kind, each with policing off and on (12 runs) -- and reports the victim's
+// verified-stream throughput and ping-pong RTT percentiles for each cell.
+// The summary rows are the isolation story in two numbers: the Jain
+// fairness index over the victim's normalized throughput across the five
+// policed attacks (1.0 = the attacker's presence is invisible), and the
+// count of forged frames that reached the wire (must be exactly 0; the
+// schema checker enforces it as a zero-metric).
+//
+// Policed attack runs are also gated against the scenario's isolation
+// invariants (fairness floor, policer counters, teardown sweep), so this
+// bench doubles as an end-to-end check when run without --json.
+//
+//   bench_tenant_isolation [--quick] [--json <path>]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/adversary.h"
+#include "bench/bench_util.h"
+
+using namespace ulnet;
+
+namespace {
+
+void add_rtt_rows(bench::JsonReport& json, const std::string& label,
+                  const sim::Stats& rtt,
+                  const std::vector<std::pair<std::string, double>>& base) {
+  if (rtt.empty()) return;
+  auto params = base;
+  params.emplace_back("count", static_cast<double>(rtt.count()));
+  json.add(label, "p50", "us", rtt.percentile(50), std::nullopt, params);
+  json.add(label, "p90", "us", rtt.percentile(90), std::nullopt, params);
+  json.add(label, "p99", "us", rtt.percentile(99), std::nullopt, params);
+  json.add(label, "max", "us", rtt.max(), std::nullopt, params);
+}
+
+// A cell whose probe never completed a round (e.g. an unpoliced flooder
+// can starve the probe's connection outright) has no percentiles to print.
+double rtt_or_zero(const sim::Stats& rtt, double p) {
+  return rtt.empty() ? 0 : rtt.percentile(p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  static const api::AdversaryKind kAttackers[] = {
+      api::AdversaryKind::kHoarder, api::AdversaryKind::kStarver,
+      api::AdversaryKind::kForger, api::AdversaryKind::kFlooder,
+      api::AdversaryKind::kSpammer};
+  constexpr std::uint64_t kSeed = 11;
+
+  bench::heading(std::string("Tenant isolation: victim vs adversary matrix") +
+                 (quick ? " (quick)" : ""));
+  bench::JsonReport json(argc, argv, "bench_tenant_isolation",
+                         "Tenant isolation");
+
+  auto run = [&](api::AdversaryKind kind, bool policed, double solo_mbps) {
+    api::ByzantineScenarioConfig cfg;
+    cfg.seed = kSeed;
+    cfg.attacker = kind;
+    cfg.policing = policed;
+    cfg.solo_mbps = policed ? solo_mbps : 0;  // fairness gated only policed
+    cfg.measure_rtt = true;
+    if (quick) {
+      cfg.bulk_bytes = 768 * 1024;
+      cfg.rtt_rounds = 40;
+    }
+    return api::run_byzantine_scenario(cfg);
+  };
+
+  bench::row_header({"scenario", "victim Mb/s", "rtt p50/p99 us", "notes"});
+  std::uint64_t forged_total = 0;
+  std::vector<double> policed_norm;  // per-attacker x_i for the Jain index
+  std::string first_failure;
+  double solo_policed_mbps = 0;
+
+  for (const bool policed : {false, true}) {
+    const api::ByzantineReport solo =
+        run(api::AdversaryKind::kNone, policed, 0);
+    if (policed) solo_policed_mbps = solo.victim_mbps;
+    forged_total += solo.forged_frames_on_wire;
+    const std::string mode = policed ? "policed" : "unpoliced";
+    const std::string solo_label = "solo/" + mode;
+    std::printf("%-34s%-34.2f%-6.0f/%-27.0f%s\n", solo_label.c_str(),
+                solo.victim_mbps, rtt_or_zero(solo.victim_rtt_us, 50),
+                rtt_or_zero(solo.victim_rtt_us, 99), "baseline");
+    std::vector<std::pair<std::string, double>> params = {
+        {"seed", static_cast<double>(kSeed)},
+        {"policed", policed ? 1.0 : 0.0},
+        {"quick", quick ? 1.0 : 0.0}};
+    json.add(solo_label, "victim_mbps", "Mb/s", solo.victim_mbps,
+             std::nullopt, params);
+    add_rtt_rows(json, "rtt/" + solo_label, solo.victim_rtt_us, params);
+    if (!solo.failure().empty() && first_failure.empty()) {
+      first_failure = solo_label + ": " + solo.failure();
+    }
+
+    for (std::size_t a = 0; a < 5; ++a) {
+      const api::AdversaryKind kind = kAttackers[a];
+      const api::ByzantineReport rep =
+          run(kind, policed, policed ? solo_policed_mbps : 0);
+      forged_total += rep.forged_frames_on_wire;
+      const std::string label = std::string(api::to_string(kind)) + "/" + mode;
+      char notes[96];
+      std::snprintf(notes, sizeof notes,
+                    "%llu policed, %llu strikes, %llu quarantined",
+                    static_cast<unsigned long long>(rep.tenant_tx_policed),
+                    static_cast<unsigned long long>(rep.forgery_strikes),
+                    static_cast<unsigned long long>(rep.tenant_quarantines));
+      std::printf("%-34s%-34.2f%-6.0f/%-27.0f%s\n", label.c_str(),
+                  rep.victim_mbps, rtt_or_zero(rep.victim_rtt_us, 50),
+                  rtt_or_zero(rep.victim_rtt_us, 99), notes);
+      auto aparams = params;
+      aparams.emplace_back("attacker", static_cast<double>(a));
+      json.add(label, "victim_mbps", "Mb/s", rep.victim_mbps, std::nullopt,
+               aparams);
+      add_rtt_rows(json, "rtt/" + label, rep.victim_rtt_us, aparams);
+      if (policed && solo_policed_mbps > 0) {
+        policed_norm.push_back(rep.victim_mbps / solo_policed_mbps);
+      }
+      // Policed cells must uphold the full isolation contract. Unpoliced
+      // cells exist to show what the attacker does to an unprotected
+      // victim -- starvation there is the exhibit, not a failure -- so only
+      // the unconditional invariants apply: nothing forged on the wire,
+      // nothing unreclaimable after the kill.
+      std::string cell_fail;
+      if (policed) {
+        cell_fail = rep.failure();
+      } else if (rep.forged_frames_on_wire != 0) {
+        cell_fail = "forged frames reached the wire";
+      } else if (rep.attacker_killed && rep.attacker_channels_left != 0) {
+        // (Pool loans can legitimately be in flight here: a starved victim
+        // stream may still be draining when the run is snapshotted.)
+        cell_fail = "attacker left unreclaimed channels";
+      }
+      if (!cell_fail.empty() && first_failure.empty()) {
+        first_failure = label + ": " + cell_fail;
+      }
+    }
+  }
+
+  // Jain fairness index over the victim's normalized throughput across the
+  // five policed attacks: J = (sum x)^2 / (n * sum x^2), 1.0 when the
+  // victim keeps identical throughput no matter which adversary it shares
+  // the hosts with.
+  double jain = 0;
+  if (!policed_norm.empty()) {
+    double s = 0, s2 = 0;
+    for (const double x : policed_norm) {
+      s += x;
+      s2 += x * x;
+    }
+    jain = s2 > 0 ? (s * s) / (static_cast<double>(policed_norm.size()) * s2)
+                  : 0;
+  }
+  std::printf("\n%-34s%.4f over %zu policed attacks\n", "Jain fairness index",
+              jain, policed_norm.size());
+  std::printf("%-34s%llu (must be 0)\n", "forged frames on wire",
+              static_cast<unsigned long long>(forged_total));
+
+  std::vector<std::pair<std::string, double>> sum_params = {
+      {"seed", static_cast<double>(kSeed)}, {"quick", quick ? 1.0 : 0.0}};
+  json.add("fairness", "jain_index", "index", jain, std::nullopt, sum_params);
+  json.add("wire", "forged_frames_on_wire", "count",
+           static_cast<double>(forged_total), std::nullopt, sum_params);
+  if (!json.write()) return 2;
+
+  if (!first_failure.empty()) {
+    std::fprintf(stderr, "FAIL: %s\n", first_failure.c_str());
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -65,6 +65,23 @@ BENCH_REQUIRED_LABELS = {
         "fastpath/on/n8", "fastpath/off/n8", "coalesce/on/n8",
         "fastpath/neutrality", "coalesce/effect",
     },
+    # Byzantine isolation: victim survival, wire integrity, the policer
+    # counters and the attacker-teardown census, plus replay identity.
+    "bench_byzantine": {
+        "victim", "wire", "policer", "teardown", "replay",
+    },
+    # Tenant-isolation matrix: every scenario cell (solo + five adversary
+    # kinds, policed and unpoliced) plus the two summary rows. The rtt/*
+    # histogram groups ride the generic percentile-group contract.
+    "bench_tenant_isolation": {
+        "solo/unpoliced", "solo/policed",
+        "hoarder/unpoliced", "hoarder/policed",
+        "starver/unpoliced", "starver/policed",
+        "forger/unpoliced", "forger/policed",
+        "flooder/unpoliced", "flooder/policed",
+        "spammer/unpoliced", "spammer/policed",
+        "fairness", "wire",
+    },
     # Copy-elision ablation: knob models (model/) and real mechanisms
     # (real/) per organization, plus the loan census of the real user-level
     # zero-copy run (whose loans_outstanding row must be exactly 0).
@@ -80,8 +97,10 @@ BENCH_REQUIRED_LABELS = {
 # measurements -- any run that emits one with a non-zero value is broken
 # regardless of what the baseline says (the differential shadow disagreed
 # with the reference demux walk; a loaned receive buffer was never
-# returned to the pool).
-ZERO_METRICS = {"demux_diff_mismatches", "loans_outstanding"}
+# returned to the pool; a frame with a forged header template reached the
+# wire past the send-side check).
+ZERO_METRICS = {"demux_diff_mismatches", "loans_outstanding",
+                "forged_frames_on_wire"}
 
 
 def fail(path, msg):

@@ -1,0 +1,382 @@
+#include "api/adversary.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "api/workloads.h"
+#include "hw/nic.h"
+#include "proto/wire.h"
+
+namespace ulnet::api {
+
+const char* to_string(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kHoarder: return "hoarder";
+    case AdversaryKind::kStarver: return "starver";
+    case AdversaryKind::kForger: return "forger";
+    case AdversaryKind::kFlooder: return "flooder";
+    case AdversaryKind::kSpammer: return "spammer";
+  }
+  return "?";
+}
+
+core::NetIoModule::TenantPolicy default_policy() {
+  core::NetIoModule::TenantPolicy p;
+  p.enabled = false;  // the scenario flips it on when cfg.policing is set
+  // Two full AN1 rings (conn + raw channel) plus slack: an honest tenant
+  // never reaches this, a hoarder that also stops reposting does.
+  p.ring_slot_quota = 400;
+  // Well above an honest library's transient in-drain holdings, well below
+  // one TCP window of hoarded segments.
+  p.loan_budget = 32;
+  // No default rate cap: honest tenants run at link speed. The scenario
+  // provisions the attacker's space individually (set_space_tx_rate).
+  p.tx_rate_bps = 0;
+  p.tx_burst_bytes = 16 * 1024;
+  p.forgery_strike_limit = 8;
+  return p;
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Shared mutable state for the attack machinery (kept on the heap so the
+// scheduled lambdas outlive the scope that armed them).
+struct AttackState {
+  bool stop = false;
+  SocketId asink_sock = kInvalidSocket;   // asink's side of the feed stream
+  std::size_t fed = 0;                    // bytes asink streamed so far
+  core::RawChannel flood;                 // flooder's raw channel (id != 0 when open)
+  std::uint64_t forge_refused = 0;
+  std::uint64_t flood_sent = 0;
+  std::uint64_t flood_policed = 0;
+  bool peer_closed = false;
+  std::string peer_close_reason;
+};
+
+}  // namespace
+
+ByzantineReport run_byzantine_scenario(const ByzantineScenarioConfig& cfg) {
+  Testbed bed(OrgType::kUserLevel, cfg.link, cfg.seed);
+  os::World& world = bed.world();
+  const AdversaryKind kind = cfg.attacker;
+
+  // Zero-copy receive everywhere: the hoarder's whole attack surface is the
+  // loan table, and the victim exercises the same path it must keep using.
+  bed.user_org_a()->set_zero_copy(true);
+  bed.user_org_b()->set_zero_copy(true);
+  proto::TcpConfig zc = bed.app_a().tcp_config();
+  zc.rx_byref = true;
+  zc.tx_gather = true;
+  bed.app_a().set_tcp_config(zc);
+  bed.app_b().set_tcp_config(zc);
+
+  core::UserLevelApp& attacker = bed.user_org_a()->add_app_impl("attacker");
+  core::UserLevelApp& asink = bed.user_org_b()->add_app_impl("asink");
+  attacker.set_tcp_config(zc);
+  asink.set_tcp_config(zc);
+
+  core::NetIoModule& na = bed.user_org_a()->netio(0);
+  core::NetIoModule& nb = bed.user_org_b()->netio(0);
+  if (cfg.policing) {
+    core::NetIoModule::TenantPolicy pol = cfg.policy;
+    pol.enabled = true;
+    na.set_tenant_policy(pol);
+    nb.set_tenant_policy(pol);
+    // The attacker's provisioned SLA: a fraction of the link so a flood is
+    // clipped to its share. Honest tenants stay unprovisioned (unlimited).
+    const std::uint64_t sla =
+        cfg.link == LinkType::kAn1 ? 8'000'000 : 2'000'000;
+    na.set_space_tx_rate(attacker.app_space(), sla);
+  }
+
+  // Wire tap: count frames carrying the forged TCP source port. The
+  // template check is the only barrier between a forger and the wire, so
+  // this count must stay zero whether or not policing is on.
+  std::uint64_t forged_on_wire = 0;
+  const std::size_t lh = cfg.link == LinkType::kAn1 ? net::An1Header::kSize
+                                                    : net::EthHeader::kSize;
+  bed.link().tap = [&forged_on_wire, lh, link = cfg.link](const net::Frame& f) {
+    const buf::ByteView b(f.bytes.data(), f.bytes.size());
+    if (b.size() < lh + 24) return;
+    std::uint16_t ethertype = 0;
+    if (link == LinkType::kAn1) {
+      if (auto h = net::An1Header::parse(b)) ethertype = h->ethertype;
+    } else {
+      if (auto h = net::EthHeader::parse(b)) ethertype = h->ethertype;
+    }
+    if (ethertype != net::kEtherTypeIp) return;
+    if (b[lh + 9] != proto::kProtoTcp) return;
+    if (buf::rd16(b, lh + 20) == core::UserLevelApp::kForgedSrcPort) {
+      forged_on_wire++;
+    }
+  };
+
+  // The victim: a verified stream that must deliver every byte no matter
+  // what the attacker does.
+  BulkTransfer bulk(bed, cfg.bulk_bytes, cfg.write_size, 5001,
+                    /*verify_data=*/true);
+  bulk.start();
+
+  // Optional latency probe between the same honest apps: attacks on shared
+  // host resources (CPU spam, link floods) show up as inflated RTTs even
+  // when the bulk stream still completes. Deferred to the attack onset so
+  // every round is measured under pressure, not before it.
+  std::optional<PingPong> rtt_probe;
+  if (cfg.measure_rtt) {
+    rtt_probe.emplace(bed, cfg.rtt_size, cfg.rtt_rounds, 5002);
+    world.loop().schedule_in(cfg.attack_start,
+                             [probe = &*rtt_probe] { probe->start(); });
+  }
+
+  auto st = std::make_shared<AttackState>();
+
+  // Attack topology: asink (host B) listens; the attacker (host A)
+  // connects, which gives it a fully bound channel to misuse. For the
+  // inbound attacks (hoarder/starver) asink feeds the attacker a paced
+  // trickle -- enough to bleed loans and buffer credits, small enough that
+  // legitimate contention cannot explain a victim collapse.
+  asink.run_app([&asink, st](sim::TaskCtx&) {
+    asink.listen(7001, [&asink, st](SocketId id) {
+      SocketEvents evs;
+      evs.on_established = [st, id] { st->asink_sock = id; };
+      evs.on_readable = [&asink, id](std::size_t) {
+        asink.recv(id, std::numeric_limits<std::size_t>::max());
+      };
+      evs.on_closed = [&asink, id, st](const std::string& reason) {
+        st->peer_close_reason = reason;
+        st->peer_closed = true;
+        st->asink_sock = kInvalidSocket;
+        asink.run_app([&asink, id](sim::TaskCtx&) { asink.release(id); });
+      };
+      return evs;
+    });
+  });
+  world.loop().schedule_in(100 * sim::kMs, [&attacker, &bed] {
+    attacker.run_app([&attacker, &bed](sim::TaskCtx&) {
+      SocketEvents evs;
+      // The starver still reads (its damage is withheld buffer credits, not
+      // a closed window); the hoarder's segments never reach TCP anyway.
+      evs.on_readable = [&attacker](std::size_t) {};
+      attacker.connect(bed.ip_b(), 7001, std::move(evs), [](SocketId) {});
+    });
+  });
+  if (kind == AdversaryKind::kFlooder) {
+    const net::MacAddr dst = nb.nic().mac();
+    world.loop().schedule_in(100 * sim::kMs, [&attacker, st, dst] {
+      attacker.run_app([&attacker, st, dst](sim::TaskCtx& ctx) {
+        attacker.open_raw(ctx, 0, 0x7a7a, dst,
+                          [](sim::TaskCtx&, buf::Bytes) {},
+                          [st](core::RawChannel rc) { st->flood = rc; });
+      });
+    });
+  }
+
+  // Seeded onset: the byzantine fault kinds ride the same FaultSchedule /
+  // ChaosController machinery as kills and stalls, so *when* within the
+  // window each attack starts varies per seed while the fault census stays
+  // part of the reproducible output. The controller's repoll safety net on
+  // the attacker also exercises the quota-bounded replenish path.
+  ChaosController chaos(bed, 20 * sim::kMs);
+  const int attacker_idx = chaos.add_target(attacker);
+  sim::FaultSchedule::GenSpec spec;
+  spec.start = cfg.attack_start;
+  spec.horizon = cfg.attack_start + cfg.attack_span;
+  spec.targets = 1;
+  spec.byz_target = attacker_idx;
+  spec.forge_burst = cfg.forge_burst;
+  spec.flood_burst = cfg.flood_burst;
+  spec.spam_burst = cfg.spam_burst;
+  switch (kind) {
+    case AdversaryKind::kNone: break;
+    case AdversaryKind::kHoarder: spec.loan_hoards = 1; break;
+    case AdversaryKind::kStarver: spec.refill_starves = 1; break;
+    case AdversaryKind::kForger: spec.template_forgeries = 4; break;
+    case AdversaryKind::kFlooder: spec.tx_floods = 4; break;
+    case AdversaryKind::kSpammer: spec.wakeup_spams = 4; break;
+  }
+  const std::size_t flood_bytes = cfg.flood_frame_bytes;
+  auto flood_once = [st, &bed, flood_bytes](sim::TaskCtx& ctx,
+                                            std::uint64_t burst) {
+    if (st->flood.id == core::kInvalidChannel) return;
+    buf::PacketPool* pool = bed.host_a().pool();
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      buf::Bytes junk = pool != nullptr ? pool->acquire(flood_bytes)
+                                        : buf::Bytes{};
+      junk.resize(flood_bytes, 0xa5);
+      if (st->flood.send(ctx, std::move(junk))) {
+        st->flood_sent++;
+      } else {
+        st->flood_policed++;
+      }
+    }
+  };
+  chaos.set_flood(attacker_idx, flood_once);
+  chaos.arm(sim::FaultSchedule::generate(cfg.seed, spec));
+
+  // Sustained pressure: one attack burst (and, for the inbound attacks, one
+  // paced feed block) every interval until the victim stream completes. The
+  // one-shot schedule above varies the onset; this loop supplies the volume
+  // a real abuser would.
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&, st, pump, kind]() {
+    if (st->stop) return;
+    if (kind == AdversaryKind::kHoarder || kind == AdversaryKind::kStarver) {
+      if (st->asink_sock != kInvalidSocket && !asink.dead()) {
+        asink.run_app([&asink, st](sim::TaskCtx&) {
+          if (st->asink_sock == kInvalidSocket) return;
+          const std::size_t space = asink.send_space(st->asink_sock);
+          const std::size_t n = std::min<std::size_t>(8 * 1024, space);
+          if (n > 0) {
+            st->fed += asink.send(st->asink_sock, payload_bytes(st->fed, n));
+          }
+        });
+      }
+    } else if (kind == AdversaryKind::kForger && !attacker.dead()) {
+      attacker.run_app([&attacker, st, burst = cfg.forge_burst](
+                           sim::TaskCtx& ctx) {
+        st->forge_refused += static_cast<std::uint64_t>(attacker.forge_sends(
+            ctx, static_cast<int>(burst),
+            core::UserLevelApp::kForgedSrcPort));
+      });
+    } else if (kind == AdversaryKind::kFlooder && !attacker.dead()) {
+      attacker.run_app([flood_once, burst = cfg.flood_burst](
+                           sim::TaskCtx& ctx) { flood_once(ctx, burst); });
+    } else if (kind == AdversaryKind::kSpammer && !attacker.dead()) {
+      attacker.run_app([&attacker, burst = cfg.spam_burst](sim::TaskCtx& ctx) {
+        attacker.spam_wakeups(ctx, static_cast<int>(burst));
+      });
+    }
+    world.loop().schedule_in(cfg.attack_interval, [pump] { (*pump)(); });
+  };
+  if (kind != AdversaryKind::kNone) {
+    world.loop().schedule_in(cfg.attack_start, [pump] { (*pump)(); });
+  }
+
+  while (world.now() < cfg.deadline &&
+         (!bulk.finished() || (rtt_probe && !rtt_probe->finished()))) {
+    world.run_for(100 * sim::kMs);
+  }
+  st->stop = true;
+
+  ByzantineReport rep;
+  rep.attacker = kind;
+  rep.policed = cfg.policing;
+  rep.hoarded_peak = attacker.hoarded_count();
+
+  if (cfg.kill_attacker && kind != AdversaryKind::kNone) {
+    attacker.run_app([&attacker](sim::TaskCtx& ctx) { attacker.kill(ctx); });
+  }
+  // Let the kill notification, the registry sweep and the last
+  // retransmissions settle.
+  world.run_for(2 * sim::kSec);
+  // The pump keeps itself alive by capturing its own shared_ptr; break the
+  // cycle now that no rescheduled firing can still be pending.
+  *pump = nullptr;
+
+  rep.bulk_ok = bulk.finished() && bulk.result().ok;
+  rep.bulk_data_valid = bulk.result().data_valid;
+  rep.victim_mbps = bulk.result().throughput_mbps();
+  rep.solo_mbps = cfg.solo_mbps;
+  rep.min_victim_fraction = cfg.min_victim_fraction;
+  if (rtt_probe) rep.victim_rtt_us = rtt_probe->stats();
+  rep.forged_frames_on_wire = forged_on_wire;
+  rep.forge_refused = st->forge_refused;
+
+  rep.send_rejects = na.counters().send_rejects + nb.counters().send_rejects;
+  rep.forgery_strikes =
+      na.counters().forgery_strikes + nb.counters().forgery_strikes;
+  rep.tenant_quarantines =
+      na.counters().tenant_quarantines + nb.counters().tenant_quarantines;
+  rep.tenant_tx_policed =
+      na.counters().tenant_tx_policed + nb.counters().tenant_tx_policed;
+  rep.tenant_ring_quota_hits = na.counters().tenant_ring_quota_hits +
+                               nb.counters().tenant_ring_quota_hits;
+  rep.tenant_loan_budget_hits = na.counters().tenant_loan_budget_hits +
+                                nb.counters().tenant_loan_budget_hits;
+
+  rep.attacker_killed = attacker.dead();
+  rep.attacker_channels_left =
+      na.channels_of_space(attacker.app_space()).size();
+  const sim::Metrics& m = world.metrics();
+  rep.loans_outstanding_end = m.loans_outstanding;
+  const auto& reclaim = bed.user_org_a()->registry().reclaim_stats();
+  rep.loans_reclaimed = reclaim.loans_reclaimed;
+  rep.channels_quarantined = reclaim.channels_quarantined;
+  rep.attacker_peer_closed = st->peer_closed;
+  rep.attacker_peer_close_reason = st->peer_close_reason;
+  rep.fault_census = chaos.schedule().dump_json();
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, m.dump_json());
+  h = fnv1a(h, na.dump_json());
+  h = fnv1a(h, nb.dump_json());
+  h = fnv1a(h, rep.fault_census);
+  h = fnv1a(h, std::to_string(forged_on_wire));
+  rep.fingerprint = h;
+  return rep;
+}
+
+bool ByzantineReport::invariants_ok() const { return failure().empty(); }
+
+std::string ByzantineReport::failure() const {
+  const std::string who = to_string(attacker);
+  if (!bulk_ok) {
+    return "victim stream did not complete under attacker '" + who + "'";
+  }
+  if (!bulk_data_valid) return "victim stream corrupted under '" + who + "'";
+  // Wire integrity is unconditional: the template check does not depend on
+  // the policing knobs.
+  if (forged_frames_on_wire != 0) {
+    return "forgery breach: " + std::to_string(forged_frames_on_wire) +
+           " forged frames reached the wire";
+  }
+  if (attacker == AdversaryKind::kForger && send_rejects == 0) {
+    return "forger was never refused by the template check";
+  }
+  if (attacker_killed) {
+    if (attacker_channels_left != 0) {
+      return "dead attacker still owns " +
+             std::to_string(attacker_channels_left) + " channels";
+    }
+    if (loans_outstanding_end != 0) {
+      return "attacker hoard leaked: " +
+             std::to_string(loans_outstanding_end) +
+             " pool loans still outstanding after the sweep";
+    }
+  }
+  if (policed) {
+    if (attacker == AdversaryKind::kForger && tenant_quarantines == 0) {
+      return "policed forger was never quarantined";
+    }
+    if (attacker == AdversaryKind::kForger && forgery_strikes == 0) {
+      return "policed forger accumulated no strikes";
+    }
+    if (attacker == AdversaryKind::kHoarder && tenant_loan_budget_hits == 0 &&
+        tenant_ring_quota_hits == 0) {
+      return "policed hoarder never hit a loan or ring budget";
+    }
+    if (attacker == AdversaryKind::kFlooder && tenant_tx_policed == 0) {
+      return "policed flooder was never rate-limited";
+    }
+    if (solo_mbps > 0 &&
+        victim_mbps < min_victim_fraction * solo_mbps) {
+      return "fairness breach under '" + who + "': victim at " +
+             std::to_string(victim_mbps) + " Mb/s, solo " +
+             std::to_string(solo_mbps) + " Mb/s (floor " +
+             std::to_string(min_victim_fraction) + ")";
+    }
+  }
+  return "";
+}
+
+}  // namespace ulnet::api

@@ -1,0 +1,124 @@
+// Byzantine multi-tenant isolation scenario (docs/ROBUSTNESS.md).
+//
+// The chaos harness (api/chaos.h) models *accidents*: crashes, stalls, lost
+// wakeups. This harness models *attacks*: an adversarial tenant misusing
+// its own perfectly valid channels to grab more than its share -- hoarding
+// receive loans, never returning ring buffers, forging header templates,
+// flooding the transmit path, spamming spurious wakeups. The trusted path
+// (network I/O module + registry) must contain each attack to the attacker:
+// a victim tenant's verified stream keeps most of its solo throughput when
+// per-tenant policing is on, nothing forged ever reaches the wire, and
+// killing the attacker leaves no unreclaimable resource behind.
+//
+// run_byzantine_scenario() is shared by tests/test_tenant_policing.cc,
+// bench/bench_byzantine.cc and bench/bench_tenant_isolation.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/chaos.h"
+#include "api/testbed.h"
+#include "core/netio_module.h"
+#include "sim/stats.h"
+
+namespace ulnet::api {
+
+enum class AdversaryKind : std::uint8_t {
+  kNone = 0,  // topology installed, attacker idle (solo baseline)
+  kHoarder,   // accepts RX loans/buffers, never releases or reposts
+  kStarver,   // processes packets but never returns receive buffers
+  kForger,    // sends violating the installed header template, at volume
+  kFlooder,   // saturates the transmit path through a raw channel
+  kSpammer,   // spurious rearm/wakeup cycles burning shared CPU
+};
+inline constexpr std::size_t kAdversaryKindCount = 6;
+
+[[nodiscard]] const char* to_string(AdversaryKind k);
+
+// The policy the canonical scenario runs under: tight enough that every
+// attack trips its counter, loose enough that honest tenants never notice.
+[[nodiscard]] core::NetIoModule::TenantPolicy default_policy();
+
+struct ByzantineScenarioConfig {
+  std::uint64_t seed = 1;
+  LinkType link = LinkType::kEthernet;
+  AdversaryKind attacker = AdversaryKind::kNone;
+  // Per-tenant policing: when true, `policy` (with enabled forced on) is
+  // installed on both hosts' network I/O modules before any channel exists.
+  bool policing = false;
+  core::NetIoModule::TenantPolicy policy = default_policy();
+  // Victim stream: sized to still be in flight through the attack.
+  std::size_t bulk_bytes = 1536 * 1024;
+  std::size_t write_size = 4096;
+  // Attack onset window: seeded FaultSchedule events land in
+  // [attack_start, attack_start + attack_span); the sustained burst loop
+  // starts at attack_start and runs until the victim stream completes.
+  sim::Time attack_start = 300 * sim::kMs;
+  sim::Time attack_span = 200 * sim::kMs;
+  sim::Time attack_interval = 20 * sim::kMs;  // sustained burst cadence
+  std::uint64_t forge_burst = 16;             // forged sends per burst
+  std::uint64_t flood_burst = 24;             // junk frames per burst
+  std::size_t flood_frame_bytes = 1024;
+  std::uint64_t spam_burst = 48;              // rearm cycles per burst
+  // Latency probe: a small ping-pong between the honest apps runs alongside
+  // the bulk stream; per-round RTTs land in the report. Off by default so
+  // the soak and the unit tests keep the minimal two-stream topology.
+  bool measure_rtt = false;
+  int rtt_rounds = 150;
+  std::size_t rtt_size = 64;
+  // Kill the attacker after the victim stream completes and assert the
+  // trusted path sweeps everything it hoarded.
+  bool kill_attacker = true;
+  // Fairness: with policing on and a solo baseline supplied, the victim
+  // must keep at least this fraction of its solo throughput.
+  double solo_mbps = 0;  // 0 = no fairness check
+  double min_victim_fraction = 0.5;
+  sim::Time deadline = 300 * sim::kSec;
+};
+
+struct ByzantineReport {
+  AdversaryKind attacker = AdversaryKind::kNone;
+  bool policed = false;
+  // Victim survival: the verified stream completed, every byte intact.
+  bool bulk_ok = false;
+  bool bulk_data_valid = false;
+  double victim_mbps = 0;
+  double solo_mbps = 0;  // echo of cfg (0 = fairness not checked)
+  double min_victim_fraction = 0.5;
+  // Per-round RTTs of the latency probe (empty unless cfg.measure_rtt).
+  sim::Stats victim_rtt_us;
+  // Wire integrity: frames carrying the forged source port, observed by a
+  // link tap. Must be zero -- the template check is the only thing between
+  // a forger and the network.
+  std::uint64_t forged_frames_on_wire = 0;
+  std::uint64_t forge_refused = 0;  // forged sends the module refused
+  // Policing counters, summed over both hosts' modules.
+  std::uint64_t send_rejects = 0;
+  std::uint64_t forgery_strikes = 0;
+  std::uint64_t tenant_quarantines = 0;
+  std::uint64_t tenant_tx_policed = 0;
+  std::uint64_t tenant_ring_quota_hits = 0;
+  std::uint64_t tenant_loan_budget_hits = 0;
+  // Attacker teardown census.
+  bool attacker_killed = false;
+  std::size_t hoarded_peak = 0;  // buffers/loans held just before the kill
+  std::size_t attacker_channels_left = 0;  // must be 0 after the sweep
+  std::uint64_t loans_outstanding_end = 0;  // must be 0 after the sweep
+  std::uint64_t loans_reclaimed = 0;
+  std::uint64_t channels_quarantined = 0;
+  bool attacker_peer_closed = false;
+  std::string attacker_peer_close_reason;
+  // Replay identity over metrics + both netio dumps + the fault census.
+  std::uint64_t fingerprint = 0;
+  std::string fault_census;
+
+  [[nodiscard]] bool invariants_ok() const;
+  // Empty when the isolation invariants hold; otherwise the first violated
+  // one, in severity order.
+  [[nodiscard]] std::string failure() const;
+};
+
+ByzantineReport run_byzantine_scenario(const ByzantineScenarioConfig& cfg);
+
+}  // namespace ulnet::api

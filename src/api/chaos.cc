@@ -64,6 +64,25 @@ void ChaosController::apply(sim::TaskCtx& ctx, const sim::FaultEvent& ev) {
     case sim::FaultKind::kTxBackpressure:
       app.org().netio(0).inject_tx_backpressure(ev.arg == 0 ? 1 : ev.arg);
       break;
+    case sim::FaultKind::kHoardLoans:
+      app.set_hoard_loans(true);
+      break;
+    case sim::FaultKind::kStarveRefill:
+      app.set_starve_refill(true);
+      break;
+    case sim::FaultKind::kForgeTemplates:
+      app.forge_sends(ctx, static_cast<int>(ev.arg == 0 ? 1 : ev.arg),
+                      core::UserLevelApp::kForgedSrcPort);
+      break;
+    case sim::FaultKind::kFloodTx: {
+      auto it = floods_.find(ev.target);
+      if (it == floods_.end()) return;  // no flood surface registered
+      it->second(ctx, ev.arg == 0 ? 1 : ev.arg);
+      break;
+    }
+    case sim::FaultKind::kSpamWakeups:
+      app.spam_wakeups(ctx, static_cast<int>(ev.arg == 0 ? 1 : ev.arg));
+      break;
   }
   sched_.note_injected(ev.kind);
 }

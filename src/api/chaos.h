@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "api/testbed.h"
@@ -35,6 +37,13 @@ class ChaosController {
   // FaultEvent.target.
   int add_target(core::UserLevelApp& app);
 
+  // Flood sender for kFloodTx events: the controller cannot conjure a raw
+  // channel on its own, so scenarios that schedule floods register one per
+  // target. Called with the event's burst size; an unregistered target's
+  // flood events are skipped (and not counted as injected).
+  using FloodFn = std::function<void(sim::TaskCtx&, std::uint64_t burst)>;
+  void set_flood(int target, FloodFn fn) { floods_[target] = std::move(fn); }
+
   // Schedule every event of `schedule` on the world's loop. Call once.
   void arm(sim::FaultSchedule schedule);
 
@@ -47,6 +56,7 @@ class ChaosController {
   Testbed& bed_;
   sim::Time repoll_interval_;
   std::vector<core::UserLevelApp*> targets_;
+  std::unordered_map<int, FloodFn> floods_;
   sim::FaultSchedule sched_;
 };
 

@@ -151,6 +151,14 @@ std::size_t PacketPool::reclaim_loans(std::int64_t owner, std::uint64_t now) {
   return swept;
 }
 
+std::size_t PacketPool::loans_of_owner(std::int64_t owner) const {
+  std::size_t n = 0;
+  for (const LoanSlot& s : loans_) {
+    if (s.active && s.owner == owner) ++n;
+  }
+  return n;
+}
+
 std::string PacketPool::dump_json() const {
   std::string out = "{\"hits\":" + std::to_string(stats_.hits) +
                     ",\"misses\":" + std::to_string(stats_.misses) +

@@ -143,6 +143,10 @@ class PacketPool {
   // sweep). Returns the number of slots reclaimed.
   std::size_t reclaim_loans(std::int64_t owner, std::uint64_t now);
 
+  // Active loan slots currently tagged with `owner` -- the per-tenant gauge
+  // the NetIoModule loan budget polices against.
+  [[nodiscard]] std::size_t loans_of_owner(std::int64_t owner) const;
+
   // Residency (loan_out -> final release/reclaim) in the caller's `now`
   // units (simulated ns in a World).
   [[nodiscard]] const sim::Histogram& loan_residency() const {

@@ -232,7 +232,8 @@ std::string NetIoModule::dump_json() const {
         "\"delivered\":%llu,\"bytes_rx\":%llu,\"ring_drops\":%llu,"
         "\"max_ring_depth\":%llu,\"sends\":%llu,\"bytes_tx\":%llu,"
         "\"send_rejects\":%llu,\"signals\":%llu,"
-        "\"signals_suppressed\":%llu}",
+        "\"signals_suppressed\":%llu,\"forgery_strikes\":%llu,"
+        "\"quarantined\":%s}",
         ch->id, ch->app_space, ch->raw ? "true" : "false",
         net::Ipv4Addr{ch->flow.local_ip}.to_string().c_str(),
         ch->flow.local_port,
@@ -247,7 +248,9 @@ std::string NetIoModule::dump_json() const {
         static_cast<unsigned long long>(s.bytes_tx),
         static_cast<unsigned long long>(s.send_rejects),
         static_cast<unsigned long long>(s.signals),
-        static_cast<unsigned long long>(s.signals_suppressed));
+        static_cast<unsigned long long>(s.signals_suppressed),
+        static_cast<unsigned long long>(s.forgery_strikes),
+        ch->quarantined ? "true" : "false");
     out += buf;
   }
 
@@ -260,7 +263,10 @@ std::string NetIoModule::dump_json() const {
       "\"demux_diff_mismatches\":%llu,"
       "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
       "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
-      "\"buffers_reclaimed\":%llu,\"tx_gather_frames\":%llu}",
+      "\"buffers_reclaimed\":%llu,\"tx_gather_frames\":%llu,"
+      "\"tenant_tx_policed\":%llu,\"tenant_ring_quota_hits\":%llu,"
+      "\"tenant_loan_budget_hits\":%llu,\"forgery_strikes\":%llu,"
+      "\"tenant_quarantines\":%llu}",
       static_cast<unsigned long long>(counters_.delivered),
       static_cast<unsigned long long>(counters_.ring_drops),
       static_cast<unsigned long long>(counters_.sends),
@@ -276,7 +282,12 @@ std::string NetIoModule::dump_json() const {
       static_cast<unsigned long long>(counters_.tx_backpressure),
       static_cast<unsigned long long>(counters_.channels_reclaimed),
       static_cast<unsigned long long>(counters_.buffers_reclaimed),
-      static_cast<unsigned long long>(counters_.tx_gather_frames));
+      static_cast<unsigned long long>(counters_.tx_gather_frames),
+      static_cast<unsigned long long>(counters_.tenant_tx_policed),
+      static_cast<unsigned long long>(counters_.tenant_ring_quota_hits),
+      static_cast<unsigned long long>(counters_.tenant_loan_budget_hits),
+      static_cast<unsigned long long>(counters_.forgery_strikes),
+      static_cast<unsigned long long>(counters_.tenant_quarantines));
   out += buf;
   out += ",\"hist\":{\"ring_residency_ns\":";
   out += ring_hist_.dump_json();
@@ -336,6 +347,15 @@ NetIoModule::SendStatus NetIoModule::channel_send_status(
   ctx.charge(cpu.cost().template_match);
   cpu.trace(sim::TraceEventType::kTemplateCheck, id,
             static_cast<std::int64_t>(payload.size()));
+  if (ch != nullptr && ch->quarantined) {
+    // Quarantined channels refuse everything, forged or not; the registry's
+    // teardown is already in flight.
+    counters_.send_rejects++;
+    ch->stats.send_rejects++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space, 0,
+              "quarantined");
+    return SendStatus::kRejected;
+  }
   if (ch == nullptr || cap != ch->cap ||
       !k.port_has_send_right(cap, caller_space) ||
       caller_space != ch->app_space ||
@@ -344,6 +364,12 @@ NetIoModule::SendStatus NetIoModule::channel_send_status(
     counters_.send_rejects++;
     if (ch != nullptr) ch->stats.send_rejects++;
     cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
+    // A reject where the caller *did* hold the channel's own capability is
+    // a forgery attempt by the owner, not a stray id: strike it.
+    if (ch != nullptr && cap == ch->cap && caller_space == ch->app_space &&
+        k.port_has_send_right(cap, caller_space)) {
+      note_forgery_strike(ctx, *ch);
+    }
     return SendStatus::kRejected;
   }
 
@@ -356,9 +382,22 @@ NetIoModule::SendStatus NetIoModule::channel_send_status(
       counters_.send_rejects++;
       ch->stats.send_rejects++;
       cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
+      note_forgery_strike(ctx, *ch);
       return SendStatus::kRejected;
     }
     dst = dst_override;
+  }
+
+  // The token-bucket policer sits between validation and the device: a
+  // policed send is a policy refusal (kBackpressure -- honest libraries
+  // back off and retry; a flood is simply refused at the tenant's rate).
+  if (policy_.enabled &&
+      !tx_policer_allows(ctx, ch->app_space, payload.size())) {
+    counters_.tenant_tx_policed++;
+    m.tenant_tx_policed++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space, 0,
+              "tx_policed");
+    return SendStatus::kBackpressure;
   }
 
   // Validation passed; now the device gets a say. A full transmit ring (or
@@ -402,6 +441,13 @@ NetIoModule::SendStatus NetIoModule::channel_send_gather(
   ctx.charge(cpu.cost().template_match);
   cpu.trace(sim::TraceEventType::kTemplateCheck, id,
             static_cast<std::int64_t>(headers.size() + payload.size()));
+  if (ch != nullptr && ch->quarantined) {
+    counters_.send_rejects++;
+    ch->stats.send_rejects++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space, 0,
+              "quarantined");
+    return SendStatus::kRejected;
+  }
   // The header template inspects only the first 24 bytes of the IP
   // datagram, all of which travel in `headers`; the payload riding by
   // reference is invisible to the check, so gather weakens nothing in the
@@ -415,7 +461,21 @@ NetIoModule::SendStatus NetIoModule::channel_send_gather(
     counters_.send_rejects++;
     if (ch != nullptr) ch->stats.send_rejects++;
     cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space);
+    if (ch != nullptr && cap == ch->cap && caller_space == ch->app_space &&
+        k.port_has_send_right(cap, caller_space)) {
+      note_forgery_strike(ctx, *ch);
+    }
     return SendStatus::kRejected;
+  }
+
+  if (policy_.enabled &&
+      !tx_policer_allows(ctx, ch->app_space,
+                         headers.size() + payload.size())) {
+    counters_.tenant_tx_policed++;
+    m.tenant_tx_policed++;
+    cpu.trace(sim::TraceEventType::kTemplateReject, id, caller_space, 0,
+              "tx_policed");
+    return SendStatus::kBackpressure;
   }
 
   if (tx_throttle_remaining_ > 0 || nic_.tx_ring_full()) {
@@ -442,6 +502,77 @@ NetIoModule::SendStatus NetIoModule::channel_send_gather(
   if (buf::PacketPool* pool = nic_.pool()) pool->recycle(std::move(headers));
   nic_.transmit(ctx, std::move(f));
   return SendStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Tenant policing
+// ---------------------------------------------------------------------------
+
+bool NetIoModule::channel_quarantined(ChannelId id) const {
+  const Channel* ch = find(id);
+  return ch != nullptr && ch->quarantined;
+}
+
+bool NetIoModule::tx_policer_allows(sim::TaskCtx& ctx, sim::SpaceId space,
+                                    std::size_t bytes) {
+  std::uint64_t rate = policy_.tx_rate_bps;
+  if (auto it = tx_rate_overrides_.find(space);
+      it != tx_rate_overrides_.end() && it->second != 0) {
+    rate = it->second;
+  }
+  if (rate == 0) return true;  // unprovisioned space: unlimited
+  TenantAccount& a = accounts_[space];
+  const sim::Time now = ctx.now();
+  if (!a.init) {
+    a.tokens = policy_.tx_burst_bytes;  // a fresh tenant starts with a burst
+    a.last_refill = now;
+    a.init = true;
+  }
+  if (now > a.last_refill) {
+    // Integer refill: bytes = dt_ns * rate_bps / 8e9, with the division
+    // remainder carried in `frac` so slicing the refills loses nothing.
+    // The 128-bit product cannot overflow for any simulated dt and rate.
+    constexpr std::uint64_t kDen = 8'000'000'000ULL;  // bits/byte * ns/s
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(now - a.last_refill) * rate + a.frac;
+    const std::uint64_t earned = static_cast<std::uint64_t>(prod / kDen);
+    a.frac = static_cast<std::uint64_t>(prod % kDen);
+    a.tokens = std::min(policy_.tx_burst_bytes, a.tokens + earned);
+    a.last_refill = now;
+  }
+  if (a.tokens < bytes) return false;
+  a.tokens -= bytes;
+  return true;
+}
+
+std::int64_t NetIoModule::space_rx_slots(sim::SpaceId space) const {
+  std::int64_t held = 0;
+  for (const auto& [id, ch] : channels_) {
+    if (ch.app_space != space) continue;
+    held += static_cast<std::int64_t>(ch.ring.size());
+    if (an1_ && ch.rx_bqi != 0) {
+      held += static_cast<const hw::An1Nic&>(nic_).posted_buffers(ch.rx_bqi);
+    }
+  }
+  return held;
+}
+
+void NetIoModule::note_forgery_strike(sim::TaskCtx& ctx, Channel& ch) {
+  if (!policy_.enabled) return;
+  sim::Metrics& m = host_.cpu().metrics();
+  ch.stats.forgery_strikes++;
+  counters_.forgery_strikes++;
+  m.forgery_strikes++;
+  if (policy_.forgery_strike_limit > 0 && !ch.quarantined &&
+      ch.stats.forgery_strikes >=
+          static_cast<std::uint64_t>(policy_.forgery_strike_limit)) {
+    ch.quarantined = true;
+    counters_.tenant_quarantines++;
+    m.tenant_quarantines++;
+    host_.cpu().trace(sim::TraceEventType::kTemplateReject, ch.id,
+                      ch.app_space, 0, "quarantine");
+    if (quarantine_handler_) quarantine_handler_(ctx, ch.id, ch.app_space);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -478,9 +609,20 @@ void NetIoModule::channel_replenish(ChannelId id) {
   Channel* ch = find(id);
   if (ch == nullptr || !an1_ || ch->rx_bqi == 0) return;
   auto& an1nic = static_cast<hw::An1Nic&>(nic_);
-  if (an1nic.posted_buffers(ch->rx_bqi) == 0) {
-    an1nic.post_buffers(ch->rx_bqi, ch->ring_capacity);
+  if (an1nic.posted_buffers(ch->rx_bqi) != 0) return;
+  int n = ch->ring_capacity;
+  if (policy_.enabled && policy_.ring_slot_quota > 0) {
+    // Recovery must not hand a refill-starver more slots than any
+    // well-behaved tenant may hold: the repost is bounded by the owner's
+    // remaining quota (ring occupancy + posted buffers across its channels).
+    const std::int64_t room =
+        static_cast<std::int64_t>(policy_.ring_slot_quota) -
+        space_rx_slots(ch->app_space);
+    if (room <= 0) return;
+    n = static_cast<int>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(n), room));
   }
+  an1nic.post_buffers(ch->rx_bqi, n);
 }
 
 std::vector<ChannelId> NetIoModule::channels_of_space(
@@ -753,6 +895,23 @@ void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
                           std::uint16_t ethertype, buf::Bytes payload,
                           std::uint64_t trace_id) {
   sim::Cpu& cpu = host_.cpu();
+  if (policy_.enabled && policy_.ring_slot_quota > 0 &&
+      space_rx_slots(ch.app_space) >=
+          static_cast<std::int64_t>(policy_.ring_slot_quota)) {
+    // The owner already holds its full slot quota across its channels: the
+    // delivery is dropped at the tenant boundary, not queued against the
+    // shared pool. Reliable transports above recover by retransmission.
+    counters_.tenant_ring_quota_hits++;
+    cpu.metrics().tenant_ring_quota_hits++;
+    counters_.ring_drops++;
+    ch.stats.ring_drops++;
+    cpu.metrics().demux_drops++;
+    cpu.metrics().netio_ring_drops++;
+    cpu.trace(sim::TraceEventType::kDemuxDrop, ch.id,
+              static_cast<std::int64_t>(ch.ring.size()), 0, "tenant_quota",
+              trace_id);
+    return;
+  }
   if (static_cast<int>(ch.ring.size()) >= ch.ring_capacity) {
     counters_.ring_drops++;
     ch.stats.ring_drops++;
@@ -782,12 +941,21 @@ void NetIoModule::deliver(sim::TaskCtx& ctx, Channel& ch,
   pkt.enqueued_at = ctx.now();
   if (rx_loans_) {
     if (buf::PacketPool* pool = nic_.pool()) {
-      // Zero-copy mode: the packet's storage becomes a loan owned by the
-      // application space; the slot recycles only on explicit release (or a
-      // dead-client sweep).
-      pkt.loan = pool->loan_out(std::move(pkt.payload), ch.app_space,
-                                static_cast<std::uint64_t>(ctx.now()));
-      pkt.payload = buf::Bytes{};
+      if (policy_.enabled && policy_.loan_budget > 0 &&
+          pool->loans_of_owner(ch.app_space) >= policy_.loan_budget) {
+        // Loan budget exhausted (a hoarder sitting on its loans): the
+        // packet still arrives, but as an owned copy -- the selective-copy
+        // fallback -- so the loan table stays bounded per tenant.
+        counters_.tenant_loan_budget_hits++;
+        cpu.metrics().tenant_loan_budget_hits++;
+      } else {
+        // Zero-copy mode: the packet's storage becomes a loan owned by the
+        // application space; the slot recycles only on explicit release (or
+        // a dead-client sweep).
+        pkt.loan = pool->loan_out(std::move(pkt.payload), ch.app_space,
+                                  static_cast<std::uint64_t>(ctx.now()));
+        pkt.payload = buf::Bytes{};
+      }
     }
   }
   ch.ring.push_back(std::move(pkt));

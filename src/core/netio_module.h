@@ -116,6 +116,49 @@ class NetIoModule {
     default_handler_ = std::move(h);
   }
 
+  // Per-tenant (per-owner-space) policing for byzantine isolation (see
+  // docs/ROBUSTNESS.md). Default-disabled: with `enabled` false every data
+  // path behaves bit-identically to a module without the policy, and each
+  // zero-valued knob disables its individual check.
+  struct TenantPolicy {
+    bool enabled = false;
+    // Max RX slots a space may hold across its channels: shared-ring
+    // occupancy plus (on AN1) posted hardware buffers. Deliveries beyond
+    // the quota are dropped; channel_replenish reposts only up to it.
+    int ring_slot_quota = 0;
+    // Max outstanding pool loans per space; deliveries beyond the budget
+    // fall back to owned copies (the selective-copy path).
+    std::uint64_t loan_budget = 0;
+    // Token-bucket TX policer: refill rate and bucket depth. Sends beyond
+    // the bucket report kBackpressure (honest libraries back off; floods
+    // are simply refused).
+    std::uint64_t tx_rate_bps = 0;
+    std::uint64_t tx_burst_bytes = 16 * 1024;
+    // Quarantine a channel after this many template rejects by its own
+    // owner (forgery strikes). Quarantined channels refuse all sends; the
+    // quarantine handler (installed by the registry) tears the channel
+    // down with the dead-client treatment.
+    int forgery_strike_limit = 0;
+  };
+  void set_tenant_policy(const TenantPolicy& p) { policy_ = p; }
+  [[nodiscard]] const TenantPolicy& tenant_policy() const { return policy_; }
+  // Per-space provisioned TX rate (the tenant's SLA), overriding the
+  // policy's default rate for that space only; 0 falls back to the policy
+  // default. Only consulted while the policy is enabled.
+  void set_space_tx_rate(sim::SpaceId space, std::uint64_t bps) {
+    tx_rate_overrides_[space] = bps;
+  }
+  // Invoked (at most once per channel) when a channel crosses the forgery
+  // strike limit. The registry installs this to run its RST-on-behalf
+  // teardown from its own space; the handler must not destroy the channel
+  // synchronously from inside a send (defer via IPC).
+  using QuarantineHandler =
+      std::function<void(sim::TaskCtx&, ChannelId, sim::SpaceId)>;
+  void set_quarantine_handler(QuarantineHandler h) {
+    quarantine_handler_ = std::move(h);
+  }
+  [[nodiscard]] bool channel_quarantined(ChannelId id) const;
+
   // ------------------------------------------------------------------
   // Library interface (called from application tasks)
   // ------------------------------------------------------------------
@@ -185,8 +228,10 @@ class NetIoModule {
   int exhaust_channel(ChannelId id);
   // AN1 starvation recovery: if the channel's hardware ring has zero posted
   // buffers (everything consumed or drained by a fault) repost a full
-  // complement. No-op on Ethernet, on healthy rings, and on partial fills
-  // (the normal drain-then-post cycle handles those).
+  // complement -- or, with a tenant policy active, only up to the owner's
+  // remaining slot quota, so a refill-starver cannot weaponize the recovery
+  // path. No-op on Ethernet, on healthy rings, and on partial fills (the
+  // normal drain-then-post cycle handles those).
   void channel_replenish(ChannelId id);
   // Ids of every channel owned by `space`, ascending (dead-client sweep).
   [[nodiscard]] std::vector<ChannelId> channels_of_space(
@@ -233,6 +278,12 @@ class NetIoModule {
     std::uint64_t channels_reclaimed = 0;  // destroyed on behalf of a dead app
     std::uint64_t buffers_reclaimed = 0;   // ring packets recycled at destroy
     std::uint64_t tx_gather_frames = 0;    // frames sent via channel gather
+    // Tenant policing (all zero while the policy is disabled).
+    std::uint64_t tenant_tx_policed = 0;       // sends refused by the policer
+    std::uint64_t tenant_ring_quota_hits = 0;  // deliveries dropped at quota
+    std::uint64_t tenant_loan_budget_hits = 0;  // loan-outs downgraded to copy
+    std::uint64_t forgery_strikes = 0;     // owner template rejects counted
+    std::uint64_t tenant_quarantines = 0;  // channels quarantined
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -249,6 +300,7 @@ class NetIoModule {
     std::uint64_t bytes_tx = 0;
     std::uint64_t bytes_rx = 0;
     std::uint64_t max_ring_depth = 0;
+    std::uint64_t forgery_strikes = 0;  // owner template rejects (policed)
   };
   // nullptr for unknown channels.
   [[nodiscard]] const ChannelStats* channel_stats(ChannelId id) const;
@@ -287,6 +339,7 @@ class NetIoModule {
     ChannelStats stats;
     std::unique_ptr<os::Semaphore> sem;
     bool notify_pending = false;
+    bool quarantined = false;  // crossed the forgery strike limit
     // Demux programs for the ablation modes.
     std::unique_ptr<filter::SynthesizedMatcher> synth;
     std::unique_ptr<filter::BpfVm> bpf;
@@ -329,6 +382,25 @@ class NetIoModule {
                                       buf::ByteView payload) const;
   [[nodiscard]] std::size_t link_header_size() const;
 
+  // ---- Tenant policing internals (no-ops while policy_.enabled is false).
+  // Token-bucket state per owner space. `frac` carries the ns*bps division
+  // remainder so refill arithmetic is exact however the refills are sliced.
+  struct TenantAccount {
+    std::uint64_t tokens = 0;
+    std::uint64_t frac = 0;
+    sim::Time last_refill = 0;
+    bool init = false;
+  };
+  // Debit `bytes` from the space's bucket; false = policed (no debit).
+  bool tx_policer_allows(sim::TaskCtx& ctx, sim::SpaceId space,
+                         std::size_t bytes);
+  // RX slots the space holds right now: shared-ring occupancy plus (AN1)
+  // posted hardware buffers, across all its channels.
+  [[nodiscard]] std::int64_t space_rx_slots(sim::SpaceId space) const;
+  // Count a template reject by the channel's own capability holder and
+  // quarantine at the strike limit.
+  void note_forgery_strike(sim::TaskCtx& ctx, Channel& ch);
+
   os::Host& host_;
   hw::Nic& nic_;
   int ifc_;
@@ -361,6 +433,10 @@ class NetIoModule {
   sim::Histogram ring_hist_;
   sim::Histogram wakeup_hist_;
   std::uint64_t tx_throttle_remaining_ = 0;
+  TenantPolicy policy_;
+  QuarantineHandler quarantine_handler_;
+  std::unordered_map<sim::SpaceId, TenantAccount> accounts_;
+  std::unordered_map<sim::SpaceId, std::uint64_t> tx_rate_overrides_;
   ChannelId next_id_ = 1;
 };
 

@@ -67,6 +67,17 @@ RegistryServer::RegistryServer(os::World& world, os::Host& host,
           default_rx(ctx, m, et, std::move(payload), advert);
         });
   }
+  for (NetIoModule* m : netios_) {
+    // Quarantine notifications fire inside the offender's send trap; the
+    // teardown runs as an IPC-delivered task in the registry's own space.
+    m->set_quarantine_handler(
+        [this, m](sim::TaskCtx& ctx, ChannelId id, sim::SpaceId space) {
+          host_.kernel().ipc_send(
+              ctx, space_, 64, [this, m, id, space](sim::TaskCtx& rctx) {
+                channel_quarantined(rctx, m, id, space);
+              });
+        });
+  }
   // Dead-name notification: when an application space dies the kernel tells
   // us; the actual sweep runs as an IPC-delivered task in our own space.
   host_.kernel().watch_space_death(
@@ -294,6 +305,38 @@ void RegistryServer::inherit_connection(sim::TaskCtx& ctx,
         }
         quarantine_port(state.local_port);
       });
+}
+
+void RegistryServer::channel_quarantined(sim::TaskCtx& ctx,
+                                         NetIoModule* netio, ChannelId id,
+                                         sim::SpaceId space) {
+  const sim::ProfileScope prof(host_.cpu(), sim::CpuComponent::kRegistry);
+  ctx.charge(host_.cpu().cost().registry_outbound_setup);
+  reclaim_stats_.channels_quarantined++;
+  // Handed-off connection: reuse the dead-client machinery -- destroy the
+  // channel, import the snapshot, RST the peer on the offender's behalf,
+  // quarantine the port for 2*MSL.
+  for (const auto& [key, ho] : handed_off_) {
+    if (ho.netio != netio || ho.channel != id) continue;
+    HandedOff dead = std::move(handed_off_[key]);
+    handed_off_.erase(key);
+    dead.netio->destroy_channel(ctx, dead.channel, /*reclaimed=*/true);
+    reclaim_stats_.channels++;
+    proto::TcpConnection* conn =
+        stack_->tcp().import_connection(dead.state, this);
+    if (conn != nullptr) {
+      conn->abort();
+      stack_->tcp().release(conn);
+      reclaim_stats_.rsts_sent++;
+    }
+    quarantine_port(dead.local_port);
+    reclaim_stats_.ports_quarantined++;
+    return;
+  }
+  // Raw / protocol-wildcard channels: no peer connection to reset.
+  netio->destroy_channel(ctx, id, /*reclaimed=*/true);
+  reclaim_stats_.channels++;
+  (void)space;
 }
 
 // ---------------------------------------------------------------------------

@@ -117,6 +117,9 @@ class RegistryServer : public proto::TcpObserver {
     std::uint64_t listeners_closed = 0;
     std::uint64_t adverts_freed = 0;      // unconsumed pre-advertised BQIs
     std::uint64_t loans_reclaimed = 0;    // leaked zero-copy loans retired
+    // Channels torn down because they crossed the forgery strike limit
+    // (byzantine policing); also counted under `channels`/`rsts_sent`.
+    std::uint64_t channels_quarantined = 0;
   };
   // Runs in the registry's space (reached via the kernel's death
   // notification -> IPC). A library that dies without an orderly
@@ -161,6 +164,11 @@ class RegistryServer : public proto::TcpObserver {
   void default_rx(sim::TaskCtx& ctx, NetIoModule* netio,
                   std::uint16_t ethertype, buf::Bytes payload,
                   std::uint16_t bqi_advert);
+  // Teardown for a channel the netio quarantined (forgery strike limit):
+  // the offender's peer gets the dead-client treatment -- channel
+  // destroyed, RST on its behalf, port quarantined for 2*MSL.
+  void channel_quarantined(sim::TaskCtx& ctx, NetIoModule* netio,
+                           ChannelId id, sim::SpaceId space);
   NetIoModule* netio_for(net::Ipv4Addr remote);
   std::uint16_t alloc_port();
   void quarantine_port(std::uint16_t port);

@@ -202,6 +202,17 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
     drained++;
     packets_drained_++;
     ctx.charge(org_.host().cpu().cost().lib_rx_per_packet);
+    if (hoard_loans_) {
+      // Byzantine hoarder: keep the buffer (or the loan, unreleased)
+      // forever. No upcall runs and no slot is ever reposted; the pool's
+      // loan table shows the damage until the dead-client sweep.
+      if (pkt->loan.engaged()) {
+        hoard_held_.push_back(std::move(pkt->loan));
+      } else {
+        hoard_bytes_.push_back(std::move(pkt->payload));
+      }
+      continue;
+    }
     if (auto rit = raw_rx_.find(id); rit != raw_rx_.end()) {
       buf::Bytes p = std::move(pkt->payload);
       if (pkt->loan.engaged()) {
@@ -249,7 +260,10 @@ void UserLevelApp::drain(sim::TaskCtx& ctx, ChannelId id) {
   tcp.end_input_burst();
   if (drained > 0) {
     drain_batch_hist_.record(static_cast<std::uint64_t>(drained));
-    rec.netio->channel_post_buffers(rec.id, drained);
+    // Hoarders and refill-starvers never return their receive slots.
+    if (!hoard_loans_ && !starve_refill_) {
+      rec.netio->channel_post_buffers(rec.id, drained);
+    }
   }
   start_drain(id);
 }
@@ -609,6 +623,70 @@ int UserLevelApp::exhaust_rings() {
     discarded += channels_[id].netio->exhaust_channel(id);
   }
   return discarded;
+}
+
+int UserLevelApp::forge_sends(sim::TaskCtx& ctx, int n,
+                              std::uint16_t forged_src_port) {
+  if (dead_) return 0;
+  // Lowest-id connection-bound channel, for determinism across runs.
+  ChannelRec* target = nullptr;
+  ChannelId best = kInvalidChannel;
+  for (auto& [id, rec] : channels_) {
+    if (rec.conn == nullptr) continue;
+    if (target == nullptr || id < best) {
+      target = &rec;
+      best = id;
+    }
+  }
+  if (target == nullptr) return 0;
+  const proto::TxFlow flow = target->conn->tx_flow();
+  buf::PacketPool* pool = org_.host().pool();
+  int refused = 0;
+  for (int i = 0; i < n; ++i) {
+    // A well-formed 24-byte TCP/IP header prefix whose source port does not
+    // match the installed template: the per-send check must refuse every
+    // one of these before it reaches the driver.
+    buf::Bytes hdr = pool != nullptr ? pool->acquire(24) : buf::Bytes{};
+    hdr.resize(24, 0);
+    hdr[0] = 0x45;
+    hdr[9] = flow.ip_proto;
+    buf::wr32(hdr, 12, flow.local_ip.value);
+    buf::wr32(hdr, 16, flow.remote_ip.value);
+    buf::wr16(hdr, 20, forged_src_port);
+    buf::wr16(hdr, 22, flow.remote_port);
+    const auto st = target->netio->channel_send_status(
+        ctx, target->id, target->cap, space_, net::kEtherTypeIp, hdr);
+    if (st != NetIoModule::SendStatus::kOk) refused++;
+    if (pool != nullptr && hdr.capacity() != 0) {
+      pool->recycle(std::move(hdr));
+    }
+    // Quarantine teardown may have destroyed the channel under us.
+    auto it = channels_.find(best);
+    if (it == channels_.end()) break;
+    target = &it->second;
+  }
+  return refused;
+}
+
+int UserLevelApp::spam_wakeups(sim::TaskCtx& ctx, int n) {
+  if (dead_) return 0;
+  std::vector<ChannelId> ids;
+  for (auto& [id, rec] : channels_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  int traps = 0;
+  for (int i = 0; i < n; ++i) {
+    for (const ChannelId id : ids) {
+      auto it = channels_.find(id);
+      if (it == channels_.end()) continue;
+      // Each spurious re-arm is a genuine kernel entry: it burns trap time
+      // (charged like any library crossing) and may consume a stale
+      // notification another drain was counting on.
+      ctx.charge(org_.host().cpu().cost().trap_specialized);
+      it->second.netio->channel_rearm(id);
+      traps++;
+    }
+  }
+  return traps;
 }
 
 void UserLevelApp::simulate_crash(sim::TaskCtx& ctx) {

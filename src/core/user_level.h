@@ -152,6 +152,30 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   void drop_next_wakeup();
   int exhaust_rings();
 
+  // ---- Byzantine adversary surface (tenant-isolation scenarios) ----
+  // TCP source port carried by every forged segment; scenario wire taps key
+  // on it to prove nothing forged ever reached the link.
+  static constexpr std::uint16_t kForgedSrcPort = 6666;
+  // Ring-slot hoarder: the service thread keeps consuming packets but
+  // stashes their buffers/loans instead of returning them, and never
+  // reposts ring slots -- the loan table and (on AN1) the hardware ring
+  // both bleed dry. Only per-tenant budgets contain the damage.
+  void set_hoard_loans(bool on) { hoard_loans_ = on; }
+  // Refill starver: packets are processed normally but the drain loop never
+  // calls channel_post_buffers, so AN1 buffer credits are consumed and
+  // never returned.
+  void set_starve_refill(bool on) { starve_refill_ = on; }
+  [[nodiscard]] std::size_t hoarded_count() const {
+    return hoard_bytes_.size() + hoard_held_.size();
+  }
+  // Template forgery: attempt `n` sends on the first connection-bound
+  // channel with the TCP source port rewritten to `forged_src_port`.
+  // Returns how many attempts the network I/O module refused.
+  int forge_sends(sim::TaskCtx& ctx, int n, std::uint16_t forged_src_port);
+  // Wakeup spam: re-arm every channel `n` times back to back -- pure trap
+  // pressure with no packets behind it. Returns traps issued.
+  int spam_wakeups(sim::TaskCtx& ctx, int n);
+
   [[nodiscard]] std::uint64_t tx_retries() const { return tx_retries_; }
   [[nodiscard]] std::uint64_t tx_drops() const { return tx_drops_; }
   [[nodiscard]] std::uint64_t repolls() const { return repolls_; }
@@ -226,6 +250,13 @@ class UserLevelApp : public api::NetSystem, public RegistryClient {
   std::uint64_t lib_unroutable_ = 0;
   bool dead_ = false;
   bool stalled_ = false;
+  // Byzantine adversary state: hoarded buffers/loans are held (never
+  // released) until the process dies; the registry's sweep is then the only
+  // way the pool gets its slots back.
+  bool hoard_loans_ = false;
+  bool starve_refill_ = false;
+  std::vector<buf::Bytes> hoard_bytes_;
+  std::vector<buf::BufferLoan> hoard_held_;
   sim::Time repoll_interval_ = 0;
   bool repoll_armed_ = false;
   std::uint64_t tx_retries_ = 0;

@@ -14,6 +14,11 @@ const char* to_string(FaultKind k) {
     case FaultKind::kDropWakeup: return "drop_wakeup";
     case FaultKind::kExhaustRing: return "exhaust_ring";
     case FaultKind::kTxBackpressure: return "tx_backpressure";
+    case FaultKind::kHoardLoans: return "hoard_loans";
+    case FaultKind::kStarveRefill: return "starve_refill";
+    case FaultKind::kForgeTemplates: return "forge_templates";
+    case FaultKind::kFloodTx: return "flood_tx";
+    case FaultKind::kSpamWakeups: return "spam_wakeups";
   }
   return "?";
 }
@@ -70,6 +75,29 @@ FaultSchedule FaultSchedule::generate(std::uint64_t seed,
   }
   for (int i = 0; i < spec.tx_backpressures; ++i) {
     s.add({when(), FaultKind::kTxBackpressure, survivor(), spec.tx_burst});
+  }
+  // Byzantine tenant events. A misbehaving tenant that is about to be killed
+  // attacks nobody for long, so like the other survivor faults these default
+  // to a survivor draw unless a target is pinned.
+  auto byz = [&]() -> int {
+    return (spec.byz_target >= 0 && spec.byz_target < spec.targets)
+               ? spec.byz_target
+               : survivor();
+  };
+  for (int i = 0; i < spec.loan_hoards; ++i) {
+    s.add({when(), FaultKind::kHoardLoans, byz(), 0});
+  }
+  for (int i = 0; i < spec.refill_starves; ++i) {
+    s.add({when(), FaultKind::kStarveRefill, byz(), 0});
+  }
+  for (int i = 0; i < spec.template_forgeries; ++i) {
+    s.add({when(), FaultKind::kForgeTemplates, byz(), spec.forge_burst});
+  }
+  for (int i = 0; i < spec.tx_floods; ++i) {
+    s.add({when(), FaultKind::kFloodTx, byz(), spec.flood_burst});
+  }
+  for (int i = 0; i < spec.wakeup_spams; ++i) {
+    s.add({when(), FaultKind::kSpamWakeups, byz(), spec.spam_burst});
   }
   s.sort();
   return s;

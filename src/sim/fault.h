@@ -28,8 +28,16 @@ enum class FaultKind : std::uint8_t {
   kDropWakeup,      // next semaphore wakeup for the target's channels is lost
   kExhaustRing,     // receive rings emptied of posted buffers, contents lost
   kTxBackpressure,  // next `arg` netio transmits report a full device ring
+  // ---- Byzantine tenant behaviors: not accidents but attacks. The target
+  // is an adversarial *tenant* misusing its own (valid) channels; the
+  // trusted path must contain the damage to that tenant. ----
+  kHoardLoans,      // target starts hoarding RX loans/buffers, never releases
+  kStarveRefill,    // target stops returning receive buffers (no reposts)
+  kForgeTemplates,  // burst of `arg` sends violating the header template
+  kFloodTx,         // burst of `arg` junk frames saturating the transmit path
+  kSpamWakeups,     // `arg` spurious rearm/wakeup cycles burning shared CPU
 };
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 11;
 
 [[nodiscard]] const char* to_string(FaultKind k);
 
@@ -56,6 +64,19 @@ class FaultSchedule {
     int ring_exhausts = 0;
     int tx_backpressures = 0;
     std::uint64_t tx_burst = 4;  // rejected sends per backpressure event
+    // Byzantine tenant events. Drawn after the crash-fault events above, so
+    // any (seed, spec) pair with all byzantine counts at zero generates the
+    // exact same schedule it did before these kinds existed.
+    int byz_target = -1;  // byzantine events pinned here; -1 = drawn (never
+                          // the kill target, like other survivor faults)
+    int loan_hoards = 0;
+    int refill_starves = 0;
+    int template_forgeries = 0;
+    std::uint64_t forge_burst = 8;  // forged sends per forgery event
+    int tx_floods = 0;
+    std::uint64_t flood_burst = 32;  // junk frames per flood event
+    int wakeup_spams = 0;
+    std::uint64_t spam_burst = 32;  // rearm/wakeup cycles per spam event
   };
 
   void add(FaultEvent ev) { events_.push_back(ev); }

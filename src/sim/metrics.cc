@@ -76,6 +76,11 @@ std::string Metrics::dump_json() const {
   field("payload_bytes_elided", payload_bytes_elided);
   field("header_bytes_copied", header_bytes_copied);
   field("tx_gather_frames", tx_gather_frames);
+  field("tenant_tx_policed", tenant_tx_policed);
+  field("tenant_ring_quota_hits", tenant_ring_quota_hits);
+  field("tenant_loan_budget_hits", tenant_loan_budget_hits);
+  field("forgery_strikes", forgery_strikes);
+  field("tenant_quarantines", tenant_quarantines);
   out += '}';
   return out;
 }

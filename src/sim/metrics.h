@@ -84,6 +84,17 @@ struct Metrics {
   std::uint64_t payload_bytes_elided = 0;
   std::uint64_t header_bytes_copied = 0;
   std::uint64_t tx_gather_frames = 0;
+  // Per-tenant policing (byzantine isolation; see docs/ROBUSTNESS.md).
+  // All zero unless a NetIoModule TenantPolicy is enabled: TX sends refused
+  // by the token-bucket policer, RX deliveries dropped at the tenant's
+  // ring-slot quota, loan-outs downgraded to owned copies at the loan
+  // budget, template rejects counted as forgery strikes, and channels
+  // quarantined for exceeding the strike limit.
+  std::uint64_t tenant_tx_policed = 0;
+  std::uint64_t tenant_ring_quota_hits = 0;
+  std::uint64_t tenant_loan_budget_hits = 0;
+  std::uint64_t forgery_strikes = 0;
+  std::uint64_t tenant_quarantines = 0;
 
   void reset() { *this = Metrics{}; }
 
@@ -147,6 +158,13 @@ struct Metrics {
     d.payload_bytes_elided = payload_bytes_elided - base.payload_bytes_elided;
     d.header_bytes_copied = header_bytes_copied - base.header_bytes_copied;
     d.tx_gather_frames = tx_gather_frames - base.tx_gather_frames;
+    d.tenant_tx_policed = tenant_tx_policed - base.tenant_tx_policed;
+    d.tenant_ring_quota_hits =
+        tenant_ring_quota_hits - base.tenant_ring_quota_hits;
+    d.tenant_loan_budget_hits =
+        tenant_loan_budget_hits - base.tenant_loan_budget_hits;
+    d.forgery_strikes = forgery_strikes - base.forgery_strikes;
+    d.tenant_quarantines = tenant_quarantines - base.tenant_quarantines;
     return d;
   }
 

@@ -1,0 +1,371 @@
+// Per-tenant policing tests: the network I/O module's byzantine-isolation
+// knobs (docs/ROBUSTNESS.md). Counter exactness for forgery strikes, the
+// quarantine trip at exactly the strike limit (and the peer's RST-on-behalf
+// teardown), the token-bucket transmit policer with per-space SLA
+// overrides, the RX slot quota on both the delivery and the replenish
+// paths, the loan-budget fallback to owned copies, and -- the acceptance
+// bar for shipping the knobs at all -- a configured-but-disabled policy
+// being bit-identical to no policy.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "api/adversary.h"
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "buf/packet_pool.h"
+#include "core/netio_module.h"
+#include "core/user_level.h"
+#include "hw/nic.h"
+
+namespace ulnet::api {
+namespace {
+
+using core::NetIoModule;
+using core::UserLevelApp;
+
+// Establish one a->b connection so app A owns a fully bound channel the
+// tests can drive (or abuse). Exposes A's socket and B's accepted-socket
+// close reason.
+struct ConnAB {
+  std::shared_ptr<SocketId> sock = std::make_shared<SocketId>(kInvalidSocket);
+  std::shared_ptr<std::string> reason = std::make_shared<std::string>();
+};
+
+ConnAB connect_ab(Testbed& bed, std::uint16_t port) {
+  ConnAB conn;
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  auto reason = conn.reason;
+  b->run_app([b, port, reason](sim::TaskCtx&) {
+    b->listen(port, [b, reason](SocketId id) {
+      SocketEvents evs;
+      evs.on_closed = [b, id, reason](const std::string& why) {
+        *reason = why;
+        b->run_app([b, id](sim::TaskCtx&) { b->release(id); });
+      };
+      return evs;
+    });
+  });
+  auto sock = conn.sock;
+  bed.world().loop().schedule_in(20 * sim::kMs, [&bed, a, port, sock] {
+    a->run_app([&bed, a, port, sock](sim::TaskCtx&) {
+      a->connect(bed.ip_b(), port, SocketEvents{},
+                 [sock](SocketId id) { *sock = id; });
+    });
+  });
+  bed.world().run_for(1 * sim::kSec);
+  EXPECT_NE(*conn.sock, kInvalidSocket);
+  return conn;
+}
+
+TEST(TenantPolicing, ForgeryStrikeCounterIsExact) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/31);
+  connect_ab(bed, 6100);
+  NetIoModule& na = bed.user_org_a()->netio(0);
+
+  NetIoModule::TenantPolicy pol;
+  pol.enabled = true;
+  pol.forgery_strike_limit = 100;  // counting only, far from the trip point
+  na.set_tenant_policy(pol);
+
+  auto* a = bed.user_app_a();
+  a->run_app([a](sim::TaskCtx& ctx) {
+    a->forge_sends(ctx, 5, UserLevelApp::kForgedSrcPort);
+  });
+  bed.world().run_for(100 * sim::kMs);
+
+  // One strike per forged send, no more, no less -- and mirrored into the
+  // world metrics for the replay fingerprint.
+  EXPECT_EQ(na.counters().forgery_strikes, 5u);
+  EXPECT_EQ(bed.world().metrics().forgery_strikes, 5u);
+  EXPECT_GE(na.counters().send_rejects, 5u);
+  EXPECT_EQ(na.counters().tenant_quarantines, 0u);
+}
+
+TEST(TenantPolicing, NoStrikesWithPolicingOff) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/32);
+  connect_ab(bed, 6101);
+  NetIoModule& na = bed.user_org_a()->netio(0);
+
+  auto* a = bed.user_app_a();
+  a->run_app([a](sim::TaskCtx& ctx) {
+    a->forge_sends(ctx, 5, UserLevelApp::kForgedSrcPort);
+  });
+  bed.world().run_for(100 * sim::kMs);
+
+  // The template check refuses every forgery regardless of the policy, but
+  // without the policy no strikes accrue and nothing is quarantined.
+  EXPECT_GE(na.counters().send_rejects, 5u);
+  EXPECT_EQ(na.counters().forgery_strikes, 0u);
+  EXPECT_EQ(na.counters().tenant_quarantines, 0u);
+}
+
+TEST(TenantPolicing, QuarantineAtExactlyNStrikesAndPeerSeesReset) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/33);
+  const ConnAB conn = connect_ab(bed, 6102);
+  NetIoModule& na = bed.user_org_a()->netio(0);
+
+  NetIoModule::TenantPolicy pol;
+  pol.enabled = true;
+  pol.forgery_strike_limit = 3;
+  na.set_tenant_policy(pol);
+
+  auto* a = bed.user_app_a();
+  const auto chans = na.channels_of_space(a->app_space());
+  ASSERT_FALSE(chans.empty());
+  const core::ChannelId ch = chans.front();
+
+  // Two strikes: under the limit, the channel stays up.
+  a->run_app([a](sim::TaskCtx& ctx) {
+    a->forge_sends(ctx, 2, UserLevelApp::kForgedSrcPort);
+  });
+  bed.world().run_for(100 * sim::kMs);
+  EXPECT_EQ(na.counters().forgery_strikes, 2u);
+  EXPECT_EQ(na.counters().tenant_quarantines, 0u);
+  EXPECT_FALSE(na.channel_quarantined(ch));
+
+  // Five more attempts in one task: the third strike trips the quarantine
+  // and the remaining attempts hit the quarantined-channel refusal, which
+  // must not accrue further strikes.
+  a->run_app([a](sim::TaskCtx& ctx) {
+    a->forge_sends(ctx, 5, UserLevelApp::kForgedSrcPort);
+  });
+  bed.world().run_for(2 * sim::kSec);
+
+  EXPECT_EQ(na.counters().forgery_strikes, 3u);
+  EXPECT_EQ(na.counters().tenant_quarantines, 1u);
+  // The registry's deferred teardown gave the channel the dead-client
+  // treatment: RST on behalf to the peer, channel destroyed.
+  EXPECT_EQ(*conn.reason, "reset by peer");
+  EXPECT_TRUE(na.channels_of_space(a->app_space()).empty());
+  const auto& stats = bed.user_org_a()->registry().reclaim_stats();
+  EXPECT_EQ(stats.channels_quarantined, 1u);
+  EXPECT_GE(stats.rsts_sent, 1u);
+}
+
+TEST(TenantPolicing, TokenBucketPolicesOverriddenSpaceOnly) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/34);
+  NetIoModule& na = bed.user_org_a()->netio(0);
+  auto* a = bed.user_app_a();
+  auto& honest = static_cast<UserLevelApp&>(bed.add_app_a("honest"));
+
+  // Policy default leaves every space unlimited; only app A's space gets a
+  // provisioned SLA of 80 kb/s with a 4 KB burst.
+  NetIoModule::TenantPolicy pol;
+  pol.enabled = true;
+  pol.tx_rate_bps = 0;
+  pol.tx_burst_bytes = 4096;
+  na.set_tenant_policy(pol);
+  na.set_space_tx_rate(a->app_space(), 80'000);
+
+  const net::MacAddr dst = bed.user_org_b()->netio(0).nic().mac();
+  auto rca = std::make_shared<core::RawChannel>();
+  auto rch = std::make_shared<core::RawChannel>();
+  a->run_app([a, dst, rca](sim::TaskCtx& ctx) {
+    a->open_raw(ctx, 0, 0x7a7a, dst, [](sim::TaskCtx&, buf::Bytes) {},
+                [rca](core::RawChannel rc) { *rca = rc; });
+  });
+  honest.run_app([&honest, dst, rch](sim::TaskCtx& ctx) {
+    honest.open_raw(ctx, 0, 0x7b7b, dst, [](sim::TaskCtx&, buf::Bytes) {},
+                    [rch](core::RawChannel rc) { *rch = rc; });
+  });
+  bed.world().run_for(100 * sim::kMs);
+  ASSERT_NE(rca->id, core::kInvalidChannel);
+  ASSERT_NE(rch->id, core::kInvalidChannel);
+
+  // The provisioned space gets exactly its burst -- four 1 KB frames --
+  // then the bucket runs dry and the policer refuses.
+  auto sent = std::make_shared<int>(0);
+  a->run_app([rca, sent](sim::TaskCtx& ctx) {
+    for (int i = 0; i < 6; ++i) {
+      if (rca->send(ctx, payload_bytes(0, 1024))) (*sent)++;
+    }
+  });
+  bed.world().run_for(10 * sim::kMs);
+  EXPECT_EQ(*sent, 4);
+  EXPECT_GE(na.counters().tenant_tx_policed, 2u);
+
+  // The unprovisioned space is untouched by the policer.
+  auto honest_sent = std::make_shared<int>(0);
+  honest.run_app([rch, honest_sent](sim::TaskCtx& ctx) {
+    for (int i = 0; i < 12; ++i) {
+      if (rch->send(ctx, payload_bytes(0, 1024))) (*honest_sent)++;
+    }
+  });
+  bed.world().run_for(100 * sim::kMs);
+  EXPECT_EQ(*honest_sent, 12);
+
+  // Refill: a second of simulated time at 80 kb/s earns 10 KB, capped at
+  // the 4 KB burst -- the next send goes through.
+  bed.world().run_for(1 * sim::kSec);
+  auto again = std::make_shared<bool>(false);
+  a->run_app([rca, again](sim::TaskCtx& ctx) {
+    *again = rca->send(ctx, payload_bytes(0, 1024));
+  });
+  bed.world().run_for(10 * sim::kMs);
+  EXPECT_TRUE(*again);
+}
+
+TEST(TenantPolicing, RingQuotaBoundsDeliveriesToStalledTenant) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/35);
+  const ConnAB conn = connect_ab(bed, 6103);
+  NetIoModule& nb = bed.user_org_b()->netio(0);
+
+  NetIoModule::TenantPolicy pol;
+  pol.enabled = true;
+  pol.ring_slot_quota = 2;
+  nb.set_tenant_policy(pol);
+
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  const auto chans = nb.channels_of_space(b->app_space());
+  ASSERT_FALSE(chans.empty());
+
+  // Freeze the receiving library and pump. Nothing ACKs, so the sender
+  // dribbles one retransmission per RTO; the tenant's ring occupancy stops
+  // at two slots and every delivery beyond drops at the tenant boundary.
+  b->stall();
+  a->run_app([a, sock = conn.sock](sim::TaskCtx&) {
+    a->send(*sock, payload_bytes(0, 16 * 1024));
+  });
+  bed.world().run_for(10 * sim::kSec);
+
+  EXPECT_LE(nb.channel_ring_depth(chans.front()), 2u);
+  EXPECT_GE(nb.counters().tenant_ring_quota_hits, 1u);
+  EXPECT_EQ(bed.world().metrics().tenant_ring_quota_hits,
+            nb.counters().tenant_ring_quota_hits);
+  b->resume();
+}
+
+TEST(TenantPolicing, ReplenishBoundedByTenantSlotQuotaOnAn1) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kAn1, /*seed=*/36);
+  connect_ab(bed, 6104);
+  NetIoModule& nb = bed.user_org_b()->netio(0);
+  auto* b = bed.user_app_b();
+  auto& an1 = static_cast<hw::An1Nic&>(nb.nic());
+
+  const auto chans = nb.channels_of_space(b->app_space());
+  ASSERT_FALSE(chans.empty());
+  const core::ChannelId ch = chans.front();
+  const std::uint16_t bqi = nb.channel_rx_bqi(ch);
+  ASSERT_NE(bqi, 0);
+
+  // Without a policy the starvation recovery reposts a full complement.
+  b->exhaust_rings();
+  ASSERT_EQ(an1.posted_buffers(bqi), 0);
+  nb.channel_replenish(ch);
+  const int full = an1.posted_buffers(bqi);
+  EXPECT_GT(full, 100);
+
+  // With the quota the same recovery is bounded by the owner's remaining
+  // slot allowance -- a refill-starver cannot weaponize the safety net.
+  NetIoModule::TenantPolicy pol;
+  pol.enabled = true;
+  pol.ring_slot_quota = 100;
+  nb.set_tenant_policy(pol);
+  b->exhaust_rings();
+  ASSERT_EQ(an1.posted_buffers(bqi), 0);
+  nb.channel_replenish(ch);
+  EXPECT_EQ(an1.posted_buffers(bqi), 100);
+}
+
+TEST(TenantPolicing, LoanBudgetFallsBackToOwnedCopies) {
+  Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/37);
+  bed.user_org_b()->set_zero_copy(true);
+  const ConnAB conn = connect_ab(bed, 6105);
+  NetIoModule& nb = bed.user_org_b()->netio(0);
+
+  NetIoModule::TenantPolicy pol;
+  pol.enabled = true;
+  pol.loan_budget = 4;
+  nb.set_tenant_policy(pol);
+
+  auto* a = bed.user_app_a();
+  auto* b = bed.user_app_b();
+  b->set_hoard_loans(true);  // never release anything delivered
+
+  a->run_app([a, sock = conn.sock](sim::TaskCtx&) {
+    a->send(*sock, payload_bytes(0, 32 * 1024));
+  });
+  // Hoarded segments never reach TCP, so nothing ACKs and each RTO-paced
+  // retransmission takes a fresh delivery; a dozen simulated seconds is
+  // enough for the hoard to cross the four-loan budget.
+  bed.world().run_for(12 * sim::kSec);
+
+  // Deliveries beyond the budget still arrive -- as owned copies -- so the
+  // hoarder's loan table stays bounded at its budget.
+  EXPECT_GE(nb.counters().tenant_loan_budget_hits, 1u);
+  buf::PacketPool* pool = bed.host_b().pool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_LE(pool->loans_of_owner(b->app_space()), 4u);
+  EXPECT_GE(b->hoarded_count(), 5u);  // held loans plus copied payloads
+}
+
+TEST(TenantPolicing, DisabledPolicyIsBitIdentical) {
+  // The acceptance bar for default-off knobs: a fully configured policy
+  // with enabled=false must leave every dump bit-identical to a module
+  // that never heard of the policy.
+  auto run = [](bool configure) {
+    Testbed bed(OrgType::kUserLevel, LinkType::kEthernet, /*seed=*/38);
+    if (configure) {
+      NetIoModule::TenantPolicy pol;
+      pol.enabled = false;
+      pol.ring_slot_quota = 4;
+      pol.loan_budget = 2;
+      pol.tx_rate_bps = 1000;
+      pol.tx_burst_bytes = 512;
+      pol.forgery_strike_limit = 1;
+      bed.user_org_a()->netio(0).set_tenant_policy(pol);
+      bed.user_org_b()->netio(0).set_tenant_policy(pol);
+      bed.user_org_a()->netio(0).set_space_tx_rate(
+          bed.user_app_a()->app_space(), 1000);
+    }
+    BulkTransfer bulk(bed, 256 * 1024, 4096, 5001, /*verify_data=*/true);
+    const BulkTransfer::Result res = bulk.run();
+    EXPECT_TRUE(res.ok && res.data_valid);
+    return bed.world().metrics().dump_json() +
+           bed.user_org_a()->netio(0).dump_json() +
+           bed.user_org_b()->netio(0).dump_json();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Byzantine, PolicedForgerIsQuarantinedEndToEnd) {
+  ByzantineScenarioConfig cfg;
+  cfg.seed = 2;
+  cfg.attacker = AdversaryKind::kForger;
+  cfg.policing = true;
+  cfg.bulk_bytes = 768 * 1024;
+  const ByzantineReport rep = run_byzantine_scenario(cfg);
+  EXPECT_TRUE(rep.invariants_ok()) << rep.failure();
+  EXPECT_EQ(rep.forged_frames_on_wire, 0u);
+  EXPECT_GE(rep.forgery_strikes,
+            static_cast<std::uint64_t>(default_policy().forgery_strike_limit));
+  EXPECT_GE(rep.tenant_quarantines, 1u);
+  EXPECT_GE(rep.channels_quarantined, 1u);
+  // The forger's own peer got the dead-client RST-on-behalf.
+  EXPECT_TRUE(rep.attacker_peer_closed);
+  EXPECT_EQ(rep.attacker_peer_close_reason, "reset by peer");
+  EXPECT_EQ(rep.attacker_channels_left, 0u);
+}
+
+TEST(Byzantine, ReplayIsDeterministic) {
+  ByzantineScenarioConfig cfg;
+  cfg.seed = 5;
+  cfg.attacker = AdversaryKind::kHoarder;
+  cfg.policing = true;
+  cfg.bulk_bytes = 512 * 1024;
+  const ByzantineReport r1 = run_byzantine_scenario(cfg);
+  const ByzantineReport r2 = run_byzantine_scenario(cfg);
+  EXPECT_TRUE(r1.invariants_ok()) << r1.failure();
+  EXPECT_EQ(r1.fingerprint, r2.fingerprint);
+  EXPECT_EQ(r1.fault_census, r2.fault_census);
+  cfg.seed = 6;
+  const ByzantineReport r3 = run_byzantine_scenario(cfg);
+  EXPECT_NE(r1.fingerprint, r3.fingerprint);
+}
+
+}  // namespace
+}  // namespace ulnet::api
