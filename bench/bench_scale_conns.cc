@@ -54,7 +54,14 @@
 // runs) show the one-pass structures also win host time; those use the
 // tolerance band.
 //
+//   - per-connection memory (mem/<engine>/<link>/nN rows): peak resident
+//     packet-pool bytes and peak TCB bytes, sampled once per simulated
+//     second while the transfers run, plus the per-connection quotient.
+//     Byte totals depend on the build (sizeof of connection state), so
+//     these rows ride the wall-clock tolerance band, not the exact gate.
+//
 // Usage: bench_scale_conns [--quick] [--json <path>]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -109,11 +116,17 @@ class ScaleConns {
   bool run(sim::Time deadline) {
     start();
     auto& world = bed_.world();
-    while (!finished() && world.now() < deadline) world.run_for(sim::kSec);
+    while (!finished() && world.now() < deadline) {
+      world.run_for(sim::kSec);
+      sample_memory();
+    }
     return finished();
   }
 
   [[nodiscard]] bool finished() const { return closed_ == n_ && !failed_; }
+  // Memory-diet gauges: peaks over the per-second samples of the run.
+  [[nodiscard]] std::size_t peak_pool_bytes() const { return peak_pool_; }
+  [[nodiscard]] std::size_t peak_tcb_bytes() const { return peak_tcb_; }
   [[nodiscard]] bool data_valid() const { return data_valid_; }
   [[nodiscard]] sim::Time first_byte() const { return first_byte_; }
   [[nodiscard]] sim::Time last_byte() const { return last_byte_; }
@@ -137,6 +150,22 @@ class ScaleConns {
     SocketId sock = 0;
     std::size_t received = 0;
   };
+
+  // Resident packet-pool bytes plus TCB bytes across all four stacks (two
+  // library stacks, two registry stacks) -- the footprint the
+  // per-connection memory diet (compact stats, reserved tables) shrinks.
+  void sample_memory() {
+    std::size_t tcb = 0;
+    for (auto* app : {bed_.user_app_a(), bed_.user_app_b()}) {
+      tcb += app->library_stack().tcp().tcb_bytes();
+    }
+    for (auto* org : {bed_.user_org_a(), bed_.user_org_b()}) {
+      tcb += org->registry().stack().tcp().tcb_bytes();
+    }
+    peak_tcb_ = std::max(peak_tcb_, tcb);
+    peak_pool_ =
+        std::max(peak_pool_, bed_.world().pool().resident_bytes());
+  }
 
   void start() {
     NetSystem& server = bed_.app_b();
@@ -239,6 +268,8 @@ class ScaleConns {
   bool data_valid_ = true;
   sim::Time first_byte_ = 0;
   sim::Time last_byte_ = 0;
+  std::size_t peak_pool_ = 0;
+  std::size_t peak_tcb_ = 0;
 };
 
 struct RunResult {
@@ -264,6 +295,8 @@ struct RunResult {
   sim::Histogram poll_batch;    // frames drained per poll round (both NICs)
   sim::Histogram backlog_wait;  // ns a frame waited in the device backlog
   sim::Histogram ring_res;      // netio shared-ring residency (both hosts)
+  std::size_t pool_bytes_resident = 0;  // peak, sampled per simulated second
+  std::size_t tcb_bytes = 0;            // peak, all four stacks
   double host_ms = 0;
 };
 
@@ -326,6 +359,8 @@ RunResult run_scale(LinkType link, DemuxMode mode, int conns,
   r.backlog_wait.merge(netio_b.nic().backlog_wait_hist());
   r.ring_res = netio_a.ring_residency_hist();
   r.ring_res.merge(netio_b.ring_residency_hist());
+  r.pool_bytes_resident = wl.peak_pool_bytes();
+  r.tcb_bytes = wl.peak_tcb_bytes();
   r.host_ms = ms_since(t0);
   return r;
 }
@@ -487,6 +522,23 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.diff_mismatches));
         all_ok = false;
       }
+    }
+    // Per-connection memory rows: build-dependent byte totals, so they
+    // ride the wall-clock tolerance band rather than the exact gate.
+    {
+      char mem_label[72];
+      std::snprintf(mem_label, sizeof mem_label, "mem/%s", label);
+      std::vector<std::pair<std::string, double>> mparams = params;
+      mparams.emplace_back("higher_is_better", 0.0);
+      report.add(mem_label, "pool_bytes_resident", "bytes",
+                 static_cast<double>(r.pool_bytes_resident), std::nullopt,
+                 mparams, "wallclock");
+      report.add(mem_label, "tcb_bytes", "bytes",
+                 static_cast<double>(r.tcb_bytes), std::nullopt, mparams,
+                 "wallclock");
+      report.add(mem_label, "tcb_bytes_per_conn", "bytes",
+                 static_cast<double>(r.tcb_bytes) / m.conns, std::nullopt,
+                 mparams, "wallclock");
     }
     if (!quick && m.conns == 256 && m.link == LinkType::kEthernet &&
         (std::strcmp(m.engine, "synth") == 0 ||

@@ -64,6 +64,14 @@ BENCH_REQUIRED_LABELS = {
         "bpflin/eth/n8", "cfg/synth", "cfg/bpf", "cfg/bpflin",
         "fastpath/on/n8", "fastpath/off/n8", "coalesce/on/n8",
         "fastpath/neutrality", "coalesce/effect",
+        "mem/synth/eth/n8", "mem/bpf/eth/n8",
+    },
+    # Partitioned scale-out: labels the quick-mode run must emit (one grid
+    # cell, run on both the serial reference and the parallel executor,
+    # plus the self-describing config group). The full grid up to the
+    # 10240-connection cell is a superset gated by scale_fabric_full.
+    "bench_scale_fabric": {
+        "grid/p2/c32", "cfg/fabric",
     },
     # Byzantine isolation: victim survival, wire integrity, the policer
     # counters and the attacker-teardown census, plus replay identity.
@@ -98,9 +106,10 @@ BENCH_REQUIRED_LABELS = {
 # regardless of what the baseline says (the differential shadow disagreed
 # with the reference demux walk; a loaned receive buffer was never
 # returned to the pool; a frame with a forged header template reached the
-# wire past the send-side check).
+# wire past the send-side check; the partitioned executor's merged event
+# order diverged from the serial reference).
 ZERO_METRICS = {"demux_diff_mismatches", "loans_outstanding",
-                "forged_frames_on_wire"}
+                "forged_frames_on_wire", "fingerprint_mismatch"}
 
 
 def fail(path, msg):

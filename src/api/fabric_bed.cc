@@ -1,0 +1,371 @@
+#include "api/fabric_bed.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "api/workloads.h"
+
+namespace ulnet::api {
+
+namespace {
+
+// FNV-1a, 64-bit: stable, dependency-free digest for fingerprints.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvSeed = 0xCBF29CE484222325ull;
+
+std::uint64_t hash_trace(const sim::Tracer& t) {
+  std::uint64_t h = kFnvSeed;
+  h = fnv1a(h, &t, 0);  // keep signature uniform; no-op
+  const std::uint64_t totals[2] = {t.recorded_total(), t.overwritten()};
+  h = fnv1a(h, totals, sizeof totals);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const sim::TraceEvent& e = t.at(i);
+    const std::int64_t fields[6] = {e.ts, static_cast<std::int64_t>(e.type),
+                                    e.host, e.id, e.a, e.b};
+    h = fnv1a(h, fields, sizeof fields);
+    h = fnv1a(h, &e.trace_id, sizeof e.trace_id);
+    if (e.detail != nullptr) {
+      const char* d = e.detail;
+      while (*d != '\0') h = fnv1a(h, d++, 1);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+FabricBed::FabricBed(os::PartitionMode mode, const FabricConfig& cfg)
+    : cfg_(cfg) {
+  world_ = std::make_unique<os::World>(cfg.seed, sim::CostModel{}, mode);
+
+  // The fabric path: AN1 wire rates with routed-path propagation. The
+  // propagation is every mailbox's minimum, i.e. the lookahead, so windows
+  // span hundreds of microseconds of simulated work per barrier.
+  net::LinkSpec spec = net::LinkSpec::an1();
+  spec.name = "fabric";
+  spec.propagation = cfg.propagation;
+
+  proto::TcpConfig tcfg;
+  tcfg.compact_stats = cfg.compact_stats;
+  // 8 KiB socket buffers bound the deliberate bufferbloat of hundreds of
+  // connections sharing one link; the RTO floors sit above the resulting
+  // worst-case queueing delay so no retransmission is ever spurious (the
+  // same reasoning as bench_scale_conns, which pins these numbers).
+  tcfg.recv_buf = 8 * 1024;
+  tcfg.rto_min = 4 * sim::kSec;
+  tcfg.rto_initial = 6 * sim::kSec;
+
+  for (int p = 0; p < cfg.pairs; ++p) {
+    auto pair = std::make_unique<Pair>();
+    Pair& pr = *pair;
+    pr.client_host = &world_->add_host("c" + std::to_string(p));
+    pr.server_host = &world_->add_host("s" + std::to_string(p));
+
+    const os::World::DuplexLink dl =
+        world_->add_duplex_link(*pr.client_host, *pr.server_host, spec);
+    char ip[32];
+    std::snprintf(ip, sizeof ip, "10.%d.%d.1", (p >> 8) & 0xFF, p & 0xFF);
+    const net::Ipv4Addr client_ip = net::Ipv4Addr::parse(ip);
+    std::snprintf(ip, sizeof ip, "10.%d.%d.2", (p >> 8) & 0xFF, p & 0xFF);
+    const net::Ipv4Addr server_ip = net::Ipv4Addr::parse(ip);
+    world_->attach_an1(*pr.client_host, *dl.forward, *dl.reverse, client_ip);
+    world_->attach_an1(*pr.server_host, *dl.reverse, *dl.forward, server_ip);
+
+    if (cfg.chaos) {
+      for (net::Link* l : {dl.forward, dl.reverse}) {
+        l->faults().loss_p = 0.002;
+        l->faults().dup_p = 0.001;
+        l->faults().corrupt_p = 0.0005;
+        // Jitter only adds delay, so arrival stays >= send + propagation
+        // and the lookahead bound holds with faults on.
+        l->faults().jitter_max = 100 * sim::kUs;
+      }
+    }
+
+    pr.client_org =
+        std::make_unique<core::UserLevelOrg>(*world_, *pr.client_host);
+    pr.server_org =
+        std::make_unique<core::UserLevelOrg>(*world_, *pr.server_host);
+    pr.client_app = &pr.client_org->add_app_impl("cli" + std::to_string(p));
+    pr.server_app = &pr.server_org->add_app_impl("srv" + std::to_string(p));
+    pr.client_app->set_tcp_config(tcfg);
+    pr.server_app->set_tcp_config(tcfg);
+
+    const auto conns = static_cast<std::size_t>(cfg.conns_per_pair);
+    for (core::UserLevelOrg* org : {pr.client_org.get(),
+                                    pr.server_org.get()}) {
+      org->registry().set_batched_handshakes(cfg.batched_handshakes);
+      if (cfg.reserve_tables) {
+        org->registry().reserve_tables(conns + 4);
+        org->netio(0).reserve_channels(conns + 4);
+        org->registry().stack().tcp().reserve_connections(conns + 4);
+        world_->pool_for(org->host()).reserve_loans(64);
+      }
+    }
+    if (cfg.reserve_tables) {
+      pr.client_app->library_stack().tcp().reserve_connections(conns + 4);
+      pr.server_app->library_stack().tcp().reserve_connections(conns + 4);
+    }
+    if (cfg.trace) {
+      world_->tracer_for(*pr.client_host).set_enabled(true);
+      world_->tracer_for(*pr.server_host).set_enabled(true);
+    }
+
+    pr.clients.resize(conns);
+    pairs_.push_back(std::move(pair));
+  }
+}
+
+FabricBed::~FabricBed() = default;
+
+void FabricBed::start() {
+  for (auto& pp : pairs_) {
+    Pair& pr = *pp;
+    core::UserLevelApp& server = *pr.server_app;
+    core::UserLevelApp& client = *pr.client_app;
+
+    server.run_app([this, &pr, &server](sim::TaskCtx&) {
+      server.listen(kPort, [this, &pr, &server](SocketId id) {
+        pr.server_conns.emplace(id, 0);
+        SocketEvents evs;
+        evs.on_readable = [this, &pr, &server, id](std::size_t) {
+          std::size_t& got = pr.server_conns.at(id);
+          buf::Bytes data =
+              server.recv(id, std::numeric_limits<std::size_t>::max());
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            if (data[i] != payload_byte(got + i)) {
+              pr.data_valid = false;
+              break;
+            }
+          }
+          got += data.size();
+          pr.server_received += data.size();
+        };
+        evs.on_eof = [&server, id] { server.close(id); };
+        evs.on_closed = [this, &pr, id](const std::string&) {
+          if (pr.server_conns.at(id) < cfg_.bytes_per_conn) pr.failed = true;
+          pr.server_closed++;
+        };
+        return evs;
+      });
+    });
+
+    for (int i = 0; i < cfg_.conns_per_pair; ++i) {
+      pr.client_host->loop().schedule_at(
+          50 * sim::kMs + static_cast<sim::Time>(i) * cfg_.open_stagger,
+          [this, &pr, &client, i] {
+            client.run_app([this, &pr, &client, i](sim::TaskCtx&) {
+              SocketEvents evs;
+              evs.on_established = [this, &pr] {
+                pr.events.push_back(
+                    ConnEvent{pr.client_host->loop().now(), +1});
+                if (++pr.established == cfg_.conns_per_pair) start_pumps(pr);
+              };
+              evs.on_writable = [this, &pr, &client, i] {
+                client.run_app(
+                    [this, &pr, i](sim::TaskCtx&) { pump(pr, i); });
+              };
+              evs.on_closed = [this, &pr](const std::string& reason) {
+                pr.events.push_back(
+                    ConnEvent{pr.client_host->loop().now(), -1});
+                pr.client_closed++;
+                if (!reason.empty()) pr.failed = true;
+              };
+              client.connect(
+                  pr.server_host->interfaces()[0].ip, kPort, std::move(evs),
+                  [&pr, i](SocketId id) {
+                    pr.clients[static_cast<std::size_t>(i)].sock = id;
+                  });
+            });
+          });
+    }
+  }
+}
+
+void FabricBed::start_pumps(Pair& pr) {
+  for (int i = 0; i < cfg_.conns_per_pair; ++i) {
+    pr.client_app->run_app([this, &pr, i](sim::TaskCtx&) { pump(pr, i); });
+  }
+}
+
+void FabricBed::pump(Pair& pr, int i) {
+  ClientConn& cc = pr.clients[static_cast<std::size_t>(i)];
+  if (cc.sock == kInvalidSocket) return;
+  if (cc.sent < cfg_.bytes_per_conn) {
+    const std::size_t n =
+        std::min(cfg_.write_size, cfg_.bytes_per_conn - cc.sent);
+    const std::size_t took =
+        pr.client_app->send(cc.sock, payload_bytes(cc.sent, n));
+    cc.sent += took;
+    if (took < n) return;  // buffer full: resume on on_writable
+    pr.client_app->run_app([this, &pr, i](sim::TaskCtx&) { pump(pr, i); });
+    return;
+  }
+  if (!cc.close_issued) {
+    cc.close_issued = true;
+    pr.client_app->close(cc.sock);
+  }
+}
+
+bool FabricBed::finished() const {
+  for (const auto& pp : pairs_) {
+    if (pp->server_closed < cfg_.conns_per_pair) return false;
+  }
+  return true;
+}
+
+void FabricBed::sample_memory() {
+  peak_pool_ = std::max(peak_pool_, pool_bytes_resident());
+  peak_tcb_ = std::max(peak_tcb_, tcb_bytes());
+}
+
+bool FabricBed::run(int threads, sim::Time deadline) {
+  if (!started_) {
+    started_ = true;
+    start();
+  }
+  os::World& w = *world_;
+  const bool parallel =
+      w.partition_mode() == os::PartitionMode::kPartitioned;
+  while (!finished() && w.now() < deadline) {
+    const sim::Time slice_end = w.now() + sim::kSec;
+    events_executed_ +=
+        parallel ? w.run_parallel(threads, slice_end) : w.run_until(slice_end);
+    sample_memory();
+  }
+
+  // Merge the per-pair establish/close logs into the global concurrency
+  // peak. Each log is written only by its own pair's host, so this merge
+  // is the one place cross-pair state meets -- after execution.
+  std::vector<ConnEvent> all;
+  for (const auto& pp : pairs_) {
+    all.insert(all.end(), pp->events.begin(), pp->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const ConnEvent& a, const ConnEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.delta < b.delta;  // close before establish at equal times
+  });
+  int cur = 0;
+  peak_established_ = 0;
+  for (const ConnEvent& e : all) {
+    cur += e.delta;
+    peak_established_ = std::max(peak_established_, cur);
+  }
+
+  bool ok = finished();
+  const std::size_t want = cfg_.bytes_per_conn *
+                           static_cast<std::size_t>(cfg_.conns_per_pair);
+  for (const auto& pp : pairs_) {
+    ok = ok && !pp->failed && pp->data_valid && pp->server_received == want;
+  }
+  return ok;
+}
+
+std::uint64_t FabricBed::handshake_sweeps() const {
+  std::uint64_t total = 0;
+  for (const auto& pp : pairs_) {
+    total += pp->client_org->registry().handshake_sweeps();
+    total += pp->server_org->registry().handshake_sweeps();
+  }
+  return total;
+}
+
+std::uint64_t FabricBed::handoff_lookups() const {
+  std::uint64_t total = 0;
+  for (const auto& pp : pairs_) {
+    total += pp->client_org->registry().handoff_lookups();
+    total += pp->server_org->registry().handoff_lookups();
+  }
+  return total;
+}
+
+std::uint64_t FabricBed::handoff_entries_scanned() const {
+  std::uint64_t total = 0;
+  for (const auto& pp : pairs_) {
+    total += pp->client_org->registry().handoff_entries_scanned();
+    total += pp->server_org->registry().handoff_entries_scanned();
+  }
+  return total;
+}
+
+std::size_t FabricBed::pool_bytes_resident() const {
+  std::size_t total = world_->pool().resident_bytes();
+  for (const auto& p : world_->partitions()) {
+    total += p->pool.resident_bytes();
+  }
+  return total;
+}
+
+std::size_t FabricBed::tcb_bytes() const {
+  std::size_t total = 0;
+  for (const auto& pp : pairs_) {
+    total += pp->client_app->library_stack().tcp().tcb_bytes();
+    total += pp->server_app->library_stack().tcp().tcb_bytes();
+    total += pp->client_org->registry().stack().tcp().tcb_bytes();
+    total += pp->server_org->registry().stack().tcp().tcb_bytes();
+  }
+  return total;
+}
+
+std::string FabricBed::fingerprint_text() const {
+  std::string t = world_->aggregate_metrics().dump_json();
+  char buf[256];
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    const Pair& pr = *pairs_[p];
+    std::snprintf(buf, sizeof buf, "\npair%zu rx=%zu est=%d sc=%d cc=%d",
+                  p, pr.server_received, pr.established, pr.server_closed,
+                  pr.client_closed);
+    t += buf;
+    const struct {
+      const char* tag;
+      const proto::TcpCounters& c;
+    } blocks[] = {
+        {"cli", pr.client_app->library_stack().tcp().counters()},
+        {"srv", pr.server_app->library_stack().tcp().counters()},
+        {"creg", pr.client_org->registry().stack().tcp().counters()},
+        {"sreg", pr.server_org->registry().stack().tcp().counters()},
+    };
+    for (const auto& b : blocks) {
+      std::snprintf(
+          buf, sizeof buf,
+          "\n %s so=%llu si=%llu bo=%llu bi=%llu rtx=%llu to=%llu da=%llu "
+          "pa=%llu ooo=%llu co=%llu ca=%llu",
+          b.tag, static_cast<unsigned long long>(b.c.segments_sent),
+          static_cast<unsigned long long>(b.c.segments_received),
+          static_cast<unsigned long long>(b.c.bytes_sent),
+          static_cast<unsigned long long>(b.c.bytes_received),
+          static_cast<unsigned long long>(b.c.retransmits),
+          static_cast<unsigned long long>(b.c.timeouts),
+          static_cast<unsigned long long>(b.c.dup_acks_in),
+          static_cast<unsigned long long>(b.c.pure_acks_sent),
+          static_cast<unsigned long long>(b.c.out_of_order),
+          static_cast<unsigned long long>(b.c.conns_opened),
+          static_cast<unsigned long long>(b.c.conns_accepted));
+      t += buf;
+    }
+    if (cfg_.trace) {
+      std::snprintf(
+          buf, sizeof buf, "\n trace c=%016llx s=%016llx",
+          static_cast<unsigned long long>(
+              hash_trace(world_->tracer_for(*pr.client_host))),
+          static_cast<unsigned long long>(
+              hash_trace(world_->tracer_for(*pr.server_host))));
+      t += buf;
+    }
+  }
+  return t;
+}
+
+std::uint64_t FabricBed::fingerprint() const {
+  const std::string t = fingerprint_text();
+  return fnv1a(kFnvSeed, t.data(), t.size());
+}
+
+}  // namespace ulnet::api

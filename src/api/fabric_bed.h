@@ -1,0 +1,147 @@
+// FabricBed: the partitioned-simulation scale fixture. N host *pairs*
+// (client 2k <-> server 2k+1), each pair wired with its own duplex fabric
+// link (a routed path with hundreds of microseconds of propagation -- which
+// is exactly the conservative executor's lookahead, so windows are wide),
+// each pair carrying conns_per_pair concurrent TCP connections through the
+// full user-level organization: registry handshake, per-connection channel,
+// library TCP.
+//
+// The bed is partition-clean by construction: every piece of workload state
+// (connection bookkeeping, establish/close logs, verification flags) is
+// per-pair, and a pair's callbacks run only on that pair's two hosts, so
+// the same fixture runs unchanged under PartitionMode::kNone,
+// kShardedSerial and kPartitioned at any thread count. fingerprint()
+// digests the aggregate metrics, every per-host TCP counter block, the
+// per-pair transfer tallies and (when tracing) the per-host trace streams
+// -- the differential determinism suite asserts it is bit-identical across
+// executors and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/net_system.h"
+#include "core/user_level.h"
+#include "os/world.h"
+#include "sim/time.h"
+
+namespace ulnet::api {
+
+struct FabricConfig {
+  int pairs = 4;              // host pairs (2 * pairs hosts total)
+  int conns_per_pair = 16;    // concurrent connections per pair
+  std::size_t bytes_per_conn = 4096;
+  std::size_t write_size = 4096;
+  std::uint64_t seed = 1;
+  // Propagation of every fabric link; also the executor's lookahead.
+  sim::Time propagation = 500 * sim::kUs;
+  // Delay between successive active opens within a pair. 0 = a genuine
+  // accept storm: every handshake hits the registry in the same tick.
+  sim::Time open_stagger = 2 * sim::kMs;
+  bool compact_stats = true;      // per-connection memory diet (no RTT hist)
+  bool batched_handshakes = true; // registry accept-storm coalescing
+  bool reserve_tables = true;     // pre-size demux/loan/conn tables
+  bool chaos = false;             // loss/dup/corrupt/jitter on every link
+  bool trace = false;             // per-host tracers on (fingerprinted)
+};
+
+class FabricBed {
+ public:
+  FabricBed(os::PartitionMode mode, const FabricConfig& cfg);
+  FabricBed(const FabricBed&) = delete;
+  FabricBed& operator=(const FabricBed&) = delete;
+  ~FabricBed();
+
+  os::World& world() { return *world_; }
+  [[nodiscard]] const FabricConfig& config() const { return cfg_; }
+  [[nodiscard]] int total_conns() const {
+    return cfg_.pairs * cfg_.conns_per_pair;
+  }
+
+  // Drive the whole workload to completion: per pair, establish every
+  // connection (staggered opens), hold until the pair is fully up, pump
+  // bytes_per_conn client->server on each, close. `threads` selects the
+  // parallel executor's thread count (kPartitioned worlds only; ignored
+  // otherwise). Returns true when every transfer completed with verified
+  // payload bytes.
+  bool run(int threads = 1, sim::Time deadline = 3600 * sim::kSec);
+
+  // ---- Post-run observability (main thread, after run()) ----
+  // Peak concurrently-established client connections, computed by merging
+  // the per-pair establish/close logs -- the >= 10k-connections exhibit.
+  [[nodiscard]] int peak_established() const { return peak_established_; }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+  [[nodiscard]] sim::Metrics metrics() const {
+    return world_->aggregate_metrics();
+  }
+  // Registry accept-storm counters, summed over hosts.
+  [[nodiscard]] std::uint64_t handshake_sweeps() const;
+  [[nodiscard]] std::uint64_t handoff_lookups() const;
+  [[nodiscard]] std::uint64_t handoff_entries_scanned() const;
+  // Memory-diet gauges, sampled once per run() slice; peaks over the run.
+  [[nodiscard]] std::size_t peak_pool_bytes() const { return peak_pool_; }
+  [[nodiscard]] std::size_t peak_tcb_bytes() const { return peak_tcb_; }
+  [[nodiscard]] std::size_t pool_bytes_resident() const;
+  [[nodiscard]] std::size_t tcb_bytes() const;
+
+  // FNV-1a over fingerprint_text(): aggregate metrics JSON, per-host TCP
+  // counters (library and registry stacks), per-pair byte tallies, trace
+  // streams when enabled.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] std::string fingerprint_text() const;
+
+ private:
+  struct ClientConn {
+    SocketId sock = kInvalidSocket;
+    std::size_t sent = 0;
+    bool close_issued = false;
+  };
+  struct ConnEvent {
+    sim::Time at = 0;
+    int delta = 0;  // +1 established, -1 closed
+  };
+  // All mutable workload state of one pair. Touched only by that pair's
+  // two hosts' callbacks, so partitioned execution never shares it.
+  struct Pair {
+    os::Host* client_host = nullptr;
+    os::Host* server_host = nullptr;
+    std::unique_ptr<core::UserLevelOrg> client_org;
+    std::unique_ptr<core::UserLevelOrg> server_org;
+    core::UserLevelApp* client_app = nullptr;
+    core::UserLevelApp* server_app = nullptr;
+    std::vector<ClientConn> clients;
+    std::unordered_map<SocketId, std::size_t> server_conns;  // id -> received
+    std::vector<ConnEvent> events;
+    std::size_t server_received = 0;
+    int established = 0;
+    int client_closed = 0;
+    int server_closed = 0;
+    bool failed = false;
+    bool data_valid = true;
+  };
+
+  void start();
+  void start_pumps(Pair& pr);
+  void pump(Pair& pr, int i);
+  [[nodiscard]] bool finished() const;
+  void sample_memory();
+
+  static constexpr std::uint16_t kPort = 7001;
+
+  FabricConfig cfg_;
+  std::unique_ptr<os::World> world_;
+  std::vector<std::unique_ptr<Pair>> pairs_;
+  bool started_ = false;
+  std::uint64_t events_executed_ = 0;
+  int peak_established_ = 0;
+  std::size_t peak_pool_ = 0;
+  std::size_t peak_tcb_ = 0;
+};
+
+}  // namespace ulnet::api

@@ -73,6 +73,12 @@ BufferLoan PacketPool::loan_out(Bytes&& storage, std::int64_t owner,
     loan_free_.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(loans_.size());
+    if (loans_.size() == loans_.capacity()) {
+      // The slab is about to reallocate: an O(n) move of every slot in the
+      // middle of the data path. reserve_loans() keeps this at 0.
+      ++stats_.loan_regrows;
+      if (metrics_ != nullptr) ++metrics_->loan_table_regrows;
+    }
     loans_.emplace_back();
   }
   LoanSlot& s = loans_[slot];
@@ -174,6 +180,7 @@ std::string PacketPool::dump_json() const {
                     std::to_string(stats_.loans_reclaimed) +
                     ",\"loan_double_releases\":" +
                     std::to_string(stats_.loan_double_releases) +
+                    ",\"loan_regrows\":" + std::to_string(stats_.loan_regrows) +
                     ",\"classes\":[";
   for (std::size_t c = 0; c < kNumClasses; ++c) {
     if (c > 0) out += ',';

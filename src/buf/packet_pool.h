@@ -112,6 +112,7 @@ class PacketPool {
     std::uint64_t loan_high_water = 0;    // max active slots ever
     std::uint64_t loans_reclaimed = 0;    // slots force-freed by owner sweep
     std::uint64_t loan_double_releases = 0;  // stale-generation releases
+    std::uint64_t loan_regrows = 0;  // loan slab reallocations mid-run
   };
 
   static constexpr std::size_t kClassSizes[] = {256,  512,   1024,  2048,
@@ -138,6 +139,27 @@ class PacketPool {
   // Park `storage` in a loan slot owned by `owner` (an address-space id for
   // registry reclaim; -1 = unowned) and return a handle with one reference.
   BufferLoan loan_out(Bytes&& storage, std::int64_t owner, std::uint64_t now);
+
+  // Pre-size the loan slab for `n` concurrent loans so loan-outs never
+  // reallocate (and move every slot) mid-run; growth beyond `n` still
+  // works but counts as a loan_regrow.
+  void reserve_loans(std::size_t n) {
+    loans_.reserve(n);
+    loan_free_.reserve(n);
+  }
+
+  // Bytes of backing storage currently resident in the pool: retained
+  // free-list buffers plus storage parked in active loan slots. Uses
+  // capacity (what the allocator actually holds), so this is a wall-clock
+  // observability number, not a simulated cost.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    std::size_t total = 0;
+    for (const auto& cls : free_) {
+      for (const Bytes& b : cls) total += b.capacity();
+    }
+    for (const LoanSlot& s : loans_) total += s.storage.capacity();
+    return total;
+  }
 
   // Force-free every active loan slot tagged with `owner` (dead-client
   // sweep). Returns the number of slots reclaimed.

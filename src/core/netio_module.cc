@@ -44,7 +44,11 @@ std::uint16_t NetIoModule::prealloc_rx_bqi(int capacity) {
 ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
                                       const ChannelSetup& setup) {
   const ChannelId id = next_id_++;
+  const std::size_t chan_buckets = channels_.bucket_count();
   Channel& ch = channels_[id];
+  if (channels_.bucket_count() != chan_buckets) {
+    host_.cpu().metrics().demux_table_rehashes++;
+  }
   ch.id = id;
   ch.app_space = setup.app_space;
   ch.flow = setup.flow;
@@ -71,7 +75,13 @@ ChannelId NetIoModule::create_channel(sim::TaskCtx& ctx,
     } else {
       ch.rx_bqi = prealloc_rx_bqi(setup.ring_capacity);
     }
-    if (ch.rx_bqi != 0) by_bqi_[ch.rx_bqi] = id;
+    if (ch.rx_bqi != 0) {
+      const std::size_t bqi_buckets = by_bqi_.bucket_count();
+      by_bqi_[ch.rx_bqi] = id;
+      if (by_bqi_.bucket_count() != bqi_buckets) {
+        host_.cpu().metrics().demux_table_rehashes++;
+      }
+    }
   } else {
     if (!setup.raw) {
       // Software demux programs (one per binding; the synthesized one is the
@@ -97,7 +107,11 @@ void NetIoModule::bind_channel(Channel& ch) {
   if (ch.raw) {
     raw_by_ethertype_.try_emplace(ch.raw_ethertype, ch.id);
   } else {
+    const std::size_t buckets = bind_table_.bucket_count();
     bind_table_.try_emplace(ch.flow, ch.id);
+    if (bind_table_.bucket_count() != buckets) {
+      host_.cpu().metrics().demux_table_rehashes++;
+    }
   }
 }
 

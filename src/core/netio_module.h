@@ -106,6 +106,17 @@ class NetIoModule {
   // Rebuilds a stale trie first so the answer reflects current bindings.
   [[nodiscard]] std::size_t trie_nodes();
 
+  // Pre-size the channel and demux hash tables for `n` expected bindings.
+  // Binds beyond the reserved cardinality still work but rehash, and every
+  // insert that grows a bucket array mid-run is counted in the host's
+  // metrics as demux_table_rehashes (an O(n) stall a sized table avoids).
+  void reserve_channels(std::size_t n) {
+    channels_.reserve(n);
+    by_bqi_.reserve(n);
+    bind_table_.reserve(n);
+    binding_order_.reserve(n);
+  }
+
   // Fallback for packets no channel claims: delivered to the registry
   // server by IPC (it runs the handshake flows and generates RSTs).
   using DefaultHandler =

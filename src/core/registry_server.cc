@@ -12,7 +12,7 @@ RegistryServer::RegistryServer(os::World& world, os::Host& host,
     : world_(world),
       host_(host),
       space_(host.new_space("tcp-registry")),
-      env_(host, world.rng(), space_),
+      env_(host, world.rng_for(host), space_),
       netios_(std::move(netios)) {
   // The registry's stack reaches the device through the standard (slow)
   // Mach path, not through a shared-memory channel: fine for handshakes,
@@ -143,6 +143,42 @@ std::uint16_t RegistryServer::alloc_port() {
     }
   }
   return 0;
+}
+
+void RegistryServer::reserve_tables(std::size_t conns) {
+  pending_.reserve(conns);
+  listeners_.reserve(conns);
+  my_advert_.reserve(conns);
+  peer_advert_.reserve(conns);
+  handed_off_.reserve(conns);
+  for (NetIoModule* m : netios_) by_channel_[m].reserve(conns);
+  setup_queue_.reserve(conns);
+}
+
+void RegistryServer::index_handed_off(std::uint64_t key, const HandedOff& ho) {
+  by_channel_[ho.netio][ho.channel] = key;
+}
+
+void RegistryServer::erase_handed_off(std::uint64_t key) {
+  auto it = handed_off_.find(key);
+  if (it == handed_off_.end()) return;
+  if (auto nit = by_channel_.find(it->second.netio);
+      nit != by_channel_.end()) {
+    nit->second.erase(it->second.channel);
+  }
+  handed_off_.erase(it);
+}
+
+bool RegistryServer::handed_off_key(const NetIoModule* netio, ChannelId id,
+                                    std::uint64_t* key) {
+  handoff_lookups_++;
+  auto nit = by_channel_.find(netio);
+  if (nit == by_channel_.end()) return false;
+  auto cit = nit->second.find(id);
+  if (cit == nit->second.end()) return false;
+  handoff_entries_scanned_++;
+  *key = cit->second;
+  return true;
 }
 
 void RegistryServer::quarantine_port(std::uint16_t port) {
@@ -277,9 +313,10 @@ void RegistryServer::release_channel(sim::TaskCtx& ctx, NetIoModule* netio,
                                      ChannelId id, std::uint16_t local_port) {
   host_.kernel().ipc_send(ctx, space_, 32,
                           [this, netio, id, local_port](sim::TaskCtx& rctx) {
-                            std::erase_if(handed_off_, [id](const auto& kv) {
-                              return kv.second.channel == id;
-                            });
+                            std::uint64_t key = 0;
+                            if (handed_off_key(netio, id, &key)) {
+                              erase_handed_off(key);
+                            }
                             netio->destroy_channel(rctx, id);
                             quarantine_port(local_port);
                           });
@@ -293,9 +330,8 @@ void RegistryServer::inherit_connection(sim::TaskCtx& ctx,
       [this, state, netio, id](sim::TaskCtx& rctx) {
         // The registry re-adopts the orphaned connection, resets the peer
         // through its own stack and quarantines the port.
-        std::erase_if(handed_off_, [id](const auto& kv) {
-          return kv.second.channel == id;
-        });
+        std::uint64_t key = 0;
+        if (handed_off_key(netio, id, &key)) erase_handed_off(key);
         netio->destroy_channel(rctx, id);
         proto::TcpConnection* conn =
             stack_->tcp().import_connection(state, this);
@@ -316,10 +352,9 @@ void RegistryServer::channel_quarantined(sim::TaskCtx& ctx,
   // Handed-off connection: reuse the dead-client machinery -- destroy the
   // channel, import the snapshot, RST the peer on the offender's behalf,
   // quarantine the port for 2*MSL.
-  for (const auto& [key, ho] : handed_off_) {
-    if (ho.netio != netio || ho.channel != id) continue;
+  if (std::uint64_t key = 0; handed_off_key(netio, id, &key)) {
     HandedOff dead = std::move(handed_off_[key]);
-    handed_off_.erase(key);
+    erase_handed_off(key);
     dead.netio->destroy_channel(ctx, dead.channel, /*reclaimed=*/true);
     reclaim_stats_.channels++;
     proto::TcpConnection* conn =
@@ -358,7 +393,7 @@ void RegistryServer::client_died(sim::TaskCtx& ctx, sim::SpaceId space) {
   std::sort(dead_keys.begin(), dead_keys.end());
   for (const std::uint64_t key : dead_keys) {
     HandedOff ho = std::move(handed_off_[key]);
-    handed_off_.erase(key);
+    erase_handed_off(key);
     ho.netio->destroy_channel(ctx, ho.channel, /*reclaimed=*/true);
     reclaim_stats_.channels++;
     proto::TcpConnection* conn =
@@ -454,11 +489,7 @@ void RegistryServer::on_established(proto::TcpConnection& c) {
   // We are inside this connection's own input upcall; finishing the setup
   // releases the connection, so run it as a follow-up task in the
   // registry's space.
-  proto::TcpConnection* conn = &c;
-  host_.cpu().submit(space_, sim::Prio::kNormal,
-                     [this, conn, p = std::move(p)](sim::TaskCtx& ctx) mutable {
-                       finish_setup(ctx, conn, std::move(p));
-                     });
+  queue_finish_setup(&c, std::move(p));
 }
 
 void RegistryServer::on_accept(proto::TcpConnection& c) {
@@ -475,11 +506,32 @@ void RegistryServer::on_accept(proto::TcpConnection& c) {
   p.timing.request_received = env_.now();
   p.timing.outbound_done = env_.now();
   p.timing.handshake_done = env_.now();
-  proto::TcpConnection* conn = &c;
-  host_.cpu().submit(space_, sim::Prio::kNormal,
-                     [this, conn, p = std::move(p)](sim::TaskCtx& ctx) mutable {
-                       finish_setup(ctx, conn, std::move(p));
-                     });
+  queue_finish_setup(&c, std::move(p));
+}
+
+void RegistryServer::queue_finish_setup(proto::TcpConnection* conn,
+                                        PendingConn p) {
+  if (!batched_handshakes_) {
+    host_.cpu().submit(
+        space_, sim::Prio::kNormal,
+        [this, conn, p = std::move(p)](sim::TaskCtx& ctx) mutable {
+          finish_setup(ctx, conn, std::move(p));
+        });
+    return;
+  }
+  // Accept-storm coalescing: completions that land while a sweep is queued
+  // ride in that sweep, so a cold start's dispatch count grows with the
+  // number of sweeps, not the number of connections.
+  setup_queue_.emplace_back(conn, std::move(p));
+  if (sweep_scheduled_) return;
+  sweep_scheduled_ = true;
+  host_.cpu().submit(space_, sim::Prio::kNormal, [this](sim::TaskCtx& ctx) {
+    sweep_scheduled_ = false;
+    handshake_sweeps_++;
+    std::vector<std::pair<proto::TcpConnection*, PendingConn>> batch;
+    batch.swap(setup_queue_);
+    for (auto& [c, pend] : batch) finish_setup(ctx, c, std::move(pend));
+  });
 }
 
 void RegistryServer::finish_setup(sim::TaskCtx& ctx,
@@ -550,6 +602,7 @@ void RegistryServer::finish_setup(sim::TaskCtx& ctx,
   handed_off_[key] =
       HandedOff{netio, chan, setup.app_space, info.state.local_port,
                 info.state};
+  index_handed_off(key, handed_off_[key]);
 
   ctx.charge(cost.registry_state_transfer);
   RegistryClient* client = pending.client;

@@ -134,6 +134,31 @@ class RegistryServer : public proto::TcpObserver {
   // knob; default matches the window/segment worst case with slack).
   void set_channel_ring_capacity(int slots) { ring_capacity_ = slots; }
 
+  // Accept-storm batching: when enabled, handshake completions arriving
+  // while a finish-setup sweep is already queued are appended to that
+  // sweep instead of each submitting its own registry task, so a cold
+  // start with thousands of concurrent handshakes costs O(sweeps) task
+  // dispatches rather than O(connections). Off by default (batching
+  // changes task-dispatch counts, which the Table 4 goldens pin down).
+  void set_batched_handshakes(bool on) { batched_handshakes_ = on; }
+  [[nodiscard]] std::uint64_t handshake_sweeps() const {
+    return handshake_sweeps_;
+  }
+  // Hand-off teardown bookkeeping: table entries inspected vs. lookups
+  // made. With the by-channel index each lookup touches O(1) entries, so
+  // this ratio stays flat as the table grows (the sublinearity proof the
+  // scale tests assert).
+  [[nodiscard]] std::uint64_t handoff_lookups() const {
+    return handoff_lookups_;
+  }
+  [[nodiscard]] std::uint64_t handoff_entries_scanned() const {
+    return handoff_entries_scanned_;
+  }
+
+  // Pre-size every per-connection table for `conns` expected connections
+  // so a bind storm does not rehash mid-run.
+  void reserve_tables(std::size_t conns);
+
   [[nodiscard]] const SetupTiming& last_setup() const { return last_setup_; }
   [[nodiscard]] bool port_quarantined(std::uint16_t port) const {
     return quarantined_ports_.contains(port);
@@ -172,6 +197,7 @@ class RegistryServer : public proto::TcpObserver {
   NetIoModule* netio_for(net::Ipv4Addr remote);
   std::uint16_t alloc_port();
   void quarantine_port(std::uint16_t port);
+  void queue_finish_setup(proto::TcpConnection* conn, PendingConn p);
 
   // Key for BQI-advert bookkeeping: the 4-tuple as *we* see it.
   static std::uint64_t flow_key(std::uint32_t lip, std::uint16_t lport,
@@ -210,6 +236,26 @@ class RegistryServer : public proto::TcpObserver {
     proto::TcpHandoffState state;
   };
   std::unordered_map<std::uint64_t, HandedOff> handed_off_;
+  // Reverse-index maintenance for handed_off_.
+  void index_handed_off(std::uint64_t key, const HandedOff& ho);
+  void erase_handed_off(std::uint64_t key);
+  // O(1) lookup of the flow key for a handed-off channel; returns false if
+  // the channel is not in the hand-off table.
+  bool handed_off_key(const NetIoModule* netio, ChannelId id,
+                      std::uint64_t* key);
+  // Reverse index: channel -> handed_off_ flow key, so channel-keyed
+  // teardown (release, inherit, quarantine) is a lookup instead of a
+  // full-table scan.
+  std::unordered_map<const NetIoModule*,
+                     std::unordered_map<ChannelId, std::uint64_t>>
+      by_channel_;
+  std::uint64_t handoff_lookups_ = 0;
+  std::uint64_t handoff_entries_scanned_ = 0;
+  // Batched handshake completion (see set_batched_handshakes).
+  bool batched_handshakes_ = false;
+  bool sweep_scheduled_ = false;
+  std::uint64_t handshake_sweeps_ = 0;
+  std::vector<std::pair<proto::TcpConnection*, PendingConn>> setup_queue_;
   std::unordered_set<std::uint16_t> ports_in_use_;
   std::unordered_set<std::uint16_t> quarantined_ports_;
   std::uint16_t next_port_ = 30000;

@@ -39,7 +39,7 @@ UserLevelApp::UserLevelApp(UserLevelOrg& org, const std::string& name)
       // Upcalls already execute in the application's space: notifications
       // are plain procedure calls.
       bridge_([](std::function<void()> fn) { fn(); }) {
-  env_ = std::make_unique<HostStackEnv>(org.host(), org.world().rng(), space_);
+  env_ = std::make_unique<HostStackEnv>(org.host(), org.world().rng_for(org.host()), space_);
   env_->set_transmit([this](int ifc, net::MacAddr dst, std::uint16_t et,
                             buf::Bytes payload, const proto::TxFlow* flow) {
     lib_transmit(ifc, dst, et, std::move(payload), flow);

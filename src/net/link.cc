@@ -123,10 +123,16 @@ sim::Time Link::transmit(const LinkEndpoint* from, Frame f) {
 
   // Rare fault path copies; the common path moves the frame straight into
   // the delivery closure. Schedule order (primary, then duplicate) is part
-  // of the deterministic FIFO tie-break, so the copy happens up front.
+  // of the deterministic FIFO tie-break, so the copy happens up front; a
+  // portal preserves it via the per-link mailbox sequence numbers.
   Frame dup_copy;
   const sim::Time dup_at = arrive + spec_.occupancy_ns(delivered.size());
   if (duplicate) dup_copy = delivered;
+  if (portal_ != nullptr) {
+    portal_->remote_deliver(arrive, std::move(delivered), from);
+    if (duplicate) portal_->remote_deliver(dup_at, std::move(dup_copy), from);
+    return channel_free_at_;
+  }
   loop_.schedule_at(arrive, [this, f = std::move(delivered), from]() mutable {
     deliver(std::move(f), from);
   });

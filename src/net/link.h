@@ -40,6 +40,19 @@ class LinkEndpoint {
   [[nodiscard]] virtual bool promiscuous() const { return false; }
 };
 
+// Delivery portal for cross-partition links. When a Link spans two
+// partitions its transmit side (channel occupancy, fault draws, histograms)
+// runs on the sender's loop, but the delivery event belongs to the
+// receiver's loop; a portal intercepts the scheduling step so the World can
+// route it through a per-link mailbox drained at the next conservative
+// window barrier instead of scheduling into the sender's own loop.
+class LinkPortal {
+ public:
+  virtual ~LinkPortal() = default;
+  virtual void remote_deliver(sim::Time arrive, Frame f,
+                              const LinkEndpoint* from) = 0;
+};
+
 struct LinkSpec {
   std::string name;
   double bits_per_sec = 0;
@@ -109,6 +122,15 @@ class Link {
   // Span events for wire transit (bound by the World; host -1 = the wire).
   void bind_tracer(sim::Tracer* t) { tracer_ = t; }
 
+  // Route deliveries through a cross-partition mailbox instead of this
+  // link's own loop (set by the World for links that span partitions).
+  void set_portal(LinkPortal* p) { portal_ = p; }
+  // Mailbox drain entry point: runs the normal delivery fan-out on the
+  // receiving partition's thread.
+  void portal_deliver(Frame f, const LinkEndpoint* from) {
+    deliver(std::move(f), from);
+  }
+
   // Per-stage residency histograms (nanoseconds), always on:
   // time a frame waited for the channel before its first bit went out...
   [[nodiscard]] const sim::Histogram& tx_wait_hist() const {
@@ -137,6 +159,7 @@ class Link {
   FaultPlan faults_;
   sim::Metrics* metrics_ = nullptr;
   sim::Tracer* tracer_ = nullptr;
+  LinkPortal* portal_ = nullptr;
   sim::Histogram tx_wait_hist_;
   sim::Histogram transit_hist_;
   std::vector<LinkEndpoint*> endpoints_;

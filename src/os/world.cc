@@ -1,8 +1,294 @@
 #include "os/world.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
 
 namespace ulnet::os {
+
+// Persistent window-barrier worker pool. Each run() call publishes one
+// task under the mutex and bumps the epoch; workers race on an atomic
+// index over [0, count) so partition assignment is load-balanced, which
+// is safe because partitions are independent within a window. The mutex
+// acquire/release pairs give the happens-before edges that make the
+// phase-separated mailbox accesses (worker writes during the window, main
+// thread reads at the barrier) data-race-free.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      shutdown_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  // Run task(i) for every i in [0, count); the calling thread
+  // participates. Returns when all indices have completed.
+  void run(const std::function<void(std::size_t)>& task, std::size_t count) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      task_ = &task;
+      count_ = count;
+      next_.store(0, std::memory_order_relaxed);
+      done_ = 0;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    drain();
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [this] { return done_ == threads_.size(); });
+    task_ = nullptr;
+  }
+
+ private:
+  void drain() {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) return;
+      (*task_)(i);
+    }
+  }
+
+  void worker() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return epoch_ != seen; });
+      seen = epoch_;
+      if (shutdown_) return;
+      lk.unlock();
+      drain();
+      lk.lock();
+      if (++done_ == threads_.size()) done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t done_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+World::World(std::uint64_t seed, const sim::CostModel& cost,
+             PartitionMode mode)
+    : cost_(cost), rng_(seed), seed_(seed), mode_(mode) {
+  // Sharded modes leave the global loop unbound so that the
+  // event_slab_high_water contribution is zero under both executors
+  // (the serial run's single shared heap has no per-host equivalent).
+  if (mode_ == PartitionMode::kNone) loop_.bind_metrics(&metrics_);
+  pool_.bind_metrics(&metrics_);
+}
+
+World::~World() = default;
+
+World::DuplexLink World::add_duplex_link(Host& a, Host& b,
+                                         const net::LinkSpec& spec) {
+  DuplexLink d;
+  d.forward = &add_half_link(a, b, spec);
+  d.reverse = &add_half_link(b, a, spec);
+  return d;
+}
+
+net::Link& World::add_half_link(Host& tx, Host& rx,
+                                const net::LinkSpec& spec) {
+  const std::size_t tx_ord = host_ordinal(tx);
+  const std::size_t rx_ord = host_ordinal(rx);
+  sim::EventLoop* loop = &loop_;
+  sim::Rng* rng = &rng_;
+  sim::Metrics* metrics = &metrics_;
+  sim::Tracer* tracer = &tracer_;
+  if (mode_ != PartitionMode::kNone) {
+    // A private fault-RNG stream per directed link, keyed by construction
+    // ordinal, makes fault draws independent of which executor runs the
+    // transmit and of every other host's activity.
+    link_rngs_.push_back(
+        std::make_unique<sim::Rng>(shard_seed(2, links_.size())));
+    rng = link_rngs_.back().get();
+    metrics = &parts_[tx_ord]->metrics;
+    tracer = &parts_[tx_ord]->tracer;
+    if (mode_ == PartitionMode::kPartitioned) loop = &parts_[tx_ord]->loop;
+  }
+  links_.push_back(std::make_unique<net::Link>(*loop, *rng, spec));
+  net::Link& l = *links_.back();
+  l.bind_metrics(metrics);
+  l.bind_tracer(tracer);
+  if (mode_ != PartitionMode::kNone && tx_ord != rx_ord) {
+    // Both sharded executors route cross-host frames through the mailbox
+    // and the window barrier -- the serial reference included. Sharing the
+    // one delivery-ordering rule is what makes the executors bit-identical
+    // by construction instead of by coincidence: a direct schedule_at at
+    // transmit time would order same-timestamp ties between a delivery and
+    // a local event by global insertion order, which no parallel executor
+    // can reproduce.
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    Mailbox& mb = *mailboxes_.back();
+    mb.link = &l;
+    mb.src_ord = static_cast<std::uint32_t>(tx_ord);
+    mb.dst_ord = static_cast<std::uint32_t>(rx_ord);
+    l.set_portal(&mb);
+  }
+  return l;
+}
+
+sim::Time World::mailbox_lookahead() const {
+  // A frame transmitted at time t on a cross-partition link arrives no
+  // earlier than t + propagation, so each window may run
+  // [W, W + min propagation) without mid-window communication.
+  sim::Time lookahead = sim::EventLoop::kForever;
+  for (const auto& mb : mailboxes_) {
+    lookahead = std::min(lookahead, mb->link->spec().propagation);
+  }
+  return lookahead < 1 ? 1 : lookahead;
+}
+
+void World::drain_mailboxes() {
+  // Per-destination merge in (arrive, src ordinal, per-link seq) order.
+  // schedule_at assigns monotonically increasing loop sequence numbers, so
+  // scheduling in sorted order fixes the execution order for equal
+  // timestamps regardless of which thread produced which entry.
+  struct Pending {
+    Mailbox::Entry entry;
+    std::uint32_t src_ord;
+    Mailbox* box;
+  };
+  std::vector<Pending> merged;
+  for (auto& mbp : mailboxes_) {
+    Mailbox& mb = *mbp;
+    for (auto& e : mb.entries) {
+      merged.push_back(Pending{std::move(e), mb.src_ord, &mb});
+    }
+    mb.entries.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Pending& x, const Pending& y) {
+              if (x.entry.arrive != y.entry.arrive) {
+                return x.entry.arrive < y.entry.arrive;
+              }
+              if (x.src_ord != y.src_ord) return x.src_ord < y.src_ord;
+              return x.entry.seq < y.entry.seq;
+            });
+  for (auto& p : merged) {
+    sim::EventLoop& dst = mode_ == PartitionMode::kPartitioned
+                              ? parts_[p.box->dst_ord]->loop
+                              : loop_;
+    net::Link* link = p.box->link;
+    dst.schedule_at(p.entry.arrive,
+                    [link, f = std::move(p.entry.frame),
+                     from = p.entry.from]() mutable {
+                      link->portal_deliver(std::move(f), from);
+                    });
+  }
+}
+
+std::uint64_t World::run_parallel(int threads, sim::Time until) {
+  if (mode_ != PartitionMode::kPartitioned) {
+    throw std::logic_error("run_parallel requires PartitionMode::kPartitioned");
+  }
+  if (threads < 1) threads = 1;
+  const std::size_t workers = static_cast<std::size_t>(threads - 1);
+  if (workers_ == nullptr || workers_->workers() != workers) {
+    workers_ = std::make_unique<WorkerPool>(workers);
+  }
+
+  const sim::Time lookahead = mailbox_lookahead();
+  std::vector<std::uint64_t> executed(parts_.size(), 0);
+  sim::Time window_end = 0;  // published to workers by the pool's barrier
+  const std::function<void(std::size_t)> window_task =
+      [this, &executed, &window_end](std::size_t i) {
+        // run_until(end - 1) executes every event with when <= end - 1 and
+        // pins the partition clock to end - 1, strictly before any mailbox
+        // arrival (>= end), so barrier-time scheduling never goes backward.
+        executed[i] += parts_[i]->loop.run_until(window_end - 1);
+      };
+
+  for (;;) {
+    drain_mailboxes();
+    sim::Time w = sim::EventLoop::kForever;
+    for (const auto& p : parts_) {
+      w = std::min(w, p->loop.next_event_time());
+    }
+    if (w == sim::EventLoop::kForever || w > until) break;
+    window_end = std::min(w + lookahead, until + 1);
+    workers_->run(window_task, parts_.size());
+  }
+
+  std::uint64_t total = 0;
+  if (until != sim::EventLoop::kForever) {
+    // Pin every partition clock to the horizon (no events <= until remain).
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      executed[i] += parts_[i]->loop.run_until(until);
+    }
+  }
+  for (const std::uint64_t e : executed) total += e;
+  return total;
+}
+
+std::uint64_t World::run_serial(sim::Time until) {
+  // The serial reference executor: the same window/drain cycle as
+  // run_parallel, on the one global loop, inline. Window boundaries,
+  // drain order and therefore every event-sequence tie-break match the
+  // parallel executor exactly.
+  if (mailboxes_.empty()) {
+    return until == sim::EventLoop::kForever ? loop_.run()
+                                             : loop_.run_until(until);
+  }
+  const sim::Time lookahead = mailbox_lookahead();
+  std::uint64_t executed = 0;
+  for (;;) {
+    drain_mailboxes();
+    const sim::Time w = loop_.next_event_time();
+    if (w == sim::EventLoop::kForever || w > until) break;
+    executed += loop_.run_until(std::min(w + lookahead, until + 1) - 1);
+  }
+  if (until != sim::EventLoop::kForever) executed += loop_.run_until(until);
+  return executed;
+}
+
+sim::Metrics World::aggregate_metrics() const {
+  // All Metrics fields are uint64_t counters, so a field-wise sum is a
+  // flat word loop; the static_asserts keep this honest as fields are
+  // added. High-water/gauge fields become sums over shards, which is
+  // deterministic across executors even though it is not a true global
+  // high-water.
+  static_assert(std::is_trivially_copyable_v<sim::Metrics>);
+  static_assert(sizeof(sim::Metrics) % sizeof(std::uint64_t) == 0);
+  constexpr std::size_t kWords = sizeof(sim::Metrics) / sizeof(std::uint64_t);
+  auto add_into = [](std::uint64_t* acc, const sim::Metrics& m) {
+    std::uint64_t words[kWords];
+    std::memcpy(words, &m, sizeof words);
+    for (std::size_t i = 0; i < kWords; ++i) acc[i] += words[i];
+  };
+  std::uint64_t acc[kWords] = {};
+  add_into(acc, metrics_);
+  for (const auto& p : parts_) add_into(acc, p->metrics);
+  sim::Metrics out;
+  std::memcpy(&out, acc, sizeof out);
+  return out;
+}
 
 std::string World::profile_dump_json() const {
   std::string out = "{\"hosts\":[";

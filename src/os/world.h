@@ -2,9 +2,31 @@
 //
 // Owns every simulation object; benches and tests construct one World per
 // experiment, wire hosts to links, install a protocol organization, and run.
+//
+// Partitioned scale-out (see docs/ARCHITECTURE.md): a World can shard its
+// mutable simulation state per host -- event loop, RNG stream, metrics,
+// tracer, packet pool -- so that hosts interact only through cross-host
+// link events. PartitionMode selects between three executors:
+//
+//   kNone          legacy single loop + single RNG; bit-identical to the
+//                  pre-partitioning simulator (every existing test/bench).
+//   kShardedSerial per-host shards but ONE global loop. This is the serial
+//                  reference executor for the differential determinism
+//                  mode: it produces the exact per-host metrics, traces
+//                  and RNG draws the parallel executor must reproduce.
+//   kPartitioned   per-host shards AND per-host loops, run on a worker
+//                  pool under conservative (Chandy-Misra-Bryant style)
+//                  window synchronization via run_parallel().
+//
+// Cross-partition frames travel through per-link SPSC mailboxes drained at
+// window barriers with a deterministic (arrive, src host ordinal, per-link
+// seq) tie-break, so the merged event order is independent of thread count.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,16 +42,64 @@
 
 namespace ulnet::os {
 
+class WorkerPool;
+
+enum class PartitionMode {
+  kNone,
+  kShardedSerial,
+  kPartitioned,
+};
+
 class World {
  public:
+  // One host's shard of the mutable simulation state. In kShardedSerial
+  // the loop member exists but is unused (hosts share the global loop);
+  // everything else is wired identically in both sharded modes so their
+  // results are comparable field for field.
+  struct Partition {
+    explicit Partition(std::uint64_t seed) : rng(seed) {
+      pool.bind_metrics(&metrics);
+    }
+    sim::EventLoop loop;
+    sim::Metrics metrics;
+    sim::Tracer tracer;
+    sim::Rng rng;
+    buf::PacketPool pool;
+  };
+
+  // Cross-partition delivery mailbox for one directed link. The producer
+  // is the link's transmit side (exactly one partition, so one thread per
+  // window); the consumer is the executor thread at the window barrier.
+  // The window barrier's pool mutex provides the happens-before edge, so
+  // plain members suffice.
+  struct Mailbox final : net::LinkPortal {
+    struct Entry {
+      sim::Time arrive = 0;
+      std::uint64_t seq = 0;  // per-link FIFO order (primary before dup)
+      net::Frame frame;
+      const net::LinkEndpoint* from = nullptr;
+    };
+
+    void remote_deliver(sim::Time arrive, net::Frame f,
+                        const net::LinkEndpoint* from) override {
+      entries.push_back(Entry{arrive, next_seq++, std::move(f), from});
+    }
+
+    net::Link* link = nullptr;  // deliver() runs on the rx partition
+    std::uint32_t src_ord = 0;  // tie-break after timestamp
+    std::uint32_t dst_ord = 0;
+    std::uint64_t next_seq = 0;
+    std::vector<Entry> entries;
+  };
+
   explicit World(std::uint64_t seed = 1,
-                 const sim::CostModel& cost = sim::CostModel{})
-      : cost_(cost), rng_(seed) {
-    loop_.bind_metrics(&metrics_);
-    pool_.bind_metrics(&metrics_);
-  }
+                 const sim::CostModel& cost = sim::CostModel{},
+                 PartitionMode mode = PartitionMode::kNone);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
+  ~World();
+
+  [[nodiscard]] PartitionMode partition_mode() const { return mode_; }
 
   sim::EventLoop& loop() { return loop_; }
   sim::Rng& rng() { return rng_; }
@@ -39,14 +109,34 @@ class World {
   buf::PacketPool& pool() { return pool_; }
 
   Host& add_host(const std::string& name) {
-    hosts_.push_back(std::make_unique<Host>(loop_, cost_, metrics_, name));
-    hosts_.back()->cpu().set_tracer(&tracer_,
-                                    static_cast<int>(hosts_.size() - 1));
-    hosts_.back()->set_pool(&pool_);
+    const std::size_t ord = hosts_.size();
+    sim::EventLoop* loop = &loop_;
+    sim::Metrics* metrics = &metrics_;
+    sim::Tracer* tracer = &tracer_;
+    buf::PacketPool* pool = &pool_;
+    if (mode_ != PartitionMode::kNone) {
+      parts_.push_back(std::make_unique<Partition>(shard_seed(1, ord)));
+      Partition& p = *parts_.back();
+      // Disjoint id ranges keep packet ids globally unique across shards
+      // without coordination, identically under both sharded executors.
+      p.tracer.set_id_base(static_cast<std::uint64_t>(ord + 1) << 40);
+      metrics = &p.metrics;
+      tracer = &p.tracer;
+      pool = &p.pool;
+      if (mode_ == PartitionMode::kPartitioned) loop = &p.loop;
+    }
+    hosts_.push_back(std::make_unique<Host>(*loop, cost_, *metrics, name));
+    hosts_.back()->cpu().set_tracer(tracer, static_cast<int>(ord));
+    hosts_.back()->set_pool(pool);
     return *hosts_.back();
   }
 
   net::Link& add_link(net::LinkSpec spec) {
+    if (mode_ != PartitionMode::kNone) {
+      throw std::logic_error(
+          "sharded worlds wire links with add_duplex_link (the link must "
+          "know its transmit-side partition)");
+    }
     links_.push_back(std::make_unique<net::Link>(loop_, rng_, std::move(spec)));
     links_.back()->bind_metrics(&metrics_);
     links_.back()->bind_tracer(&tracer_);
@@ -55,13 +145,25 @@ class World {
   net::Link& add_ethernet() { return add_link(net::LinkSpec::ethernet10()); }
   net::Link& add_an1() { return add_link(net::LinkSpec::an1()); }
 
+  // An inter-host connection in a sharded world is a pair of directed
+  // half-links: transmit-side state (channel occupancy, fault RNG draws,
+  // histograms) is owned by the sender's partition, and in kPartitioned
+  // mode deliveries to the other partition go through a mailbox. Each
+  // half-link draws faults from its own private RNG stream so outcomes
+  // are identical under both executors. Also usable in kNone worlds.
+  struct DuplexLink {
+    net::Link* forward = nullptr;  // a -> b
+    net::Link* reverse = nullptr;  // b -> a
+  };
+  DuplexLink add_duplex_link(Host& a, Host& b, const net::LinkSpec& spec);
+
   hw::LanceNic& attach_lance(Host& host, net::Link& link, net::Ipv4Addr ip,
                              int prefix_len = 24) {
     auto mac = next_mac();
     auto nic = std::make_unique<hw::LanceNic>(host.cpu(), link, mac,
                                               host.name() + ".lance");
     auto& ref = *nic;
-    ref.set_pool(&pool_);
+    ref.set_pool(host.pool() != nullptr ? host.pool() : &pool_);
     nics_.push_back(std::move(nic));
     host.add_interface(Host::Interface{&ref, ip, prefix_len});
     return ref;
@@ -73,18 +175,95 @@ class World {
     auto nic = std::make_unique<hw::An1Nic>(host.cpu(), link, mac,
                                             host.name() + ".an1");
     auto& ref = *nic;
-    ref.set_pool(&pool_);
+    ref.set_pool(host.pool() != nullptr ? host.pool() : &pool_);
     nics_.push_back(std::move(nic));
     host.add_interface(Host::Interface{&ref, ip, prefix_len});
     return ref;
   }
 
-  [[nodiscard]] sim::Time now() const { return loop_.now(); }
-  std::uint64_t run() { return loop_.run(); }
-  std::uint64_t run_until(sim::Time t) { return loop_.run_until(t); }
-  std::uint64_t run_for(sim::Time d) { return loop_.run_until(now() + d); }
+  // Duplex wiring: the NIC transmits on `tx` (its constructor attaches it
+  // there) and must additionally listen on `rx`.
+  hw::LanceNic& attach_lance(Host& host, net::Link& tx, net::Link& rx,
+                             net::Ipv4Addr ip, int prefix_len = 24) {
+    auto& ref = attach_lance(host, tx, ip, prefix_len);
+    rx.attach(&ref);
+    return ref;
+  }
+  hw::An1Nic& attach_an1(Host& host, net::Link& tx, net::Link& rx,
+                         net::Ipv4Addr ip, int prefix_len = 24) {
+    auto& ref = attach_an1(host, tx, ip, prefix_len);
+    rx.attach(&ref);
+    return ref;
+  }
+
+  [[nodiscard]] sim::Time now() const {
+    if (mode_ != PartitionMode::kPartitioned || parts_.empty()) {
+      return loop_.now();
+    }
+    sim::Time t = parts_.front()->loop.now();
+    for (const auto& p : parts_) t = std::min(t, p->loop.now());
+    return t;
+  }
+  std::uint64_t run() {
+    if (mode_ == PartitionMode::kPartitioned) return run_parallel(1);
+    if (mode_ == PartitionMode::kShardedSerial) {
+      return run_serial(sim::EventLoop::kForever);
+    }
+    return loop_.run();
+  }
+  std::uint64_t run_until(sim::Time t) {
+    if (mode_ == PartitionMode::kPartitioned) return run_parallel(1, t);
+    if (mode_ == PartitionMode::kShardedSerial) return run_serial(t);
+    return loop_.run_until(t);
+  }
+  std::uint64_t run_for(sim::Time d) { return run_until(now() + d); }
+
+  // Conservative parallel execution of a kPartitioned world on `threads`
+  // total threads (the caller participates, so threads=1 spawns none).
+  // Simulated results are bit-identical at any thread count. Lookahead is
+  // the minimum propagation delay over all cross-partition links: a frame
+  // sent in window [W, end) arrives no earlier than W + propagation >= end,
+  // so partitions never need mid-window communication.
+  std::uint64_t run_parallel(int threads,
+                             sim::Time until = sim::EventLoop::kForever);
 
   std::vector<std::unique_ptr<Host>>& hosts() { return hosts_; }
+  [[nodiscard]] std::size_t host_ordinal(const Host& h) const {
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      if (hosts_[i].get() == &h) return i;
+    }
+    throw std::logic_error("host is not part of this world");
+  }
+
+  // Shard accessors: the host's shard in sharded modes, the world-global
+  // object in kNone mode. Protocol organizations use these instead of the
+  // global rng()/metrics() so their draws stay partition-local.
+  sim::Rng& rng_for(Host& h) {
+    return mode_ == PartitionMode::kNone ? rng_
+                                         : parts_[host_ordinal(h)]->rng;
+  }
+  sim::Metrics& metrics_for(Host& h) {
+    return mode_ == PartitionMode::kNone ? metrics_
+                                         : parts_[host_ordinal(h)]->metrics;
+  }
+  sim::Tracer& tracer_for(Host& h) {
+    return mode_ == PartitionMode::kNone ? tracer_
+                                         : parts_[host_ordinal(h)]->tracer;
+  }
+  buf::PacketPool& pool_for(Host& h) {
+    return mode_ == PartitionMode::kNone ? pool_
+                                         : parts_[host_ordinal(h)]->pool;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Partition>>& partitions()
+      const {
+    return parts_;
+  }
+
+  // Global metrics plus every shard, summed field-wise. Gauge/high-water
+  // fields become sums over shards -- not a true global high-water, but
+  // deterministic and identical across executors, which is what the
+  // differential fingerprint needs.
+  [[nodiscard]] sim::Metrics aggregate_metrics() const;
 
   // Simulated-CPU profile across all hosts: per-component nanoseconds as
   // charged by the cost model, attributed via ProfileScope. The components
@@ -100,15 +279,42 @@ class World {
     return net::MacAddr::from_index(next_mac_index_++, 0);
   }
 
+  // Deterministic shard-seed derivation: kind 1 = host RNG streams,
+  // kind 2 = per-link fault RNG streams. Ordinals are assigned by
+  // construction order, which both executors share.
+  [[nodiscard]] std::uint64_t shard_seed(std::uint64_t kind,
+                                         std::uint64_t ordinal) const {
+    return seed_ + kind * 0x9E3779B97F4A7C15ull +
+           ordinal * 0xBF58476D1CE4E5B9ull;
+  }
+
+  net::Link& add_half_link(Host& tx, Host& rx, const net::LinkSpec& spec);
+  // Move all pending mailbox entries into their destination loops, in
+  // (arrive, src ordinal, per-link seq) order per destination.
+  void drain_mailboxes();
+  // Minimum propagation over all mailboxed links, clamped to >= 1 ns.
+  [[nodiscard]] sim::Time mailbox_lookahead() const;
+  // Windowed execution of a kShardedSerial world on the global loop (the
+  // serial reference the parallel executor is differentially checked
+  // against). Falls back to a plain run when no cross-host links exist.
+  std::uint64_t run_serial(sim::Time until);
+
   sim::EventLoop loop_;
   sim::CostModel cost_;
   sim::Metrics metrics_;
   sim::Tracer tracer_;
   sim::Rng rng_;
   buf::PacketPool pool_;
+  std::uint64_t seed_;
+  PartitionMode mode_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<sim::Rng>> link_rngs_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::vector<std::unique_ptr<hw::Nic>> nics_;
+  std::unique_ptr<WorkerPool> workers_;
+  int worker_threads_ = 0;
   std::uint16_t next_mac_index_ = 1;
 };
 

@@ -304,6 +304,34 @@ TcpConnection::TcpConnection(TcpModule& mod, TcpConfig cfg, net::Ipv4Addr lip,
   // segment_per_write, segments would routinely span chunks and every
   // emission would fall back to a staging copy anyway.
   if (!cfg_.segment_per_write) cfg_.tx_gather = false;
+  if (!cfg_.compact_stats) rtt_hist_ = std::make_unique<sim::Histogram>();
+}
+
+std::size_t TcpModule::tcb_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, conn] : conns_) total += conn->memory_bytes();
+  return total;
+}
+
+const sim::Histogram& TcpConnection::rtt_hist() const {
+  static const sim::Histogram kEmpty;
+  return rtt_hist_ != nullptr ? *rtt_hist_ : kEmpty;
+}
+
+std::size_t TcpConnection::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  if (rtt_hist_ != nullptr) total += sizeof(sim::Histogram);
+  total += snd_buf_.size();
+  for (const buf::Bytes& c : snd_chunks_) total += c.size();
+  total += push_marks_.size() * sizeof(std::uint32_t);
+  total += rcv_queue_.size();
+  for (const buf::RxChunk& c : rcv_chunks_) {
+    total += sizeof(buf::RxChunk) + c.owned.size();
+  }
+  for (const auto& [seq, seg] : ooo_) {
+    total += sizeof(std::uint32_t) + seg.size();
+  }
+  return total;
 }
 
 TcpConnection::~TcpConnection() {
@@ -1628,7 +1656,9 @@ void TcpConnection::cancel_all_timers() {
 
 void TcpConnection::rtt_sample(sim::Time measured) {
   stats_.rtt_samples++;
-  rtt_hist_.record(static_cast<std::uint64_t>(measured < 0 ? 0 : measured));
+  if (rtt_hist_ != nullptr) {
+    rtt_hist_->record(static_cast<std::uint64_t>(measured < 0 ? 0 : measured));
+  }
   if (srtt_ == 0) {
     srtt_ = measured;
     rttvar_ = measured / 2;
@@ -1687,7 +1717,7 @@ std::string TcpConnection::dump_json() const {
       static_cast<unsigned long long>(stats_.ooo_bytes_max));
   std::string out = buf;
   out += ",\"hist\":{\"rtt_ns\":";
-  out += rtt_hist_.dump_json();
+  out += rtt_hist().dump_json();
   out += "}}";
   return out;
 }

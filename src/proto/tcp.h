@@ -88,6 +88,11 @@ struct TcpConfig {
   // payload-by-reference gathers instead of materialized copies. Requires
   // segment_per_write (the constructor forces it off otherwise). Opt-in.
   bool tx_gather = false;
+  // Per-connection memory diet for 10k+ connection worlds: skip the
+  // ~30 KB RTT histogram (rtt_hist() returns an empty one) so a TCB
+  // shrinks to its protocol state plus counters. Wire behaviour and every
+  // TcpConnStats counter are unchanged; only the histogram is sacrificed.
+  bool compact_stats = false;
 
   sim::Time delack_delay = 200 * sim::kMs;  // BSD fast timer
   sim::Time rto_initial = 1 * sim::kSec;
@@ -261,6 +266,13 @@ class TcpModule {
   [[nodiscard]] std::string dump_json() const;
 
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+  // Total TCB memory across live connections (sum of memory_bytes()):
+  // the flat-per-connection-curve number the scale benches plot.
+  [[nodiscard]] std::size_t tcb_bytes() const;
+  // Pre-size the connection table for `n` expected connections (rehashes
+  // on a connect storm are counted nowhere here -- the table is per
+  // module -- but the reserve avoids the O(n) stall all the same).
+  void reserve_connections(std::size_t n) { conns_.reserve(n); }
 
  private:
   friend class TcpConnection;
@@ -359,8 +371,15 @@ class TcpConnection {
   }
   [[nodiscard]] const TcpConnStats& stats() const { return stats_; }
   // Every RTT sample this connection took (Karn-filtered, like the
-  // estimator feed).
-  [[nodiscard]] const sim::Histogram& rtt_hist() const { return rtt_hist_; }
+  // estimator feed). Under compact_stats no histogram exists and a shared
+  // empty one is returned.
+  [[nodiscard]] const sim::Histogram& rtt_hist() const;
+  // Bytes of memory this TCB holds right now: the connection object, its
+  // histogram (when present) and the *used* size of its buffers/queues
+  // (size, not capacity, so the number is identical across toolchains'
+  // growth policies up to the fixed sizeof terms). Wall-clock
+  // observability for the per-connection-memory bench rows.
+  [[nodiscard]] std::size_t memory_bytes() const;
   // 4-tuple, state, estimators, windows, queue depths, stats(), and the RTT
   // histogram as one JSON object.
   [[nodiscard]] std::string dump_json() const;
@@ -540,7 +559,10 @@ class TcpConnection {
   bool in_fast_recovery_ = false;
   bool burst_ack_pending_ = false;  // registered in the module's burst list
   TcpConnStats stats_;
-  sim::Histogram rtt_hist_;
+  // Allocated lazily unless cfg_.compact_stats: the histogram's fixed
+  // bucket array dominates a TCB's footprint (~30 KB vs ~2 KB of protocol
+  // state), so 10k-connection worlds run without it.
+  std::unique_ptr<sim::Histogram> rtt_hist_;
 
   // Latency provenance. pending_tx_trace_id_ is a pre-allocated id for the
   // next emitted segment, set at a causal site (timer fire, ACK decision)

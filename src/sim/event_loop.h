@@ -155,6 +155,13 @@ class EventLoop {
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  // Timestamp of the earliest pending event, or kForever when the queue is
+  // empty. The partitioned executor uses this to compute each conservative
+  // window's base time without popping anything.
+  [[nodiscard]] Time next_event_time() const {
+    return heap_.empty() ? kForever : slots_[heap_[0]].when;
+  }
+
   // Slab introspection: current slot count (capacity grown so far) and the
   // maximum number of simultaneously pending events ever observed.
   [[nodiscard]] std::size_t slab_size() const { return slots_.size(); }

@@ -53,6 +53,8 @@ std::string Metrics::dump_json() const {
   field("pool_recycles", pool_recycles);
   field("pool_high_water", pool_high_water);
   field("event_slab_high_water", event_slab_high_water);
+  field("demux_table_rehashes", demux_table_rehashes);
+  field("loan_table_regrows", loan_table_regrows);
   field("link_frames_lost", link_frames_lost);
   field("link_frames_duplicated", link_frames_duplicated);
   field("link_frames_corrupted", link_frames_corrupted);

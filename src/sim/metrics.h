@@ -49,6 +49,12 @@ struct Metrics {
   std::uint64_t pool_recycles = 0;
   std::uint64_t pool_high_water = 0;
   std::uint64_t event_slab_high_water = 0;
+  // Table-growth churn (connection-scale health). A demux bind that forces
+  // the binding hash table to rehash, or a loan-out that forces the loan
+  // slab to reallocate, is an O(n) stall in the middle of the run; callers
+  // that know their cardinality reserve up front and these stay 0.
+  std::uint64_t demux_table_rehashes = 0;
+  std::uint64_t loan_table_regrows = 0;
   // Fault-and-drop census (chaos observability). Link counters mirror
   // net::FaultPlan injections; NIC counters mirror Nic::rx_dropped /
   // An1Nic::ring_drops; netio counters mirror the NetIoModule totals so a
@@ -129,6 +135,8 @@ struct Metrics {
     d.pool_recycles = pool_recycles - base.pool_recycles;
     d.pool_high_water = pool_high_water - base.pool_high_water;
     d.event_slab_high_water = event_slab_high_water - base.event_slab_high_water;
+    d.demux_table_rehashes = demux_table_rehashes - base.demux_table_rehashes;
+    d.loan_table_regrows = loan_table_regrows - base.loan_table_regrows;
     d.link_frames_lost = link_frames_lost - base.link_frames_lost;
     d.link_frames_duplicated =
         link_frames_duplicated - base.link_frames_duplicated;

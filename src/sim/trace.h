@@ -81,6 +81,13 @@ class Tracer {
   [[nodiscard]] std::uint64_t new_trace_id() { return ++last_trace_id_; }
   [[nodiscard]] std::uint64_t last_trace_id() const { return last_trace_id_; }
 
+  // Partitioned worlds shard the tracer per host; giving each shard a
+  // disjoint id range (base = host ordinal << 40) keeps packet ids globally
+  // unique without any cross-shard coordination, and the same base is used
+  // by both the single-loop and the partitioned executors so ids stay
+  // bit-identical between them. Call before the first allocation.
+  void set_id_base(std::uint64_t base) { last_trace_id_ = base; }
+
   // Span/flow conveniences: `name` must be a static string; spans pair a
   // kSpanBegin with the kSpanEnd carrying the same (trace_id, name), flows
   // pair kFlowStart with kFlowEnd likewise.

@@ -1,0 +1,158 @@
+// Partitioned-simulation determinism and scale-fixture tests.
+//
+// The conservative parallel executor's contract is absolute: a kPartitioned
+// world produces bit-identical simulated results at ANY thread count, and
+// both are bit-identical to the kShardedSerial reference executor (one
+// global loop run through the same window/mailbox machinery). The
+// fingerprint compared here digests the aggregate metrics JSON, every
+// per-host TCP counter block (library and registry stacks), the per-pair
+// transfer tallies and the per-host trace streams -- any divergence in
+// event order anywhere in the stack shows up in at least one of them.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/fabric_bed.h"
+#include "os/world.h"
+#include "sim/metrics.h"
+
+namespace ulnet::api {
+namespace {
+
+FabricConfig small_cfg(std::uint64_t seed, bool chaos) {
+  FabricConfig cfg;
+  cfg.pairs = chaos ? 2 : 4;
+  cfg.conns_per_pair = chaos ? 4 : 8;
+  cfg.bytes_per_conn = 4096;
+  cfg.seed = seed;
+  cfg.chaos = chaos;
+  cfg.trace = true;  // trace streams are part of the fingerprint
+  return cfg;
+}
+
+std::string run_fingerprint(os::PartitionMode mode, const FabricConfig& cfg,
+                            int threads, bool* ok = nullptr) {
+  FabricBed bed(mode, cfg);
+  const bool r = bed.run(threads);
+  if (ok != nullptr) *ok = r;
+  return bed.fingerprint_text();
+}
+
+TEST(FabricDeterminism, PartitionedMatchesSerialAtEveryThreadCount) {
+  const FabricConfig cfg = small_cfg(7, /*chaos=*/false);
+  bool ok = false;
+  const std::string serial =
+      run_fingerprint(os::PartitionMode::kShardedSerial, cfg, 1, &ok);
+  EXPECT_TRUE(ok) << "serial reference run did not complete";
+  for (int threads : {1, 2, 8}) {
+    bool pok = false;
+    const std::string par =
+        run_fingerprint(os::PartitionMode::kPartitioned, cfg, threads, &pok);
+    EXPECT_TRUE(pok) << "partitioned run (threads=" << threads
+                     << ") did not complete";
+    EXPECT_EQ(serial, par) << "executor divergence at threads=" << threads;
+  }
+}
+
+TEST(FabricDeterminism, ChaosSoakAcrossSeeds) {
+  // Faulty links (loss, duplication, corruption, jitter) draw from
+  // per-link RNG streams, so fault outcomes are executor-independent too.
+  // Full 8-seed soak; each run is small enough to keep this in tier 1.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const FabricConfig cfg = small_cfg(seed, /*chaos=*/true);
+    const std::string serial =
+        run_fingerprint(os::PartitionMode::kShardedSerial, cfg, 1);
+    for (int threads : {2, 8}) {
+      EXPECT_EQ(serial, run_fingerprint(os::PartitionMode::kPartitioned, cfg,
+                                        threads))
+          << "chaos divergence at seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(FabricDeterminism, RepeatedRunsAreBitIdentical) {
+  const FabricConfig cfg = small_cfg(3, /*chaos=*/false);
+  const std::string a =
+      run_fingerprint(os::PartitionMode::kPartitioned, cfg, 8);
+  const std::string b =
+      run_fingerprint(os::PartitionMode::kPartitioned, cfg, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FabricScale, CompactStatsChangeNoSimulatedOutcome) {
+  // The per-connection memory diet (no RTT histogram) must be invisible to
+  // the simulation: identical fingerprints, strictly less TCB memory.
+  FabricConfig cfg = small_cfg(5, /*chaos=*/false);
+  cfg.trace = false;
+
+  cfg.compact_stats = false;
+  FabricBed full(os::PartitionMode::kShardedSerial, cfg);
+  EXPECT_TRUE(full.run());
+
+  cfg.compact_stats = true;
+  FabricBed compact(os::PartitionMode::kShardedSerial, cfg);
+  EXPECT_TRUE(compact.run());
+
+  EXPECT_EQ(full.fingerprint_text(), compact.fingerprint_text());
+  EXPECT_LT(compact.peak_tcb_bytes(), full.peak_tcb_bytes());
+}
+
+TEST(FabricScale, ReservedTablesNeverRehash) {
+  FabricConfig cfg = small_cfg(9, /*chaos=*/false);
+  cfg.trace = false;
+  cfg.pairs = 1;
+  cfg.conns_per_pair = 64;
+  cfg.bytes_per_conn = 1024;
+
+  cfg.reserve_tables = true;
+  FabricBed reserved(os::PartitionMode::kShardedSerial, cfg);
+  EXPECT_TRUE(reserved.run());
+  EXPECT_EQ(reserved.metrics().demux_table_rehashes, 0u);
+  EXPECT_EQ(reserved.metrics().loan_table_regrows, 0u);
+
+  cfg.reserve_tables = false;
+  FabricBed unreserved(os::PartitionMode::kShardedSerial, cfg);
+  EXPECT_TRUE(unreserved.run());
+  EXPECT_GT(unreserved.metrics().demux_table_rehashes, 0u)
+      << "64 bindings without reserve() should rehash at least once "
+         "(otherwise the counter is dead)";
+}
+
+TEST(FabricScale, AcceptStormBatchingIsSublinear) {
+  // All opens land in the same tick (stagger 0): with batching, handshake
+  // completions coalesce into sweeps, so the registry dispatches
+  // O(sweeps) << O(connections) finish-setup tasks.
+  FabricConfig cfg = small_cfg(11, /*chaos=*/false);
+  cfg.trace = false;
+  cfg.pairs = 1;
+  cfg.conns_per_pair = 64;
+  cfg.bytes_per_conn = 512;
+  cfg.open_stagger = 0;
+  cfg.batched_handshakes = true;
+
+  FabricBed bed(os::PartitionMode::kShardedSerial, cfg);
+  EXPECT_TRUE(bed.run());
+  const std::uint64_t sweeps = bed.handshake_sweeps();
+  EXPECT_GT(sweeps, 0u);
+  // 128 completions total (64 active opens + 64 accepts); sublinear means
+  // well under one sweep per completion.
+  EXPECT_LT(sweeps, 64u) << "batching coalesced nothing";
+  // Hand-off teardown is indexed: every lookup inspects at most one table
+  // entry, regardless of table size.
+  EXPECT_LE(bed.handoff_entries_scanned(), bed.handoff_lookups());
+}
+
+TEST(FabricScale, PeakConcurrencyReachesEveryConnection) {
+  FabricConfig cfg = small_cfg(13, /*chaos=*/false);
+  cfg.trace = false;
+  FabricBed bed(os::PartitionMode::kPartitioned, cfg);
+  EXPECT_TRUE(bed.run(2));
+  // Pumps are held until a pair is fully established, so the concurrency
+  // peak must reach the full connection count.
+  EXPECT_EQ(bed.peak_established(), bed.total_conns());
+  EXPECT_GT(bed.peak_tcb_bytes(), 0u);
+  EXPECT_GT(bed.peak_pool_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ulnet::api
