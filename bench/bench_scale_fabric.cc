@@ -24,7 +24,16 @@
 // when the machine has at least 4 hardware threads (a single-core host can
 // prove determinism, not parallel speedup -- the bench says which it did).
 //
+// `--telemetry` arms the live time-series sampler on both executors of
+// every cell: executor series (windows, lookahead, mailbox depth,
+// per-worker busy/stall wallclock), event-loop and pool series. The
+// simulated series are sampled at window barriers, so serial and
+// partitioned runs must produce bit-identical series -- exported as the
+// exact-gated `telemetry_series_mismatch` row -- and the first cell's
+// series land in the JSON as `series.<name>` row groups.
+//
 // Usage: bench_scale_fabric [--quick] [--threads N] [--json <path>]
+//                           [--telemetry] [--telemetry-jsonl <path>]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -68,17 +77,23 @@ struct CellResult {
   double serial_ms = 0;
   double parallel_ms = 0;
   double speedup = 0;
+  bool telemetry_on = false;
+  bool telemetry_match = true;
 };
 
-CellResult run_cell(int pairs, int conns_per_pair, int threads) {
+CellResult run_cell(int pairs, int conns_per_pair, int threads,
+                    bool telemetry, bench::JsonReport* series_report,
+                    std::string* jsonl_out) {
   FabricConfig cfg;
   cfg.pairs = pairs;
   cfg.conns_per_pair = conns_per_pair;
   cfg.bytes_per_conn = 4096;
   cfg.seed = 1;
+  if (telemetry) cfg.telemetry_cadence = 10 * sim::kMs;
 
   CellResult r;
   r.conns = pairs * conns_per_pair;
+  r.telemetry_on = telemetry;
 
   auto t0 = Clock::now();
   FabricBed serial(PartitionMode::kShardedSerial, cfg);
@@ -93,6 +108,17 @@ CellResult run_cell(int pairs, int conns_per_pair, int threads) {
   r.ok = ok_serial && ok_par;
   r.fingerprints_match = serial.fingerprint() == par.fingerprint() &&
                          serial.events_executed() == par.events_executed();
+  if (telemetry) {
+    // Simulated series are sampled at window barriers, which both
+    // executors visit in the same order -- the series must agree bit for
+    // bit. Wallclock series (busy/stall) are excluded by dump_jsonl(false).
+    r.telemetry_match = serial.telemetry().dump_jsonl(false) ==
+                        par.telemetry().dump_jsonl(false);
+    if (series_report != nullptr) {
+      bench::add_telemetry(*series_report, par.telemetry());
+    }
+    if (jsonl_out != nullptr) *jsonl_out = par.telemetry().dump_jsonl();
+  }
   r.peak = par.peak_established();
   r.bytes = static_cast<std::uint64_t>(cfg.bytes_per_conn) *
             static_cast<std::uint64_t>(r.conns);
@@ -121,6 +147,7 @@ int main(int argc, char** argv) {
   }
   bench::JsonReport report(argc, argv, "bench_scale_fabric",
                            "Partitioned scale-out");
+  const bench::TelemetryArgs targs(argc, argv);
   bool all_ok = true;
 
   struct Cell {
@@ -141,9 +168,19 @@ int main(int argc, char** argv) {
 
   double top_speedup = 0;
   int top_peak = 0;
+  bool series_emitted = false;
+  std::string telemetry_jsonl;
   for (const Cell& c : grid) {
     if (quick && !c.in_quick) continue;
-    const CellResult r = run_cell(c.pairs, c.conns_per_pair, threads);
+    // The series row-group labels are cell-independent, so only the first
+    // telemetry cell exports them (and the JSONL artifact); every cell
+    // still gets the series-identity row below.
+    const bool emit_series = targs.enabled && !series_emitted;
+    const CellResult r =
+        run_cell(c.pairs, c.conns_per_pair, threads, targs.enabled,
+                 emit_series ? &report : nullptr,
+                 emit_series ? &telemetry_jsonl : nullptr);
+    series_emitted = series_emitted || emit_series;
     all_ok = all_ok && r.ok;
     char label[48];
     std::snprintf(label, sizeof label, "grid/p%d/c%d", c.pairs,
@@ -157,6 +194,11 @@ int main(int argc, char** argv) {
 
     if (!r.fingerprints_match) {
       std::printf("FAIL: %s serial and partitioned runs diverged\n", label);
+      all_ok = false;
+    }
+    if (r.telemetry_on && !r.telemetry_match) {
+      std::printf("FAIL: %s serial and partitioned telemetry series "
+                  "diverged\n", label);
       all_ok = false;
     }
     if (r.peak != r.conns) {
@@ -184,6 +226,11 @@ int main(int argc, char** argv) {
     report.add(label, "fingerprint_mismatch", "count",
                r.fingerprints_match ? 0.0 : 1.0, std::nullopt, params,
                "simulated");
+    if (r.telemetry_on) {
+      report.add(label, "telemetry_series_mismatch", "count",
+                 r.telemetry_match ? 0.0 : 1.0, std::nullopt, params,
+                 "simulated");
+    }
     report.add(label, "handshake_sweeps", "count",
                static_cast<double>(r.sweeps), std::nullopt, params,
                "simulated");
@@ -260,6 +307,7 @@ int main(int argc, char** argv) {
   }
 
   if (!report.write()) return 1;
+  if (!targs.write_jsonl(telemetry_jsonl)) return 1;
   if (!all_ok) {
     std::printf("\nbench_scale_fabric: FAILURES (see above)\n");
     return 1;

@@ -13,7 +13,14 @@
 // invariants (fairness floor, policer counters, teardown sweep), so this
 // bench doubles as an end-to-end check when run without --json.
 //
+// `--telemetry` arms the per-tenant time-series sampler on every cell: the
+// policed flooder cell (the clearest demand-vs-share story) exports its
+// `series.tenant.attacker.demand_bytes` / `series.tenant.victim.*` row
+// groups into the JSON, and `--telemetry-jsonl <path>` writes that cell's
+// full sampled series for scripts/telemetry_report.py.
+//
 //   bench_tenant_isolation [--quick] [--json <path>]
+//                          [--telemetry] [--telemetry-jsonl <path>]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
                  (quick ? " (quick)" : ""));
   bench::JsonReport json(argc, argv, "bench_tenant_isolation",
                          "Tenant isolation");
+  const bench::TelemetryArgs targs(argc, argv);
+  constexpr sim::Time kTelemetryCadence = 5 * sim::kMs;
 
   auto run = [&](api::AdversaryKind kind, bool policed, double solo_mbps) {
     api::ByzantineScenarioConfig cfg;
@@ -70,6 +79,7 @@ int main(int argc, char** argv) {
     cfg.policing = policed;
     cfg.solo_mbps = policed ? solo_mbps : 0;  // fairness gated only policed
     cfg.measure_rtt = true;
+    if (targs.enabled) cfg.telemetry_cadence = kTelemetryCadence;
     if (quick) {
       cfg.bulk_bytes = 768 * 1024;
       cfg.rtt_rounds = 40;
@@ -78,6 +88,7 @@ int main(int argc, char** argv) {
   };
 
   bench::row_header({"scenario", "victim Mb/s", "rtt p50/p99 us", "notes"});
+  std::string telemetry_jsonl;
   std::uint64_t forged_total = 0;
   std::vector<double> policed_norm;  // per-attacker x_i for the Jain index
   std::string first_failure;
@@ -124,6 +135,13 @@ int main(int argc, char** argv) {
       json.add(label, "victim_mbps", "Mb/s", rep.victim_mbps, std::nullopt,
                aparams);
       add_rtt_rows(json, "rtt/" + label, rep.victim_rtt_us, aparams);
+      // One cell carries the series exhibit: the policed flooder, where the
+      // attacker's demand series keeps climbing while the policer clips its
+      // share and the victim's demand stays on slope.
+      if (targs.enabled && policed && kind == api::AdversaryKind::kFlooder) {
+        bench::add_telemetry(json, rep.telemetry, kTelemetryCadence);
+        telemetry_jsonl = rep.telemetry_jsonl;
+      }
       if (policed && solo_policed_mbps > 0) {
         policed_norm.push_back(rep.victim_mbps / solo_policed_mbps);
       }
@@ -173,6 +191,7 @@ int main(int argc, char** argv) {
   json.add("wire", "forged_frames_on_wire", "count",
            static_cast<double>(forged_total), std::nullopt, sum_params);
   if (!json.write()) return 2;
+  if (!targs.write_jsonl(telemetry_jsonl)) return 2;
 
   if (!first_failure.empty()) {
     std::fprintf(stderr, "FAIL: %s\n", first_failure.c_str());

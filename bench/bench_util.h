@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/histogram.h"
+#include "sim/telemetry.h"
 
 namespace ulnet::bench {
 
@@ -178,5 +179,74 @@ inline void add_hist(JsonReport& report, const std::string& label,
   report.add(label, "max", unit, static_cast<double>(h.max()), std::nullopt,
              {{"count", count}});
 }
+
+// Export every sampled telemetry series as a `series.<name>` row group in
+// the shared bench schema (validated by scripts/check_bench_json.py):
+// metrics `samples`/`last`/`max` on every series, plus `dropped` and
+// `monotone_violations` on counters, each row carrying params.cadence_ns.
+// Simulated-time series export as kind "simulated" (bit-identical across
+// runs); series sampled from host clocks carry kind "wallclock" so the
+// determinism tooling skips them.
+inline void add_telemetry(JsonReport& report,
+                          const std::vector<sim::Telemetry::Summary>& summaries,
+                          sim::Time cadence) {
+  for (const sim::Telemetry::Summary& s : summaries) {
+    if (s.samples == 0) continue;
+    const std::string label = "series." + s.name;
+    const std::string kind = s.wallclock ? "wallclock" : "simulated";
+    const std::vector<std::pair<std::string, double>> params = {
+        {"cadence_ns", static_cast<double>(cadence)}};
+    report.add(label, "samples", "count", static_cast<double>(s.samples),
+               std::nullopt, params, kind);
+    report.add(label, "last", s.unit, static_cast<double>(s.last),
+               std::nullopt, params, kind);
+    report.add(label, "max", s.unit, static_cast<double>(s.max), std::nullopt,
+               params, kind);
+    if (s.kind == sim::Telemetry::Kind::kCounter) {
+      report.add(label, "dropped", "count", static_cast<double>(s.dropped),
+                 std::nullopt, params, kind);
+      report.add(label, "monotone_violations", "count",
+                 static_cast<double>(s.monotone_violations), std::nullopt,
+                 params, kind);
+    }
+  }
+}
+
+inline void add_telemetry(JsonReport& report, const sim::Telemetry& t) {
+  add_telemetry(report, t.summaries(), t.config().cadence);
+}
+
+// `--telemetry` arms the sampler in a bench; `--telemetry-jsonl <path>`
+// additionally streams the raw series to a JSONL file for
+// scripts/telemetry_report.py.
+struct TelemetryArgs {
+  bool enabled = false;
+  std::string jsonl_path;
+
+  TelemetryArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--telemetry") enabled = true;
+      if (a == "--telemetry-jsonl" && i + 1 < argc) {
+        enabled = true;
+        jsonl_path = argv[++i];
+      }
+    }
+  }
+
+  // Writes a pre-rendered Telemetry::dump_jsonl() export when a path was
+  // given. Returns false on a write failure (the bench should exit
+  // nonzero: a missing artifact must not pass silently).
+  bool write_jsonl(const std::string& out) const {
+    if (jsonl_path.empty()) return true;
+    std::FILE* f = std::fopen(jsonl_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    return std::fclose(f) == 0 && ok;
+  }
+};
 
 }  // namespace ulnet::bench

@@ -29,6 +29,16 @@ checker enforces the group contract: all four metrics present exactly once,
 percentiles monotone (p50 <= p90 <= p99 <= max), and every row of the group
 carrying the same params.count.
 
+Telemetry-series rows: a bench run with --telemetry exports each sampled
+time series as a "series.<name>" row group (bench/bench_util.h
+add_telemetry): metrics `samples`, `last` and `max` exactly once each,
+counters additionally `dropped` and `monotone_violations`, every row of
+the group carrying the same positive params.cadence_ns and the same kind.
+`samples` must be >= 1 (an armed sampler that never fired is a cadence
+bug), `max` >= `last` (the peak includes the final sample), and
+`monotone_violations` rides the zero-metric contract: a sampled counter
+that ever decreased is a broken run.
+
 Usage:
     check_bench_json.py out.json [more.json ...]
     check_bench_json.py --bench path/to/bench_binary
@@ -109,7 +119,8 @@ BENCH_REQUIRED_LABELS = {
 # wire past the send-side check; the partitioned executor's merged event
 # order diverged from the serial reference).
 ZERO_METRICS = {"demux_diff_mismatches", "loans_outstanding",
-                "forged_frames_on_wire", "fingerprint_mismatch"}
+                "forged_frames_on_wire", "fingerprint_mismatch",
+                "telemetry_series_mismatch", "monotone_violations"}
 
 
 def fail(path, msg):
@@ -161,7 +172,12 @@ def check_histograms(path, results):
     for i, r in enumerate(results):
         if not isinstance(r, dict) or r.get("metric") not in HIST_METRICS:
             continue
-        groups.setdefault(r.get("label"), []).append((i, r))
+        label = r.get("label")
+        # series.* groups emit a `max` row too, but follow the telemetry
+        # contract (check_series), not the percentile one.
+        if isinstance(label, str) and label.startswith("series."):
+            continue
+        groups.setdefault(label, []).append((i, r))
     ok = True
     for label, rows in groups.items():
         metrics = [r.get("metric") for _, r in rows]
@@ -196,6 +212,66 @@ def check_histograms(path, results):
     return ok
 
 
+SERIES_REQUIRED = ("samples", "last", "max")
+SERIES_COUNTER_ONLY = ("dropped", "monotone_violations")
+
+
+def check_series(path, results):
+    """Validate telemetry series.* row groups (see module docstring)."""
+    groups = {}
+    for i, r in enumerate(results):
+        if not isinstance(r, dict):
+            continue
+        label = r.get("label")
+        if isinstance(label, str) and label.startswith("series."):
+            groups.setdefault(label, []).append((i, r))
+    ok = True
+    for label, rows in groups.items():
+        metrics = [r.get("metric") for _, r in rows]
+        for m in SERIES_REQUIRED:
+            n = metrics.count(m)
+            if n != 1:
+                ok = fail(path, f"series {label!r}: metric '{m}' appears "
+                                f"{n} times, expected exactly 1")
+        for m in SERIES_COUNTER_ONLY:
+            if metrics.count(m) > 1:
+                ok = fail(path, f"series {label!r}: metric '{m}' appears "
+                                f"{metrics.count(m)} times")
+        extra = set(metrics) - set(SERIES_REQUIRED) - set(SERIES_COUNTER_ONLY)
+        if extra:
+            ok = fail(path, f"series {label!r}: unknown metrics "
+                            f"{sorted(extra)}")
+        by_metric = {r.get("metric"): r for _, r in rows}
+        samples = by_metric.get("samples", {}).get("value")
+        if is_number(samples) and samples < 1:
+            ok = fail(path, f"series {label!r}: samples = {samples}, an "
+                            "armed sampler must have fired at least once")
+        last = by_metric.get("last", {}).get("value")
+        peak = by_metric.get("max", {}).get("value")
+        if is_number(last) and is_number(peak) and peak < last:
+            ok = fail(path, f"series {label!r}: max = {peak} < last = "
+                            f"{last} (the peak includes the final sample)")
+        cadences, kinds = set(), set()
+        for i, r in rows:
+            params = r.get("params")
+            if not isinstance(params, dict) or "cadence_ns" not in params:
+                ok = fail(path, f"results[{i}] (series {label!r}) missing "
+                                "params.cadence_ns")
+            else:
+                cadences.add(params["cadence_ns"])
+            kinds.add(r.get("kind"))
+        if len(cadences) > 1:
+            ok = fail(path, f"series {label!r}: rows disagree on "
+                            f"params.cadence_ns {sorted(cadences)}")
+        if any(is_number(c) and c <= 0 for c in cadences):
+            ok = fail(path, f"series {label!r}: params.cadence_ns must be "
+                            "positive")
+        if len(kinds) > 1:
+            ok = fail(path, f"series {label!r}: rows disagree on kind "
+                            f"{sorted(str(k) for k in kinds)}")
+    return ok
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -221,6 +297,7 @@ def check_file(path):
             ok = fail(path, f"results[{i}] ({r.get('label')}): "
                             f"{r['metric']} = {r['value']}, must be 0")
     ok = check_histograms(path, results) and ok
+    ok = check_series(path, results) and ok
     required = BENCH_REQUIRED_LABELS.get(doc.get("bench"), set())
     labels = {r.get("label") for r in results if isinstance(r, dict)}
     missing = required - labels

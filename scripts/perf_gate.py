@@ -17,9 +17,17 @@ Usage:
     perf_gate.py --baseline bench/BENCH_hotpath.json --run path/to/bench_hotpath
         (runs `bench_hotpath --json <tmpfile>` and gates the tmpfile)
 
+Every failure message names the offending row's label/metric and carries
+the numbers needed to act on it -- both values and, for banded rows, the
+limit the fresh value crossed -- so a red gate in CI is diagnosable from
+the log alone, without re-running the bench locally.
+
 Options:
     --tolerance FRACTION   allowed wall-clock regression (default 0.30)
     --quick                pass --quick to the bench in --run mode
+    --selftest             run the built-in fixture checks and exit
+                           (verifies every failure class reports its label
+                           and values; wired into ctest as perf_gate_selftest)
 
 Refreshing the baseline after a deliberate change:
     build/bench/bench_hotpath --json bench/BENCH_hotpath.json
@@ -56,11 +64,13 @@ def gate(baseline_doc, fresh_doc, tolerance):
         label = f"{key[0]}/{key[1]}"
         f = fresh.get(key)
         if f is None:
-            failures.append(f"{label}: missing from fresh run")
+            failures.append(f"{label}: missing from fresh run "
+                            f"(baseline {b.get('value')})")
             continue
         bv, fv = b.get("value"), f.get("value")
         if bv is None or fv is None:
-            failures.append(f"{label}: null value (baseline={bv}, fresh={fv})")
+            failures.append(f"{label}: null value "
+                            f"(baseline {bv}, fresh {fv})")
             continue
         kind = b.get("kind", "simulated")
         compared += 1
@@ -68,8 +78,8 @@ def gate(baseline_doc, fresh_doc, tolerance):
             if fv != bv:
                 failures.append(
                     f"{label}: simulated value drifted "
-                    f"(baseline {bv}, fresh {fv}) -- simulated results must "
-                    "be bit-identical")
+                    f"(baseline {bv:g}, fresh {fv:g}) -- simulated results "
+                    "must be bit-identical")
             else:
                 print(f"  OK  {label}: {fv} (exact)")
             continue
@@ -88,13 +98,79 @@ def gate(baseline_doc, fresh_doc, tolerance):
         if bad:
             failures.append(
                 f"{label}: regressed {rel:.1%} beyond the {tolerance:.0%} "
-                f"band (baseline {bv:g}, fresh {fv:g})")
+                f"band (baseline {bv:g}, fresh {fv:g}, limit {limit:g})")
     if compared == 0:
         failures.append("no comparable results between baseline and fresh run")
     return failures
 
 
+def selftest():
+    """Fixture checks: every failure class must name its row and values."""
+    base = {"results": [
+        {"label": "lat", "metric": "ns_op", "unit": "ns", "value": 100,
+         "kind": "wallclock"},
+        {"label": "thr", "metric": "mbps", "unit": "Mb/s", "value": 100,
+         "kind": "wallclock", "params": {"higher_is_better": 1}},
+        {"label": "cnt", "metric": "events", "unit": "count", "value": 7,
+         "kind": "simulated"},
+        {"label": "gone", "metric": "rows", "unit": "count", "value": 3,
+         "kind": "wallclock"},
+        {"label": "nul", "metric": "probe", "unit": "ns", "value": 50,
+         "kind": "wallclock"},
+    ]}
+    fresh = {"results": [
+        {"label": "lat", "metric": "ns_op", "unit": "ns", "value": 140,
+         "kind": "wallclock"},
+        {"label": "thr", "metric": "mbps", "unit": "Mb/s", "value": 60,
+         "kind": "wallclock", "params": {"higher_is_better": 1}},
+        {"label": "cnt", "metric": "events", "unit": "count", "value": 8,
+         "kind": "simulated"},
+        {"label": "nul", "metric": "probe", "unit": "ns", "value": None,
+         "kind": "wallclock"},
+    ]}
+    failures = gate(base, fresh, 0.30)
+    # (label/metric, substrings its failure message must carry)
+    expected = [
+        ("lat/ns_op", ["baseline 100", "fresh 140", "limit 130"]),
+        ("thr/mbps", ["baseline 100", "fresh 60", "limit 70"]),
+        ("cnt/events", ["baseline 7", "fresh 8", "drifted"]),
+        ("gone/rows", ["missing from fresh run", "baseline 3"]),
+        ("nul/probe", ["null value", "baseline 50"]),
+    ]
+    problems = []
+    if len(failures) != len(expected):
+        problems.append(f"expected {len(expected)} failures, got "
+                        f"{len(failures)}: {failures}")
+    for row, needles in expected:
+        match = [m for m in failures if m.startswith(row + ":")]
+        if len(match) != 1:
+            problems.append(f"no unique failure for {row}: {failures}")
+            continue
+        for needle in needles:
+            if needle not in match[0]:
+                problems.append(f"{row}: message {match[0]!r} lacks "
+                                f"{needle!r}")
+    # A clean comparison must produce no failures at all.
+    clean = gate(base, base, 0.30)
+    if clean:
+        problems.append(f"identical docs reported failures: {clean}")
+    # Values inside the band must pass.
+    ok_fresh = {"results": [dict(base["results"][0], value=120)]}
+    ok_base = {"results": [base["results"][0]]}
+    if gate(ok_base, ok_fresh, 0.30):
+        problems.append("a +20% wallclock value failed the 30% band")
+    if problems:
+        for p in problems:
+            print(f"selftest: {p}", file=sys.stderr)
+        print("perf_gate selftest FAILED", file=sys.stderr)
+        return 1
+    print("perf_gate selftest passed")
+    return 0
+
+
 def main(argv):
+    if argv and argv[0] == "--selftest":
+        return selftest()
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--baseline", required=True)

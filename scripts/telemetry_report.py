@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Summarize and validate a telemetry JSONL export (sim::Telemetry).
+
+A bench run with `--telemetry-jsonl <path>` (or a watchdog postmortem
+bundle's telemetry.jsonl) holds one JSON object per line, one per series:
+
+    {"name": str, "kind": "counter"|"gauge", "unit": str,
+     "wallclock": bool, "cadence_ns": int, "samples": int,
+     "dropped": int, "monotone_violations": int,
+     "points": [[t_ns, value], ...]}
+
+`points` is the ring-buffer tail: the newest min(samples, ring) samples in
+time order. `samples` counts everything ever sampled; `dropped` counts the
+oldest points the fixed-memory ring overwrote.
+
+The report prints one row per series (kind, unit, points retained/sampled,
+first/last timestamp, last and peak value). Validation enforces what the
+sampler guarantees:
+
+  * timestamps strictly increasing within every series;
+  * at most one sample per cadence interval (the sampler's floor rule:
+    consecutive retained points land in distinct [k*cadence, (k+1)*cadence)
+    buckets -- sample times are event times, not cadence multiples);
+  * counter series non-decreasing across retained points, and
+    monotone_violations == 0;
+  * samples == len(points) + dropped.
+
+Usage:
+    telemetry_report.py telemetry.jsonl [more.jsonl ...]
+
+Exit status 0 iff every file validates. No third-party dependencies.
+"""
+
+import json
+import sys
+
+
+def fail(path, name, msg):
+    print(f"{path}: series {name!r}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_series(path, s):
+    name = s.get("name", "<unnamed>")
+    ok = True
+    for key in ("name", "kind", "unit", "cadence_ns", "samples", "dropped",
+                "monotone_violations", "points"):
+        if key not in s:
+            ok = fail(path, name, f"missing key {key!r}")
+    if not ok:
+        return False
+    points = s["points"]
+    cadence = s["cadence_ns"]
+    if cadence <= 0:
+        ok = fail(path, name, f"cadence_ns = {cadence}, must be positive")
+    if s["samples"] != len(points) + s["dropped"]:
+        ok = fail(path, name,
+                  f"samples = {s['samples']} != retained {len(points)} + "
+                  f"dropped {s['dropped']}")
+    if s["kind"] == "counter" and s["monotone_violations"] != 0:
+        ok = fail(path, name, f"monotone_violations = "
+                              f"{s['monotone_violations']}, counter series "
+                              "must never decrease")
+    prev_t, prev_v = None, None
+    for i, pt in enumerate(points):
+        if not (isinstance(pt, list) and len(pt) == 2):
+            ok = fail(path, name, f"points[{i}] is not a [t, v] pair")
+            continue
+        t, v = pt
+        if prev_t is not None:
+            if t <= prev_t:
+                ok = fail(path, name, f"points[{i}]: t = {t} <= previous "
+                                      f"{prev_t}, timestamps must be "
+                                      "strictly increasing")
+            elif cadence > 0 and t // cadence <= prev_t // cadence:
+                ok = fail(path, name, f"points[{i}]: t = {t} and previous "
+                                      f"{prev_t} share one {cadence} ns "
+                                      "cadence interval (more than one "
+                                      "sample per interval)")
+            if s["kind"] == "counter" and v < prev_v:
+                ok = fail(path, name, f"points[{i}]: counter fell from "
+                                      f"{prev_v} to {v}")
+        prev_t, prev_v = t, v
+    return ok
+
+
+def report_row(s):
+    points = s.get("points", [])
+    first_t = points[0][0] if points else 0
+    last_t = points[-1][0] if points else 0
+    last_v = points[-1][1] if points else 0
+    peak = max((p[1] for p in points), default=0)
+    flags = " wallclock" if s.get("wallclock") else ""
+    print(f"  {s.get('name', '?'):40s} {s.get('kind', '?'):8s} "
+          f"{s.get('unit', '?'):8s} {len(points)}/{s.get('samples', 0)} pts "
+          f"[{first_t}..{last_t}] last={last_v} peak={peak}{flags}")
+
+
+def check_file(path):
+    ok = True
+    series = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    series.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    ok = fail(path, f"line {lineno}", f"not JSON: {e}")
+    except OSError as e:
+        print(f"{path}: unreadable: {e}", file=sys.stderr)
+        return False
+    if not series:
+        print(f"{path}: no series found", file=sys.stderr)
+        return False
+    print(f"{path}: {len(series)} series")
+    for s in series:
+        if not isinstance(s, dict):
+            ok = fail(path, "<line>", "not an object")
+            continue
+        report_row(s)
+        ok = check_series(path, s) and ok
+    if ok:
+        print(f"{path}: OK")
+    return ok
+
+
+def main(argv):
+    if not argv or argv in (["-h"], ["--help"]):
+        print(__doc__)
+        return 2
+    ok = True
+    for path in argv:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -99,6 +99,21 @@ ByzantineReport run_byzantine_scenario(const ByzantineScenarioConfig& cfg) {
     na.set_space_tx_rate(attacker.app_space(), sla);
   }
 
+  if (cfg.telemetry_cadence > 0) {
+    sim::TelemetryConfig tcfg;
+    tcfg.cadence = cfg.telemetry_cadence;
+    world.enable_telemetry(tcfg);
+    // Host A is where the attacker and the bulk sender share the module, so
+    // its counters and the two tenants' demand/occupancy series are the
+    // whole isolation story: attacker demand climbing while victim demand
+    // keeps climbing too is fairness; victim demand flattening is a breach.
+    na.register_telemetry(world.telemetry(), "netio_a");
+    na.register_tenant_telemetry(world.telemetry(), "tenant.attacker",
+                                 attacker.app_space());
+    na.register_tenant_telemetry(world.telemetry(), "tenant.victim",
+                                 bed.user_app_a()->app_space());
+  }
+
   // Wire tap: count frames carrying the forged TCP source port. The
   // template check is the only barrier between a forger and the wire, so
   // this count must stay zero whether or not policing is on.
@@ -315,6 +330,10 @@ ByzantineReport run_byzantine_scenario(const ByzantineScenarioConfig& cfg) {
   rep.attacker_peer_closed = st->peer_closed;
   rep.attacker_peer_close_reason = st->peer_close_reason;
   rep.fault_census = chaos.schedule().dump_json();
+  if (world.telemetry().enabled()) {
+    rep.telemetry = world.telemetry().summaries();
+    rep.telemetry_jsonl = world.telemetry().dump_jsonl();
+  }
 
   std::uint64_t h = 0xcbf29ce484222325ULL;
   h = fnv1a(h, m.dump_json());

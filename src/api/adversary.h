@@ -16,11 +16,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/chaos.h"
 #include "api/testbed.h"
 #include "core/netio_module.h"
 #include "sim/stats.h"
+#include "sim/telemetry.h"
 
 namespace ulnet::api {
 
@@ -75,6 +77,13 @@ struct ByzantineScenarioConfig {
   double solo_mbps = 0;  // 0 = no fairness check
   double min_victim_fraction = 0.5;
   sim::Time deadline = 300 * sim::kSec;
+  // Live telemetry: cadence > 0 samples the host-A module counters plus the
+  // attacker's and victim's per-tenant series (`tenant.<who>.demand_bytes`,
+  // `tenant.<who>.rx_slots`) on the world's sampler, and the report carries
+  // the series summaries and the JSONL export. Off by default: the sampler
+  // never perturbs simulated behaviour, but the dump belongs in benches,
+  // not unit runs.
+  sim::Time telemetry_cadence = 0;
 };
 
 struct ByzantineReport {
@@ -109,6 +118,11 @@ struct ByzantineReport {
   std::uint64_t channels_quarantined = 0;
   bool attacker_peer_closed = false;
   std::string attacker_peer_close_reason;
+  // Sampled time series (only when cfg.telemetry_cadence > 0): per-series
+  // summaries for programmatic checks and the full JSONL export for the
+  // bench artifact.
+  std::vector<sim::Telemetry::Summary> telemetry;
+  std::string telemetry_jsonl;
   // Replay identity over metrics + both netio dumps + the fault census.
   std::uint64_t fingerprint = 0;
   std::string fault_census;

@@ -132,12 +132,15 @@ bool write_text(const std::string& path, const std::string& content) {
   return std::fclose(f) == 0 && ok;
 }
 
+}  // namespace
+
 // Flight recorder: dump everything needed to debug a failed run from
 // artifacts alone. Best-effort -- a write failure must not mask the
 // original invariant violation.
-void write_postmortem(const std::string& dir, const std::string& why,
-                      os::World& world, core::NetIoModule& na,
-                      core::NetIoModule& nb, const ChaosReport& rep) {
+void write_postmortem_bundle(const std::string& dir, const std::string& why,
+                             os::World& world, core::NetIoModule& na,
+                             core::NetIoModule& nb,
+                             const std::string& fault_census) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -152,12 +155,14 @@ void write_postmortem(const std::string& dir, const std::string& why,
   write_text(dir + "/netio_b.json", nb.dump_json());
   write_text(dir + "/profile.json", world.profile_dump_json());
   world.write_profile_folded(dir + "/profile.folded");
-  write_text(dir + "/fault_census.json", rep.fault_census);
+  write_text(dir + "/fault_census.json", fault_census);
+  if (world.telemetry().enabled()) {
+    write_text(dir + "/telemetry.jsonl", world.telemetry().dump_jsonl());
+    write_text(dir + "/telemetry.prom", world.telemetry().dump_prometheus());
+  }
   std::fprintf(stderr, "chaos: invariants failed (%s); postmortem in %s\n",
                why.c_str(), dir.c_str());
 }
-
-}  // namespace
 
 ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   Testbed bed(OrgType::kUserLevel, cfg.link, cfg.seed);
@@ -205,6 +210,39 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
   // The victim flow: vpeer listens and counts; the victim streams until it
   // is killed. Its peer must then observe a clean RST (not a hang).
   auto st = std::make_shared<VictimState>();
+
+  if (cfg.telemetry_cadence > 0) {
+    sim::TelemetryConfig tcfg;
+    tcfg.cadence = cfg.telemetry_cadence;
+    bed.world().enable_telemetry(tcfg);
+    // The victim flow observed from the outside: the watchdog watches bytes
+    // delivered at the peer, not any internal counter, so a wedged victim
+    // shows up as a flat series no matter where the stack hung.
+    bed.world().telemetry().register_gauge(
+        "victim.peer_rcvd",
+        [st] { return static_cast<std::uint64_t>(st->peer_rcvd); }, "bytes");
+    if (cfg.watchdog_no_progress > 0) {
+      bed.world().telemetry().add_no_progress_probe(
+          "victim_progress", "victim.peer_rcvd", cfg.watchdog_no_progress);
+      if (!cfg.postmortem_dir.empty()) {
+        // The probe fires from inside the sampler, mid-run: capture the
+        // stuck state as it happens, not after the deadline expires.
+        os::World* wp = &bed.world();
+        Testbed* bedp = &bed;
+        ChaosController* chaosp = &chaos;
+        const std::string dir = cfg.postmortem_dir;
+        wp->telemetry().set_watchdog_handler(
+            [wp, bedp, chaosp, dir](const std::string&,
+                                    const std::string& reason, sim::Time) {
+              write_postmortem_bundle(dir, reason, *wp,
+                                      bedp->user_org_a()->netio(0),
+                                      bedp->user_org_b()->netio(0),
+                                      chaosp->schedule().dump_json());
+            });
+      }
+    }
+  }
+
   const bool zc_armed = cfg.zerocopy;
   vpeer.run_app([&vpeer, st, zc_armed](sim::TaskCtx&) {
     vpeer.listen(6001, [&vpeer, st, zc_armed](SocketId id) {
@@ -316,6 +354,8 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
                           bed.user_app_a()->repoll_recoveries() +
                           bed.user_app_b()->repoll_recoveries();
   rep.fault_census = chaos.schedule().dump_json();
+  rep.watchdog_triggers = world.telemetry().watchdog_triggers();
+  rep.watchdog_reason = world.telemetry().watchdog_reason();
 
   rep.zerocopy_armed = cfg.zerocopy;
   if (cfg.zerocopy) {
@@ -344,7 +384,10 @@ ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg) {
 
   if (!cfg.postmortem_dir.empty()) {
     const std::string why = rep.failure();
-    if (!why.empty()) write_postmortem(cfg.postmortem_dir, why, world, na, nb, rep);
+    if (!why.empty()) {
+      write_postmortem_bundle(cfg.postmortem_dir, why, world, na, nb,
+                              rep.fault_census);
+    }
   }
   return rep;
 }

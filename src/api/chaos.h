@@ -106,8 +106,20 @@ struct ChaosScenarioConfig {
   // trace (trace.json, Perfetto-loadable), world metrics, both netio dumps,
   // the simulated-CPU profile (JSON + folded stacks), the fault census and
   // the failure string -- so a red chaos run is debuggable from artifacts
-  // alone, without a rerun.
+  // alone, without a rerun. When telemetry is armed the bundle also carries
+  // telemetry.jsonl (the sampled series) and telemetry.prom.
   std::string postmortem_dir;
+  // Live telemetry: cadence > 0 enables the world's time-series sampler for
+  // the run and registers a `victim.peer_rcvd` gauge so the watchdog layer
+  // can observe the victim flow's progress from the outside.
+  sim::Time telemetry_cadence = 0;
+  // Watchdog: window > 0 arms a no-progress probe over `victim.peer_rcvd`
+  // (requires telemetry_cadence > 0). If the sampled series stays flat for
+  // the whole window mid-run -- e.g. the kill landed and reclamation hung
+  // -- the probe fires ONCE and immediately writes the postmortem bundle
+  // into postmortem_dir, capturing the stuck state as it happens rather
+  // than after the deadline.
+  sim::Time watchdog_no_progress = 0;
 };
 
 struct ChaosReport {
@@ -146,6 +158,12 @@ struct ChaosReport {
   std::uint64_t loans_outstanding_end = 0;
   std::uint64_t loans_reclaimed = 0;
   std::uint64_t loan_high_water = 0;
+  // Watchdog accounting (only meaningful when cfg.watchdog_no_progress was
+  // set): how many probes fired and the first firing's reason string. A
+  // fired watchdog is expected for schedules that wedge the victim flow; it
+  // is diagnostic, not an invariant failure.
+  std::uint64_t watchdog_triggers = 0;
+  std::string watchdog_reason;
   // Replay identity: FNV-1a over world metrics + both netio dumps + the
   // fault census. Two runs of the same (seed, config) must match exactly.
   std::uint64_t fingerprint = 0;
@@ -158,5 +176,16 @@ struct ChaosReport {
 };
 
 ChaosReport run_chaos_scenario(const ChaosScenarioConfig& cfg);
+
+// Flight-recorder bundle writer, shared by the end-of-run invariant check
+// and the mid-run telemetry watchdog. Writes failure.txt, trace.json,
+// metrics.json, netio_{a,b}.json, profile.json/.folded and
+// fault_census.json into `dir`; when the world's telemetry sampler is
+// enabled it also writes telemetry.jsonl and telemetry.prom. Best-effort:
+// a write failure must not mask the original violation.
+void write_postmortem_bundle(const std::string& dir, const std::string& why,
+                             os::World& world, core::NetIoModule& na,
+                             core::NetIoModule& nb,
+                             const std::string& fault_census);
 
 }  // namespace ulnet::api

@@ -121,6 +121,15 @@ FabricBed::FabricBed(os::PartitionMode mode, const FabricConfig& cfg)
     pr.clients.resize(conns);
     pairs_.push_back(std::move(pair));
   }
+
+  // After the topology: enable_telemetry snapshots the partition layout to
+  // pick its sampling sources, so every host must already exist.
+  if (cfg.telemetry_cadence > 0) {
+    sim::TelemetryConfig tcfg2;
+    tcfg2.cadence = cfg.telemetry_cadence;
+    tcfg2.ring_capacity = cfg.telemetry_capacity;
+    world_->enable_telemetry(tcfg2);
+  }
 }
 
 FabricBed::~FabricBed() = default;

@@ -47,6 +47,14 @@ struct FabricConfig {
   bool reserve_tables = true;     // pre-size demux/loan/conn tables
   bool chaos = false;             // loss/dup/corrupt/jitter on every link
   bool trace = false;             // per-host tracers on (fingerprinted)
+  // Live telemetry: cadence > 0 enables the world's time-series sampler
+  // over the executor (windows, lookahead, mailbox depth, per-worker
+  // busy/stall wallclock), the event loops and the packet pools. Sampling
+  // happens at window barriers on the main thread, so the simulated series
+  // are bit-identical across executors and thread counts; the wallclock
+  // series are flagged and excluded from determinism comparisons.
+  sim::Time telemetry_cadence = 0;
+  std::size_t telemetry_capacity = 512;  // ring slots per series
 };
 
 class FabricBed {
@@ -57,6 +65,7 @@ class FabricBed {
   ~FabricBed();
 
   os::World& world() { return *world_; }
+  sim::Telemetry& telemetry() { return world_->telemetry(); }
   [[nodiscard]] const FabricConfig& config() const { return cfg_; }
   [[nodiscard]] int total_conns() const {
     return cfg_.pairs * cfg_.conns_per_pair;

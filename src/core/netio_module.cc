@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/json_writer.h"
+
 #include "core/exec_env.h"
 
 namespace ulnet::core {
@@ -218,12 +220,11 @@ const NetIoModule::ChannelStats* NetIoModule::channel_stats(
 }
 
 std::string NetIoModule::dump_json() const {
-  std::string out;
-  char buf[1024];
-  std::snprintf(buf, sizeof buf,
-                "{\"interface\":%d,\"an1\":%s,\"channels\":[", ifc_,
-                an1_ ? "true" : "false");
-  out += buf;
+  sim::JsonWriter w;
+  w.begin_object();
+  w.field("interface", ifc_);
+  w.field("an1", an1_);
+  w.key("channels").begin_array();
 
   // unordered_map iteration order is not deterministic; emit by id so the
   // dump of a given run is byte-stable.
@@ -233,82 +234,101 @@ std::string NetIoModule::dump_json() const {
   std::sort(ordered.begin(), ordered.end(),
             [](const Channel* a, const Channel* b) { return a->id < b->id; });
 
-  bool first = true;
   for (const Channel* ch : ordered) {
-    if (!first) out += ',';
-    first = false;
     const ChannelStats& s = ch->stats;
-    std::snprintf(
-        buf, sizeof buf,
-        "{\"id\":%u,\"app_space\":%d,\"raw\":%s,"
-        "\"local\":\"%s:%u\",\"remote\":\"%s:%u\",\"ip_proto\":%u,"
-        "\"rx_bqi\":%u,\"ring_capacity\":%d,\"ring_depth\":%zu,"
-        "\"delivered\":%llu,\"bytes_rx\":%llu,\"ring_drops\":%llu,"
-        "\"max_ring_depth\":%llu,\"sends\":%llu,\"bytes_tx\":%llu,"
-        "\"send_rejects\":%llu,\"signals\":%llu,"
-        "\"signals_suppressed\":%llu,\"forgery_strikes\":%llu,"
-        "\"quarantined\":%s}",
-        ch->id, ch->app_space, ch->raw ? "true" : "false",
-        net::Ipv4Addr{ch->flow.local_ip}.to_string().c_str(),
-        ch->flow.local_port,
-        net::Ipv4Addr{ch->flow.remote_ip}.to_string().c_str(),
-        ch->flow.remote_port, ch->flow.ip_proto, ch->rx_bqi,
-        ch->ring_capacity, ch->ring.size(),
-        static_cast<unsigned long long>(s.delivered),
-        static_cast<unsigned long long>(s.bytes_rx),
-        static_cast<unsigned long long>(s.ring_drops),
-        static_cast<unsigned long long>(s.max_ring_depth),
-        static_cast<unsigned long long>(s.sends),
-        static_cast<unsigned long long>(s.bytes_tx),
-        static_cast<unsigned long long>(s.send_rejects),
-        static_cast<unsigned long long>(s.signals),
-        static_cast<unsigned long long>(s.signals_suppressed),
-        static_cast<unsigned long long>(s.forgery_strikes),
-        ch->quarantined ? "true" : "false");
-    out += buf;
+    w.begin_object();
+    w.field("id", ch->id);
+    w.field("app_space", ch->app_space);
+    w.field("raw", ch->raw);
+    w.field("local", net::Ipv4Addr{ch->flow.local_ip}.to_string() + ":" +
+                         std::to_string(ch->flow.local_port));
+    w.field("remote", net::Ipv4Addr{ch->flow.remote_ip}.to_string() + ":" +
+                          std::to_string(ch->flow.remote_port));
+    w.field("ip_proto", static_cast<std::uint32_t>(ch->flow.ip_proto));
+    w.field("rx_bqi", static_cast<std::uint32_t>(ch->rx_bqi));
+    w.field("ring_capacity", ch->ring_capacity);
+    w.field("ring_depth", static_cast<std::uint64_t>(ch->ring.size()));
+    w.field("delivered", s.delivered);
+    w.field("bytes_rx", s.bytes_rx);
+    w.field("ring_drops", s.ring_drops);
+    w.field("max_ring_depth", s.max_ring_depth);
+    w.field("sends", s.sends);
+    w.field("bytes_tx", s.bytes_tx);
+    w.field("send_rejects", s.send_rejects);
+    w.field("signals", s.signals);
+    w.field("signals_suppressed", s.signals_suppressed);
+    w.field("forgery_strikes", s.forgery_strikes);
+    w.field("quarantined", ch->quarantined);
+    w.end_object();
   }
+  w.end_array();
 
-  std::snprintf(
-      buf, sizeof buf,
-      "],\"totals\":{\"delivered\":%llu,\"ring_drops\":%llu,"
-      "\"sends\":%llu,\"send_rejects\":%llu,\"signals_suppressed\":%llu,"
-      "\"demux_hash_hits\":%llu,\"demux_fallback_walks\":%llu,"
-      "\"demux_trie_hits\":%llu,\"demux_trie_rebuilds\":%llu,"
-      "\"demux_diff_mismatches\":%llu,"
-      "\"default_deliveries\":%llu,\"unclaimed_drops\":%llu,"
-      "\"tx_backpressure\":%llu,\"channels_reclaimed\":%llu,"
-      "\"buffers_reclaimed\":%llu,\"tx_gather_frames\":%llu,"
-      "\"tenant_tx_policed\":%llu,\"tenant_ring_quota_hits\":%llu,"
-      "\"tenant_loan_budget_hits\":%llu,\"forgery_strikes\":%llu,"
-      "\"tenant_quarantines\":%llu}",
-      static_cast<unsigned long long>(counters_.delivered),
-      static_cast<unsigned long long>(counters_.ring_drops),
-      static_cast<unsigned long long>(counters_.sends),
-      static_cast<unsigned long long>(counters_.send_rejects),
-      static_cast<unsigned long long>(counters_.signals_suppressed),
-      static_cast<unsigned long long>(counters_.demux_hash_hits),
-      static_cast<unsigned long long>(counters_.demux_fallback_walks),
-      static_cast<unsigned long long>(counters_.demux_trie_hits),
-      static_cast<unsigned long long>(counters_.demux_trie_rebuilds),
-      static_cast<unsigned long long>(counters_.demux_diff_mismatches),
-      static_cast<unsigned long long>(counters_.default_deliveries),
-      static_cast<unsigned long long>(counters_.unclaimed_drops),
-      static_cast<unsigned long long>(counters_.tx_backpressure),
-      static_cast<unsigned long long>(counters_.channels_reclaimed),
-      static_cast<unsigned long long>(counters_.buffers_reclaimed),
-      static_cast<unsigned long long>(counters_.tx_gather_frames),
-      static_cast<unsigned long long>(counters_.tenant_tx_policed),
-      static_cast<unsigned long long>(counters_.tenant_ring_quota_hits),
-      static_cast<unsigned long long>(counters_.tenant_loan_budget_hits),
-      static_cast<unsigned long long>(counters_.forgery_strikes),
-      static_cast<unsigned long long>(counters_.tenant_quarantines));
-  out += buf;
-  out += ",\"hist\":{\"ring_residency_ns\":";
-  out += ring_hist_.dump_json();
-  out += ",\"wakeup_latency_ns\":";
-  out += wakeup_hist_.dump_json();
-  out += "}}";
-  return out;
+  w.key("totals").begin_object();
+  w.field("delivered", counters_.delivered);
+  w.field("ring_drops", counters_.ring_drops);
+  w.field("sends", counters_.sends);
+  w.field("send_rejects", counters_.send_rejects);
+  w.field("signals_suppressed", counters_.signals_suppressed);
+  w.field("demux_hash_hits", counters_.demux_hash_hits);
+  w.field("demux_fallback_walks", counters_.demux_fallback_walks);
+  w.field("demux_trie_hits", counters_.demux_trie_hits);
+  w.field("demux_trie_rebuilds", counters_.demux_trie_rebuilds);
+  w.field("demux_diff_mismatches", counters_.demux_diff_mismatches);
+  w.field("default_deliveries", counters_.default_deliveries);
+  w.field("unclaimed_drops", counters_.unclaimed_drops);
+  w.field("tx_backpressure", counters_.tx_backpressure);
+  w.field("channels_reclaimed", counters_.channels_reclaimed);
+  w.field("buffers_reclaimed", counters_.buffers_reclaimed);
+  w.field("tx_gather_frames", counters_.tx_gather_frames);
+  w.field("tenant_tx_policed", counters_.tenant_tx_policed);
+  w.field("tenant_ring_quota_hits", counters_.tenant_ring_quota_hits);
+  w.field("tenant_loan_budget_hits", counters_.tenant_loan_budget_hits);
+  w.field("forgery_strikes", counters_.forgery_strikes);
+  w.field("tenant_quarantines", counters_.tenant_quarantines);
+  w.end_object();
+
+  w.key("hist").begin_object();
+  w.field_raw("ring_residency_ns", ring_hist_.dump_json());
+  w.field_raw("wakeup_latency_ns", wakeup_hist_.dump_json());
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::uint64_t NetIoModule::total_ring_depth() const {
+  std::uint64_t depth = 0;
+  for (const auto& [id, ch] : channels_) depth += ch.ring.size();
+  return depth;
+}
+
+void NetIoModule::register_telemetry(sim::Telemetry& t,
+                                     const std::string& prefix) {
+  demand_tracking_ = true;
+  t.register_counter(prefix + ".delivered",
+                     [this] { return counters_.delivered; }, "packets");
+  t.register_counter(prefix + ".sends", [this] { return counters_.sends; },
+                     "packets");
+  t.register_counter(prefix + ".ring_drops",
+                     [this] { return counters_.ring_drops; }, "packets");
+  t.register_counter(prefix + ".tx_backpressure",
+                     [this] { return counters_.tx_backpressure; }, "sends");
+  t.register_counter(prefix + ".tenant_tx_policed",
+                     [this] { return counters_.tenant_tx_policed; }, "sends");
+  t.register_gauge(prefix + ".ring_depth",
+                   [this] { return total_ring_depth(); }, "packets");
+}
+
+void NetIoModule::register_tenant_telemetry(sim::Telemetry& t,
+                                            const std::string& name,
+                                            sim::SpaceId space) {
+  demand_tracking_ = true;
+  t.register_counter(name + ".demand_bytes",
+                     [this, space] { return tx_demand_bytes(space); },
+                     "bytes");
+  t.register_gauge(name + ".rx_slots", [this, space] {
+    const std::int64_t slots = space_rx_slots(space);
+    return slots > 0 ? static_cast<std::uint64_t>(slots) : 0;
+  }, "slots");
 }
 
 // ---------------------------------------------------------------------------
@@ -402,6 +422,10 @@ NetIoModule::SendStatus NetIoModule::channel_send_status(
     dst = dst_override;
   }
 
+  // Validated intent: everything from here on (policer refusal included)
+  // counts toward the tenant's demand series.
+  if (demand_tracking_) tx_demand_bytes_[ch->app_space] += payload.size();
+
   // The token-bucket policer sits between validation and the device: a
   // policed send is a policy refusal (kBackpressure -- honest libraries
   // back off and retry; a flood is simply refused at the tenant's rate).
@@ -480,6 +504,10 @@ NetIoModule::SendStatus NetIoModule::channel_send_gather(
       note_forgery_strike(ctx, *ch);
     }
     return SendStatus::kRejected;
+  }
+
+  if (demand_tracking_) {
+    tx_demand_bytes_[ch->app_space] += headers.size() + payload.size();
   }
 
   if (policy_.enabled &&

@@ -34,6 +34,7 @@
 #include "os/host.h"
 #include "os/semaphore.h"
 #include "sim/histogram.h"
+#include "sim/telemetry.h"
 
 namespace ulnet::core {
 
@@ -319,6 +320,28 @@ class NetIoModule {
   // totals and the per-stage latency histograms, as one JSON object.
   [[nodiscard]] std::string dump_json() const;
 
+  // ---- Live telemetry -------------------------------------------------
+  // Register the module's time-series probes under `<prefix>.`: delivery /
+  // send / drop counters plus a live ring-occupancy gauge (total packets
+  // resident across all shared rings). Also turns on per-tenant demand
+  // tracking (below).
+  void register_telemetry(sim::Telemetry& t, const std::string& prefix);
+  // Register one tenant's series under `<name>.`: attempted-TX demand in
+  // bytes (counted before the policer, so it measures what the tenant
+  // *wants*, the input adaptive policing needs) and the RX slots the space
+  // holds right now.
+  void register_tenant_telemetry(sim::Telemetry& t, const std::string& name,
+                                 sim::SpaceId space);
+  // Demand accounting is off by default so the send hot path stays
+  // untouched; register_telemetry enables it.
+  void set_demand_tracking(bool on) { demand_tracking_ = on; }
+  [[nodiscard]] std::uint64_t tx_demand_bytes(sim::SpaceId space) const {
+    const auto it = tx_demand_bytes_.find(space);
+    return it == tx_demand_bytes_.end() ? 0 : it->second;
+  }
+  // Packets resident across all shared rings right now.
+  [[nodiscard]] std::uint64_t total_ring_depth() const;
+
   // Per-stage latency histograms (nanoseconds), always on:
   // shared-ring residency (deliver -> library pop)...
   [[nodiscard]] const sim::Histogram& ring_residency_hist() const {
@@ -448,6 +471,8 @@ class NetIoModule {
   QuarantineHandler quarantine_handler_;
   std::unordered_map<sim::SpaceId, TenantAccount> accounts_;
   std::unordered_map<sim::SpaceId, std::uint64_t> tx_rate_overrides_;
+  bool demand_tracking_ = false;
+  std::unordered_map<sim::SpaceId, std::uint64_t> tx_demand_bytes_;
   ChannelId next_id_ = 1;
 };
 

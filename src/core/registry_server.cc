@@ -528,6 +528,9 @@ void RegistryServer::queue_finish_setup(proto::TcpConnection* conn,
   host_.cpu().submit(space_, sim::Prio::kNormal, [this](sim::TaskCtx& ctx) {
     sweep_scheduled_ = false;
     handshake_sweeps_++;
+    // Mirrored into the world-level metrics dump so the telemetry/watchdog
+    // layer can observe sweep behavior without reaching into the registry.
+    host_.cpu().metrics().registry_handshake_sweeps++;
     std::vector<std::pair<proto::TcpConnection*, PendingConn>> batch;
     batch.swap(setup_queue_);
     for (auto& [c, pend] : batch) finish_setup(ctx, c, std::move(pend));

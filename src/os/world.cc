@@ -1,6 +1,7 @@
 #include "os/world.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -178,6 +179,10 @@ void World::drain_mailboxes() {
   std::vector<Pending> merged;
   for (auto& mbp : mailboxes_) {
     Mailbox& mb = *mbp;
+    if (mb.entries.size() > exec_.mailbox_depth_hw) {
+      exec_.mailbox_depth_hw = mb.entries.size();
+    }
+    exec_.mailbox_entries += mb.entries.size();
     for (auto& e : mb.entries) {
       merged.push_back(Pending{std::move(e), mb.src_ord, &mb});
     }
@@ -215,16 +220,35 @@ std::uint64_t World::run_parallel(int threads, sim::Time until) {
   }
 
   const sim::Time lookahead = mailbox_lookahead();
+  exec_.lookahead_ns = static_cast<std::uint64_t>(lookahead);
+  // Wall-clock introspection (per-partition busy, barrier stall) is only
+  // measured while telemetry is on; the steady_clock reads would otherwise
+  // be pure overhead. The simulated results are identical either way.
+  const bool timed = telemetry_.enabled();
+  if (timed) {
+    exec_.part_busy_ns.resize(parts_.size(), 0);
+    exec_.part_stall_ns.resize(parts_.size(), 0);
+  }
   std::vector<std::uint64_t> executed(parts_.size(), 0);
   sim::Time window_end = 0;  // published to workers by the pool's barrier
   const std::function<void(std::size_t)> window_task =
-      [this, &executed, &window_end](std::size_t i) {
+      [this, &executed, &window_end, timed](std::size_t i) {
         // run_until(end - 1) executes every event with when <= end - 1 and
         // pins the partition clock to end - 1, strictly before any mailbox
         // arrival (>= end), so barrier-time scheduling never goes backward.
-        executed[i] += parts_[i]->loop.run_until(window_end - 1);
+        if (timed) {
+          const auto t0 = std::chrono::steady_clock::now();
+          executed[i] += parts_[i]->loop.run_until(window_end - 1);
+          exec_.part_busy_ns[i] += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        } else {
+          executed[i] += parts_[i]->loop.run_until(window_end - 1);
+        }
       };
 
+  std::vector<std::uint64_t> busy_before;
   for (;;) {
     drain_mailboxes();
     sim::Time w = sim::EventLoop::kForever;
@@ -232,8 +256,28 @@ std::uint64_t World::run_parallel(int threads, sim::Time until) {
       w = std::min(w, p->loop.next_event_time());
     }
     if (w == sim::EventLoop::kForever || w > until) break;
+    // Sample on the main thread at the window base: both sharded executors
+    // see the identical sequence of window bases, so simulated series are
+    // bit-identical at any thread count.
+    telemetry_.sample_if_due(w);
+    exec_.windows++;
     window_end = std::min(w + lookahead, until + 1);
-    workers_->run(window_task, parts_.size());
+    if (timed) {
+      busy_before = exec_.part_busy_ns;
+      const auto t0 = std::chrono::steady_clock::now();
+      workers_->run(window_task, parts_.size());
+      const auto wall = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      exec_.window_wall_ns += wall;
+      for (std::size_t i = 0; i < parts_.size(); ++i) {
+        const std::uint64_t busy = exec_.part_busy_ns[i] - busy_before[i];
+        exec_.part_stall_ns[i] += wall > busy ? wall - busy : 0;
+      }
+    } else {
+      workers_->run(window_task, parts_.size());
+    }
   }
 
   std::uint64_t total = 0;
@@ -257,15 +301,136 @@ std::uint64_t World::run_serial(sim::Time until) {
                                              : loop_.run_until(until);
   }
   const sim::Time lookahead = mailbox_lookahead();
+  exec_.lookahead_ns = static_cast<std::uint64_t>(lookahead);
   std::uint64_t executed = 0;
   for (;;) {
     drain_mailboxes();
     const sim::Time w = loop_.next_event_time();
     if (w == sim::EventLoop::kForever || w > until) break;
+    // Same sampling point as run_parallel (the window base), so the serial
+    // reference produces the identical simulated series.
+    telemetry_.sample_if_due(w);
+    exec_.windows++;
     executed += loop_.run_until(std::min(w + lookahead, until + 1) - 1);
   }
   if (until != sim::EventLoop::kForever) executed += loop_.run_until(until);
   return executed;
+}
+
+void World::enable_telemetry(const sim::TelemetryConfig& cfg) {
+  telemetry_.configure(cfg);
+  telemetry_.set_enabled(true);
+
+  // World-level mechanism counters. In kNone mode metrics_ is the one
+  // metrics object; sharded modes observe the deterministic field-wise sum
+  // over shards.
+  auto world_counter = [this](const char* name,
+                              std::uint64_t sim::Metrics::* field,
+                              const char* unit) {
+    if (mode_ == PartitionMode::kNone) {
+      telemetry_.register_counter(name, [this, field] {
+        return metrics_.*field;
+      }, unit);
+    } else {
+      telemetry_.register_counter(name, [this, field] {
+        return aggregate_metrics().*field;
+      }, unit);
+    }
+  };
+  world_counter("world.packets_rx", &sim::Metrics::packets_rx, "packets");
+  world_counter("world.packets_tx", &sim::Metrics::packets_tx, "packets");
+  world_counter("world.registry_handshake_sweeps",
+                &sim::Metrics::registry_handshake_sweeps, "sweeps");
+
+  // Event-loop introspection: live timer population (the ROADMAP's
+  // timer-wheel question), executed-event and cancel counters.
+  auto loop_series = [this](const std::string& prefix, sim::EventLoop* l) {
+    telemetry_.register_gauge(prefix + ".pending", [l] {
+      return static_cast<std::uint64_t>(l->pending());
+    }, "events");
+    telemetry_.register_counter(prefix + ".executed",
+                                [l] { return l->executed(); }, "events");
+    telemetry_.register_counter(prefix + ".cancels",
+                                [l] { return l->cancels(); }, "events");
+  };
+  // Packet-pool residency per shard (or globally in kNone).
+  auto pool_series = [this](const std::string& prefix, buf::PacketPool* p,
+                            const sim::Metrics* m) {
+    telemetry_.register_gauge(prefix + ".resident_bytes", [p] {
+      return static_cast<std::uint64_t>(p->resident_bytes());
+    }, "bytes");
+    telemetry_.register_gauge(prefix + ".loans_outstanding", [m] {
+      return m->loans_outstanding;
+    }, "loans");
+  };
+
+  if (mode_ == PartitionMode::kNone) {
+    loop_series("loop", &loop_);
+    pool_series("pool", &pool_, &metrics_);
+    // Drive sampling from the loop's tick hook: observes between events,
+    // schedules nothing, so the event sequence is untouched.
+    loop_.set_tick_hook(telemetry_.config().cadence, [this](sim::Time t) {
+      telemetry_.sample_if_due(t);
+    });
+    return;
+  }
+
+  // Sharded modes sample at the window barrier (run_serial/run_parallel);
+  // both executors see the same window bases, so simulated series are
+  // bit-identical at any thread count.
+  if (mode_ == PartitionMode::kShardedSerial) {
+    loop_series("loop", &loop_);
+  } else {
+    // Aggregate across the per-partition loops so the series carries the
+    // same name and values as the serial reference's single global loop:
+    // the totals are executor-independent, only their spread across loops
+    // is not, and a divergent series set would defeat the serial-vs-
+    // partitioned equality gate.
+    telemetry_.register_gauge("loop.pending", [this] {
+      std::uint64_t n = 0;
+      for (const auto& p : parts_) n += p->loop.pending();
+      return n;
+    }, "events");
+    telemetry_.register_counter("loop.executed", [this] {
+      std::uint64_t n = 0;
+      for (const auto& p : parts_) n += p->loop.executed();
+      return n;
+    }, "events");
+    telemetry_.register_counter("loop.cancels", [this] {
+      std::uint64_t n = 0;
+      for (const auto& p : parts_) n += p->loop.cancels();
+      return n;
+    }, "events");
+  }
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const std::string ord = std::to_string(i);
+    pool_series("pool" + ord, &parts_[i]->pool, &parts_[i]->metrics);
+  }
+  telemetry_.register_counter("exec.windows", &exec_.windows, "windows");
+  telemetry_.register_gauge("exec.lookahead_ns",
+                            [this] { return exec_.lookahead_ns; }, "ns");
+  telemetry_.register_counter("exec.mailbox_entries", &exec_.mailbox_entries,
+                              "frames");
+  telemetry_.register_gauge("exec.mailbox_depth_hw",
+                            [this] { return exec_.mailbox_depth_hw; },
+                            "frames");
+  if (mode_ == PartitionMode::kPartitioned) {
+    // Wall-clock executor health: how much of each window each partition
+    // spent running vs. stalled at the barrier. Host-dependent, so marked
+    // wallclock and excluded from the determinism contract.
+    telemetry_.register_counter("exec.window_wall_ns", [this] {
+      return exec_.window_wall_ns;
+    }, "ns", /*wallclock=*/true);
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      const std::string ord = std::to_string(i);
+      telemetry_.register_counter("exec.part" + ord + ".busy_ns", [this, i] {
+        return i < exec_.part_busy_ns.size() ? exec_.part_busy_ns[i] : 0;
+      }, "ns", /*wallclock=*/true);
+      telemetry_.register_counter("exec.part" + ord + ".stall_ns", [this, i] {
+        return i < exec_.part_stall_ns.size() ? exec_.part_stall_ns[i] : 0;
+      }, "ns", /*wallclock=*/true);
+    }
+  }
 }
 
 sim::Metrics World::aggregate_metrics() const {

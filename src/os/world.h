@@ -38,6 +38,7 @@
 #include "sim/event_loop.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
+#include "sim/telemetry.h"
 #include "sim/trace.h"
 
 namespace ulnet::os {
@@ -259,6 +260,35 @@ class World {
     return parts_;
   }
 
+  // ---- Live telemetry --------------------------------------------------
+  // Executor introspection counters, cheap enough to maintain always
+  // (plain uint64 adds on the barrier path; zero per-event cost). Windows
+  // and mailbox counts are simulated-deterministic; the *_wall_ns fields
+  // are host wall-clock and only maintained while telemetry is enabled.
+  struct ExecStats {
+    std::uint64_t windows = 0;            // barrier windows executed
+    std::uint64_t lookahead_ns = 0;       // lookahead in use (0 until run)
+    std::uint64_t mailbox_entries = 0;    // cross-host frames drained
+    std::uint64_t mailbox_depth_hw = 0;   // max per-link depth at any drain
+    std::uint64_t window_wall_ns = 0;     // wall time inside window barriers
+    std::vector<std::uint64_t> part_busy_ns;   // per-partition wall busy
+    std::vector<std::uint64_t> part_stall_ns;  // window wall - busy
+  };
+  [[nodiscard]] const ExecStats& exec_stats() const { return exec_; }
+
+  // Turn on the time-series sampler and register the world's built-in
+  // probes: per-loop timer population / executed / cancels, per-pool
+  // resident bytes and loans outstanding, world-level packet and sweep
+  // counters, and (in sharded modes) the executor window/mailbox series
+  // plus per-partition wall-clock busy/stall. Call after the topology is
+  // built (hosts and links wired). Sampling is driven from the event-loop
+  // tick hook in kNone mode and from the window barrier in sharded modes;
+  // neither schedules events, so enabling telemetry leaves the simulation
+  // bit-identical. Scenario layers add their own probes via telemetry().
+  void enable_telemetry(const sim::TelemetryConfig& cfg);
+  sim::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const sim::Telemetry& telemetry() const { return telemetry_; }
+
   // Global metrics plus every shard, summed field-wise. Gauge/high-water
   // fields become sums over shards -- not a true global high-water, but
   // deterministic and identical across executors, which is what the
@@ -316,6 +346,8 @@ class World {
   std::unique_ptr<WorkerPool> workers_;
   int worker_threads_ = 0;
   std::uint16_t next_mac_index_ = 1;
+  sim::Telemetry telemetry_;
+  ExecStats exec_;
 };
 
 }  // namespace ulnet::os

@@ -6,6 +6,8 @@
 #include <tuple>
 #include <vector>
 
+#include "sim/json_writer.h"
+
 namespace ulnet::proto {
 
 const char* to_string(TcpState s) {
@@ -1675,51 +1677,50 @@ void TcpConnection::rtt_sample(sim::Time measured) {
 // ---------------------------------------------------------------------------
 
 std::string TcpConnection::dump_json() const {
-  char buf[1536];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"local\":\"%s:%u\",\"remote\":\"%s:%u\",\"state\":\"%s\","
-      "\"mss\":%zu,\"srtt_us\":%lld,\"rttvar_us\":%lld,\"rto_us\":%lld,"
-      "\"cwnd\":%zu,\"ssthresh\":%zu,\"snd_wnd\":%llu,\"flight\":%zu,"
-      "\"snd_buf_depth\":%zu,\"rcv_queue_depth\":%zu,\"ooo_bytes\":%zu,"
-      "\"stats\":{\"segments_in\":%llu,\"segments_out\":%llu,"
-      "\"bytes_in\":%llu,\"bytes_out\":%llu,\"retransmits\":%llu,"
-      "\"fast_retransmits\":%llu,\"timeouts\":%llu,\"dup_acks_in\":%llu,"
-      "\"out_of_order\":%llu,\"persists\":%llu,\"rtt_samples\":%llu,"
-      "\"state_transitions\":%llu,\"fast_path_acks\":%llu,"
-      "\"fast_path_data\":%llu,\"cwnd_max\":%llu,\"snd_wnd_max\":%llu,"
-      "\"snd_buf_max\":%llu,\"rcv_queue_max\":%llu,\"ooo_bytes_max\":%llu}",
-      local_ip_.to_string().c_str(), local_port_,
-      remote_ip_.to_string().c_str(), remote_port_, to_string(state_), mss_,
-      static_cast<long long>(srtt_ / 1000),
-      static_cast<long long>(rttvar_ / 1000),
-      static_cast<long long>(rto_ / 1000), cwnd_, ssthresh_,
-      static_cast<unsigned long long>(snd_wnd_), flight_size(),
-      snd_len(), rcv_buffered(), ooo_bytes_,
-      static_cast<unsigned long long>(stats_.segments_in),
-      static_cast<unsigned long long>(stats_.segments_out),
-      static_cast<unsigned long long>(stats_.bytes_in),
-      static_cast<unsigned long long>(stats_.bytes_out),
-      static_cast<unsigned long long>(stats_.retransmits),
-      static_cast<unsigned long long>(stats_.fast_retransmits),
-      static_cast<unsigned long long>(stats_.timeouts),
-      static_cast<unsigned long long>(stats_.dup_acks_in),
-      static_cast<unsigned long long>(stats_.out_of_order),
-      static_cast<unsigned long long>(stats_.persists),
-      static_cast<unsigned long long>(stats_.rtt_samples),
-      static_cast<unsigned long long>(stats_.state_transitions),
-      static_cast<unsigned long long>(stats_.fast_path_acks),
-      static_cast<unsigned long long>(stats_.fast_path_data),
-      static_cast<unsigned long long>(stats_.cwnd_max),
-      static_cast<unsigned long long>(stats_.snd_wnd_max),
-      static_cast<unsigned long long>(stats_.snd_buf_max),
-      static_cast<unsigned long long>(stats_.rcv_queue_max),
-      static_cast<unsigned long long>(stats_.ooo_bytes_max));
-  std::string out = buf;
-  out += ",\"hist\":{\"rtt_ns\":";
-  out += rtt_hist().dump_json();
-  out += "}}";
-  return out;
+  sim::JsonWriter w;
+  w.begin_object();
+  w.field("local",
+          local_ip_.to_string() + ":" + std::to_string(local_port_));
+  w.field("remote",
+          remote_ip_.to_string() + ":" + std::to_string(remote_port_));
+  w.field("state", to_string(state_));
+  w.field("mss", static_cast<std::uint64_t>(mss_));
+  w.field("srtt_us", static_cast<std::int64_t>(srtt_ / 1000));
+  w.field("rttvar_us", static_cast<std::int64_t>(rttvar_ / 1000));
+  w.field("rto_us", static_cast<std::int64_t>(rto_ / 1000));
+  w.field("cwnd", static_cast<std::uint64_t>(cwnd_));
+  w.field("ssthresh", static_cast<std::uint64_t>(ssthresh_));
+  w.field("snd_wnd", static_cast<std::uint64_t>(snd_wnd_));
+  w.field("flight", static_cast<std::uint64_t>(flight_size()));
+  w.field("snd_buf_depth", static_cast<std::uint64_t>(snd_len()));
+  w.field("rcv_queue_depth", static_cast<std::uint64_t>(rcv_buffered()));
+  w.field("ooo_bytes", static_cast<std::uint64_t>(ooo_bytes_));
+  w.key("stats").begin_object();
+  w.field("segments_in", stats_.segments_in);
+  w.field("segments_out", stats_.segments_out);
+  w.field("bytes_in", stats_.bytes_in);
+  w.field("bytes_out", stats_.bytes_out);
+  w.field("retransmits", stats_.retransmits);
+  w.field("fast_retransmits", stats_.fast_retransmits);
+  w.field("timeouts", stats_.timeouts);
+  w.field("dup_acks_in", stats_.dup_acks_in);
+  w.field("out_of_order", stats_.out_of_order);
+  w.field("persists", stats_.persists);
+  w.field("rtt_samples", stats_.rtt_samples);
+  w.field("state_transitions", stats_.state_transitions);
+  w.field("fast_path_acks", stats_.fast_path_acks);
+  w.field("fast_path_data", stats_.fast_path_data);
+  w.field("cwnd_max", stats_.cwnd_max);
+  w.field("snd_wnd_max", stats_.snd_wnd_max);
+  w.field("snd_buf_max", stats_.snd_buf_max);
+  w.field("rcv_queue_max", stats_.rcv_queue_max);
+  w.field("ooo_bytes_max", stats_.ooo_bytes_max);
+  w.end_object();
+  w.key("hist").begin_object();
+  w.field_raw("rtt_ns", rtt_hist().dump_json());
+  w.end_object();
+  w.end_object();
+  return w.take();
 }
 
 std::string TcpModule::dump_json() const {
@@ -1735,46 +1736,37 @@ std::string TcpModule::dump_json() const {
                                 b->remote_ip().value, b->local_ip().value);
             });
 
-  std::string out = "{\"connections\":[";
-  for (std::size_t i = 0; i < ordered.size(); ++i) {
-    if (i > 0) out += ',';
-    out += ordered[i]->dump_json();
-  }
-  out += "],\"counters\":{";
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "\"segments_sent\":%llu,\"segments_received\":%llu,"
-      "\"bytes_sent\":%llu,\"bytes_received\":%llu,\"retransmits\":%llu,"
-      "\"fast_retransmits\":%llu,\"timeouts\":%llu,\"dup_acks_in\":%llu,"
-      "\"pure_acks_sent\":%llu,\"delayed_acks\":%llu,\"bad_checksum\":%llu,"
-      "\"out_of_order\":%llu,\"rst_sent\":%llu,\"rst_received\":%llu,"
-      "\"persists\":%llu,\"conns_opened\":%llu,\"conns_accepted\":%llu,"
-      "\"fast_path_acks\":%llu,\"fast_path_data\":%llu",
-      static_cast<unsigned long long>(counters_.segments_sent),
-      static_cast<unsigned long long>(counters_.segments_received),
-      static_cast<unsigned long long>(counters_.bytes_sent),
-      static_cast<unsigned long long>(counters_.bytes_received),
-      static_cast<unsigned long long>(counters_.retransmits),
-      static_cast<unsigned long long>(counters_.fast_retransmits),
-      static_cast<unsigned long long>(counters_.timeouts),
-      static_cast<unsigned long long>(counters_.dup_acks_in),
-      static_cast<unsigned long long>(counters_.pure_acks_sent),
-      static_cast<unsigned long long>(counters_.delayed_acks),
-      static_cast<unsigned long long>(counters_.bad_checksum),
-      static_cast<unsigned long long>(counters_.out_of_order),
-      static_cast<unsigned long long>(counters_.rst_sent),
-      static_cast<unsigned long long>(counters_.rst_received),
-      static_cast<unsigned long long>(counters_.persists),
-      static_cast<unsigned long long>(counters_.conns_opened),
-      static_cast<unsigned long long>(counters_.conns_accepted),
-      static_cast<unsigned long long>(counters_.fast_path_acks),
-      static_cast<unsigned long long>(counters_.fast_path_data));
-  out += buf;
-  out += "},\"hist\":{\"setup_time_ns\":";
-  out += setup_hist_.dump_json();
-  out += "}}";
-  return out;
+  sim::JsonWriter w;
+  w.begin_object();
+  w.key("connections").begin_array();
+  for (const TcpConnection* conn : ordered) w.value_raw(conn->dump_json());
+  w.end_array();
+  w.key("counters").begin_object();
+  w.field("segments_sent", counters_.segments_sent);
+  w.field("segments_received", counters_.segments_received);
+  w.field("bytes_sent", counters_.bytes_sent);
+  w.field("bytes_received", counters_.bytes_received);
+  w.field("retransmits", counters_.retransmits);
+  w.field("fast_retransmits", counters_.fast_retransmits);
+  w.field("timeouts", counters_.timeouts);
+  w.field("dup_acks_in", counters_.dup_acks_in);
+  w.field("pure_acks_sent", counters_.pure_acks_sent);
+  w.field("delayed_acks", counters_.delayed_acks);
+  w.field("bad_checksum", counters_.bad_checksum);
+  w.field("out_of_order", counters_.out_of_order);
+  w.field("rst_sent", counters_.rst_sent);
+  w.field("rst_received", counters_.rst_received);
+  w.field("persists", counters_.persists);
+  w.field("conns_opened", counters_.conns_opened);
+  w.field("conns_accepted", counters_.conns_accepted);
+  w.field("fast_path_acks", counters_.fast_path_acks);
+  w.field("fast_path_data", counters_.fast_path_data);
+  w.end_object();
+  w.key("hist").begin_object();
+  w.field_raw("setup_time_ns", setup_hist_.dump_json());
+  w.end_object();
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace ulnet::proto

@@ -102,6 +102,7 @@ bool EventLoop::cancel(EventId id) {
   }
   heap_remove(s.heap_pos);
   retire_slot(si);
+  ++cancels_;
   return true;
 }
 
@@ -124,11 +125,21 @@ std::uint64_t EventLoop::run_until(Time deadline) {
     ++executed_;
     ++n;
     fn();
+    // Telemetry tick: observe between events once per crossed cadence
+    // point. Not an event -- no slot, no sequence number, no reordering.
+    if (tick_hook_ && now_ >= tick_next_) {
+      tick_hook_(now_);
+      tick_next_ = (now_ / tick_cadence_ + 1) * tick_cadence_;
+    }
   }
   // Simulated time passes to the deadline even if the next event lies
   // beyond it (events remain queued for a later run).
   if (!stopped_ && now_ < deadline && deadline != kForever) {
     now_ = deadline;
+  }
+  if (tick_hook_ && !stopped_ && now_ >= tick_next_) {
+    tick_hook_(now_);
+    tick_next_ = (now_ / tick_cadence_ + 1) * tick_cadence_;
   }
   return n;
 }

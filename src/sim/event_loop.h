@@ -16,6 +16,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -154,6 +155,24 @@ class EventLoop {
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  // Pending events successfully cancelled over the loop's lifetime. With
+  // executed() this gives the cancel rate -- the ROADMAP's timer-wheel
+  // question is exactly how much of the heap churn is timers that never
+  // fire.
+  [[nodiscard]] std::uint64_t cancels() const { return cancels_; }
+
+  // Observation hook for the telemetry sampler: `hook(now)` runs between
+  // events whenever simulated time crosses a multiple of `cadence`. The
+  // hook is NOT an event -- it does not consume a slot or a sequence
+  // number, so installing it cannot perturb event order or any count a
+  // determinism test compares. The hook must not re-enter the loop.
+  void set_tick_hook(Time cadence, std::function<void(Time)> hook) {
+    tick_cadence_ = cadence < 1 ? 1 : cadence;
+    tick_hook_ = std::move(hook);
+    tick_next_ = (now_ / tick_cadence_) * tick_cadence_;
+    if (tick_next_ < now_) tick_next_ += tick_cadence_;
+  }
+  void clear_tick_hook() { tick_hook_ = nullptr; }
 
   // Timestamp of the earliest pending event, or kForever when the queue is
   // empty. The partitioned executor uses this to compute each conservative
@@ -208,6 +227,10 @@ class EventLoop {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancels_ = 0;
+  std::function<void(Time)> tick_hook_;
+  Time tick_cadence_ = 1;
+  Time tick_next_ = 0;
   std::size_t occupancy_high_water_ = 0;
   Metrics* metrics_ = nullptr;
   bool stopped_ = false;

@@ -1,0 +1,136 @@
+// Shared hand-rolled JSON emission.
+//
+// Every observability surface in the repo exports JSON without a third-party
+// library: sim::Metrics::dump_json, NetIoModule::dump_json, the TCP stats
+// dump, the bench --json reports and the telemetry exporter. They used to
+// each carry their own escaping and comma bookkeeping; this header is the one
+// copy. The writer is append-only (no DOM): callers open objects/arrays,
+// emit fields in order, and take() the string. Numeric formatting matches
+// what the call sites historically produced (std::to_string for integers),
+// so refactoring a dump onto the writer is byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ulnet::sim {
+
+// Escape `s` into `out` per JSON string rules: backslash-escape quote and
+// backslash, \u00XX for control characters. Identical to the escaping the
+// bench reports always used.
+inline void json_escape_into(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+}
+
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  json_escape_into(out, s);
+  return out;
+}
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() {
+    sep();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    close_value();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    sep();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    close_value();
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    sep();
+    out_ += '"';
+    json_escape_into(out_, k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::uint64_t v) { return value_str(std::to_string(v)); }
+  JsonWriter& value(std::int64_t v) { return value_str(std::to_string(v)); }
+  JsonWriter& value(std::uint32_t v) { return value_str(std::to_string(v)); }
+  JsonWriter& value(std::int32_t v) { return value_str(std::to_string(v)); }
+  JsonWriter& value(bool b) { return value_str(b ? "true" : "false"); }
+  JsonWriter& value(std::string_view s) {
+    sep();
+    out_ += '"';
+    json_escape_into(out_, s);
+    out_ += '"';
+    close_value();
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  // Append `raw` as an already-rendered JSON value (e.g. a nested dump).
+  JsonWriter& value_raw(std::string_view raw) { return value_str(raw); }
+  JsonWriter& value_null() { return value_str("null"); }
+
+  template <typename V>
+  JsonWriter& field(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+  JsonWriter& field_raw(std::string_view k, std::string_view raw) {
+    key(k);
+    return value_raw(raw);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& value_str(std::string_view s) {
+    sep();
+    out_ += s;
+    close_value();
+    return *this;
+  }
+  void sep() {
+    if (pending_value_) return;  // value follows its key directly
+    if (!stack_.empty() && stack_.back()) out_ += ',';
+  }
+  void close_value() {
+    pending_value_ = false;
+    if (!stack_.empty()) stack_.back() = true;
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;   // per open container: "has at least one entry"
+  bool pending_value_ = false;
+};
+
+}  // namespace ulnet::sim

@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include "sim/json_writer.h"
+
 namespace ulnet::sim {
 
 std::ostream& operator<<(std::ostream& os, const Metrics& m) {
@@ -15,16 +17,9 @@ std::ostream& operator<<(std::ostream& os, const Metrics& m) {
 }
 
 std::string Metrics::dump_json() const {
-  std::string out = "{";
-  bool first = true;
-  auto field = [&](const char* name, std::uint64_t v) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    out += name;
-    out += "\":";
-    out += std::to_string(v);
-  };
+  JsonWriter w;
+  w.begin_object();
+  auto field = [&](const char* name, std::uint64_t v) { w.field(name, v); };
   field("traps", traps);
   field("specialized_traps", specialized_traps);
   field("context_switches", context_switches);
@@ -83,8 +78,9 @@ std::string Metrics::dump_json() const {
   field("tenant_loan_budget_hits", tenant_loan_budget_hits);
   field("forgery_strikes", forgery_strikes);
   field("tenant_quarantines", tenant_quarantines);
-  out += '}';
-  return out;
+  field("registry_handshake_sweeps", registry_handshake_sweeps);
+  w.end_object();
+  return w.take();
 }
 
 }  // namespace ulnet::sim

@@ -101,6 +101,12 @@ struct Metrics {
   std::uint64_t tenant_loan_budget_hits = 0;
   std::uint64_t forgery_strikes = 0;
   std::uint64_t tenant_quarantines = 0;
+  // Batched registry handshake sweeps (connection-scale sublinearity): each
+  // sweep finishes every handshake that queued since the previous one, so
+  // this growing sublinearly in connection count is the mechanism claim.
+  // Mirrors RegistryServer::handshake_sweeps() so the world-level JSON
+  // export and the telemetry series layer can observe sweep behavior.
+  std::uint64_t registry_handshake_sweeps = 0;
 
   void reset() { *this = Metrics{}; }
 
@@ -173,6 +179,8 @@ struct Metrics {
         tenant_loan_budget_hits - base.tenant_loan_budget_hits;
     d.forgery_strikes = forgery_strikes - base.forgery_strikes;
     d.tenant_quarantines = tenant_quarantines - base.tenant_quarantines;
+    d.registry_handshake_sweeps =
+        registry_handshake_sweeps - base.registry_handshake_sweeps;
     return d;
   }
 

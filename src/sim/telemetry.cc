@@ -1,0 +1,238 @@
+#include "sim/telemetry.h"
+
+#include "sim/json_writer.h"
+
+namespace ulnet::sim {
+
+void Telemetry::configure(const TelemetryConfig& cfg) {
+  cfg_ = cfg;
+  if (cfg_.cadence < 1) cfg_.cadence = 1;
+  if (cfg_.ring_capacity < 1) cfg_.ring_capacity = 1;
+}
+
+std::size_t Telemetry::register_series(std::string name, Kind kind,
+                                       std::function<std::uint64_t()> probe,
+                                       std::string unit, bool wallclock) {
+  Series s;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.unit = std::move(unit);
+  s.wallclock = wallclock;
+  s.probe = std::move(probe);
+  s.ring.resize(cfg_.ring_capacity);
+  series_.push_back(std::move(s));
+  return series_.size() - 1;
+}
+
+std::size_t Telemetry::register_counter(std::string name,
+                                        std::function<std::uint64_t()> probe,
+                                        std::string unit, bool wallclock) {
+  return register_series(std::move(name), Kind::kCounter, std::move(probe),
+                         std::move(unit), wallclock);
+}
+
+std::size_t Telemetry::register_gauge(std::string name,
+                                      std::function<std::uint64_t()> probe,
+                                      std::string unit, bool wallclock) {
+  return register_series(std::move(name), Kind::kGauge, std::move(probe),
+                         std::move(unit), wallclock);
+}
+
+std::size_t Telemetry::register_counter(std::string name,
+                                        const std::uint64_t* src,
+                                        std::string unit) {
+  return register_counter(
+      std::move(name), [src] { return *src; }, std::move(unit));
+}
+
+void Telemetry::push(Series& s, Time t, std::uint64_t v) {
+  if (s.kind == Kind::kCounter && s.samples > 0 && v < s.last) {
+    s.monotone_violations++;
+  }
+  const std::size_t cap = s.ring.size();
+  if (s.count == cap) {
+    s.ring[s.head] = Point{t, v};
+    s.head = (s.head + 1) % cap;
+    s.dropped++;
+  } else {
+    s.ring[(s.head + s.count) % cap] = Point{t, v};
+    s.count++;
+  }
+  s.samples++;
+  s.last = v;
+  if (v > s.max) s.max = v;
+}
+
+void Telemetry::sample_if_due(Time now) {
+  if (!enabled_ || now < next_due_) return;
+  sample_now(now);
+  // Next grid point strictly after `now`: at most one sample per interval
+  // regardless of how often the driver polls.
+  next_due_ = (now / cfg_.cadence + 1) * cfg_.cadence;
+}
+
+void Telemetry::sample_now(Time now) {
+  if (!enabled_) return;
+  for (Series& s : series_) push(s, now, s.probe ? s.probe() : 0);
+  samples_taken_++;
+  evaluate_watchdogs(now);
+}
+
+const Telemetry::Series* Telemetry::find(std::string_view name) const {
+  for (const Series& s : series_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::size_t Telemetry::series_index(std::string_view name) const {
+  for (std::size_t i = 0; i < series_.size(); ++i)
+    if (series_[i].name == name) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+void Telemetry::add_no_progress_probe(std::string name,
+                                      std::string_view series_name,
+                                      Time window) {
+  const std::size_t idx = series_index(series_name);
+  if (idx == static_cast<std::size_t>(-1)) return;
+  WatchdogProbe p;
+  p.name = std::move(name);
+  p.series = idx;
+  p.kind = ProbeKind::kNoProgress;
+  p.window = window;
+  probes_.push_back(std::move(p));
+}
+
+void Telemetry::add_monotone_growth_probe(std::string name,
+                                          std::string_view series_name,
+                                          int k) {
+  const std::size_t idx = series_index(series_name);
+  if (idx == static_cast<std::size_t>(-1) || k < 2) return;
+  WatchdogProbe p;
+  p.name = std::move(name);
+  p.series = idx;
+  p.kind = ProbeKind::kMonotoneGrowth;
+  p.k = k;
+  probes_.push_back(std::move(p));
+}
+
+void Telemetry::fire(WatchdogProbe& p, const std::string& why, Time now) {
+  p.fired = true;
+  triggers_++;
+  if (reason_.empty()) reason_ = why;
+  if (handler_) handler_(p.name, why, now);
+}
+
+void Telemetry::evaluate_watchdogs(Time now) {
+  for (WatchdogProbe& p : probes_) {
+    if (p.fired) continue;
+    const Series& s = series_[p.series];
+    if (s.samples == 0) continue;
+    const std::uint64_t v = s.last;
+    if (!p.seeded) {
+      p.seeded = true;
+      p.last_value = v;
+      p.last_change = now;
+      p.growth_run = 0;
+      continue;
+    }
+    switch (p.kind) {
+      case ProbeKind::kNoProgress:
+        if (v != p.last_value) {
+          p.last_value = v;
+          p.last_change = now;
+        } else if (now - p.last_change >= p.window) {
+          fire(p,
+               "watchdog " + p.name + ": series " + s.name + " stuck at " +
+                   std::to_string(v) + " for " +
+                   std::to_string(now - p.last_change) + " ns",
+               now);
+        }
+        break;
+      case ProbeKind::kMonotoneGrowth:
+        if (v > p.last_value) {
+          if (++p.growth_run >= p.k) {
+            fire(p,
+                 "watchdog " + p.name + ": series " + s.name + " grew for " +
+                     std::to_string(p.growth_run + 1) +
+                     " consecutive samples (now " + std::to_string(v) + ")",
+                 now);
+          }
+        } else {
+          p.growth_run = 0;
+        }
+        p.last_value = v;
+        break;
+    }
+  }
+}
+
+std::string Telemetry::dump_jsonl(bool include_wallclock) const {
+  std::string out;
+  for (const Series& s : series_) {
+    if (s.wallclock && !include_wallclock) continue;
+    JsonWriter w;
+    w.begin_object();
+    w.field("name", s.name);
+    w.field("kind", s.kind == Kind::kCounter ? "counter" : "gauge");
+    w.field("unit", s.unit);
+    w.field("wallclock", s.wallclock);
+    w.field("cadence_ns", static_cast<std::uint64_t>(cfg_.cadence));
+    w.field("samples", s.samples);
+    w.field("dropped", s.dropped);
+    w.field("monotone_violations", s.monotone_violations);
+    w.key("points").begin_array();
+    for (std::size_t i = 0; i < s.count; ++i) {
+      const Point& pt = s.point(i);
+      w.begin_array();
+      w.value(static_cast<std::int64_t>(pt.t));
+      w.value(pt.v);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Telemetry::dump_prometheus() const {
+  // Text exposition of the latest value per series; dots become
+  // underscores, everything gets the ulnet_ prefix.
+  std::string out;
+  for (const Series& s : series_) {
+    std::string san = "ulnet_";
+    for (char c : s.name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      san += ok ? c : '_';
+    }
+    out += "# TYPE " + san +
+           (s.kind == Kind::kCounter ? " counter\n" : " gauge\n");
+    out += san + "{series=\"" + s.name + "\"} " + std::to_string(s.last) +
+           "\n";
+  }
+  return out;
+}
+
+std::vector<Telemetry::Summary> Telemetry::summaries() const {
+  std::vector<Summary> out;
+  out.reserve(series_.size());
+  for (const Series& s : series_) {
+    Summary sum;
+    sum.name = s.name;
+    sum.kind = s.kind;
+    sum.unit = s.unit;
+    sum.wallclock = s.wallclock;
+    sum.samples = s.samples;
+    sum.last = s.last;
+    sum.max = s.max;
+    sum.dropped = s.dropped;
+    sum.monotone_violations = s.monotone_violations;
+    out.push_back(std::move(sum));
+  }
+  return out;
+}
+
+}  // namespace ulnet::sim

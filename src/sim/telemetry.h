@@ -1,0 +1,188 @@
+// Live time-series telemetry.
+//
+// Every observability surface before this one (mechanism counters, stage
+// histograms, the profiler) is an end-of-run snapshot: it can say what the
+// totals were, not *when* a ring filled, a tenant's demand spiked or a
+// partition barrier stalled. Telemetry closes that gap: callers register
+// counter and gauge probes once, and the sampler snapshots them all on a
+// simulated-time cadence into fixed-memory ring buffers.
+//
+// Contract:
+//  - Default-off. A disabled Telemetry is a strict no-op: sample_if_due()
+//    returns immediately and registered probes are never called, so runs
+//    with telemetry off are bit-identical to a build without it.
+//  - No allocation on the sample path. Rings are sized at registration;
+//    overflow drops the oldest point and counts it in Series::dropped.
+//  - Sampling never schedules events. The drivers (EventLoop tick hook in
+//    single-loop worlds, the window barrier in sharded/partitioned worlds)
+//    observe between events, so enabling telemetry cannot perturb event
+//    order, sequence numbers or any sim::Metrics count.
+//  - Series stamped from simulated time are deterministic: same seed, same
+//    series, at any thread count. Series marked `wallclock` (executor
+//    busy/stall time) are host-dependent and excluded from that contract.
+//
+// A small watchdog layer evaluates SLO probes over the sampled series
+// (no-progress windows, monotone growth) and fires a one-shot handler --
+// in the chaos harness that handler dumps the flight-recorder postmortem
+// bundle the moment the SLO breaks instead of waiting for an invariant to
+// fail at teardown.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ulnet::sim {
+
+struct TelemetryConfig {
+  Time cadence = 10 * kMs;        // sample at most once per cadence interval
+  std::size_t ring_capacity = 512;  // points retained per series
+};
+
+class Telemetry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge };
+
+  struct Point {
+    Time t = 0;
+    std::uint64_t v = 0;
+  };
+
+  struct Series {
+    std::string name;
+    Kind kind = Kind::kGauge;
+    std::string unit;
+    bool wallclock = false;  // host-dependent; excluded from determinism
+    std::function<std::uint64_t()> probe;
+    std::vector<Point> ring;    // capacity fixed at registration
+    std::size_t head = 0;       // index of oldest point
+    std::size_t count = 0;      // points currently retained
+    std::uint64_t samples = 0;  // points ever taken
+    std::uint64_t dropped = 0;  // points evicted by ring overflow
+    std::uint64_t monotone_violations = 0;  // counter went backwards
+    std::uint64_t last = 0;
+    std::uint64_t max = 0;
+
+    // i-th retained point in chronological order, i in [0, count).
+    [[nodiscard]] const Point& point(std::size_t i) const {
+      return ring[(head + i) % ring.size()];
+    }
+  };
+
+  // Per-series rollup for bench JSON export (`series.<name>` row groups).
+  struct Summary {
+    std::string name;
+    Kind kind = Kind::kGauge;
+    std::string unit;
+    bool wallclock = false;
+    std::uint64_t samples = 0;
+    std::uint64_t last = 0;
+    std::uint64_t max = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t monotone_violations = 0;
+  };
+
+  void configure(const TelemetryConfig& cfg);
+  [[nodiscard]] const TelemetryConfig& config() const { return cfg_; }
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Registration. Counters are sampled as cumulative levels and expected
+  // monotone (a decrease bumps monotone_violations); gauges may move both
+  // ways. `wallclock` marks a series as host-dependent. Returns the series
+  // index (stable for the Telemetry's lifetime).
+  std::size_t register_counter(std::string name,
+                               std::function<std::uint64_t()> probe,
+                               std::string unit = "count",
+                               bool wallclock = false);
+  std::size_t register_gauge(std::string name,
+                             std::function<std::uint64_t()> probe,
+                             std::string unit = "count",
+                             bool wallclock = false);
+  // Convenience: counter backed by a plain uint64 the caller keeps alive.
+  std::size_t register_counter(std::string name, const std::uint64_t* src,
+                               std::string unit = "count");
+
+  // Sampling. sample_if_due() takes one snapshot of every series if `now`
+  // has reached the next cadence grid point (at most one sample per
+  // interval); sample_now() snapshots unconditionally. Both are no-ops
+  // while disabled.
+  void sample_if_due(Time now);
+  void sample_now(Time now);
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_taken_; }
+
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] const Series* find(std::string_view name) const;
+
+  // ---- Watchdog probes -------------------------------------------------
+  // Evaluated after every sample; each probe fires at most once. The
+  // handler receives (probe name, human-readable reason, fire time).
+  using WatchdogHandler =
+      std::function<void(const std::string&, const std::string&, Time)>;
+
+  // Fire when `series_name`'s value has not changed for >= `window`
+  // simulated time (measured from the first sample at the stuck value).
+  void add_no_progress_probe(std::string name, std::string_view series_name,
+                             Time window);
+  // Fire when `series_name` has grown strictly for `k` consecutive samples
+  // (e.g. a mailbox depth high-water that never plateaus).
+  void add_monotone_growth_probe(std::string name,
+                                 std::string_view series_name, int k);
+  void set_watchdog_handler(WatchdogHandler h) { handler_ = std::move(h); }
+  [[nodiscard]] std::uint64_t watchdog_triggers() const { return triggers_; }
+  // First trigger's reason, empty if none fired.
+  [[nodiscard]] const std::string& watchdog_reason() const { return reason_; }
+
+  // ---- Export ----------------------------------------------------------
+  // One JSON object per line per series:
+  //   {"name":..,"kind":..,"unit":..,"wallclock":..,"cadence_ns":..,
+  //    "samples":..,"dropped":..,"monotone_violations":..,
+  //    "points":[[t,v],...]}
+  // `include_wallclock = false` drops host-dependent series, leaving only
+  // the deterministic ones (used by the determinism tests).
+  [[nodiscard]] std::string dump_jsonl(bool include_wallclock = true) const;
+  // Prometheus text exposition of the latest value of every series.
+  [[nodiscard]] std::string dump_prometheus() const;
+  [[nodiscard]] std::vector<Summary> summaries() const;
+
+ private:
+  enum class ProbeKind : std::uint8_t { kNoProgress, kMonotoneGrowth };
+  struct WatchdogProbe {
+    std::string name;
+    std::size_t series = 0;
+    ProbeKind kind = ProbeKind::kNoProgress;
+    Time window = 0;  // kNoProgress
+    int k = 0;        // kMonotoneGrowth
+    // evaluation state
+    bool seeded = false;
+    std::uint64_t last_value = 0;
+    Time last_change = 0;
+    int growth_run = 0;
+    bool fired = false;
+  };
+
+  std::size_t register_series(std::string name, Kind kind,
+                              std::function<std::uint64_t()> probe,
+                              std::string unit, bool wallclock);
+  std::size_t series_index(std::string_view name) const;
+  void push(Series& s, Time t, std::uint64_t v);
+  void evaluate_watchdogs(Time now);
+  void fire(WatchdogProbe& p, const std::string& why, Time now);
+
+  TelemetryConfig cfg_;
+  bool enabled_ = false;
+  Time next_due_ = 0;
+  std::uint64_t samples_taken_ = 0;
+  std::vector<Series> series_;
+  std::vector<WatchdogProbe> probes_;
+  WatchdogHandler handler_;
+  std::uint64_t triggers_ = 0;
+  std::string reason_;
+};
+
+}  // namespace ulnet::sim

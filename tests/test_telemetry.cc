@@ -1,0 +1,345 @@
+// Telemetry layer tests: the fixed-memory sample rings, the cadence floor
+// rule, counter monotonicity accounting, watchdog probes, the sampler's
+// zero effect on simulated behaviour, determinism of the sampled series
+// across runs and executors, and the watchdog -> flight-recorder path in
+// the chaos harness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/chaos.h"
+#include "api/fabric_bed.h"
+#include "api/testbed.h"
+#include "api/workloads.h"
+#include "os/world.h"
+#include "sim/metrics.h"
+#include "sim/telemetry.h"
+
+namespace ulnet {
+namespace {
+
+sim::TelemetryConfig small_cfg(sim::Time cadence, std::size_t ring) {
+  sim::TelemetryConfig cfg;
+  cfg.cadence = cadence;
+  cfg.ring_capacity = ring;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Ring buffer semantics
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, RingOverflowKeepsNewestAndCountsDrops) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 4));
+  t.set_enabled(true);
+  std::uint64_t v = 0;
+  t.register_counter("c", &v);
+
+  for (sim::Time at = 1; at <= 10; ++at) {
+    v = static_cast<std::uint64_t>(at) * 100;
+    t.sample_now(at);
+  }
+
+  const sim::Telemetry::Series* s = t.find("c");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->samples, 10u);
+  EXPECT_EQ(s->count, 4u);
+  EXPECT_EQ(s->dropped, 6u);  // oldest evicted, accounted for
+  // The retained tail is the newest four points, in time order.
+  for (std::size_t i = 0; i < s->count; ++i) {
+    EXPECT_EQ(s->point(i).t, static_cast<sim::Time>(7 + i));
+    EXPECT_EQ(s->point(i).v, (7 + i) * 100u);
+  }
+  EXPECT_EQ(s->last, 1000u);
+  EXPECT_EQ(s->max, 1000u);
+  EXPECT_EQ(s->monotone_violations, 0u);
+}
+
+TEST(Telemetry, CadenceFloorRuleSamplesAtMostOncePerInterval) {
+  sim::Telemetry t;
+  t.configure(small_cfg(10, 64));
+  t.set_enabled(true);
+  std::uint64_t v = 0;
+  t.register_counter("c", &v);
+
+  // A burst of due-checks inside one cadence interval takes one sample.
+  t.sample_if_due(0);
+  t.sample_if_due(3);
+  t.sample_if_due(9);
+  EXPECT_EQ(t.samples_taken(), 1u);
+  // Sample times are event times: crossing into a later interval samples
+  // once at the crossing event, no catch-up for skipped intervals.
+  t.sample_if_due(12);
+  t.sample_if_due(19);
+  EXPECT_EQ(t.samples_taken(), 2u);
+  t.sample_if_due(47);
+  EXPECT_EQ(t.samples_taken(), 3u);
+
+  const sim::Telemetry::Series* s = t.find("c");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->count, 3u);
+  EXPECT_EQ(s->point(0).t, 0);
+  EXPECT_EQ(s->point(1).t, 12);
+  EXPECT_EQ(s->point(2).t, 47);
+}
+
+TEST(Telemetry, CounterDecreaseCountsMonotoneViolation) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 8));
+  t.set_enabled(true);
+  std::uint64_t v = 5;
+  t.register_counter("c", &v);
+  t.sample_now(1);
+  v = 3;  // a counter must never do this
+  t.sample_now(2);
+  const sim::Telemetry::Series* s = t.find("c");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->monotone_violations, 1u);
+}
+
+TEST(Telemetry, DisabledSamplerNeverCallsProbes) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 8));
+  int calls = 0;
+  t.register_gauge("g", [&calls] {
+    ++calls;
+    return 0ULL;
+  });
+  t.sample_if_due(100);
+  t.sample_if_due(200);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(t.samples_taken(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog probes
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, NoProgressProbeFiresOnceAfterWindow) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 64));
+  t.set_enabled(true);
+  std::uint64_t v = 7;
+  t.register_counter("c", &v);
+  t.add_no_progress_probe("stuck", "c", 10);
+  std::vector<std::string> fired;
+  t.set_watchdog_handler(
+      [&fired](const std::string& name, const std::string&, sim::Time) {
+        fired.push_back(name);
+      });
+
+  for (sim::Time at = 1; at <= 30; ++at) t.sample_now(at);
+  EXPECT_EQ(t.watchdog_triggers(), 1u);  // one-shot, despite 20 stuck samples
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "stuck");
+  EXPECT_NE(t.watchdog_reason().find("stuck at 7"), std::string::npos)
+      << t.watchdog_reason();
+}
+
+TEST(Telemetry, NoProgressProbeStaysQuietWhileValueMoves) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 64));
+  t.set_enabled(true);
+  std::uint64_t v = 0;
+  t.register_counter("c", &v);
+  t.add_no_progress_probe("stuck", "c", 10);
+  for (sim::Time at = 1; at <= 30; ++at) {
+    v = static_cast<std::uint64_t>(at);  // always progressing
+    t.sample_now(at);
+  }
+  EXPECT_EQ(t.watchdog_triggers(), 0u);
+}
+
+TEST(Telemetry, MonotoneGrowthProbeFiresAfterKStrictIncreases) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 64));
+  t.set_enabled(true);
+  std::uint64_t v = 0;
+  t.register_gauge("depth", [&v] { return v; });
+  t.add_monotone_growth_probe("runaway", "depth", 5);
+
+  // A plateau resets the run: 4 increases, flat, 4 increases -> no fire.
+  for (int i = 1; i <= 4; ++i) {
+    v += 1;
+    t.sample_now(i);
+  }
+  t.sample_now(5);  // flat
+  for (int i = 6; i <= 9; ++i) {
+    v += 1;
+    t.sample_now(i);
+  }
+  EXPECT_EQ(t.watchdog_triggers(), 0u);
+  // The fifth consecutive strict increase fires.
+  for (int i = 10; i <= 11; ++i) {
+    v += 1;
+    t.sample_now(i);
+  }
+  EXPECT_EQ(t.watchdog_triggers(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// The sampler must not perturb the simulation
+// ---------------------------------------------------------------------------
+
+sim::Metrics bulk_metrics_delta_telemetry(bool telemetry) {
+  api::Testbed bed(api::OrgType::kUserLevel, api::LinkType::kEthernet,
+                   /*seed=*/5);
+  if (telemetry) bed.world().enable_telemetry(sim::TelemetryConfig{});
+  const sim::Metrics before = bed.world().metrics();
+  api::BulkTransfer bulk(bed, 96 * 1024, 2048);
+  const auto r = bulk.run();
+  EXPECT_TRUE(r.ok) << r.error;
+  if (telemetry) {
+    EXPECT_GT(bed.world().telemetry().samples_taken(), 0u);
+  }
+  return bed.world().metrics().delta_since(before);
+}
+
+// Mirror of Tracer.TracingOnVsOffYieldsIdenticalMetrics: the tick-hook
+// sampler observes between events and never schedules, so every mechanism
+// count -- including events_executed and timer occupancy -- is identical
+// with telemetry on and off.
+TEST(Telemetry, TelemetryOnVsOffYieldsIdenticalMetrics) {
+  const sim::Metrics off = bulk_metrics_delta_telemetry(false);
+  const sim::Metrics on = bulk_metrics_delta_telemetry(true);
+  EXPECT_EQ(std::memcmp(&off, &on, sizeof(sim::Metrics)), 0)
+      << "enabling telemetry changed the simulation's mechanism counts";
+}
+
+TEST(Telemetry, SameSeedYieldsIdenticalSeries) {
+  auto run = [] {
+    api::Testbed bed(api::OrgType::kUserLevel, api::LinkType::kEthernet,
+                     /*seed=*/9);
+    bed.world().enable_telemetry(sim::TelemetryConfig{});
+    api::BulkTransfer bulk(bed, 96 * 1024, 2048);
+    const auto r = bulk.run();
+    EXPECT_TRUE(r.ok) << r.error;
+    return bed.world().telemetry().dump_jsonl();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// The partitioned executors sample at window barriers, which every
+// executor visits in the same order -- so the simulated series (wallclock
+// ones excluded) are bit-identical between the sharded-serial reference
+// and the partitioned executor at any thread count.
+TEST(Telemetry, SerialAndPartitionedExecutorsYieldIdenticalSeries) {
+  api::FabricConfig cfg;
+  cfg.pairs = 2;
+  cfg.conns_per_pair = 4;
+  cfg.bytes_per_conn = 2048;
+  cfg.telemetry_cadence = 5 * sim::kMs;
+
+  api::FabricBed serial(os::PartitionMode::kShardedSerial, cfg);
+  ASSERT_TRUE(serial.run());
+  api::FabricBed par(os::PartitionMode::kPartitioned, cfg);
+  ASSERT_TRUE(par.run(2));
+
+  ASSERT_EQ(serial.fingerprint(), par.fingerprint());
+  const std::string a = serial.telemetry().dump_jsonl(false);
+  const std::string b = par.telemetry().dump_jsonl(false);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The executor instrumentation saw real windows on both executors.
+  const sim::Telemetry::Series* w = par.telemetry().find("exec.windows");
+  ASSERT_NE(w, nullptr);
+  EXPECT_GT(w->last, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog -> flight recorder, end to end
+// ---------------------------------------------------------------------------
+
+// Under the canonical chaos schedule the victim's library is killed
+// mid-stream, so the sampled `victim.peer_rcvd` series goes flat and the
+// no-progress probe must fire mid-run, dumping the postmortem bundle
+// (including the sampled series) without waiting for teardown.
+TEST(ChaosWatchdog, NoProgressProbeTriggersFlightRecorder) {
+  const std::string dir = ::testing::TempDir() + "ulnet_watchdog_pm";
+  std::filesystem::remove_all(dir);
+
+  api::ChaosScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.bulk_bytes = 1024 * 1024;
+  cfg.postmortem_dir = dir;
+  cfg.telemetry_cadence = 10 * sim::kMs;
+  cfg.watchdog_no_progress = 500 * sim::kMs;
+  const api::ChaosReport rep = api::run_chaos_scenario(cfg);
+
+  // The run itself is healthy -- the watchdog observing the victim's death
+  // is diagnostic, not an invariant failure.
+  EXPECT_TRUE(rep.invariants_ok()) << rep.failure();
+  EXPECT_GE(rep.watchdog_triggers, 1u);
+  EXPECT_FALSE(rep.watchdog_reason.empty());
+  EXPECT_NE(rep.watchdog_reason.find("victim.peer_rcvd"), std::string::npos)
+      << rep.watchdog_reason;
+
+  // The bundle was written when the probe fired, telemetry series included.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/failure.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/metrics.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/telemetry.jsonl"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/telemetry.prom"));
+  EXPECT_GT(std::filesystem::file_size(dir + "/telemetry.jsonl"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Export formats
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, DumpJsonlCarriesSchemaAndFiltersWallclock) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 8));
+  t.set_enabled(true);
+  std::uint64_t v = 1;
+  t.register_counter("sim_series", &v);
+  t.register_counter("host_series", [] { return 42ULL; }, "ns",
+                     /*wallclock=*/true);
+  t.sample_now(1);
+
+  const std::string all = t.dump_jsonl();
+  EXPECT_NE(all.find("\"name\":\"sim_series\""), std::string::npos);
+  EXPECT_NE(all.find("\"name\":\"host_series\""), std::string::npos);
+  EXPECT_NE(all.find("\"cadence_ns\":1"), std::string::npos);
+  EXPECT_NE(all.find("\"points\":[[1,1]]"), std::string::npos);
+
+  const std::string deterministic = t.dump_jsonl(false);
+  EXPECT_NE(deterministic.find("sim_series"), std::string::npos);
+  EXPECT_EQ(deterministic.find("host_series"), std::string::npos);
+}
+
+TEST(Telemetry, DumpPrometheusExposesLatestValues) {
+  sim::Telemetry t;
+  t.configure(small_cfg(1, 8));
+  t.set_enabled(true);
+  std::uint64_t v = 123;
+  t.register_counter("loop.executed", &v);
+  t.sample_now(1);
+  const std::string prom = t.dump_prometheus();
+  EXPECT_NE(prom.find("# TYPE ulnet_loop_executed counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("123"), std::string::npos);
+}
+
+// The registry's handshake-sweep counter is mirrored into the world-level
+// metrics (and so into every metrics.json artifact) for the telemetry and
+// watchdog layers to observe.
+TEST(Telemetry, MetricsDumpCarriesRegistrySweepMirror) {
+  sim::Metrics m;
+  m.registry_handshake_sweeps = 5;
+  const std::string js = m.dump_json();
+  EXPECT_NE(js.find("\"registry_handshake_sweeps\":5"), std::string::npos)
+      << js;
+}
+
+}  // namespace
+}  // namespace ulnet
